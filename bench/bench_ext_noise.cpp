@@ -1,0 +1,80 @@
+// Extension bench (not a paper artifact): fuzzing robustness under RF
+// channel noise — an ablation of the campaign's oracle design.
+//
+// The paper's liveness monitoring runs on real, lossy RF; a single dropped
+// NOP ack must not be booked as a crash. This bench sweeps the channel's
+// bit-flip rate and compares single-probe vs retried-probe liveness:
+// unique bugs found, false (unattributed) findings, packets spent.
+#include <set>
+
+#include "bench_util.h"
+#include "core/campaign.h"
+
+namespace {
+
+struct ArmResult {
+  std::size_t bugs = 0;
+  std::size_t false_findings = 0;
+  std::uint64_t packets = 0;
+};
+
+ArmResult run_arm(double bit_flip_rate, std::size_t liveness_attempts, bool confirm) {
+  using namespace zc;
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  testbed_config.channel.bit_flip_rate = bit_flip_rate;
+  sim::Testbed testbed(testbed_config);
+
+  core::CampaignConfig config;
+  config.mode = core::CampaignMode::kFull;
+  config.duration = 3 * kHour;
+  config.loop_queue = false;
+  config.liveness_attempts = liveness_attempts;
+  config.confirm_findings = confirm;
+  core::Campaign campaign(testbed, config);
+  const auto result = campaign.run();
+
+  ArmResult arm;
+  std::set<int> bugs;
+  for (const auto& finding : result.findings) {
+    if (finding.matched_bug_id > 0) {
+      bugs.insert(finding.matched_bug_id);
+    } else {
+      ++arm.false_findings;
+    }
+  }
+  arm.bugs = bugs.size();
+  arm.packets = result.test_packets;
+  return arm;
+}
+
+}  // namespace
+
+int main() {
+  using namespace zc;
+  bench::header("Extension", "campaign robustness under RF noise (oracle ablation)");
+  bench::note("bit-flip noise corrupts frames in both directions; Manchester symbol "
+              "checks and CS-8 discard them, probes must tolerate the loss");
+
+  std::printf("\n%-14s %-22s | %-6s %-12s %-8s\n", "bit-flip rate", "oracle", "bugs",
+              "false-finds", "packets");
+  struct Arm {
+    const char* name;
+    std::size_t attempts;
+    bool confirm;
+  };
+  const Arm arms[] = {{"1 probe", 1, false},
+                      {"2 probes", 2, false},
+                      {"2 probes + confirm", 2, true}};
+  for (double rate : {0.0, 0.00002, 0.0001}) {
+    for (const Arm& arm_config : arms) {
+      const ArmResult arm = run_arm(rate, arm_config.attempts, arm_config.confirm);
+      std::printf("%-14.5f %-22s | %-6zu %-12zu %-8llu\n", rate, arm_config.name, arm.bugs,
+                  arm.false_findings, static_cast<unsigned long long>(arm.packets));
+    }
+  }
+  std::printf("\nexpected shape: all (or nearly all) 15 bugs in every arm at these noise\n"
+              "levels; false findings grow with noise for the single probe, shrink with\n"
+              "retries, and vanish with inline confirmation.\n");
+  return 0;
+}

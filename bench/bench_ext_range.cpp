@@ -1,0 +1,61 @@
+// Extension bench (not a paper artifact): attack range sweep.
+//
+// The paper's threat model places the attacker 10-70 m from the home
+// (Fig. 2). This bench sweeps the distance and measures (a) one-way
+// injection reliability (fraction of unencrypted tamper packets that
+// trigger), and (b) whether the bidirectional fingerprinting pipeline
+// still works — the range where full ZCover campaigns are possible.
+#include "bench_util.h"
+#include "core/scanner.h"
+#include "sim/testbed.h"
+
+int main() {
+  using namespace zc;
+  bench::header("Extension", "attack range sweep (paper threat model: 10-70 m)");
+
+  std::printf("\n%-10s %-22s %-18s\n", "distance", "injection success", "active scan");
+  for (double distance : {10.0, 35.0, 70.0, 120.0, 200.0, 300.0, 420.0, 500.0}) {
+    sim::TestbedConfig config;
+    config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+    config.attacker_distance_m = distance;
+    sim::Testbed testbed(config);
+    auto& controller = testbed.controller();
+
+    radio::MacEndpoint attacker(testbed.medium(),
+                                testbed.attacker_radio_config("attacker"));
+
+    // (a) 200 injection attempts of the bug-#03 removal payload; the
+    // testbed is restored between hits so every attempt can re-trigger.
+    constexpr int kAttempts = 200;
+    int hits = 0;
+    zwave::AppPayload tamper;
+    tamper.cmd_class = 0x01;
+    tamper.command = 0x0D;
+    tamper.params = {0x02, sim::Testbed::kLockNodeId, 0x00};
+    for (int i = 0; i < kAttempts; ++i) {
+      const std::size_t before = controller.triggered().size();
+      attacker.send(zwave::make_singlecast(controller.home_id(), 0xE7, 0x01, tamper,
+                                           static_cast<std::uint8_t>(i & 0x0F), false));
+      testbed.scheduler().run_for(50 * kMillisecond);
+      if (controller.triggered().size() > before) {
+        ++hits;
+        testbed.restore_network();
+      }
+    }
+
+    // (b) full active scan (needs both directions).
+    core::ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                             testbed.attacker_radio_config("dongle"));
+    core::ActiveScanner scanner(dongle, controller.home_id(), 0x01, 0xE6);
+    const auto scan = scanner.scan();
+
+    std::printf("%6.0f m   %3d/%-3d (%5.1f%%)       %s\n", distance, hits, kAttempts,
+                100.0 * hits / kAttempts,
+                scan.listed.size() == 17 ? "full NIF (17 classes)"
+                : scan.reachable        ? "reachable, NIF lost"
+                                        : "unreachable");
+  }
+  std::printf("\nexpected shape: lossless through the paper's 10-70 m band, probabilistic\n"
+              "in the fade margin past ~250 m, dead beyond the sensitivity floor (~465 m).\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Extension bench: trial-to-trial stability, the paper's methodology
+// ("we conducted five 24-hour fuzzing trials for each controller").
+//
+// Five independent trials per controller with fresh testbeds and derived
+// seeds; reports per-trial unique findings, the cross-trial union, and
+// time-to-first-finding statistics.
+#include <algorithm>
+
+#include "bench_util.h"
+#include "core/campaign.h"
+
+int main() {
+  using namespace zc;
+  bench::header("Extension", "five-trial stability per controller (paper methodology)");
+
+  std::printf("\n%-24s %-18s %-8s %-22s\n", "device", "per-trial unique", "union",
+              "first finding (min..max)");
+  bool stable = true;
+  for (sim::DeviceModel model : sim::all_controller_models()) {
+    sim::TestbedConfig testbed_config;
+    testbed_config.controller_model = model;
+    core::CampaignConfig config;
+    config.mode = core::CampaignMode::kFull;
+    config.duration = 24 * kHour;
+    config.loop_queue = false;
+    const auto summary = core::run_trials(testbed_config, config, 5);
+
+    std::string per_trial;
+    for (std::size_t n : summary.per_trial_unique) {
+      if (!per_trial.empty()) per_trial += " ";
+      per_trial += std::to_string(n);
+    }
+    const auto [min_first, max_first] =
+        std::minmax_element(summary.first_finding_at.begin(), summary.first_finding_at.end());
+    const std::size_t expected = summary.per_trial_unique.front();
+    for (std::size_t n : summary.per_trial_unique) stable = stable && n == expected;
+
+    std::printf("%-24s %-18s %-8zu %s .. %s\n", sim::device_model_name(model),
+                per_trial.c_str(), summary.union_bug_ids.size(),
+                format_sim_time(*min_first).c_str(), format_sim_time(*max_first).c_str());
+  }
+  std::printf("\nper-trial counts identical within each device: %s (the systematic phase\n"
+              "guarantees every reachable trigger; seeds only shuffle the random tail)\n",
+              stable ? "yes" : "NO");
+  return 0;
+}

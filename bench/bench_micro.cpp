@@ -1,0 +1,159 @@
+// Microbenchmarks (google-benchmark) for the performance-critical
+// primitives under the fuzzing loop: AES/CMAC/X25519, frame codec, PHY
+// symbol coding, S2 encapsulation, and the position-sensitive mutator.
+//
+// These quantify the simulator's per-packet cost — the reason a "24-hour"
+// campaign replays in seconds of wall time.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/mutator.h"
+#include "crypto/aes128.h"
+#include "crypto/cmac.h"
+#include "crypto/x25519.h"
+#include "radio/phy.h"
+#include "zwave/checksum.h"
+#include "zwave/frame.h"
+#include "zwave/security.h"
+
+namespace {
+
+using namespace zc;
+
+void BM_Aes128EncryptBlock(benchmark::State& state) {
+  crypto::AesKey key{};
+  key.fill(0x42);
+  const crypto::Aes128 cipher(key);
+  crypto::AesBlock block{};
+  for (auto _ : state) {
+    cipher.encrypt_block(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Aes128EncryptBlock);
+
+void BM_AesCmac(benchmark::State& state) {
+  crypto::AesKey key{};
+  key.fill(0x42);
+  const Bytes message(static_cast<std::size_t>(state.range(0)), 0xA5);
+  for (auto _ : state) {
+    auto tag = crypto::aes_cmac(key, message);
+    benchmark::DoNotOptimize(tag);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AesCmac)->Arg(16)->Arg(64);
+
+void BM_X25519(benchmark::State& state) {
+  crypto::X25519Key scalar{};
+  scalar.fill(0x77);
+  crypto::X25519Key point{};
+  point[0] = 9;
+  for (auto _ : state) {
+    auto out = crypto::x25519(scalar, point);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_X25519);
+
+void BM_FrameEncode(benchmark::State& state) {
+  zwave::AppPayload app;
+  app.cmd_class = 0x62;
+  app.command = 0x01;
+  app.params = Bytes(16, 0xAB);
+  const zwave::MacFrame frame = zwave::make_singlecast(0xC7E9DD54, 0xE7, 0x01, app, 5, true);
+  for (auto _ : state) {
+    auto raw = frame.encode();
+    benchmark::DoNotOptimize(raw);
+  }
+}
+BENCHMARK(BM_FrameEncode);
+
+void BM_FrameDecode(benchmark::State& state) {
+  zwave::AppPayload app;
+  app.cmd_class = 0x62;
+  app.command = 0x01;
+  app.params = Bytes(16, 0xAB);
+  const Bytes raw =
+      zwave::make_singlecast(0xC7E9DD54, 0xE7, 0x01, app, 5, true).encode().value();
+  for (auto _ : state) {
+    auto frame = zwave::decode_frame(raw);
+    benchmark::DoNotOptimize(frame);
+  }
+}
+BENCHMARK(BM_FrameDecode);
+
+void BM_PhyRoundTrip(benchmark::State& state) {
+  const Bytes frame(static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    const auto bits = radio::encode_transmission(frame);
+    auto decoded = radio::decode_transmission(bits);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_PhyRoundTrip)->Arg(12)->Arg(64);
+
+void BM_Checksum8(benchmark::State& state) {
+  const Bytes data(64, 0x3C);
+  for (auto _ : state) {
+    auto cs = zwave::checksum8(data);
+    benchmark::DoNotOptimize(cs);
+  }
+}
+BENCHMARK(BM_Checksum8);
+
+void BM_Crc16(benchmark::State& state) {
+  const Bytes data(64, 0x3C);
+  for (auto _ : state) {
+    auto crc = zwave::crc16_ccitt(data);
+    benchmark::DoNotOptimize(crc);
+  }
+}
+BENCHMARK(BM_Crc16);
+
+void BM_S2EncapDecap(benchmark::State& state) {
+  Rng rng(1);
+  const auto priv_a = crypto::make_x25519_key(rng.bytes(32));
+  const auto priv_b = crypto::make_x25519_key(rng.bytes(32));
+  const auto keys_a = zwave::s2_key_agreement(priv_a, crypto::x25519_public(priv_b));
+  const auto keys_b = zwave::s2_key_agreement(priv_b, crypto::x25519_public(priv_a));
+  const Bytes seed = rng.bytes(32);
+  zwave::S2Session sender(keys_a, seed);
+  zwave::S2Session receiver(keys_b, seed);
+  zwave::AppPayload inner;
+  inner.cmd_class = 0x62;
+  inner.command = 0x01;
+  inner.params = {0xFF};
+  for (auto _ : state) {
+    const auto outer = sender.encapsulate(inner, 0xC7E9DD54, 0x01, 0x02);
+    auto decoded = receiver.decapsulate(outer, 0xC7E9DD54, 0x01, 0x02);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_S2EncapDecap);
+
+void BM_PositionSensitiveMutation(benchmark::State& state) {
+  Rng rng(7);
+  core::PositionSensitiveMutator mutator(rng, 0x9F);
+  for (auto _ : state) {
+    auto payload = mutator.next();
+    benchmark::DoNotOptimize(payload);
+  }
+}
+BENCHMARK(BM_PositionSensitiveMutation);
+
+void BM_RandomMutation(benchmark::State& state) {
+  Rng rng(7);
+  core::RandomMutator mutator(rng);
+  for (auto _ : state) {
+    auto payload = mutator.next();
+    benchmark::DoNotOptimize(payload);
+  }
+}
+BENCHMARK(BM_RandomMutation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Table I reproduction: the mutation-operator/field matrix, demonstrated
+// live — for each application-layer position the operators that Table I
+// assigns are exercised and their observed effects tallied over a large
+// sample of generated payloads.
+#include <map>
+
+#include "bench_util.h"
+#include "core/mutator.h"
+
+int main() {
+  using namespace zc;
+  bench::header("Table I", "mutation operators assigned to Z-Wave frame fields");
+
+  std::printf("\n%-8s %-4s %s\n", "field", "len", "operators");
+  std::printf("%-8s %-4s %s\n", "H-ID", "4", "none");
+  std::printf("%-8s %-4s %s\n", "SRC", "1", "none");
+  std::printf("%-8s %-4s %s\n", "P1", "1", "none");
+  std::printf("%-8s %-4s %s\n", "P2", "1", "none");
+  std::printf("%-8s %-4s %s\n", "LEN", "1", "none (recomputed)");
+  std::printf("%-8s %-4s %s\n", "DST", "1", "none");
+  std::printf("%-8s %-4s %s\n", "CMDCL", "1", "rand_valid");
+  std::printf("%-8s %-4s %s\n", "CMD", "1",
+              "rand_valid, rand_invalid, arith, interesting, insert");
+  std::printf("%-8s %-4s %s\n", "PARAMn", "1",
+              "rand_valid, rand_invalid, arith, interesting, insert");
+  std::printf("%-8s %-4s %s\n", "CS", "1", "none (recomputed)");
+
+  // Empirical check over the VERSION class (6 commands, rich schemas).
+  Rng rng(0x7AB1E1);
+  core::PositionSensitiveMutator mutator(rng, 0x86);
+  const auto* spec = zwave::SpecDatabase::instance().find(0x86);
+
+  std::size_t total = 200000;
+  std::size_t class_mutated = 0, cmd_valid = 0, cmd_interesting = 0, extended = 0;
+  std::map<std::size_t, std::size_t> param_lengths;
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto payload = mutator.next();
+    if (payload.cmd_class != 0x86) ++class_mutated;
+    const auto* command = spec->find_command(payload.command);
+    if (command != nullptr) {
+      ++cmd_valid;
+      if (payload.params.size() > command->params.size()) ++extended;
+    }
+    for (std::uint8_t interesting : core::kInterestingBytes) {
+      if (payload.command == interesting) {
+        ++cmd_interesting;
+        break;
+      }
+    }
+    ++param_lengths[payload.params.size()];
+  }
+
+  std::printf("\nempirical distribution over %zu generated payloads (class 0x86):\n", total);
+  std::printf("  CMDCL mutated away from target : %zu (Table I says: never)\n", class_mutated);
+  std::printf("  CMD valid per spec             : %.1f%%\n",
+              100.0 * static_cast<double>(cmd_valid) / static_cast<double>(total));
+  std::printf("  CMD hit an interesting value   : %.1f%%\n",
+              100.0 * static_cast<double>(cmd_interesting) / static_cast<double>(total));
+  std::printf("  payload extended via insert    : %.1f%%\n",
+              100.0 * static_cast<double>(extended) / static_cast<double>(total));
+  std::printf("  distinct parameter lengths     : %zu\n", param_lengths.size());
+
+  std::printf("\nTable I overall: %s\n",
+              class_mutated == 0 && cmd_valid > total / 2 ? "MATCHES PAPER" : "DIFFERS");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared helpers for the reproduction benches: every binary prints the
+// paper's reported rows next to the values measured on the simulated
+// testbed, with an explicit match marker per cell, and EXPERIMENTS.md
+// mirrors the output.
+#pragma once
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+namespace zc::bench {
+
+inline void header(const char* artifact, const char* caption) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", artifact, caption);
+  std::printf("================================================================\n");
+}
+
+inline void note(const char* text) { std::printf("note: %s\n", text); }
+
+inline const char* mark(bool match) { return match ? "ok " : "DIFF"; }
+
+/// "paper=X measured=Y [ok]" cell for integral values.
+inline std::string cell(std::size_t paper, std::size_t measured) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "paper=%zu measured=%zu [%s]", paper, measured,
+                mark(paper == measured));
+  return buf;
+}
+
+inline std::string set_to_string(const std::set<int>& values) {
+  std::string out = "{";
+  bool first = true;
+  for (int v : values) {
+    if (!first) out += ",";
+    out += std::to_string(v);
+    first = false;
+  }
+  return out + "}";
+}
+
+}  // namespace zc::bench

@@ -1,0 +1,81 @@
+// Attack remediation (paper §V-B): a lightweight RF intrusion detection
+// system watching the home while a ZCover campaign attacks it.
+//
+// The IDS sits on a promiscuous endpoint inside the house, whitelists the
+// included nodes, and flags (a) controller-critical command classes
+// traveling outside secure encapsulation, (b) ghost-node probes, (c) MAC
+// protocol violations, (d) unknown sources. Benign S2/legacy traffic must
+// stay quiet.
+#include <cstdio>
+#include <map>
+
+#include "core/campaign.h"
+#include "core/ids.h"
+#include "radio/endpoint.h"
+
+int main() {
+  using namespace zc;
+
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD1_ZoozZst10;
+  testbed_config.slave_report_interval = 20 * kSecond;
+  sim::Testbed testbed(testbed_config);
+
+  // The IDS endpoint lives inside the house, close to the hub.
+  radio::MacEndpoint sensor(testbed.medium(),
+                            radio::RadioConfig{"ids-sensor", zwave::RfRegion::kUs908,
+                                               1.0, 1.0, 0.0});
+  core::IdsConfig ids_config;
+  ids_config.roster = {0x01, sim::Testbed::kLockNodeId, sim::Testbed::kSwitchNodeId};
+  core::IntrusionDetector ids(ids_config);
+  sensor.set_frame_handler([&](const zwave::MacFrame& frame, double) {
+    ids.inspect(frame, testbed.scheduler().now());
+  });
+
+  std::printf("=== lightweight IDS vs a ZCover campaign (paper SV-B) ===\n\n");
+
+  // Quiet baseline: one hour of benign home traffic.
+  testbed.scheduler().run_for(1 * kHour);
+  const std::size_t baseline_frames = ids.frames_inspected();
+  const std::size_t baseline_alerts = ids.alerts().size();
+  std::printf("benign hour : %zu frames inspected, %zu alerts (false-positive rate %.4f)\n\n",
+              baseline_frames, baseline_alerts,
+              baseline_frames ? static_cast<double>(baseline_alerts) /
+                                    static_cast<double>(baseline_frames)
+                              : 0.0);
+
+  // Now the attacker shows up.
+  core::CampaignConfig config;
+  config.mode = core::CampaignMode::kFull;
+  config.duration = 1 * kHour;
+  config.loop_queue = false;
+  core::Campaign campaign(testbed, config);
+  const auto result = campaign.run();
+
+  std::printf("attack hour : campaign sent %llu packets, found %zu unique bugs\n",
+              static_cast<unsigned long long>(result.test_packets), result.findings.size());
+  std::printf("IDS         : %zu frames inspected, %zu alerts\n\n", ids.frames_inspected(),
+              ids.alerts().size() - baseline_alerts);
+
+  std::map<core::AlertKind, std::size_t> by_kind;
+  for (std::size_t i = baseline_alerts; i < ids.alerts().size(); ++i) {
+    ++by_kind[ids.alerts()[i].kind];
+  }
+  for (const auto& [kind, count] : by_kind) {
+    std::printf("  %-24s %zu\n", core::alert_kind_name(kind), count);
+  }
+
+  // Would the IDS have warned before each confirmed finding? Compare the
+  // first alert time against each finding time.
+  if (!ids.alerts().empty()) {
+    const SimTime first_attack_alert =
+        ids.alerts().size() > baseline_alerts ? ids.alerts()[baseline_alerts].at : 0;
+    std::size_t warned = 0;
+    for (const auto& finding : result.findings) {
+      if (first_attack_alert <= finding.detected_at) ++warned;
+    }
+    std::printf("\nalarm preceded %zu/%zu confirmed findings\n", warned,
+                result.findings.size());
+  }
+  return 0;
+}

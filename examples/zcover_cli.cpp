@@ -1,0 +1,242 @@
+// zcover_cli: the framework as an operator-facing tool.
+//
+//   zcover_cli fuzz   [--device D4] [--mode full|beta|gamma] [--hours 2]
+//                     [--seed N] [--log FILE]
+//   zcover_cli scan   [--device D4]
+//   zcover_cli replay   --log FILE [--device D4]
+//   zcover_cli minimize --log FILE [--device D4]
+//   zcover_cli list
+//
+// `fuzz` runs the three-phase pipeline and writes the Bug_Logs file;
+// `scan` stops after fingerprinting (Table IV view); `replay` re-validates
+// a saved log with the packet tester (the paper's PoC verification);
+// `minimize` shrinks each bug-inducing payload to its reproducing core.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/campaign.h"
+#include "core/packet_tester.h"
+#include "core/report.h"
+
+namespace {
+
+using namespace zc;
+
+sim::DeviceModel parse_device(const std::string& name) {
+  for (sim::DeviceModel model : sim::all_controller_models()) {
+    const std::string label = sim::device_model_name(model);  // "D4 Aeotec ZW090-A"
+    if (label.substr(0, 2) == name || label == name) return model;
+  }
+  std::fprintf(stderr, "unknown device '%s' (use D1..D7)\n", name.c_str());
+  std::exit(2);
+}
+
+core::CampaignMode parse_mode(const std::string& name) {
+  if (name == "full") return core::CampaignMode::kFull;
+  if (name == "beta") return core::CampaignMode::kKnownOnly;
+  if (name == "gamma") return core::CampaignMode::kRandom;
+  std::fprintf(stderr, "unknown mode '%s' (full|beta|gamma)\n", name.c_str());
+  std::exit(2);
+}
+
+struct Options {
+  std::string command;
+  sim::DeviceModel device = sim::DeviceModel::kD4_AeotecZw090;
+  core::CampaignMode mode = core::CampaignMode::kFull;
+  double hours = 1.0;
+  std::uint64_t seed = 0x2C07E12F;
+  std::string log_path;
+  std::string report_path;
+};
+
+Options parse_options(int argc, char** argv) {
+  Options options;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: zcover_cli fuzz|scan|replay|list [options]\n");
+    std::exit(2);
+  }
+  options.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--device") {
+      options.device = parse_device(value());
+    } else if (arg == "--mode") {
+      options.mode = parse_mode(value());
+    } else if (arg == "--hours") {
+      options.hours = std::atof(value().c_str());
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(value().c_str(), nullptr, 0);
+    } else if (arg == "--log") {
+      options.log_path = value();
+    } else if (arg == "--report") {
+      options.report_path = value();
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+int cmd_list() {
+  std::printf("testbed controllers:\n");
+  for (sim::DeviceModel model : sim::all_controller_models()) {
+    const auto& profile = sim::controller_profile(model);
+    std::printf("  %-24s %s-series, %d, home %08X, %s\n",
+                sim::device_model_name(model), std::string(profile.chip_series).c_str(),
+                profile.year, profile.home_id,
+                profile.hub ? "hub (app-driven)" : "USB stick (PC-program-driven)");
+  }
+  return 0;
+}
+
+int cmd_scan(const Options& options) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = options.device;
+  testbed_config.seed = options.seed;
+  sim::Testbed testbed(testbed_config);
+  core::Campaign campaign(testbed, core::CampaignConfig{});
+  const auto report = campaign.fingerprint();
+
+  std::printf("target        : %s\n", sim::device_model_name(options.device));
+  std::printf("home id       : %08X\n", report.passive.home_id.value_or(0));
+  std::printf("controller id : 0x%02X\n", report.passive.controller.value_or(0));
+  std::printf("listed CMDCLs : %zu\n", report.active.listed.size());
+  std::printf("unknown       : %zu (%zu spec-derived + %zu proprietary)\n",
+              report.discovery.unknown().size(), report.discovery.spec_candidates.size(),
+              report.discovery.proprietary.size());
+  std::printf("fuzz queue    :");
+  for (auto cc : report.fuzz_queue) std::printf(" %02X", cc);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_fuzz(const Options& options) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = options.device;
+  testbed_config.seed = options.seed;
+  sim::Testbed testbed(testbed_config);
+
+  core::CampaignConfig config;
+  config.mode = options.mode;
+  config.duration = static_cast<SimTime>(options.hours * static_cast<double>(kHour));
+  config.seed = options.seed;
+  config.loop_queue = false;
+  core::Campaign campaign(testbed, config);
+  const auto result = campaign.run();
+
+  std::printf("%s on %s: %llu packets over %s, %zu unique findings\n",
+              core::campaign_mode_name(options.mode),
+              sim::device_model_name(options.device),
+              static_cast<unsigned long long>(result.test_packets),
+              format_sim_time(result.ended_at - result.started_at).c_str(),
+              result.findings.size());
+  for (const auto& finding : result.findings) {
+    std::printf("  bug#%02d %-20s %s\n", finding.matched_bug_id,
+                core::detection_kind_name(finding.kind),
+                to_hex_spaced(finding.payload).c_str());
+  }
+
+  if (!options.log_path.empty()) {
+    std::ofstream out(options.log_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", options.log_path.c_str());
+      return 1;
+    }
+    out << core::serialize_bug_log(result.findings);
+    std::printf("bug log written to %s\n", options.log_path.c_str());
+  }
+  if (!options.report_path.empty()) {
+    std::ofstream out(options.report_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", options.report_path.c_str());
+      return 1;
+    }
+    out << core::render_markdown_report(result, options.device);
+    std::printf("assessment report written to %s\n", options.report_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_minimize(const Options& options) {
+  if (options.log_path.empty()) {
+    std::fprintf(stderr, "minimize needs --log FILE\n");
+    return 2;
+  }
+  std::ifstream in(options.log_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", options.log_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto log = core::parse_bug_log(buffer.str());
+
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = options.device;
+  sim::Testbed testbed(testbed_config);
+  core::PacketTester tester(testbed);
+
+  for (const auto& entry : log) {
+    const Bytes minimal = tester.minimize(entry);
+    std::printf("bug#%-3d %-30s -> %s%s\n", entry.bug_id,
+                to_hex_spaced(entry.payload).c_str(), to_hex_spaced(minimal).c_str(),
+                minimal.size() < entry.payload.size() ? "  (shrunk)" : "");
+  }
+  return 0;
+}
+
+int cmd_replay(const Options& options) {
+  if (options.log_path.empty()) {
+    std::fprintf(stderr, "replay needs --log FILE\n");
+    return 2;
+  }
+  std::ifstream in(options.log_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", options.log_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::size_t rejected = 0;
+  const auto log = core::parse_bug_log(buffer.str(), &rejected);
+  std::printf("loaded %zu entries (%zu rejected lines)\n", log.size(), rejected);
+
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = options.device;
+  testbed_config.seed = options.seed;
+  sim::Testbed testbed(testbed_config);
+  core::PacketTester tester(testbed);
+
+  std::size_t reproduced = 0;
+  for (const auto& result : tester.replay_all(log)) {
+    if (result.reproduced) ++reproduced;
+    std::printf("  %-28s bug#%-3d %s\n", to_hex_spaced(result.entry.payload).c_str(),
+                result.entry.bug_id, result.reproduced ? "REPRODUCED" : "did not reproduce");
+  }
+  std::printf("%zu/%zu reproduced\n", reproduced, log.size());
+  return reproduced == log.size() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_options(argc, argv);
+  if (options.command == "list") return cmd_list();
+  if (options.command == "scan") return cmd_scan(options);
+  if (options.command == "fuzz") return cmd_fuzz(options);
+  if (options.command == "replay") return cmd_replay(options);
+  if (options.command == "minimize") return cmd_minimize(options);
+  std::fprintf(stderr, "unknown command '%s'\n", options.command.c_str());
+  return 2;
+}

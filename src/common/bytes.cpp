@@ -1,0 +1,111 @@
+#include "common/bytes.h"
+
+#include <array>
+#include <cctype>
+
+namespace zc {
+
+namespace {
+
+constexpr char kHexLower[] = "0123456789abcdef";
+constexpr char kHexUpper[] = "0123456789ABCDEF";
+
+int hex_digit_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(ByteView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexLower[b >> 4]);
+    out.push_back(kHexLower[b & 0x0F]);
+  }
+  return out;
+}
+
+std::string to_hex_spaced(ByteView data) {
+  std::string out;
+  out.reserve(data.size() * 5);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i != 0) out.push_back(' ');
+    out += "0x";
+    out.push_back(kHexUpper[data[i] >> 4]);
+    out.push_back(kHexUpper[data[i] & 0x0F]);
+  }
+  return out;
+}
+
+std::optional<Bytes> from_hex(std::string_view text) {
+  Bytes out;
+  int pending = -1;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == ' ' || c == ',' || c == ':' || c == '\t' || c == '\n') {
+      if (pending >= 0) return std::nullopt;  // split mid-byte
+      continue;
+    }
+    // Accept a leading "0x"/"0X" before each byte group.
+    if (c == '0' && i + 1 < text.size() && (text[i + 1] == 'x' || text[i + 1] == 'X') &&
+        pending < 0) {
+      ++i;
+      continue;
+    }
+    int v = hex_digit_value(c);
+    if (v < 0) return std::nullopt;
+    if (pending < 0) {
+      pending = v;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((pending << 4) | v));
+      pending = -1;
+    }
+  }
+  if (pending >= 0) return std::nullopt;
+  return out;
+}
+
+std::uint32_t read_be32(ByteView data, std::size_t offset) {
+  return (static_cast<std::uint32_t>(data[offset]) << 24) |
+         (static_cast<std::uint32_t>(data[offset + 1]) << 16) |
+         (static_cast<std::uint32_t>(data[offset + 2]) << 8) |
+         static_cast<std::uint32_t>(data[offset + 3]);
+}
+
+void write_be32(Bytes& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint16_t read_be16(ByteView data, std::size_t offset) {
+  return static_cast<std::uint16_t>((static_cast<std::uint16_t>(data[offset]) << 8) |
+                                    data[offset + 1]);
+}
+
+void write_be16(Bytes& out, std::uint16_t value) {
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+bool equal_constant_time(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+Bytes concat(ByteView a, ByteView b) {
+  Bytes out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace zc

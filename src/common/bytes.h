@@ -1,0 +1,45 @@
+// Byte-buffer utilities shared by every ZCover module.
+//
+// Z-Wave frames are short (<= 64 bytes on air), so the library passes
+// around `zc::Bytes` (a std::vector<uint8_t>) by value freely and uses
+// std::span<const uint8_t> for read-only views.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zc {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Renders `data` as lowercase hex, e.g. {0xCB, 0x95} -> "cb95".
+std::string to_hex(ByteView data);
+
+/// Renders `data` as spaced uppercase hex pairs, e.g. "0xCB 0x95" style used
+/// by the paper's packet dissection stage (Fig. 4).
+std::string to_hex_spaced(ByteView data);
+
+/// Parses a hex string ("cb95a34a", "CB 95 A3 4A", "0xCB,0x95") into bytes.
+/// Returns std::nullopt on any non-hex content or odd digit count.
+std::optional<Bytes> from_hex(std::string_view text);
+
+/// Big-endian 32-bit read/write helpers (Z-Wave home IDs are 4-byte BE).
+std::uint32_t read_be32(ByteView data, std::size_t offset);
+void write_be32(Bytes& out, std::uint32_t value);
+
+/// Big-endian 16-bit helpers (CRC-16 trailers).
+std::uint16_t read_be16(ByteView data, std::size_t offset);
+void write_be16(Bytes& out, std::uint16_t value);
+
+/// Constant-time comparison, for MAC/checksum verification paths.
+bool equal_constant_time(ByteView a, ByteView b);
+
+/// Concatenates buffers (used when assembling encapsulated payloads).
+Bytes concat(ByteView a, ByteView b);
+
+}  // namespace zc

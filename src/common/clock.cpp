@@ -1,0 +1,57 @@
+#include "common/clock.h"
+
+#include <cstdio>
+
+namespace zc {
+
+std::string format_sim_time(SimTime t) {
+  const std::uint64_t hours = t / kHour;
+  const std::uint64_t minutes = (t % kHour) / kMinute;
+  const std::uint64_t seconds = (t % kMinute) / kSecond;
+  const std::uint64_t millis = (t % kSecond) / kMillisecond;
+  char buf[48];
+  if (hours > 0) {
+    std::snprintf(buf, sizeof(buf), "%lluh%02llum%02llu.%03llus",
+                  static_cast<unsigned long long>(hours),
+                  static_cast<unsigned long long>(minutes),
+                  static_cast<unsigned long long>(seconds),
+                  static_cast<unsigned long long>(millis));
+  } else if (minutes > 0) {
+    std::snprintf(buf, sizeof(buf), "%llum%02llu.%03llus",
+                  static_cast<unsigned long long>(minutes),
+                  static_cast<unsigned long long>(seconds),
+                  static_cast<unsigned long long>(millis));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu.%03llus",
+                  static_cast<unsigned long long>(seconds),
+                  static_cast<unsigned long long>(millis));
+  }
+  return buf;
+}
+
+void EventScheduler::schedule_at(SimTime when, Callback fn) {
+  if (when < now_) when = now_;
+  queue_.push(Item{when, next_seq_++, std::move(fn)});
+}
+
+void EventScheduler::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    // Copy out before pop: the callback may schedule new events.
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    now_ = item.when;
+    item.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void EventScheduler::run_all() {
+  while (!queue_.empty()) {
+    Item item = std::move(const_cast<Item&>(queue_.top()));
+    queue_.pop();
+    now_ = item.when;
+    item.fn();
+  }
+}
+
+}  // namespace zc

@@ -1,0 +1,50 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace zc {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::global() {
+  static Logger instance;
+  return instance;
+}
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::logf(LogLevel level, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  vlogf(level, fmt, args);
+  va_end(args);
+}
+
+void Logger::vlogf(LogLevel level, const char* fmt, va_list args) {
+  if (!enabled(level)) return;
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  if (needed < 0) return;
+  std::string text(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(text.data(), text.size() + 1, fmt, args);
+  if (sink_) {
+    sink_(level, text);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", log_level_name(level), text.c_str());
+  }
+}
+
+}  // namespace zc

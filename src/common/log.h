@@ -1,0 +1,54 @@
+// Minimal leveled logger.
+//
+// ZCover writes a campaign log file (Algorithm 1's Bug_Logs) plus normal
+// diagnostics; this logger keeps both paths allocation-light and lets tests
+// capture output through a custom sink.
+#pragma once
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+namespace zc {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* log_level_name(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Process-wide logger used by default throughout the library.
+  static Logger& global();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Replaces the output sink (default: stderr). Pass nullptr to restore.
+  void set_sink(Sink sink);
+
+  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+
+  void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 3, 4)));
+  void vlogf(LogLevel level, const char* fmt, va_list args);
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+#define ZC_LOG(level, ...)                                       \
+  do {                                                           \
+    if (::zc::Logger::global().enabled(level)) {                 \
+      ::zc::Logger::global().logf(level, __VA_ARGS__);           \
+    }                                                            \
+  } while (0)
+
+#define ZC_TRACE(...) ZC_LOG(::zc::LogLevel::kTrace, __VA_ARGS__)
+#define ZC_DEBUG(...) ZC_LOG(::zc::LogLevel::kDebug, __VA_ARGS__)
+#define ZC_INFO(...) ZC_LOG(::zc::LogLevel::kInfo, __VA_ARGS__)
+#define ZC_WARN(...) ZC_LOG(::zc::LogLevel::kWarn, __VA_ARGS__)
+#define ZC_ERROR(...) ZC_LOG(::zc::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace zc

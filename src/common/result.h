@@ -1,0 +1,120 @@
+// A minimal expected-style result type.
+//
+// ZCover runs as an external black-box tester: malformed frames, rejected
+// packets and radio noise are *expected* outcomes, not exceptional ones, so
+// decode/verify paths return Result<T> instead of throwing (exceptions are
+// reserved for programming errors / broken invariants).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace zc {
+
+enum class Errc {
+  kOk = 0,
+  kTruncated,        // buffer shorter than the layout requires
+  kBadChecksum,      // CS-8 / CRC-16 mismatch
+  kBadLength,        // LEN field disagrees with physical size
+  kBadField,         // a field holds an illegal value
+  kUnsupported,      // feature/CMDCL not implemented by the peer
+  kAuthFailed,       // S0/S2 MAC verification failed
+  kNotJoined,        // node not part of the network
+  kTimeout,          // no response within the deadline
+  kBusy,             // device busy / resource exhausted
+  kInternal,         // simulator-internal failure
+};
+
+/// Human-readable name of an error code (stable, for logs and tests).
+const char* errc_name(Errc code);
+
+struct Error {
+  Errc code = Errc::kInternal;
+  std::string message;
+};
+
+/// Result<T>: holds either a value or an Error. Intentionally tiny — just
+/// enough expected<> surface for this codebase (C++23 std::expected is not
+/// assumed available).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}                    // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}                // NOLINT(google-explicit-constructor)
+  Result(Errc code, std::string message)
+      : data_(Error{code, std::move(message)}) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+  Errc code() const { return ok() ? Errc::kOk : error().code; }
+
+  /// Returns the value or `fallback` when this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT(google-explicit-constructor)
+  Status(Errc code, std::string message)
+      : error_{code, std::move(message)}, failed_(true) {}
+
+  static Status ok_status() { return {}; }
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+  Errc code() const { return failed_ ? error_.code : Errc::kOk; }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+inline const char* errc_name(Errc code) {
+  switch (code) {
+    case Errc::kOk: return "ok";
+    case Errc::kTruncated: return "truncated";
+    case Errc::kBadChecksum: return "bad_checksum";
+    case Errc::kBadLength: return "bad_length";
+    case Errc::kBadField: return "bad_field";
+    case Errc::kUnsupported: return "unsupported";
+    case Errc::kAuthFailed: return "auth_failed";
+    case Errc::kNotJoined: return "not_joined";
+    case Errc::kTimeout: return "timeout";
+    case Errc::kBusy: return "busy";
+    case Errc::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace zc

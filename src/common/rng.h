@@ -1,0 +1,53 @@
+// Deterministic random number generation.
+//
+// Every stochastic decision in ZCover (mutation choices, radio noise, loss)
+// flows from a single seed so that campaigns replay bit-identically — the
+// property the paper relies on when re-validating bug-inducing packets from
+// the log file (Algorithm 1, line 16).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+
+namespace zc {
+
+/// xoshiro256** seeded via SplitMix64. Not cryptographic; the crypto module
+/// has its own DRBG for S2 nonces.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedC0DE2C04E4ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+  std::uint8_t next_byte() { return static_cast<std::uint8_t>(next_u64() >> 56); }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Picks a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    return items[static_cast<std::size_t>(uniform(0, items.size() - 1))];
+  }
+
+  /// Fills `n` random bytes.
+  Bytes bytes(std::size_t n);
+
+  /// Derives an independent child generator (for per-device noise streams).
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace zc

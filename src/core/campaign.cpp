@@ -1,0 +1,439 @@
+#include "core/campaign.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace zc::core {
+
+namespace {
+
+constexpr SimTime kInterTestGap = 300 * kMillisecond;
+constexpr SimTime kOracleTimeout = 200 * kMillisecond;
+constexpr std::uint16_t kNoParam = 0x100;
+constexpr std::uint16_t kAnyParam = 0x1FF;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ULL;
+  return h;
+}
+
+}  // namespace
+
+TrialSummary run_trials(const sim::TestbedConfig& testbed_config,
+                        const CampaignConfig& campaign_config, std::size_t trials) {
+  TrialSummary summary;
+  summary.trials = trials;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    sim::TestbedConfig tb = testbed_config;
+    tb.seed = testbed_config.seed + trial * 0x9E3779B9ULL;
+    CampaignConfig config = campaign_config;
+    config.seed = campaign_config.seed + trial * 0xC2B2AE35ULL;
+
+    sim::Testbed testbed(tb);
+    Campaign campaign(testbed, config);
+    const CampaignResult result = campaign.run();
+
+    std::set<int> unique;
+    std::optional<SimTime> first;
+    for (const auto& finding : result.findings) {
+      if (finding.matched_bug_id > 0) unique.insert(finding.matched_bug_id);
+      if (!first.has_value()) first = finding.detected_at - result.started_at;
+    }
+    summary.union_bug_ids.insert(unique.begin(), unique.end());
+    summary.per_trial_unique.push_back(unique.size());
+    summary.first_finding_at.push_back(first.value_or(0));
+    summary.total_packets += result.test_packets;
+  }
+  return summary;
+}
+
+const char* campaign_mode_name(CampaignMode mode) {
+  switch (mode) {
+    case CampaignMode::kFull: return "ZCover full";
+    case CampaignMode::kKnownOnly: return "ZCover beta (known CMDCLs only)";
+    case CampaignMode::kRandom: return "ZCover gamma (random mutation)";
+  }
+  return "?";
+}
+
+const char* detection_kind_name(DetectionKind kind) {
+  switch (kind) {
+    case DetectionKind::kServiceInterruption: return "service-interruption";
+    case DetectionKind::kMemoryTampering: return "memory-tampering";
+    case DetectionKind::kHostCrash: return "host-crash";
+    case DetectionKind::kHostDoS: return "host-dos";
+  }
+  return "?";
+}
+
+Campaign::Campaign(sim::Testbed& testbed, CampaignConfig config)
+    : testbed_(testbed),
+      config_(config),
+      rng_(config.seed),
+      dongle_(testbed.medium(), testbed.scheduler(),
+              testbed.attacker_radio_config("zcover-dongle")) {
+  // Resume: retire everything a previous session already confirmed.
+  for (const Bytes& payload_bytes : config_.known_payloads) {
+    const auto payload = zwave::decode_app_payload(payload_bytes);
+    if (!payload.ok()) continue;
+    const Signature sig = signature_of(payload.value());
+    blacklist_.insert(sig);
+    reported_signatures_.insert(sig);
+    const int bug_id =
+        correlate_ground_truth(payload.value(), DetectionKind::kMemoryTampering);
+    if (bug_id > 0) reported_bug_ids_.insert(bug_id);
+    // Parameter-selected families (the NODE_TABLE_UPDATE operations) stay
+    // exact so sibling operations remain discoverable; everything else
+    // retires the whole (class, command).
+    const auto* spec = sim::find_vulnerability(bug_id);
+    if (spec == nullptr || !spec->operation.has_value()) {
+      blacklist_.insert(Signature{sig.cc, sig.cmd, kAnyParam});
+    }
+  }
+}
+
+Campaign::Signature Campaign::signature_of(const zwave::AppPayload& payload) {
+  return Signature{payload.cmd_class, payload.command,
+                   payload.params.empty() ? kNoParam
+                                          : static_cast<std::uint16_t>(payload.params[0])};
+}
+
+FingerprintReport Campaign::fingerprint() {
+  FingerprintReport report;
+
+  // Phase 1a: passive scanning (needs ambient slave traffic).
+  PassiveScanner passive(dongle_);
+  report.passive = passive.scan(90 * kSecond);
+  home_ = report.passive.home_id.value_or(testbed_.controller().home_id());
+  target_ = report.passive.controller.value_or(zwave::kControllerNodeId);
+
+  // Phase 1b: active scanning.
+  ActiveScanner active(dongle_, home_, target_, kAttackerNodeId);
+  report.active = active.scan();
+
+  // Phase 2: unknown-property discovery.
+  UnknownPropertyExtractor extractor(dongle_, home_, target_, kAttackerNodeId);
+  report.discovery = extractor.discover(report.active.listed);
+
+  // Queue assembly + prioritization (§III-C1).
+  std::vector<zwave::CommandClassId> queue = report.active.listed;
+  if (config_.mode == CampaignMode::kFull) {
+    const auto unknown = report.discovery.unknown();
+    queue.insert(queue.end(), unknown.begin(), unknown.end());
+  }
+  report.fuzz_queue = UnknownPropertyExtractor::prioritize(queue, report.active.listed);
+  return report;
+}
+
+CampaignResult Campaign::run() {
+  CampaignResult result;
+  result.started_at = testbed_.scheduler().now();
+  result.fingerprint = fingerprint();
+
+  baseline_digest_ = query_table_digest();
+  last_host_state_ = testbed_.controller().host().state();
+  triggers_seen_ = testbed_.controller().triggered().size();
+
+  if (config_.mode == CampaignMode::kRandom) {
+    fuzz_random(result);
+  } else {
+    fuzz(result);
+  }
+  result.ended_at = testbed_.scheduler().now();
+  // Coverage for Table V's CMD column: the distinct (class, command) pairs
+  // the SUT's firmware genuinely dispatched during the campaign, read from
+  // the device instrumentation after the run.
+  result.accepted_pairs = testbed_.controller().stats().accepted_pairs;
+  return result;
+}
+
+void Campaign::fuzz(CampaignResult& result) {
+  const SimTime hard_deadline = testbed_.scheduler().now() + config_.duration;
+  while (testbed_.scheduler().now() < hard_deadline) {
+    for (zwave::CommandClassId cc : result.fingerprint.fuzz_queue) {
+      if (testbed_.scheduler().now() >= hard_deadline) break;
+      fuzz_class(result, cc, hard_deadline);
+    }
+    if (!config_.loop_queue || result.fingerprint.fuzz_queue.empty()) break;
+  }
+}
+
+void Campaign::fuzz_class(CampaignResult& result, zwave::CommandClassId cc,
+                          SimTime hard_deadline) {
+  result.classes_fuzzed.insert(cc);
+  PositionSensitiveMutator mutator(rng_, cc);
+  const SimTime class_deadline = testbed_.scheduler().now() + config_.per_class_budget;
+
+  while (testbed_.scheduler().now() < hard_deadline) {
+    const bool systematic = mutator.in_systematic_phase();
+    if (!systematic && testbed_.scheduler().now() >= class_deadline) break;
+    const zwave::AppPayload payload = mutator.next();
+
+    const Signature sig = signature_of(payload);
+    const Signature wildcard{sig.cc, sig.cmd, kAnyParam};
+    if (blacklist_.contains(sig) || blacklist_.contains(wildcard)) continue;
+
+    execute_test(result, payload);
+  }
+}
+
+void Campaign::fuzz_random(CampaignResult& result) {
+  const SimTime hard_deadline = testbed_.scheduler().now() + config_.duration;
+  RandomMutator mutator(rng_);
+
+  while (testbed_.scheduler().now() < hard_deadline) {
+    // Blind volley: no per-packet feedback (the γ arm has none of ZCover's
+    // pacing or properties).
+    std::vector<zwave::AppPayload> batch;
+    for (std::size_t i = 0; i < config_.random_batch; ++i) {
+      batch.push_back(mutator.next());
+      result.classes_fuzzed.insert(batch.back().cmd_class);
+      dongle_.send_app(home_, kAttackerNodeId, target_, batch.back());
+      note_packet(result);
+      dongle_.run_for(50 * kMillisecond);
+    }
+
+    // Coarse oracle pass over the whole batch.
+    const bool alive = probe_liveness();
+    const auto digest = alive ? query_table_digest() : std::nullopt;
+    const bool table_changed =
+        digest.has_value() && baseline_digest_.has_value() && *digest != *baseline_digest_;
+    const bool host_changed = testbed_.controller().host().state() != last_host_state_;
+
+    if (alive && !table_changed && !host_changed) continue;
+
+    // Anomaly: recover the testbed, then triage by replaying candidates
+    // one at a time with full oracles (crash triage / PoC verification).
+    if (!alive) await_recovery();
+    testbed_.restore_network();
+    testbed_.controller().host().restart();
+    last_host_state_ = testbed_.controller().host().state();
+    baseline_digest_ = query_table_digest();
+
+    for (const auto& payload : batch) {
+      if (testbed_.scheduler().now() >= hard_deadline) break;
+      const Signature sig = signature_of(payload);
+      const Signature wildcard{sig.cc, sig.cmd, kAnyParam};
+      if (blacklist_.contains(sig) || blacklist_.contains(wildcard)) continue;
+      execute_test(result, payload);
+    }
+  }
+}
+
+bool Campaign::execute_test(CampaignResult& result, const zwave::AppPayload& payload) {
+  const std::size_t findings_before = result.findings.size();
+
+  dongle_.send_app(home_, kAttackerNodeId, target_, payload);
+  note_packet(result);
+
+  // Drain the controller's reaction within the response window. The reply
+  // classification (positive response vs APPLICATION_STATUS rejection) is
+  // what the feedback loop of Fig. 7 feeds back into test generation.
+  const SimTime window_end = testbed_.scheduler().now() + config_.response_window;
+  while (testbed_.scheduler().now() < window_end) {
+    const auto reply = dongle_.await_frame(
+        [&](const zwave::MacFrame& frame) {
+          return frame.home_id == home_ && frame.src == target_ &&
+                 frame.dst == kAttackerNodeId && frame.header != zwave::HeaderType::kAck;
+        },
+        window_end - testbed_.scheduler().now());
+    if (!reply.has_value()) break;
+  }
+
+  run_oracles(result, payload);
+  dongle_.run_for(kInterTestGap);
+  return result.findings.size() != findings_before;
+}
+
+void Campaign::run_oracles(CampaignResult& result, const zwave::AppPayload& suspect) {
+  // Oracle 1: host software (the operator watches the app / PC program).
+  const auto host_state = testbed_.controller().host().state();
+  if (host_state != last_host_state_ &&
+      host_state != sim::HostSoftware::State::kRunning) {
+    record_finding(result, suspect,
+                   host_state == sim::HostSoftware::State::kCrashed
+                       ? DetectionKind::kHostCrash
+                       : DetectionKind::kHostDoS);
+    testbed_.controller().host().restart();
+  }
+  last_host_state_ = testbed_.controller().host().state();
+
+  // Oracle 2: liveness (NOP ping).
+  if (!probe_liveness()) {
+    if (config_.confirm_findings) {
+      // Wait the apparent outage out, replay the suspect, and require the
+      // silence to reproduce — transient RF loss does not.
+      await_recovery();
+      dongle_.send_app(home_, kAttackerNodeId, target_, suspect);
+      dongle_.run_for(config_.response_window);
+      if (probe_liveness()) return;  // transient: not a finding
+    }
+    record_finding(result, suspect, DetectionKind::kServiceInterruption);
+    await_recovery();
+    return;  // the outage window hid any concurrent table change
+  }
+
+  // Oracle 3: memory tampering via the node-list / cached-info surface.
+  const auto digest = query_table_digest();
+  if (digest.has_value() && baseline_digest_.has_value() && *digest != *baseline_digest_) {
+    record_finding(result, suspect, DetectionKind::kMemoryTampering);
+    testbed_.restore_network();
+    baseline_digest_ = query_table_digest();
+  } else if (digest.has_value() && !baseline_digest_.has_value()) {
+    baseline_digest_ = digest;
+  }
+}
+
+bool Campaign::probe_liveness() {
+  for (std::size_t attempt = 0; attempt < std::max<std::size_t>(1, config_.liveness_attempts);
+       ++attempt) {
+    dongle_.send_app(home_, kAttackerNodeId, target_, zwave::make_nop());
+    if (dongle_.await_ack(home_, target_, kAttackerNodeId, config_.liveness_timeout)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Campaign::await_recovery() {
+  const SimTime give_up = testbed_.scheduler().now() + config_.recovery_give_up;
+  while (testbed_.scheduler().now() < give_up) {
+    dongle_.run_for(config_.recovery_poll);
+    if (probe_liveness()) return;
+  }
+  // Infinite outage: the operator power-cycles the device.
+  testbed_.controller().operator_recover();
+  dongle_.run_for(1 * kSecond);
+}
+
+std::optional<std::uint64_t> Campaign::query_table_digest() {
+  // Node list.
+  zwave::AppPayload list_get;
+  list_get.cmd_class = 0x52;
+  list_get.command = 0x01;
+  list_get.params = {0x01};
+  dongle_.send_app(home_, kAttackerNodeId, target_, list_get);
+  const auto list_reply = dongle_.await_frame(
+      [&](const zwave::MacFrame& frame) {
+        if (frame.home_id != home_ || frame.src != target_ || frame.dst != kAttackerNodeId)
+          return false;
+        const auto app = zwave::decode_app_payload(frame.payload);
+        return app.ok() && app.value().cmd_class == 0x52 && app.value().command == 0x02;
+      },
+      kOracleTimeout);
+  if (!list_reply.has_value()) return std::nullopt;
+
+  const auto list_app = zwave::decode_app_payload(list_reply->payload);
+  const auto& params = list_app.value().params;
+  if (params.size() < 3) return std::nullopt;
+
+  std::uint64_t digest = 1469598103934665603ULL;
+  std::vector<zwave::NodeId> members;
+  for (std::size_t i = 3; i < params.size(); ++i) {
+    digest = fnv_mix(digest, params[i]);
+    for (int bit = 0; bit < 8; ++bit) {
+      if (params[i] & (1 << bit)) {
+        members.push_back(static_cast<zwave::NodeId>((i - 3) * 8 + bit + 1));
+      }
+    }
+  }
+
+  // Cached info per member (type / security / wake-up bytes).
+  for (zwave::NodeId member : members) {
+    zwave::AppPayload info_get;
+    info_get.cmd_class = 0x52;
+    info_get.command = 0x03;
+    info_get.params = {0x02, member};
+    dongle_.send_app(home_, kAttackerNodeId, target_, info_get);
+    const auto info_reply = dongle_.await_frame(
+        [&](const zwave::MacFrame& frame) {
+          if (frame.home_id != home_ || frame.src != target_ || frame.dst != kAttackerNodeId)
+            return false;
+          const auto app = zwave::decode_app_payload(frame.payload);
+          return app.ok() && app.value().cmd_class == 0x52 && app.value().command == 0x04;
+        },
+        kOracleTimeout);
+    if (!info_reply.has_value()) return std::nullopt;
+    const auto info_app = zwave::decode_app_payload(info_reply->payload);
+    digest = fnv_mix(digest, member);
+    for (std::uint8_t b : info_app.value().params) digest = fnv_mix(digest, b);
+  }
+  return digest;
+}
+
+void Campaign::record_finding(CampaignResult& result, const zwave::AppPayload& payload,
+                              DetectionKind kind) {
+  const Signature sig = signature_of(payload);
+
+  // Blacklist so we stop re-triggering the same outage. Memory tampering is
+  // parameter-selected (the NODE_TABLE_UPDATE operation byte), so only the
+  // exact signature is retired; everything else retires (class, command).
+  if (kind == DetectionKind::kMemoryTampering) {
+    blacklist_.insert(sig);
+  } else {
+    blacklist_.insert(Signature{sig.cc, sig.cmd, kAnyParam});
+  }
+
+  // Attribution — the paper's manual-verification step: the operator
+  // confirms which flaw fired by inspecting the device after the anomaly.
+  // The SUT's trigger log stands in for that expert analysis; the payload
+  // signature remains the fallback for anything the log cannot explain.
+  int matched = -1;
+  const auto& triggered = testbed_.controller().triggered();
+  if (triggered.size() > triggers_seen_) {
+    matched = triggered.back().bug_id;
+    triggers_seen_ = triggered.size();
+  } else {
+    matched = correlate_ground_truth(payload, kind);
+  }
+
+  // Unique-vulnerability dedupe: by confirmed root cause when attributable,
+  // by payload signature otherwise.
+  if (matched > 0) {
+    if (!reported_bug_ids_.insert(matched).second) return;
+  } else if (!reported_signatures_.insert(sig).second) {
+    return;
+  }
+
+  BugFinding finding;
+  finding.payload = payload.encode();
+  finding.cmd_class = payload.cmd_class;
+  finding.command = payload.command;
+  if (!payload.params.empty()) finding.first_param = payload.params[0];
+  finding.kind = kind;
+  finding.detected_at = testbed_.scheduler().now();
+  finding.packets_sent = result.test_packets;
+  finding.matched_bug_id = matched;
+  ZC_INFO("finding: cc=%02X cmd=%02X kind=%s bug#%d at %s", finding.cmd_class,
+          finding.command, detection_kind_name(kind), finding.matched_bug_id,
+          format_sim_time(finding.detected_at).c_str());
+  result.findings.push_back(std::move(finding));
+}
+
+void Campaign::note_packet(CampaignResult& result) {
+  ++result.test_packets;
+  const SimTime now = testbed_.scheduler().now();
+  if (result.packet_timeline.empty() ||
+      now - result.packet_timeline.back().first >= 10 * kSecond) {
+    result.packet_timeline.emplace_back(now, result.test_packets);
+  }
+}
+
+int Campaign::correlate_ground_truth(const zwave::AppPayload& payload,
+                                     DetectionKind kind) const {
+  (void)kind;
+  const sim::DeviceModel model = testbed_.controller().model();
+  for (const auto& spec : sim::vulnerability_matrix()) {
+    if (!spec.affects(model)) continue;
+    if (spec.cmd_class != payload.cmd_class || spec.command != payload.command) continue;
+    if (spec.operation.has_value()) {
+      if (payload.params.empty() || payload.params[0] != *spec.operation) continue;
+    }
+    return spec.bug_id;
+  }
+  return -1;
+}
+
+}  // namespace zc::core

@@ -1,0 +1,178 @@
+// The ZCover campaign engine: Algorithm 1 plus the feedback loop of Fig. 7.
+//
+// A campaign chains the three phases — fingerprinting, unknown-property
+// discovery, position-sensitive fuzzing — against a simulated testbed, and
+// detects vulnerabilities through three oracles the real researchers used:
+//
+//  * liveness: a NOP ping after every test case; silence means a service
+//    interruption (§IV-A "Feedback & crash verification"),
+//  * memory tampering: the controller's own node-list / cached-node-info
+//    protocol surface, the same view the PC-controller UI renders in
+//    Figs. 8-11,
+//  * host software: the operator watches the companion app / PC program.
+//
+// Modes implement the ablation arms of Table VI: kFull, kKnownOnly (β) and
+// kRandom (γ, batched blind fuzzing with replay triage).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/dongle.h"
+#include "core/extractor.h"
+#include "core/mutator.h"
+#include "core/scanner.h"
+#include "sim/testbed.h"
+
+namespace zc::core {
+
+enum class CampaignMode { kFull, kKnownOnly, kRandom };
+
+const char* campaign_mode_name(CampaignMode mode);
+
+struct CampaignConfig {
+  CampaignMode mode = CampaignMode::kFull;
+  SimTime duration = 24 * kHour;          // Testing_T of Algorithm 1
+  SimTime per_class_budget = 30 * kSecond;  // C_T (systematic phase always completes)
+  SimTime response_window = 150 * kMillisecond;
+  SimTime liveness_timeout = 400 * kMillisecond;
+  /// NOP probe attempts before declaring a service interruption. One lost
+  /// ack on a noisy channel must not count as a crash (§IV-A's liveliness
+  /// monitoring runs on real, lossy RF).
+  std::size_t liveness_attempts = 2;
+  /// Inline confirmation: after an apparent outage recovers, replay the
+  /// suspect payload and require the outage to reproduce before logging.
+  /// Off by default — the paper verifies findings offline (packet tester);
+  /// turn on for very lossy channels.
+  bool confirm_findings = false;
+  /// Resume support: bug-inducing payloads from a previous session's log.
+  /// Their signatures are pre-blacklisted so a follow-up campaign neither
+  /// re-reports nor re-triggers them (each entry's payload is the
+  /// serialized application payload, as in the log file).
+  std::vector<Bytes> known_payloads;
+  SimTime recovery_poll = 5 * kSecond;
+  SimTime recovery_give_up = 6 * kMinute;  // then operator power-cycles
+  std::uint64_t seed = 0x2C07E12F;
+  /// When the prioritized queue drains before `duration`, start another
+  /// randomized pass (matches the paper's fixed 24 h trials).
+  bool loop_queue = true;
+  /// kRandom only: blind packets per batch before an oracle check.
+  std::size_t random_batch = 10;
+};
+
+enum class DetectionKind : std::uint8_t {
+  kServiceInterruption,
+  kMemoryTampering,
+  kHostCrash,
+  kHostDoS,
+};
+
+const char* detection_kind_name(DetectionKind kind);
+
+/// One confirmed unique finding (a Bug_Logs entry of Algorithm 1).
+struct BugFinding {
+  Bytes payload;                       // bug-inducing application payload
+  zwave::CommandClassId cmd_class = 0;
+  zwave::CommandId command = 0;
+  std::optional<std::uint8_t> first_param;
+  DetectionKind kind = DetectionKind::kServiceInterruption;
+  SimTime detected_at = 0;
+  std::uint64_t packets_sent = 0;      // test packets at detection (Fig. 12)
+  /// Ground-truth correlation via the public signature tables
+  /// (vulnerability_matrix / mac_quirk_matrix); -1 when unmatched.
+  int matched_bug_id = -1;
+};
+
+struct FingerprintReport {
+  PassiveScanResult passive;
+  ActiveScanResult active;
+  DiscoveryResult discovery;
+  std::vector<zwave::CommandClassId> fuzz_queue;  // prioritized
+};
+
+struct CampaignResult {
+  FingerprintReport fingerprint;
+  std::vector<BugFinding> findings;      // unique, in discovery order
+  std::uint64_t test_packets = 0;
+  SimTime started_at = 0;
+  SimTime ended_at = 0;
+  std::set<zwave::CommandClassId> classes_fuzzed;
+  /// Distinct (class, command) pairs the controller accepted (did not
+  /// reject with APPLICATION_STATUS) — Table V's "CMD" column.
+  std::set<std::pair<zwave::CommandClassId, zwave::CommandId>> accepted_pairs;
+  /// (time, packets) samples every ~10 s of virtual time, for Fig. 12.
+  std::vector<std::pair<SimTime, std::uint64_t>> packet_timeline;
+};
+
+/// Aggregate of N independent trials — the paper's methodology runs five
+/// 24-hour trials per controller ("Following recommended fuzzing
+/// practices"). Each trial gets a fresh testbed and a derived seed.
+struct TrialSummary {
+  std::size_t trials = 0;
+  std::set<int> union_bug_ids;             // unique across all trials
+  std::vector<std::size_t> per_trial_unique;
+  std::vector<SimTime> first_finding_at;   // relative to each trial's start
+  std::uint64_t total_packets = 0;
+};
+
+TrialSummary run_trials(const sim::TestbedConfig& testbed_config,
+                        const CampaignConfig& campaign_config, std::size_t trials);
+
+class Campaign {
+ public:
+  Campaign(sim::Testbed& testbed, CampaignConfig config);
+
+  /// Phase 1+2 only (Table IV). Reusable without fuzzing.
+  FingerprintReport fingerprint();
+
+  /// Full pipeline: fingerprint + fuzz until the configured duration.
+  CampaignResult run();
+
+  ZWaveDongle& dongle() { return dongle_; }
+
+  /// The attacker's spoofed node id.
+  static constexpr zwave::NodeId kAttackerNodeId = 0xE7;
+
+ private:
+  struct Signature {
+    zwave::CommandClassId cc;
+    zwave::CommandId cmd;
+    std::uint16_t param0;  // 0x100 = no parameter
+    auto operator<=>(const Signature&) const = default;
+  };
+  static Signature signature_of(const zwave::AppPayload& payload);
+
+  void fuzz(CampaignResult& result);
+  void fuzz_class(CampaignResult& result, zwave::CommandClassId cc, SimTime hard_deadline);
+  void fuzz_random(CampaignResult& result);
+
+  /// Sends one test payload and runs every oracle. Returns true when any
+  /// new finding was recorded.
+  bool execute_test(CampaignResult& result, const zwave::AppPayload& payload);
+  void run_oracles(CampaignResult& result, const zwave::AppPayload& suspect);
+  bool probe_liveness();
+  void await_recovery();
+  std::optional<std::uint64_t> query_table_digest();
+  void record_finding(CampaignResult& result, const zwave::AppPayload& payload,
+                      DetectionKind kind);
+  void note_packet(CampaignResult& result);
+  int correlate_ground_truth(const zwave::AppPayload& payload, DetectionKind kind) const;
+
+  sim::Testbed& testbed_;
+  CampaignConfig config_;
+  Rng rng_;
+  ZWaveDongle dongle_;
+  zwave::HomeId home_ = 0;
+  zwave::NodeId target_ = zwave::kControllerNodeId;
+
+  std::set<Signature> blacklist_;
+  std::set<Signature> reported_signatures_;  // dedupe for unattributed finds
+  std::set<int> reported_bug_ids_;           // dedupe by confirmed root cause
+  std::size_t triggers_seen_ = 0;            // cursor into the SUT trigger log
+  std::optional<std::uint64_t> baseline_digest_;
+  sim::HostSoftware::State last_host_state_ = sim::HostSoftware::State::kRunning;
+};
+
+}  // namespace zc::core

@@ -1,0 +1,83 @@
+#include "core/dongle.h"
+
+namespace zc::core {
+
+namespace {
+constexpr SimTime kPollStep = 2 * kMillisecond;
+}
+
+ZWaveDongle::ZWaveDongle(radio::RfMedium& medium, EventScheduler& scheduler,
+                         radio::RadioConfig config)
+    : scheduler_(scheduler), radio_(medium, std::move(config)) {
+  radio_.set_bits_handler(
+      [this](const radio::BitStream& bits, double rssi) { on_bits(bits, rssi); });
+}
+
+bool ZWaveDongle::configuration_valid() const {
+  const std::uint32_t khz = zwave::rf_region_khz(radio_.config().region);
+  return khz >= 800000 && khz <= 930000;
+}
+
+void ZWaveDongle::on_bits(const radio::BitStream& bits, double rssi_dbm) {
+  const auto raw = radio::decode_transmission(bits);
+  CapturedFrame captured;
+  captured.at = scheduler_.now();
+  captured.rssi_dbm = rssi_dbm;
+  captured.raw_bit_count = bits.size();
+  if (raw.ok()) {
+    captured.hex = to_hex(raw.value());
+    auto frame = zwave::decode_frame(raw.value());
+    if (frame.ok()) {
+      captured.frame = frame.value();
+      inbox_.emplace_back(scheduler_.now(), std::move(frame).take());
+    }
+  }
+  if (capturing_) captures_.push_back(std::move(captured));
+}
+
+void ZWaveDongle::inject(const zwave::MacFrame& frame) {
+  auto encoded = frame.encode();
+  if (!encoded.ok()) return;
+  ++injected_;
+  radio_.transmit(encoded.value());
+}
+
+void ZWaveDongle::inject_raw(ByteView frame_bytes) {
+  ++injected_;
+  radio_.transmit(frame_bytes);
+}
+
+void ZWaveDongle::send_app(zwave::HomeId home, zwave::NodeId src, zwave::NodeId dst,
+                           const zwave::AppPayload& payload, bool ack_requested) {
+  inject(zwave::make_singlecast(home, src, dst, payload, tx_sequence_++ & 0x0F,
+                                ack_requested));
+}
+
+std::optional<zwave::MacFrame> ZWaveDongle::await_frame(const FramePredicate& pred,
+                                                        SimTime timeout) {
+  const SimTime since = scheduler_.now();
+  const SimTime deadline = since + timeout;
+  while (true) {
+    while (!inbox_.empty()) {
+      auto [at, frame] = std::move(inbox_.front());
+      inbox_.pop_front();
+      if (at < since) continue;  // stale: predates this exchange
+      if (pred(frame)) return frame;
+    }
+    if (scheduler_.now() >= deadline) return std::nullopt;
+    scheduler_.run_for(std::min(kPollStep, deadline - scheduler_.now()));
+  }
+}
+
+bool ZWaveDongle::await_ack(zwave::HomeId home, zwave::NodeId from, zwave::NodeId self,
+                            SimTime timeout) {
+  return await_frame(
+             [&](const zwave::MacFrame& frame) {
+               return frame.home_id == home && frame.src == from && frame.dst == self &&
+                      frame.header == zwave::HeaderType::kAck;
+             },
+             timeout)
+      .has_value();
+}
+
+}  // namespace zc::core

@@ -1,0 +1,87 @@
+// The ZCover RF front-end: a software model of the Yardstick One dongle.
+//
+// Runs promiscuously on the shared medium and exposes the exact pipeline
+// of the paper's Fig. 4: raw demodulated bits -> preamble/SOF stripping ->
+// hex frame bytes -> MAC dissection. Injection can send well-formed frames
+// or raw byte blobs (for deliberately broken LEN/CS fuzz cases).
+//
+// Because the whole system is discrete-event and single-threaded, the
+// dongle also owns the "wait for a response" primitives that drive the
+// scheduler forward while watching its inbox.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "radio/medium.h"
+#include "zwave/frame.h"
+
+namespace zc::core {
+
+/// One sniffed transmission, with every stage of the dissection pipeline
+/// kept for display/logging (Fig. 4's raw -> hex -> fields view).
+struct CapturedFrame {
+  SimTime at = 0;
+  double rssi_dbm = 0.0;
+  std::size_t raw_bit_count = 0;
+  std::string hex;                       // frame bytes as hex
+  std::optional<zwave::MacFrame> frame;  // nullopt: failed MAC validation
+};
+
+class ZWaveDongle {
+ public:
+  ZWaveDongle(radio::RfMedium& medium, EventScheduler& scheduler,
+              radio::RadioConfig config);
+
+  /// Verifies the RF configuration (region/frequency), Fig. 4 step 1.
+  bool configuration_valid() const;
+
+  // --- capture -------------------------------------------------------------
+  void start_capture() { capturing_ = true; }
+  void stop_capture() { capturing_ = false; }
+  const std::vector<CapturedFrame>& captures() const { return captures_; }
+  void clear_captures() { captures_.clear(); }
+
+  // --- injection -----------------------------------------------------------
+  void inject(const zwave::MacFrame& frame);
+  void inject_raw(ByteView frame_bytes);
+  /// Builds and injects a singlecast application frame.
+  void send_app(zwave::HomeId home, zwave::NodeId src, zwave::NodeId dst,
+                const zwave::AppPayload& payload, bool ack_requested = true);
+
+  // --- scheduler-driving waits ----------------------------------------------
+  using FramePredicate = std::function<bool(const zwave::MacFrame&)>;
+
+  /// Runs virtual time forward until a frame matching `pred` arrives or
+  /// `timeout` elapses. Only frames *received at or after the call* are
+  /// considered (stale inbox entries are discarded — responses cannot be
+  /// correlated with probes sent later). Consumes matching and earlier
+  /// frames from the inbox.
+  std::optional<zwave::MacFrame> await_frame(const FramePredicate& pred, SimTime timeout);
+
+  /// Waits for a MAC acknowledgment from `from` addressed to us.
+  bool await_ack(zwave::HomeId home, zwave::NodeId from, zwave::NodeId self, SimTime timeout);
+
+  /// Plain time advance.
+  void run_for(SimTime duration) { scheduler_.run_for(duration); }
+
+  EventScheduler& scheduler() { return scheduler_; }
+  std::uint64_t injected() const { return injected_; }
+
+ private:
+  void on_bits(const radio::BitStream& bits, double rssi_dbm);
+
+  EventScheduler& scheduler_;
+  radio::Transceiver radio_;
+  bool capturing_ = false;
+  std::vector<CapturedFrame> captures_;
+  std::deque<std::pair<SimTime, zwave::MacFrame>> inbox_;
+  std::uint8_t tx_sequence_ = 1;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace zc::core

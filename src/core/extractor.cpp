@@ -1,0 +1,104 @@
+#include "core/extractor.h"
+
+#include <algorithm>
+
+namespace zc::core {
+
+std::vector<zwave::CommandClassId> DiscoveryResult::unknown() const {
+  std::vector<zwave::CommandClassId> all = spec_candidates;
+  all.insert(all.end(), proprietary.begin(), proprietary.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+std::vector<zwave::CommandClassId> UnknownPropertyExtractor::cluster_spec_candidates(
+    const std::vector<zwave::CommandClassId>& listed) {
+  const auto cluster =
+      zwave::SpecDatabase::instance().controller_cluster(/*include_unlisted=*/false);
+  std::vector<zwave::CommandClassId> candidates;
+  for (zwave::CommandClassId id : cluster) {
+    if (std::find(listed.begin(), listed.end(), id) == listed.end()) {
+      candidates.push_back(id);
+    }
+  }
+  return candidates;
+}
+
+std::set<zwave::CommandClassId> UnknownPropertyExtractor::validation_sweep(
+    std::uint8_t probe_ceiling, SimTime per_probe_timeout) {
+  std::set<zwave::CommandClassId> validated;
+  for (unsigned cc = 0x00; cc <= probe_ceiling; ++cc) {
+    // Algorithm 1's initial payload shape: [CMDCL, 0x00, 0x00]. Command
+    // 0x00 is (almost) never assigned, so a supported class answers with a
+    // well-formed rejection while an unsupported one stays silent.
+    zwave::AppPayload probe;
+    probe.cmd_class = static_cast<zwave::CommandClassId>(cc);
+    probe.command = 0x00;
+    probe.params = {0x00};
+    dongle_.send_app(home_, self_, target_, probe);
+
+    const auto reaction = dongle_.await_frame(
+        [&](const zwave::MacFrame& frame) {
+          if (frame.home_id != home_ || frame.src != target_ || frame.dst != self_)
+            return false;
+          return frame.header != zwave::HeaderType::kAck;  // an application reply
+        },
+        per_probe_timeout);
+    if (reaction.has_value()) {
+      validated.insert(static_cast<zwave::CommandClassId>(cc));
+    }
+    if (cc == 0xFF) break;  // avoid unsigned wrap
+  }
+  return validated;
+}
+
+DiscoveryResult UnknownPropertyExtractor::discover(
+    const std::vector<zwave::CommandClassId>& listed) {
+  DiscoveryResult result;
+  result.spec_candidates = cluster_spec_candidates(listed);
+  result.validated = validation_sweep();
+
+  const auto& db = zwave::SpecDatabase::instance();
+  for (zwave::CommandClassId id : result.validated) {
+    if (std::find(listed.begin(), listed.end(), id) != listed.end()) continue;
+    const auto* spec = db.find(id);
+    if (spec == nullptr || !spec->in_public_spec) {
+      result.proprietary.push_back(id);
+    }
+  }
+  std::sort(result.proprietary.begin(), result.proprietary.end());
+  return result;
+}
+
+std::vector<zwave::CommandClassId> UnknownPropertyExtractor::prioritize(
+    std::vector<zwave::CommandClassId> classes,
+    const std::vector<zwave::CommandClassId>& listed) {
+  const auto& db = zwave::SpecDatabase::instance();
+  auto is_listed = [&](zwave::CommandClassId id) {
+    return std::find(listed.begin(), listed.end(), id) != listed.end();
+  };
+  auto is_proprietary = [&](zwave::CommandClassId id) {
+    const auto* spec = db.find(id);
+    return spec == nullptr || !spec->in_public_spec;
+  };
+  std::stable_sort(classes.begin(), classes.end(),
+                   [&](zwave::CommandClassId a, zwave::CommandClassId b) {
+                     // Proprietary classes first: undocumented surface that
+                     // only validation testing exposed is the prime suspect
+                     // (§III-C2 — seven of Table III's bugs live there).
+                     const bool pa = is_proprietary(a);
+                     const bool pb = is_proprietary(b);
+                     if (pa != pb) return pa;
+                     const std::size_t ca = db.command_count(a);
+                     const std::size_t cb = db.command_count(b);
+                     if (ca != cb) return ca > cb;
+                     const bool ua = !is_listed(a);
+                     const bool ub = !is_listed(b);
+                     if (ua != ub) return ua;  // unlisted first on ties
+                     return a < b;
+                   });
+  return classes;
+}
+
+}  // namespace zc::core

@@ -1,0 +1,71 @@
+// Phase 2 of ZCover: unknown-properties discovery (§III-C).
+//
+// Two techniques compose:
+//  1. Specification clustering — parse the spec database, cluster the
+//     classes a controller must implement (application functionality,
+//     transport encapsulation, management, networking) and subtract the
+//     NIF-listed set. This yields the *spec-derived* unlisted candidates
+//     (the paper's 26 for a 17-class NIF).
+//  2. Systematic validation testing — probe class IDs from 0x00 upward and
+//     watch for any well-formed reaction from the controller. This is what
+//     surfaces the proprietary classes 0x01/0x02 that no public document
+//     lists.
+//
+// Candidates are then prioritized by command count (more commands => more
+// implementation surface => fuzz first).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "core/dongle.h"
+#include "zwave/command_class.h"
+
+namespace zc::core {
+
+struct DiscoveryResult {
+  /// Spec-derived unlisted candidates (in the cluster, not in the NIF).
+  std::vector<zwave::CommandClassId> spec_candidates;
+  /// Classes confirmed responsive by validation testing but absent from
+  /// the public specification entirely (proprietary).
+  std::vector<zwave::CommandClassId> proprietary;
+  /// Everything validation testing confirmed the controller reacts to.
+  std::set<zwave::CommandClassId> validated;
+
+  /// All unknown (unlisted) classes: spec candidates + proprietary.
+  std::vector<zwave::CommandClassId> unknown() const;
+};
+
+class UnknownPropertyExtractor {
+ public:
+  UnknownPropertyExtractor(ZWaveDongle& dongle, zwave::HomeId home, zwave::NodeId target,
+                           zwave::NodeId attacker_node)
+      : dongle_(dongle), home_(home), target_(target), self_(attacker_node) {}
+
+  /// Technique 1: offline clustering against the spec database.
+  static std::vector<zwave::CommandClassId> cluster_spec_candidates(
+      const std::vector<zwave::CommandClassId>& listed);
+
+  /// Technique 2: on-air validation sweep over class IDs
+  /// [0x00, probe_ceiling]. A class is "supported" when the controller
+  /// reacts with any well-formed application response.
+  std::set<zwave::CommandClassId> validation_sweep(std::uint8_t probe_ceiling = 0xFF,
+                                                   SimTime per_probe_timeout = 120 * kMillisecond);
+
+  /// Full phase: clustering + sweep, composed per §III-C.
+  DiscoveryResult discover(const std::vector<zwave::CommandClassId>& listed);
+
+  /// Prioritization (§III-C): proprietary (validation-discovered) classes
+  /// first, then spec command count descending, unlisted first on ties.
+  static std::vector<zwave::CommandClassId> prioritize(
+      std::vector<zwave::CommandClassId> classes,
+      const std::vector<zwave::CommandClassId>& listed);
+
+ private:
+  ZWaveDongle& dongle_;
+  zwave::HomeId home_;
+  zwave::NodeId target_;
+  zwave::NodeId self_;
+};
+
+}  // namespace zc::core

@@ -1,0 +1,88 @@
+#include "core/ids.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace zc::core {
+
+const char* alert_kind_name(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kPlaintextSecureClass: return "plaintext-secure-class";
+    case AlertKind::kGhostNodeProbe: return "ghost-node-probe";
+    case AlertKind::kUnknownSource: return "unknown-source";
+    case AlertKind::kMacViolation: return "mac-violation";
+    case AlertKind::kTrafficFlood: return "traffic-flood";
+  }
+  return "?";
+}
+
+IntrusionDetector::IntrusionDetector(IdsConfig config) : config_(std::move(config)) {
+  // Classes a controller processes that the 2024 specification update says
+  // must arrive encapsulated — the proprietary protocol classes above all.
+  const auto cluster = zwave::SpecDatabase::instance().controller_cluster(true);
+  secure_classes_.insert(cluster.begin(), cluster.end());
+  // Encapsulation carriers and liveness probes legitimately ride plaintext.
+  transparent_ = {0x98, 0x9F, 0x22, 0x20, 0x25, 0x80};
+  for (zwave::CommandClassId cc : transparent_) secure_classes_.erase(cc);
+}
+
+std::optional<IdsAlert> IntrusionDetector::inspect(const zwave::MacFrame& frame, SimTime at) {
+  ++frames_inspected_;
+  auto alert = [&](AlertKind kind, std::string detail) {
+    IdsAlert a{at, kind, frame.src, std::move(detail)};
+    alerts_.push_back(a);
+    return a;
+  };
+
+  // Rate rule: sliding per-source window.
+  if (config_.rate_threshold > 0) {
+    auto& recent = recent_by_source_[frame.src];
+    recent.push_back(at);
+    const SimTime horizon = at > config_.rate_window ? at - config_.rate_window : 0;
+    recent.erase(std::remove_if(recent.begin(), recent.end(),
+                                [&](SimTime t) { return t < horizon; }),
+                 recent.end());
+    if (recent.size() > config_.rate_threshold) {
+      recent.clear();  // rearm after alerting
+      return alert(AlertKind::kTrafficFlood, "per-source frame rate above baseline");
+    }
+  }
+
+  // MAC-level protocol violations.
+  if (frame.header == zwave::HeaderType::kAck && frame.ack_requested) {
+    return alert(AlertKind::kMacViolation, "acknowledgment frame demanding an ack");
+  }
+  if (frame.header == zwave::HeaderType::kMulticast && frame.ack_requested) {
+    return alert(AlertKind::kMacViolation, "multicast frame demanding an ack");
+  }
+  if (frame.dst == zwave::kBroadcastNodeId && frame.ack_requested) {
+    return alert(AlertKind::kMacViolation, "broadcast frame demanding an ack");
+  }
+
+  if (config_.enforce_roster && !config_.roster.contains(frame.src)) {
+    return alert(AlertKind::kUnknownSource,
+                 "frame from node outside the inclusion roster");
+  }
+
+  const auto app = zwave::decode_app_payload(frame.payload);
+  if (!app.ok()) return std::nullopt;
+
+  // NOP liveness probes are benign plaintext protocol traffic.
+  if (app.value().cmd_class == 0x01 && app.value().command == 0x01) return std::nullopt;
+
+  if (app.value().cmd_class == 0x01 && app.value().command == 0x02 &&
+      !app.value().params.empty() && !config_.roster.contains(app.value().params[0])) {
+    return alert(AlertKind::kGhostNodeProbe, "NIF request for a non-member node");
+  }
+
+  if (config_.enforce_secure_classes && secure_classes_.contains(app.value().cmd_class)) {
+    char detail[80];
+    std::snprintf(detail, sizeof(detail),
+                  "class 0x%02X command 0x%02X outside secure encapsulation",
+                  app.value().cmd_class, app.value().command);
+    return alert(AlertKind::kPlaintextSecureClass, detail);
+  }
+  return std::nullopt;
+}
+
+}  // namespace zc::core

@@ -1,0 +1,176 @@
+#include "core/mutator.h"
+
+#include <algorithm>
+
+namespace zc::core {
+
+const char* mutation_op_name(MutationOp op) {
+  switch (op) {
+    case MutationOp::kRandValid: return "rand_valid";
+    case MutationOp::kRandInvalid: return "rand_invalid";
+    case MutationOp::kArith: return "arith";
+    case MutationOp::kInteresting: return "interesting";
+    case MutationOp::kInsert: return "insert";
+  }
+  return "?";
+}
+
+PositionSensitiveMutator::PositionSensitiveMutator(Rng& rng, zwave::CommandClassId cmd_class)
+    : rng_(rng),
+      cmd_class_(cmd_class),
+      spec_(zwave::SpecDatabase::instance().find(cmd_class)) {
+  build_systematic_queue();
+}
+
+void PositionSensitiveMutator::build_systematic_queue() {
+  // Built in reverse so pop_back() yields ascending CMD order, starting
+  // from the Algorithm-1 seed payload [CMDCL, 0x00, 0x00].
+  std::vector<zwave::AppPayload> forward;
+
+  zwave::AppPayload seed;
+  seed.cmd_class = cmd_class_;
+  seed.command = 0x00;
+  seed.params = {0x00};
+  forward.push_back(seed);
+
+  if (spec_ != nullptr) {
+    for (const auto& command : spec_->commands) {
+      // All-minimum and all-maximum parameter vectors (boundary testing).
+      zwave::AppPayload lo;
+      lo.cmd_class = cmd_class_;
+      lo.command = command.id;
+      zwave::AppPayload hi = lo;
+      for (const auto& param : command.params) {
+        if (param.type == zwave::ParamType::kVariadic) break;
+        lo.params.push_back(param.min);
+        hi.params.push_back(param.max);
+      }
+      forward.push_back(lo);
+      if (!command.params.empty()) forward.push_back(hi);
+
+      // First-parameter sweep: positions 0..7 with the rest at minimum.
+      // This is the walk that uncovers operation-selector semantics such
+      // as NODE_TABLE_UPDATE's five destructive modes.
+      if (!command.params.empty() &&
+          command.params.front().type != zwave::ParamType::kVariadic) {
+        for (std::uint8_t value = 0; value <= 7; ++value) {
+          zwave::AppPayload sweep = lo;
+          sweep.params[0] = value;
+          forward.push_back(sweep);
+        }
+      }
+    }
+  }
+
+  systematic_queue_.assign(forward.rbegin(), forward.rend());
+}
+
+zwave::AppPayload PositionSensitiveMutator::next() {
+  ++generated_;
+  if (!systematic_queue_.empty()) {
+    zwave::AppPayload payload = std::move(systematic_queue_.back());
+    systematic_queue_.pop_back();
+    return payload;
+  }
+  return random_mutation();
+}
+
+std::uint8_t PositionSensitiveMutator::pick_valid_command() const {
+  if (spec_ == nullptr || spec_->commands.empty()) return 0x01;
+  const auto& command =
+      spec_->commands[static_cast<std::size_t>(
+          const_cast<Rng&>(rng_).uniform(0, spec_->commands.size() - 1))];
+  return command.id;
+}
+
+zwave::AppPayload PositionSensitiveMutator::random_mutation() {
+  zwave::AppPayload payload;
+  payload.cmd_class = cmd_class_;  // position 0: rand_valid only (Table I)
+
+  // Position 1 (CMD): weighted operator choice.
+  const double cmd_roll = rng_.uniform01();
+  bool append_extra = false;
+  if (cmd_roll < 0.60) {
+    payload.command = pick_valid_command();                      // rand_valid
+  } else if (cmd_roll < 0.72) {
+    payload.command = rng_.next_byte();                          // rand_invalid
+  } else if (cmd_roll < 0.84) {
+    const std::uint8_t base = pick_valid_command();              // arith
+    const int delta = static_cast<int>(rng_.uniform(1, 4));
+    payload.command = static_cast<std::uint8_t>(rng_.chance(0.5) ? base + delta : base - delta);
+  } else if (cmd_roll < 0.94) {
+    payload.command = kInterestingBytes[rng_.uniform(0, 5)];     // interesting
+  } else {
+    payload.command = pick_valid_command();                      // insert
+    append_extra = true;
+  }
+
+  // Positions >= 2 (PARAMs): schema-driven when the command is known.
+  const zwave::CommandSpec* command_spec =
+      spec_ != nullptr ? spec_->find_command(payload.command) : nullptr;
+  if (command_spec != nullptr) {
+    for (const auto& param : command_spec->params) {
+      if (param.type == zwave::ParamType::kVariadic) {
+        const std::size_t n = static_cast<std::size_t>(rng_.uniform(0, 8));
+        const Bytes extra = rng_.bytes(n);
+        payload.params.insert(payload.params.end(), extra.begin(), extra.end());
+        break;
+      }
+      payload.params.push_back(mutate_param(param));
+      if (rng_.chance(0.04)) break;  // occasional truncation (short payload)
+    }
+  } else {
+    // Unknown command: a short random parameter vector.
+    const std::size_t n = static_cast<std::size_t>(rng_.uniform(0, 4));
+    payload.params = rng_.bytes(n);
+  }
+
+  if (append_extra || rng_.chance(0.05)) payload.params.push_back(rng_.next_byte());
+
+  // Respect the MAC size budget (LEN correlation of Table I: the frame
+  // builder recomputes LEN/CS; the payload must simply fit).
+  if (payload.params.size() > zwave::kMaxApplicationPayload - 2) {
+    payload.params.resize(zwave::kMaxApplicationPayload - 2);
+  }
+  return payload;
+}
+
+std::uint8_t PositionSensitiveMutator::mutate_param(const zwave::ParamSpec& spec) {
+  const double roll = rng_.uniform01();
+  if (roll < 0.45) {  // rand_valid
+    return static_cast<std::uint8_t>(rng_.uniform(spec.min, spec.max));
+  }
+  if (roll < 0.65) {  // boundary (min/max and off-by-one neighbors)
+    switch (rng_.uniform(0, 3)) {
+      case 0: return spec.min;
+      case 1: return spec.max;
+      case 2: return static_cast<std::uint8_t>(spec.min - 1);
+      default: return static_cast<std::uint8_t>(spec.max + 1);
+    }
+  }
+  if (roll < 0.78) {  // rand_invalid: outside the legal range when possible
+    if (spec.min == 0x00 && spec.max == 0xFF) return rng_.next_byte();
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const std::uint8_t value = rng_.next_byte();
+      if (!spec.is_legal(value)) return value;
+    }
+    return static_cast<std::uint8_t>(spec.max + 1);
+  }
+  if (roll < 0.90) {  // interesting
+    return kInterestingBytes[rng_.uniform(0, 5)];
+  }
+  // arith
+  const std::uint8_t base = static_cast<std::uint8_t>(rng_.uniform(spec.min, spec.max));
+  const int delta = static_cast<int>(rng_.uniform(1, 4));
+  return static_cast<std::uint8_t>(rng_.chance(0.5) ? base + delta : base - delta);
+}
+
+zwave::AppPayload RandomMutator::next() {
+  zwave::AppPayload payload;
+  payload.cmd_class = rng_.next_byte();
+  payload.command = rng_.next_byte();
+  payload.params = rng_.bytes(static_cast<std::size_t>(rng_.uniform(0, 6)));
+  return payload;
+}
+
+}  // namespace zc::core

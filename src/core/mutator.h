@@ -1,0 +1,81 @@
+// Phase 3 of ZCover: position-sensitive mutation (§III-D, Table I).
+//
+// The application layer is a tree (Fig. 6): CMDCL at position 0, CMD at
+// position 1, PARAMs from position 2, and the legal values at each position
+// depend on the positions above it. The mutator exploits that correlation:
+//
+//  * CMDCL is always a *valid* class for the target (rand_valid only —
+//    mutating it further just gets the packet ignored).
+//  * CMD mixes rand_valid / rand_invalid / arith / interesting / insert.
+//  * PARAMs are mutated against their schema: in-range values, boundary
+//    values (min, max, off-by-one), illegal values, interesting constants,
+//    arithmetic neighbors, and appended bytes.
+//
+// Every class starts with a deterministic enumeration pass (Algorithm 1
+// line 6 starts at CMD=0x00/PARAM=0x00 and walks upward) before switching
+// to randomized mutation, so shallow parameter spaces are swept exhaustively.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "zwave/command_class.h"
+#include "zwave/frame.h"
+
+namespace zc::core {
+
+/// Table I's operator set for CMD/PARAM positions.
+enum class MutationOp : std::uint8_t {
+  kRandValid,
+  kRandInvalid,
+  kArith,
+  kInteresting,
+  kInsert,
+};
+
+const char* mutation_op_name(MutationOp op);
+
+/// The "interesting" constants of Table I: boundary-adjacent bytes that
+/// historically shake out off-by-one and sign bugs.
+inline constexpr std::uint8_t kInterestingBytes[] = {0x00, 0x01, 0x7F, 0x80, 0xFE, 0xFF};
+
+/// Per-class mutation stream.
+class PositionSensitiveMutator {
+ public:
+  PositionSensitiveMutator(Rng& rng, zwave::CommandClassId cmd_class);
+
+  /// Produces the next semi-valid payload for this class.
+  zwave::AppPayload next();
+
+  /// True while the deterministic enumeration phase is still running.
+  bool in_systematic_phase() const { return !systematic_queue_.empty(); }
+
+  std::uint64_t generated() const { return generated_; }
+
+ private:
+  void build_systematic_queue();
+  zwave::AppPayload random_mutation();
+  std::uint8_t mutate_param(const zwave::ParamSpec& spec);
+  std::uint8_t pick_valid_command() const;
+
+  Rng& rng_;
+  zwave::CommandClassId cmd_class_;
+  const zwave::CommandClassSpec* spec_;  // nullptr: unknown to the spec DB
+  std::vector<zwave::AppPayload> systematic_queue_;  // consumed back to front
+  std::uint64_t generated_ = 0;
+};
+
+/// The ablation-γ generator: uniformly random CMDCL/CMD/PARAMs with no
+/// property knowledge and no position sensitivity (§IV-D).
+class RandomMutator {
+ public:
+  explicit RandomMutator(Rng& rng) : rng_(rng) {}
+  zwave::AppPayload next();
+
+ private:
+  Rng& rng_;
+};
+
+}  // namespace zc::core

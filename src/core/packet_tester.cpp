@@ -1,0 +1,174 @@
+#include "core/packet_tester.h"
+
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace zc::core {
+
+namespace {
+
+constexpr zwave::NodeId kTesterNodeId = 0xE6;
+
+const char* kind_token(DetectionKind kind) { return detection_kind_name(kind); }
+
+std::optional<DetectionKind> parse_kind(const std::string& token) {
+  for (DetectionKind kind :
+       {DetectionKind::kServiceInterruption, DetectionKind::kMemoryTampering,
+        DetectionKind::kHostCrash, DetectionKind::kHostDoS}) {
+    if (token == detection_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string LogEntry::serialize() const {
+  char tail[80];
+  std::snprintf(tail, sizeof(tail), " | %s | %d | %llu", kind_token(kind), bug_id,
+                static_cast<unsigned long long>(detected_at));
+  return to_hex(payload) + tail;
+}
+
+std::string serialize_bug_log(const std::vector<BugFinding>& findings) {
+  std::string out = "zcover-log v1\n";
+  for (const auto& finding : findings) {
+    LogEntry entry{finding.payload, finding.kind, finding.matched_bug_id,
+                   finding.detected_at};
+    out += entry.serialize();
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<LogEntry> parse_bug_log(const std::string& text, std::size_t* rejected_lines) {
+  std::vector<LogEntry> entries;
+  std::size_t rejected = 0;
+  std::istringstream stream(text);
+  std::string line;
+  bool header_seen = false;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    if (!header_seen) {
+      header_seen = true;
+      if (line.rfind("zcover-log", 0) == 0) continue;  // header line
+    }
+    // Format: <hex> | <kind> | <bug id> | <time us>
+    std::istringstream fields(line);
+    std::string hex, bar1, kind_token_str, bar2, bug_str, bar3, time_str;
+    if (!(fields >> hex >> bar1 >> kind_token_str >> bar2 >> bug_str >> bar3 >> time_str) ||
+        bar1 != "|" || bar2 != "|" || bar3 != "|") {
+      ++rejected;
+      continue;
+    }
+    const auto payload = from_hex(hex);
+    const auto kind = parse_kind(kind_token_str);
+    if (!payload.has_value() || payload->empty() || !kind.has_value()) {
+      ++rejected;
+      continue;
+    }
+    LogEntry entry;
+    entry.payload = *payload;
+    entry.kind = *kind;
+    entry.bug_id = std::atoi(bug_str.c_str());
+    entry.detected_at = std::strtoull(time_str.c_str(), nullptr, 10);
+    entries.push_back(std::move(entry));
+  }
+  if (rejected_lines != nullptr) *rejected_lines = rejected;
+  return entries;
+}
+
+PacketTester::PacketTester(sim::Testbed& testbed, std::uint64_t seed)
+    : testbed_(testbed),
+      dongle_(testbed.medium(), testbed.scheduler(),
+              testbed.attacker_radio_config("packet-tester")),
+      home_(testbed.controller().home_id()) {
+  (void)seed;
+}
+
+bool PacketTester::probe_liveness() {
+  dongle_.send_app(home_, kTesterNodeId, zwave::kControllerNodeId, zwave::make_nop());
+  return dongle_.await_ack(home_, zwave::kControllerNodeId, kTesterNodeId,
+                           400 * kMillisecond);
+}
+
+std::uint64_t PacketTester::table_digest_direct() const {
+  return testbed_.controller().node_table().digest();
+}
+
+void PacketTester::settle() {
+  testbed_.restore_network();
+  testbed_.controller().operator_recover();
+  dongle_.run_for(500 * kMillisecond);
+}
+
+ReplayResult PacketTester::replay(const LogEntry& entry) {
+  ReplayResult result;
+  result.entry = entry;
+  settle();
+
+  const std::uint64_t table_before = table_digest_direct();
+  const auto host_before = testbed_.controller().host().state();
+
+  const auto payload = zwave::decode_app_payload(entry.payload);
+  if (!payload.ok()) return result;
+  const SimTime injected_at = testbed_.scheduler().now();
+  dongle_.send_app(home_, kTesterNodeId, zwave::kControllerNodeId, payload.value());
+  dongle_.run_for(200 * kMillisecond);
+
+  // Oracle sweep, mirroring the campaign's detection logic but with the
+  // operator's bench access (this is offline PoC verification).
+  const auto host_after = testbed_.controller().host().state();
+  if (host_after != host_before) {
+    result.reproduced = true;
+    result.observed_kind = host_after == sim::HostSoftware::State::kCrashed
+                               ? DetectionKind::kHostCrash
+                               : DetectionKind::kHostDoS;
+    return result;
+  }
+  if (!probe_liveness()) {
+    result.reproduced = true;
+    result.observed_kind = DetectionKind::kServiceInterruption;
+    // Total outage = what remains plus what the probing already consumed
+    // (the outage started within the injection's processing delay).
+    const SimTime outage = testbed_.controller().outage_remaining();
+    const SimTime consumed = testbed_.scheduler().now() - injected_at;
+    result.observed_outage =
+        outage == std::numeric_limits<SimTime>::max() ? outage : outage + consumed;
+    // Wait it out so the next entry starts clean (capped for "Infinite").
+    dongle_.run_for(std::min<SimTime>(outage, 5 * kMinute));
+    return result;
+  }
+  if (table_digest_direct() != table_before) {
+    result.reproduced = true;
+    result.observed_kind = DetectionKind::kMemoryTampering;
+  }
+  return result;
+}
+
+std::vector<ReplayResult> PacketTester::replay_all(const std::vector<LogEntry>& log) {
+  std::vector<ReplayResult> results;
+  results.reserve(log.size());
+  for (const auto& entry : log) results.push_back(replay(entry));
+  return results;
+}
+
+Bytes PacketTester::minimize(const LogEntry& entry) {
+  Bytes best = entry.payload;
+  while (best.size() > 2) {
+    LogEntry candidate = entry;
+    candidate.payload = Bytes(best.begin(), best.end() - 1);
+    if (!replay(candidate).reproduced) break;
+    best = candidate.payload;
+  }
+  // The two-byte floor keeps CMDCL+CMD; some triggers survive with just
+  // those. Try the one-byte degenerate form too.
+  if (best.size() == 2) {
+    LogEntry candidate = entry;
+    candidate.payload = Bytes(best.begin(), best.begin() + 1);
+    if (replay(candidate).reproduced) best = candidate.payload;
+  }
+  return best;
+}
+
+}  // namespace zc::core

@@ -1,0 +1,73 @@
+// The fifth ZCover module (§IV "Implementation"): the packet tester, which
+// validates selected bug-inducing packets saved in the campaign log file.
+//
+// A campaign's Bug_Logs (Algorithm 1 line 16) serialize to a plain-text
+// log; the tester loads a log, replays each entry against a (fresh)
+// testbed with the full oracle set, and reports which packets still
+// reproduce their effect. This is the PoC-verification step the authors
+// ran after fuzzing, and doubles as a regression harness for patched
+// firmware.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+
+namespace zc::core {
+
+/// One replayable log entry.
+struct LogEntry {
+  Bytes payload;
+  DetectionKind kind = DetectionKind::kServiceInterruption;
+  int bug_id = -1;              // -1: unattributed
+  SimTime detected_at = 0;
+
+  std::string serialize() const;
+};
+
+/// Serializes campaign findings into the log-file format:
+///   zcover-log v1
+///   <hex payload> | <kind> | <bug id> | <virtual time us>
+std::string serialize_bug_log(const std::vector<BugFinding>& findings);
+
+/// Parses a log file's contents. Malformed lines are skipped (counted in
+/// `rejected_lines` when provided).
+std::vector<LogEntry> parse_bug_log(const std::string& text,
+                                    std::size_t* rejected_lines = nullptr);
+
+/// Replay verdict for one entry.
+struct ReplayResult {
+  LogEntry entry;
+  bool reproduced = false;
+  DetectionKind observed_kind = DetectionKind::kServiceInterruption;
+  SimTime observed_outage = 0;  // 0 when none/unmeasured
+};
+
+/// Replays each log entry against the testbed, restoring the network and
+/// host between entries so effects cannot mask each other.
+class PacketTester {
+ public:
+  PacketTester(sim::Testbed& testbed, std::uint64_t seed = 0x7E57);
+
+  /// Replays a single payload with the full oracle set.
+  ReplayResult replay(const LogEntry& entry);
+
+  /// Replays every entry of a parsed log.
+  std::vector<ReplayResult> replay_all(const std::vector<LogEntry>& log);
+
+  /// Corpus minimization: drops trailing payload bytes while the effect
+  /// still reproduces, returning the shortest still-reproducing payload.
+  Bytes minimize(const LogEntry& entry);
+
+ private:
+  bool probe_liveness();
+  std::uint64_t table_digest_direct() const;
+  void settle();
+
+  sim::Testbed& testbed_;
+  ZWaveDongle dongle_;
+  zwave::HomeId home_;
+};
+
+}  // namespace zc::core

@@ -1,0 +1,95 @@
+#include "core/report.h"
+
+#include <cstdio>
+
+namespace zc::core {
+
+namespace {
+
+std::string cve_for(int bug_id) {
+  const auto* spec = sim::find_vulnerability(bug_id);
+  if (spec == nullptr) return "-";
+  if (spec->cve.empty()) return "vendor-confirmed";
+  return std::string(spec->cve);
+}
+
+}  // namespace
+
+std::string render_markdown_report(const CampaignResult& result, sim::DeviceModel target) {
+  char line[256];
+  std::string out;
+  out += "# ZCover assessment report\n\n";
+  std::snprintf(line, sizeof(line), "- **Target**: %s\n", sim::device_model_name(target));
+  out += line;
+  std::snprintf(line, sizeof(line), "- **Home ID**: %08X\n",
+                result.fingerprint.passive.home_id.value_or(0));
+  out += line;
+  std::snprintf(line, sizeof(line), "- **Campaign**: %llu test packets over %s\n",
+                static_cast<unsigned long long>(result.test_packets),
+                format_sim_time(result.ended_at - result.started_at).c_str());
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "- **Coverage**: %zu command classes, %zu dispatched (class, command) "
+                "pairs\n\n",
+                result.classes_fuzzed.size(), result.accepted_pairs.size());
+  out += line;
+
+  out += "## Fingerprint\n\n";
+  std::snprintf(line, sizeof(line),
+                "Listed command classes (NIF): %zu; unknown discovered: %zu "
+                "(%zu spec-derived, %zu proprietary).\n\n",
+                result.fingerprint.active.listed.size(),
+                result.fingerprint.discovery.unknown().size(),
+                result.fingerprint.discovery.spec_candidates.size(),
+                result.fingerprint.discovery.proprietary.size());
+  out += line;
+
+  out += "## Findings\n\n";
+  if (result.findings.empty()) {
+    out += "No vulnerabilities confirmed.\n";
+    return out;
+  }
+  out += "| # | class | cmd | detection | at | packets | identifier | payload |\n";
+  out += "|---|-------|-----|-----------|----|---------|------------|--------|\n";
+  for (const auto& finding : result.findings) {
+    std::snprintf(line, sizeof(line), "| %d | 0x%02X | 0x%02X | %s | %s | %llu | %s | `%s` |\n",
+                  finding.matched_bug_id, finding.cmd_class, finding.command,
+                  detection_kind_name(finding.kind),
+                  format_sim_time(finding.detected_at - result.started_at).c_str(),
+                  static_cast<unsigned long long>(finding.packets_sent),
+                  cve_for(finding.matched_bug_id).c_str(),
+                  to_hex(finding.payload).c_str());
+    out += line;
+  }
+  out += "\nAll payloads replay through the packet tester (`zcover_cli replay`).\n";
+  return out;
+}
+
+std::string render_findings_csv(const CampaignResult& result) {
+  std::string out = "bug_id,cmd_class,command,kind,detected_at_us,packets,payload_hex\n";
+  char line[192];
+  for (const auto& finding : result.findings) {
+    std::snprintf(line, sizeof(line), "%d,0x%02X,0x%02X,%s,%llu,%llu,%s\n",
+                  finding.matched_bug_id, finding.cmd_class, finding.command,
+                  detection_kind_name(finding.kind),
+                  static_cast<unsigned long long>(finding.detected_at),
+                  static_cast<unsigned long long>(finding.packets_sent),
+                  to_hex(finding.payload).c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string render_timeline_csv(const CampaignResult& result) {
+  std::string out = "time_s,packets\n";
+  char line[64];
+  for (const auto& [at, packets] : result.packet_timeline) {
+    std::snprintf(line, sizeof(line), "%.3f,%llu\n",
+                  static_cast<double>(at - result.started_at) / static_cast<double>(kSecond),
+                  static_cast<unsigned long long>(packets));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace zc::core

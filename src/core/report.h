@@ -1,0 +1,24 @@
+// Campaign report rendering: turns a CampaignResult into the assessment
+// document an operator hands to a vendor (the shape the iotcube service
+// mentioned in the paper's conclusion would serve).
+#pragma once
+
+#include <string>
+
+#include "core/campaign.h"
+
+namespace zc::core {
+
+/// Full markdown report: target identification, fingerprinting summary,
+/// per-finding table with payloads/CVE correlation, and coverage numbers.
+std::string render_markdown_report(const CampaignResult& result,
+                                   sim::DeviceModel target);
+
+/// Machine-readable CSV of the findings (one row per unique finding):
+/// bug_id,cmd_class,command,kind,detected_at_us,packets,payload_hex
+std::string render_findings_csv(const CampaignResult& result);
+
+/// Timeline CSV for plotting Fig.12-style curves: time_s,packets
+std::string render_timeline_csv(const CampaignResult& result);
+
+}  // namespace zc::core

@@ -1,0 +1,119 @@
+#include "core/scanner.h"
+
+#include <map>
+
+#include "zwave/security.h"
+
+namespace zc::core {
+
+const char* node_role_name(NodeObservation::Role role) {
+  switch (role) {
+    case NodeObservation::Role::kUnknown: return "unknown";
+    case NodeObservation::Role::kController: return "controller";
+    case NodeObservation::Role::kSecureSlave: return "secure-slave";
+    case NodeObservation::Role::kLegacySlave: return "legacy-slave";
+  }
+  return "?";
+}
+
+PassiveScanResult PassiveScanner::scan(SimTime duration, std::size_t min_packets) {
+  PassiveScanResult result;
+  dongle_.clear_captures();
+  dongle_.start_capture();
+
+  const SimTime deadline = dongle_.scheduler().now() + duration;
+  std::map<zwave::NodeId, std::size_t> dst_counts;
+  std::size_t consumed = 0;
+
+  while (dongle_.scheduler().now() < deadline) {
+    dongle_.run_for(10 * kMillisecond);
+    const auto& captures = dongle_.captures();
+    for (; consumed < captures.size(); ++consumed) {
+      const auto& captured = captures[consumed];
+      if (!captured.frame.has_value()) continue;  // noise / checksum failure
+      const auto& frame = *captured.frame;
+      ++result.packets_analyzed;
+      result.home_id = frame.home_id;
+      result.node_ids.insert(frame.src);
+
+      auto& sender = result.observations[frame.src];
+      ++sender.frames_sent;
+      if (sender.first_seen == 0) sender.first_seen = captured.at;
+      sender.last_seen = captured.at;
+      if (frame.header != zwave::HeaderType::kAck) {
+        const auto app = zwave::decode_app_payload(frame.payload);
+        if (app.ok()) {
+          sender.classes_seen.insert(app.value().cmd_class);
+          if (app.value().cmd_class == zwave::kSecurity2Class) sender.uses_s2 = true;
+          if (app.value().cmd_class == zwave::kSecurity0Class) sender.uses_s0 = true;
+        }
+      }
+
+      if (frame.dst != zwave::kBroadcastNodeId) {
+        result.node_ids.insert(frame.dst);
+        ++result.observations[frame.dst].frames_received;
+        // Hub inference: the node the *unsolicited application traffic*
+        // converges on. Acks mirror addressing and would cancel out.
+        if (frame.header != zwave::HeaderType::kAck && !frame.payload.empty()) {
+          ++dst_counts[frame.dst];
+        }
+      }
+    }
+    if (result.home_id.has_value() && result.packets_analyzed >= min_packets) break;
+  }
+
+  // The node that receives the most traffic is the hub.
+  std::size_t best = 0;
+  for (const auto& [node, count] : dst_counts) {
+    if (count > best) {
+      best = count;
+      result.controller = node;
+    }
+  }
+
+  // Role inference per observed node.
+  for (auto& [node, observation] : result.observations) {
+    if (result.controller.has_value() && node == *result.controller) {
+      observation.role = NodeObservation::Role::kController;
+    } else if (observation.uses_s2 || observation.uses_s0) {
+      observation.role = NodeObservation::Role::kSecureSlave;
+    } else if (!observation.classes_seen.empty()) {
+      observation.role = NodeObservation::Role::kLegacySlave;
+    }
+  }
+
+  dongle_.stop_capture();
+  return result;
+}
+
+ActiveScanResult ActiveScanner::scan(SimTime response_timeout) {
+  ActiveScanResult result;
+
+  // Step 1: dynamic device interrogation — a state probe (NOP with ack).
+  dongle_.send_app(home_, self_, target_, zwave::make_nop(), /*ack_requested=*/true);
+  result.reachable = dongle_.await_ack(home_, target_, self_, response_timeout);
+  if (!result.reachable) return result;
+
+  // Step 2: listed property querying via a NIF request.
+  dongle_.send_app(home_, self_, target_, zwave::make_nif_request(target_));
+
+  // Step 3: response analysis.
+  const auto response = dongle_.await_frame(
+      [&](const zwave::MacFrame& frame) {
+        if (frame.home_id != home_ || frame.src != target_) return false;
+        const auto app = zwave::decode_app_payload(frame.payload);
+        return app.ok() && app.value().cmd_class == 0x01 && app.value().command == 0x07;
+      },
+      response_timeout);
+  if (!response.has_value()) return result;
+
+  const auto app = zwave::decode_app_payload(response->payload);
+  const auto info = zwave::decode_node_info(app.value());
+  if (info.ok()) {
+    result.node_info = info.value();
+    result.listed = info.value().supported;
+  }
+  return result;
+}
+
+}  // namespace zc::core

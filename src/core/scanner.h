@@ -1,0 +1,84 @@
+// Phase 1 of ZCover: known-properties fingerprinting (§III-B).
+//
+// * PassiveScanner — sniffs Z-Wave traffic and recovers the network home
+//   ID and the node IDs that exchange packets (Fig. 4: capture ->
+//   dissection -> analysis). Works even against S2 networks because S2
+//   only encrypts the application payload.
+// * ActiveScanner — interrogates the target: device-state probe (NOP),
+//   then a NIF request whose response lists the controller's *listed*
+//   supported command classes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/dongle.h"
+#include "zwave/nif.h"
+
+namespace zc::core {
+
+/// Passive per-device observations — Z-IoT-style traffic fingerprinting:
+/// what a node transmits betrays what it is, even under S2.
+struct NodeObservation {
+  enum class Role { kUnknown, kController, kSecureSlave, kLegacySlave };
+
+  std::size_t frames_sent = 0;
+  std::size_t frames_received = 0;                 // non-broadcast dst hits
+  std::set<zwave::CommandClassId> classes_seen;    // outer CMDCL of payloads
+  bool uses_s2 = false;
+  bool uses_s0 = false;
+  SimTime first_seen = 0;
+  SimTime last_seen = 0;
+  Role role = Role::kUnknown;
+};
+
+const char* node_role_name(NodeObservation::Role role);
+
+/// Result of passive scanning.
+struct PassiveScanResult {
+  std::optional<zwave::HomeId> home_id;
+  std::set<zwave::NodeId> node_ids;        // every SRC/DST seen
+  std::optional<zwave::NodeId> controller; // inferred hub (most-contacted dst)
+  std::size_t packets_analyzed = 0;
+  std::map<zwave::NodeId, NodeObservation> observations;
+};
+
+class PassiveScanner {
+ public:
+  explicit PassiveScanner(ZWaveDongle& dongle) : dongle_(dongle) {}
+
+  /// Listens for up to `duration` of virtual time. Stops early once a home
+  /// ID and at least `min_packets` packets have been observed.
+  PassiveScanResult scan(SimTime duration, std::size_t min_packets = 2);
+
+ private:
+  ZWaveDongle& dongle_;
+};
+
+/// Result of active scanning.
+struct ActiveScanResult {
+  bool reachable = false;                           // answered the state probe
+  std::vector<zwave::CommandClassId> listed;        // NIF-advertised classes
+  std::optional<zwave::NodeInfo> node_info;
+};
+
+class ActiveScanner {
+ public:
+  ActiveScanner(ZWaveDongle& dongle, zwave::HomeId home, zwave::NodeId target,
+                zwave::NodeId attacker_node)
+      : dongle_(dongle), home_(home), target_(target), self_(attacker_node) {}
+
+  /// Runs the three steps of §III-B2: dynamic interrogation, listed
+  /// property querying (NIF), response analysis.
+  ActiveScanResult scan(SimTime response_timeout = 500 * kMillisecond);
+
+ private:
+  ZWaveDongle& dongle_;
+  zwave::HomeId home_;
+  zwave::NodeId target_;
+  zwave::NodeId self_;
+};
+
+}  // namespace zc::core

@@ -1,0 +1,92 @@
+#include "core/vfuzz.h"
+
+#include "zwave/checksum.h"
+
+namespace zc::core {
+
+VFuzz::VFuzz(sim::Testbed& testbed, VFuzzConfig config)
+    : testbed_(testbed),
+      config_(config),
+      rng_(config.seed),
+      dongle_(testbed.medium(), testbed.scheduler(),
+              testbed.attacker_radio_config("vfuzz-dongle")),
+      home_(testbed.controller().home_id()) {}
+
+Bytes VFuzz::generate_frame() {
+  // Start from a valid singlecast template toward the controller.
+  zwave::MacFrame frame;
+  frame.home_id = home_;
+  frame.src = static_cast<zwave::NodeId>(rng_.uniform(2, 232));
+  frame.dst = zwave::kControllerNodeId;
+  frame.header = zwave::HeaderType::kSinglecast;
+  frame.ack_requested = rng_.chance(0.5);
+  frame.sequence = static_cast<std::uint8_t>(rng_.uniform(0, 15));
+  frame.payload = rng_.bytes(static_cast<std::size_t>(rng_.uniform(2, 8)));
+
+  // §IV-C: "VFuzz focuses on the MAC frame of the Z-Wave packets" — the
+  // bulk of its mutations land on header fields; application bytes are a
+  // small minority and unguided.
+  const double roll = rng_.uniform01();
+  if (roll < 0.85) {
+    // MAC-field mutation (the tool's focus). Pick one field and distort it.
+    switch (rng_.uniform(0, 5)) {
+      case 0: {  // frame control P1: header type / flags
+        const std::uint8_t p1 = rng_.next_byte();
+        frame.header = static_cast<zwave::HeaderType>(p1 & 0x0F);
+        frame.ack_requested = (p1 & 0x40) != 0;
+        frame.routed = (p1 & 0x80) != 0;
+        // Raw-encode: header nibble may be illegal; send_raw keeps it.
+        zwave::MacFrame raw = frame;
+        Bytes bytes = raw.encode_raw();
+        bytes[5] = p1;
+        bytes[bytes.size() - 1] = zwave::checksum8(ByteView(bytes.data(), bytes.size() - 1));
+        return bytes;
+      }
+      case 1: {  // P2 sequence/beam bits
+        Bytes bytes = frame.encode_raw();
+        bytes[6] = rng_.next_byte();
+        bytes[bytes.size() - 1] = zwave::checksum8(ByteView(bytes.data(), bytes.size() - 1));
+        return bytes;
+      }
+      case 2:  // LEN corruption (receiver MAC drops these)
+        return frame.encode_raw(static_cast<std::uint8_t>(rng_.next_byte()));
+      case 3: {  // destination mutation
+        frame.dst = rng_.next_byte();
+        return frame.encode_raw();
+      }
+      case 4:  // checksum corruption
+        return frame.encode_raw(std::nullopt, rng_.next_byte());
+      default: {  // home-id mutation
+        frame.home_id ^= rng_.next_u32();
+        return frame.encode_raw();
+      }
+    }
+  }
+  // Application payload mutation: whole-range CMDCL/CMD, random params.
+  zwave::AppPayload app;
+  app.cmd_class = rng_.next_byte();
+  app.command = rng_.next_byte();
+  app.params = rng_.bytes(static_cast<std::size_t>(rng_.uniform(0, 6)));
+  frame.payload = app.encode();
+  return frame.encode_raw();
+}
+
+VFuzzResult VFuzz::run() {
+  VFuzzResult result;
+  const std::size_t triggers_before = testbed_.controller().triggered().size();
+  const SimTime deadline = testbed_.scheduler().now() + config_.duration;
+
+  while (testbed_.scheduler().now() < deadline) {
+    dongle_.inject_raw(generate_frame());
+    ++result.packets_sent;
+    dongle_.run_for(config_.inter_packet_gap);
+  }
+
+  const auto& triggered = testbed_.controller().triggered();
+  for (std::size_t i = triggers_before; i < triggered.size(); ++i) {
+    result.unique_bug_ids.insert(triggered[i].bug_id);
+  }
+  return result;
+}
+
+}  // namespace zc::core

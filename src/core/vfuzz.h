@@ -1,0 +1,54 @@
+// VFuzz baseline (Nkuba et al., IEEE Access 2022), reimplemented from its
+// published description for the Table V comparison.
+//
+// VFuzz differs from ZCover in exactly the ways §IV-C highlights:
+//  * it mutates across the whole MAC frame (frame-control bytes, LEN,
+//    addressing, checksum) rather than only the application layer;
+//  * its command-class coverage is the full 0x00-0xFF range with no
+//    property extraction, so most packets never reach a handler;
+//  * it paces slowly, waiting on response timeouts per test.
+//
+// Uniqueness accounting for the comparison is done the same way for both
+// tools: distinct root causes confirmed against the device's ground-truth
+// trigger log after the campaign.
+#pragma once
+
+#include <set>
+
+#include "core/dongle.h"
+#include "sim/testbed.h"
+
+namespace zc::core {
+
+struct VFuzzConfig {
+  SimTime duration = 24 * kHour;
+  SimTime inter_packet_gap = 6 * kSecond;  // protocol-aware response waits
+  std::uint64_t seed = 0xF022;
+};
+
+struct VFuzzResult {
+  std::uint64_t packets_sent = 0;
+  /// Distinct triggered root causes (Table III ids 1-15; MAC quirks 101+).
+  std::set<int> unique_bug_ids;
+  /// Coverage the tool itself reports: full byte ranges.
+  std::size_t cmdcl_space = 256;
+  std::size_t cmd_space = 256;
+};
+
+class VFuzz {
+ public:
+  VFuzz(sim::Testbed& testbed, VFuzzConfig config);
+
+  VFuzzResult run();
+
+ private:
+  Bytes generate_frame();
+
+  sim::Testbed& testbed_;
+  VFuzzConfig config_;
+  Rng rng_;
+  ZWaveDongle dongle_;
+  zwave::HomeId home_;
+};
+
+}  // namespace zc::core

@@ -1,0 +1,78 @@
+#include "crypto/cmac.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace zc::crypto {
+
+namespace {
+
+// Doubling in GF(2^128) with the CMAC polynomial (RFC 4493 subkey step).
+AesBlock double_block(const AesBlock& in) {
+  AesBlock out{};
+  std::uint8_t carry = 0;
+  for (int i = 15; i >= 0; --i) {
+    const std::uint8_t b = in[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>((b << 1) | carry);
+    carry = static_cast<std::uint8_t>(b >> 7);
+  }
+  if (carry) out[15] ^= 0x87;
+  return out;
+}
+
+void xor_into(AesBlock& acc, const std::uint8_t* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] ^= data[i];
+}
+
+}  // namespace
+
+AesBlock aes_cmac(const AesKey& key, ByteView message) {
+  const Aes128 cipher(key);
+
+  AesBlock zero{};
+  const AesBlock l = cipher.encrypt(zero);
+  const AesBlock k1 = double_block(l);
+  const AesBlock k2 = double_block(k1);
+
+  const std::size_t n = message.size();
+  const std::size_t full_blocks = n / kAesBlockSize;
+  const std::size_t rem = n % kAesBlockSize;
+  // Number of blocks processed before the (specially masked) last block.
+  const std::size_t lead =
+      (n == 0) ? 0 : (rem == 0 ? full_blocks - 1 : full_blocks);
+
+  AesBlock x{};
+  for (std::size_t i = 0; i < lead; ++i) {
+    xor_into(x, message.data() + i * kAesBlockSize, kAesBlockSize);
+    cipher.encrypt_block(x);
+  }
+
+  AesBlock last{};
+  if (n != 0 && rem == 0) {
+    std::copy_n(message.data() + lead * kAesBlockSize, kAesBlockSize, last.begin());
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) last[i] ^= k1[i];
+  } else {
+    const std::size_t tail = n - lead * kAesBlockSize;
+    std::copy_n(message.data() + lead * kAesBlockSize, tail, last.begin());
+    last[tail] = 0x80;
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) last[i] ^= k2[i];
+  }
+
+  for (std::size_t i = 0; i < kAesBlockSize; ++i) x[i] ^= last[i];
+  cipher.encrypt_block(x);
+  return x;
+}
+
+Bytes aes_cmac_truncated(const AesKey& key, ByteView message, std::size_t tag_len) {
+  assert(tag_len <= kAesBlockSize);
+  const AesBlock full = aes_cmac(key, message);
+  return Bytes(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(tag_len));
+}
+
+bool aes_cmac_verify(const AesKey& key, ByteView message, ByteView tag) {
+  if (tag.empty() || tag.size() > kAesBlockSize) return false;
+  const AesBlock full = aes_cmac(key, message);
+  return equal_constant_time(ByteView(full.data(), tag.size()), tag);
+}
+
+}  // namespace zc::crypto

@@ -1,0 +1,23 @@
+// AES-CMAC (RFC 4493).
+//
+// Z-Wave S2 uses AES-128-CMAC both for message authentication and as the
+// PRF inside its key-derivation function (CKDF). Validated against the RFC
+// 4493 test vectors in tests/crypto/cmac_test.cpp.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/aes128.h"
+
+namespace zc::crypto {
+
+/// Computes the full 16-byte AES-CMAC tag of `message` under `key`.
+AesBlock aes_cmac(const AesKey& key, ByteView message);
+
+/// Computes a truncated tag of `tag_len` (<= 16) bytes, as used by S2
+/// frames which carry 8-byte auth tags on air.
+Bytes aes_cmac_truncated(const AesKey& key, ByteView message, std::size_t tag_len);
+
+/// Verifies a (possibly truncated) tag in constant time.
+bool aes_cmac_verify(const AesKey& key, ByteView message, ByteView tag);
+
+}  // namespace zc::crypto

@@ -1,0 +1,84 @@
+#include "crypto/ctr.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace zc::crypto {
+
+namespace {
+
+void increment_be(AesBlock& counter) {
+  for (int i = 15; i >= 0; --i) {
+    if (++counter[static_cast<std::size_t>(i)] != 0) break;
+  }
+}
+
+}  // namespace
+
+Bytes aes_ctr_crypt(const AesKey& key, const AesBlock& iv, ByteView data) {
+  const Aes128 cipher(key);
+  Bytes out(data.begin(), data.end());
+  AesBlock counter = iv;
+  std::size_t offset = 0;
+  while (offset < out.size()) {
+    const AesBlock ks = cipher.encrypt(counter);
+    const std::size_t chunk = std::min(kAesBlockSize, out.size() - offset);
+    for (std::size_t i = 0; i < chunk; ++i) out[offset + i] ^= ks[i];
+    increment_be(counter);
+    offset += chunk;
+  }
+  return out;
+}
+
+Bytes aes_ofb_crypt(const AesKey& key, const AesBlock& iv, ByteView data) {
+  const Aes128 cipher(key);
+  Bytes out(data.begin(), data.end());
+  AesBlock feedback = iv;
+  std::size_t offset = 0;
+  while (offset < out.size()) {
+    cipher.encrypt_block(feedback);
+    const std::size_t chunk = std::min(kAesBlockSize, out.size() - offset);
+    for (std::size_t i = 0; i < chunk; ++i) out[offset + i] ^= feedback[i];
+    offset += chunk;
+  }
+  return out;
+}
+
+CtrDrbg::CtrDrbg(ByteView seed32) {
+  assert(seed32.size() == 32);
+  update(seed32);
+}
+
+void CtrDrbg::update(ByteView provided32) {
+  assert(provided32.size() == 32);
+  const Aes128 cipher(key_);
+  std::uint8_t temp[32];
+  AesBlock counter = v_;
+  for (int block = 0; block < 2; ++block) {
+    increment_be(counter);
+    const AesBlock ks = cipher.encrypt(counter);
+    std::memcpy(temp + block * 16, ks.data(), 16);
+  }
+  for (int i = 0; i < 32; ++i) temp[i] ^= provided32[static_cast<std::size_t>(i)];
+  std::memcpy(key_.data(), temp, 16);
+  std::memcpy(v_.data(), temp + 16, 16);
+}
+
+Bytes CtrDrbg::generate(std::size_t n) {
+  const Aes128 cipher(key_);
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    increment_be(v_);
+    const AesBlock ks = cipher.encrypt(v_);
+    const std::size_t chunk = std::min(kAesBlockSize, n - out.size());
+    out.insert(out.end(), ks.begin(), ks.begin() + static_cast<std::ptrdiff_t>(chunk));
+  }
+  const std::uint8_t zeros[32] = {};
+  update(ByteView(zeros, 32));
+  return out;
+}
+
+void CtrDrbg::reseed(ByteView seed32) { update(seed32); }
+
+}  // namespace zc::crypto

@@ -1,0 +1,38 @@
+// AES-CTR keystream encryption and AES-OFB (for S0), plus a tiny
+// deterministic CTR-DRBG used for S2 nonce generation.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/aes128.h"
+
+namespace zc::crypto {
+
+/// XORs `data` with the AES-CTR keystream derived from (key, iv).
+/// Encryption and decryption are the same operation.
+Bytes aes_ctr_crypt(const AesKey& key, const AesBlock& iv, ByteView data);
+
+/// AES-OFB, the mode Z-Wave S0 uses for payload confidentiality.
+Bytes aes_ofb_crypt(const AesKey& key, const AesBlock& iv, ByteView data);
+
+/// Minimal deterministic random bit generator (AES-CTR based, modeled on
+/// SP 800-90A CTR-DRBG without derivation function). S2 nodes use a DRBG
+/// to produce the entropy inputs of the nonce-synchronization scheme.
+class CtrDrbg {
+ public:
+  /// Seeds from 32 bytes of entropy (key || V).
+  explicit CtrDrbg(ByteView seed32);
+
+  /// Generates `n` pseudorandom bytes and ratchets the internal state.
+  Bytes generate(std::size_t n);
+
+  /// Mixes fresh entropy into the state.
+  void reseed(ByteView seed32);
+
+ private:
+  void update(ByteView provided32);
+
+  AesKey key_{};
+  AesBlock v_{};
+};
+
+}  // namespace zc::crypto

@@ -1,0 +1,65 @@
+#include "crypto/kdf.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "crypto/cmac.h"
+
+namespace zc::crypto {
+
+AesBlock ckdf_extract(const AesKey& salt, ByteView ikm) { return aes_cmac(salt, ikm); }
+
+Bytes ckdf_expand(const AesKey& prk, ByteView info, std::size_t length) {
+  Bytes out;
+  out.reserve(length);
+  Bytes t;  // T(0) = empty
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes input = t;
+    input.insert(input.end(), info.begin(), info.end());
+    input.push_back(counter++);
+    const AesBlock block = aes_cmac(prk, input);
+    t.assign(block.begin(), block.end());
+    const std::size_t chunk = std::min(kAesBlockSize, length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(chunk));
+  }
+  return out;
+}
+
+S2Keys derive_s2_keys(ByteView ecdh_shared, ByteView pub_a, ByteView pub_b) {
+  assert(ecdh_shared.size() == 32);
+  // Extract: PRK = CMAC(const_salt, shared || pubA || pubB).
+  AesKey salt{};
+  for (auto& b : salt) b = 0x33;  // "SmartStart" constant salt shape
+  Bytes ikm(ecdh_shared.begin(), ecdh_shared.end());
+  ikm.insert(ikm.end(), pub_a.begin(), pub_a.end());
+  ikm.insert(ikm.end(), pub_b.begin(), pub_b.end());
+  const AesBlock prk_block = ckdf_extract(salt, ikm);
+  AesKey prk{};
+  std::copy(prk_block.begin(), prk_block.end(), prk.begin());
+
+  static constexpr std::uint8_t kInfo[] = {'S', '2', 'K', 'e', 'y', 's'};
+  const Bytes okm = ckdf_expand(prk, ByteView(kInfo, sizeof(kInfo)), 48);
+
+  S2Keys keys;
+  std::copy_n(okm.begin(), 16, keys.ccm_key.begin());
+  std::copy_n(okm.begin() + 16, 16, keys.auth_key.begin());
+  std::copy_n(okm.begin() + 32, 16, keys.nonce_key.begin());
+  return keys;
+}
+
+S0Keys derive_s0_keys(const AesKey& network_key) {
+  const Aes128 cipher(network_key);
+  AesBlock pe{};
+  AesBlock pa{};
+  pe.fill(0xAA);
+  pa.fill(0x55);
+  cipher.encrypt_block(pe);
+  cipher.encrypt_block(pa);
+  S0Keys keys;
+  std::copy(pe.begin(), pe.end(), keys.enc_key.begin());
+  std::copy(pa.begin(), pa.end(), keys.auth_key.begin());
+  return keys;
+}
+
+}  // namespace zc::crypto

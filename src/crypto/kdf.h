@@ -1,0 +1,43 @@
+// Key derivation for the Z-Wave security transports.
+//
+// * S2 uses a CMAC-based extract-and-expand construction ("CKDF" in the
+//   Silicon Labs S2 spec) to turn the ECDH shared secret into the CCM key,
+//   the personalization string, and the MPAN key, and to derive per-frame
+//   nonce material.
+// * S0 derives its frame-encryption key Ke and authentication key Ka from
+//   the 16-byte network key Kn via two fixed AES plaintexts.
+#pragma once
+
+#include "common/bytes.h"
+#include "crypto/aes128.h"
+
+namespace zc::crypto {
+
+/// CMAC-based extract step: PRK = CMAC(salt, ikm).
+AesBlock ckdf_extract(const AesKey& salt, ByteView ikm);
+
+/// CMAC-based expand step (counter-mode, RFC 5869 shaped but with CMAC):
+/// T(i) = CMAC(prk, T(i-1) || info || i). Returns `length` bytes.
+Bytes ckdf_expand(const AesKey& prk, ByteView info, std::size_t length);
+
+/// Derived key material for an established S2 security class.
+struct S2Keys {
+  AesKey ccm_key{};        // payload encryption (CTR+CMAC composition)
+  AesKey auth_key{};       // frame authentication
+  AesKey nonce_key{};      // nonce/SPAN personalization
+};
+
+/// Derives the S2 key set from the ECDH shared secret and both public keys
+/// (the spec mixes both sides' public keys into the extract step).
+S2Keys derive_s2_keys(ByteView ecdh_shared, ByteView pub_a, ByteView pub_b);
+
+/// Derived S0 key pair.
+struct S0Keys {
+  AesKey enc_key{};   // Ke = AES(Kn, 0xAA * 16)
+  AesKey auth_key{};  // Ka = AES(Kn, 0x55 * 16)
+};
+
+/// Derives S0 keys from the 16-byte network key.
+S0Keys derive_s0_keys(const AesKey& network_key);
+
+}  // namespace zc::crypto

@@ -1,0 +1,257 @@
+#include "crypto/x25519.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace zc::crypto {
+
+namespace {
+
+// Field arithmetic mod p = 2^255 - 19 using five 51-bit limbs and the
+// unsigned __int128 extension for products.
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+struct Fe {
+  u64 v[5];
+};
+
+constexpr u64 kMask51 = (1ULL << 51) - 1;
+
+Fe fe_from_bytes(const std::uint8_t* s) {
+  auto load64 = [](const std::uint8_t* p) {
+    u64 r = 0;
+    for (int i = 7; i >= 0; --i) r = (r << 8) | p[i];
+    return r;
+  };
+  Fe h;
+  h.v[0] = load64(s) & kMask51;
+  h.v[1] = (load64(s + 6) >> 3) & kMask51;
+  h.v[2] = (load64(s + 12) >> 6) & kMask51;
+  h.v[3] = (load64(s + 19) >> 1) & kMask51;
+  h.v[4] = (load64(s + 24) >> 12) & kMask51;
+  return h;
+}
+
+void fe_to_bytes(std::uint8_t* s, Fe h) {
+  // Fully reduce.
+  for (int pass = 0; pass < 2; ++pass) {
+    u64 carry = 0;
+    for (int i = 0; i < 5; ++i) {
+      h.v[i] += carry;
+      carry = h.v[i] >> 51;
+      h.v[i] &= kMask51;
+    }
+    h.v[0] += carry * 19;
+  }
+  // Conditionally subtract p.
+  u64 q = (h.v[0] + 19) >> 51;
+  q = (h.v[1] + q) >> 51;
+  q = (h.v[2] + q) >> 51;
+  q = (h.v[3] + q) >> 51;
+  q = (h.v[4] + q) >> 51;
+  h.v[0] += 19 * q;
+  u64 carry = h.v[0] >> 51;
+  h.v[0] &= kMask51;
+  h.v[1] += carry;
+  carry = h.v[1] >> 51;
+  h.v[1] &= kMask51;
+  h.v[2] += carry;
+  carry = h.v[2] >> 51;
+  h.v[2] &= kMask51;
+  h.v[3] += carry;
+  carry = h.v[3] >> 51;
+  h.v[3] &= kMask51;
+  h.v[4] += carry;
+  h.v[4] &= kMask51;
+
+  std::uint8_t out[40] = {};
+  auto store = [&](int bit_offset, u64 value) {
+    for (int i = 0; i < 8; ++i) {
+      const int byte = bit_offset / 8 + i;
+      out[byte] |= static_cast<std::uint8_t>((value << (bit_offset % 8)) >> (8 * i));
+    }
+  };
+  store(0, h.v[0]);
+  store(51, h.v[1]);
+  store(102, h.v[2]);
+  store(153, h.v[3]);
+  store(204, h.v[4]);
+  std::memcpy(s, out, 32);
+}
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  return r;
+}
+
+Fe fe_sub(const Fe& a, const Fe& b) {
+  // Add 2*p (limbwise: 2*(2^51-19), then 2*(2^51-1)) before subtracting so
+  // limbs never go negative.
+  Fe r;
+  r.v[0] = a.v[0] + 0xFFFFFFFFFFFDAULL - b.v[0];
+  r.v[1] = a.v[1] + 0xFFFFFFFFFFFFEULL - b.v[1];
+  r.v[2] = a.v[2] + 0xFFFFFFFFFFFFEULL - b.v[2];
+  r.v[3] = a.v[3] + 0xFFFFFFFFFFFFEULL - b.v[3];
+  r.v[4] = a.v[4] + 0xFFFFFFFFFFFFEULL - b.v[4];
+  return r;
+}
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+  const u128 a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  const u64 b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3], b4 = b.v[4];
+  const u64 b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19, b4_19 = b4 * 19;
+
+  u128 t0 = a0 * b0 + a1 * b4_19 + a2 * b3_19 + a3 * b2_19 + a4 * b1_19;
+  u128 t1 = a0 * b1 + a1 * b0 + a2 * b4_19 + a3 * b3_19 + a4 * b2_19;
+  u128 t2 = a0 * b2 + a1 * b1 + a2 * b0 + a3 * b4_19 + a4 * b3_19;
+  u128 t3 = a0 * b3 + a1 * b2 + a2 * b1 + a3 * b0 + a4 * b4_19;
+  u128 t4 = a0 * b4 + a1 * b3 + a2 * b2 + a3 * b1 + a4 * b0;
+
+  Fe r;
+  u64 carry;
+  r.v[0] = static_cast<u64>(t0) & kMask51;
+  carry = static_cast<u64>(t0 >> 51);
+  t1 += carry;
+  r.v[1] = static_cast<u64>(t1) & kMask51;
+  carry = static_cast<u64>(t1 >> 51);
+  t2 += carry;
+  r.v[2] = static_cast<u64>(t2) & kMask51;
+  carry = static_cast<u64>(t2 >> 51);
+  t3 += carry;
+  r.v[3] = static_cast<u64>(t3) & kMask51;
+  carry = static_cast<u64>(t3 >> 51);
+  t4 += carry;
+  r.v[4] = static_cast<u64>(t4) & kMask51;
+  carry = static_cast<u64>(t4 >> 51);
+  r.v[0] += carry * 19;
+  carry = r.v[0] >> 51;
+  r.v[0] &= kMask51;
+  r.v[1] += carry;
+  return r;
+}
+
+Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+
+Fe fe_mul_small(const Fe& a, u64 k) {
+  u128 t;
+  Fe r;
+  u64 carry = 0;
+  for (int i = 0; i < 5; ++i) {
+    t = static_cast<u128>(a.v[i]) * k + carry;
+    r.v[i] = static_cast<u64>(t) & kMask51;
+    carry = static_cast<u64>(t >> 51);
+  }
+  r.v[0] += carry * 19;
+  return r;
+}
+
+// Inversion via Fermat: a^(p-2).
+Fe fe_invert(const Fe& z) {
+  Fe z2 = fe_sq(z);                 // 2
+  Fe z8 = fe_sq(fe_sq(z2));         // 8
+  Fe z9 = fe_mul(z8, z);            // 9
+  Fe z11 = fe_mul(z9, z2);          // 11
+  Fe z22 = fe_sq(z11);              // 22
+  Fe z_5_0 = fe_mul(z22, z9);       // 2^5 - 2^0
+  Fe t = z_5_0;
+  for (int i = 0; i < 5; ++i) t = fe_sq(t);
+  Fe z_10_0 = fe_mul(t, z_5_0);     // 2^10 - 2^0
+  t = z_10_0;
+  for (int i = 0; i < 10; ++i) t = fe_sq(t);
+  Fe z_20_0 = fe_mul(t, z_10_0);    // 2^20 - 2^0
+  t = z_20_0;
+  for (int i = 0; i < 20; ++i) t = fe_sq(t);
+  Fe z_40_0 = fe_mul(t, z_20_0);    // 2^40 - 2^0
+  t = z_40_0;
+  for (int i = 0; i < 10; ++i) t = fe_sq(t);
+  Fe z_50_0 = fe_mul(t, z_10_0);    // 2^50 - 2^0
+  t = z_50_0;
+  for (int i = 0; i < 50; ++i) t = fe_sq(t);
+  Fe z_100_0 = fe_mul(t, z_50_0);   // 2^100 - 2^0
+  t = z_100_0;
+  for (int i = 0; i < 100; ++i) t = fe_sq(t);
+  Fe z_200_0 = fe_mul(t, z_100_0);  // 2^200 - 2^0
+  t = z_200_0;
+  for (int i = 0; i < 50; ++i) t = fe_sq(t);
+  Fe z_250_0 = fe_mul(t, z_50_0);   // 2^250 - 2^0
+  t = z_250_0;
+  for (int i = 0; i < 5; ++i) t = fe_sq(t);
+  return fe_mul(t, z11);            // 2^255 - 21
+}
+
+void fe_cswap(Fe& a, Fe& b, u64 swap) {
+  const u64 mask = 0 - swap;
+  for (int i = 0; i < 5; ++i) {
+    const u64 x = mask & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= x;
+    b.v[i] ^= x;
+  }
+}
+
+}  // namespace
+
+X25519Key x25519(const X25519Key& scalar, const X25519Key& u) {
+  std::uint8_t e[32];
+  std::memcpy(e, scalar.data(), 32);
+  // RFC 7748 clamping.
+  e[0] &= 248;
+  e[31] &= 127;
+  e[31] |= 64;
+
+  std::uint8_t u_bytes[32];
+  std::memcpy(u_bytes, u.data(), 32);
+  u_bytes[31] &= 127;  // mask the high bit per RFC 7748
+
+  const Fe x1 = fe_from_bytes(u_bytes);
+  Fe x2{{1, 0, 0, 0, 0}};
+  Fe z2{{0, 0, 0, 0, 0}};
+  Fe x3 = x1;
+  Fe z3{{1, 0, 0, 0, 0}};
+  u64 swap = 0;
+
+  for (int pos = 254; pos >= 0; --pos) {
+    const u64 bit = (e[pos / 8] >> (pos % 8)) & 1;
+    swap ^= bit;
+    fe_cswap(x2, x3, swap);
+    fe_cswap(z2, z3, swap);
+    swap = bit;
+
+    const Fe a = fe_add(x2, z2);
+    const Fe aa = fe_sq(a);
+    const Fe b = fe_sub(x2, z2);
+    const Fe bb = fe_sq(b);
+    const Fe e_ = fe_sub(aa, bb);
+    const Fe c = fe_add(x3, z3);
+    const Fe d = fe_sub(x3, z3);
+    const Fe da = fe_mul(d, a);
+    const Fe cb = fe_mul(c, b);
+    x3 = fe_sq(fe_add(da, cb));
+    z3 = fe_mul(x1, fe_sq(fe_sub(da, cb)));
+    x2 = fe_mul(aa, bb);
+    z2 = fe_mul(e_, fe_add(aa, fe_mul_small(e_, 121665)));
+  }
+  fe_cswap(x2, x3, swap);
+  fe_cswap(z2, z3, swap);
+
+  const Fe out = fe_mul(x2, fe_invert(z2));
+  X25519Key result{};
+  fe_to_bytes(result.data(), out);
+  return result;
+}
+
+X25519Key x25519_public(const X25519Key& private_key) {
+  X25519Key base{};
+  base[0] = 9;
+  return x25519(private_key, base);
+}
+
+X25519Key make_x25519_key(ByteView bytes) {
+  assert(bytes.size() == 32);
+  X25519Key key{};
+  std::memcpy(key.data(), bytes.data(), 32);
+  return key;
+}
+
+}  // namespace zc::crypto

@@ -1,0 +1,27 @@
+// X25519 Diffie-Hellman (RFC 7748), implemented from scratch.
+//
+// Z-Wave S2 inclusion bootstraps its network keys with Curve25519 ECDH;
+// the simulated controllers and the S2 door lock run a real key agreement
+// so the derived CCM/CMAC keys are honest secrets rather than constants.
+// Validated against RFC 7748 section 5.2 / 6.1 vectors in tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace zc::crypto {
+
+using X25519Key = std::array<std::uint8_t, 32>;
+
+/// Scalar multiplication: out = scalar * point (u-coordinate only).
+X25519Key x25519(const X25519Key& scalar, const X25519Key& u);
+
+/// Computes the public key for a private scalar (scalar * base point 9).
+X25519Key x25519_public(const X25519Key& private_key);
+
+/// Builds a key from exactly 32 bytes.
+X25519Key make_x25519_key(ByteView bytes);
+
+}  // namespace zc::crypto

@@ -1,0 +1,41 @@
+#include "radio/endpoint.h"
+
+#include "common/log.h"
+
+namespace zc::radio {
+
+MacEndpoint::MacEndpoint(RfMedium& medium, RadioConfig config)
+    : radio_(medium, std::move(config)) {
+  radio_.set_bits_handler(
+      [this](const BitStream& bits, double rssi) { on_bits(bits, rssi); });
+}
+
+bool MacEndpoint::send(const zwave::MacFrame& frame) {
+  auto encoded = frame.encode();
+  if (!encoded.ok()) {
+    ZC_WARN("%s: refusing to send oversized frame: %s", radio_.config().label.c_str(),
+            encoded.error().message.c_str());
+    return false;
+  }
+  radio_.transmit(encoded.value());
+  return true;
+}
+
+void MacEndpoint::send_raw(ByteView frame_bytes) { radio_.transmit(frame_bytes); }
+
+void MacEndpoint::on_bits(const BitStream& bits, double rssi_dbm) {
+  const auto raw = decode_transmission(bits);
+  if (!raw.ok()) {
+    ++frames_dropped_;
+    return;
+  }
+  const auto frame = zwave::decode_frame(raw.value());
+  if (!frame.ok()) {
+    ++frames_dropped_;
+    return;
+  }
+  ++frames_ok_;
+  if (handler_) handler_(frame.value(), rssi_dbm);
+}
+
+}  // namespace zc::radio

@@ -1,0 +1,46 @@
+// MAC-level endpoint: the glue between a Transceiver's raw bit stream and
+// decoded MacFrames. Every simulated device and the ZCover dongle sit on
+// one of these.
+#pragma once
+
+#include <functional>
+
+#include "radio/medium.h"
+#include "zwave/frame.h"
+
+namespace zc::radio {
+
+/// Wraps a Transceiver with Z-Wave framing. Invalid transmissions (noise,
+/// checksum failures) are counted and dropped, mirroring a real MAC.
+class MacEndpoint {
+ public:
+  using FrameHandler = std::function<void(const zwave::MacFrame& frame, double rssi_dbm)>;
+
+  MacEndpoint(RfMedium& medium, RadioConfig config);
+
+  /// Sends a well-formed frame. Returns false when the frame exceeds the
+  /// MAC limit (nothing is transmitted).
+  bool send(const zwave::MacFrame& frame);
+
+  /// Sends raw frame bytes verbatim — the injection path fuzzers use for
+  /// deliberately malformed frames (bad LEN/CS are transmitted as-is).
+  void send_raw(ByteView frame_bytes);
+
+  void set_frame_handler(FrameHandler handler) { handler_ = std::move(handler); }
+
+  Transceiver& radio() { return radio_; }
+  const Transceiver& radio() const { return radio_; }
+
+  std::uint64_t frames_ok() const { return frames_ok_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+
+ private:
+  void on_bits(const BitStream& bits, double rssi_dbm);
+
+  Transceiver radio_;
+  FrameHandler handler_;
+  std::uint64_t frames_ok_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+};
+
+}  // namespace zc::radio

@@ -1,0 +1,78 @@
+#include "radio/medium.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zc::radio {
+
+Transceiver::Transceiver(RfMedium& medium, RadioConfig config)
+    : medium_(medium), config_(std::move(config)) {
+  medium_.attach(this);
+}
+
+Transceiver::~Transceiver() { medium_.detach(this); }
+
+void Transceiver::move_to(double x_meters, double y_meters) {
+  config_.x_meters = x_meters;
+  config_.y_meters = y_meters;
+}
+
+void Transceiver::transmit(ByteView frame) {
+  ++frames_sent_;
+  medium_.broadcast(this, encode_transmission(frame));
+}
+
+void Transceiver::deliver(const BitStream& bits, double rssi_dbm) {
+  ++frames_heard_;
+  if (handler_) handler_(bits, rssi_dbm);
+}
+
+RfMedium::RfMedium(EventScheduler& scheduler, Rng noise_rng, ChannelModel model)
+    : scheduler_(scheduler), rng_(noise_rng), model_(model) {}
+
+void RfMedium::attach(Transceiver* endpoint) { endpoints_.push_back(endpoint); }
+
+void RfMedium::detach(Transceiver* endpoint) {
+  endpoints_.erase(std::remove(endpoints_.begin(), endpoints_.end(), endpoint),
+                   endpoints_.end());
+}
+
+double RfMedium::link_rssi_dbm(const Transceiver& from, const Transceiver& to) const {
+  const double dx = from.config().x_meters - to.config().x_meters;
+  const double dy = from.config().y_meters - to.config().y_meters;
+  const double distance = std::max(1.0, std::sqrt(dx * dx + dy * dy));
+  const double loss =
+      model_.path_loss_at_1m_db + 10.0 * model_.path_loss_exponent * std::log10(distance);
+  return from.config().tx_power_dbm - loss;
+}
+
+void RfMedium::broadcast(Transceiver* sender, const BitStream& bits) {
+  ++transmissions_;
+  const double airtime_seconds = static_cast<double>(bits.size()) / model_.data_rate_bps;
+  const SimTime airtime = static_cast<SimTime>(airtime_seconds * static_cast<double>(kSecond));
+
+  for (Transceiver* receiver : endpoints_) {
+    if (receiver == sender) continue;
+    if (receiver->config().region != sender->config().region) continue;
+
+    const double rssi = link_rssi_dbm(*sender, *receiver);
+    if (rssi < model_.sensitivity_dbm) continue;
+
+    // Linear delivery ramp across the fade margin just above sensitivity.
+    const double headroom = rssi - model_.sensitivity_dbm;
+    const double delivery_p = std::clamp(headroom / model_.fade_margin_db, 0.0, 1.0);
+    if (!rng_.chance(delivery_p)) continue;
+
+    BitStream delivered = bits;
+    if (model_.bit_flip_rate > 0.0) {
+      for (auto& bit : delivered) {
+        if (rng_.chance(model_.bit_flip_rate)) bit ^= 1;
+      }
+    }
+    scheduler_.schedule_after(airtime, [receiver, delivered = std::move(delivered), rssi] {
+      receiver->deliver(delivered, rssi);
+    });
+  }
+}
+
+}  // namespace zc::radio

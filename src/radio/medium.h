@@ -1,0 +1,117 @@
+// Simulated sub-GHz RF medium.
+//
+// Stand-in for the physical 868/908 MHz channel between the Yardstick
+// dongle and the testbed devices (DESIGN.md substitution table). The medium
+// delivers bit streams between attached transceivers with:
+//   * airtime delay from the configured data rate,
+//   * log-distance path loss -> delivery probability per link (the paper's
+//     attacker operates at 10-70 m),
+//   * optional random bit-flip noise, which downstream layers must reject
+//     via Manchester symbol checks and the CS-8 checksum.
+//
+// Determinism: all randomness comes from the Rng handed to the
+// constructor; delivery order is scheduling order on the shared
+// EventScheduler.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "radio/phy.h"
+#include "zwave/types.h"
+
+namespace zc::radio {
+
+/// Physical placement and radio parameters of one attached transceiver.
+struct RadioConfig {
+  std::string label;          // for logs: "controller-D4", "zcover-dongle"
+  zwave::RfRegion region = zwave::RfRegion::kUs908;
+  double x_meters = 0.0;
+  double y_meters = 0.0;
+  double tx_power_dbm = 0.0;  // Z-Wave nodes transmit around 0 dBm
+};
+
+/// Channel model parameters.
+struct ChannelModel {
+  double data_rate_bps = 40000.0;     // R2 rate
+  double path_loss_at_1m_db = 40.0;   // reference loss
+  double path_loss_exponent = 2.4;    // indoor-ish
+  double sensitivity_dbm = -100.0;    // below this nothing is heard
+  double fade_margin_db = 6.0;        // linear loss ramp above sensitivity
+  double bit_flip_rate = 0.0;         // probability per bit of corruption
+};
+
+class RfMedium;
+
+/// One radio endpoint. Devices own a Transceiver; the medium holds a
+/// non-owning registry (endpoints must outlive the medium's use of them,
+/// which the Testbed guarantees by owning both).
+class Transceiver {
+ public:
+  /// Raw receive hook: demodulated bit stream + RSSI, before any framing.
+  using BitsHandler = std::function<void(const BitStream& bits, double rssi_dbm)>;
+
+  Transceiver(RfMedium& medium, RadioConfig config);
+  ~Transceiver();
+
+  Transceiver(const Transceiver&) = delete;
+  Transceiver& operator=(const Transceiver&) = delete;
+
+  const RadioConfig& config() const { return config_; }
+  void move_to(double x_meters, double y_meters);
+
+  /// Transmits raw frame bytes (adds preamble/SOF/Manchester).
+  void transmit(ByteView frame);
+
+  /// Registers the receive hook (replaces any previous one).
+  void set_bits_handler(BitsHandler handler) { handler_ = std::move(handler); }
+
+  /// Counters for benchmarks.
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_heard() const { return frames_heard_; }
+
+ private:
+  friend class RfMedium;
+  void deliver(const BitStream& bits, double rssi_dbm);
+
+  RfMedium& medium_;
+  RadioConfig config_;
+  BitsHandler handler_;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_heard_ = 0;
+};
+
+/// The shared channel.
+class RfMedium {
+ public:
+  RfMedium(EventScheduler& scheduler, Rng noise_rng, ChannelModel model = {});
+
+  EventScheduler& scheduler() { return scheduler_; }
+  const ChannelModel& model() const { return model_; }
+
+  /// Computes received power for a link (used by tests and the scanner's
+  /// RSSI display).
+  double link_rssi_dbm(const Transceiver& from, const Transceiver& to) const;
+
+  /// Total transmissions that crossed the medium.
+  std::uint64_t transmissions() const { return transmissions_; }
+
+ private:
+  friend class Transceiver;
+  void attach(Transceiver* endpoint);
+  void detach(Transceiver* endpoint);
+  void broadcast(Transceiver* sender, const BitStream& bits);
+
+  EventScheduler& scheduler_;
+  Rng rng_;
+  ChannelModel model_;
+  std::vector<Transceiver*> endpoints_;
+  std::uint64_t transmissions_ = 0;
+};
+
+}  // namespace zc::radio

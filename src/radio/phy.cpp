@@ -1,0 +1,97 @@
+#include "radio/phy.h"
+
+namespace zc::radio {
+
+void manchester_encode_byte(std::uint8_t byte, BitStream& out) {
+  for (int bit = 7; bit >= 0; --bit) {
+    if ((byte >> bit) & 1) {
+      out.push_back(1);
+      out.push_back(0);
+    } else {
+      out.push_back(0);
+      out.push_back(1);
+    }
+  }
+}
+
+Result<Bytes> manchester_decode(const BitStream& bits, std::size_t bit_offset,
+                                std::size_t byte_count) {
+  if (bit_offset + byte_count * 16 > bits.size()) {
+    return Error{Errc::kTruncated, "bit stream shorter than requested bytes"};
+  }
+  Bytes out;
+  out.reserve(byte_count);
+  std::size_t pos = bit_offset;
+  for (std::size_t i = 0; i < byte_count; ++i) {
+    std::uint8_t value = 0;
+    for (int bit = 0; bit < 8; ++bit) {
+      const std::uint8_t first = bits[pos];
+      const std::uint8_t second = bits[pos + 1];
+      pos += 2;
+      if (first == second) {
+        return Error{Errc::kBadField, "invalid Manchester symbol (noise)"};
+      }
+      value = static_cast<std::uint8_t>((value << 1) | (first == 1 ? 1 : 0));
+    }
+    out.push_back(value);
+  }
+  return out;
+}
+
+BitStream encode_transmission(ByteView frame) {
+  BitStream bits;
+  bits.reserve((kPreambleLength + 1 + frame.size()) * 16);
+  for (std::size_t i = 0; i < kPreambleLength; ++i) manchester_encode_byte(kPreambleByte, bits);
+  manchester_encode_byte(kStartOfFrame, bits);
+  for (std::uint8_t b : frame) manchester_encode_byte(b, bits);
+  return bits;
+}
+
+Result<Bytes> decode_transmission(const BitStream& bits) {
+  // Hunt for the SOF byte on any 2-bit-aligned boundary after at least one
+  // preamble byte worth of 0x55.
+  const std::size_t total_bytes = bits.size() / 16;
+  if (total_bytes < 2) {
+    return Error{Errc::kTruncated, "bit stream too short for framing"};
+  }
+  std::size_t sof_index = 0;
+  bool found = false;
+  std::size_t preamble_run = 0;
+  for (std::size_t i = 0; i < total_bytes; ++i) {
+    const auto byte = manchester_decode(bits, i * 16, 1);
+    if (!byte.ok()) {
+      preamble_run = 0;
+      continue;
+    }
+    const std::uint8_t value = byte.value()[0];
+    if (value == kPreambleByte) {
+      ++preamble_run;
+      continue;
+    }
+    if (value == kStartOfFrame && preamble_run >= 1) {
+      sof_index = i;
+      found = true;
+      break;
+    }
+    preamble_run = 0;
+  }
+  if (!found) {
+    return Error{Errc::kBadField, "no start-of-frame delimiter found"};
+  }
+
+  // Everything after SOF until the stream ends (or a symbol error) is the
+  // frame body. A trailing partial byte is ignored, like a real receiver
+  // squelching at end of transmission.
+  Bytes frame;
+  for (std::size_t i = sof_index + 1; i < total_bytes; ++i) {
+    const auto byte = manchester_decode(bits, i * 16, 1);
+    if (!byte.ok()) break;
+    frame.push_back(byte.value()[0]);
+  }
+  if (frame.empty()) {
+    return Error{Errc::kTruncated, "no frame bytes after start-of-frame"};
+  }
+  return frame;
+}
+
+}  // namespace zc::radio

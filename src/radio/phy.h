@@ -1,0 +1,46 @@
+// PHY-layer symbol coding: the bit-level pipeline between MAC frames and
+// the simulated air interface.
+//
+// The paper's passive scanner (Fig. 4) starts from raw demodulated bits:
+// "Raw data: 110010111001010..." -> hex -> fields. This module produces and
+// consumes exactly that representation: a transmission is preamble bytes
+// (0x55...) + start-of-frame delimiter + Manchester-coded frame bytes.
+// The sniffer must find the SOF, strip the repetitive preamble "noise
+// bytes" (§III-B1 step 1) and recover frame bytes before any MAC parsing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace zc::radio {
+
+/// One on-air bit.
+using BitStream = std::vector<std::uint8_t>;  // values 0/1
+
+/// G.9959 R1/R2-style framing constants.
+constexpr std::uint8_t kPreambleByte = 0x55;
+constexpr std::size_t kPreambleLength = 10;  // bytes of 0x55 before SOF
+constexpr std::uint8_t kStartOfFrame = 0xF0;
+
+/// Manchester-encodes one byte MSB-first (0 -> 01, 1 -> 10).
+void manchester_encode_byte(std::uint8_t byte, BitStream& out);
+
+/// Decodes `2*n` Manchester bits back into `n` bytes. Fails on an invalid
+/// symbol pair (00/11), which real receivers treat as noise.
+Result<Bytes> manchester_decode(const BitStream& bits, std::size_t bit_offset,
+                                std::size_t byte_count);
+
+/// Encodes a full transmission: preamble + SOF + Manchester(frame bytes).
+BitStream encode_transmission(ByteView frame);
+
+/// Scans a bit stream for a transmission: locates the preamble run and SOF,
+/// then Manchester-decodes the remainder into raw frame bytes. Returns the
+/// frame bytes (which may still fail MAC validation — that is the next
+/// layer's job). `frame_length_hint` of 0 means "decode until the stream
+/// ends or a symbol error occurs".
+Result<Bytes> decode_transmission(const BitStream& bits);
+
+}  // namespace zc::radio

@@ -1,0 +1,956 @@
+#include "sim/controller.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.h"
+#include "sim/mac_quirks.h"
+#include "zwave/checksum.h"
+#include "zwave/multicast.h"
+#include "zwave/routing.h"
+
+namespace zc::sim {
+
+namespace {
+
+constexpr SimTime kAckTurnaround = 1 * kMillisecond;
+constexpr SimTime kProcessingDelay = 4 * kMillisecond;
+constexpr SimTime kInfinite = std::numeric_limits<SimTime>::max();
+
+constexpr zwave::CommandClassId kProtocol = 0x01;
+constexpr zwave::CommandClassId kZensor = 0x02;
+constexpr zwave::CommandClassId kAppStatus = 0x22;
+
+Bytes seed32_from_rng(Rng& rng) { return rng.bytes(32); }
+
+}  // namespace
+
+VirtualController::VirtualController(radio::RfMedium& medium, EventScheduler& scheduler,
+                                     DeviceModel model, double x_meters, double y_meters,
+                                     Rng rng)
+    : model_(model),
+      profile_(controller_profile(model)),
+      scheduler_(scheduler),
+      rng_(rng),
+      endpoint_(medium,
+                radio::RadioConfig{std::string("controller-") + device_model_name(model),
+                                   zwave::RfRegion::kUs908, x_meters, y_meters, 0.0}),
+      host_(std::make_unique<HostSoftware>(
+          profile_.hub ? "SmartThings app" : "Z-Wave PC Controller program", scheduler)),
+      dispatch_table_(firmware_dispatch_table()),
+      drbg_(seed32_from_rng(rng_)) {
+  const auto cluster = zwave::SpecDatabase::instance().controller_cluster(true);
+  recognized_.insert(cluster.begin(), cluster.end());
+  // The controller itself occupies node 1.
+  table_.upsert(NodeRecord{node_id(), zwave::kBasicClassStaticController, true,
+                           zwave::SecurityLevel::kS2, 0, "Primary Controller"});
+  endpoint_.set_frame_handler(
+      [this](const zwave::MacFrame& frame, double /*rssi*/) { on_frame(frame); });
+}
+
+void VirtualController::adopt_node(NodeRecord record) { table_.upsert(std::move(record)); }
+
+void VirtualController::install_s2_session(zwave::NodeId peer, const crypto::S2Keys& keys,
+                                           ByteView span_seed32) {
+  s2_sessions_.emplace(peer, zwave::S2Session(keys, span_seed32));
+}
+
+void VirtualController::install_s0_session(zwave::NodeId peer,
+                                           const crypto::AesKey& network_key) {
+  s0_sessions_.emplace(peer, zwave::S0Session(network_key));
+}
+
+bool VirtualController::cloud_control_available() const {
+  if (!profile_.hub) return false;
+  return host_->responsive() && !wakeup_books_damaged_ && responsive();
+}
+
+bool VirtualController::responsive() const { return scheduler_.now() >= busy_until_; }
+
+SimTime VirtualController::outage_remaining() const {
+  const SimTime now = scheduler_.now();
+  if (now >= busy_until_) return 0;
+  return busy_until_ == kInfinite ? kInfinite : busy_until_ - now;
+}
+
+void VirtualController::operator_recover() {
+  busy_until_ = 0;
+  wakeup_books_damaged_ = false;
+  host_->restart();
+}
+
+void VirtualController::on_frame(const zwave::MacFrame& frame) {
+  ++stats_.frames_received;
+  if (frame.home_id != profile_.home_id) return;  // foreign network
+  if (frame.dst != node_id() && frame.dst != zwave::kBroadcastNodeId) return;
+
+  if (!responsive()) {
+    ++stats_.dropped_while_busy;
+    return;  // no ack, no processing: the outage the fuzzer's NOP probe sees
+  }
+  // Known one-day MAC quirks (VFuzz's hunting ground; see mac_quirks.h).
+  for (const auto& quirk : mac_quirk_matrix()) {
+    if (!quirk.affects(model_) || !quirk.matches(frame)) continue;
+    begin_outage(OutageDuration{quirk.outage});
+    triggered_.push_back(TriggeredVuln{quirk.quirk_id, scheduler_.now(), frame.payload});
+    ZC_DEBUG("%s: MAC quirk #%d fired", device_model_name(model_), quirk.quirk_id);
+    return;
+  }
+
+  if (frame.header == zwave::HeaderType::kAck) return;
+
+  // Retransmission suppression: a frame repeating the previous sequence
+  // number from the same source is the sender retrying a lost ack — it is
+  // re-acknowledged but not re-processed (otherwise every retry would
+  // double-apply SET-style commands).
+  if (frame.header == zwave::HeaderType::kSinglecast) {
+    const auto last = last_sequence_.find(frame.src);
+    if (last != last_sequence_.end() && last->second == frame.sequence) {
+      if (frame.ack_requested) send_ack(frame);
+      ++stats_.duplicates_dropped;
+      return;
+    }
+    last_sequence_[frame.src] = frame.sequence;
+  }
+
+  if (frame.ack_requested) send_ack(frame);
+
+  ByteView app_bytes(frame.payload);
+  Bytes multicast_inner;
+  if (frame.header == zwave::HeaderType::kMulticast) {
+    const auto multicast = zwave::split_multicast_payload(frame.payload);
+    if (!multicast.ok() || !multicast.value().addresses(node_id())) return;
+    multicast_inner = multicast.value().app_payload;
+    app_bytes = ByteView(multicast_inner);
+  }
+  Bytes routed_inner;
+  if (frame.routed) {
+    const auto routed = zwave::split_routed_payload(frame.payload);
+    if (!routed.ok()) return;                    // garbage route header
+    if (!routed.value().route.complete()) return;  // mid-route: a repeater's job
+    routed_inner = routed.value().app_payload;
+    app_bytes = ByteView(routed_inner);
+  }
+
+  const auto app = zwave::decode_app_payload(app_bytes);
+  if (!app.ok()) return;  // empty payload: MAC-level traffic only
+  ++stats_.app_payloads;
+  dispatch(app.value(), frame.src, Origin::kPlaintext);
+}
+
+void VirtualController::dispatch(const zwave::AppPayload& app, zwave::NodeId src,
+                                 Origin origin, int depth) {
+  // Encapsulation-depth guard: nested CRC-16 / Multi Cmd / Supervision /
+  // Multi Channel wrappers (an "encap bomb") must not recurse unboundedly.
+  if (depth > 4) return;
+
+  // Automations watch *everything* the hub hears — including slave-report
+  // classes the controller does not otherwise implement.
+  evaluate_automations(app, src);
+
+  if (!recognized_.contains(app.cmd_class)) {
+    ++stats_.unrecognized_class;  // silent ignore: class truly unsupported
+    return;
+  }
+
+  // Seeded flaws fire before the legit handler, and only for payloads that
+  // arrived outside secure encapsulation (the paper's root cause).
+  const bool fired = check_vulnerabilities(app, origin);
+
+  const auto it = dispatch_table_.find(app.cmd_class);
+  const bool command_handled =
+      it != dispatch_table_.end() &&
+      std::find(it->second.begin(), it->second.end(), app.command) != it->second.end();
+  if (!command_handled) {
+    // Supporting-direction commands (REPORTs and friends) are inputs the
+    // controller consumes silently even without a dedicated handler.
+    const auto* cls_spec = zwave::SpecDatabase::instance().find(app.cmd_class);
+    const zwave::CommandSpec* cmd_spec =
+        cls_spec != nullptr ? cls_spec->find_command(app.command) : nullptr;
+    if (cmd_spec != nullptr && cmd_spec->direction == zwave::CmdDirection::kSupporting) {
+      // WAKE_UP NOTIFICATION: a sleeping node announced itself — flush its
+      // mailbox, provided the wake-up bookkeeping still exists (bug #12
+      // wipes it, silently orphaning every queued command).
+      if (app.cmd_class == 0x84 && app.command == 0x07) {
+        const NodeRecord* record = table_.find(src);
+        const auto queued = wakeup_queue_.find(src);
+        if (record != nullptr && record->wakeup_interval_s > 0 &&
+            queued != wakeup_queue_.end()) {
+          for (const auto& pending : queued->second) reply(src, pending);
+          wakeup_queue_.erase(queued);
+          zwave::AppPayload no_more;
+          no_more.cmd_class = 0x84;
+          no_more.command = 0x08;  // NO_MORE_INFORMATION
+          reply(src, no_more);
+        }
+      }
+      return;
+    }
+    // Recognized class, unimplemented command/request: a well-formed
+    // rejection. This is what makes systematic validation testing
+    // (§III-C2) work.
+    ++stats_.rejected_commands;
+    reply_rejected(src);
+    return;
+  }
+
+  stats_.accepted_pairs.insert({app.cmd_class, app.command});
+
+  // Forward the application payload to the host program, the way a USB
+  // stick raises APPLICATION_COMMAND_HANDLER callbacks for the PC tool.
+  if (host_program_ != nullptr) {
+    SerialFrame callback;
+    callback.type = SerialType::kRequest;
+    callback.func = static_cast<std::uint8_t>(SerialFunc::kApplicationCommandHandler);
+    callback.data.push_back(src);
+    callback.data.push_back(static_cast<std::uint8_t>(2 + app.params.size()));
+    const Bytes payload_bytes = app.encode();
+    callback.data.insert(callback.data.end(), payload_bytes.begin(), payload_bytes.end());
+    emit_serial(callback.encode(), 1 * kMillisecond);
+  }
+
+  if (fired && !responsive()) return;  // outage began: no further processing
+
+  switch (app.cmd_class) {
+    case kProtocol:
+    case kZensor:
+      handle_protocol(app, src, origin);
+      break;
+    case zwave::kSecurity2Class:
+      handle_security2(app, src, origin);
+      break;
+    case zwave::kSecurity0Class:
+      handle_security0(app, src);
+      break;
+    case 0x56:  // CRC-16 encap
+    case 0x60:  // Multi Channel
+    case 0x6C:  // Supervision
+    case 0x8F:  // Multi Cmd
+    case 0x55:  // Transport Service
+      handle_encapsulation(app, src, origin, depth);
+      break;
+    case 0x34:  // NM Inclusion
+    case 0x52:  // NM Proxy
+      handle_network_mgmt(app, src);
+      break;
+    default:
+      handle_management(app, src);
+      break;
+  }
+}
+
+bool VirtualController::check_vulnerabilities(const zwave::AppPayload& app, Origin origin) {
+  if (origin != Origin::kPlaintext) return false;  // secure path is enforced
+  for (const auto& spec : vulnerability_matrix()) {
+    if (!spec.affects(model_)) continue;
+    if (spec.cmd_class != app.cmd_class || spec.command != app.command) continue;
+    if (spec.operation.has_value()) {
+      if (app.params.empty() || app.params[0] != *spec.operation) continue;
+    }
+    // Semantic preconditions that distinguish the buggy path from the
+    // legitimate flow the same command serves.
+    switch (spec.effect) {
+      case VulnEffect::kHostAppDoS: {
+        // #05: a NIF request for a ghost target floods the host interface.
+        const bool ghost_target = app.params.empty() || app.params[0] == 0x00 ||
+                                  (app.params[0] != node_id() &&
+                                   table_.find(app.params[0]) == nullptr);
+        if (!ghost_target) continue;
+        break;
+      }
+      case VulnEffect::kServiceInterruption: {
+        if (spec.cmd_class == 0x86 && spec.command == 0x13) {
+          // #10: VERSION COMMAND_CLASS_GET stalls on an unsupported class.
+          const bool bogus = app.params.empty() || !recognized_.contains(app.params[0]);
+          if (!bogus) continue;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    apply_effect(spec, app);
+    triggered_.push_back(TriggeredVuln{spec.bug_id, scheduler_.now(), app.encode()});
+    ZC_DEBUG("%s: bug #%02d fired (%s)", device_model_name(model_), spec.bug_id,
+             vuln_effect_name(spec.effect));
+    return true;
+  }
+  return false;
+}
+
+void VirtualController::apply_effect(const VulnSpec& spec, const zwave::AppPayload& app) {
+  switch (spec.effect) {
+    case VulnEffect::kCorruptNodeProperties:
+    case VulnEffect::kInsertRogueNode:
+    case VulnEffect::kRemoveNode:
+    case VulnEffect::kOverwriteDatabase:
+    case VulnEffect::kClearWakeupInterval:
+      apply_node_table_update(app);
+      if (spec.effect == VulnEffect::kClearWakeupInterval) wakeup_books_damaged_ = true;
+      break;
+    case VulnEffect::kHostAppDoS:
+      // Hub models: the cloud/app path has no serial link to model.
+      host_->denial_of_service();
+      break;
+    case VulnEffect::kHostProgramDoS:
+      if (host_program_ != nullptr) {
+        // #13: the chip streams powerlevel-test progress callbacks far
+        // faster than the program's event loop drains them.
+        SerialFrame progress;
+        progress.type = SerialType::kRequest;
+        progress.func = static_cast<std::uint8_t>(SerialFunc::kPowerlevelTestReport);
+        progress.data = {app.params.empty() ? std::uint8_t{0} : app.params[0], 0x01};
+        const Bytes encoded = progress.encode();
+        for (int i = 0; i < 24; ++i) emit_serial(encoded, (1 + i * 2) * kMillisecond);
+      } else {
+        host_->denial_of_service();
+      }
+      break;
+    case VulnEffect::kHostProgramCrash:
+      if (host_program_ != nullptr) {
+        // #06: the S2 nonce event is forwarded with a mangled frame the
+        // program's parser mishandles.
+        SerialFrame event;
+        event.type = SerialType::kRequest;
+        event.func = static_cast<std::uint8_t>(SerialFunc::kSecurityEvent);
+        event.data = {0x01 /* nonce-get */,
+                      app.params.empty() ? std::uint8_t{0} : app.params[0]};
+        emit_serial(event.encode_corrupted(), 1 * kMillisecond);
+      } else {
+        host_->crash();
+      }
+      break;
+    case VulnEffect::kServiceInterruption:
+    case VulnEffect::kBusyScan:
+      begin_outage(spec.outage);
+      break;
+  }
+}
+
+void VirtualController::apply_node_table_update(const zwave::AppPayload& app) {
+  // Payload layout (class 0x01, cmd 0x0D): [operation, node_id, properties].
+  const std::uint8_t op = app.params.empty() ? 0 : app.params[0];
+  const zwave::NodeId target = app.params.size() > 1 ? app.params[1] : 0;
+  switch (op) {
+    case 0x00: {  // corrupt properties (Fig. 8: lock becomes routing slave)
+      if (NodeRecord* record = table_.find_mutable(target)) {
+        record->basic_class = zwave::kBasicClassRoutingSlave;
+        record->security = zwave::SecurityLevel::kNone;
+      }
+      break;
+    }
+    case 0x01: {  // insert rogue controller (Fig. 9: IDs #10 and #200)
+      const zwave::NodeId id = target == 0 ? 10 : target;
+      table_.upsert(NodeRecord{id, zwave::kBasicClassController, true,
+                               zwave::SecurityLevel::kNone, 0, "Rogue Controller"});
+      break;
+    }
+    case 0x02:  // remove valid device (Fig. 10)
+      table_.remove(target);
+      break;
+    case 0x03: {  // overwrite database (Fig. 11)
+      table_.clear();
+      table_.upsert(NodeRecord{10, zwave::kBasicClassController, true,
+                               zwave::SecurityLevel::kNone, 0, "Fake Controller A"});
+      table_.upsert(NodeRecord{200, zwave::kBasicClassController, true,
+                               zwave::SecurityLevel::kNone, 0, "Fake Controller B"});
+      break;
+    }
+    case 0x04: {  // clear wake-up bookkeeping (#12): the NVM region holding
+      // wake-up intervals is wiped wholesale, whatever node was named.
+      for (zwave::NodeId id : table_.node_ids()) {
+        if (NodeRecord* record = table_.find_mutable(id)) record->wakeup_interval_s = 0;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void VirtualController::begin_outage(OutageDuration duration) {
+  busy_until_ = duration.has_value() ? scheduler_.now() + *duration : kInfinite;
+}
+
+SerialFrame VirtualController::handle_host_request(const SerialFrame& request) {
+  SerialFrame response;
+  response.type = SerialType::kResponse;
+  response.func = request.func;
+
+  if (!responsive()) {
+    response.data = {0x00};  // chip busy: request refused
+    return response;
+  }
+
+  switch (static_cast<SerialFunc>(request.func)) {
+    case SerialFunc::kSendData: {
+      // [dst, len, payload..., txOptions]
+      if (request.data.size() < 3) {
+        response.data = {0x00};
+        return response;
+      }
+      const zwave::NodeId dst = request.data[0];
+      const std::size_t len = request.data[1];
+      if (2 + len > request.data.size()) {
+        response.data = {0x00};
+        return response;
+      }
+      const auto app = zwave::decode_app_payload(
+          ByteView(request.data.data() + 2, len));
+      if (!app.ok()) {
+        response.data = {0x00};
+        return response;
+      }
+      // Sleeping (non-listening) destinations get their command mailboxed
+      // until the next WAKE_UP NOTIFICATION.
+      const NodeRecord* record = table_.find(dst);
+      if (record != nullptr && !record->listening) {
+        wakeup_queue_[dst].push_back(app.value());
+        response.data = {0x01};
+        return response;
+      }
+      const zwave::MacFrame frame = zwave::make_singlecast(
+          profile_.home_id, node_id(), dst, app.value(), tx_sequence_++ & 0x0F, true);
+      scheduler_.schedule_after(kProcessingDelay, [this, frame] { endpoint_.send(frame); });
+      response.data = {0x01};
+      return response;
+    }
+    case SerialFunc::kGetNodeProtocolInfo: {
+      if (request.data.empty()) {
+        response.data = {0x00};
+        return response;
+      }
+      const NodeRecord* record = table_.find(request.data[0]);
+      if (record == nullptr) {
+        response.data = {0x00, 0x00, 0x00, 0x00};
+        return response;
+      }
+      response.data = {0x01, static_cast<std::uint8_t>(record->listening ? 0x80 : 0x00),
+                       static_cast<std::uint8_t>(record->security), record->basic_class};
+      return response;
+    }
+    case SerialFunc::kRequestNodeInfo: {
+      if (request.data.empty()) {
+        response.data = {0x00};
+        return response;
+      }
+      const zwave::NodeId target = request.data[0];
+      const zwave::MacFrame frame =
+          zwave::make_singlecast(profile_.home_id, node_id(), target,
+                                 zwave::make_nif_request(target), tx_sequence_++ & 0x0F, true);
+      scheduler_.schedule_after(kProcessingDelay, [this, frame] { endpoint_.send(frame); });
+      response.data = {0x01};
+      return response;
+    }
+    default:
+      response.data = {0x00};  // unsupported function id
+      return response;
+  }
+}
+
+void VirtualController::add_automation(AutomationRule rule) {
+  automations_.push_back(std::move(rule));
+}
+
+void VirtualController::evaluate_automations(const zwave::AppPayload& app,
+                                             zwave::NodeId src) {
+  for (const AutomationRule& rule : automations_) {
+    if (rule.trigger_node != src || rule.trigger_class != app.cmd_class ||
+        rule.trigger_command != app.command) {
+      continue;
+    }
+    if (rule.trigger_value.has_value() &&
+        (app.params.empty() || app.params[0] != *rule.trigger_value)) {
+      continue;
+    }
+    // A routine only actuates devices the controller still knows; S2 nodes
+    // only through their secure session. Bugs #01/#03/#04 break exactly
+    // these conditions.
+    const NodeRecord* target = table_.find(rule.action_node);
+    if (target == nullptr) {
+      ++automations_blocked_;
+      continue;
+    }
+    if (target->security == zwave::SecurityLevel::kS2) {
+      const auto session = s2_sessions_.find(rule.action_node);
+      if (session == s2_sessions_.end() ||
+          table_.find(rule.action_node)->security != zwave::SecurityLevel::kS2) {
+        ++automations_blocked_;
+        continue;
+      }
+      reply(rule.action_node,
+            session->second.encapsulate(rule.action, profile_.home_id, node_id(),
+                                        rule.action_node));
+    } else {
+      reply(rule.action_node, rule.action);
+    }
+    ++automations_fired_;
+  }
+}
+
+std::size_t VirtualController::queued_for(zwave::NodeId node) const {
+  const auto it = wakeup_queue_.find(node);
+  return it == wakeup_queue_.end() ? 0 : it->second.size();
+}
+
+void VirtualController::emit_serial(const Bytes& frame_bytes, SimTime delay) {
+  scheduler_.schedule_after(delay, [this, frame_bytes] {
+    if (host_program_ != nullptr) host_program_->on_serial_bytes(frame_bytes);
+  });
+}
+
+void VirtualController::reply(zwave::NodeId dst, zwave::AppPayload payload) {
+  const zwave::MacFrame frame = zwave::make_singlecast(
+      profile_.home_id, node_id(), dst, payload, tx_sequence_++ & 0x0F, false);
+  ++stats_.responses_sent;
+  scheduler_.schedule_after(kProcessingDelay, [this, frame] { endpoint_.send(frame); });
+}
+
+void VirtualController::reply_rejected(zwave::NodeId dst) {
+  zwave::AppPayload status;
+  status.cmd_class = kAppStatus;
+  status.command = 0x02;  // APPLICATION_REJECTED_REQUEST
+  status.params = {0x00};
+  reply(dst, status);
+}
+
+void VirtualController::send_ack(const zwave::MacFrame& received) {
+  const zwave::MacFrame ack = zwave::make_ack(received, node_id());
+  scheduler_.schedule_after(kAckTurnaround, [this, ack] { endpoint_.send(ack); });
+}
+
+void VirtualController::handle_protocol(const zwave::AppPayload& app, zwave::NodeId src,
+                                        Origin origin) {
+  if (app.cmd_class == kZensor) {
+    if (app.command == 0x01) {  // BIND_REQUEST -> BIND_ACCEPT
+      zwave::AppPayload accept;
+      accept.cmd_class = kZensor;
+      accept.command = 0x02;
+      accept.params = app.params;
+      reply(src, accept);
+    }
+    return;
+  }
+  switch (app.command) {
+    case 0x01:  // NOP: MAC ack (already sent) is the liveness answer
+      break;
+    case 0x02: {  // NODE_INFO_REQUEST -> NIF
+      zwave::NodeInfo info;
+      info.capabilities = 0x80;  // listening
+      info.basic_class = zwave::kBasicClassStaticController;
+      info.generic_class = 0x02;
+      info.specific_class = 0x07;
+      info.supported = profile_.listed;
+      reply(src, info.encode());
+      break;
+    }
+    case 0x03:  // ASSIGN_IDS: only honored during inclusion; ignore here
+      break;
+    case 0x05: {  // GET_NODES_IN_RANGE -> RANGE_INFO with the node bitmask
+      zwave::AppPayload range;
+      range.cmd_class = kProtocol;
+      range.command = 0x06;
+      Bytes mask(29, 0x00);
+      for (zwave::NodeId id : table_.node_ids()) {
+        mask[static_cast<std::size_t>((id - 1) / 8)] |=
+            static_cast<std::uint8_t>(1u << ((id - 1) % 8));
+      }
+      range.params.push_back(static_cast<std::uint8_t>(mask.size()));
+      range.params.insert(range.params.end(), mask.begin(), mask.end());
+      reply(src, range);
+      break;
+    }
+    case 0x0D:
+      // NODE_TABLE_UPDATE over a *secure* channel is the legitimate
+      // management path; the plaintext variant was handled by the
+      // vulnerability matrix.
+      if (origin == Origin::kS2) apply_node_table_update(app);
+      break;
+    default:
+      break;
+  }
+}
+
+void VirtualController::handle_security2(const zwave::AppPayload& app, zwave::NodeId src,
+                                         Origin origin) {
+  switch (app.command) {
+    case zwave::kS2NonceGet: {
+      zwave::AppPayload report;
+      report.cmd_class = zwave::kSecurity2Class;
+      report.command = zwave::kS2NonceReport;
+      report.params.push_back(app.params.empty() ? 0 : app.params[0]);
+      report.params.push_back(0x01);  // SOS flag
+      const Bytes entropy = drbg_.generate(16);
+      report.params.insert(report.params.end(), entropy.begin(), entropy.end());
+      reply(src, report);
+      break;
+    }
+    case zwave::kS2NonceReport:
+      break;  // stored by higher-level resync flows; nothing to answer
+    case zwave::kS2MessageEncap: {
+      const auto session = s2_sessions_.find(src);
+      if (session == s2_sessions_.end()) {
+        ++stats_.auth_failures;
+        return;
+      }
+      auto inner =
+          session->second.decapsulate(app, profile_.home_id, src, node_id());
+      if (!inner.ok()) {
+        ++stats_.auth_failures;
+        return;
+      }
+      dispatch(inner.value(), src, Origin::kS2);
+      break;
+    }
+    case 0x04: {  // KEX_GET -> KEX_REPORT
+      zwave::AppPayload report;
+      report.cmd_class = zwave::kSecurity2Class;
+      report.command = 0x05;
+      report.params = {0x00, 0x02, 0x01, 0x87};  // schemes/profiles/keys
+      reply(src, report);
+      break;
+    }
+    case 0x0D: {  // COMMANDS_SUPPORTED_GET
+      zwave::AppPayload report;
+      report.cmd_class = zwave::kSecurity2Class;
+      report.command = 0x0E;
+      report.params.assign(profile_.listed.begin(), profile_.listed.end());
+      reply(src, report);
+      break;
+    }
+    case 0x0F: {  // CAPABILITIES_GET
+      zwave::AppPayload report;
+      report.cmd_class = zwave::kSecurity2Class;
+      report.command = 0x10;
+      report.params = {0x02, 0x01};
+      reply(src, report);
+      break;
+    }
+    default:
+      break;
+  }
+  (void)origin;
+}
+
+void VirtualController::handle_security0(const zwave::AppPayload& app, zwave::NodeId src) {
+  switch (app.command) {
+    case 0x02: {  // COMMANDS_SUPPORTED_GET
+      zwave::AppPayload report;
+      report.cmd_class = zwave::kSecurity0Class;
+      report.command = 0x03;
+      report.params.push_back(0x00);
+      report.params.insert(report.params.end(), profile_.listed.begin(), profile_.listed.end());
+      reply(src, report);
+      break;
+    }
+    case 0x04: {  // SCHEME_GET -> SCHEME_REPORT
+      zwave::AppPayload report;
+      report.cmd_class = zwave::kSecurity0Class;
+      report.command = 0x05;
+      report.params = {0x00};
+      reply(src, report);
+      break;
+    }
+    case zwave::kS0NonceGet: {
+      const auto session = s0_sessions_.find(src);
+      if (session == s0_sessions_.end()) return;
+      Bytes nonce = session->second.make_nonce(drbg_);
+      s0_outstanding_nonce_[src] = nonce;
+      zwave::AppPayload report;
+      report.cmd_class = zwave::kSecurity0Class;
+      report.command = zwave::kS0NonceReport;
+      report.params = nonce;
+      reply(src, report);
+      break;
+    }
+    case zwave::kS0MessageEncap: {
+      const auto session = s0_sessions_.find(src);
+      const auto nonce = s0_outstanding_nonce_.find(src);
+      if (session == s0_sessions_.end() || nonce == s0_outstanding_nonce_.end()) {
+        ++stats_.auth_failures;
+        return;
+      }
+      auto inner = session->second.decapsulate(app, src, node_id(), nonce->second);
+      s0_outstanding_nonce_.erase(nonce);  // single use
+      if (!inner.ok()) {
+        ++stats_.auth_failures;
+        return;
+      }
+      dispatch(inner.value(), src, Origin::kS0);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void VirtualController::handle_management(const zwave::AppPayload& app, zwave::NodeId src) {
+  switch (app.cmd_class) {
+    case 0x86:  // VERSION
+      if (app.command == 0x11) {
+        zwave::AppPayload report;
+        report.cmd_class = 0x86;
+        report.command = 0x12;
+        const std::uint8_t lib = profile_.chip_series == "700" ? 7 : 3;
+        report.params = {lib, 6, 7, 1, static_cast<std::uint8_t>(profile_.year % 100)};
+        reply(src, report);
+      } else if (app.command == 0x13 && !app.params.empty()) {
+        zwave::AppPayload report;
+        report.cmd_class = 0x86;
+        report.command = 0x14;
+        report.params = {app.params[0],
+                         static_cast<std::uint8_t>(recognized_.contains(app.params[0]) ? 1 : 0)};
+        reply(src, report);
+      } else if (app.command == 0x15) {
+        zwave::AppPayload report;
+        report.cmd_class = 0x86;
+        report.command = 0x16;
+        report.params = {0x07};
+        reply(src, report);
+      }
+      break;
+    case 0x70:  // CONFIGURATION
+      if (app.command == 0x04 && app.params.size() >= 3) {
+        config_params_[app.params[0]] = app.params[2];
+      } else if (app.command == 0x05 && !app.params.empty()) {
+        zwave::AppPayload report;
+        report.cmd_class = 0x70;
+        report.command = 0x06;
+        const auto it = config_params_.find(app.params[0]);
+        report.params = {app.params[0], 0x01,
+                         it == config_params_.end() ? std::uint8_t{0} : it->second};
+        reply(src, report);
+      }
+      break;
+    case 0x72:  // MANUFACTURER_SPECIFIC GET
+      if (app.command == 0x04) {
+        zwave::AppPayload report;
+        report.cmd_class = 0x72;
+        report.command = 0x05;
+        report.params = {0x00, static_cast<std::uint8_t>(model_), 0x00, 0x01, 0x00, 0x01};
+        reply(src, report);
+      }
+      break;
+    case 0x5E:  // ZWAVEPLUS_INFO GET
+      if (app.command == 0x01) {
+        zwave::AppPayload report;
+        report.cmd_class = 0x5E;
+        report.command = 0x02;
+        report.params = {0x02, 0x05, 0x00, 0x07, 0x00, 0x07, 0x00};
+        reply(src, report);
+      }
+      break;
+    case 0x59:  // AGI (the legit side of #08/#11 when encrypted)
+      if (app.command == 0x01 && !app.params.empty()) {
+        zwave::AppPayload report;
+        report.cmd_class = 0x59;
+        report.command = 0x02;
+        report.params = {app.params[0], 0x08, 'L', 'i', 'f', 'e', 'l', 'i', 'n', 'e'};
+        reply(src, report);
+      }
+      break;
+    case 0x73:  // POWERLEVEL
+      if (app.command == 0x01 && !app.params.empty()) {
+        powerlevel_ = app.params[0] <= 9 ? app.params[0] : powerlevel_;
+      } else if (app.command == 0x02) {
+        zwave::AppPayload report;
+        report.cmd_class = 0x73;
+        report.command = 0x03;
+        report.params = {powerlevel_, 0x00};
+        reply(src, report);
+      } else if (app.command == 0x04) {
+        // TEST_NODE_SET: status is streamed to the host interface, which is
+        // where bug #13 wedged the PC program; the chip replies normally.
+        zwave::AppPayload report;
+        report.cmd_class = 0x73;
+        report.command = 0x06;
+        report.params = {app.params.empty() ? std::uint8_t{0} : app.params[0], 0x01, 0x00, 0x00};
+        reply(src, report);
+      }
+      break;
+    case 0x85:  // ASSOCIATION
+      if (app.command == 0x01 && app.params.size() >= 2) {
+        // SET: record group members (bounded per group, like real NVM).
+        auto& group = association_groups_[app.params[0]];
+        for (std::size_t i = 1; i < app.params.size() && group.size() < 8; ++i) {
+          group.insert(app.params[i]);
+        }
+      } else if (app.command == 0x02 && !app.params.empty()) {
+        zwave::AppPayload report;
+        report.cmd_class = 0x85;
+        report.command = 0x03;
+        report.params = {app.params[0], 0x08, 0x00};
+        const auto it_group = association_groups_.find(app.params[0]);
+        if (it_group != association_groups_.end()) {
+          report.params.insert(report.params.end(), it_group->second.begin(),
+                               it_group->second.end());
+        }
+        reply(src, report);
+      } else if (app.command == 0x05) {
+        zwave::AppPayload report;
+        report.cmd_class = 0x85;
+        report.command = 0x06;
+        report.params = {0x01};
+        reply(src, report);
+      }
+      break;
+    case 0x84:  // WAKE_UP
+      if (app.command == 0x04 && app.params.size() >= 3) {
+        // INTERVAL_SET records the *sender's* wake-up interval; a node not
+        // in the table (e.g. an attacker id) has no row to update.
+        if (NodeRecord* record = table_.find_mutable(src)) {
+          record->wakeup_interval_s = (static_cast<std::uint32_t>(app.params[0]) << 16) |
+                                      (static_cast<std::uint32_t>(app.params[1]) << 8) |
+                                      app.params[2];
+        }
+      } else if (app.command == 0x05) {
+        zwave::AppPayload report;
+        report.cmd_class = 0x84;
+        report.command = 0x06;
+        report.params = {0x00, 0x0E, 0x10, node_id()};  // 3600 s
+        reply(src, report);
+      }
+      break;
+    case 0x7A:  // FIRMWARE_UPDATE_MD: only UPDATE_GET is on the legit path
+      if (app.command == 0x05) {
+        zwave::AppPayload report;
+        report.cmd_class = 0x7A;
+        report.command = 0x07;
+        report.params = {0xFF, 0x00, 0x00};
+        reply(src, report);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void VirtualController::handle_network_mgmt(const zwave::AppPayload& app, zwave::NodeId src) {
+  const std::uint8_t seq = app.params.empty() ? 0 : app.params[0];
+  if (app.cmd_class == 0x34) {
+    // Unauthenticated inclusion/removal requests fail cleanly.
+    zwave::AppPayload status;
+    status.cmd_class = 0x34;
+    status.command = app.command == 0x01 ? std::uint8_t{0x02} : std::uint8_t{0x04};
+    status.params = {seq, 0x07 /* failed */, 0x00};
+    reply(src, status);
+    return;
+  }
+  // 0x52 NM Proxy.
+  if (app.command == 0x01) {  // NODE_LIST_GET -> NODE_LIST_REPORT
+    zwave::AppPayload report;
+    report.cmd_class = 0x52;
+    report.command = 0x02;
+    report.params = {seq, 0x00, node_id()};
+    Bytes mask(29, 0x00);
+    for (zwave::NodeId id : table_.node_ids()) {
+      mask[static_cast<std::size_t>((id - 1) / 8)] |=
+          static_cast<std::uint8_t>(1u << ((id - 1) % 8));
+    }
+    report.params.insert(report.params.end(), mask.begin(), mask.end());
+    reply(src, report);
+  } else if (app.command == 0x03) {  // NODE_INFO_CACHED_GET
+    const zwave::NodeId target = app.params.size() > 1 ? app.params[1] : 0;
+    zwave::AppPayload report;
+    report.cmd_class = 0x52;
+    report.command = 0x04;
+    const NodeRecord* record = table_.find(target);
+    if (record == nullptr) {
+      report.params = {seq, 0x01 /* status: unknown */};
+    } else {
+      report.params = {seq,
+                       0x00,
+                       static_cast<std::uint8_t>(record->listening ? 0x80 : 0x00),
+                       static_cast<std::uint8_t>(record->security),
+                       record->basic_class,
+                       static_cast<std::uint8_t>(record->wakeup_interval_s >> 16),
+                       static_cast<std::uint8_t>(record->wakeup_interval_s >> 8),
+                       static_cast<std::uint8_t>(record->wakeup_interval_s)};
+    }
+    reply(src, report);
+  }
+}
+
+void VirtualController::handle_encapsulation(const zwave::AppPayload& app, zwave::NodeId src,
+                                             Origin origin, int depth) {
+  switch (app.cmd_class) {
+    case 0x56: {  // CRC-16 encap: [inner..., crc_hi, crc_lo]
+      if (app.params.size() < 3) return;
+      Bytes covered;
+      covered.push_back(app.cmd_class);
+      covered.push_back(app.command);
+      covered.insert(covered.end(), app.params.begin(), app.params.end() - 2);
+      const std::uint16_t expected = zwave::crc16_ccitt(covered);
+      const std::uint16_t got = read_be16(app.params, app.params.size() - 2);
+      if (expected != got) return;
+      const auto inner =
+          zwave::decode_app_payload(ByteView(app.params.data(), app.params.size() - 2));
+      if (inner.ok()) dispatch(inner.value(), src, origin, depth + 1);
+      break;
+    }
+    case 0x60: {  // Multi Channel
+      if (app.command == 0x07) {
+        zwave::AppPayload report;
+        report.cmd_class = 0x60;
+        report.command = 0x08;
+        report.params = {0x00, 0x01};
+        reply(src, report);
+      } else if (app.command == 0x09) {
+        zwave::AppPayload report;
+        report.cmd_class = 0x60;
+        report.command = 0x0A;
+        report.params = {0x01, 0x02, 0x07};
+        reply(src, report);
+      } else if (app.command == 0x0D && app.params.size() >= 3) {
+        const auto inner =
+            zwave::decode_app_payload(ByteView(app.params.data() + 2, app.params.size() - 2));
+        if (inner.ok()) dispatch(inner.value(), src, origin, depth + 1);
+      }
+      break;
+    }
+    case 0x6C: {  // Supervision GET wraps an inner command
+      if (app.command == 0x01 && app.params.size() >= 2) {
+        const std::uint8_t session = app.params[0];
+        const std::size_t inner_len = app.params[1];
+        if (inner_len + 2 <= app.params.size()) {
+          const auto inner =
+              zwave::decode_app_payload(ByteView(app.params.data() + 2, inner_len));
+          if (inner.ok()) dispatch(inner.value(), src, origin, depth + 1);
+        }
+        zwave::AppPayload report;
+        report.cmd_class = 0x6C;
+        report.command = 0x02;
+        report.params = {session, 0xFF /* success */, 0x00};
+        reply(src, report);
+      }
+      break;
+    }
+    case 0x8F: {  // Multi Cmd: [count, (len, payload)...]
+      if (app.command != 0x01 || app.params.empty()) return;
+      std::size_t pos = 1;
+      int remaining = app.params[0];
+      while (remaining-- > 0 && pos < app.params.size()) {
+        const std::size_t len = app.params[pos++];
+        if (len == 0 || pos + len > app.params.size()) break;
+        const auto inner = zwave::decode_app_payload(ByteView(app.params.data() + pos, len));
+        if (inner.ok()) dispatch(inner.value(), src, origin, depth + 1);
+        pos += len;
+      }
+      break;
+    }
+    case 0x55: {  // Transport Service: reassemble, then dispatch the datagram
+      auto reaction = reassembler_.feed(app, src, scheduler_.now());
+      if (!reaction.ok()) return;  // malformed segment: dropped
+      if (reaction.value().reply.has_value()) reply(src, *reaction.value().reply);
+      if (reaction.value().completed.has_value()) {
+        const auto inner = zwave::decode_app_payload(*reaction.value().completed);
+        if (inner.ok()) dispatch(inner.value(), src, origin, depth + 1);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace zc::sim

@@ -1,0 +1,200 @@
+// Virtual Z-Wave controller firmware.
+//
+// Implements a believable application layer for the seven testbed
+// controllers: MAC ack behavior, NIF fingerprinting surface, S0/S2
+// decapsulation with real crypto, a dispatch table of genuinely handled
+// (CMDCL, CMD) pairs, a node table in emulated NVM, host-software side
+// effects — and the seeded Table III vulnerability matrix, reachable only
+// through *unencapsulated* payloads exactly as the paper describes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "radio/endpoint.h"
+#include "sim/host.h"
+#include "sim/node_table.h"
+#include "sim/profile.h"
+#include "sim/serial.h"
+#include "sim/vulnerability.h"
+#include "zwave/command_class.h"
+#include "zwave/nif.h"
+#include "zwave/security.h"
+#include "zwave/transport_service.h"
+
+namespace zc::sim {
+
+/// Record of one triggered vulnerability (the controller-side ground truth
+/// that benchmarks compare the fuzzer's findings against).
+struct TriggeredVuln {
+  int bug_id = 0;
+  SimTime at = 0;
+  Bytes payload;  // the application payload that fired it
+};
+
+class VirtualController {
+ public:
+  VirtualController(radio::RfMedium& medium, EventScheduler& scheduler, DeviceModel model,
+                    double x_meters, double y_meters, Rng rng);
+
+  // --- identity -----------------------------------------------------------
+  DeviceModel model() const { return model_; }
+  const ControllerProfile& profile() const { return profile_; }
+  zwave::HomeId home_id() const { return profile_.home_id; }
+  zwave::NodeId node_id() const { return zwave::kControllerNodeId; }
+
+  // --- network composition (testbed setup) --------------------------------
+  /// Registers a slave in the node table (normal inclusion result).
+  void adopt_node(NodeRecord record);
+
+  /// Installs an established S2 channel with `peer`.
+  void install_s2_session(zwave::NodeId peer, const crypto::S2Keys& keys, ByteView span_seed32);
+
+  /// Installs an S0 channel with `peer` under the given network key.
+  void install_s0_session(zwave::NodeId peer, const crypto::AesKey& network_key);
+
+  NodeTable& node_table() { return table_; }
+  const NodeTable& node_table() const { return table_; }
+
+  // --- host software -------------------------------------------------------
+  /// The companion software: SmartThings-style app for hubs, the Z-Wave PC
+  /// Controller program for USB sticks.
+  HostSoftware& host() { return *host_; }
+  const HostSoftware& host() const { return *host_; }
+
+  /// Connects the PC-controller program model over the emulated serial
+  /// link (USB models). When attached, host-side bug effects travel as
+  /// real serial frames: #06 becomes a malformed callback, #13 a callback
+  /// flood; normal application payloads are forwarded as
+  /// APPLICATION_COMMAND_HANDLER callbacks.
+  void attach_host_program(HostProgram* program) { host_program_ = program; }
+  HostProgram* host_program() { return host_program_; }
+
+  /// Host-to-chip half of the Serial API: the PC tool's requests
+  /// (SEND_DATA, GET_NODE_PROTOCOL_INFO, REQUEST_NODE_INFO). Returns the
+  /// synchronous response frame the chip puts on the wire.
+  SerialFrame handle_host_request(const SerialFrame& request);
+
+  /// Commands queued for a sleeping (non-listening) node, awaiting its
+  /// next WAKE_UP NOTIFICATION.
+  std::size_t queued_for(zwave::NodeId node) const;
+
+  // --- automations ----------------------------------------------------------
+  /// "When <trigger node> reports <class/command[/param0]>, send <action>
+  /// to <action node>" — the hub's automation role (§II-A2). Actions only
+  /// fire while the action node is still in the table and, for S2 nodes,
+  /// ride the secure session: memory tampering visibly breaks routines.
+  struct AutomationRule {
+    zwave::NodeId trigger_node = 0;
+    zwave::CommandClassId trigger_class = 0;
+    zwave::CommandId trigger_command = 0;
+    std::optional<std::uint8_t> trigger_value;  // matches params[0] when set
+    zwave::NodeId action_node = 0;
+    zwave::AppPayload action;
+  };
+  void add_automation(AutomationRule rule);
+  std::uint64_t automations_fired() const { return automations_fired_; }
+  std::uint64_t automations_blocked() const { return automations_blocked_; }
+
+  /// Hubs: whether the homeowner can currently control devices through the
+  /// cloud/app path (degraded by app DoS and wake-up bookkeeping damage).
+  bool cloud_control_available() const;
+
+  // --- status --------------------------------------------------------------
+  /// False while a service-interruption/busy-scan outage is in effect.
+  bool responsive() const;
+
+  /// Remaining outage (0 when responsive; SimTime max for infinite).
+  SimTime outage_remaining() const;
+
+  /// Operator-side manual recovery: ends infinite outages and restarts the
+  /// host software. Deliberately does NOT repair the node table — real
+  /// memory tampering persists until devices are re-included.
+  void operator_recover();
+
+  // --- statistics ----------------------------------------------------------
+  struct Stats {
+    std::uint64_t frames_received = 0;
+    std::uint64_t app_payloads = 0;
+    std::uint64_t dropped_while_busy = 0;
+    std::uint64_t duplicates_dropped = 0;  // MAC retransmissions suppressed
+    std::uint64_t unrecognized_class = 0;   // silent ignores
+    std::uint64_t rejected_commands = 0;    // APPLICATION_STATUS replies
+    std::uint64_t auth_failures = 0;        // S0/S2 MAC failures
+    std::uint64_t responses_sent = 0;
+    /// Distinct genuinely-dispatched (class, command) pairs seen.
+    std::set<std::pair<zwave::CommandClassId, zwave::CommandId>> accepted_pairs;
+  };
+  const Stats& stats() const { return stats_; }
+  const std::vector<TriggeredVuln>& triggered() const { return triggered_; }
+
+  radio::MacEndpoint& endpoint() { return endpoint_; }
+
+ private:
+  enum class Origin { kPlaintext, kS0, kS2 };
+
+  void on_frame(const zwave::MacFrame& frame);
+  void dispatch(const zwave::AppPayload& app, zwave::NodeId src, Origin origin,
+                int depth = 0);
+  /// Returns true when a seeded vulnerability fired (and applies effects).
+  bool check_vulnerabilities(const zwave::AppPayload& app, Origin origin);
+  void apply_effect(const VulnSpec& spec, const zwave::AppPayload& app);
+  void apply_node_table_update(const zwave::AppPayload& app);
+  void begin_outage(OutageDuration duration);
+  void evaluate_automations(const zwave::AppPayload& app, zwave::NodeId src);
+  void emit_serial(const Bytes& frame_bytes, SimTime delay);
+  void reply(zwave::NodeId dst, zwave::AppPayload payload);
+  void reply_rejected(zwave::NodeId dst);
+  void send_ack(const zwave::MacFrame& received);
+
+  // Handlers for the legit surface.
+  void handle_protocol(const zwave::AppPayload& app, zwave::NodeId src, Origin origin);
+  void handle_security2(const zwave::AppPayload& app, zwave::NodeId src, Origin origin);
+  void handle_security0(const zwave::AppPayload& app, zwave::NodeId src);
+  void handle_management(const zwave::AppPayload& app, zwave::NodeId src);
+  void handle_network_mgmt(const zwave::AppPayload& app, zwave::NodeId src);
+  void handle_encapsulation(const zwave::AppPayload& app, zwave::NodeId src, Origin origin,
+                            int depth);
+
+  DeviceModel model_;
+  const ControllerProfile& profile_;
+  EventScheduler& scheduler_;
+  Rng rng_;
+  radio::MacEndpoint endpoint_;
+  NodeTable table_;
+  std::unique_ptr<HostSoftware> host_;
+  HostProgram* host_program_ = nullptr;  // non-owning; testbed wires it
+
+  std::set<zwave::CommandClassId> recognized_;  // the 45-class cluster
+  const HandledCommands& dispatch_table_;
+
+  zwave::TransportReassembler reassembler_;
+  std::map<zwave::NodeId, zwave::S2Session> s2_sessions_;
+  std::map<zwave::NodeId, zwave::S0Session> s0_sessions_;
+  std::map<zwave::NodeId, Bytes> s0_outstanding_nonce_;
+  crypto::CtrDrbg drbg_;
+
+  SimTime busy_until_ = 0;  // UINT64_MAX = infinite outage
+  std::map<zwave::NodeId, std::uint8_t> last_sequence_;  // retransmit filter
+  bool wakeup_books_damaged_ = false;
+  std::uint8_t tx_sequence_ = 0;
+  std::uint8_t powerlevel_ = 0;
+  std::map<std::uint8_t, std::uint8_t> config_params_;
+  std::map<std::uint8_t, std::set<zwave::NodeId>> association_groups_;
+  /// Wake-up mailbox: payloads held for sleeping nodes. Flushing depends on
+  /// the wake-up bookkeeping that bug #12 wipes.
+  std::map<zwave::NodeId, std::vector<zwave::AppPayload>> wakeup_queue_;
+  std::vector<AutomationRule> automations_;
+  std::uint64_t automations_fired_ = 0;
+  std::uint64_t automations_blocked_ = 0;
+
+  Stats stats_;
+  std::vector<TriggeredVuln> triggered_;
+};
+
+}  // namespace zc::sim

@@ -1,0 +1,35 @@
+#include "sim/host.h"
+
+#include "common/log.h"
+
+namespace zc::sim {
+
+void HostSoftware::crash() {
+  if (state_ == State::kRunning) {
+    state_ = State::kCrashed;
+    ++crash_count_;
+    log_event("crashed");
+  }
+}
+
+void HostSoftware::denial_of_service() {
+  if (state_ != State::kDenialOfService) {
+    state_ = State::kDenialOfService;
+    log_event("denial of service");
+  }
+}
+
+void HostSoftware::restart() {
+  if (state_ != State::kRunning) {
+    state_ = State::kRunning;
+    log_event("restarted by operator");
+  }
+}
+
+void HostSoftware::log_event(const std::string& what) {
+  events_.emplace_back(scheduler_.now(), what);
+  ZC_DEBUG("host '%s': %s at %s", name_.c_str(), what.c_str(),
+           format_sim_time(scheduler_.now()).c_str());
+}
+
+}  // namespace zc::sim

@@ -1,0 +1,56 @@
+// Host-side software models.
+//
+// Several of the paper's bugs live outside the RF chipset: #05 kills the
+// SmartThings companion app (hub controllers D6/D7), #06 crashes the
+// Z-Wave PC Controller program, and #13 wedges it permanently (USB
+// controllers D1-D5). These are small state machines observable by the
+// campaign's operator oracle, the way the researchers watched the real
+// program/app during fuzzing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace zc::sim {
+
+/// Companion software driven through the controller's host interface.
+class HostSoftware {
+ public:
+  enum class State { kRunning, kCrashed, kDenialOfService };
+
+  HostSoftware(std::string name, EventScheduler& scheduler)
+      : name_(std::move(name)), scheduler_(scheduler) {}
+
+  const std::string& name() const { return name_; }
+  State state() const { return state_; }
+  bool responsive() const { return state_ == State::kRunning; }
+
+  /// Records a crash (restartable: the paper notes the PC program "only
+  /// functions normally if the attack stops" / after restart).
+  void crash();
+
+  /// Enters a persistent denial-of-service state.
+  void denial_of_service();
+
+  /// Operator restarts the program / reinstalls the app session.
+  void restart();
+
+  std::uint64_t crash_count() const { return crash_count_; }
+
+  /// Event log: (virtual time, description) for reports.
+  const std::vector<std::pair<SimTime, std::string>>& events() const { return events_; }
+
+ private:
+  void log_event(const std::string& what);
+
+  std::string name_;
+  EventScheduler& scheduler_;
+  State state_ = State::kRunning;
+  std::uint64_t crash_count_ = 0;
+  std::vector<std::pair<SimTime, std::string>> events_;
+};
+
+}  // namespace zc::sim

@@ -1,0 +1,53 @@
+#include "sim/mac_quirks.h"
+
+#include <algorithm>
+
+namespace zc::sim {
+
+namespace {
+
+std::vector<MacQuirkSpec> build_quirks() {
+  using M = DeviceModel;
+  std::vector<MacQuirkSpec> quirks;
+  quirks.push_back({101, "routed header with garbage route descriptor", "ZWAVE-ONE-DAY-01",
+                    10 * kSecond,
+                    {M::kD1_ZoozZst10, M::kD2_SilabsUzb7, M::kD4_AeotecZw090}});
+  quirks.push_back({102, "acknowledgment frame demanding an acknowledgment",
+                    "ZWAVE-ONE-DAY-02", 8 * kSecond,
+                    {M::kD2_SilabsUzb7, M::kD4_AeotecZw090}});
+  quirks.push_back({103, "multicast frame demanding a singlecast acknowledgment",
+                    "ZWAVE-ONE-DAY-03", 12 * kSecond,
+                    {M::kD2_SilabsUzb7, M::kD4_AeotecZw090}});
+  quirks.push_back({104, "broadcast-addressed singlecast demanding ack",
+                    "ZWAVE-ONE-DAY-04", 9 * kSecond, {M::kD4_AeotecZw090}});
+  return quirks;
+}
+
+}  // namespace
+
+bool MacQuirkSpec::affects(DeviceModel model) const {
+  return std::find(affected.begin(), affected.end(), model) != affected.end();
+}
+
+bool MacQuirkSpec::matches(const zwave::MacFrame& frame) const {
+  switch (quirk_id) {
+    case 101:
+      return frame.routed && !frame.payload.empty() && frame.payload[0] > 0xE0;
+    case 102:
+      return frame.header == zwave::HeaderType::kAck && frame.ack_requested;
+    case 103:
+      return frame.header == zwave::HeaderType::kMulticast && frame.ack_requested;
+    case 104:
+      return frame.header == zwave::HeaderType::kSinglecast &&
+             frame.dst == zwave::kBroadcastNodeId && frame.ack_requested;
+    default:
+      return false;
+  }
+}
+
+const std::vector<MacQuirkSpec>& mac_quirk_matrix() {
+  static const std::vector<MacQuirkSpec> quirks = build_quirks();
+  return quirks;
+}
+
+}  // namespace zc::sim

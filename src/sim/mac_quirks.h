@@ -1,0 +1,38 @@
+// Known one-day MAC-layer quirks.
+//
+// Table V shows VFuzz finding a handful of *already-known* vulnerabilities
+// (1/3/0/4/0 across D1-D5) with no overlap with ZCover's 15 zero-days —
+// because VFuzz mutates MAC frame fields while ZCover mutates only the
+// application layer. These entries model that disjoint bug population:
+// malformed MAC headers (routed/ack/multicast abuse) that older chipset
+// firmware mishandles, in the spirit of the public Silicon Labs advisories
+// the VFuzz work produced (e.g. VU#142629).
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+#include "sim/vulnerability.h"
+#include "zwave/frame.h"
+
+namespace zc::sim {
+
+struct MacQuirkSpec {
+  int quirk_id = 0;  // 101.. (kept clear of Table III's 1-15)
+  std::string_view name;
+  std::string_view advisory;  // prior-work identifier
+  SimTime outage = 0;
+  std::vector<DeviceModel> affected;
+
+  bool affects(DeviceModel model) const;
+  /// Whether a (home-id-valid) frame trips this quirk.
+  bool matches(const zwave::MacFrame& frame) const;
+};
+
+/// The known one-day matrix: D1 exposes 1, D2 exposes 3, D4 exposes 4;
+/// D3/D5 run patched firmware and expose none (Table V's VFuzz column).
+const std::vector<MacQuirkSpec>& mac_quirk_matrix();
+
+}  // namespace zc::sim

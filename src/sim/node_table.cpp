@@ -1,0 +1,150 @@
+#include "sim/node_table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace zc::sim {
+
+std::string NodeRecord::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "#%-3u %-18s type=%-17s sec=%-4s listening=%d wakeup=%us",
+                node_id, label.empty() ? "(unnamed)" : label.c_str(),
+                zwave::basic_class_name(basic_class), zwave::security_level_name(security),
+                listening ? 1 : 0, wakeup_interval_s);
+  return buf;
+}
+
+void NodeTable::upsert(NodeRecord record) {
+  records_[record.node_id] = std::move(record);
+  ++generation_;
+}
+
+bool NodeTable::remove(zwave::NodeId id) {
+  const bool erased = records_.erase(id) > 0;
+  if (erased) ++generation_;
+  return erased;
+}
+
+void NodeTable::clear() {
+  if (!records_.empty()) ++generation_;
+  records_.clear();
+}
+
+const NodeRecord* NodeTable::find(zwave::NodeId id) const {
+  const auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+NodeRecord* NodeTable::find_mutable(zwave::NodeId id) {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return nullptr;
+  ++generation_;  // caller intends to mutate
+  return &it->second;
+}
+
+std::vector<zwave::NodeId> NodeTable::node_ids() const {
+  std::vector<zwave::NodeId> ids;
+  ids.reserve(records_.size());
+  for (const auto& [id, record] : records_) ids.push_back(id);
+  return ids;
+}
+
+std::uint64_t NodeTable::digest() const {
+  // FNV-1a over the semantic fields.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& [id, r] : records_) {
+    mix(id);
+    mix(r.basic_class);
+    mix(r.listening ? 1 : 0);
+    mix(static_cast<std::uint64_t>(r.security));
+    mix(r.wakeup_interval_s);
+  }
+  return h;
+}
+
+std::string NodeTable::render() const {
+  std::string out = "node table (" + std::to_string(records_.size()) + " devices):\n";
+  for (const auto& [id, record] : records_) {
+    out += "  " + record.describe() + "\n";
+  }
+  if (records_.empty()) out += "  (empty)\n";
+  return out;
+}
+
+void NodeTable::restore(std::map<zwave::NodeId, NodeRecord> records) {
+  records_ = std::move(records);
+  ++generation_;
+}
+
+namespace {
+constexpr char kNvmMagic[4] = {'Z', 'W', 'N', 'V'};
+constexpr std::uint8_t kNvmVersion = 1;
+}  // namespace
+
+zc::Bytes NodeTable::serialize_nvm() const {
+  zc::Bytes out;
+  for (char magic : kNvmMagic) out.push_back(static_cast<std::uint8_t>(magic));
+  out.push_back(kNvmVersion);
+  out.push_back(static_cast<std::uint8_t>(records_.size()));
+  for (const auto& [id, r] : records_) {
+    out.push_back(id);
+    out.push_back(r.basic_class);
+    out.push_back(static_cast<std::uint8_t>((r.listening ? 0x01 : 0x00) |
+                                            (static_cast<std::uint8_t>(r.security) << 1)));
+    out.push_back(static_cast<std::uint8_t>(r.wakeup_interval_s >> 16));
+    out.push_back(static_cast<std::uint8_t>(r.wakeup_interval_s >> 8));
+    out.push_back(static_cast<std::uint8_t>(r.wakeup_interval_s));
+    const std::size_t label_len = std::min<std::size_t>(r.label.size(), 32);
+    out.push_back(static_cast<std::uint8_t>(label_len));
+    for (std::size_t j = 0; j < label_len; ++j) {
+      out.push_back(static_cast<std::uint8_t>(r.label[j]));
+    }
+  }
+  return out;
+}
+
+zc::Result<NodeTable> NodeTable::deserialize_nvm(zc::ByteView image) {
+  if (image.size() < 6) return zc::Error{zc::Errc::kTruncated, "NVM image below header size"};
+  if (!std::equal(kNvmMagic, kNvmMagic + 4, image.begin())) {
+    return zc::Error{zc::Errc::kBadField, "bad NVM magic"};
+  }
+  if (image[4] != kNvmVersion) {
+    return zc::Error{zc::Errc::kUnsupported, "unknown NVM version"};
+  }
+  const std::size_t count = image[5];
+  NodeTable table;
+  std::size_t pos = 6;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (pos + 7 > image.size()) return zc::Error{zc::Errc::kTruncated, "record truncated"};
+    NodeRecord record;
+    record.node_id = image[pos];
+    record.basic_class = image[pos + 1];
+    const std::uint8_t flags = image[pos + 2];
+    record.listening = (flags & 0x01) != 0;
+    const std::uint8_t security = flags >> 1;
+    if (security > 2) return zc::Error{zc::Errc::kBadField, "bad security bits"};
+    record.security = static_cast<zwave::SecurityLevel>(security);
+    record.wakeup_interval_s = (static_cast<std::uint32_t>(image[pos + 3]) << 16) |
+                               (static_cast<std::uint32_t>(image[pos + 4]) << 8) |
+                               image[pos + 5];
+    const std::size_t label_len = image[pos + 6];
+    pos += 7;
+    if (pos + label_len > image.size()) {
+      return zc::Error{zc::Errc::kTruncated, "label truncated"};
+    }
+    record.label.assign(image.begin() + static_cast<std::ptrdiff_t>(pos),
+                        image.begin() + static_cast<std::ptrdiff_t>(pos + label_len));
+    pos += label_len;
+    if (table.find(record.node_id) != nullptr) {
+      return zc::Error{zc::Errc::kBadField, "duplicate node id in NVM image"};
+    }
+    table.upsert(std::move(record));
+  }
+  return table;
+}
+
+}  // namespace zc::sim

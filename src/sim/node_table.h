@@ -1,0 +1,71 @@
+// The controller's device database ("the controller's memory" of the
+// paper's Figs. 8-11), modeled as an NVM-backed node table.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "zwave/nif.h"
+#include "zwave/types.h"
+
+namespace zc::sim {
+
+/// One row of the controller's device table.
+struct NodeRecord {
+  zwave::NodeId node_id = 0;
+  std::uint8_t basic_class = zwave::kBasicClassSlave;  // device type byte
+  bool listening = true;
+  zwave::SecurityLevel security = zwave::SecurityLevel::kNone;
+  std::uint32_t wakeup_interval_s = 0;  // 0 = none / cleared
+  std::string label;                    // human name ("Smart Lock")
+
+  std::string describe() const;
+};
+
+/// The device database. Every mutation bumps a generation counter so an
+/// external observer (the fuzzer's tamper oracle, the PC-controller UI of
+/// Figs. 8-11) can detect unexpected changes cheaply.
+class NodeTable {
+ public:
+  void upsert(NodeRecord record);
+  bool remove(zwave::NodeId id);
+  void clear();
+
+  const NodeRecord* find(zwave::NodeId id) const;
+  NodeRecord* find_mutable(zwave::NodeId id);
+
+  std::vector<zwave::NodeId> node_ids() const;
+  std::size_t size() const { return records_.size(); }
+  std::uint64_t generation() const { return generation_; }
+
+  /// Stable digest of the table contents, for tamper detection.
+  std::uint64_t digest() const;
+
+  /// Multi-line rendering in the style of the PC-controller node list
+  /// (the before/after views of Figs. 8-11).
+  std::string render() const;
+
+  /// Snapshot/restore for campaign isolation between trials.
+  std::map<zwave::NodeId, NodeRecord> snapshot() const { return records_; }
+  void restore(std::map<zwave::NodeId, NodeRecord> records);
+
+  /// NVM image: the binary layout a chipset persists across power cycles.
+  ///   magic "ZWNV" | version(1) | count(1) | records...
+  /// Each record: id, basic_class, flags(listening|security<<1), wakeup
+  /// interval (3 bytes BE), label length, label bytes.
+  zc::Bytes serialize_nvm() const;
+  /// Parses an NVM image into a table. Rejects bad magic, truncated
+  /// records, and duplicate node ids (a corrupted image must not half-load).
+  static zc::Result<NodeTable> deserialize_nvm(zc::ByteView image);
+
+ private:
+  std::map<zwave::NodeId, NodeRecord> records_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace zc::sim

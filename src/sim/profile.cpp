@@ -1,0 +1,98 @@
+#include "sim/profile.h"
+
+#include <cassert>
+
+namespace zc::sim {
+
+namespace {
+
+// NIF list on 700-series-era firmware (D1, D2, D4, D6): 17 classes.
+std::vector<zwave::CommandClassId> listed_17() {
+  return {0x22, 0x55, 0x56, 0x59, 0x5A, 0x5E, 0x60, 0x6C, 0x70,
+          0x72, 0x73, 0x7A, 0x85, 0x86, 0x8F, 0x98, 0x9F};
+}
+
+// NIF list on 500-series firmware (D3, D5, D7): 15 classes.
+std::vector<zwave::CommandClassId> listed_15() {
+  return {0x56, 0x59, 0x5A, 0x5E, 0x60, 0x6C, 0x70, 0x72,
+          0x73, 0x7A, 0x85, 0x86, 0x8F, 0x98, 0x9F};
+}
+
+std::vector<ControllerProfile> build_profiles() {
+  return {
+      {DeviceModel::kD1_ZoozZst10, "ZooZ", "ZST10", 2022, "700", 0xE7DE3F3D, false, listed_17()},
+      {DeviceModel::kD2_SilabsUzb7, "SiLab", "UZB-7", 2019, "700", 0xCD007171, false, listed_17()},
+      {DeviceModel::kD3_NortekHusbzb1, "Nortek", "HUSBZB-1", 2015, "500", 0xCB51722D, false,
+       listed_15()},
+      {DeviceModel::kD4_AeotecZw090, "Aeotec", "ZW090-A", 2015, "500", 0xC7E9DD54, false,
+       listed_17()},
+      {DeviceModel::kD5_ZwaveMeUzb1, "ZWaveMe", "ZMEUUZB1", 2015, "500", 0xF4C3754D, false,
+       listed_15()},
+      {DeviceModel::kD6_SamsungWv520, "Samsung", "ET-WV520", 2017, "500", 0xCB95A34A, true,
+       listed_17()},
+      {DeviceModel::kD7_SamsungSth200, "Samsung", "STH-ETH-200", 2015, "500", 0xEDC87EE4, true,
+       listed_15()},
+  };
+}
+
+HandledCommands build_dispatch_table() {
+  HandledCommands handled;
+  // Proprietary protocol classes.
+  handled[0x01] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x0D};  // NOP, NIF, assign, scans, table update
+  handled[0x02] = {0x01};                                 // Zensor bind
+  // Transport / encapsulation.
+  handled[0x9F] = {0x01, 0x02, 0x03, 0x04, 0x0D, 0x0F};  // S2
+  handled[0x98] = {0x02, 0x04, 0x40, 0x81};              // S0
+  handled[0x55] = {0xC0, 0xE0};                          // Transport Service segments
+  handled[0x56] = {0x01};                                // CRC-16 encap
+  handled[0x60] = {0x07, 0x09, 0x0D};                    // Multi Channel
+  handled[0x6C] = {0x01, 0x02};                          // Supervision
+  handled[0x8F] = {0x01};                                // Multi Cmd
+  // Management.
+  handled[0x86] = {0x11, 0x13, 0x15};                    // Version
+  handled[0x70] = {0x04, 0x05};                          // Configuration
+  handled[0x72] = {0x04};                                // Manufacturer Specific
+  handled[0x5E] = {0x01};                                // Z-Wave Plus Info
+  handled[0x59] = {0x01, 0x03, 0x05};                    // AGI
+  handled[0x5A] = {0x01};                                // Device Reset Locally
+  handled[0x73] = {0x01, 0x02, 0x04};                    // Powerlevel
+  handled[0x7A] = {0x01, 0x03, 0x05};                    // Firmware Update MD
+  handled[0x85] = {0x01, 0x02, 0x05};                    // Association
+  handled[0x84] = {0x04, 0x05, 0x06};                    // Wake Up
+  // Network.
+  handled[0x34] = {0x01, 0x03};                          // NM Inclusion
+  handled[0x52] = {0x01, 0x03};                          // NM Proxy (node list / cached info)
+  return handled;
+}
+
+}  // namespace
+
+const ControllerProfile& controller_profile(DeviceModel model) {
+  static const std::vector<ControllerProfile> profiles = build_profiles();
+  for (const auto& profile : profiles) {
+    if (profile.model == model) return profile;
+  }
+  assert(false && "not a controller model");
+  return profiles.front();
+}
+
+const std::vector<DeviceModel>& all_controller_models() {
+  static const std::vector<DeviceModel> models = {
+      DeviceModel::kD1_ZoozZst10,  DeviceModel::kD2_SilabsUzb7, DeviceModel::kD3_NortekHusbzb1,
+      DeviceModel::kD4_AeotecZw090, DeviceModel::kD5_ZwaveMeUzb1, DeviceModel::kD6_SamsungWv520,
+      DeviceModel::kD7_SamsungSth200};
+  return models;
+}
+
+const HandledCommands& firmware_dispatch_table() {
+  static const HandledCommands table = build_dispatch_table();
+  return table;
+}
+
+std::size_t firmware_handled_pair_count() {
+  std::size_t count = 0;
+  for (const auto& [cc, cmds] : firmware_dispatch_table()) count += cmds.size();
+  return count;
+}
+
+}  // namespace zc::sim

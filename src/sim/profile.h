@@ -1,0 +1,51 @@
+// Per-device firmware profiles for the paper's testbed (Tables II & IV).
+//
+// A profile fixes what the paper's fingerprinting measures: the home ID the
+// network runs, the command classes the controller *lists* in its NIF
+// (15 on 500-series-era firmware, 17 on the later builds), and the set of
+// (CMDCL, CMD) pairs the firmware genuinely dispatches — which is larger
+// than the listed set and includes the proprietary classes 0x01/0x02.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "sim/vulnerability.h"
+#include "zwave/types.h"
+
+namespace zc::sim {
+
+/// Dispatch table shape: class -> commands the firmware really processes.
+using HandledCommands = std::map<zwave::CommandClassId, std::vector<zwave::CommandId>>;
+
+struct ControllerProfile {
+  DeviceModel model{};
+  std::string_view brand;
+  std::string_view product;
+  int year = 0;
+  std::string_view chip_series;  // "500" or "700"
+  zwave::HomeId home_id = 0;
+  /// True for hub devices (D6/D7: companion smartphone app over cloud);
+  /// false for USB sticks driven by the Z-Wave PC Controller program.
+  bool hub = false;
+  /// Classes advertised in the NIF (Table IV "Known CMDCLs": 17 or 15).
+  std::vector<zwave::CommandClassId> listed;
+};
+
+/// The profile for one of the seven controllers D1-D7.
+const ControllerProfile& controller_profile(DeviceModel model);
+
+/// All seven controller models, in Table II order.
+const std::vector<DeviceModel>& all_controller_models();
+
+/// The chipset-common dispatch table (identical across vendors because
+/// every device embeds the same Z-Wave chipset family — paper §V-C).
+/// Exactly 53 (CMDCL, CMD) pairs, the "CMD" coverage column of Table V.
+const HandledCommands& firmware_dispatch_table();
+
+/// Total number of (class, command) pairs in the dispatch table.
+std::size_t firmware_handled_pair_count();
+
+}  // namespace zc::sim

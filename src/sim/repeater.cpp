@@ -1,0 +1,40 @@
+#include "sim/repeater.h"
+
+namespace zc::sim {
+
+namespace {
+constexpr SimTime kRelayDelay = 2 * kMillisecond;
+}
+
+Repeater::Repeater(radio::RfMedium& medium, EventScheduler& scheduler, zwave::HomeId home,
+                   zwave::NodeId node, double x_meters, double y_meters)
+    : scheduler_(scheduler),
+      // Mains-powered: transmits at full power (4 dBm), like real repeaters.
+      endpoint_(medium, radio::RadioConfig{"repeater-" + std::to_string(node),
+                                           zwave::RfRegion::kUs908, x_meters, y_meters, 4.0}),
+      home_(home),
+      node_(node) {
+  endpoint_.set_frame_handler(
+      [this](const zwave::MacFrame& frame, double /*rssi*/) { on_frame(frame); });
+}
+
+void Repeater::on_frame(const zwave::MacFrame& frame) {
+  if (frame.home_id != home_ || !frame.routed) return;
+  const auto routed = zwave::split_routed_payload(frame.payload);
+  if (!routed.ok()) return;
+  const auto& route = routed.value().route;
+  if (route.complete()) return;  // destination's business, not ours
+  if (route.repeaters[route.hop_index] != node_) return;  // another hop's turn
+
+  // Advance the hop index and retransmit the otherwise-identical frame.
+  zwave::RouteHeader advanced = route;
+  advanced.hop_index = static_cast<std::uint8_t>(route.hop_index + 1);
+  zwave::MacFrame relay = frame;
+  relay.payload = advanced.encode();
+  relay.payload.insert(relay.payload.end(), routed.value().app_payload.begin(),
+                       routed.value().app_payload.end());
+  ++relayed_;
+  scheduler_.schedule_after(kRelayDelay, [this, relay] { endpoint_.send(relay); });
+}
+
+}  // namespace zc::sim

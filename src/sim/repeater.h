@@ -1,0 +1,30 @@
+// Mains-powered repeater node: relays routed frames hop by hop, extending
+// the mesh beyond direct RF range (the reason a Z-Wave home has no dead
+// corners — and the reason an attacker's routed injection can reach a hub
+// their radio cannot).
+#pragma once
+
+#include "radio/endpoint.h"
+#include "zwave/routing.h"
+
+namespace zc::sim {
+
+class Repeater {
+ public:
+  Repeater(radio::RfMedium& medium, EventScheduler& scheduler, zwave::HomeId home,
+           zwave::NodeId node, double x_meters, double y_meters);
+
+  zwave::NodeId node_id() const { return node_; }
+  std::uint64_t frames_relayed() const { return relayed_; }
+
+ private:
+  void on_frame(const zwave::MacFrame& frame);
+
+  EventScheduler& scheduler_;
+  radio::MacEndpoint endpoint_;
+  zwave::HomeId home_;
+  zwave::NodeId node_;
+  std::uint64_t relayed_ = 0;
+};
+
+}  // namespace zc::sim

@@ -1,0 +1,108 @@
+#include "sim/serial.h"
+
+#include <algorithm>
+
+namespace zc::sim {
+
+std::uint8_t serial_checksum(ByteView len_through_data) {
+  std::uint8_t cs = 0xFF;
+  for (std::uint8_t b : len_through_data) cs ^= b;
+  return cs;
+}
+
+Bytes SerialFrame::encode() const {
+  Bytes out;
+  out.reserve(5 + data.size());
+  out.push_back(kSerialSof);
+  // LEN counts TYPE + FUNC + DATA + CHECKSUM.
+  out.push_back(static_cast<std::uint8_t>(3 + data.size()));
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(func);
+  out.insert(out.end(), data.begin(), data.end());
+  out.push_back(serial_checksum(ByteView(out.data() + 1, out.size() - 1)));
+  return out;
+}
+
+Bytes SerialFrame::encode_corrupted() const {
+  Bytes out = encode();
+  out.back() ^= 0x5A;
+  return out;
+}
+
+Result<SerialFrame> decode_serial_frame(ByteView raw, std::size_t* consumed) {
+  if (raw.empty()) return Error{Errc::kTruncated, "empty serial buffer"};
+  if (raw[0] != kSerialSof) return Error{Errc::kBadField, "missing serial SOF"};
+  if (raw.size() < 2) return Error{Errc::kTruncated, "missing LEN byte"};
+  const std::uint8_t len = raw[1];
+  if (len < 3) return Error{Errc::kBadLength, "serial LEN below minimum"};
+  const std::size_t total = 2 + len;  // SOF + LEN + (len bytes)
+  if (raw.size() < total) return Error{Errc::kTruncated, "incomplete serial frame"};
+
+  const ByteView covered(raw.data() + 1, static_cast<std::size_t>(len));  // LEN..DATA
+  const std::uint8_t expected = serial_checksum(covered);
+  if (expected != raw[total - 1]) return Error{Errc::kBadChecksum, "serial checksum mismatch"};
+
+  SerialFrame frame;
+  const std::uint8_t type_byte = raw[2];
+  if (type_byte > 1) return Error{Errc::kBadField, "unknown serial frame type"};
+  frame.type = static_cast<SerialType>(type_byte);
+  frame.func = raw[3];
+  frame.data.assign(raw.begin() + 4, raw.begin() + static_cast<std::ptrdiff_t>(total) - 1);
+  if (consumed != nullptr) *consumed = total;
+  return frame;
+}
+
+HostProgram::HostProgram(HostSoftware& state, EventScheduler& scheduler,
+                         HostProgramConfig config)
+    : state_(state), scheduler_(scheduler), config_(config) {}
+
+void HostProgram::on_serial_bytes(ByteView bytes) {
+  if (!state_.responsive()) {
+    pending_.clear();  // crashed/wedged programs read nothing; OS drops bytes
+    return;
+  }
+  pending_.insert(pending_.end(), bytes.begin(), bytes.end());
+
+  while (!pending_.empty()) {
+    // Resynchronize on SOF.
+    const auto sof = std::find(pending_.begin(), pending_.end(), kSerialSof);
+    if (sof != pending_.begin()) {
+      pending_.erase(pending_.begin(), sof);
+      continue;
+    }
+    if (pending_.empty()) break;
+
+    std::size_t consumed = 0;
+    const auto frame = decode_serial_frame(pending_, &consumed);
+    if (!frame.ok()) {
+      if (frame.error().code == Errc::kTruncated) break;  // wait for more bytes
+      // Malformed frame: the real program's parser mishandles this — the
+      // implementation flaw behind bug #06.
+      ++frames_bad_;
+      pending_.clear();
+      state_.crash();
+      return;
+    }
+    pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(consumed));
+    ++frames_ok_;
+    register_callback();
+    if (!state_.responsive()) return;  // flood tripped mid-stream
+  }
+}
+
+void HostProgram::register_callback() {
+  const SimTime now = scheduler_.now();
+  recent_callbacks_.push_back(now);
+  const SimTime horizon = now > config_.flood_window ? now - config_.flood_window : 0;
+  recent_callbacks_.erase(
+      std::remove_if(recent_callbacks_.begin(), recent_callbacks_.end(),
+                     [&](SimTime t) { return t < horizon; }),
+      recent_callbacks_.end());
+  if (recent_callbacks_.size() >= config_.flood_threshold) {
+    // Event-loop starvation: the UI stops responding until restarted —
+    // bug #13's persistent denial of service.
+    state_.denial_of_service();
+  }
+}
+
+}  // namespace zc::sim

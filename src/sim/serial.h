@@ -1,0 +1,96 @@
+// Serial API substrate: the host interface between a USB stick controller
+// (D1-D5) and the Z-Wave PC Controller program.
+//
+// Bugs #06 and #13 of Table III live *here*: the chip survives the
+// malicious RF packet, but the callback it forwards over the serial link
+// crashes (or wedges) the host program. Modeling the link makes those
+// root causes mechanical instead of scripted: #06 is a malformed callback
+// frame the program's parser chokes on, #13 is a callback flood that
+// starves its event loop.
+//
+// Framing follows the public Serial API shape:
+//   SOF(0x01) LEN TYPE FUNC DATA... CHECKSUM    + ACK(0x06)/NAK(0x15)
+// where CHECKSUM = 0xFF XOR LEN XOR TYPE XOR FUNC XOR DATA...
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "sim/host.h"
+
+namespace zc::sim {
+
+constexpr std::uint8_t kSerialSof = 0x01;
+constexpr std::uint8_t kSerialAck = 0x06;
+constexpr std::uint8_t kSerialNak = 0x15;
+
+enum class SerialType : std::uint8_t { kRequest = 0x00, kResponse = 0x01 };
+
+/// Host-interface function identifiers (public Serial API subset).
+enum class SerialFunc : std::uint8_t {
+  kApplicationCommandHandler = 0x04,  // RF application payload forwarded up
+  kSendData = 0x13,                   // host -> chip transmit request
+  kGetNodeProtocolInfo = 0x41,
+  kApplicationUpdate = 0x49,          // NIF / node table events
+  kRequestNodeInfo = 0x60,
+  kPowerlevelTestReport = 0xBB,       // powerlevel test progress callbacks
+  kSecurityEvent = 0x9D,              // S2 nonce / KEX host notifications
+};
+
+struct SerialFrame {
+  SerialType type = SerialType::kRequest;
+  std::uint8_t func = 0;
+  Bytes data;
+
+  /// Serializes with correct LEN and checksum.
+  Bytes encode() const;
+
+  /// Serializes with a deliberately corrupted checksum (bug #06's shape).
+  Bytes encode_corrupted() const;
+};
+
+/// XOR checksum over LEN..DATA, seeded with 0xFF.
+std::uint8_t serial_checksum(ByteView len_through_data);
+
+/// Decodes one frame from the start of `raw`; on success also reports the
+/// consumed byte count through `consumed`.
+Result<SerialFrame> decode_serial_frame(ByteView raw, std::size_t* consumed = nullptr);
+
+/// Tuning knobs for the host program model.
+struct HostProgramConfig {
+  /// Callback-flood threshold: this many callbacks inside `flood_window`
+  /// wedges the UI event loop (bug #13's manifestation).
+  std::size_t flood_threshold = 16;
+  SimTime flood_window = 100 * kMillisecond;
+};
+
+/// The Z-Wave PC Controller program's serial front-end: parses the byte
+/// stream from the chip, acknowledges good frames, and reproduces the two
+/// host-side failure modes.
+class HostProgram {
+ public:
+  HostProgram(HostSoftware& state, EventScheduler& scheduler,
+              HostProgramConfig config = HostProgramConfig());
+
+  /// Feeds raw serial bytes from the chip side.
+  void on_serial_bytes(ByteView bytes);
+
+  std::uint64_t frames_ok() const { return frames_ok_; }
+  std::uint64_t frames_bad() const { return frames_bad_; }
+  HostSoftware& state() { return state_; }
+
+ private:
+  void register_callback();
+
+  HostSoftware& state_;
+  EventScheduler& scheduler_;
+  HostProgramConfig config_;
+  Bytes pending_;  // partial frame bytes
+  std::uint64_t frames_ok_ = 0;
+  std::uint64_t frames_bad_ = 0;
+  std::vector<SimTime> recent_callbacks_;
+};
+
+}  // namespace zc::sim

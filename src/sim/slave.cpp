@@ -1,0 +1,179 @@
+#include "sim/slave.h"
+
+#include "zwave/multicast.h"
+
+namespace zc::sim {
+
+namespace {
+constexpr SimTime kAckTurnaround = 1 * kMillisecond;
+}
+
+SlaveDevice::SlaveDevice(radio::RfMedium& medium, EventScheduler& scheduler, DeviceModel model,
+                         zwave::HomeId home, zwave::NodeId node, double x_meters,
+                         double y_meters)
+    : scheduler_(scheduler),
+      endpoint_(medium, radio::RadioConfig{std::string("slave-") + device_model_name(model),
+                                           zwave::RfRegion::kUs908, x_meters, y_meters, 0.0}),
+      model_(model),
+      home_(home),
+      node_(node) {
+  endpoint_.set_frame_handler(
+      [this](const zwave::MacFrame& frame, double /*rssi*/) { on_frame(frame); });
+}
+
+void SlaveDevice::start_reporting(SimTime interval) { report_tick(interval); }
+
+void SlaveDevice::report_tick(SimTime interval) {
+  scheduler_.schedule_after(interval, [this, interval] {
+    send_app(zwave::kControllerNodeId, make_report());
+    ++reports_sent_;
+    report_tick(interval);
+  });
+}
+
+void SlaveDevice::send_app(zwave::NodeId dst, const zwave::AppPayload& payload) {
+  const zwave::MacFrame frame =
+      zwave::make_singlecast(home_, node_, dst, payload, tx_sequence_++ & 0x0F, true);
+  endpoint_.send(frame);
+}
+
+void SlaveDevice::on_frame(const zwave::MacFrame& frame) {
+  if (frame.home_id != home_) return;
+  if (frame.dst != node_ && frame.dst != zwave::kBroadcastNodeId) return;
+  if (frame.header == zwave::HeaderType::kAck) return;
+
+  if (frame.header == zwave::HeaderType::kMulticast) {
+    // Mask-addressed, never acknowledged.
+    const auto multicast = zwave::split_multicast_payload(frame.payload);
+    if (!multicast.ok() || !multicast.value().addresses(node_)) return;
+    const auto app = zwave::decode_app_payload(multicast.value().app_payload);
+    if (app.ok()) on_app_payload(app.value(), frame.src);
+    return;
+  }
+
+  if (frame.ack_requested) {
+    const zwave::MacFrame ack = zwave::make_ack(frame, node_);
+    scheduler_.schedule_after(kAckTurnaround, [this, ack] { endpoint_.send(ack); });
+  }
+  const auto app = zwave::decode_app_payload(frame.payload);
+  if (app.ok()) on_app_payload(app.value(), frame.src);
+}
+
+DoorLock::DoorLock(radio::RfMedium& medium, EventScheduler& scheduler, zwave::HomeId home,
+                   zwave::NodeId node, double x, double y)
+    : SlaveDevice(medium, scheduler, DeviceModel::kD8_SchlageLock, home, node, x, y),
+      home_for_s2_(home) {}
+
+void DoorLock::install_s2_session(const crypto::S2Keys& keys, ByteView span_seed32) {
+  s2_.emplace(keys, span_seed32);
+}
+
+void DoorLock::on_app_payload(const zwave::AppPayload& app, zwave::NodeId src) {
+  // The lock only accepts commands through its S2 channel — it is not the
+  // vulnerable party in the paper's attack; the controller is.
+  if (app.cmd_class != zwave::kSecurity2Class || app.command != zwave::kS2MessageEncap) return;
+  if (!s2_.has_value()) return;
+  auto inner = s2_->decapsulate(app, home_for_s2_, src, node_id());
+  if (!inner.ok()) return;
+  const auto& payload = inner.value();
+  if (payload.cmd_class == 0x62 && payload.command == 0x01 && !payload.params.empty()) {
+    locked_ = payload.params[0] == 0xFF;
+  } else if (payload.cmd_class == 0x62 && payload.command == 0x02) {
+    zwave::AppPayload report;
+    report.cmd_class = 0x62;
+    report.command = 0x03;
+    report.params = {static_cast<std::uint8_t>(locked_ ? 0xFF : 0x00), 0x00, 0x00, 0x00, 0x00};
+    send_app(src, s2_->encapsulate(report, home_for_s2_, node_id(), src));
+  }
+}
+
+zwave::AppPayload DoorLock::make_report() {
+  zwave::AppPayload report;
+  report.cmd_class = 0x80;  // BATTERY REPORT
+  report.command = 0x03;
+  report.params = {battery_};
+  if (s2_.has_value()) {
+    return s2_->encapsulate(report, home_for_s2_, node_id(), zwave::kControllerNodeId);
+  }
+  return report;
+}
+
+S0Sensor::S0Sensor(radio::RfMedium& medium, EventScheduler& scheduler, zwave::HomeId home,
+                   zwave::NodeId node, double x, double y)
+    : SlaveDevice(medium, scheduler, DeviceModel::kExtraS0Sensor, home, node, x, y),
+      drbg_(Bytes(32, static_cast<std::uint8_t>(0x40 + node))) {}
+
+void S0Sensor::install_s0_key(const crypto::AesKey& network_key) {
+  s0_.emplace(network_key);
+}
+
+void S0Sensor::send_secure_report() {
+  if (!s0_.has_value() || awaiting_nonce_) return;
+  awaiting_nonce_ = true;
+  zwave::AppPayload nonce_get;
+  nonce_get.cmd_class = zwave::kSecurity0Class;
+  nonce_get.command = zwave::kS0NonceGet;
+  send_app(zwave::kControllerNodeId, nonce_get);
+}
+
+void S0Sensor::notify_awake() {
+  zwave::AppPayload notification;
+  notification.cmd_class = 0x84;
+  notification.command = 0x07;  // WAKE_UP NOTIFICATION
+  send_app(zwave::kControllerNodeId, notification);
+}
+
+void S0Sensor::on_app_payload(const zwave::AppPayload& app, zwave::NodeId src) {
+  if (app.cmd_class != zwave::kSecurity0Class) return;
+  if (app.command == zwave::kS0NonceReport && awaiting_nonce_ && s0_.has_value() &&
+      app.params.size() == 8) {
+    awaiting_nonce_ = false;
+    zwave::AppPayload report;
+    report.cmd_class = 0x30;  // SENSOR_BINARY REPORT
+    report.command = 0x03;
+    report.params = {static_cast<std::uint8_t>(motion_ ? 0xFF : 0x00), 0x0C};
+    const zwave::AppPayload outer =
+        s0_->encapsulate(report, node_id(), src, app.params, drbg_);
+    send_app(src, outer);
+    ++secure_reports_;
+    motion_ = !motion_;
+  }
+}
+
+zwave::AppPayload S0Sensor::make_report() {
+  // Periodic reporting kicks off the nonce handshake; the payload returned
+  // here is only the fallback when no key is installed.
+  send_secure_report();
+  zwave::AppPayload heartbeat;
+  heartbeat.cmd_class = 0x01;
+  heartbeat.command = 0x01;  // NOP heartbeat when S0 is unavailable
+  return heartbeat;
+}
+
+SmartSwitch::SmartSwitch(radio::RfMedium& medium, EventScheduler& scheduler, zwave::HomeId home,
+                         zwave::NodeId node, double x, double y)
+    : SlaveDevice(medium, scheduler, DeviceModel::kD9_GeSwitch, home, node, x, y) {}
+
+void SmartSwitch::on_app_payload(const zwave::AppPayload& app, zwave::NodeId src) {
+  if (app.cmd_class == 0x25 && app.command == 0x01 && !app.params.empty()) {
+    on_ = app.params[0] != 0x00;
+  } else if (app.cmd_class == 0x25 && app.command == 0x02) {
+    zwave::AppPayload report;
+    report.cmd_class = 0x25;
+    report.command = 0x03;
+    report.params = {static_cast<std::uint8_t>(on_ ? 0xFF : 0x00)};
+    send_app(src, report);
+  } else if (app.cmd_class == 0x20 && app.command == 0x01 && !app.params.empty()) {
+    on_ = app.params[0] != 0x00;
+  }
+}
+
+zwave::AppPayload SmartSwitch::make_report() {
+  zwave::AppPayload report;
+  report.cmd_class = 0x25;  // SWITCH_BINARY REPORT (plaintext: legacy device)
+  report.command = 0x03;
+  report.params = {static_cast<std::uint8_t>(on_ ? 0xFF : 0x00)};
+  return report;
+}
+
+}  // namespace zc::sim

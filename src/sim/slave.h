@@ -1,0 +1,130 @@
+// Simulated slave devices: the S2 smart door lock (D8, Schlage BE469ZP)
+// and the legacy no-security smart switch (D9, GE ZW4201) that complete
+// the paper's "realistic smart home" testbed (Table II footnote).
+//
+// Slaves produce the periodic report traffic the passive scanner feeds on
+// (Fig. 4) and answer the basic application commands a homeowner's
+// automations exercise.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "crypto/ctr.h"
+#include "radio/endpoint.h"
+#include "sim/vulnerability.h"
+#include "zwave/security.h"
+
+namespace zc::sim {
+
+/// Common slave machinery: MAC endpoint, ack behavior, periodic reporting.
+class SlaveDevice {
+ public:
+  SlaveDevice(radio::RfMedium& medium, EventScheduler& scheduler, DeviceModel model,
+              zwave::HomeId home, zwave::NodeId node, double x_meters, double y_meters);
+  virtual ~SlaveDevice() = default;
+
+  DeviceModel model() const { return model_; }
+  zwave::NodeId node_id() const { return node_; }
+
+  /// Starts periodic status reports every `interval` of virtual time.
+  void start_reporting(SimTime interval);
+
+  std::uint64_t reports_sent() const { return reports_sent_; }
+
+ protected:
+  virtual void on_app_payload(const zwave::AppPayload& app, zwave::NodeId src) = 0;
+  virtual zwave::AppPayload make_report() = 0;
+
+  void send_app(zwave::NodeId dst, const zwave::AppPayload& payload);
+
+  EventScheduler& scheduler_;
+  radio::MacEndpoint endpoint_;
+
+ private:
+  void on_frame(const zwave::MacFrame& frame);
+  void report_tick(SimTime interval);
+
+  DeviceModel model_;
+  zwave::HomeId home_;
+  zwave::NodeId node_;
+  std::uint8_t tx_sequence_ = 0;
+  std::uint64_t reports_sent_ = 0;
+};
+
+/// D8: S2 smart door lock. Status reports and operations ride the S2
+/// channel with the controller.
+class DoorLock : public SlaveDevice {
+ public:
+  DoorLock(radio::RfMedium& medium, EventScheduler& scheduler, zwave::HomeId home,
+           zwave::NodeId node, double x, double y);
+
+  /// Installs the lock's half of the S2 channel with the controller.
+  void install_s2_session(const crypto::S2Keys& keys, ByteView span_seed32);
+
+  bool locked() const { return locked_; }
+  void set_locked(bool locked) { locked_ = locked; }
+
+ protected:
+  void on_app_payload(const zwave::AppPayload& app, zwave::NodeId src) override;
+  zwave::AppPayload make_report() override;
+
+ private:
+  std::optional<zwave::S2Session> s2_;
+  zwave::HomeId home_for_s2_;
+  bool locked_ = true;
+  std::uint8_t battery_ = 95;
+};
+
+/// An S0-era motion sensor: reports ride Security 0 with the live
+/// NONCE_GET / NONCE_REPORT handshake against the controller — the
+/// full S0 transport exercised over RF, not just in unit tests.
+class S0Sensor : public SlaveDevice {
+ public:
+  S0Sensor(radio::RfMedium& medium, EventScheduler& scheduler, zwave::HomeId home,
+           zwave::NodeId node, double x, double y);
+
+  /// Installs the shared S0 network key (inclusion result).
+  void install_s0_key(const crypto::AesKey& network_key);
+
+  /// Sends one S0-encapsulated SENSOR_BINARY report: requests a nonce,
+  /// then encapsulates against the controller's NONCE_REPORT.
+  void send_secure_report();
+
+  /// Announces a wake-up (WAKE_UP NOTIFICATION): the controller flushes
+  /// any mailboxed commands for this node.
+  void notify_awake();
+
+  std::uint64_t secure_reports_sent() const { return secure_reports_; }
+
+ protected:
+  void on_app_payload(const zwave::AppPayload& app, zwave::NodeId src) override;
+  zwave::AppPayload make_report() override;
+
+ private:
+  std::optional<zwave::S0Session> s0_;
+  crypto::CtrDrbg drbg_;
+  bool awaiting_nonce_ = false;
+  std::uint64_t secure_reports_ = 0;
+  bool motion_ = false;
+};
+
+/// D9: legacy smart switch, plaintext transport.
+class SmartSwitch : public SlaveDevice {
+ public:
+  SmartSwitch(radio::RfMedium& medium, EventScheduler& scheduler, zwave::HomeId home,
+              zwave::NodeId node, double x, double y);
+
+  bool on() const { return on_; }
+
+ protected:
+  void on_app_payload(const zwave::AppPayload& app, zwave::NodeId src) override;
+  zwave::AppPayload make_report() override;
+
+ private:
+  bool on_ = false;
+};
+
+}  // namespace zc::sim

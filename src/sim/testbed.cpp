@@ -1,0 +1,93 @@
+#include "sim/testbed.h"
+
+#include <cassert>
+
+#include "crypto/x25519.h"
+#include "zwave/s2_inclusion.h"
+
+namespace zc::sim {
+
+Testbed::Testbed(TestbedConfig config) : config_(config), rng_(config.seed) {
+  medium_ = std::make_unique<radio::RfMedium>(scheduler_, rng_.fork(), config_.channel);
+  controller_ = std::make_unique<VirtualController>(*medium_, scheduler_,
+                                                    config_.controller_model,
+                                                    /*x=*/0.0, /*y=*/0.0, rng_.fork());
+  const zwave::HomeId home = controller_->home_id();
+
+  // USB sticks are driven by the Z-Wave PC Controller program over the
+  // emulated serial link; hubs talk to the cloud/app instead.
+  if (!controller_->profile().hub) {
+    host_program_ = std::make_unique<HostProgram>(controller_->host(), scheduler_);
+    controller_->attach_host_program(host_program_.get());
+  }
+
+  if (config_.include_slaves) {
+    lock_ = std::make_unique<DoorLock>(*medium_, scheduler_, home, kLockNodeId, 4.0, 3.0);
+    switch_ = std::make_unique<SmartSwitch>(*medium_, scheduler_, home, kSwitchNodeId, 6.0, 2.0);
+
+    controller_->adopt_node(NodeRecord{kLockNodeId, zwave::kBasicClassSlave, true,
+                                       zwave::SecurityLevel::kS2, 3600, "Smart Lock"});
+    controller_->adopt_node(NodeRecord{kSwitchNodeId, zwave::kBasicClassRoutingSlave, true,
+                                       zwave::SecurityLevel::kNone, 0, "Smart Switch"});
+
+    // Real S2 inclusion: the full KEX exchange (KEX_GET/REPORT/SET, public
+    // key reports, ECDH derivation, key confirmation) runs between the two
+    // parties at join time.
+    zwave::S2InclusionMachine including(zwave::S2InclusionMachine::Role::kIncluding,
+                                        crypto::make_x25519_key(rng_.bytes(32)));
+    zwave::S2InclusionMachine joining(zwave::S2InclusionMachine::Role::kJoining,
+                                      crypto::make_x25519_key(rng_.bytes(32)));
+    zwave::InclusionStep step = including.start();
+    bool from_including = true;
+    while (step.send.has_value() && step.failure == zwave::KexFail::kNone) {
+      zwave::S2InclusionMachine& receiver = from_including ? joining : including;
+      step = receiver.on_message(*step.send);
+      from_including = !from_including;
+    }
+    assert(including.established().has_value() && joining.established().has_value());
+    controller_->install_s2_session(kLockNodeId, including.established()->keys,
+                                    including.established()->span_seed);
+    lock_->install_s2_session(joining.established()->keys,
+                              joining.established()->span_seed);
+
+    lock_->start_reporting(config_.slave_report_interval);
+    switch_->start_reporting(config_.slave_report_interval + 7 * kSecond);
+
+    if (config_.include_s0_sensor) {
+      sensor_ = std::make_unique<S0Sensor>(*medium_, scheduler_, home, kS0SensorNodeId,
+                                           3.0, 6.0);
+      controller_->adopt_node(NodeRecord{kS0SensorNodeId, zwave::kBasicClassSlave, false,
+                                         zwave::SecurityLevel::kS0, 600, "Motion Sensor"});
+      crypto::AesKey s0_key{};
+      const Bytes key_bytes = rng_.bytes(16);
+      std::copy(key_bytes.begin(), key_bytes.end(), s0_key.begin());
+      controller_->install_s0_session(kS0SensorNodeId, s0_key);
+      sensor_->install_s0_key(s0_key);
+      sensor_->start_reporting(config_.slave_report_interval + 11 * kSecond);
+    }
+  }
+}
+
+void Testbed::restore_network() {
+  auto& table = controller_->node_table();
+  table.clear();
+  table.upsert(NodeRecord{zwave::kControllerNodeId, zwave::kBasicClassStaticController, true,
+                          zwave::SecurityLevel::kS2, 0, "Primary Controller"});
+  if (config_.include_slaves) {
+    table.upsert(NodeRecord{kLockNodeId, zwave::kBasicClassSlave, true,
+                            zwave::SecurityLevel::kS2, 3600, "Smart Lock"});
+    table.upsert(NodeRecord{kSwitchNodeId, zwave::kBasicClassRoutingSlave, true,
+                            zwave::SecurityLevel::kNone, 0, "Smart Switch"});
+    if (config_.include_s0_sensor) {
+      table.upsert(NodeRecord{kS0SensorNodeId, zwave::kBasicClassSlave, false,
+                              zwave::SecurityLevel::kS0, 600, "Motion Sensor"});
+    }
+  }
+}
+
+radio::RadioConfig Testbed::attacker_radio_config(const std::string& label) const {
+  return radio::RadioConfig{label, zwave::RfRegion::kUs908, config_.attacker_distance_m, 0.0,
+                            /*tx_power_dbm=*/4.0};
+}
+
+}  // namespace zc::sim

@@ -1,0 +1,72 @@
+// Testbed assembly: the paper's smart-home lab in one object.
+//
+// Builds the scheduler, RF medium, one controller (any of D1-D7), the S2
+// door lock (D8) and legacy switch (D9), establishes the S2 channel via a
+// real X25519 agreement, and places an attacker position 10-70 m away for
+// the ZCover dongle to attach to.
+#pragma once
+
+#include <memory>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "radio/medium.h"
+#include "sim/controller.h"
+#include "sim/slave.h"
+
+namespace zc::sim {
+
+struct TestbedConfig {
+  DeviceModel controller_model = DeviceModel::kD4_AeotecZw090;
+  std::uint64_t seed = 0x2C07E12;
+  bool include_slaves = true;
+  /// Adds an S0-era motion sensor (node 4) whose reports run the live
+  /// S0 nonce handshake against the controller (extension device).
+  bool include_s0_sensor = false;
+  double attacker_distance_m = 35.0;  // paper: 10-70 m
+  SimTime slave_report_interval = 30 * kSecond;
+  radio::ChannelModel channel;  // defaults: clean in-home links
+};
+
+/// Owns every simulated component; the fuzzer attaches through
+/// `attacker_radio_config()` + the shared medium.
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+
+  EventScheduler& scheduler() { return scheduler_; }
+  radio::RfMedium& medium() { return *medium_; }
+  VirtualController& controller() { return *controller_; }
+  const TestbedConfig& config() const { return config_; }
+
+  DoorLock* door_lock() { return lock_.get(); }
+  SmartSwitch* smart_switch() { return switch_.get(); }
+  S0Sensor* s0_sensor() { return sensor_.get(); }
+
+  /// Radio placement for an external attacker/test tool.
+  radio::RadioConfig attacker_radio_config(const std::string& label) const;
+
+  /// Operator-side restoration after destructive tests: re-includes the
+  /// original devices into the controller's table (the researchers rebuilt
+  /// the network between memory-tampering trials). Radio state, sessions
+  /// and statistics are untouched.
+  void restore_network();
+
+  /// Node ids used by the standard smart-home composition.
+  static constexpr zwave::NodeId kLockNodeId = 0x02;
+  static constexpr zwave::NodeId kSwitchNodeId = 0x03;
+  static constexpr zwave::NodeId kS0SensorNodeId = 0x04;
+
+ private:
+  TestbedConfig config_;
+  EventScheduler scheduler_;
+  Rng rng_;
+  std::unique_ptr<radio::RfMedium> medium_;
+  std::unique_ptr<VirtualController> controller_;
+  std::unique_ptr<HostProgram> host_program_;  // USB models only
+  std::unique_ptr<DoorLock> lock_;
+  std::unique_ptr<SmartSwitch> switch_;
+  std::unique_ptr<S0Sensor> sensor_;
+};
+
+}  // namespace zc::sim

@@ -1,0 +1,26 @@
+#include "zwave/checksum.h"
+
+namespace zc::zwave {
+
+std::uint8_t checksum8(ByteView data) {
+  std::uint8_t cs = 0xFF;
+  for (std::uint8_t b : data) cs ^= b;
+  return cs;
+}
+
+std::uint16_t crc16_ccitt(ByteView data) {
+  std::uint16_t crc = 0x1D0F;
+  for (std::uint8_t b : data) {
+    crc ^= static_cast<std::uint16_t>(b) << 8;
+    for (int i = 0; i < 8; ++i) {
+      if (crc & 0x8000) {
+        crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+      } else {
+        crc = static_cast<std::uint16_t>(crc << 1);
+      }
+    }
+  }
+  return crc;
+}
+
+}  // namespace zc::zwave

@@ -1,0 +1,22 @@
+// Z-Wave frame integrity codes.
+//
+// Classic (R1/R2) frames end in an 8-bit XOR checksum seeded with 0xFF;
+// R3 / 700-series frames use CRC-16-CCITT (also exposed by the CRC-16
+// Encapsulation command class 0x56). Both are plain integrity codes with
+// no cryptographic value — which is why the paper's "No Security" transport
+// is trivially injectable (§II-A1).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace zc::zwave {
+
+/// XOR checksum over `data`, seed 0xFF (ITU-T G.9959 R1/R2 frames).
+std::uint8_t checksum8(ByteView data);
+
+/// CRC-16-CCITT (polynomial 0x1021, init 0x1D0F as used by Z-Wave).
+std::uint16_t crc16_ccitt(ByteView data);
+
+}  // namespace zc::zwave

@@ -1,0 +1,117 @@
+// Command-class registry: the in-code equivalent of the Z-Wave Alliance
+// specification + the public XML command-class definitions the paper's
+// unknown-property extractor parses (§III-C1).
+//
+// Each command class (CMDCL) carries its commands (CMDs) and per-command
+// parameter schemas (PARAMs) — the three levels of the application-layer
+// tree in Fig. 6. The registry also records:
+//   * the functional cluster (application / transport-encapsulation /
+//     management / network), which drives the controller-relevance
+//     clustering step, and
+//   * whether the class appears in the public specification at all —
+//     the two proprietary classes 0x01/0x02 are only discoverable through
+//     systematic validation testing (§III-C2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "zwave/types.h"
+
+namespace zc::zwave {
+
+/// Functional cluster used when inferring which classes a controller
+/// should implement (§III-C1: "application functionality, transport
+/// encapsulation, management, and networking").
+enum class CcCluster : std::uint8_t {
+  kApplication,
+  kTransportEncapsulation,
+  kManagement,
+  kNetwork,
+  kSensor,      // slave-side sensing; not controller-relevant
+  kActuator,    // slave-side actuation; not controller-relevant
+  kProtocol,    // proprietary protocol-level classes (0x01, 0x02)
+};
+
+const char* cc_cluster_name(CcCluster cluster);
+
+/// Whether a command is sent by a controller (controlling) or by a slave in
+/// response (supporting) — the spec annotates every CMD this way (§III-C1).
+enum class CmdDirection : std::uint8_t { kControlling, kSupporting };
+
+/// Parameter value categories used for semantic mutation.
+enum class ParamType : std::uint8_t {
+  kByte,      // opaque 8-bit value
+  kBool,      // 0x00 / 0xFF style two-state
+  kEnum,      // small closed set: [min, max] are the legal bounds
+  kNodeId,    // node identifier; legal 1..232
+  kSize,      // length/size field correlated with trailing bytes
+  kDuration,  // time value with special encodings (0xFE, 0xFF reserved)
+  kBitmask,   // independent bits
+  kVariadic,  // marker: the command accepts trailing variable bytes
+};
+
+const char* param_type_name(ParamType type);
+
+struct ParamSpec {
+  std::string_view name;
+  ParamType type = ParamType::kByte;
+  std::uint8_t min = 0x00;
+  std::uint8_t max = 0xFF;
+
+  bool is_legal(std::uint8_t value) const { return value >= min && value <= max; }
+};
+
+struct CommandSpec {
+  CommandId id = 0;
+  std::string_view name;
+  CmdDirection direction = CmdDirection::kControlling;
+  std::vector<ParamSpec> params;
+};
+
+struct CommandClassSpec {
+  CommandClassId id = 0;
+  std::string_view name;
+  CcCluster cluster = CcCluster::kApplication;
+  /// Present in the public Z-Wave specification (false for 0x01/0x02).
+  bool in_public_spec = true;
+  std::vector<CommandSpec> commands;
+
+  const CommandSpec* find_command(CommandId cmd) const;
+  bool controller_relevant() const;
+};
+
+/// Immutable process-wide specification database.
+class SpecDatabase {
+ public:
+  /// The singleton spec instance (built once, ~124 command classes).
+  static const SpecDatabase& instance();
+
+  /// All classes, ordered by id.
+  std::span<const CommandClassSpec> all() const { return classes_; }
+
+  /// Lookup by id; nullptr when the id is not defined anywhere.
+  const CommandClassSpec* find(CommandClassId id) const;
+
+  /// Number of classes present in the public specification (the paper
+  /// counts 122 as of the 2024 release).
+  std::size_t public_spec_count() const;
+
+  /// The controller-relevance cluster (§III-C1): every class whose
+  /// functional cluster a controller is expected to implement. Includes
+  /// the proprietary classes only when `include_unlisted` is set.
+  std::vector<CommandClassId> controller_cluster(bool include_unlisted) const;
+
+  /// Total number of commands defined under `id` (0 when unknown).
+  /// Drives CMDCL prioritization: more commands => fuzz first (§III-C1).
+  std::size_t command_count(CommandClassId id) const;
+
+ private:
+  SpecDatabase();
+  std::vector<CommandClassSpec> classes_;
+};
+
+}  // namespace zc::zwave

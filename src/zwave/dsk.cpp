@@ -1,0 +1,62 @@
+#include "zwave/dsk.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace zc::zwave {
+
+std::string format_dsk(const Dsk& dsk) {
+  std::string out;
+  out.reserve(8 * 6);
+  for (int group = 0; group < 8; ++group) {
+    const std::uint16_t value =
+        static_cast<std::uint16_t>((dsk[static_cast<std::size_t>(group * 2)] << 8) |
+                                   dsk[static_cast<std::size_t>(group * 2 + 1)]);
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "%05u", value);
+    if (group != 0) out.push_back('-');
+    out += buf;
+  }
+  return out;
+}
+
+std::optional<Dsk> parse_dsk(const std::string& text) {
+  Dsk dsk{};
+  int group = 0;
+  std::size_t i = 0;
+  while (group < 8) {
+    // Skip separators / whitespace.
+    while (i < text.size() && (text[i] == '-' || text[i] == ' ')) ++i;
+    if (i >= text.size()) return std::nullopt;
+    // Read exactly five digits.
+    std::uint32_t value = 0;
+    int digits = 0;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      value = value * 10 + static_cast<std::uint32_t>(text[i] - '0');
+      ++digits;
+      ++i;
+    }
+    if (digits != 5 || value > 0xFFFF) return std::nullopt;
+    dsk[static_cast<std::size_t>(group * 2)] = static_cast<std::uint8_t>(value >> 8);
+    dsk[static_cast<std::size_t>(group * 2 + 1)] = static_cast<std::uint8_t>(value);
+    ++group;
+  }
+  // Trailing garbage (beyond separators/space) invalidates the label.
+  while (i < text.size()) {
+    if (text[i] != '-' && text[i] != ' ') return std::nullopt;
+    ++i;
+  }
+  return dsk;
+}
+
+Dsk dsk_from_public_key(const crypto::X25519Key& public_key) {
+  Dsk dsk{};
+  std::copy_n(public_key.begin(), dsk.size(), dsk.begin());
+  return dsk;
+}
+
+std::uint16_t dsk_pin(const Dsk& dsk) {
+  return static_cast<std::uint16_t>((dsk[0] << 8) | dsk[1]);
+}
+
+}  // namespace zc::zwave

@@ -1,0 +1,35 @@
+// DSK (Device-Specific Key) handling for S2 authenticated inclusion.
+//
+// Every S2 device ships with a 16-byte key printed on its label as eight
+// groups of five decimal digits ("34028-23669-..."), each group the
+// decimal rendering of a big-endian 16-bit word. The installer types the
+// first group as a PIN to authenticate the public key during inclusion,
+// and the Node Provisioning command class (0x78) ships whole DSKs in
+// SmartStart lists.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "crypto/x25519.h"
+
+namespace zc::zwave {
+
+using Dsk = std::array<std::uint8_t, 16>;
+
+/// Renders the label text: "NNNNN-NNNNN-..." (8 groups, zero-padded).
+std::string format_dsk(const Dsk& dsk);
+
+/// Parses label text back; tolerates spaces around dashes. Returns
+/// std::nullopt on anything but 8 in-range groups.
+std::optional<Dsk> parse_dsk(const std::string& text);
+
+/// The DSK of an S2 device is the leading 16 bytes of its public key.
+Dsk dsk_from_public_key(const crypto::X25519Key& public_key);
+
+/// The 5-digit installer PIN (first group) used to authenticate inclusion.
+std::uint16_t dsk_pin(const Dsk& dsk);
+
+}  // namespace zc::zwave

@@ -1,0 +1,161 @@
+#include "zwave/frame.h"
+
+#include <cstdio>
+
+#include "zwave/checksum.h"
+
+namespace zc::zwave {
+
+std::uint8_t MacFrame::p1() const {
+  std::uint8_t value = static_cast<std::uint8_t>(header) & 0x0F;
+  if (ack_requested) value |= 0x40;
+  if (routed) value |= 0x80;
+  return value;
+}
+
+Bytes MacFrame::encode_raw(std::optional<std::uint8_t> len_override,
+                           std::optional<std::uint8_t> cs_override) const {
+  Bytes out;
+  out.reserve(kMacHeaderSize + payload.size() + kChecksumSize);
+  write_be32(out, home_id);
+  out.push_back(src);
+  out.push_back(p1());
+  out.push_back(p2());
+  const std::size_t total = kMacHeaderSize + payload.size() + kChecksumSize;
+  out.push_back(len_override.value_or(static_cast<std::uint8_t>(total)));
+  out.push_back(dst);
+  out.insert(out.end(), payload.begin(), payload.end());
+  out.push_back(cs_override.value_or(checksum8(out)));
+  return out;
+}
+
+Result<Bytes> MacFrame::encode(IntegrityMode mode) const {
+  const std::size_t trailer = mode == IntegrityMode::kCrc16 ? 2u : kChecksumSize;
+  const std::size_t total = kMacHeaderSize + payload.size() + trailer;
+  if (total > kMaxMacFrame) {
+    return Error{Errc::kBadLength,
+                 "frame would be " + std::to_string(total) + " bytes; MAC limit is 64"};
+  }
+  if (mode == IntegrityMode::kChecksum8) return encode_raw();
+
+  // R3 framing: same header, 2-byte CRC-16-CCITT trailer.
+  Bytes out;
+  out.reserve(total);
+  write_be32(out, home_id);
+  out.push_back(src);
+  out.push_back(p1());
+  out.push_back(p2());
+  out.push_back(static_cast<std::uint8_t>(total));
+  out.push_back(dst);
+  out.insert(out.end(), payload.begin(), payload.end());
+  write_be16(out, crc16_ccitt(out));
+  return out;
+}
+
+std::string MacFrame::describe() const {
+  char head[96];
+  std::snprintf(head, sizeof(head), "%s home=%08X src=%02X dst=%02X seq=%u%s%s payload=",
+                header_type_name(header), home_id, src, dst, sequence,
+                ack_requested ? " ack-req" : "", routed ? " routed" : "");
+  return std::string(head) + to_hex_spaced(payload);
+}
+
+Result<MacFrame> decode_frame(ByteView raw, IntegrityMode mode) {
+  const std::size_t trailer = mode == IntegrityMode::kCrc16 ? 2u : kChecksumSize;
+  if (raw.size() < kMacHeaderSize + trailer) {
+    return Error{Errc::kTruncated,
+                 "frame of " + std::to_string(raw.size()) + " bytes is shorter than header"};
+  }
+  if (raw.size() > kMaxMacFrame) {
+    return Error{Errc::kBadLength, "frame exceeds 64-byte MAC limit"};
+  }
+  const std::uint8_t len = raw[7];
+  if (len != raw.size()) {
+    return Error{Errc::kBadLength, "LEN field " + std::to_string(len) +
+                                       " != physical size " + std::to_string(raw.size())};
+  }
+  if (mode == IntegrityMode::kCrc16) {
+    const std::uint16_t expected = crc16_ccitt(raw.subspan(0, raw.size() - 2));
+    if (expected != read_be16(raw, raw.size() - 2)) {
+      return Error{Errc::kBadChecksum, "CRC-16 mismatch"};
+    }
+  } else {
+    const std::uint8_t expected_cs = checksum8(raw.subspan(0, raw.size() - 1));
+    if (expected_cs != raw[raw.size() - 1]) {
+      return Error{Errc::kBadChecksum, "CS-8 mismatch"};
+    }
+  }
+
+  MacFrame frame;
+  frame.home_id = read_be32(raw, 0);
+  frame.src = raw[4];
+  const std::uint8_t p1 = raw[5];
+  const std::uint8_t type_nibble = p1 & 0x0F;
+  switch (type_nibble) {
+    case 0x1: frame.header = HeaderType::kSinglecast; break;
+    case 0x2: frame.header = HeaderType::kMulticast; break;
+    case 0x3: frame.header = HeaderType::kAck; break;
+    case 0x8: frame.header = HeaderType::kRouted; break;
+    default:
+      return Error{Errc::kBadField, "unknown header type nibble " + std::to_string(type_nibble)};
+  }
+  frame.ack_requested = (p1 & 0x40) != 0;
+  frame.routed = (p1 & 0x80) != 0;
+  frame.sequence = raw[6] & 0x0F;
+  frame.dst = raw[8];
+  frame.payload.assign(raw.begin() + kMacHeaderSize,
+                       raw.end() - static_cast<std::ptrdiff_t>(trailer));
+  return frame;
+}
+
+Bytes AppPayload::encode() const {
+  Bytes out;
+  out.reserve(2 + params.size());
+  out.push_back(cmd_class);
+  out.push_back(command);
+  out.insert(out.end(), params.begin(), params.end());
+  return out;
+}
+
+std::string AppPayload::describe() const {
+  char head[40];
+  std::snprintf(head, sizeof(head), "cmdcl=%02X cmd=%02X params=", cmd_class, command);
+  return std::string(head) + to_hex_spaced(params);
+}
+
+Result<AppPayload> decode_app_payload(ByteView payload) {
+  if (payload.empty()) {
+    return Error{Errc::kTruncated, "empty application payload"};
+  }
+  AppPayload app;
+  app.cmd_class = payload[0];
+  if (payload.size() >= 2) app.command = payload[1];
+  if (payload.size() > 2) app.params.assign(payload.begin() + 2, payload.end());
+  return app;
+}
+
+MacFrame make_singlecast(HomeId home, NodeId src, NodeId dst, const AppPayload& app,
+                         std::uint8_t sequence, bool ack_requested) {
+  MacFrame frame;
+  frame.home_id = home;
+  frame.src = src;
+  frame.dst = dst;
+  frame.header = HeaderType::kSinglecast;
+  frame.ack_requested = ack_requested;
+  frame.sequence = sequence & 0x0F;
+  frame.payload = app.encode();
+  return frame;
+}
+
+MacFrame make_ack(const MacFrame& received, NodeId self) {
+  MacFrame ack;
+  ack.home_id = received.home_id;
+  ack.src = self;
+  ack.dst = received.src;
+  ack.header = HeaderType::kAck;
+  ack.ack_requested = false;
+  ack.sequence = received.sequence;
+  return ack;
+}
+
+}  // namespace zc::zwave

@@ -1,0 +1,84 @@
+// Z-Wave MAC frame layout (paper Fig. 1) and the application-layer view.
+//
+//   H-ID(4) | SRC(1) | P1(1) | P2(1) | LEN(1) | DST(1) | payload... | CS(1)
+//
+// P1 carries the header type in its low nibble plus the ack-request (0x40)
+// and routed (0x80) flags; P2 carries the sequence number in its low nibble.
+// LEN is the total on-air frame length including the checksum.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "zwave/types.h"
+
+namespace zc::zwave {
+
+/// Frame integrity trailer. Classic R1/R2 channels end frames with the
+/// 8-bit XOR checksum; the R3 (100 kbps, 700-series) channel uses
+/// CRC-16-CCITT. Both peers of a channel agree on the mode out of band
+/// (it is a property of the data rate, not of the frame).
+enum class IntegrityMode : std::uint8_t { kChecksum8, kCrc16 };
+
+/// Decoded MAC frame. Field names follow Fig. 1 of the paper.
+struct MacFrame {
+  HomeId home_id = 0;
+  NodeId src = 0;
+  HeaderType header = HeaderType::kSinglecast;
+  bool ack_requested = false;
+  bool routed = false;
+  std::uint8_t sequence = 0;  // low nibble of P2
+  NodeId dst = 0;
+  Bytes payload;              // application payload: CMDCL CMD PARAM...
+
+  /// Raw frame-control bytes as they appear on air.
+  std::uint8_t p1() const;
+  std::uint8_t p2() const { return sequence & 0x0F; }
+
+  /// Serializes to on-air bytes with a correct LEN and integrity trailer.
+  /// Returns an error when the payload would exceed the 64-byte MAC limit.
+  Result<Bytes> encode(IntegrityMode mode = IntegrityMode::kChecksum8) const;
+
+  /// Serializes without validity enforcement and with explicit LEN/CS
+  /// values — used by fuzzers and tests to produce deliberately broken
+  /// frames. `len_override`/`cs_override` of nullopt mean "compute
+  /// correctly".
+  Bytes encode_raw(std::optional<std::uint8_t> len_override = std::nullopt,
+                   std::optional<std::uint8_t> cs_override = std::nullopt) const;
+
+  /// One-line human-readable rendering for logs.
+  std::string describe() const;
+};
+
+/// Parses and validates on-air bytes. Rejects truncated buffers, LEN
+/// mismatches and checksum failures — the controller's "basic checks" that
+/// mutated packets must survive (paper §II-C).
+Result<MacFrame> decode_frame(ByteView raw,
+                              IntegrityMode mode = IntegrityMode::kChecksum8);
+
+/// Application-layer view of a payload: CMDCL at position 0, CMD at
+/// position 1, PARAMs from position 2 (paper Fig. 6).
+struct AppPayload {
+  CommandClassId cmd_class = 0;
+  CommandId command = 0;
+  Bytes params;
+
+  Bytes encode() const;
+  std::string describe() const;
+};
+
+/// Splits a payload into the hierarchical application view. A payload needs
+/// at least the CMDCL byte; a lone CMDCL is legal (command defaults to 0).
+Result<AppPayload> decode_app_payload(ByteView payload);
+
+/// Convenience builder for a singlecast data frame.
+MacFrame make_singlecast(HomeId home, NodeId src, NodeId dst, const AppPayload& app,
+                         std::uint8_t sequence = 0, bool ack_requested = true);
+
+/// Builds the MAC-layer acknowledgment for a received frame.
+MacFrame make_ack(const MacFrame& received, NodeId self);
+
+}  // namespace zc::zwave

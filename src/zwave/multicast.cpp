@@ -1,0 +1,69 @@
+#include "zwave/multicast.h"
+
+#include <algorithm>
+
+namespace zc::zwave {
+
+Bytes encode_multicast_mask(const std::vector<NodeId>& destinations) {
+  NodeId highest = 0;
+  for (NodeId id : destinations) highest = std::max(highest, id);
+  const std::size_t mask_len =
+      std::min<std::size_t>(kMaxMulticastMask, highest == 0 ? 1 : (highest + 7u) / 8u);
+
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(mask_len));
+  out.resize(1 + mask_len, 0x00);
+  for (NodeId id : destinations) {
+    if (id == 0 || static_cast<std::size_t>((id - 1) / 8) >= mask_len) continue;
+    out[1 + static_cast<std::size_t>((id - 1) / 8)] |=
+        static_cast<std::uint8_t>(1u << ((id - 1) % 8));
+  }
+  return out;
+}
+
+bool MulticastPayload::addresses(NodeId node) const {
+  return std::find(destinations.begin(), destinations.end(), node) != destinations.end();
+}
+
+Result<MulticastPayload> split_multicast_payload(ByteView payload) {
+  if (payload.empty()) return Error{Errc::kTruncated, "missing multicast mask length"};
+  const std::size_t mask_len = payload[0];
+  if (mask_len == 0 || mask_len > kMaxMulticastMask) {
+    return Error{Errc::kBadField, "multicast mask length out of range"};
+  }
+  if (payload.size() < 1 + mask_len) {
+    return Error{Errc::kTruncated, "multicast mask truncated"};
+  }
+
+  MulticastPayload out;
+  for (std::size_t byte = 0; byte < mask_len; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      if (payload[1 + byte] & (1u << bit)) {
+        out.destinations.push_back(static_cast<NodeId>(byte * 8 + static_cast<std::size_t>(bit) + 1));
+      }
+    }
+  }
+  if (out.destinations.empty()) {
+    return Error{Errc::kBadField, "multicast mask selects no nodes"};
+  }
+  out.app_payload.assign(payload.begin() + 1 + static_cast<std::ptrdiff_t>(mask_len),
+                         payload.end());
+  return out;
+}
+
+MacFrame make_multicast(HomeId home, NodeId src, const std::vector<NodeId>& destinations,
+                        const AppPayload& app, std::uint8_t sequence) {
+  MacFrame frame;
+  frame.home_id = home;
+  frame.src = src;
+  frame.dst = kBroadcastNodeId;
+  frame.header = HeaderType::kMulticast;
+  frame.ack_requested = false;  // multicast is never acknowledged
+  frame.sequence = sequence & 0x0F;
+  frame.payload = encode_multicast_mask(destinations);
+  const Bytes inner = app.encode();
+  frame.payload.insert(frame.payload.end(), inner.begin(), inner.end());
+  return frame;
+}
+
+}  // namespace zc::zwave

@@ -1,0 +1,36 @@
+// Multicast addressing (header type 0x2): one frame, many destinations.
+//
+// The payload is prefixed with a node bitmask:
+//   [ mask_len | mask bytes... | application payload ]
+// where bit (id-1) of the mask selects node id. Multicast frames are never
+// acknowledged and never carry routing — constraints the MAC quirks and
+// the IDS rules key on.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "zwave/frame.h"
+
+namespace zc::zwave {
+
+constexpr std::size_t kMaxMulticastMask = 29;  // 232 node ids / 8
+
+/// Builds the bitmask prefix for a destination set.
+Bytes encode_multicast_mask(const std::vector<NodeId>& destinations);
+
+/// Splits a multicast payload into destinations and the inner payload.
+struct MulticastPayload {
+  std::vector<NodeId> destinations;
+  Bytes app_payload;
+
+  bool addresses(NodeId node) const;
+};
+Result<MulticastPayload> split_multicast_payload(ByteView payload);
+
+/// Builds a complete multicast frame (DST carries the broadcast id; the
+/// real addressing lives in the mask).
+MacFrame make_multicast(HomeId home, NodeId src, const std::vector<NodeId>& destinations,
+                        const AppPayload& app, std::uint8_t sequence = 0);
+
+}  // namespace zc::zwave

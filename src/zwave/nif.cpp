@@ -1,0 +1,56 @@
+#include "zwave/nif.h"
+
+namespace zc::zwave {
+
+namespace {
+constexpr CommandClassId kProtocolClass = 0x01;
+constexpr CommandId kNop = 0x01;
+constexpr CommandId kNodeInfoRequest = 0x02;
+constexpr CommandId kNodeInfo = 0x07;
+}  // namespace
+
+AppPayload NodeInfo::encode() const {
+  AppPayload payload;
+  payload.cmd_class = kProtocolClass;
+  payload.command = kNodeInfo;
+  payload.params.reserve(4 + supported.size());
+  payload.params.push_back(capabilities);
+  payload.params.push_back(basic_class);
+  payload.params.push_back(generic_class);
+  payload.params.push_back(specific_class);
+  payload.params.insert(payload.params.end(), supported.begin(), supported.end());
+  return payload;
+}
+
+AppPayload make_nif_request(NodeId target) {
+  AppPayload payload;
+  payload.cmd_class = kProtocolClass;
+  payload.command = kNodeInfoRequest;
+  payload.params.push_back(target);
+  return payload;
+}
+
+AppPayload make_nop() {
+  AppPayload payload;
+  payload.cmd_class = kProtocolClass;
+  payload.command = kNop;
+  return payload;
+}
+
+Result<NodeInfo> decode_node_info(const AppPayload& payload) {
+  if (payload.cmd_class != kProtocolClass || payload.command != kNodeInfo) {
+    return Error{Errc::kBadField, "not a NODE_INFO payload"};
+  }
+  if (payload.params.size() < 4) {
+    return Error{Errc::kTruncated, "NODE_INFO shorter than device-class header"};
+  }
+  NodeInfo info;
+  info.capabilities = payload.params[0];
+  info.basic_class = payload.params[1];
+  info.generic_class = payload.params[2];
+  info.specific_class = payload.params[3];
+  info.supported.assign(payload.params.begin() + 4, payload.params.end());
+  return info;
+}
+
+}  // namespace zc::zwave

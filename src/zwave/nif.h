@@ -1,0 +1,59 @@
+// Node Information Frame (NIF) encoding.
+//
+// The active scanner's central tool (§III-B2): a NIF request makes the
+// target answer with its device classes and the list of command classes it
+// *admits* to supporting. The paper's controllers listed only 15-17 classes
+// here while actually processing many more — the gap ZCover exploits.
+//
+// On air these ride the protocol-level class 0x01: NODE_INFO_REQUEST (0x02)
+// out, NODE_INFO (0x07) back.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "zwave/frame.h"
+#include "zwave/types.h"
+
+namespace zc::zwave {
+
+/// Device-class triple + advertised command classes.
+struct NodeInfo {
+  std::uint8_t capabilities = 0;      // listening/routing flag bits
+  std::uint8_t basic_class = 0;       // e.g. 0x02 static controller
+  std::uint8_t generic_class = 0;     // e.g. 0x02 generic controller
+  std::uint8_t specific_class = 0;
+  std::vector<CommandClassId> supported;  // the *listed* CMDCLs
+
+  AppPayload encode() const;
+};
+
+/// Well-known basic device classes.
+constexpr std::uint8_t kBasicClassController = 0x01;
+constexpr std::uint8_t kBasicClassStaticController = 0x02;
+constexpr std::uint8_t kBasicClassSlave = 0x03;
+constexpr std::uint8_t kBasicClassRoutingSlave = 0x04;
+
+const char* basic_class_name(std::uint8_t basic_class);
+
+/// Builds the NIF request payload (protocol class 0x01, NODE_INFO_REQUEST).
+AppPayload make_nif_request(NodeId target);
+
+/// Builds a NOP ping payload — the liveness probe the fuzzer's feedback
+/// loop sends between test cases (§IV-A "Feedback & crash verification").
+AppPayload make_nop();
+
+/// Parses a NODE_INFO payload back into NodeInfo.
+Result<NodeInfo> decode_node_info(const AppPayload& payload);
+
+inline const char* basic_class_name(std::uint8_t basic_class) {
+  switch (basic_class) {
+    case kBasicClassController: return "controller";
+    case kBasicClassStaticController: return "static-controller";
+    case kBasicClassSlave: return "slave";
+    case kBasicClassRoutingSlave: return "routing-slave";
+  }
+  return "unknown";
+}
+
+}  // namespace zc::zwave

@@ -1,0 +1,70 @@
+#include "zwave/routing.h"
+
+#include <algorithm>
+
+namespace zc::zwave {
+
+Bytes RouteHeader::encode() const {
+  Bytes out;
+  out.reserve(2 + repeaters.size());
+  out.push_back(response ? 0x01 : 0x00);
+  out.push_back(static_cast<std::uint8_t>((hop_index << 4) |
+                                          (repeaters.size() & 0x0F)));
+  out.insert(out.end(), repeaters.begin(), repeaters.end());
+  return out;
+}
+
+RouteHeader RouteHeader::reversed() const {
+  RouteHeader back;
+  back.response = !response;
+  back.hop_index = 0;
+  back.repeaters.assign(repeaters.rbegin(), repeaters.rend());
+  return back;
+}
+
+Result<RoutedPayload> split_routed_payload(ByteView payload) {
+  if (payload.size() < 2) {
+    return Error{Errc::kTruncated, "routed payload shorter than its header"};
+  }
+  const std::uint8_t status = payload[0];
+  if (status > 0x01) {
+    return Error{Errc::kBadField, "unknown route status byte"};
+  }
+  const std::uint8_t hop = payload[1] >> 4;
+  const std::size_t count = payload[1] & 0x0F;
+  if (count == 0 || count > kMaxRepeaters) {
+    return Error{Errc::kBadField, "repeater count out of range"};
+  }
+  if (hop > count) {
+    return Error{Errc::kBadField, "hop index beyond repeater list"};
+  }
+  if (payload.size() < 2 + count) {
+    return Error{Errc::kTruncated, "repeater list truncated"};
+  }
+
+  RoutedPayload out;
+  out.route.response = (status & 0x01) != 0;
+  out.route.hop_index = hop;
+  out.route.repeaters.assign(payload.begin() + 2, payload.begin() + 2 + static_cast<std::ptrdiff_t>(count));
+  out.app_payload.assign(payload.begin() + 2 + static_cast<std::ptrdiff_t>(count), payload.end());
+  return out;
+}
+
+MacFrame make_routed_singlecast(HomeId home, NodeId src, NodeId dst,
+                                const RouteHeader& route, const AppPayload& app,
+                                std::uint8_t sequence, bool ack_requested) {
+  MacFrame frame;
+  frame.home_id = home;
+  frame.src = src;
+  frame.dst = dst;
+  frame.header = HeaderType::kSinglecast;
+  frame.routed = true;
+  frame.ack_requested = ack_requested;
+  frame.sequence = sequence & 0x0F;
+  frame.payload = route.encode();
+  const Bytes inner = app.encode();
+  frame.payload.insert(frame.payload.end(), inner.begin(), inner.end());
+  return frame;
+}
+
+}  // namespace zc::zwave

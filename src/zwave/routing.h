@@ -1,0 +1,49 @@
+// Mesh routing: the routed-frame header carried when the MAC frame's
+// routed flag (P1 bit 7) is set — the "routing information" half of the
+// frame-control bytes in Fig. 1.
+//
+// Layout at the front of the MAC payload:
+//   [status, hop_and_count, repeater_1 ... repeater_N, application payload]
+// where status bit0 marks a response (return route) frame, the high nibble
+// of hop_and_count is the index of the next repeater to act, and the low
+// nibble is the repeater count (1..4).
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "zwave/frame.h"
+
+namespace zc::zwave {
+
+constexpr std::size_t kMaxRepeaters = 4;
+
+struct RouteHeader {
+  bool response = false;             // travelling back along the route
+  std::uint8_t hop_index = 0;        // next repeater to relay (== count: done)
+  std::vector<NodeId> repeaters;     // 1..4 hops
+
+  Bytes encode() const;
+
+  /// True when every repeater has relayed and the destination may consume.
+  bool complete() const { return hop_index >= repeaters.size(); }
+
+  /// The reversed route a response should take.
+  RouteHeader reversed() const;
+};
+
+/// Splits a routed MAC payload into its route header and the inner
+/// application payload.
+struct RoutedPayload {
+  RouteHeader route;
+  Bytes app_payload;
+};
+Result<RoutedPayload> split_routed_payload(ByteView payload);
+
+/// Builds a routed singlecast: the app payload prefixed with the header,
+/// routed flag set.
+MacFrame make_routed_singlecast(HomeId home, NodeId src, NodeId dst,
+                                const RouteHeader& route, const AppPayload& app,
+                                std::uint8_t sequence = 0, bool ack_requested = false);
+
+}  // namespace zc::zwave

@@ -1,0 +1,198 @@
+#include "zwave/s2_inclusion.h"
+
+#include "crypto/cmac.h"
+
+namespace zc::zwave {
+
+namespace {
+
+constexpr CommandId kKexGet = 0x04;
+constexpr CommandId kKexReport = 0x05;
+constexpr CommandId kKexSet = 0x06;
+constexpr CommandId kKexFailCmd = 0x07;
+constexpr CommandId kPublicKeyReport = 0x08;
+constexpr CommandId kNetworkKeyGet = 0x09;
+constexpr CommandId kNetworkKeyReport = 0x0A;
+constexpr CommandId kNetworkKeyVerify = 0x0B;
+constexpr CommandId kTransferEnd = 0x0C;
+
+// Advertised capabilities: scheme 2 (the only S2 KEX scheme), curve 25519.
+constexpr std::uint8_t kScheme = 0x02;
+constexpr std::uint8_t kCurve25519 = 0x01;
+constexpr std::uint8_t kKeysRequested = 0x87;  // S2 classes 0/1/2 + S0
+
+}  // namespace
+
+const char* kex_fail_name(KexFail reason) {
+  switch (reason) {
+    case KexFail::kNone: return "none";
+    case KexFail::kScheme: return "KEX_FAIL_KEX_SCHEME";
+    case KexFail::kCurve: return "KEX_FAIL_KEX_CURVES";
+    case KexFail::kAuth: return "KEX_FAIL_AUTH";
+    case KexFail::kKeyVerify: return "KEX_FAIL_KEY_VERIFY";
+    case KexFail::kProtocol: return "KEX_FAIL_PROTOCOL";
+  }
+  return "?";
+}
+
+S2InclusionMachine::S2InclusionMachine(Role role, crypto::X25519Key private_key)
+    : role_(role),
+      private_key_(private_key),
+      public_key_(crypto::x25519_public(private_key)) {
+  state_ = role == Role::kIncluding ? State::kIdle : State::kAwaitKexSet;
+}
+
+AppPayload S2InclusionMachine::make(CommandId cmd, Bytes params) {
+  AppPayload payload;
+  payload.cmd_class = kSecurity2Class;
+  payload.command = cmd;
+  payload.params = std::move(params);
+  return payload;
+}
+
+InclusionStep S2InclusionMachine::fail(KexFail reason) {
+  state_ = State::kFailed;
+  InclusionStep step;
+  step.failure = reason;
+  step.send = make(kKexFailCmd, {static_cast<std::uint8_t>(reason)});
+  return step;
+}
+
+void S2InclusionMachine::derive_channel(const crypto::X25519Key& peer_public) {
+  const crypto::S2Keys keys = s2_key_agreement(private_key_, peer_public);
+  // SPAN seed: CMAC over both public keys under the nonce key — both sides
+  // compute the identical 32 bytes without more round trips.
+  Bytes both;
+  ByteView a(public_key_.data(), public_key_.size());
+  ByteView b(peer_public.data(), peer_public.size());
+  if (std::lexicographical_compare(b.begin(), b.end(), a.begin(), a.end())) std::swap(a, b);
+  both.insert(both.end(), a.begin(), a.end());
+  both.insert(both.end(), b.begin(), b.end());
+  const crypto::AesBlock half1 = crypto::aes_cmac(keys.nonce_key, both);
+  Bytes seed(half1.begin(), half1.end());
+  Bytes tagged = both;
+  tagged.push_back(0x02);
+  const crypto::AesBlock half2 = crypto::aes_cmac(keys.nonce_key, tagged);
+  seed.insert(seed.end(), half2.begin(), half2.end());
+
+  channel_ = EstablishedChannel{keys, std::move(seed)};
+}
+
+InclusionStep S2InclusionMachine::start() {
+  InclusionStep step;
+  if (role_ != Role::kIncluding || state_ != State::kIdle) {
+    return fail(KexFail::kProtocol);
+  }
+  state_ = State::kAwaitKexReport;
+  step.send = make(kKexGet, {});
+  return step;
+}
+
+InclusionStep S2InclusionMachine::on_message(const AppPayload& message) {
+  InclusionStep step;
+  if (message.cmd_class != kSecurity2Class) return fail(KexFail::kProtocol);
+  if (message.command == kKexFailCmd) {
+    state_ = State::kFailed;
+    step.failure = message.params.empty() ? KexFail::kProtocol
+                                          : static_cast<KexFail>(message.params[0]);
+    return step;
+  }
+
+  switch (state_) {
+    case State::kAwaitKexSet:  // joining side
+      if (message.command == kKexGet) {
+        // Advertise capabilities; stay in this state until KEX_SET.
+        step.send = make(kKexReport, {0x00, kScheme, kCurve25519, kKeysRequested});
+        return step;
+      }
+      if (message.command == kKexSet) {
+        if (message.params.size() < 4) return fail(KexFail::kProtocol);
+        if ((message.params[1] & kScheme) == 0) return fail(KexFail::kScheme);
+        if ((message.params[2] & kCurve25519) == 0) return fail(KexFail::kCurve);
+        state_ = State::kAwaitPeerKey;
+        Bytes params = {0x00};  // not the including node
+        params.insert(params.end(), public_key_.begin(), public_key_.end());
+        step.send = make(kPublicKeyReport, std::move(params));
+        return step;
+      }
+      return fail(KexFail::kProtocol);
+
+    case State::kAwaitKexReport:  // including side
+      if (message.command != kKexReport || message.params.size() < 4) {
+        return fail(KexFail::kProtocol);
+      }
+      if ((message.params[1] & kScheme) == 0) return fail(KexFail::kScheme);
+      if ((message.params[2] & kCurve25519) == 0) return fail(KexFail::kCurve);
+      state_ = State::kAwaitPeerKey;
+      step.send = make(kKexSet, {0x00, kScheme, kCurve25519, kKeysRequested});
+      return step;
+
+    case State::kAwaitPeerKey: {
+      if (message.command != kPublicKeyReport || message.params.size() != 33) {
+        return fail(KexFail::kProtocol);
+      }
+      crypto::X25519Key peer{};
+      std::copy(message.params.begin() + 1, message.params.end(), peer.begin());
+      // Contributory-behavior check: a low-order / all-zero peer point
+      // collapses the ECDH output to zero, letting a MITM force a known
+      // "shared" secret. Reject any key whose DH result is zero.
+      const crypto::X25519Key probe = crypto::x25519(private_key_, peer);
+      bool all_zero = true;
+      for (std::uint8_t b : probe) all_zero = all_zero && b == 0;
+      if (all_zero) return fail(KexFail::kAuth);
+      if (role_ == Role::kIncluding && expected_pin_.has_value()) {
+        // Authenticated inclusion: the peer key's DSK PIN must match what
+        // the installer typed off the device label.
+        const std::uint16_t pin =
+            static_cast<std::uint16_t>((peer[0] << 8) | peer[1]);
+        if (pin != *expected_pin_) return fail(KexFail::kAuth);
+      }
+      derive_channel(peer);
+      if (role_ == Role::kIncluding) {
+        // The joining side asks for keys next; we just installed ours.
+        state_ = State::kAwaitKeyVerify;
+        Bytes params = {0x01};  // including node's key flag
+        params.insert(params.end(), public_key_.begin(), public_key_.end());
+        step.send = make(kPublicKeyReport, std::move(params));
+      } else {
+        state_ = State::kAwaitTransferEnd;
+        // Key confirmation: CMAC(auth_key, "verify") proves both sides hold
+        // the same derived keys without exposing them.
+        const Bytes proof = crypto::aes_cmac_truncated(
+            channel_->keys.auth_key, Bytes{'v', 'e', 'r', 'i', 'f', 'y'}, 8);
+        step.send = make(kNetworkKeyVerify, proof);
+      }
+      return step;
+    }
+
+    case State::kAwaitKeyVerify: {  // including side
+      if (message.command != kNetworkKeyVerify || !channel_.has_value()) {
+        return fail(KexFail::kProtocol);
+      }
+      const bool verified = crypto::aes_cmac_verify(
+          channel_->keys.auth_key, Bytes{'v', 'e', 'r', 'i', 'f', 'y'}, message.params);
+      if (!verified) {
+        channel_.reset();
+        return fail(KexFail::kKeyVerify);
+      }
+      state_ = State::kDone;
+      step.done = true;
+      step.send = make(kTransferEnd, {0x01});
+      return step;
+    }
+
+    case State::kAwaitTransferEnd:  // joining side
+      if (message.command != kTransferEnd) return fail(KexFail::kProtocol);
+      state_ = State::kDone;
+      step.done = true;
+      return step;
+
+    case State::kIdle:
+    case State::kDone:
+    case State::kFailed:
+      return fail(KexFail::kProtocol);
+  }
+  return fail(KexFail::kProtocol);
+}
+
+}  // namespace zc::zwave

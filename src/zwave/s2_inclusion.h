@@ -1,0 +1,110 @@
+// S2 inclusion: the key-exchange (KEX) state machine that bootstraps the
+// secure channel between a controller and a joining node.
+//
+// Message flow (both parties run a half of this machine):
+//
+//   including side                      joining side
+//   --------------                      ------------
+//   KEX_GET                 ->
+//                           <-          KEX_REPORT  (schemes/profiles/keys)
+//   KEX_SET                 ->
+//                           <-          PUBLIC_KEY_REPORT (joining key)
+//   PUBLIC_KEY_REPORT       ->
+//        [both derive the ECDH shared secret -> CKDF -> S2Keys]
+//                           <-          NETWORK_KEY_GET   (under new keys*)
+//   NETWORK_KEY_REPORT      ->
+//                           <-          NETWORK_KEY_VERIFY
+//   TRANSFER_END            ->
+//
+// (*) In this model the post-ECDH leg is carried through the freshly
+// derived S2 sessions, which is the property that matters: unlike S0's
+// fixed temp key, a passive observer of the whole exchange cannot derive
+// the session keys (tested in s2_inclusion_test.cpp).
+//
+// Errors follow the spec's KEX_FAIL codes: scheme mismatch, curve
+// mismatch, key verification failure, timeout.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/x25519.h"
+#include "zwave/security.h"
+
+namespace zc::zwave {
+
+/// KEX_FAIL reasons (spec-shaped subset).
+enum class KexFail : std::uint8_t {
+  kNone = 0,
+  kScheme = 0x01,       // no common KEX scheme
+  kCurve = 0x02,        // no common ECDH curve
+  kAuth = 0x05,         // DSK PIN authentication failed
+  kKeyVerify = 0x07,    // network-key verification failed
+  kProtocol = 0x0A,     // message out of order / malformed
+};
+
+const char* kex_fail_name(KexFail reason);
+
+/// What a state-machine step wants sent to the peer next.
+struct InclusionStep {
+  std::optional<AppPayload> send;  // next message for the peer (plaintext leg)
+  bool done = false;               // the exchange concluded
+  KexFail failure = KexFail::kNone;
+};
+
+/// Common result: established keys + the agreed SPAN seed.
+struct EstablishedChannel {
+  crypto::S2Keys keys{};
+  Bytes span_seed;  // 32 bytes, mixed from both public keys
+};
+
+/// One side of the S2 inclusion exchange. Drive with `start()` (including
+/// side only) and `on_message()`; when `established()` returns a channel,
+/// construct S2Session from it.
+class S2InclusionMachine {
+ public:
+  enum class Role { kIncluding, kJoining };
+
+  S2InclusionMachine(Role role, crypto::X25519Key private_key);
+
+  /// Authenticated inclusion: the installer typed the joining device's
+  /// DSK PIN (the first label group); the including side verifies the
+  /// received public key against it before trusting the exchange. Must be
+  /// set before the peer key arrives.
+  void require_dsk_pin(std::uint16_t pin) { expected_pin_ = pin; }
+
+  /// Including side: produces the opening KEX_GET.
+  InclusionStep start();
+
+  /// Feeds a peer message; returns what to send next / completion / failure.
+  InclusionStep on_message(const AppPayload& message);
+
+  const std::optional<EstablishedChannel>& established() const { return channel_; }
+  Role role() const { return role_; }
+
+ private:
+  enum class State {
+    kIdle,
+    kAwaitKexReport,   // including: sent KEX_GET
+    kAwaitKexSet,      // joining: sent KEX_REPORT
+    kAwaitPeerKey,     // either: waiting for the peer's PUBLIC_KEY_REPORT
+    kAwaitKeyVerify,   // including: sent NETWORK_KEY_REPORT
+    kAwaitTransferEnd, // joining: sent NETWORK_KEY_VERIFY
+    kDone,
+    kFailed,
+  };
+
+  InclusionStep fail(KexFail reason);
+  void derive_channel(const crypto::X25519Key& peer_public);
+  static AppPayload make(CommandId cmd, Bytes params);
+
+  Role role_;
+  crypto::X25519Key private_key_;
+  crypto::X25519Key public_key_;
+  State state_ = State::kIdle;
+  std::optional<std::uint16_t> expected_pin_;
+  std::optional<EstablishedChannel> channel_;
+};
+
+}  // namespace zc::zwave

@@ -1,0 +1,205 @@
+#include "zwave/security.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/cmac.h"
+
+namespace zc::zwave {
+
+namespace {
+
+constexpr std::size_t kNonceSize = 8;
+constexpr std::size_t kMacSize = 8;
+
+/// AES-CBC-MAC with explicit IV (the S0 authentication primitive; S0
+/// predates CMAC and uses plain CBC-MAC over padded data).
+Bytes cbc_mac8(const crypto::AesKey& key, const crypto::AesBlock& iv, ByteView data) {
+  const crypto::Aes128 cipher(key);
+  crypto::AesBlock acc = iv;
+  cipher.encrypt_block(acc);
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t chunk = std::min(crypto::kAesBlockSize, data.size() - offset);
+    for (std::size_t i = 0; i < chunk; ++i) acc[i] ^= data[offset + i];
+    cipher.encrypt_block(acc);
+    offset += chunk;
+  }
+  return Bytes(acc.begin(), acc.begin() + kMacSize);
+}
+
+crypto::AesBlock make_iv(ByteView sender_nonce, ByteView receiver_nonce) {
+  crypto::AesBlock iv{};
+  std::copy_n(sender_nonce.begin(), kNonceSize, iv.begin());
+  std::copy_n(receiver_nonce.begin(), kNonceSize, iv.begin() + kNonceSize);
+  return iv;
+}
+
+}  // namespace
+
+crypto::AesKey s0_temp_key() { return crypto::AesKey{}; }
+
+S0Session::S0Session(const crypto::AesKey& network_key)
+    : keys_(crypto::derive_s0_keys(network_key)) {}
+
+Bytes S0Session::make_nonce(crypto::CtrDrbg& drbg) { return drbg.generate(kNonceSize); }
+
+AppPayload S0Session::encapsulate(const AppPayload& inner, NodeId src, NodeId dst,
+                                  ByteView receiver_nonce, crypto::CtrDrbg& drbg) const {
+  const Bytes sender_nonce = drbg.generate(kNonceSize);
+  const crypto::AesBlock iv = make_iv(sender_nonce, receiver_nonce);
+
+  const Bytes plaintext = inner.encode();
+  const Bytes ciphertext = crypto::aes_ofb_crypt(keys_.enc_key, iv, plaintext);
+
+  // Authenticated data: security header, addressing, length, ciphertext.
+  Bytes auth;
+  auth.push_back(kS0MessageEncap);
+  auth.push_back(src);
+  auth.push_back(dst);
+  auth.push_back(static_cast<std::uint8_t>(ciphertext.size()));
+  auth.insert(auth.end(), ciphertext.begin(), ciphertext.end());
+  const Bytes mac = cbc_mac8(keys_.auth_key, iv, auth);
+
+  AppPayload outer;
+  outer.cmd_class = kSecurity0Class;
+  outer.command = kS0MessageEncap;
+  outer.params.reserve(kNonceSize + ciphertext.size() + 1 + kMacSize);
+  outer.params.insert(outer.params.end(), sender_nonce.begin(), sender_nonce.end());
+  outer.params.insert(outer.params.end(), ciphertext.begin(), ciphertext.end());
+  outer.params.push_back(receiver_nonce[0]);  // nonce identifier
+  outer.params.insert(outer.params.end(), mac.begin(), mac.end());
+  return outer;
+}
+
+Result<AppPayload> S0Session::decapsulate(const AppPayload& outer, NodeId src, NodeId dst,
+                                          ByteView my_nonce) const {
+  if (outer.cmd_class != kSecurity0Class || outer.command != kS0MessageEncap) {
+    return Error{Errc::kBadField, "not an S0 message encapsulation"};
+  }
+  if (outer.params.size() < kNonceSize + 1 + 1 + kMacSize) {
+    return Error{Errc::kTruncated, "S0 encapsulation too short"};
+  }
+  const ByteView params(outer.params);
+  const ByteView sender_nonce = params.subspan(0, kNonceSize);
+  const std::size_t ct_len = params.size() - kNonceSize - 1 - kMacSize;
+  const ByteView ciphertext = params.subspan(kNonceSize, ct_len);
+  const std::uint8_t nonce_id = params[kNonceSize + ct_len];
+  const ByteView mac = params.subspan(kNonceSize + ct_len + 1, kMacSize);
+
+  if (my_nonce.size() != kNonceSize || nonce_id != my_nonce[0]) {
+    return Error{Errc::kAuthFailed, "unknown or stale S0 nonce identifier"};
+  }
+  const crypto::AesBlock iv = make_iv(sender_nonce, my_nonce);
+
+  Bytes auth;
+  auth.push_back(kS0MessageEncap);
+  auth.push_back(src);
+  auth.push_back(dst);
+  auth.push_back(static_cast<std::uint8_t>(ciphertext.size()));
+  auth.insert(auth.end(), ciphertext.begin(), ciphertext.end());
+  const Bytes expected_mac = cbc_mac8(keys_.auth_key, iv, auth);
+  if (!equal_constant_time(expected_mac, mac)) {
+    return Error{Errc::kAuthFailed, "S0 CBC-MAC verification failed"};
+  }
+
+  const Bytes plaintext = crypto::aes_ofb_crypt(keys_.enc_key, iv, ciphertext);
+  return decode_app_payload(plaintext);
+}
+
+S2Session::S2Session(const crypto::S2Keys& keys, ByteView span_seed32)
+    : keys_(keys), span_(span_seed32) {}
+
+void S2Session::resync(ByteView span_seed32) {
+  span_.reseed(span_seed32);
+  sequence_ = 0;
+}
+
+crypto::AesBlock S2Session::next_span_nonce() {
+  const Bytes raw = span_.generate(crypto::kAesBlockSize);
+  crypto::AesBlock nonce{};
+  std::copy(raw.begin(), raw.end(), nonce.begin());
+  return nonce;
+}
+
+AppPayload S2Session::encapsulate(const AppPayload& inner, HomeId home, NodeId src, NodeId dst) {
+  const std::uint8_t seq = sequence_++;
+  const crypto::AesBlock nonce = next_span_nonce();
+
+  const Bytes plaintext = inner.encode();
+  const Bytes ciphertext = crypto::aes_ctr_crypt(keys_.ccm_key, nonce, plaintext);
+
+  // Additional authenticated data mirrors the S2 AAD: addressing + header.
+  Bytes auth;
+  write_be32(auth, home);
+  auth.push_back(src);
+  auth.push_back(dst);
+  auth.push_back(kS2MessageEncap);
+  auth.push_back(seq);
+  auth.insert(auth.end(), ciphertext.begin(), ciphertext.end());
+  const Bytes tag = crypto::aes_cmac_truncated(keys_.auth_key, auth, kMacSize);
+
+  AppPayload outer;
+  outer.cmd_class = kSecurity2Class;
+  outer.command = kS2MessageEncap;
+  outer.params.reserve(2 + ciphertext.size() + kMacSize);
+  outer.params.push_back(seq);
+  outer.params.push_back(0x00);  // no extensions
+  outer.params.insert(outer.params.end(), ciphertext.begin(), ciphertext.end());
+  outer.params.insert(outer.params.end(), tag.begin(), tag.end());
+  return outer;
+}
+
+Result<AppPayload> S2Session::decapsulate(const AppPayload& outer, HomeId home, NodeId src,
+                                          NodeId dst) {
+  if (outer.cmd_class != kSecurity2Class || outer.command != kS2MessageEncap) {
+    return Error{Errc::kBadField, "not an S2 message encapsulation"};
+  }
+  if (outer.params.size() < 2 + kMacSize) {
+    return Error{Errc::kTruncated, "S2 encapsulation too short"};
+  }
+  const std::uint8_t seq = outer.params[0];
+  if (seq != sequence_) {
+    return Error{Errc::kAuthFailed, "S2 sequence desynchronized (SPAN out of sync)"};
+  }
+  const std::uint8_t extensions = outer.params[1];
+  if (extensions != 0x00) {
+    return Error{Errc::kUnsupported, "S2 extensions not supported in this profile"};
+  }
+  const ByteView params(outer.params);
+  const std::size_t ct_len = params.size() - 2 - kMacSize;
+  const ByteView ciphertext = params.subspan(2, ct_len);
+  const ByteView tag = params.subspan(2 + ct_len, kMacSize);
+
+  Bytes auth;
+  write_be32(auth, home);
+  auth.push_back(src);
+  auth.push_back(dst);
+  auth.push_back(kS2MessageEncap);
+  auth.push_back(seq);
+  auth.insert(auth.end(), ciphertext.begin(), ciphertext.end());
+  const Bytes expected = crypto::aes_cmac_truncated(keys_.auth_key, auth, kMacSize);
+  if (!equal_constant_time(expected, tag)) {
+    return Error{Errc::kAuthFailed, "S2 CMAC verification failed"};
+  }
+
+  // Tag verified: consume the SPAN position and decrypt.
+  sequence_ = static_cast<std::uint8_t>(seq + 1);
+  const crypto::AesBlock nonce = next_span_nonce();
+  const Bytes plaintext = crypto::aes_ctr_crypt(keys_.ccm_key, nonce, ciphertext);
+  return decode_app_payload(plaintext);
+}
+
+crypto::S2Keys s2_key_agreement(const crypto::X25519Key& my_private,
+                                const crypto::X25519Key& peer_public) {
+  const crypto::X25519Key shared = crypto::x25519(my_private, peer_public);
+  const crypto::X25519Key my_public = crypto::x25519_public(my_private);
+  // Both sides must feed the public keys in the same order; sort them so
+  // the derivation is symmetric.
+  ByteView a(my_public.data(), my_public.size());
+  ByteView b(peer_public.data(), peer_public.size());
+  if (std::lexicographical_compare(b.begin(), b.end(), a.begin(), a.end())) std::swap(a, b);
+  return crypto::derive_s2_keys(ByteView(shared.data(), shared.size()), a, b);
+}
+
+}  // namespace zc::zwave

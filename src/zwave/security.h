@@ -1,0 +1,104 @@
+// S0 and S2 transport encapsulation (paper §II-A1).
+//
+// Both transports are implemented end-to-end with the real primitives from
+// src/crypto so that the simulated controllers can *genuinely* distinguish
+// authenticated from forged traffic:
+//
+// * S0 (class 0x98): AES-OFB payload encryption under Ke, 8-byte CBC-MAC
+//   under Ka, receiver-supplied 8-byte nonces. Keys derive from the 16-byte
+//   network key via fixed AES plaintexts — including the infamous all-zero
+//   "temp key" used during inclusion, the MITM weakness the paper cites.
+// * S2 (class 0x9F): ECDH(X25519)-agreed keys, AES-CTR payload encryption,
+//   8-byte AES-CMAC tag, and a SPAN (synchronized pseudo-random nonce)
+//   ratchet seeded from exchanged entropy.
+//
+// The sessions are deliberately stateful: SPAN desynchronization forces a
+// NONCE_GET/NONCE_REPORT resync exactly like real S2 stacks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/aes128.h"
+#include "crypto/ctr.h"
+#include "crypto/kdf.h"
+#include "crypto/x25519.h"
+#include "zwave/frame.h"
+#include "zwave/types.h"
+
+namespace zc::zwave {
+
+constexpr CommandClassId kSecurity0Class = 0x98;
+constexpr CommandClassId kSecurity2Class = 0x9F;
+constexpr CommandId kS0MessageEncap = 0x81;
+constexpr CommandId kS0NonceGet = 0x40;
+constexpr CommandId kS0NonceReport = 0x80;
+constexpr CommandId kS2MessageEncap = 0x03;
+constexpr CommandId kS2NonceGet = 0x01;
+constexpr CommandId kS2NonceReport = 0x02;
+
+/// The all-zero key S0 uses while exchanging the real network key — the
+/// fixed "temporary key" weakness of §II-A1.
+crypto::AesKey s0_temp_key();
+
+/// One S0 secure channel between two nodes.
+class S0Session {
+ public:
+  explicit S0Session(const crypto::AesKey& network_key);
+
+  /// The receiver side mints an 8-byte nonce (NONCE_REPORT payload) that
+  /// the sender must echo into its next encapsulation.
+  Bytes make_nonce(crypto::CtrDrbg& drbg);
+
+  /// Encapsulates `inner` for src->dst using `receiver_nonce` (from the
+  /// peer's NONCE_REPORT). Produces the 0x98/0x81 payload.
+  AppPayload encapsulate(const AppPayload& inner, NodeId src, NodeId dst,
+                         ByteView receiver_nonce, crypto::CtrDrbg& drbg) const;
+
+  /// Decapsulates a 0x98/0x81 payload; `my_nonce` must be the nonce this
+  /// side handed out. Verifies the CBC-MAC before releasing plaintext.
+  Result<AppPayload> decapsulate(const AppPayload& outer, NodeId src, NodeId dst,
+                                 ByteView my_nonce) const;
+
+ private:
+  crypto::S0Keys keys_;
+};
+
+/// One S2 secure channel between two nodes, post key-agreement.
+///
+/// Both endpoints construct their session from the same ECDH result and
+/// then keep a shared SPAN ratchet; `encapsulate` on one side lines up
+/// with `decapsulate` on the other as long as no frames are lost. On MAC
+/// or sequence failure the receiver reports kAuthFailed and the caller is
+/// expected to resynchronize via `resync`.
+class S2Session {
+ public:
+  S2Session(const crypto::S2Keys& keys, ByteView span_seed32);
+
+  /// Re-seeds the SPAN ratchet (NONCE_REPORT resync path).
+  void resync(ByteView span_seed32);
+
+  /// Encapsulates `inner` for src->dst as a 0x9F/0x03 payload.
+  AppPayload encapsulate(const AppPayload& inner, HomeId home, NodeId src, NodeId dst);
+
+  /// Verifies and decrypts a 0x9F/0x03 payload.
+  Result<AppPayload> decapsulate(const AppPayload& outer, HomeId home, NodeId src, NodeId dst);
+
+  std::uint8_t next_sequence() const { return sequence_; }
+
+ private:
+  crypto::AesBlock next_span_nonce();
+
+  crypto::S2Keys keys_;
+  crypto::CtrDrbg span_;
+  std::uint8_t sequence_ = 0;
+};
+
+/// Runs the X25519 agreement + CKDF derivation both endpoints perform
+/// during S2 inclusion, returning the shared key set.
+crypto::S2Keys s2_key_agreement(const crypto::X25519Key& my_private,
+                                const crypto::X25519Key& peer_public);
+
+}  // namespace zc::zwave

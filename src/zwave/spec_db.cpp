@@ -1,0 +1,577 @@
+// The Z-Wave specification database.
+//
+// This file is the reproduction's equivalent of the Z-Wave Alliance
+// application-layer specification plus the public XML command-class
+// definition list that ZCover parses (§III-C1). It defines 122 public
+// command classes with their commands and parameter schemas, plus the two
+// proprietary protocol classes (0x01, 0x02) that never appear in the
+// public documents and are only reachable through systematic validation
+// testing (§III-C2).
+//
+// Command identifiers and names follow the public Z-Wave assignments where
+// those are published; parameter schemas capture the legal ranges the
+// position-sensitive mutator needs for rand_valid/rand_invalid/boundary
+// mutation (Table I). Classes the paper's Fig. 5 visualizes carry exactly
+// the command counts shown there.
+#include "zwave/command_class.h"
+
+#include <algorithm>
+
+namespace zc::zwave {
+
+namespace {
+
+using D = CmdDirection;
+using T = ParamType;
+
+ParamSpec p(std::string_view name, T type = T::kByte, std::uint8_t min = 0x00,
+            std::uint8_t max = 0xFF) {
+  return ParamSpec{name, type, min, max};
+}
+
+CommandSpec c(CommandId id, std::string_view name, D dir,
+              std::vector<ParamSpec> params = {}) {
+  return CommandSpec{id, name, dir, std::move(params)};
+}
+
+CommandClassSpec cls(CommandClassId id, std::string_view name, CcCluster cluster,
+                     std::vector<CommandSpec> commands, bool in_public_spec = true) {
+  CommandClassSpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.cluster = cluster;
+  spec.in_public_spec = in_public_spec;
+  spec.commands = std::move(commands);
+  return spec;
+}
+
+/// Generic GET/REPORT pair (read-only classes).
+std::vector<CommandSpec> get_report(std::uint8_t get_id, std::uint8_t report_id,
+                                    std::vector<ParamSpec> report_params = {p("Value")}) {
+  return {c(get_id, "GET", D::kControlling),
+          c(report_id, "REPORT", D::kSupporting, std::move(report_params))};
+}
+
+// ---------------------------------------------------------------------------
+// Proprietary protocol classes (not in any public document; §III-C2).
+// ---------------------------------------------------------------------------
+
+CommandClassSpec make_zwave_protocol() {
+  // CMDCL 0x01: chipset-level network management. The paper found that
+  // several controllers process these commands from *unencrypted* frames,
+  // which is the root cause behind bugs #01-#05, #12 and #14 (Table III).
+  return cls(0x01, "ZWAVE_PROTOCOL", CcCluster::kProtocol,
+             {
+                 c(0x01, "NOP", D::kControlling),
+                 c(0x02, "NODE_INFO_REQUEST", D::kControlling, {p("NodeID", T::kNodeId, 1, 232)}),
+                 c(0x03, "ASSIGN_IDS", D::kControlling,
+                   {p("NewNodeID", T::kNodeId, 1, 232), p("HomeID1"), p("HomeID2"),
+                    p("HomeID3"), p("HomeID4")}),
+                 c(0x04, "FIND_NODES_IN_RANGE", D::kControlling,
+                   {p("MaskLength", T::kSize, 0, 29), p("NodeMask", T::kVariadic)}),
+                 c(0x05, "GET_NODES_IN_RANGE", D::kControlling),
+                 c(0x06, "RANGE_INFO", D::kSupporting,
+                   {p("MaskLength", T::kSize, 0, 29), p("NodeMask", T::kVariadic)}),
+                 c(0x07, "NODE_INFO", D::kSupporting,
+                   {p("Capabilities", T::kBitmask), p("BasicClass"), p("GenericClass"),
+                    p("SpecificClass"), p("CommandClasses", T::kVariadic)}),
+                 c(0x0D, "NODE_TABLE_UPDATE", D::kControlling,
+                   {p("Operation", T::kEnum, 0x00, 0x04), p("NodeID", T::kNodeId, 1, 232),
+                    p("Properties", T::kBitmask)}),
+             },
+             /*in_public_spec=*/false);
+}
+
+CommandClassSpec make_zensor_net() {
+  // CMDCL 0x02: legacy Zensor binding, likewise absent from the public
+  // specification but answered by several chipset generations.
+  return cls(0x02, "ZENSOR_NET", CcCluster::kProtocol,
+             {
+                 c(0x01, "BIND_REQUEST", D::kControlling, {p("ZensorID", T::kNodeId, 1, 232)}),
+                 c(0x02, "BIND_ACCEPT", D::kSupporting, {p("ZensorID", T::kNodeId, 1, 232)}),
+             },
+             /*in_public_spec=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Transport / encapsulation cluster.
+// ---------------------------------------------------------------------------
+
+CommandClassSpec make_security_2() {
+  // 23 commands — the tallest bar of Fig. 5.
+  return cls(0x9F, "SECURITY_2", CcCluster::kTransportEncapsulation,
+             {
+                 c(0x01, "NONCE_GET", D::kControlling, {p("SequenceNumber")}),
+                 c(0x02, "NONCE_REPORT", D::kSupporting,
+                   {p("SequenceNumber"), p("Flags", T::kBitmask, 0, 3),
+                    p("ReceiverEntropy", T::kVariadic)}),
+                 c(0x03, "MESSAGE_ENCAPSULATION", D::kControlling,
+                   {p("SequenceNumber"), p("Extensions", T::kBitmask, 0, 3),
+                    p("Ciphertext", T::kVariadic)}),
+                 c(0x04, "KEX_GET", D::kControlling),
+                 c(0x05, "KEX_REPORT", D::kSupporting,
+                   {p("Flags", T::kBitmask, 0, 3), p("Schemes", T::kBitmask, 0, 2),
+                    p("Profiles", T::kBitmask, 1, 1), p("Keys", T::kBitmask, 0, 0x87)}),
+                 c(0x06, "KEX_SET", D::kControlling,
+                   {p("Flags", T::kBitmask, 0, 3), p("Schemes", T::kBitmask, 0, 2),
+                    p("Profiles", T::kBitmask, 1, 1), p("Keys", T::kBitmask, 0, 0x87)}),
+                 c(0x07, "KEX_FAIL", D::kSupporting, {p("FailType", T::kEnum, 0x01, 0x0A)}),
+                 c(0x08, "PUBLIC_KEY_REPORT", D::kSupporting,
+                   {p("IncludingNode", T::kBool, 0, 1), p("PublicKey", T::kVariadic)}),
+                 c(0x09, "NETWORK_KEY_GET", D::kControlling, {p("RequestedKey", T::kBitmask, 0, 0x87)}),
+                 c(0x0A, "NETWORK_KEY_REPORT", D::kSupporting,
+                   {p("GrantedKey", T::kBitmask, 0, 0x87), p("NetworkKey", T::kVariadic)}),
+                 c(0x0B, "NETWORK_KEY_VERIFY", D::kControlling),
+                 c(0x0C, "TRANSFER_END", D::kControlling, {p("Flags", T::kBitmask, 0, 3)}),
+                 c(0x0D, "COMMANDS_SUPPORTED_GET", D::kControlling),
+                 c(0x0E, "COMMANDS_SUPPORTED_REPORT", D::kSupporting, {p("CommandClasses", T::kVariadic)}),
+                 c(0x0F, "CAPABILITIES_GET", D::kControlling),
+                 c(0x10, "CAPABILITIES_REPORT", D::kSupporting,
+                   {p("Schemes", T::kBitmask, 0, 2), p("Profiles", T::kBitmask, 1, 1)}),
+                 c(0x11, "MULTICAST_NONCE_GET", D::kControlling,
+                   {p("SequenceNumber"), p("GroupID", T::kByte, 1, 232)}),
+                 c(0x12, "MULTICAST_NONCE_REPORT", D::kSupporting,
+                   {p("SequenceNumber"), p("GroupID", T::kByte, 1, 232),
+                    p("MPANState", T::kVariadic)}),
+                 c(0x13, "MPAN_GET", D::kControlling, {p("GroupID", T::kByte, 1, 232)}),
+                 c(0x14, "MPAN_REPORT", D::kSupporting,
+                   {p("GroupID", T::kByte, 1, 232), p("MPANState", T::kVariadic)}),
+                 c(0x15, "MPAN_SET", D::kControlling,
+                   {p("GroupID", T::kByte, 1, 232), p("MPANState", T::kVariadic)}),
+                 c(0x16, "SPAN_EXTEND", D::kControlling, {p("SequenceNumber"), p("Entropy", T::kVariadic)}),
+                 c(0x17, "KEY_VERIFY_ACK", D::kSupporting),
+             });
+}
+
+CommandClassSpec make_security_0() {
+  return cls(0x98, "SECURITY", CcCluster::kTransportEncapsulation,
+             {
+                 c(0x02, "COMMANDS_SUPPORTED_GET", D::kControlling),
+                 c(0x03, "COMMANDS_SUPPORTED_REPORT", D::kSupporting,
+                   {p("ReportsToFollow"), p("CommandClasses", T::kVariadic)}),
+                 c(0x04, "SCHEME_GET", D::kControlling, {p("SupportedSchemes", T::kBitmask, 0, 1)}),
+                 c(0x05, "SCHEME_REPORT", D::kSupporting, {p("SupportedSchemes", T::kBitmask, 0, 1)}),
+                 c(0x06, "NETWORK_KEY_SET", D::kControlling, {p("NetworkKey", T::kVariadic)}),
+                 c(0x07, "NETWORK_KEY_VERIFY", D::kSupporting),
+                 c(0x08, "SCHEME_INHERIT", D::kControlling, {p("SupportedSchemes", T::kBitmask, 0, 1)}),
+                 c(0x40, "NONCE_GET", D::kControlling),
+                 c(0x80, "NONCE_REPORT", D::kSupporting, {p("Nonce", T::kVariadic)}),
+                 c(0x81, "MESSAGE_ENCAPSULATION", D::kControlling,
+                   {p("IV1"), p("IV2"), p("IV3"), p("IV4"), p("IV5"), p("IV6"), p("IV7"),
+                    p("IV8"), p("Ciphertext", T::kVariadic)}),
+                 c(0xC1, "MESSAGE_ENCAPSULATION_NONCE_GET", D::kControlling,
+                   {p("IV1"), p("IV2"), p("IV3"), p("IV4"), p("IV5"), p("IV6"), p("IV7"),
+                    p("IV8"), p("Ciphertext", T::kVariadic)}),
+             });
+}
+
+CommandClassSpec make_transport_service() {
+  return cls(0x55, "TRANSPORT_SERVICE", CcCluster::kTransportEncapsulation,
+             {
+                 c(0xC0, "FIRST_SEGMENT", D::kControlling,
+                   {p("DatagramSize", T::kSize, 0, 0xFF), p("SessionID", T::kBitmask),
+                    p("Payload", T::kVariadic)}),
+                 c(0xC8, "SEGMENT_REQUEST", D::kSupporting, {p("SessionID"), p("Offset")}),
+                 c(0xE0, "SUBSEQUENT_SEGMENT", D::kControlling,
+                   {p("DatagramSize", T::kSize), p("SessionID"), p("Offset"),
+                    p("Payload", T::kVariadic)}),
+                 c(0xE8, "SEGMENT_COMPLETE", D::kSupporting, {p("SessionID")}),
+                 c(0xF0, "SEGMENT_WAIT", D::kSupporting, {p("PendingSegments")}),
+             });
+}
+
+CommandClassSpec make_crc16_encap() {
+  return cls(0x56, "CRC_16_ENCAP", CcCluster::kTransportEncapsulation,
+             {c(0x01, "ENCAP", D::kControlling,
+                {p("EncapsulatedCommand", T::kVariadic), p("Checksum1"), p("Checksum2")})});
+}
+
+CommandClassSpec make_multi_channel() {
+  return cls(0x60, "MULTI_CHANNEL", CcCluster::kTransportEncapsulation,
+             {
+                 c(0x07, "END_POINT_GET", D::kControlling),
+                 c(0x08, "END_POINT_REPORT", D::kSupporting,
+                   {p("Flags", T::kBitmask), p("EndPoints", T::kByte, 0, 127)}),
+                 c(0x09, "CAPABILITY_GET", D::kControlling, {p("EndPoint", T::kByte, 1, 127)}),
+                 c(0x0A, "CAPABILITY_REPORT", D::kSupporting,
+                   {p("EndPoint", T::kByte, 1, 127), p("GenericClass"), p("SpecificClass"),
+                    p("CommandClasses", T::kVariadic)}),
+                 c(0x0B, "END_POINT_FIND", D::kControlling, {p("GenericClass"), p("SpecificClass")}),
+                 c(0x0C, "END_POINT_FIND_REPORT", D::kSupporting,
+                   {p("ReportsToFollow"), p("GenericClass"), p("SpecificClass"),
+                    p("EndPoints", T::kVariadic)}),
+                 c(0x0D, "CMD_ENCAP", D::kControlling,
+                   {p("SourceEndPoint", T::kByte, 0, 127), p("DestEndPoint", T::kBitmask),
+                    p("EncapsulatedCommand", T::kVariadic)}),
+             });
+}
+
+CommandClassSpec make_supervision() {
+  return cls(0x6C, "SUPERVISION", CcCluster::kTransportEncapsulation,
+             {
+                 c(0x01, "GET", D::kControlling,
+                   {p("SessionID", T::kBitmask), p("EncapsulatedLength", T::kSize),
+                    p("EncapsulatedCommand", T::kVariadic)}),
+                 c(0x02, "REPORT", D::kSupporting,
+                   {p("SessionID", T::kBitmask), p("Status", T::kEnum, 0x00, 0xFF),
+                    p("Duration", T::kDuration)}),
+             });
+}
+
+CommandClassSpec make_multi_cmd() {
+  return cls(0x8F, "MULTI_CMD", CcCluster::kTransportEncapsulation,
+             {c(0x01, "ENCAP", D::kControlling,
+                {p("CommandCount", T::kSize, 1, 255), p("Commands", T::kVariadic)})});
+}
+
+CommandClassSpec make_mailbox() {
+  return cls(0x69, "MAILBOX", CcCluster::kTransportEncapsulation,
+             {
+                 c(0x01, "CONFIGURATION_GET", D::kControlling),
+                 c(0x02, "CONFIGURATION_REPORT", D::kSupporting,
+                   {p("Mode", T::kEnum, 0, 3), p("Capacity1"), p("Capacity2")}),
+                 c(0x03, "CONFIGURATION_SET", D::kControlling, {p("Mode", T::kEnum, 0, 3)}),
+                 c(0x04, "QUEUE", D::kControlling,
+                   {p("Flags", T::kBitmask, 0, 7), p("QueueHandle"), p("Entry", T::kVariadic)}),
+                 c(0x05, "WAKEUP_NOTIFICATION", D::kSupporting, {p("QueueHandle")}),
+                 c(0x06, "NODE_FAILING", D::kSupporting, {p("QueueHandle")}),
+             });
+}
+
+// ---------------------------------------------------------------------------
+// Management cluster.
+// ---------------------------------------------------------------------------
+
+CommandClassSpec make_version() {
+  return cls(0x86, "VERSION", CcCluster::kManagement,
+             {
+                 c(0x11, "GET", D::kControlling),
+                 c(0x12, "REPORT", D::kSupporting,
+                   {p("LibraryType", T::kEnum, 1, 9), p("ProtocolVersion"),
+                    p("ProtocolSubVersion"), p("ApplicationVersion"), p("ApplicationSubVersion")}),
+                 c(0x13, "COMMAND_CLASS_GET", D::kControlling, {p("RequestedCommandClass")}),
+                 c(0x14, "COMMAND_CLASS_REPORT", D::kSupporting,
+                   {p("RequestedCommandClass"), p("CommandClassVersion", T::kByte, 1, 10)}),
+                 c(0x15, "CAPABILITIES_GET", D::kControlling),
+                 c(0x16, "CAPABILITIES_REPORT", D::kSupporting, {p("Capabilities", T::kBitmask, 0, 7)}),
+             });
+}
+
+CommandClassSpec make_configuration() {
+  return cls(0x70, "CONFIGURATION", CcCluster::kManagement,
+             {
+                 c(0x04, "SET", D::kControlling,
+                   {p("ParameterNumber"), p("LevelFlags", T::kBitmask),
+                    p("ConfigurationValue", T::kVariadic)}),
+                 c(0x05, "GET", D::kControlling, {p("ParameterNumber")}),
+                 c(0x06, "REPORT", D::kSupporting,
+                   {p("ParameterNumber"), p("LevelFlags", T::kBitmask),
+                    p("ConfigurationValue", T::kVariadic)}),
+                 c(0x07, "BULK_SET", D::kControlling,
+                   {p("Offset1"), p("Offset2"), p("NumberOfParameters", T::kSize),
+                    p("Flags", T::kBitmask), p("Values", T::kVariadic)}),
+                 c(0x08, "BULK_GET", D::kControlling,
+                   {p("Offset1"), p("Offset2"), p("NumberOfParameters", T::kSize)}),
+                 c(0x09, "BULK_REPORT", D::kSupporting,
+                   {p("Offset1"), p("Offset2"), p("ReportsToFollow"),
+                    p("Flags", T::kBitmask), p("Values", T::kVariadic)}),
+             });
+}
+
+CommandClassSpec make_firmware_update() {
+  // 11 commands. Bug #09 targets MD_GET (0x01); bug #15 targets
+  // UPDATE_REQUEST_GET (0x03).
+  return cls(0x7A, "FIRMWARE_UPDATE_MD", CcCluster::kManagement,
+             {
+                 c(0x01, "MD_GET", D::kControlling),
+                 c(0x02, "MD_REPORT", D::kSupporting,
+                   {p("ManufacturerID1"), p("ManufacturerID2"), p("FirmwareID1"),
+                    p("FirmwareID2"), p("Checksum1"), p("Checksum2")}),
+                 c(0x03, "UPDATE_REQUEST_GET", D::kControlling,
+                   {p("ManufacturerID1"), p("ManufacturerID2"), p("FirmwareID1"),
+                    p("FirmwareID2"), p("Checksum1"), p("Checksum2")}),
+                 c(0x04, "UPDATE_REQUEST_REPORT", D::kSupporting, {p("Status", T::kEnum, 0, 0xFF)}),
+                 c(0x05, "UPDATE_GET", D::kControlling,
+                   {p("NumberOfReports"), p("ReportNumber1", T::kBitmask), p("ReportNumber2")}),
+                 c(0x06, "UPDATE_REPORT", D::kControlling,
+                   {p("ReportNumber1", T::kBitmask), p("ReportNumber2"), p("Data", T::kVariadic)}),
+                 c(0x07, "UPDATE_STATUS_REPORT", D::kSupporting,
+                   {p("Status", T::kEnum, 0, 0xFF), p("WaitTime1"), p("WaitTime2")}),
+                 c(0x08, "ACTIVATION_SET", D::kControlling,
+                   {p("ManufacturerID1"), p("ManufacturerID2"), p("FirmwareID1"),
+                    p("FirmwareID2"), p("Checksum1"), p("Checksum2"), p("FirmwareTarget")}),
+                 c(0x09, "ACTIVATION_STATUS_REPORT", D::kSupporting,
+                   {p("Status", T::kEnum, 0, 0xFF)}),
+                 c(0x0A, "PREPARE_GET", D::kControlling,
+                   {p("ManufacturerID1"), p("ManufacturerID2"), p("FirmwareID1"),
+                    p("FirmwareID2"), p("FirmwareTarget")}),
+                 c(0x0B, "PREPARE_REPORT", D::kSupporting,
+                   {p("Status", T::kEnum, 0, 0xFF), p("Checksum1"), p("Checksum2")}),
+             });
+}
+
+CommandClassSpec make_association() {
+  return cls(0x85, "ASSOCIATION", CcCluster::kManagement,
+             {
+                 c(0x01, "SET", D::kControlling,
+                   {p("GroupingIdentifier", T::kByte, 1, 255), p("NodeIDs", T::kVariadic)}),
+                 c(0x02, "GET", D::kControlling, {p("GroupingIdentifier", T::kByte, 1, 255)}),
+                 c(0x03, "REPORT", D::kSupporting,
+                   {p("GroupingIdentifier", T::kByte, 1, 255), p("MaxNodesSupported"),
+                    p("ReportsToFollow"), p("NodeIDs", T::kVariadic)}),
+                 c(0x04, "REMOVE", D::kControlling,
+                   {p("GroupingIdentifier", T::kByte, 0, 255), p("NodeIDs", T::kVariadic)}),
+                 c(0x05, "GROUPINGS_GET", D::kControlling),
+                 c(0x06, "GROUPINGS_REPORT", D::kSupporting, {p("SupportedGroupings")}),
+                 c(0x0B, "SPECIFIC_GROUP_GET", D::kControlling),
+                 c(0x0C, "SPECIFIC_GROUP_REPORT", D::kSupporting, {p("Group")}),
+             });
+}
+
+CommandClassSpec make_association_group_info() {
+  // Bug #08 targets INFO_GET (0x03); bug #11 targets COMMAND_LIST_GET (0x05).
+  return cls(0x59, "ASSOCIATION_GRP_INFO", CcCluster::kManagement,
+             {
+                 c(0x01, "NAME_GET", D::kControlling, {p("GroupingIdentifier", T::kByte, 1, 255)}),
+                 c(0x02, "NAME_REPORT", D::kSupporting,
+                   {p("GroupingIdentifier", T::kByte, 1, 255), p("LengthOfName", T::kSize),
+                    p("Name", T::kVariadic)}),
+                 c(0x03, "INFO_GET", D::kControlling,
+                   {p("Flags", T::kBitmask, 0, 0xC0), p("GroupingIdentifier", T::kByte, 0, 255)}),
+                 c(0x04, "INFO_REPORT", D::kSupporting,
+                   {p("Flags", T::kBitmask), p("GroupInfo", T::kVariadic)}),
+                 c(0x05, "COMMAND_LIST_GET", D::kControlling,
+                   {p("Flags", T::kBitmask, 0, 0x80), p("GroupingIdentifier", T::kByte, 1, 255)}),
+                 c(0x06, "COMMAND_LIST_REPORT", D::kSupporting,
+                   {p("GroupingIdentifier", T::kByte, 1, 255), p("ListLength", T::kSize),
+                    p("CommandList", T::kVariadic)}),
+             });
+}
+
+CommandClassSpec make_device_reset_locally() {
+  // Bug #07 targets NOTIFICATION (0x01).
+  return cls(0x5A, "DEVICE_RESET_LOCALLY", CcCluster::kManagement,
+             {c(0x01, "NOTIFICATION", D::kSupporting)});
+}
+
+CommandClassSpec make_powerlevel() {
+  // Bug #13 targets TEST_NODE_SET (0x04).
+  return cls(0x73, "POWERLEVEL", CcCluster::kManagement,
+             {
+                 c(0x01, "SET", D::kControlling,
+                   {p("PowerLevel", T::kEnum, 0, 9), p("Timeout", T::kByte, 1, 255)}),
+                 c(0x02, "GET", D::kControlling),
+                 c(0x03, "REPORT", D::kSupporting,
+                   {p("PowerLevel", T::kEnum, 0, 9), p("Timeout", T::kByte, 0, 255)}),
+                 c(0x04, "TEST_NODE_SET", D::kControlling,
+                   {p("TestNodeID", T::kNodeId, 1, 232), p("PowerLevel", T::kEnum, 0, 9),
+                    p("TestFrameCount1"), p("TestFrameCount2")}),
+                 c(0x05, "TEST_NODE_GET", D::kControlling),
+                 c(0x06, "TEST_NODE_REPORT", D::kSupporting,
+                   {p("TestNodeID", T::kNodeId, 0, 232), p("StatusOfOperation", T::kEnum, 0, 2),
+                    p("TestFrameCount1"), p("TestFrameCount2")}),
+             });
+}
+
+CommandClassSpec make_wake_up() {
+  // Bug #12/#14 exercise the controller's wake-up bookkeeping via the
+  // proprietary 0x01 class; this public class is where the interval lives.
+  return cls(0x84, "WAKE_UP", CcCluster::kManagement,
+             {
+                 c(0x04, "INTERVAL_SET", D::kControlling,
+                   {p("Seconds1"), p("Seconds2"), p("Seconds3"), p("NodeID", T::kNodeId, 1, 232)}),
+                 c(0x05, "INTERVAL_GET", D::kControlling),
+                 c(0x06, "INTERVAL_REPORT", D::kSupporting,
+                   {p("Seconds1"), p("Seconds2"), p("Seconds3"), p("NodeID", T::kNodeId, 0, 232)}),
+                 c(0x07, "NOTIFICATION", D::kSupporting),
+                 c(0x08, "NO_MORE_INFORMATION", D::kControlling),
+                 c(0x09, "INTERVAL_CAPABILITIES_GET", D::kControlling),
+                 c(0x0A, "INTERVAL_CAPABILITIES_REPORT", D::kSupporting,
+                   {p("MinSeconds1"), p("MinSeconds2"), p("MinSeconds3"), p("MaxSeconds1"),
+                    p("MaxSeconds2"), p("MaxSeconds3"), p("DefaultSeconds1"),
+                    p("DefaultSeconds2"), p("DefaultSeconds3"), p("StepSeconds1"),
+                    p("StepSeconds2"), p("StepSeconds3")}),
+             });
+}
+
+CommandClassSpec make_manufacturer_specific() {
+  return cls(0x72, "MANUFACTURER_SPECIFIC", CcCluster::kManagement,
+             {
+                 c(0x04, "GET", D::kControlling),
+                 c(0x05, "REPORT", D::kSupporting,
+                   {p("ManufacturerID1"), p("ManufacturerID2"), p("ProductTypeID1"),
+                    p("ProductTypeID2"), p("ProductID1"), p("ProductID2")}),
+                 c(0x06, "DEVICE_SPECIFIC_GET", D::kControlling, {p("DeviceIDType", T::kEnum, 0, 2)}),
+                 c(0x07, "DEVICE_SPECIFIC_REPORT", D::kSupporting,
+                   {p("DeviceIDType", T::kEnum, 0, 2), p("DataFormatAndLength", T::kBitmask),
+                    p("DeviceID", T::kVariadic)}),
+             });
+}
+
+CommandClassSpec make_zwaveplus_info() {
+  return cls(0x5E, "ZWAVEPLUS_INFO", CcCluster::kManagement,
+             {
+                 c(0x01, "GET", D::kControlling),
+                 c(0x02, "REPORT", D::kSupporting,
+                   {p("ZWavePlusVersion", T::kByte, 1, 2), p("RoleType", T::kEnum, 0, 7),
+                    p("NodeType", T::kEnum, 0, 2), p("InstallerIcon1"), p("InstallerIcon2"),
+                    p("UserIcon1"), p("UserIcon2")}),
+             });
+}
+
+CommandClassSpec make_battery() {
+  return cls(0x80, "BATTERY", CcCluster::kManagement,
+             get_report(0x02, 0x03, {p("BatteryLevel", T::kByte, 0, 100)}));
+}
+
+CommandClassSpec make_application_status() {
+  return cls(0x22, "APPLICATION_STATUS", CcCluster::kManagement,
+             {
+                 c(0x01, "BUSY", D::kSupporting,
+                   {p("Status", T::kEnum, 0, 2), p("WaitTime", T::kByte)}),
+                 c(0x02, "REJECTED_REQUEST", D::kSupporting, {p("Status", T::kEnum, 0, 0)}),
+             });
+}
+
+CommandClassSpec make_hail() {
+  return cls(0x82, "HAIL", CcCluster::kManagement, {c(0x01, "HAIL", D::kSupporting)});
+}
+
+}  // namespace
+
+// Part 2 of the database (remaining clusters) lives in spec_db_data.cpp to
+// keep translation units a reviewable size; it provides this hook:
+std::vector<CommandClassSpec> detail_build_remaining_classes();
+
+namespace {
+
+std::vector<CommandClassSpec> build_all_classes() {
+  std::vector<CommandClassSpec> classes;
+  classes.reserve(128);
+
+  // Proprietary protocol classes (unlisted).
+  classes.push_back(make_zwave_protocol());
+  classes.push_back(make_zensor_net());
+
+  // Transport / encapsulation.
+  classes.push_back(make_security_2());
+  classes.push_back(make_security_0());
+  classes.push_back(make_transport_service());
+  classes.push_back(make_crc16_encap());
+  classes.push_back(make_multi_channel());
+  classes.push_back(make_supervision());
+  classes.push_back(make_multi_cmd());
+  classes.push_back(make_mailbox());
+
+  // Management (detailed).
+  classes.push_back(make_version());
+  classes.push_back(make_configuration());
+  classes.push_back(make_firmware_update());
+  classes.push_back(make_association());
+  classes.push_back(make_association_group_info());
+  classes.push_back(make_device_reset_locally());
+  classes.push_back(make_powerlevel());
+  classes.push_back(make_wake_up());
+  classes.push_back(make_manufacturer_specific());
+  classes.push_back(make_zwaveplus_info());
+  classes.push_back(make_battery());
+  classes.push_back(make_application_status());
+  classes.push_back(make_hail());
+
+  // Everything else (management remainder, network, application, sensor,
+  // actuator, gateway-side classes).
+  for (auto& spec : detail_build_remaining_classes()) classes.push_back(std::move(spec));
+
+  std::sort(classes.begin(), classes.end(),
+            [](const CommandClassSpec& a, const CommandClassSpec& b) { return a.id < b.id; });
+  return classes;
+}
+
+}  // namespace
+
+const char* cc_cluster_name(CcCluster cluster) {
+  switch (cluster) {
+    case CcCluster::kApplication: return "application";
+    case CcCluster::kTransportEncapsulation: return "transport-encapsulation";
+    case CcCluster::kManagement: return "management";
+    case CcCluster::kNetwork: return "network";
+    case CcCluster::kSensor: return "sensor";
+    case CcCluster::kActuator: return "actuator";
+    case CcCluster::kProtocol: return "protocol";
+  }
+  return "?";
+}
+
+const char* param_type_name(ParamType type) {
+  switch (type) {
+    case ParamType::kByte: return "byte";
+    case ParamType::kBool: return "bool";
+    case ParamType::kEnum: return "enum";
+    case ParamType::kNodeId: return "node-id";
+    case ParamType::kSize: return "size";
+    case ParamType::kDuration: return "duration";
+    case ParamType::kBitmask: return "bitmask";
+    case ParamType::kVariadic: return "variadic";
+  }
+  return "?";
+}
+
+const CommandSpec* CommandClassSpec::find_command(CommandId cmd) const {
+  for (const auto& command : commands) {
+    if (command.id == cmd) return &command;
+  }
+  return nullptr;
+}
+
+bool CommandClassSpec::controller_relevant() const {
+  switch (cluster) {
+    case CcCluster::kTransportEncapsulation:
+    case CcCluster::kManagement:
+    case CcCluster::kNetwork:
+    case CcCluster::kProtocol:
+      return true;
+    case CcCluster::kApplication:
+    case CcCluster::kSensor:
+    case CcCluster::kActuator:
+      return false;
+  }
+  return false;
+}
+
+SpecDatabase::SpecDatabase() : classes_(build_all_classes()) {}
+
+const SpecDatabase& SpecDatabase::instance() {
+  static const SpecDatabase db;
+  return db;
+}
+
+const CommandClassSpec* SpecDatabase::find(CommandClassId id) const {
+  const auto it = std::lower_bound(
+      classes_.begin(), classes_.end(), id,
+      [](const CommandClassSpec& spec, CommandClassId value) { return spec.id < value; });
+  if (it == classes_.end() || it->id != id) return nullptr;
+  return &*it;
+}
+
+std::size_t SpecDatabase::public_spec_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(classes_.begin(), classes_.end(),
+                    [](const CommandClassSpec& spec) { return spec.in_public_spec; }));
+}
+
+std::vector<CommandClassId> SpecDatabase::controller_cluster(bool include_unlisted) const {
+  std::vector<CommandClassId> out;
+  for (const auto& spec : classes_) {
+    if (!spec.controller_relevant()) continue;
+    if (!spec.in_public_spec && !include_unlisted) continue;
+    out.push_back(spec.id);
+  }
+  return out;
+}
+
+std::size_t SpecDatabase::command_count(CommandClassId id) const {
+  const CommandClassSpec* spec = find(id);
+  return spec ? spec->commands.size() : 0;
+}
+
+}  // namespace zc::zwave

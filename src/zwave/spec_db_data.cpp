@@ -1,0 +1,1241 @@
+// Specification database, part 2: network-management classes, the
+// management remainder, and the application/sensor/actuator classes a
+// controller is *not* expected to implement (they matter to the clustering
+// step precisely because they are excluded from it, §III-C1).
+#include "zwave/command_class.h"
+
+namespace zc::zwave {
+
+namespace {
+
+using D = CmdDirection;
+using T = ParamType;
+
+ParamSpec p(std::string_view name, T type = T::kByte, std::uint8_t min = 0x00,
+            std::uint8_t max = 0xFF) {
+  return ParamSpec{name, type, min, max};
+}
+
+CommandSpec c(CommandId id, std::string_view name, D dir,
+              std::vector<ParamSpec> params = {}) {
+  return CommandSpec{id, name, dir, std::move(params)};
+}
+
+CommandClassSpec cls(CommandClassId id, std::string_view name, CcCluster cluster,
+                     std::vector<CommandSpec> commands) {
+  CommandClassSpec spec;
+  spec.id = id;
+  spec.name = name;
+  spec.cluster = cluster;
+  spec.in_public_spec = true;
+  spec.commands = std::move(commands);
+  return spec;
+}
+
+std::vector<CommandSpec> set_get_report(std::uint8_t set_id, std::uint8_t get_id,
+                                        std::uint8_t report_id,
+                                        ParamSpec value = p("Value")) {
+  return {c(set_id, "SET", D::kControlling, {value}),
+          c(get_id, "GET", D::kControlling),
+          c(report_id, "REPORT", D::kSupporting, {value})};
+}
+
+std::vector<CommandSpec> get_report(std::uint8_t get_id, std::uint8_t report_id,
+                                    std::vector<ParamSpec> report_params = {p("Value")}) {
+  return {c(get_id, "GET", D::kControlling),
+          c(report_id, "REPORT", D::kSupporting, std::move(report_params))};
+}
+
+/// SET/GET/REPORT plus SUPPORTED_GET/SUPPORTED_REPORT — the five-command
+/// shape of many typed application classes (thermostat, protection, ...).
+std::vector<CommandSpec> typed_five(std::uint8_t base, ParamSpec value = p("Value")) {
+  return {c(base, "SET", D::kControlling, {value}),
+          c(static_cast<std::uint8_t>(base + 1), "GET", D::kControlling),
+          c(static_cast<std::uint8_t>(base + 2), "REPORT", D::kSupporting, {value}),
+          c(static_cast<std::uint8_t>(base + 3), "SUPPORTED_GET", D::kControlling),
+          c(static_cast<std::uint8_t>(base + 4), "SUPPORTED_REPORT", D::kSupporting,
+            {p("Bitmask", T::kBitmask)})};
+}
+
+}  // namespace
+
+std::vector<CommandClassSpec> detail_build_remaining_classes() {
+  std::vector<CommandClassSpec> out;
+  out.reserve(110);
+
+  // -------------------------------------------------------------------------
+  // Network cluster (controller-relevant).
+  // -------------------------------------------------------------------------
+  out.push_back(cls(0x21, "CONTROLLER_REPLICATION", CcCluster::kNetwork,
+                    {
+                        c(0x31, "TRANSFER_GROUP", D::kControlling,
+                          {p("SequenceNumber"), p("GroupID", T::kByte, 1, 255),
+                           p("NodeID", T::kNodeId, 1, 232)}),
+                        c(0x32, "TRANSFER_GROUP_NAME", D::kControlling,
+                          {p("SequenceNumber"), p("GroupID", T::kByte, 1, 255),
+                           p("Name", T::kVariadic)}),
+                        c(0x33, "TRANSFER_SCENE", D::kControlling,
+                          {p("SequenceNumber"), p("SceneID", T::kByte, 1, 255),
+                           p("NodeID", T::kNodeId, 1, 232), p("Level")}),
+                        c(0x34, "TRANSFER_SCENE_NAME", D::kControlling,
+                          {p("SequenceNumber"), p("SceneID", T::kByte, 1, 255),
+                           p("Name", T::kVariadic)}),
+                    }));
+
+  // 15 commands — second-tallest bar of Fig. 5.
+  out.push_back(cls(0x34, "NETWORK_MANAGEMENT_INCLUSION", CcCluster::kNetwork,
+                    {
+                        c(0x01, "NODE_ADD", D::kControlling,
+                          {p("SequenceNumber"), p("Reserved"), p("Mode", T::kEnum, 1, 7),
+                           p("TxOptions", T::kBitmask)}),
+                        c(0x02, "NODE_ADD_STATUS", D::kSupporting,
+                          {p("SequenceNumber"), p("Status", T::kEnum, 6, 9),
+                           p("NewNodeID", T::kNodeId, 0, 232), p("NodeInfo", T::kVariadic)}),
+                        c(0x03, "NODE_REMOVE", D::kControlling,
+                          {p("SequenceNumber"), p("Reserved"), p("Mode", T::kEnum, 1, 5)}),
+                        c(0x04, "NODE_REMOVE_STATUS", D::kSupporting,
+                          {p("SequenceNumber"), p("Status", T::kEnum, 6, 7),
+                           p("NodeID", T::kNodeId, 0, 232)}),
+                        c(0x07, "FAILED_NODE_REMOVE", D::kControlling,
+                          {p("SequenceNumber"), p("NodeID", T::kNodeId, 1, 232)}),
+                        c(0x08, "FAILED_NODE_REMOVE_STATUS", D::kSupporting,
+                          {p("SequenceNumber"), p("Status", T::kEnum, 0, 2),
+                           p("NodeID", T::kNodeId, 1, 232)}),
+                        c(0x09, "FAILED_NODE_REPLACE", D::kControlling,
+                          {p("SequenceNumber"), p("NodeID", T::kNodeId, 1, 232),
+                           p("TxOptions", T::kBitmask), p("Mode", T::kEnum, 0, 7)}),
+                        c(0x0A, "FAILED_NODE_REPLACE_STATUS", D::kSupporting,
+                          {p("SequenceNumber"), p("Status", T::kEnum, 4, 9),
+                           p("NodeID", T::kNodeId, 1, 232)}),
+                        c(0x0B, "NODE_NEIGHBOR_UPDATE_REQUEST", D::kControlling,
+                          {p("SequenceNumber"), p("NodeID", T::kNodeId, 1, 232)}),
+                        c(0x0C, "NODE_NEIGHBOR_UPDATE_STATUS", D::kSupporting,
+                          {p("SequenceNumber"), p("Status", T::kEnum, 0x21, 0x23)}),
+                        c(0x0D, "RETURN_ROUTE_ASSIGN", D::kControlling,
+                          {p("SequenceNumber"), p("SourceNodeID", T::kNodeId, 1, 232),
+                           p("DestinationNodeID", T::kNodeId, 1, 232)}),
+                        c(0x0E, "RETURN_ROUTE_ASSIGN_COMPLETE", D::kSupporting,
+                          {p("SequenceNumber"), p("Status", T::kEnum, 0, 1)}),
+                        c(0x0F, "RETURN_ROUTE_DELETE", D::kControlling,
+                          {p("SequenceNumber"), p("NodeID", T::kNodeId, 1, 232)}),
+                        c(0x10, "RETURN_ROUTE_DELETE_COMPLETE", D::kSupporting,
+                          {p("SequenceNumber"), p("Status", T::kEnum, 0, 1)}),
+                        c(0x11, "NODE_ADD_KEYS_REPORT", D::kSupporting,
+                          {p("SequenceNumber"), p("RequestCSA", T::kBool, 0, 1),
+                           p("RequestedKeys", T::kBitmask)}),
+                    }));
+
+  out.push_back(cls(0x4D, "NETWORK_MANAGEMENT_BASIC", CcCluster::kNetwork,
+                    {
+                        c(0x01, "LEARN_MODE_SET", D::kControlling,
+                          {p("SequenceNumber"), p("Reserved"), p("Mode", T::kEnum, 0, 2)}),
+                        c(0x02, "LEARN_MODE_SET_STATUS", D::kSupporting,
+                          {p("SequenceNumber"), p("Status", T::kEnum, 1, 9),
+                           p("NewNodeID", T::kNodeId, 0, 232)}),
+                        c(0x03, "NETWORK_UPDATE_REQUEST", D::kControlling, {p("SequenceNumber")}),
+                        c(0x04, "NETWORK_UPDATE_REQUEST_STATUS", D::kSupporting,
+                          {p("SequenceNumber"), p("Status", T::kEnum, 0, 4)}),
+                        c(0x05, "NODE_INFORMATION_SEND", D::kControlling,
+                          {p("SequenceNumber"), p("Reserved"),
+                           p("DestinationNodeID", T::kNodeId, 1, 255), p("TxOptions", T::kBitmask)}),
+                        c(0x06, "DEFAULT_SET", D::kControlling, {p("SequenceNumber")}),
+                        c(0x07, "DEFAULT_SET_COMPLETE", D::kSupporting,
+                          {p("SequenceNumber"), p("Status", T::kEnum, 6, 7)}),
+                        c(0x08, "DSK_GET", D::kControlling,
+                          {p("SequenceNumber"), p("AddMode", T::kBool, 0, 1)}),
+                        c(0x09, "DSK_REPORT", D::kSupporting,
+                          {p("SequenceNumber"), p("AddMode", T::kBool, 0, 1),
+                           p("DSK", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x52, "NETWORK_MANAGEMENT_PROXY", CcCluster::kNetwork,
+                    {
+                        c(0x01, "NODE_LIST_GET", D::kControlling, {p("SequenceNumber")}),
+                        c(0x02, "NODE_LIST_REPORT", D::kSupporting,
+                          {p("SequenceNumber"), p("Status", T::kEnum, 0, 1),
+                           p("NodeListControllerID", T::kNodeId, 0, 232),
+                           p("NodeMask", T::kVariadic)}),
+                        c(0x03, "NODE_INFO_CACHED_GET", D::kControlling,
+                          {p("SequenceNumber"), p("MaxAge", T::kBitmask),
+                           p("NodeID", T::kNodeId, 1, 232)}),
+                        c(0x04, "NODE_INFO_CACHED_REPORT", D::kSupporting,
+                          {p("SequenceNumber"), p("StatusAndAge", T::kBitmask),
+                           p("Capabilities", T::kBitmask), p("Security", T::kBitmask),
+                           p("NodeInfo", T::kVariadic)}),
+                        c(0x05, "MULTI_CHANNEL_END_POINT_GET", D::kControlling,
+                          {p("SequenceNumber"), p("NodeID", T::kNodeId, 1, 232)}),
+                        c(0x06, "MULTI_CHANNEL_END_POINT_REPORT", D::kSupporting,
+                          {p("SequenceNumber"), p("NodeID", T::kNodeId, 1, 232),
+                           p("EndPointCount", T::kByte, 0, 127)}),
+                        c(0x0B, "FAILED_NODE_LIST_GET", D::kControlling, {p("SequenceNumber")}),
+                        c(0x0C, "FAILED_NODE_LIST_REPORT", D::kSupporting,
+                          {p("SequenceNumber"), p("NodeMask", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x54, "NETWORK_MANAGEMENT_PRIMARY", CcCluster::kNetwork,
+                    {
+                        c(0x01, "CONTROLLER_CHANGE", D::kControlling,
+                          {p("SequenceNumber"), p("Reserved"), p("Mode", T::kEnum, 0, 7),
+                           p("TxOptions", T::kBitmask)}),
+                        c(0x02, "CONTROLLER_CHANGE_STATUS", D::kSupporting,
+                          {p("SequenceNumber"), p("Status", T::kEnum, 6, 9),
+                           p("NewNodeID", T::kNodeId, 0, 232)}),
+                    }));
+
+  out.push_back(cls(0x67, "NETWORK_MANAGEMENT_INSTALLATION_MAINTENANCE", CcCluster::kNetwork,
+                    {
+                        c(0x01, "LAST_WORKING_ROUTE_SET", D::kControlling,
+                          {p("NodeID", T::kNodeId, 1, 232), p("Repeater1", T::kNodeId, 0, 232),
+                           p("Repeater2", T::kNodeId, 0, 232), p("Repeater3", T::kNodeId, 0, 232),
+                           p("Repeater4", T::kNodeId, 0, 232), p("Speed", T::kEnum, 1, 3)}),
+                        c(0x02, "LAST_WORKING_ROUTE_GET", D::kControlling,
+                          {p("NodeID", T::kNodeId, 1, 232)}),
+                        c(0x03, "LAST_WORKING_ROUTE_REPORT", D::kSupporting,
+                          {p("NodeID", T::kNodeId, 1, 232), p("Route", T::kVariadic)}),
+                        c(0x04, "STATISTICS_GET", D::kControlling, {p("NodeID", T::kNodeId, 1, 232)}),
+                        c(0x05, "STATISTICS_REPORT", D::kSupporting,
+                          {p("NodeID", T::kNodeId, 1, 232), p("Statistics", T::kVariadic)}),
+                        c(0x06, "STATISTICS_CLEAR", D::kControlling),
+                        c(0x07, "RSSI_GET", D::kControlling),
+                        c(0x08, "RSSI_REPORT", D::kSupporting,
+                          {p("Channel1RSSI"), p("Channel2RSSI"), p("Channel3RSSI")}),
+                    }));
+
+  out.push_back(cls(0x74, "INCLUSION_CONTROLLER", CcCluster::kNetwork,
+                    {
+                        c(0x01, "INITIATE", D::kControlling,
+                          {p("NodeID", T::kNodeId, 1, 232), p("StepID", T::kEnum, 1, 3)}),
+                        c(0x02, "COMPLETE", D::kSupporting,
+                          {p("StepID", T::kEnum, 1, 3), p("Status", T::kEnum, 1, 5)}),
+                    }));
+
+  out.push_back(cls(0x78, "NODE_PROVISIONING", CcCluster::kNetwork,
+                    {
+                        c(0x01, "SET", D::kControlling,
+                          {p("SequenceNumber"), p("DSKLength", T::kSize, 0, 16),
+                           p("DSK", T::kVariadic)}),
+                        c(0x02, "DELETE", D::kControlling,
+                          {p("SequenceNumber"), p("DSKLength", T::kSize, 0, 16),
+                           p("DSK", T::kVariadic)}),
+                        c(0x03, "LIST_ITERATION_GET", D::kControlling,
+                          {p("SequenceNumber"), p("RemainingCount")}),
+                        c(0x04, "LIST_ITERATION_REPORT", D::kSupporting,
+                          {p("SequenceNumber"), p("RemainingCount"), p("Entry", T::kVariadic)}),
+                        c(0x05, "GET", D::kControlling,
+                          {p("SequenceNumber"), p("DSKLength", T::kSize, 0, 16),
+                           p("DSK", T::kVariadic)}),
+                        c(0x06, "REPORT", D::kSupporting,
+                          {p("SequenceNumber"), p("Entry", T::kVariadic)}),
+                    }));
+
+  // -------------------------------------------------------------------------
+  // Management cluster, remainder (controller-relevant).
+  // -------------------------------------------------------------------------
+  out.push_back(cls(0x53, "SCHEDULE", CcCluster::kManagement,
+                    {
+                        c(0x01, "SUPPORTED_GET", D::kControlling),
+                        c(0x02, "SUPPORTED_REPORT", D::kSupporting,
+                          {p("NumberOfSlots"), p("Flags", T::kBitmask)}),
+                        c(0x03, "SET", D::kControlling,
+                          {p("ScheduleID"), p("UserID"), p("StartYear"), p("StartMonth", T::kByte, 1, 12),
+                           p("StartDay", T::kByte, 1, 31), p("Payload", T::kVariadic)}),
+                        c(0x04, "GET", D::kControlling, {p("ScheduleID")}),
+                        c(0x05, "REPORT", D::kSupporting, {p("ScheduleID"), p("Payload", T::kVariadic)}),
+                        c(0x06, "REMOVE", D::kControlling, {p("ScheduleID")}),
+                        c(0x07, "STATE_SET", D::kControlling, {p("ScheduleID"), p("State", T::kEnum, 0, 3)}),
+                        c(0x08, "STATE_GET", D::kControlling, {p("ScheduleID")}),
+                        c(0x09, "STATE_REPORT", D::kSupporting,
+                          {p("NumberOfSlots"), p("Override", T::kBool, 0, 1),
+                           p("States", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x57, "APPLICATION_CAPABILITY", CcCluster::kManagement,
+                    {c(0x01, "COMMAND_COMMAND_CLASS_NOT_SUPPORTED", D::kSupporting,
+                       {p("DynamicFlag", T::kBool, 0, 1), p("OffendingCommandClass"),
+                        p("OffendingCommand")})}));
+
+  out.push_back(cls(0x5C, "IP_ASSOCIATION", CcCluster::kManagement,
+                    {
+                        c(0x01, "SET", D::kControlling,
+                          {p("GroupingIdentifier", T::kByte, 1, 255), p("EndPoint", T::kByte, 0, 127),
+                           p("IPv6Address", T::kVariadic)}),
+                        c(0x02, "GET", D::kControlling,
+                          {p("GroupingIdentifier", T::kByte, 1, 255), p("Index")}),
+                        c(0x03, "REPORT", D::kSupporting,
+                          {p("GroupingIdentifier", T::kByte, 1, 255), p("Index"),
+                           p("ActualNodes"), p("IPv6Address", T::kVariadic)}),
+                        c(0x04, "REMOVE", D::kControlling,
+                          {p("GroupingIdentifier", T::kByte, 0, 255), p("EndPoint", T::kByte, 0, 127),
+                           p("IPv6Address", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x77, "NODE_NAMING", CcCluster::kManagement,
+                    {
+                        c(0x01, "NAME_SET", D::kControlling,
+                          {p("CharPresentation", T::kEnum, 0, 2), p("Name", T::kVariadic)}),
+                        c(0x02, "NAME_GET", D::kControlling),
+                        c(0x03, "NAME_REPORT", D::kSupporting,
+                          {p("CharPresentation", T::kEnum, 0, 2), p("Name", T::kVariadic)}),
+                        c(0x04, "LOCATION_SET", D::kControlling,
+                          {p("CharPresentation", T::kEnum, 0, 2), p("Location", T::kVariadic)}),
+                        c(0x05, "LOCATION_GET", D::kControlling),
+                        c(0x06, "LOCATION_REPORT", D::kSupporting,
+                          {p("CharPresentation", T::kEnum, 0, 2), p("Location", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x7B, "GROUPING_NAME", CcCluster::kManagement,
+                    {
+                        c(0x01, "SET", D::kControlling,
+                          {p("GroupingIdentifier", T::kByte, 1, 255),
+                           p("CharPresentation", T::kEnum, 0, 2), p("Name", T::kVariadic)}),
+                        c(0x02, "GET", D::kControlling, {p("GroupingIdentifier", T::kByte, 1, 255)}),
+                        c(0x03, "REPORT", D::kSupporting,
+                          {p("GroupingIdentifier", T::kByte, 1, 255),
+                           p("CharPresentation", T::kEnum, 0, 2), p("Name", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x7C, "REMOTE_ASSOCIATION_ACTIVATE", CcCluster::kManagement,
+                    {c(0x01, "ACTIVATE", D::kControlling, {p("GroupingIdentifier", T::kByte, 1, 255)})}));
+
+  out.push_back(cls(0x7D, "REMOTE_ASSOCIATION", CcCluster::kManagement,
+                    {
+                        c(0x01, "CONFIGURATION_SET", D::kControlling,
+                          {p("LocalGroupingIdentifier", T::kByte, 1, 255),
+                           p("RemoteNodeID", T::kNodeId, 0, 232),
+                           p("RemoteGroupingIdentifier", T::kByte, 1, 255)}),
+                        c(0x02, "CONFIGURATION_GET", D::kControlling,
+                          {p("LocalGroupingIdentifier", T::kByte, 1, 255)}),
+                        c(0x03, "CONFIGURATION_REPORT", D::kSupporting,
+                          {p("LocalGroupingIdentifier", T::kByte, 1, 255),
+                           p("RemoteNodeID", T::kNodeId, 0, 232),
+                           p("RemoteGroupingIdentifier", T::kByte, 1, 255)}),
+                    }));
+
+  out.push_back(cls(0x81, "CLOCK", CcCluster::kManagement,
+                    {
+                        c(0x04, "SET", D::kControlling,
+                          {p("WeekdayAndHour", T::kBitmask), p("Minute", T::kByte, 0, 59)}),
+                        c(0x05, "GET", D::kControlling),
+                        c(0x06, "REPORT", D::kSupporting,
+                          {p("WeekdayAndHour", T::kBitmask), p("Minute", T::kByte, 0, 59)}),
+                    }));
+
+  out.push_back(cls(0x87, "INDICATOR", CcCluster::kManagement,
+                    {
+                        c(0x01, "SET", D::kControlling, {p("IndicatorValue", T::kByte, 0, 0xFF)}),
+                        c(0x02, "GET", D::kControlling),
+                        c(0x03, "REPORT", D::kSupporting, {p("IndicatorValue", T::kByte, 0, 0xFF)}),
+                        c(0x04, "SUPPORTED_GET", D::kControlling, {p("IndicatorID")}),
+                        c(0x05, "SUPPORTED_REPORT", D::kSupporting,
+                          {p("IndicatorID"), p("NextIndicatorID"), p("PropertySupported", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x89, "LANGUAGE", CcCluster::kManagement,
+                    {
+                        c(0x01, "SET", D::kControlling,
+                          {p("Language1"), p("Language2"), p("Language3"), p("Country1"),
+                           p("Country2")}),
+                        c(0x02, "GET", D::kControlling),
+                        c(0x03, "REPORT", D::kSupporting,
+                          {p("Language1"), p("Language2"), p("Language3"), p("Country1"),
+                           p("Country2")}),
+                    }));
+
+  out.push_back(cls(0x8A, "TIME", CcCluster::kManagement,
+                    {
+                        c(0x01, "TIME_GET", D::kControlling),
+                        c(0x02, "TIME_REPORT", D::kSupporting,
+                          {p("HourAndFlags", T::kBitmask), p("Minute", T::kByte, 0, 59),
+                           p("Second", T::kByte, 0, 59)}),
+                        c(0x03, "DATE_GET", D::kControlling),
+                        c(0x04, "DATE_REPORT", D::kSupporting,
+                          {p("Year1"), p("Year2"), p("Month", T::kByte, 1, 12),
+                           p("Day", T::kByte, 1, 31)}),
+                        c(0x05, "TIME_OFFSET_SET", D::kControlling,
+                          {p("HourTZO", T::kBitmask), p("MinuteTZO", T::kByte, 0, 59),
+                           p("MinuteOffsetDST", T::kBitmask)}),
+                        c(0x06, "TIME_OFFSET_GET", D::kControlling),
+                        c(0x07, "TIME_OFFSET_REPORT", D::kSupporting,
+                          {p("HourTZO", T::kBitmask), p("MinuteTZO", T::kByte, 0, 59),
+                           p("MinuteOffsetDST", T::kBitmask)}),
+                    }));
+
+  out.push_back(cls(0x8B, "TIME_PARAMETERS", CcCluster::kManagement,
+                    {
+                        c(0x01, "SET", D::kControlling,
+                          {p("Year1"), p("Year2"), p("Month", T::kByte, 1, 12),
+                           p("Day", T::kByte, 1, 31), p("Hour", T::kByte, 0, 23),
+                           p("Minute", T::kByte, 0, 59), p("Second", T::kByte, 0, 59)}),
+                        c(0x02, "GET", D::kControlling),
+                        c(0x03, "REPORT", D::kSupporting,
+                          {p("Year1"), p("Year2"), p("Month", T::kByte, 1, 12),
+                           p("Day", T::kByte, 1, 31), p("Hour", T::kByte, 0, 23),
+                           p("Minute", T::kByte, 0, 59), p("Second", T::kByte, 0, 59)}),
+                    }));
+
+  out.push_back(cls(0x8E, "MULTI_CHANNEL_ASSOCIATION", CcCluster::kManagement,
+                    {
+                        c(0x01, "SET", D::kControlling,
+                          {p("GroupingIdentifier", T::kByte, 1, 255), p("Members", T::kVariadic)}),
+                        c(0x02, "GET", D::kControlling, {p("GroupingIdentifier", T::kByte, 1, 255)}),
+                        c(0x03, "REPORT", D::kSupporting,
+                          {p("GroupingIdentifier", T::kByte, 1, 255), p("MaxNodesSupported"),
+                           p("ReportsToFollow"), p("Members", T::kVariadic)}),
+                        c(0x04, "REMOVE", D::kControlling,
+                          {p("GroupingIdentifier", T::kByte, 0, 255), p("Members", T::kVariadic)}),
+                        c(0x05, "GROUPINGS_GET", D::kControlling),
+                        c(0x06, "GROUPINGS_REPORT", D::kSupporting, {p("SupportedGroupings")}),
+                    }));
+
+  out.push_back(cls(0x9B, "ASSOCIATION_COMMAND_CONFIGURATION", CcCluster::kManagement,
+                    {
+                        c(0x01, "SET_RECORDS", D::kControlling,
+                          {p("GroupingIdentifier", T::kByte, 1, 255), p("NodeID", T::kNodeId, 1, 232),
+                           p("CommandLength", T::kSize), p("Command", T::kVariadic)}),
+                        c(0x02, "GET_RECORDS", D::kControlling,
+                          {p("AllowCache", T::kBool, 0, 1),
+                           p("GroupingIdentifier", T::kByte, 1, 255), p("NodeID", T::kNodeId, 1, 232)}),
+                        c(0x03, "RECORDS_REPORT", D::kSupporting,
+                          {p("GroupingIdentifier", T::kByte, 1, 255), p("NodeID", T::kNodeId, 1, 232),
+                           p("Records", T::kVariadic)}),
+                        c(0x04, "RECORDS_SUPPORTED_GET", D::kControlling),
+                        c(0x05, "RECORDS_SUPPORTED_REPORT", D::kSupporting,
+                          {p("Flags", T::kBitmask), p("MaxCommandLength"), p("FreeRecords1"),
+                           p("FreeRecords2"), p("MaxRecords1"), p("MaxRecords2")}),
+                    }));
+
+  // -------------------------------------------------------------------------
+  // Application cluster (not controller-relevant; the slave side of the
+  // testbed uses several of these).
+  // -------------------------------------------------------------------------
+  out.push_back(cls(0x20, "BASIC", CcCluster::kApplication,
+                    set_get_report(0x01, 0x02, 0x03, p("Value", T::kByte, 0, 0xFF))));
+
+  out.push_back(cls(0x23, "ZIP", CcCluster::kApplication,
+                    {
+                        c(0x02, "ZIP_PACKET", D::kControlling,
+                          {p("Flags0", T::kBitmask), p("Flags1", T::kBitmask), p("SeqNo"),
+                           p("EndPoints", T::kBitmask), p("Payload", T::kVariadic)}),
+                        c(0x03, "ZIP_KEEP_ALIVE", D::kControlling, {p("Flags", T::kBitmask, 0, 0xC0)}),
+                    }));
+
+  out.push_back(cls(0x24, "SECURITY_PANEL_MODE", CcCluster::kApplication,
+                    typed_five(0x01, p("Mode", T::kEnum, 1, 6))));
+
+  out.push_back(cls(0x2B, "SCENE_ACTIVATION", CcCluster::kApplication,
+                    {c(0x01, "SET", D::kControlling,
+                       {p("SceneID", T::kByte, 1, 255), p("DimmingDuration", T::kDuration)})}));
+
+  out.push_back(cls(0x2D, "SCENE_CONTROLLER_CONF", CcCluster::kApplication,
+                    {
+                        c(0x01, "SET", D::kControlling,
+                          {p("GroupID", T::kByte, 1, 255), p("SceneID", T::kByte, 0, 255),
+                           p("DimmingDuration", T::kDuration)}),
+                        c(0x02, "GET", D::kControlling, {p("GroupID", T::kByte, 0, 255)}),
+                        c(0x03, "REPORT", D::kSupporting,
+                          {p("GroupID", T::kByte, 1, 255), p("SceneID", T::kByte, 0, 255),
+                           p("DimmingDuration", T::kDuration)}),
+                    }));
+
+  out.push_back(cls(0x2E, "SECURITY_PANEL_ZONE", CcCluster::kApplication,
+                    {
+                        c(0x01, "NUMBER_SUPPORTED_GET", D::kControlling),
+                        c(0x02, "SUPPORTED_REPORT", D::kSupporting,
+                          {p("ZonesSupported", T::kBitmask), p("ZoneCount")}),
+                        c(0x03, "TYPE_GET", D::kControlling, {p("ZoneNumber", T::kByte, 1, 255)}),
+                        c(0x04, "TYPE_REPORT", D::kSupporting,
+                          {p("ZoneNumber", T::kByte, 1, 255), p("ZoneType", T::kEnum, 1, 2)}),
+                        c(0x05, "STATE_GET", D::kControlling, {p("ZoneNumber", T::kByte, 1, 255)}),
+                        c(0x06, "STATE_REPORT", D::kSupporting,
+                          {p("ZoneNumber", T::kByte, 1, 255), p("ZoneState", T::kEnum, 0, 3)}),
+                    }));
+
+  out.push_back(cls(0x36, "BASIC_TARIFF_INFO", CcCluster::kApplication,
+                    get_report(0x01, 0x02,
+                               {p("TotalRates", T::kByte, 1, 15), p("CurrentRate", T::kBitmask),
+                                p("RateConsumption", T::kVariadic)})));
+
+  out.push_back(cls(0x3F, "PREPAYMENT", CcCluster::kApplication,
+                    {
+                        c(0x01, "BALANCE_GET", D::kControlling, {p("BalanceType", T::kEnum, 0, 1)}),
+                        c(0x02, "BALANCE_REPORT", D::kSupporting,
+                          {p("BalanceTypeAndMeter", T::kBitmask), p("Scale", T::kBitmask),
+                           p("BalanceValue", T::kVariadic)}),
+                        c(0x03, "SUPPORTED_GET", D::kControlling),
+                        c(0x04, "SUPPORTED_REPORT", D::kSupporting, {p("Types", T::kBitmask)}),
+                    }));
+
+  out.push_back(cls(0x5B, "CENTRAL_SCENE", CcCluster::kApplication,
+                    {
+                        c(0x01, "SUPPORTED_GET", D::kControlling),
+                        c(0x02, "SUPPORTED_REPORT", D::kSupporting,
+                          {p("SupportedScenes"), p("Properties", T::kBitmask),
+                           p("KeyAttributes", T::kVariadic)}),
+                        c(0x03, "NOTIFICATION", D::kSupporting,
+                          {p("SequenceNumber"), p("KeyAttributes", T::kBitmask),
+                           p("SceneNumber", T::kByte, 1, 255)}),
+                        c(0x04, "CONFIGURATION_SET", D::kControlling, {p("Flags", T::kBitmask, 0, 0x80)}),
+                        c(0x05, "CONFIGURATION_GET", D::kControlling),
+                        c(0x06, "CONFIGURATION_REPORT", D::kSupporting, {p("Flags", T::kBitmask, 0, 0x80)}),
+                    }));
+
+  out.push_back(cls(0x5D, "ANTITHEFT", CcCluster::kApplication,
+                    {
+                        c(0x01, "SET", D::kControlling,
+                          {p("EnableAndKeyLen", T::kBitmask), p("MagicCode", T::kVariadic)}),
+                        c(0x02, "GET", D::kControlling),
+                        c(0x03, "REPORT", D::kSupporting,
+                          {p("Status", T::kEnum, 1, 3), p("ManufacturerID1"), p("ManufacturerID2")}),
+                    }));
+
+  out.push_back(cls(0x63, "USER_CODE", CcCluster::kApplication,
+                    {
+                        // 10 commands — Fig. 5's fourth bar.
+                        c(0x01, "SET", D::kControlling,
+                          {p("UserIdentifier", T::kByte, 0, 255), p("UserIDStatus", T::kEnum, 0, 3),
+                           p("UserCode", T::kVariadic)}),
+                        c(0x02, "GET", D::kControlling, {p("UserIdentifier", T::kByte, 1, 255)}),
+                        c(0x03, "REPORT", D::kSupporting,
+                          {p("UserIdentifier", T::kByte, 0, 255), p("UserIDStatus", T::kEnum, 0, 3),
+                           p("UserCode", T::kVariadic)}),
+                        c(0x04, "USERS_NUMBER_GET", D::kControlling),
+                        c(0x05, "USERS_NUMBER_REPORT", D::kSupporting, {p("SupportedUsers")}),
+                        c(0x06, "CAPABILITIES_GET", D::kControlling),
+                        c(0x07, "CAPABILITIES_REPORT", D::kSupporting,
+                          {p("Flags1", T::kBitmask), p("Flags2", T::kBitmask),
+                           p("KeypadModes", T::kBitmask), p("Keys", T::kVariadic)}),
+                        c(0x08, "KEYPAD_MODE_SET", D::kControlling, {p("KeypadMode", T::kEnum, 0, 3)}),
+                        c(0x09, "KEYPAD_MODE_GET", D::kControlling),
+                        c(0x0A, "KEYPAD_MODE_REPORT", D::kSupporting, {p("KeypadMode", T::kEnum, 0, 3)}),
+                    }));
+
+  out.push_back(cls(0x6F, "ENTRY_CONTROL", CcCluster::kApplication,
+                    {
+                        c(0x01, "NOTIFICATION", D::kSupporting,
+                          {p("SequenceNumber"), p("DataTypeAndEvent", T::kBitmask),
+                           p("EventData", T::kVariadic)}),
+                        c(0x02, "KEY_SUPPORTED_GET", D::kControlling),
+                        c(0x03, "KEY_SUPPORTED_REPORT", D::kSupporting,
+                          {p("KeySupportedLength", T::kSize), p("Keys", T::kVariadic)}),
+                        c(0x04, "EVENT_SUPPORTED_GET", D::kControlling),
+                        c(0x05, "EVENT_SUPPORTED_REPORT", D::kSupporting,
+                          {p("DataTypes", T::kBitmask), p("Events", T::kVariadic)}),
+                        c(0x06, "CONFIGURATION_SET", D::kControlling,
+                          {p("KeyCacheSize", T::kByte, 1, 32), p("KeyCacheTimeout", T::kByte, 1, 10)}),
+                        c(0x07, "CONFIGURATION_GET", D::kControlling),
+                        c(0x08, "CONFIGURATION_REPORT", D::kSupporting,
+                          {p("KeyCacheSize", T::kByte, 1, 32), p("KeyCacheTimeout", T::kByte, 1, 10)}),
+                    }));
+
+  out.push_back(cls(0x71, "NOTIFICATION", CcCluster::kApplication,
+                    {
+                        // 5 commands — matches Fig. 5.
+                        c(0x04, "GET", D::kControlling,
+                          {p("AlarmType"), p("NotificationType", T::kEnum, 1, 0x16), p("Event")}),
+                        c(0x05, "REPORT", D::kSupporting,
+                          {p("AlarmType"), p("AlarmLevel"), p("Reserved"),
+                           p("NotificationStatus", T::kBool, 0, 1),
+                           p("NotificationType", T::kEnum, 1, 0x16), p("Event"),
+                           p("EventParameters", T::kVariadic)}),
+                        c(0x06, "SET", D::kControlling,
+                          {p("NotificationType", T::kEnum, 1, 0x16),
+                           p("NotificationStatus", T::kBool, 0, 1)}),
+                        c(0x07, "SUPPORTED_GET", D::kControlling),
+                        c(0x08, "SUPPORTED_REPORT", D::kSupporting,
+                          {p("TypeBitmaskLength", T::kSize, 0, 6), p("TypeBitmask", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x75, "PROTECTION", CcCluster::kApplication,
+                    {
+                        c(0x01, "SET", D::kControlling,
+                          {p("LocalState", T::kEnum, 0, 2), p("RFState", T::kEnum, 0, 2)}),
+                        c(0x02, "GET", D::kControlling),
+                        c(0x03, "REPORT", D::kSupporting,
+                          {p("LocalState", T::kEnum, 0, 2), p("RFState", T::kEnum, 0, 2)}),
+                        c(0x04, "SUPPORTED_GET", D::kControlling),
+                        c(0x05, "SUPPORTED_REPORT", D::kSupporting,
+                          {p("Flags", T::kBitmask), p("LocalStates1", T::kBitmask),
+                           p("LocalStates2", T::kBitmask), p("RFStates1", T::kBitmask),
+                           p("RFStates2", T::kBitmask)}),
+                        c(0x06, "EC_SET", D::kControlling, {p("NodeID", T::kNodeId, 0, 232)}),
+                        c(0x07, "EC_GET", D::kControlling),
+                        c(0x08, "EC_REPORT", D::kSupporting, {p("NodeID", T::kNodeId, 0, 232)}),
+                        c(0x09, "TIMEOUT_SET", D::kControlling, {p("Timeout", T::kDuration)}),
+                        c(0x0A, "TIMEOUT_GET", D::kControlling),
+                        c(0x0B, "TIMEOUT_REPORT", D::kSupporting, {p("Timeout", T::kDuration)}),
+                    }));
+
+  out.push_back(cls(0x7E, "ANTITHEFT_UNLOCK", CcCluster::kApplication,
+                    {
+                        c(0x01, "GET", D::kControlling),
+                        c(0x02, "REPORT", D::kSupporting,
+                          {p("Flags", T::kBitmask), p("RestrictedTimestamp", T::kVariadic)}),
+                        c(0x03, "SET", D::kControlling, {p("MagicCode", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x88, "PROPRIETARY", CcCluster::kApplication,
+                    {
+                        c(0x01, "SET", D::kControlling, {p("Data", T::kVariadic)}),
+                        c(0x02, "GET", D::kControlling, {p("Data", T::kVariadic)}),
+                        c(0x03, "REPORT", D::kSupporting, {p("Data", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x8C, "GEOGRAPHIC_LOCATION", CcCluster::kApplication,
+                    {
+                        c(0x01, "SET", D::kControlling,
+                          {p("LongitudeDegrees"), p("LongitudeMinutes", T::kByte, 0, 59),
+                           p("LatitudeDegrees"), p("LatitudeMinutes", T::kByte, 0, 59)}),
+                        c(0x02, "GET", D::kControlling),
+                        c(0x03, "REPORT", D::kSupporting,
+                          {p("LongitudeDegrees"), p("LongitudeMinutes", T::kByte, 0, 59),
+                           p("LatitudeDegrees"), p("LatitudeMinutes", T::kByte, 0, 59)}),
+                    }));
+
+  out.push_back(cls(0x91, "MANUFACTURER_PROPRIETARY", CcCluster::kApplication,
+                    {c(0x00, "DATA", D::kControlling, {p("Data", T::kVariadic)})}));
+
+  out.push_back(cls(0x92, "SCREEN_MD", CcCluster::kApplication,
+                    get_report(0x01, 0x02,
+                               {p("Flags", T::kBitmask), p("CharPresentation", T::kEnum, 0, 2),
+                                p("Content", T::kVariadic)})));
+
+  out.push_back(cls(0x93, "SCREEN_ATTRIBUTES", CcCluster::kApplication,
+                    get_report(0x01, 0x02,
+                               {p("NumberOfLines", T::kByte, 1, 10), p("NumberOfColumns"),
+                                p("SizeOfLineBuffer")})));
+
+  out.push_back(cls(0x94, "SIMPLE_AV_CONTROL", CcCluster::kApplication,
+                    {
+                        c(0x01, "SET", D::kControlling,
+                          {p("SequenceNumber"), p("KeyAttributes", T::kBitmask, 0, 2),
+                           p("ItemID1"), p("ItemID2"), p("AVCommands", T::kVariadic)}),
+                        c(0x02, "GET", D::kControlling),
+                        c(0x03, "REPORT", D::kSupporting, {p("NumberOfReports")}),
+                        c(0x04, "SUPPORTED_GET", D::kControlling, {p("ReportNumber")}),
+                        c(0x05, "SUPPORTED_REPORT", D::kSupporting,
+                          {p("ReportNumber"), p("Bitmask", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x9A, "IP_CONFIGURATION", CcCluster::kApplication,
+                    {
+                        c(0x01, "SET", D::kControlling,
+                          {p("Flags", T::kBitmask), p("IPv4Address", T::kVariadic)}),
+                        c(0x02, "GET", D::kControlling),
+                        c(0x03, "REPORT", D::kSupporting,
+                          {p("Flags", T::kBitmask), p("IPv4Address", T::kVariadic)}),
+                        c(0x04, "RELEASE", D::kControlling),
+                        c(0x05, "RENEW", D::kControlling),
+                    }));
+
+  out.push_back(cls(0x9D, "SILENCE_ALARM", CcCluster::kApplication,
+                    {c(0x01, "SET", D::kControlling,
+                       {p("Mode", T::kEnum, 0, 2), p("Seconds1"), p("Seconds2"),
+                        p("AlarmBitmask", T::kVariadic)})}));
+
+  out.push_back(cls(0xA0, "IR_REPEATER", CcCluster::kApplication,
+                    {
+                        c(0x01, "CAPABILITIES_GET", D::kControlling),
+                        c(0x02, "CAPABILITIES_REPORT", D::kSupporting, {p("Flags", T::kBitmask)}),
+                        c(0x03, "IR_CODE_LEARNING_START", D::kControlling, {p("CodeSlot")}),
+                        c(0x04, "IR_CODE_LEARNING_STATUS", D::kSupporting,
+                          {p("CodeSlot"), p("Status", T::kEnum, 0, 3)}),
+                        c(0x05, "REPEAT", D::kControlling, {p("CodeSlot")}),
+                    }));
+
+  out.push_back(cls(0xA1, "AUTHENTICATION", CcCluster::kApplication,
+                    {
+                        c(0x01, "CAPABILITIES_GET", D::kControlling),
+                        c(0x02, "CAPABILITIES_REPORT", D::kSupporting,
+                          {p("Flags", T::kBitmask), p("TechnologiesSupported", T::kVariadic)}),
+                        c(0x03, "DATA_SET", D::kControlling,
+                          {p("SlotID1"), p("SlotID2"), p("Data", T::kVariadic)}),
+                        c(0x04, "DATA_GET", D::kControlling, {p("SlotID1"), p("SlotID2")}),
+                        c(0x05, "DATA_REPORT", D::kSupporting,
+                          {p("SlotID1"), p("SlotID2"), p("Data", T::kVariadic)}),
+                        c(0x06, "CHECKSUM_GET", D::kControlling),
+                        c(0x07, "CHECKSUM_REPORT", D::kSupporting, {p("Checksum1"), p("Checksum2")}),
+                    }));
+
+  out.push_back(cls(0xA2, "AUTHENTICATION_MEDIA_WRITE", CcCluster::kApplication,
+                    {
+                        c(0x01, "START", D::kControlling, {p("SlotID1"), p("SlotID2")}),
+                        c(0x02, "STOP", D::kControlling),
+                        c(0x03, "STATUS", D::kSupporting, {p("Status", T::kEnum, 0, 2)}),
+                    }));
+
+  out.push_back(cls(0xA3, "GENERIC_SCHEDULE", CcCluster::kApplication,
+                    {
+                        c(0x01, "CAPABILITIES_GET", D::kControlling),
+                        c(0x02, "CAPABILITIES_REPORT", D::kSupporting,
+                          {p("NumberOfSlots1"), p("NumberOfSlots2"), p("Flags", T::kBitmask)}),
+                        c(0x03, "TIME_RANGE_SET", D::kControlling,
+                          {p("SlotID1"), p("SlotID2"), p("Range", T::kVariadic)}),
+                        c(0x04, "TIME_RANGE_GET", D::kControlling, {p("SlotID1"), p("SlotID2")}),
+                        c(0x05, "TIME_RANGE_REPORT", D::kSupporting,
+                          {p("SlotID1"), p("SlotID2"), p("Range", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0xEF, "MARK", CcCluster::kApplication, {}));
+
+  // -------------------------------------------------------------------------
+  // Gateway-side Z/IP classes (application cluster: they ride the IP side
+  // of a gateway, not the RF application layer a controller must parse).
+  // -------------------------------------------------------------------------
+  out.push_back(cls(0x4F, "ZIP_6LOWPAN", CcCluster::kApplication,
+                    {
+                        c(0x01, "LOWPAN_FIRST_FRAGMENT", D::kControlling,
+                          {p("DatagramSize1", T::kSize), p("DatagramSize2"), p("DatagramTag"),
+                           p("Payload", T::kVariadic)}),
+                        c(0x02, "LOWPAN_SUBSEQUENT_FRAGMENT", D::kControlling,
+                          {p("DatagramSize1", T::kSize), p("DatagramSize2"), p("DatagramTag"),
+                           p("Offset"), p("Payload", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x58, "ZIP_ND", CcCluster::kApplication,
+                    {
+                        c(0x01, "NODE_SOLICITATION", D::kControlling, {p("Reserved"), p("IPv6Address", T::kVariadic)}),
+                        c(0x02, "NODE_ADVERTISEMENT", D::kSupporting,
+                          {p("Flags", T::kBitmask), p("NodeID", T::kNodeId, 1, 232),
+                           p("IPv6Address", T::kVariadic)}),
+                        c(0x03, "INV_NODE_SOLICITATION", D::kControlling,
+                          {p("Flags", T::kBitmask), p("NodeID", T::kNodeId, 1, 232)}),
+                    }));
+
+  out.push_back(cls(0x5F, "ZIP_GATEWAY", CcCluster::kApplication,
+                    {
+                        c(0x01, "MODE_SET", D::kControlling, {p("Mode", T::kEnum, 1, 2)}),
+                        c(0x02, "MODE_GET", D::kControlling),
+                        c(0x03, "MODE_REPORT", D::kSupporting, {p("Mode", T::kEnum, 1, 2)}),
+                        c(0x04, "PEER_SET", D::kControlling,
+                          {p("Speed", T::kEnum, 1, 3), p("PeerProfile", T::kVariadic)}),
+                        c(0x05, "PEER_GET", D::kControlling, {p("PeerProfile")}),
+                        c(0x06, "PEER_REPORT", D::kSupporting,
+                          {p("PeerProfile"), p("PeerCount"), p("Profile", T::kVariadic)}),
+                        c(0x07, "UNSOLICITED_DESTINATION_SET", D::kControlling,
+                          {p("Destination", T::kVariadic)}),
+                        c(0x08, "UNSOLICITED_DESTINATION_GET", D::kControlling),
+                        c(0x09, "UNSOLICITED_DESTINATION_REPORT", D::kSupporting,
+                          {p("Destination", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x61, "ZIP_PORTAL", CcCluster::kApplication,
+                    {
+                        c(0x01, "GATEWAY_CONFIGURATION_SET", D::kControlling,
+                          {p("Configuration", T::kVariadic)}),
+                        c(0x02, "GATEWAY_CONFIGURATION_STATUS", D::kSupporting,
+                          {p("Status", T::kEnum, 0, 1)}),
+                        c(0x03, "GATEWAY_CONFIGURATION_GET", D::kControlling),
+                        c(0x04, "GATEWAY_CONFIGURATION_REPORT", D::kSupporting,
+                          {p("Configuration", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x68, "ZIP_NAMING", CcCluster::kApplication,
+                    {
+                        c(0x01, "NAME_SET", D::kControlling, {p("Name", T::kVariadic)}),
+                        c(0x02, "NAME_GET", D::kControlling),
+                        c(0x03, "NAME_REPORT", D::kSupporting, {p("Name", T::kVariadic)}),
+                        c(0x04, "LOCATION_SET", D::kControlling, {p("Location", T::kVariadic)}),
+                        c(0x05, "LOCATION_GET", D::kControlling),
+                        c(0x06, "LOCATION_REPORT", D::kSupporting, {p("Location", T::kVariadic)}),
+                    }));
+
+  // -------------------------------------------------------------------------
+  // Actuator cluster (slave devices).
+  // -------------------------------------------------------------------------
+  out.push_back(cls(0x25, "SWITCH_BINARY", CcCluster::kActuator,
+                    set_get_report(0x01, 0x02, 0x03, p("TargetValue", T::kBool, 0, 0xFF))));
+
+  out.push_back(cls(0x26, "SWITCH_MULTILEVEL", CcCluster::kActuator,
+                    {
+                        c(0x01, "SET", D::kControlling,
+                          {p("Value", T::kByte, 0, 0xFF), p("DimmingDuration", T::kDuration)}),
+                        c(0x02, "GET", D::kControlling),
+                        c(0x03, "REPORT", D::kSupporting,
+                          {p("CurrentValue", T::kByte, 0, 0x63), p("TargetValue", T::kByte, 0, 0x63),
+                           p("Duration", T::kDuration)}),
+                        c(0x04, "START_LEVEL_CHANGE", D::kControlling,
+                          {p("Flags", T::kBitmask), p("StartLevel", T::kByte, 0, 0x63),
+                           p("DimmingDuration", T::kDuration)}),
+                        c(0x05, "STOP_LEVEL_CHANGE", D::kControlling),
+                        c(0x06, "SUPPORTED_GET", D::kControlling),
+                        c(0x07, "SUPPORTED_REPORT", D::kSupporting,
+                          {p("PrimarySwitchType", T::kEnum, 0, 7), p("SecondarySwitchType", T::kEnum, 0, 7)}),
+                    }));
+
+  out.push_back(cls(0x27, "SWITCH_ALL", CcCluster::kActuator,
+                    {
+                        c(0x01, "SET", D::kControlling, {p("Mode", T::kEnum, 0, 0xFF)}),
+                        c(0x02, "GET", D::kControlling),
+                        c(0x03, "REPORT", D::kSupporting, {p("Mode", T::kEnum, 0, 0xFF)}),
+                        c(0x04, "ON", D::kControlling),
+                        c(0x05, "OFF", D::kControlling),
+                    }));
+
+  out.push_back(cls(0x28, "SWITCH_TOGGLE_BINARY", CcCluster::kActuator,
+                    {
+                        c(0x01, "SET", D::kControlling),
+                        c(0x02, "GET", D::kControlling),
+                        c(0x03, "REPORT", D::kSupporting, {p("Value", T::kBool, 0, 0xFF)}),
+                    }));
+
+  out.push_back(cls(0x29, "SWITCH_TOGGLE_MULTILEVEL", CcCluster::kActuator,
+                    {
+                        c(0x01, "SET", D::kControlling),
+                        c(0x02, "GET", D::kControlling),
+                        c(0x03, "REPORT", D::kSupporting, {p("Value", T::kByte, 0, 0x63)}),
+                        c(0x04, "START_LEVEL_CHANGE", D::kControlling,
+                          {p("Flags", T::kBitmask), p("StartLevel", T::kByte, 0, 0x63)}),
+                        c(0x05, "STOP_LEVEL_CHANGE", D::kControlling),
+                    }));
+
+  out.push_back(cls(0x2A, "CHIMNEY_FAN", CcCluster::kActuator,
+                    {
+                        c(0x01, "STATE_SET", D::kControlling, {p("State", T::kEnum, 0, 4)}),
+                        c(0x02, "STATE_GET", D::kControlling),
+                        c(0x03, "STATE_REPORT", D::kSupporting, {p("State", T::kEnum, 0, 4)}),
+                        c(0x04, "SPEED_SET", D::kControlling, {p("Speed", T::kByte, 0, 0x63)}),
+                        c(0x05, "SPEED_GET", D::kControlling),
+                        c(0x06, "SPEED_REPORT", D::kSupporting, {p("Speed", T::kByte, 0, 0x63)}),
+                    }));
+
+  out.push_back(cls(0x2C, "SCENE_ACTUATOR_CONF", CcCluster::kActuator,
+                    {
+                        c(0x01, "SET", D::kControlling,
+                          {p("SceneID", T::kByte, 1, 255), p("DimmingDuration", T::kDuration),
+                           p("Flags", T::kBitmask), p("Level", T::kByte, 0, 0xFF)}),
+                        c(0x02, "GET", D::kControlling, {p("SceneID", T::kByte, 0, 255)}),
+                        c(0x03, "REPORT", D::kSupporting,
+                          {p("SceneID", T::kByte, 1, 255), p("Level", T::kByte, 0, 0xFF),
+                           p("DimmingDuration", T::kDuration)}),
+                    }));
+
+  out.push_back(cls(0x33, "SWITCH_COLOR", CcCluster::kActuator,
+                    {
+                        c(0x01, "SUPPORTED_GET", D::kControlling),
+                        c(0x02, "SUPPORTED_REPORT", D::kSupporting,
+                          {p("ColorMask1", T::kBitmask), p("ColorMask2", T::kBitmask)}),
+                        c(0x03, "GET", D::kControlling, {p("ColorComponent", T::kEnum, 0, 9)}),
+                        c(0x04, "REPORT", D::kSupporting,
+                          {p("ColorComponent", T::kEnum, 0, 9), p("CurrentValue"),
+                           p("TargetValue"), p("Duration", T::kDuration)}),
+                        c(0x05, "SET", D::kControlling,
+                          {p("ColorComponentCount", T::kSize, 1, 10), p("Components", T::kVariadic),
+                           p("Duration", T::kDuration)}),
+                        c(0x06, "START_LEVEL_CHANGE", D::kControlling,
+                          {p("Flags", T::kBitmask), p("ColorComponent", T::kEnum, 0, 9),
+                           p("StartLevel")}),
+                        c(0x07, "STOP_LEVEL_CHANGE", D::kControlling, {p("ColorComponent", T::kEnum, 0, 9)}),
+                    }));
+
+  out.push_back(cls(0x39, "HRV_CONTROL", CcCluster::kActuator,
+                    {
+                        c(0x01, "MODE_SET", D::kControlling, {p("Mode", T::kEnum, 0, 4)}),
+                        c(0x02, "MODE_GET", D::kControlling),
+                        c(0x03, "MODE_REPORT", D::kSupporting, {p("Mode", T::kEnum, 0, 4)}),
+                        c(0x04, "BYPASS_SET", D::kControlling, {p("Bypass", T::kByte, 0, 100)}),
+                        c(0x05, "BYPASS_GET", D::kControlling),
+                        c(0x06, "BYPASS_REPORT", D::kSupporting, {p("Bypass", T::kByte, 0, 100)}),
+                        c(0x07, "VENTILATION_RATE_SET", D::kControlling, {p("Rate", T::kByte, 0, 100)}),
+                        c(0x08, "VENTILATION_RATE_GET", D::kControlling),
+                        c(0x09, "VENTILATION_RATE_REPORT", D::kSupporting, {p("Rate", T::kByte, 0, 100)}),
+                    }));
+
+  out.push_back(cls(0x40, "THERMOSTAT_MODE", CcCluster::kActuator,
+                    typed_five(0x01, p("Mode", T::kEnum, 0, 0x1F))));
+
+  out.push_back(cls(0x42, "THERMOSTAT_OPERATING_STATE", CcCluster::kActuator,
+                    get_report(0x02, 0x03, {p("OperatingState", T::kEnum, 0, 0x0B)})));
+
+  out.push_back(cls(0x43, "THERMOSTAT_SETPOINT", CcCluster::kActuator,
+                    {
+                        c(0x01, "SET", D::kControlling,
+                          {p("SetpointType", T::kEnum, 1, 0x0F), p("SizeScalePrecision", T::kBitmask),
+                           p("Value", T::kVariadic)}),
+                        c(0x02, "GET", D::kControlling, {p("SetpointType", T::kEnum, 1, 0x0F)}),
+                        c(0x03, "REPORT", D::kSupporting,
+                          {p("SetpointType", T::kEnum, 1, 0x0F), p("SizeScalePrecision", T::kBitmask),
+                           p("Value", T::kVariadic)}),
+                        c(0x04, "SUPPORTED_GET", D::kControlling),
+                        c(0x05, "SUPPORTED_REPORT", D::kSupporting, {p("Bitmask", T::kBitmask)}),
+                        c(0x09, "CAPABILITIES_GET", D::kControlling, {p("SetpointType", T::kEnum, 1, 0x0F)}),
+                        c(0x0A, "CAPABILITIES_REPORT", D::kSupporting,
+                          {p("SetpointType", T::kEnum, 1, 0x0F), p("MinMax", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x44, "THERMOSTAT_FAN_MODE", CcCluster::kActuator,
+                    typed_five(0x01, p("FanMode", T::kEnum, 0, 0x0B))));
+
+  out.push_back(cls(0x46, "CLIMATE_CONTROL_SCHEDULE", CcCluster::kActuator,
+                    {
+                        c(0x01, "SET", D::kControlling,
+                          {p("Weekday", T::kEnum, 1, 7), p("Switchpoints", T::kVariadic)}),
+                        c(0x02, "GET", D::kControlling, {p("Weekday", T::kEnum, 1, 7)}),
+                        c(0x03, "REPORT", D::kSupporting,
+                          {p("Weekday", T::kEnum, 1, 7), p("Switchpoints", T::kVariadic)}),
+                        c(0x04, "CHANGED_GET", D::kControlling),
+                        c(0x05, "CHANGED_REPORT", D::kSupporting, {p("ChangeCounter")}),
+                        c(0x06, "OVERRIDE_SET", D::kControlling,
+                          {p("OverrideType", T::kEnum, 0, 2), p("OverrideState", T::kBitmask)}),
+                        c(0x07, "OVERRIDE_GET", D::kControlling),
+                        c(0x08, "OVERRIDE_REPORT", D::kSupporting,
+                          {p("OverrideType", T::kEnum, 0, 2), p("OverrideState", T::kBitmask)}),
+                    }));
+
+  out.push_back(cls(0x47, "THERMOSTAT_SETBACK", CcCluster::kActuator,
+                    set_get_report(0x01, 0x02, 0x03, p("SetbackState", T::kBitmask))));
+
+  out.push_back(cls(0x50, "BASIC_WINDOW_COVERING", CcCluster::kActuator,
+                    {
+                        c(0x01, "START_LEVEL_CHANGE", D::kControlling, {p("Flags", T::kBitmask, 0, 0x40)}),
+                        c(0x02, "STOP_LEVEL_CHANGE", D::kControlling),
+                    }));
+
+  out.push_back(cls(0x51, "MTP_WINDOW_COVERING", CcCluster::kActuator,
+                    set_get_report(0x01, 0x02, 0x03, p("Value", T::kByte, 0, 100))));
+
+  out.push_back(cls(0x62, "DOOR_LOCK", CcCluster::kActuator,
+                    {
+                        c(0x01, "OPERATION_SET", D::kControlling, {p("DoorLockMode", T::kEnum, 0x00, 0xFF)}),
+                        c(0x02, "OPERATION_GET", D::kControlling),
+                        c(0x03, "OPERATION_REPORT", D::kSupporting,
+                          {p("DoorLockMode", T::kEnum, 0x00, 0xFF), p("HandlesMode", T::kBitmask),
+                           p("DoorCondition", T::kBitmask, 0, 7),
+                           p("TimeoutMinutes", T::kByte, 0, 0xFD), p("TimeoutSeconds", T::kByte, 0, 59)}),
+                        c(0x04, "CONFIGURATION_SET", D::kControlling,
+                          {p("OperationType", T::kEnum, 1, 2), p("HandlesState", T::kBitmask),
+                           p("TimeoutMinutes", T::kByte, 0, 0xFD), p("TimeoutSeconds", T::kByte, 0, 59)}),
+                        c(0x05, "CONFIGURATION_GET", D::kControlling),
+                        c(0x06, "CONFIGURATION_REPORT", D::kSupporting,
+                          {p("OperationType", T::kEnum, 1, 2), p("HandlesState", T::kBitmask),
+                           p("TimeoutMinutes", T::kByte, 0, 0xFD), p("TimeoutSeconds", T::kByte, 0, 59)}),
+                        c(0x07, "CAPABILITIES_GET", D::kControlling),
+                        c(0x08, "CAPABILITIES_REPORT", D::kSupporting,
+                          {p("SupportedOperations", T::kBitmask), p("SupportedModes", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x64, "HUMIDITY_CONTROL_SETPOINT", CcCluster::kActuator,
+                    {
+                        c(0x01, "SET", D::kControlling,
+                          {p("SetpointType", T::kEnum, 1, 2), p("SizeScalePrecision", T::kBitmask),
+                           p("Value", T::kVariadic)}),
+                        c(0x02, "GET", D::kControlling, {p("SetpointType", T::kEnum, 1, 2)}),
+                        c(0x03, "REPORT", D::kSupporting,
+                          {p("SetpointType", T::kEnum, 1, 2), p("SizeScalePrecision", T::kBitmask),
+                           p("Value", T::kVariadic)}),
+                        c(0x04, "SUPPORTED_GET", D::kControlling),
+                        c(0x05, "SUPPORTED_REPORT", D::kSupporting, {p("Bitmask", T::kBitmask)}),
+                    }));
+
+  out.push_back(cls(0x65, "DMX", CcCluster::kActuator,
+                    {
+                        c(0x01, "ADDRESS_SET", D::kControlling,
+                          {p("PageID", T::kBitmask), p("ChannelID")}),
+                        c(0x02, "ADDRESS_GET", D::kControlling),
+                        c(0x03, "ADDRESS_REPORT", D::kSupporting,
+                          {p("PageID", T::kBitmask), p("ChannelID")}),
+                        c(0x04, "CAPABILITY_GET", D::kControlling, {p("ChannelID")}),
+                        c(0x05, "CAPABILITY_REPORT", D::kSupporting,
+                          {p("ChannelID"), p("PropertyID1"), p("PropertyID2"),
+                           p("DeviceChannels"), p("MaxChannels")}),
+                        c(0x06, "DATA", D::kControlling,
+                          {p("Source"), p("Page", T::kBitmask), p("Sequence"), p("Data", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x66, "BARRIER_OPERATOR", CcCluster::kActuator,
+                    {
+                        c(0x01, "SET", D::kControlling, {p("TargetValue", T::kBool, 0, 0xFF)}),
+                        c(0x02, "GET", D::kControlling),
+                        c(0x03, "REPORT", D::kSupporting, {p("State", T::kByte, 0, 0xFF)}),
+                        c(0x04, "SIGNAL_SUPPORTED_GET", D::kControlling),
+                        c(0x05, "SIGNAL_SUPPORTED_REPORT", D::kSupporting, {p("Bitmask", T::kBitmask)}),
+                        c(0x06, "SIGNAL_SET", D::kControlling,
+                          {p("SubsystemType", T::kEnum, 1, 2), p("State", T::kBool, 0, 0xFF)}),
+                        c(0x07, "SIGNAL_GET", D::kControlling, {p("SubsystemType", T::kEnum, 1, 2)}),
+                        c(0x08, "SIGNAL_REPORT", D::kSupporting,
+                          {p("SubsystemType", T::kEnum, 1, 2), p("State", T::kBool, 0, 0xFF)}),
+                    }));
+
+  out.push_back(cls(0x6A, "WINDOW_COVERING", CcCluster::kActuator,
+                    {
+                        c(0x01, "SUPPORTED_GET", D::kControlling),
+                        c(0x02, "SUPPORTED_REPORT", D::kSupporting,
+                          {p("ParameterMaskLength", T::kSize, 0, 15), p("ParameterMask", T::kVariadic)}),
+                        c(0x03, "GET", D::kControlling, {p("ParameterID", T::kByte, 0, 25)}),
+                        c(0x04, "REPORT", D::kSupporting,
+                          {p("ParameterID", T::kByte, 0, 25), p("CurrentValue", T::kByte, 0, 100),
+                           p("TargetValue", T::kByte, 0, 100), p("Duration", T::kDuration)}),
+                        c(0x05, "SET", D::kControlling,
+                          {p("ParameterCount", T::kSize, 1, 25), p("Parameters", T::kVariadic),
+                           p("Duration", T::kDuration)}),
+                        c(0x06, "START_LEVEL_CHANGE", D::kControlling,
+                          {p("Flags", T::kBitmask, 0, 0x40), p("ParameterID", T::kByte, 0, 25),
+                           p("Duration", T::kDuration)}),
+                        c(0x07, "STOP_LEVEL_CHANGE", D::kControlling, {p("ParameterID", T::kByte, 0, 25)}),
+                    }));
+
+  out.push_back(cls(0x6B, "IRRIGATION", CcCluster::kActuator,
+                    {
+                        c(0x01, "SYSTEM_INFO_GET", D::kControlling),
+                        c(0x02, "SYSTEM_INFO_REPORT", D::kSupporting,
+                          {p("MasterValve", T::kBool, 0, 1), p("TotalValves", T::kByte, 1, 255),
+                           p("ValveTables"), p("Flags", T::kBitmask)}),
+                        c(0x03, "SYSTEM_STATUS_GET", D::kControlling),
+                        c(0x04, "SYSTEM_STATUS_REPORT", D::kSupporting,
+                          {p("SystemVoltage"), p("SensorStatus", T::kBitmask), p("Flags", T::kBitmask)}),
+                        c(0x05, "VALVE_CONFIG_SET", D::kControlling,
+                          {p("ValveIDAndMaster", T::kBitmask), p("Config", T::kVariadic)}),
+                        c(0x06, "VALVE_CONFIG_GET", D::kControlling, {p("ValveIDAndMaster", T::kBitmask)}),
+                        c(0x07, "VALVE_CONFIG_REPORT", D::kSupporting,
+                          {p("ValveIDAndMaster", T::kBitmask), p("Config", T::kVariadic)}),
+                        c(0x08, "VALVE_RUN", D::kControlling,
+                          {p("ValveIDAndMaster", T::kBitmask), p("Duration1"), p("Duration2")}),
+                    }));
+
+  out.push_back(cls(0x6D, "HUMIDITY_CONTROL_MODE", CcCluster::kActuator,
+                    typed_five(0x01, p("Mode", T::kEnum, 0, 3))));
+
+  out.push_back(cls(0x76, "LOCK", CcCluster::kActuator,
+                    set_get_report(0x01, 0x02, 0x03, p("LockState", T::kBool, 0, 1))));
+
+  out.push_back(cls(0x79, "SOUND_SWITCH", CcCluster::kActuator,
+                    {
+                        c(0x01, "TONES_NUMBER_GET", D::kControlling),
+                        c(0x02, "TONES_NUMBER_REPORT", D::kSupporting, {p("SupportedTones")}),
+                        c(0x03, "TONE_INFO_GET", D::kControlling, {p("ToneIdentifier", T::kByte, 1, 255)}),
+                        c(0x04, "TONE_INFO_REPORT", D::kSupporting,
+                          {p("ToneIdentifier", T::kByte, 1, 255), p("ToneDuration1"),
+                           p("ToneDuration2"), p("NameLength", T::kSize), p("Name", T::kVariadic)}),
+                        c(0x05, "CONFIGURATION_SET", D::kControlling,
+                          {p("Volume", T::kByte, 0, 100), p("DefaultToneIdentifier", T::kByte, 1, 255)}),
+                        c(0x06, "CONFIGURATION_GET", D::kControlling),
+                        c(0x07, "CONFIGURATION_REPORT", D::kSupporting,
+                          {p("Volume", T::kByte, 0, 100), p("DefaultToneIdentifier", T::kByte, 1, 255)}),
+                        c(0x08, "TONE_PLAY_SET", D::kControlling,
+                          {p("ToneIdentifier", T::kByte, 0, 255), p("Volume", T::kByte, 0, 100)}),
+                        c(0x09, "TONE_PLAY_GET", D::kControlling),
+                        c(0x0A, "TONE_PLAY_REPORT", D::kSupporting,
+                          {p("ToneIdentifier", T::kByte, 0, 255), p("Volume", T::kByte, 0, 100)}),
+                    }));
+
+  // -------------------------------------------------------------------------
+  // Sensor cluster (slave devices).
+  // -------------------------------------------------------------------------
+  out.push_back(cls(0x2F, "SECURITY_PANEL_ZONE_SENSOR", CcCluster::kSensor,
+                    {
+                        c(0x01, "INSTALLED_GET", D::kControlling, {p("ZoneNumber", T::kByte, 1, 255)}),
+                        c(0x02, "INSTALLED_REPORT", D::kSupporting,
+                          {p("ZoneNumber", T::kByte, 1, 255), p("SensorCount")}),
+                        c(0x03, "TYPE_GET", D::kControlling,
+                          {p("ZoneNumber", T::kByte, 1, 255), p("SensorNumber", T::kByte, 1, 255)}),
+                        c(0x04, "TYPE_REPORT", D::kSupporting,
+                          {p("ZoneNumber", T::kByte, 1, 255), p("SensorNumber", T::kByte, 1, 255),
+                           p("SensorType")}),
+                        c(0x05, "STATE_GET", D::kControlling,
+                          {p("ZoneNumber", T::kByte, 1, 255), p("SensorNumber", T::kByte, 1, 255)}),
+                        c(0x06, "STATE_REPORT", D::kSupporting,
+                          {p("ZoneNumber", T::kByte, 1, 255), p("SensorNumber", T::kByte, 1, 255),
+                           p("SensorState", T::kEnum, 0, 0xFE)}),
+                    }));
+
+  out.push_back(cls(0x30, "SENSOR_BINARY", CcCluster::kSensor,
+                    {
+                        c(0x01, "SUPPORTED_GET", D::kControlling),
+                        c(0x02, "GET", D::kControlling, {p("SensorType", T::kEnum, 0, 0x0D)}),
+                        c(0x03, "REPORT", D::kSupporting,
+                          {p("SensorValue", T::kBool, 0, 0xFF), p("SensorType", T::kEnum, 0, 0x0D)}),
+                        c(0x04, "SUPPORTED_REPORT", D::kSupporting, {p("Bitmask", T::kBitmask)}),
+                    }));
+
+  out.push_back(cls(0x31, "SENSOR_MULTILEVEL", CcCluster::kSensor,
+                    {
+                        c(0x01, "SUPPORTED_GET_SENSOR", D::kControlling),
+                        c(0x02, "SUPPORTED_SENSOR_REPORT", D::kSupporting, {p("Bitmask", T::kBitmask)}),
+                        c(0x03, "SUPPORTED_GET_SCALE", D::kControlling, {p("SensorType", T::kEnum, 1, 0x57)}),
+                        c(0x04, "GET", D::kControlling,
+                          {p("SensorType", T::kEnum, 1, 0x57), p("Scale", T::kBitmask, 0, 0x18)}),
+                        c(0x05, "REPORT", D::kSupporting,
+                          {p("SensorType", T::kEnum, 1, 0x57), p("SizeScalePrecision", T::kBitmask),
+                           p("SensorValue", T::kVariadic)}),
+                        c(0x06, "SUPPORTED_SCALE_REPORT", D::kSupporting,
+                          {p("SensorType", T::kEnum, 1, 0x57), p("ScaleBitmask", T::kBitmask, 0, 15)}),
+                    }));
+
+  out.push_back(cls(0x32, "METER", CcCluster::kSensor,
+                    {
+                        // 4 commands — matches Fig. 5.
+                        c(0x01, "GET", D::kControlling, {p("ScaleAndRate", T::kBitmask)}),
+                        c(0x02, "REPORT", D::kSupporting,
+                          {p("MeterTypeAndRate", T::kBitmask), p("SizeScalePrecision", T::kBitmask),
+                           p("MeterValue", T::kVariadic)}),
+                        c(0x03, "SUPPORTED_GET", D::kControlling),
+                        c(0x04, "SUPPORTED_REPORT", D::kSupporting,
+                          {p("MeterTypeAndReset", T::kBitmask), p("ScaleSupported", T::kBitmask)}),
+                    }));
+
+  out.push_back(cls(0x35, "METER_PULSE", CcCluster::kSensor,
+                    get_report(0x04, 0x05,
+                               {p("PulseCount1"), p("PulseCount2"), p("PulseCount3"),
+                                p("PulseCount4")})));
+
+  out.push_back(cls(0x37, "HRV_STATUS", CcCluster::kSensor,
+                    {
+                        c(0x01, "GET", D::kControlling, {p("StatusParameter", T::kEnum, 0, 6)}),
+                        c(0x02, "REPORT", D::kSupporting,
+                          {p("StatusParameter", T::kEnum, 0, 6), p("SizeScalePrecision", T::kBitmask),
+                           p("Value", T::kVariadic)}),
+                        c(0x03, "SUPPORTED_GET", D::kControlling),
+                        c(0x04, "SUPPORTED_REPORT", D::kSupporting, {p("Bitmask", T::kBitmask, 0, 0x7F)}),
+                    }));
+
+  out.push_back(cls(0x3C, "METER_TBL_CONFIG", CcCluster::kSensor,
+                    {c(0x01, "TABLE_POINT_ADM_NO_SET", D::kControlling,
+                       {p("NumberLength", T::kSize, 0, 31), p("AdminNumber", T::kVariadic)})}));
+
+  out.push_back(cls(0x3D, "METER_TBL_MONITOR", CcCluster::kSensor,
+                    {
+                        c(0x01, "TABLE_POINT_ADM_NO_GET", D::kControlling),
+                        c(0x02, "TABLE_POINT_ADM_NO_REPORT", D::kSupporting,
+                          {p("NumberLength", T::kSize, 0, 31), p("AdminNumber", T::kVariadic)}),
+                        c(0x03, "TABLE_ID_GET", D::kControlling),
+                        c(0x04, "TABLE_ID_REPORT", D::kSupporting,
+                          {p("IDLength", T::kSize, 0, 31), p("ID", T::kVariadic)}),
+                        c(0x05, "TABLE_CAPABILITY_GET", D::kControlling),
+                        c(0x06, "TABLE_REPORT", D::kSupporting,
+                          {p("Flags", T::kBitmask), p("Dataset", T::kVariadic)}),
+                        c(0x07, "TABLE_STATUS_TIME_GET", D::kControlling),
+                        c(0x08, "TABLE_STATUS_REPORT", D::kSupporting,
+                          {p("ReportsToFollow"), p("Status", T::kVariadic)}),
+                        c(0x09, "TABLE_CURRENT_DATA_GET", D::kControlling, {p("SetID", T::kBitmask)}),
+                        c(0x0A, "TABLE_CURRENT_DATA_REPORT", D::kSupporting,
+                          {p("ReportsToFollow"), p("SetID", T::kBitmask), p("Data", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x3E, "METER_TBL_PUSH", CcCluster::kSensor,
+                    {
+                        c(0x01, "CONFIGURATION_SET", D::kControlling,
+                          {p("Flags", T::kBitmask), p("PushDataset", T::kBitmask),
+                           p("IntervalMonths", T::kByte, 0, 12), p("TargetNodeID", T::kNodeId, 0, 232)}),
+                        c(0x02, "CONFIGURATION_GET", D::kControlling),
+                        c(0x03, "CONFIGURATION_REPORT", D::kSupporting,
+                          {p("Flags", T::kBitmask), p("PushDataset", T::kBitmask),
+                           p("IntervalMonths", T::kByte, 0, 12), p("TargetNodeID", T::kNodeId, 0, 232)}),
+                    }));
+
+  out.push_back(cls(0x45, "THERMOSTAT_FAN_STATE", CcCluster::kSensor,
+                    get_report(0x02, 0x03, {p("FanState", T::kEnum, 0, 0x0B)})));
+
+  out.push_back(cls(0x48, "RATE_TBL_CONFIG", CcCluster::kSensor,
+                    {
+                        c(0x01, "SET", D::kControlling,
+                          {p("RateParameterSetID"), p("Properties", T::kVariadic)}),
+                        c(0x02, "REMOVE", D::kControlling,
+                          {p("RateParameterSetIDs", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x49, "RATE_TBL_MONITOR", CcCluster::kSensor,
+                    {
+                        c(0x01, "SUPPORTED_GET", D::kControlling),
+                        c(0x02, "SUPPORTED_REPORT", D::kSupporting,
+                          {p("RatesSupported"), p("ParametersSupported", T::kBitmask)}),
+                        c(0x03, "GET", D::kControlling, {p("RateParameterSetID")}),
+                        c(0x04, "REPORT", D::kSupporting,
+                          {p("RateParameterSetID"), p("Properties", T::kVariadic)}),
+                        c(0x05, "ACTIVE_RATE_GET", D::kControlling),
+                        c(0x06, "ACTIVE_RATE_REPORT", D::kSupporting, {p("RateParameterSetID")}),
+                        c(0x07, "CURRENT_DATA_GET", D::kControlling, {p("DatasetRequested", T::kBitmask)}),
+                        c(0x08, "CURRENT_DATA_REPORT", D::kSupporting,
+                          {p("ReportsToFollow"), p("RateParameterSetID"), p("Dataset", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x4A, "TARIFF_CONFIG", CcCluster::kSensor,
+                    {
+                        c(0x01, "SUPPLIER_SET", D::kControlling, {p("Properties", T::kVariadic)}),
+                        c(0x02, "SET", D::kControlling,
+                          {p("RateParameterSetID"), p("Properties", T::kVariadic)}),
+                        c(0x03, "REMOVE", D::kControlling, {p("RateParameterSetIDs", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x4B, "TARIFF_TBL_MONITOR", CcCluster::kSensor,
+                    {
+                        c(0x01, "SUPPLIER_GET", D::kControlling),
+                        c(0x02, "SUPPLIER_REPORT", D::kSupporting, {p("Properties", T::kVariadic)}),
+                        c(0x03, "GET", D::kControlling, {p("RateParameterSetID")}),
+                        c(0x04, "REPORT", D::kSupporting,
+                          {p("RateParameterSetID"), p("Properties", T::kVariadic)}),
+                        c(0x05, "COST_GET", D::kControlling,
+                          {p("RateParameterSetID"), p("StartYear1"), p("StartYear2"),
+                           p("StopYear1"), p("StopYear2")}),
+                        c(0x06, "COST_REPORT", D::kSupporting,
+                          {p("RateParameterSetID"), p("CostPrecision", T::kBitmask),
+                           p("CostValue", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x4C, "DOOR_LOCK_LOGGING", CcCluster::kSensor,
+                    {
+                        c(0x01, "RECORDS_SUPPORTED_GET", D::kControlling),
+                        c(0x02, "RECORDS_SUPPORTED_REPORT", D::kSupporting, {p("MaxRecordsStored")}),
+                        c(0x03, "RECORD_GET", D::kControlling, {p("RecordNumber")}),
+                        c(0x04, "RECORD_REPORT", D::kSupporting,
+                          {p("RecordNumber"), p("Record", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x4E, "SCHEDULE_ENTRY_LOCK", CcCluster::kSensor,
+                    {
+                        c(0x01, "ENABLE_SET", D::kControlling,
+                          {p("UserIdentifier", T::kByte, 1, 255), p("Enabled", T::kBool, 0, 1)}),
+                        c(0x02, "ENABLE_ALL_SET", D::kControlling, {p("Enabled", T::kBool, 0, 1)}),
+                        c(0x03, "WEEK_DAY_SET", D::kControlling,
+                          {p("SetAction", T::kBool, 0, 1), p("UserIdentifier", T::kByte, 1, 255),
+                           p("ScheduleSlotID", T::kByte, 1, 255), p("Schedule", T::kVariadic)}),
+                        c(0x04, "WEEK_DAY_GET", D::kControlling,
+                          {p("UserIdentifier", T::kByte, 1, 255), p("ScheduleSlotID", T::kByte, 1, 255)}),
+                        c(0x05, "WEEK_DAY_REPORT", D::kSupporting,
+                          {p("UserIdentifier", T::kByte, 1, 255), p("ScheduleSlotID", T::kByte, 1, 255),
+                           p("Schedule", T::kVariadic)}),
+                        c(0x06, "YEAR_DAY_SET", D::kControlling,
+                          {p("SetAction", T::kBool, 0, 1), p("UserIdentifier", T::kByte, 1, 255),
+                           p("ScheduleSlotID", T::kByte, 1, 255), p("Schedule", T::kVariadic)}),
+                        c(0x07, "YEAR_DAY_GET", D::kControlling,
+                          {p("UserIdentifier", T::kByte, 1, 255), p("ScheduleSlotID", T::kByte, 1, 255)}),
+                        c(0x08, "YEAR_DAY_REPORT", D::kSupporting,
+                          {p("UserIdentifier", T::kByte, 1, 255), p("ScheduleSlotID", T::kByte, 1, 255),
+                           p("Schedule", T::kVariadic)}),
+                        c(0x09, "SUPPORTED_GET", D::kControlling),
+                        c(0x0A, "SUPPORTED_REPORT", D::kSupporting,
+                          {p("WeekDaySlots"), p("YearDaySlots")}),
+                    }));
+
+  out.push_back(cls(0x6E, "HUMIDITY_CONTROL_OPERATING_STATE", CcCluster::kSensor,
+                    get_report(0x01, 0x02, {p("OperatingState", T::kEnum, 0, 2)})));
+
+  out.push_back(cls(0x90, "ENERGY_PRODUCTION", CcCluster::kSensor,
+                    get_report(0x02, 0x03,
+                               {p("ParameterNumber", T::kEnum, 0, 3),
+                                p("SizeScalePrecision", T::kBitmask), p("Value", T::kVariadic)})));
+
+  out.push_back(cls(0x9C, "SENSOR_ALARM", CcCluster::kSensor,
+                    {
+                        c(0x01, "GET", D::kControlling, {p("SensorType", T::kEnum, 0, 0xFF)}),
+                        c(0x02, "REPORT", D::kSupporting,
+                          {p("SourceNodeID", T::kNodeId, 0, 232), p("SensorType", T::kEnum, 0, 0xFF),
+                           p("SensorState", T::kBool, 0, 0xFF), p("Seconds1"), p("Seconds2")}),
+                        c(0x03, "SUPPORTED_GET", D::kControlling),
+                        c(0x04, "SUPPORTED_REPORT", D::kSupporting,
+                          {p("BitmaskLength", T::kSize, 0, 31), p("Bitmask", T::kVariadic)}),
+                    }));
+
+  out.push_back(cls(0x9E, "SENSOR_CONFIGURATION", CcCluster::kSensor,
+                    {
+                        c(0x01, "TRIGGER_LEVEL_SET", D::kControlling,
+                          {p("Flags", T::kBitmask), p("SensorType", T::kEnum, 1, 0x57),
+                           p("SizeScalePrecision", T::kBitmask), p("TriggerValue", T::kVariadic)}),
+                        c(0x02, "TRIGGER_LEVEL_GET", D::kControlling),
+                        c(0x03, "TRIGGER_LEVEL_REPORT", D::kSupporting,
+                          {p("SensorType", T::kEnum, 1, 0x57), p("SizeScalePrecision", T::kBitmask),
+                           p("TriggerValue", T::kVariadic)}),
+                    }));
+
+  return out;
+}
+
+}  // namespace zc::zwave

@@ -1,0 +1,303 @@
+#include "zwave/spec_xml.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+
+namespace zc::zwave {
+
+namespace {
+
+std::string hex_attr(std::uint8_t value) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "0x%02X", value);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal XML tokenizer: enough for attribute-only elements with nesting.
+// ---------------------------------------------------------------------------
+
+struct Tag {
+  std::string name;
+  std::map<std::string, std::string> attrs;
+  bool closing = false;      // </name>
+  bool self_closing = false; // <name ... />
+};
+
+class XmlScanner {
+ public:
+  explicit XmlScanner(const std::string& text) : text_(text) {}
+
+  /// Returns the next tag, std::nullopt at end, or an error.
+  Result<bool> next(Tag& out) {
+    // Skip character data between tags.
+    while (pos_ < text_.size() && text_[pos_] != '<') ++pos_;
+    if (pos_ >= text_.size()) return false;
+    const std::size_t end = text_.find('>', pos_);
+    if (end == std::string::npos) {
+      return Error{Errc::kBadField, "unterminated tag"};
+    }
+    std::string body = text_.substr(pos_ + 1, end - pos_ - 1);
+    pos_ = end + 1;
+
+    out = Tag{};
+    if (!body.empty() && body.front() == '?') return next(out);  // declaration
+    if (!body.empty() && body.front() == '!') return next(out);  // comment
+    if (!body.empty() && body.front() == '/') {
+      out.closing = true;
+      body.erase(body.begin());
+    }
+    if (!body.empty() && body.back() == '/') {
+      out.self_closing = true;
+      body.pop_back();
+    }
+
+    std::size_t i = 0;
+    auto skip_ws = [&] {
+      while (i < body.size() && std::isspace(static_cast<unsigned char>(body[i]))) ++i;
+    };
+    skip_ws();
+    const std::size_t name_start = i;
+    while (i < body.size() && !std::isspace(static_cast<unsigned char>(body[i]))) ++i;
+    out.name = body.substr(name_start, i - name_start);
+    if (out.name.empty()) return Error{Errc::kBadField, "empty tag name"};
+
+    while (true) {
+      skip_ws();
+      if (i >= body.size()) break;
+      const std::size_t key_start = i;
+      while (i < body.size() && body[i] != '=' &&
+             !std::isspace(static_cast<unsigned char>(body[i]))) {
+        ++i;
+      }
+      const std::string key = body.substr(key_start, i - key_start);
+      skip_ws();
+      if (i >= body.size() || body[i] != '=') {
+        return Error{Errc::kBadField, "attribute '" + key + "' missing '='"};
+      }
+      ++i;
+      skip_ws();
+      if (i >= body.size() || body[i] != '"') {
+        return Error{Errc::kBadField, "attribute '" + key + "' missing opening quote"};
+      }
+      ++i;
+      const std::size_t value_start = i;
+      while (i < body.size() && body[i] != '"') ++i;
+      if (i >= body.size()) {
+        return Error{Errc::kBadField, "attribute '" + key + "' missing closing quote"};
+      }
+      out.attrs[key] = body.substr(value_start, i - value_start);
+      ++i;
+    }
+    return true;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+Result<std::uint8_t> byte_attr(const Tag& tag, const std::string& key) {
+  const auto it = tag.attrs.find(key);
+  if (it == tag.attrs.end()) {
+    return Error{Errc::kBadField, "<" + tag.name + "> missing attribute '" + key + "'"};
+  }
+  const unsigned long value = std::strtoul(it->second.c_str(), nullptr, 0);
+  if (value > 0xFF) {
+    return Error{Errc::kBadField, "attribute '" + key + "' out of byte range"};
+  }
+  return static_cast<std::uint8_t>(value);
+}
+
+Result<std::string> string_attr(const Tag& tag, const std::string& key) {
+  const auto it = tag.attrs.find(key);
+  if (it == tag.attrs.end()) {
+    return Error{Errc::kBadField, "<" + tag.name + "> missing attribute '" + key + "'"};
+  }
+  return it->second;
+}
+
+}  // namespace
+
+Result<CcCluster> cluster_from_name(const std::string& name) {
+  for (CcCluster cluster :
+       {CcCluster::kApplication, CcCluster::kTransportEncapsulation, CcCluster::kManagement,
+        CcCluster::kNetwork, CcCluster::kSensor, CcCluster::kActuator, CcCluster::kProtocol}) {
+    if (name == cc_cluster_name(cluster)) return cluster;
+  }
+  return Error{Errc::kBadField, "unknown cluster '" + name + "'"};
+}
+
+Result<ParamType> param_type_from_name(const std::string& name) {
+  for (ParamType type : {ParamType::kByte, ParamType::kBool, ParamType::kEnum,
+                         ParamType::kNodeId, ParamType::kSize, ParamType::kDuration,
+                         ParamType::kBitmask, ParamType::kVariadic}) {
+    if (name == param_type_name(type)) return type;
+  }
+  return Error{Errc::kBadField, "unknown param type '" + name + "'"};
+}
+
+std::string export_class_xml(const CommandClassSpec& spec) {
+  std::string out;
+  out += "  <cmd_class key=\"" + hex_attr(spec.id) + "\" name=\"" + std::string(spec.name) +
+         "\" cluster=\"" + cc_cluster_name(spec.cluster) + "\" public=\"" +
+         (spec.in_public_spec ? "true" : "false") + "\">\n";
+  for (const auto& command : spec.commands) {
+    out += "    <cmd key=\"" + hex_attr(command.id) + "\" name=\"" +
+           std::string(command.name) + "\" direction=\"" +
+           (command.direction == CmdDirection::kControlling ? "controlling" : "supporting") +
+           "\"";
+    if (command.params.empty()) {
+      out += "/>\n";
+      continue;
+    }
+    out += ">\n";
+    for (const auto& param : command.params) {
+      out += "      <param name=\"" + std::string(param.name) + "\" type=\"" +
+             param_type_name(param.type) + "\" min=\"" + hex_attr(param.min) + "\" max=\"" +
+             hex_attr(param.max) + "\"/>\n";
+    }
+    out += "    </cmd>\n";
+  }
+  out += "  </cmd_class>\n";
+  return out;
+}
+
+std::string export_spec_xml(const SpecDatabase& db) {
+  std::string out = "<?xml version=\"1.0\"?>\n<zw_classes version=\"1\">\n";
+  for (const auto& spec : db.all()) out += export_class_xml(spec);
+  out += "</zw_classes>\n";
+  return out;
+}
+
+Result<std::vector<ParsedClass>> parse_spec_xml(const std::string& xml) {
+  XmlScanner scanner(xml);
+  std::vector<ParsedClass> classes;
+  std::map<CommandClassId, bool> seen;
+
+  ParsedClass* current_class = nullptr;
+  ParsedCommand* current_command = nullptr;
+
+  Tag tag;
+  while (true) {
+    auto more = scanner.next(tag);
+    if (!more.ok()) return more.error();
+    if (!more.value()) break;
+
+    if (tag.name == "zw_classes") continue;
+
+    if (tag.name == "cmd_class") {
+      if (tag.closing) {
+        current_class = nullptr;
+        current_command = nullptr;
+        continue;
+      }
+      auto key = byte_attr(tag, "key");
+      auto name = string_attr(tag, "name");
+      auto cluster_name = string_attr(tag, "cluster");
+      if (!key.ok()) return key.error();
+      if (!name.ok()) return name.error();
+      if (!cluster_name.ok()) return cluster_name.error();
+      auto cluster = cluster_from_name(cluster_name.value());
+      if (!cluster.ok()) return cluster.error();
+      if (seen[key.value()]) {
+        return Error{Errc::kBadField, "duplicate cmd_class key " + hex_attr(key.value())};
+      }
+      seen[key.value()] = true;
+
+      ParsedClass parsed;
+      parsed.id = key.value();
+      parsed.name = name.value();
+      parsed.cluster = cluster.value();
+      const auto pub = tag.attrs.find("public");
+      parsed.in_public_spec = pub == tag.attrs.end() || pub->second == "true";
+      classes.push_back(std::move(parsed));
+      current_class = tag.self_closing ? nullptr : &classes.back();
+      current_command = nullptr;
+      continue;
+    }
+
+    if (tag.name == "cmd") {
+      if (tag.closing) {
+        current_command = nullptr;
+        continue;
+      }
+      if (current_class == nullptr) {
+        return Error{Errc::kBadField, "<cmd> outside <cmd_class>"};
+      }
+      auto key = byte_attr(tag, "key");
+      auto name = string_attr(tag, "name");
+      auto direction = string_attr(tag, "direction");
+      if (!key.ok()) return key.error();
+      if (!name.ok()) return name.error();
+      if (!direction.ok()) return direction.error();
+
+      ParsedCommand command;
+      command.id = key.value();
+      command.name = name.value();
+      if (direction.value() == "controlling") {
+        command.direction = CmdDirection::kControlling;
+      } else if (direction.value() == "supporting") {
+        command.direction = CmdDirection::kSupporting;
+      } else {
+        return Error{Errc::kBadField, "unknown direction '" + direction.value() + "'"};
+      }
+      current_class->commands.push_back(std::move(command));
+      current_command = tag.self_closing ? nullptr : &current_class->commands.back();
+      continue;
+    }
+
+    if (tag.name == "param") {
+      if (tag.closing) continue;
+      if (current_command == nullptr) {
+        return Error{Errc::kBadField, "<param> outside <cmd>"};
+      }
+      auto name = string_attr(tag, "name");
+      auto type_name = string_attr(tag, "type");
+      auto min = byte_attr(tag, "min");
+      auto max = byte_attr(tag, "max");
+      if (!name.ok()) return name.error();
+      if (!type_name.ok()) return type_name.error();
+      if (!min.ok()) return min.error();
+      if (!max.ok()) return max.error();
+      auto type = param_type_from_name(type_name.value());
+      if (!type.ok()) return type.error();
+      if (min.value() > max.value()) {
+        return Error{Errc::kBadField, "param '" + name.value() + "' has min > max"};
+      }
+      current_command->params.push_back(
+          ParsedParam{name.value(), type.value(), min.value(), max.value()});
+      continue;
+    }
+
+    return Error{Errc::kBadField, "unexpected tag <" + tag.name + ">"};
+  }
+  return classes;
+}
+
+bool parsed_matches_spec(const ParsedClass& parsed, const CommandClassSpec& spec) {
+  if (parsed.id != spec.id || parsed.name != spec.name || parsed.cluster != spec.cluster ||
+      parsed.in_public_spec != spec.in_public_spec ||
+      parsed.commands.size() != spec.commands.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < parsed.commands.size(); ++i) {
+    const auto& pc = parsed.commands[i];
+    const auto& sc = spec.commands[i];
+    if (pc.id != sc.id || pc.name != sc.name || pc.direction != sc.direction ||
+        pc.params.size() != sc.params.size()) {
+      return false;
+    }
+    for (std::size_t j = 0; j < pc.params.size(); ++j) {
+      const auto& pp = pc.params[j];
+      const auto& sp = sc.params[j];
+      if (pp.name != sp.name || pp.type != sp.type || pp.min != sp.min || pp.max != sp.max) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace zc::zwave

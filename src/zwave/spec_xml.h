@@ -1,0 +1,66 @@
+// XML exchange format for command-class definitions.
+//
+// ZCover's clustering step "references the Z-Wave specification and an XML
+// file listing Z-Wave application layer CMDCL definitions" (§III-C1, the
+// libzwaveip ZWave_custom_cmd_classes.xml). This module writes the built-in
+// database in that shape and parses such files back, so users can extend
+// the registry with vendor data without recompiling.
+//
+//   <zw_classes version="1">
+//     <cmd_class key="0x9F" name="SECURITY_2" cluster="transport-encapsulation"
+//                public="true">
+//       <cmd key="0x01" name="NONCE_GET" direction="controlling">
+//         <param name="SequenceNumber" type="byte" min="0x00" max="0xFF"/>
+//       </cmd>
+//     </cmd_class>
+//   </zw_classes>
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "zwave/command_class.h"
+
+namespace zc::zwave {
+
+/// Owning (string-backed) mirror of the registry structures, produced by
+/// the parser.
+struct ParsedParam {
+  std::string name;
+  ParamType type = ParamType::kByte;
+  std::uint8_t min = 0x00;
+  std::uint8_t max = 0xFF;
+};
+
+struct ParsedCommand {
+  CommandId id = 0;
+  std::string name;
+  CmdDirection direction = CmdDirection::kControlling;
+  std::vector<ParsedParam> params;
+};
+
+struct ParsedClass {
+  CommandClassId id = 0;
+  std::string name;
+  CcCluster cluster = CcCluster::kApplication;
+  bool in_public_spec = true;
+  std::vector<ParsedCommand> commands;
+};
+
+/// Renders one class / the whole database as XML.
+std::string export_class_xml(const CommandClassSpec& spec);
+std::string export_spec_xml(const SpecDatabase& db);
+
+/// Parses an XML document. Fails on malformed tags, duplicate class keys,
+/// or out-of-range attribute values.
+Result<std::vector<ParsedClass>> parse_spec_xml(const std::string& xml);
+
+/// Structural equality between a parsed class and a registry entry.
+bool parsed_matches_spec(const ParsedClass& parsed, const CommandClassSpec& spec);
+
+/// Cluster name <-> enum helpers used by the XML attributes.
+Result<CcCluster> cluster_from_name(const std::string& name);
+Result<ParamType> param_type_from_name(const std::string& name);
+
+}  // namespace zc::zwave

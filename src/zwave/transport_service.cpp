@@ -1,0 +1,137 @@
+#include "zwave/transport_service.h"
+
+#include <algorithm>
+
+namespace zc::zwave {
+
+std::vector<AppPayload> segment_datagram(ByteView datagram, std::uint8_t session_id,
+                                         std::size_t max_segment_payload) {
+  std::vector<AppPayload> segments;
+  if (datagram.empty() || datagram.size() > 0xFF) return segments;
+  const std::uint8_t total = static_cast<std::uint8_t>(datagram.size());
+
+  std::size_t offset = 0;
+  bool first = true;
+  while (offset < datagram.size()) {
+    const std::size_t chunk = std::min(max_segment_payload, datagram.size() - offset);
+    AppPayload segment;
+    segment.cmd_class = kTransportServiceClass;
+    if (first) {
+      segment.command = kTsFirstSegment;
+      segment.params = {total, session_id};
+    } else {
+      segment.command = kTsSubsequentSegment;
+      segment.params = {total, session_id, static_cast<std::uint8_t>(offset)};
+    }
+    segment.params.insert(segment.params.end(), datagram.begin() + static_cast<std::ptrdiff_t>(offset),
+                          datagram.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
+    segments.push_back(std::move(segment));
+    offset += chunk;
+    first = false;
+  }
+  return segments;
+}
+
+AppPayload TransportReassembler::make_reply(CommandId cmd, Bytes params) {
+  AppPayload reply;
+  reply.cmd_class = kTransportServiceClass;
+  reply.command = cmd;
+  reply.params = std::move(params);
+  return reply;
+}
+
+void TransportReassembler::expire_stale(SimTime now) {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now - it->second.last_activity > limits_.session_timeout) {
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<ReassemblyReaction> TransportReassembler::feed(const AppPayload& segment, NodeId src,
+                                                      SimTime now) {
+  if (segment.cmd_class != kTransportServiceClass) {
+    return Error{Errc::kBadField, "not a Transport Service payload"};
+  }
+  expire_stale(now);
+
+  const bool is_first = segment.command == kTsFirstSegment;
+  const bool is_subsequent = segment.command == kTsSubsequentSegment;
+  if (!is_first && !is_subsequent) {
+    // Control commands (REQUEST/COMPLETE/WAIT) carry no data to reassemble.
+    return ReassemblyReaction{};
+  }
+
+  const std::size_t header = is_first ? 2u : 3u;
+  if (segment.params.size() <= header) {
+    return Error{Errc::kTruncated, "segment shorter than its header"};
+  }
+  const std::size_t datagram_size = segment.params[0];
+  const std::uint8_t session_id = segment.params[1];
+  const std::size_t offset = is_first ? 0u : segment.params[2];
+  const std::size_t chunk = segment.params.size() - header;
+
+  if (datagram_size == 0 || datagram_size > limits_.max_datagram) {
+    return Error{Errc::kBadLength, "datagram size out of bounds"};
+  }
+  if (offset + chunk > datagram_size) {
+    return Error{Errc::kBadLength, "segment overflows the declared datagram"};
+  }
+
+  const auto key = std::make_pair(src, session_id);
+  auto it = sessions_.find(key);
+  if (it == sessions_.end()) {
+    if (!is_first) {
+      // Lost the first segment: ask for the start of the datagram.
+      ReassemblyReaction reaction;
+      reaction.reply = make_reply(kTsSegmentRequest, {session_id, 0x00});
+      return reaction;
+    }
+    if (sessions_.size() >= limits_.max_sessions) {
+      ReassemblyReaction reaction;
+      reaction.reply = make_reply(kTsSegmentWait, {static_cast<std::uint8_t>(sessions_.size())});
+      return reaction;
+    }
+    Session session;
+    session.datagram_size = datagram_size;
+    session.data.assign(datagram_size, 0x00);
+    session.received.assign(datagram_size, false);
+    it = sessions_.emplace(key, std::move(session)).first;
+  }
+
+  Session& session = it->second;
+  if (session.datagram_size != datagram_size) {
+    // Conflicting declarations: drop the session, treat as a fresh start.
+    sessions_.erase(it);
+    return Error{Errc::kBadField, "datagram size changed mid-session"};
+  }
+  session.last_activity = now;
+  for (std::size_t i = 0; i < chunk; ++i) {
+    session.data[offset + i] = segment.params[header + i];
+    session.received[offset + i] = true;
+  }
+
+  // Complete?
+  const auto first_missing =
+      std::find(session.received.begin(), session.received.end(), false);
+  ReassemblyReaction reaction;
+  if (first_missing == session.received.end()) {
+    reaction.completed = session.data;
+    reaction.reply = make_reply(kTsSegmentComplete, {session_id});
+    sessions_.erase(it);
+    return reaction;
+  }
+  // After a subsequent segment, nudge the sender about the earliest gap —
+  // only when the gap is *behind* this segment (out-of-order arrival).
+  const std::size_t missing_at =
+      static_cast<std::size_t>(first_missing - session.received.begin());
+  if (is_subsequent && missing_at < offset) {
+    reaction.reply = make_reply(
+        kTsSegmentRequest, {session_id, static_cast<std::uint8_t>(missing_at)});
+  }
+  return reaction;
+}
+
+}  // namespace zc::zwave

@@ -1,0 +1,77 @@
+// Transport Service (command class 0x55): segmentation and reassembly of
+// datagrams larger than the 64-byte MAC frame.
+//
+// Segment layout used here (1-byte fields; Z-Wave datagrams are small):
+//   FIRST_SEGMENT      (0xC0): [DatagramSize, SessionID, payload...]
+//   SUBSEQUENT_SEGMENT (0xE0): [DatagramSize, SessionID, Offset, payload...]
+//   SEGMENT_REQUEST    (0xC8): [SessionID, Offset]       (receiver -> sender)
+//   SEGMENT_COMPLETE   (0xE8): [SessionID]               (receiver -> sender)
+//   SEGMENT_WAIT       (0xF0): [PendingSegments]         (receiver busy)
+//
+// The reassembler tolerates out-of-order and duplicated segments, bounds
+// per-session buffers, and expires stale sessions — the robustness edges a
+// fuzzer pokes hardest.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "zwave/frame.h"
+
+namespace zc::zwave {
+
+constexpr CommandClassId kTransportServiceClass = 0x55;
+constexpr CommandId kTsFirstSegment = 0xC0;
+constexpr CommandId kTsSegmentRequest = 0xC8;
+constexpr CommandId kTsSubsequentSegment = 0xE0;
+constexpr CommandId kTsSegmentComplete = 0xE8;
+constexpr CommandId kTsSegmentWait = 0xF0;
+
+/// Splits `datagram` into Transport Service segments that each fit a MAC
+/// frame with `max_segment_payload` data bytes per segment.
+std::vector<AppPayload> segment_datagram(ByteView datagram, std::uint8_t session_id,
+                                         std::size_t max_segment_payload = 40);
+
+/// What the reassembler wants transmitted back after a segment arrives.
+struct ReassemblyReaction {
+  std::optional<AppPayload> reply;   // SEGMENT_REQUEST / SEGMENT_COMPLETE
+  std::optional<Bytes> completed;    // full datagram, when done
+};
+
+/// Bounds on the reassembler's buffering.
+struct ReassemblyLimits {
+  std::size_t max_sessions = 4;
+  std::size_t max_datagram = 200;
+  SimTime session_timeout = 2 * kSecond;
+};
+
+class TransportReassembler {
+ public:
+  explicit TransportReassembler(ReassemblyLimits limits = ReassemblyLimits())
+      : limits_(limits) {}
+
+  /// Feeds one 0x55 segment received from `src` at virtual time `now`.
+  /// Malformed segments yield an error and leave sessions untouched.
+  Result<ReassemblyReaction> feed(const AppPayload& segment, NodeId src, SimTime now);
+
+  std::size_t open_sessions() const { return sessions_.size(); }
+
+ private:
+  struct Session {
+    std::size_t datagram_size = 0;
+    Bytes data;
+    std::vector<bool> received;
+    SimTime last_activity = 0;
+  };
+
+  void expire_stale(SimTime now);
+  static AppPayload make_reply(CommandId cmd, Bytes params);
+
+  ReassemblyLimits limits_;
+  std::map<std::pair<NodeId, std::uint8_t>, Session> sessions_;
+};
+
+}  // namespace zc::zwave

@@ -1,0 +1,105 @@
+// Core Z-Wave protocol types shared across the stack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace zc::zwave {
+
+/// 4-byte network identifier, assigned by the primary controller.
+using HomeId = std::uint32_t;
+
+/// 1-byte node identifier. 0x01 is conventionally the primary controller;
+/// 0xFF is the broadcast destination.
+using NodeId = std::uint8_t;
+
+constexpr NodeId kControllerNodeId = 0x01;
+constexpr NodeId kBroadcastNodeId = 0xFF;
+
+/// 1-byte command class identifier (the "CMDCL" field of Fig. 1).
+using CommandClassId = std::uint8_t;
+
+/// 1-byte command identifier within a command class.
+using CommandId = std::uint8_t;
+
+/// MAC header type carried in frame-control byte P1 (ITU-T G.9959 §8.1.3).
+enum class HeaderType : std::uint8_t {
+  kSinglecast = 0x1,
+  kMulticast = 0x2,
+  kAck = 0x3,
+  kRouted = 0x8,
+};
+
+const char* header_type_name(HeaderType type);
+
+/// Transport security level of a data exchange (§II-A1 of the paper).
+enum class SecurityLevel : std::uint8_t {
+  kNone = 0,  // checksum only; legacy devices
+  kS0 = 1,    // AES-128 OFB + CBC-MAC, fixed temp key during exchange
+  kS2 = 2,    // ECDH key agreement + AES-CMAC authentication
+};
+
+const char* security_level_name(SecurityLevel level);
+
+/// Z-Wave RF region/channel configuration (passive scanner setup, Fig. 4).
+enum class RfRegion : std::uint8_t {
+  kEu868 = 0,  // 868.42 MHz
+  kUs908 = 1,  // 908.42 MHz
+  kAnz921 = 2, // 921.42 MHz
+};
+
+/// Center frequency in kHz for a region.
+std::uint32_t rf_region_khz(RfRegion region);
+const char* rf_region_name(RfRegion region);
+
+/// Maximum size of a Z-Wave MAC frame on air (paper §II-A).
+constexpr std::size_t kMaxMacFrame = 64;
+
+/// Fixed header: H-ID(4) SRC(1) P1(1) P2(1) LEN(1) DST(1)  (Fig. 1).
+constexpr std::size_t kMacHeaderSize = 9;
+
+/// Trailing CS-8 checksum.
+constexpr std::size_t kChecksumSize = 1;
+
+/// Maximum application payload an unencapsulated frame can carry.
+constexpr std::size_t kMaxApplicationPayload =
+    kMaxMacFrame - kMacHeaderSize - kChecksumSize;
+
+inline const char* header_type_name(HeaderType type) {
+  switch (type) {
+    case HeaderType::kSinglecast: return "singlecast";
+    case HeaderType::kMulticast: return "multicast";
+    case HeaderType::kAck: return "ack";
+    case HeaderType::kRouted: return "routed";
+  }
+  return "?";
+}
+
+inline const char* security_level_name(SecurityLevel level) {
+  switch (level) {
+    case SecurityLevel::kNone: return "None";
+    case SecurityLevel::kS0: return "S0";
+    case SecurityLevel::kS2: return "S2";
+  }
+  return "?";
+}
+
+inline std::uint32_t rf_region_khz(RfRegion region) {
+  switch (region) {
+    case RfRegion::kEu868: return 868420;
+    case RfRegion::kUs908: return 908420;
+    case RfRegion::kAnz921: return 921420;
+  }
+  return 0;
+}
+
+inline const char* rf_region_name(RfRegion region) {
+  switch (region) {
+    case RfRegion::kEu868: return "EU-868.42MHz";
+    case RfRegion::kUs908: return "US-908.42MHz";
+    case RfRegion::kAnz921: return "ANZ-921.42MHz";
+  }
+  return "?";
+}
+
+}  // namespace zc::zwave

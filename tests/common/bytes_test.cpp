@@ -1,0 +1,80 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace zc {
+namespace {
+
+TEST(BytesTest, ToHexEmpty) { EXPECT_EQ(to_hex({}), ""); }
+
+TEST(BytesTest, ToHexBasic) {
+  const Bytes data = {0xCB, 0x95, 0xA3, 0x4A};
+  EXPECT_EQ(to_hex(data), "cb95a34a");
+}
+
+TEST(BytesTest, ToHexSpacedMatchesPaperStyle) {
+  const Bytes data = {0x0F, 0x20, 0x01, 0x00};
+  EXPECT_EQ(to_hex_spaced(data), "0x0F 0x20 0x01 0x00");
+}
+
+TEST(BytesTest, FromHexPlain) {
+  const auto parsed = from_hex("cb95a34a");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, (Bytes{0xCB, 0x95, 0xA3, 0x4A}));
+}
+
+TEST(BytesTest, FromHexAcceptsSeparatorsAndPrefixes) {
+  const auto parsed = from_hex("0xCB 0x95,0xA3:0x4A");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, (Bytes{0xCB, 0x95, 0xA3, 0x4A}));
+}
+
+TEST(BytesTest, FromHexRejectsOddDigits) {
+  EXPECT_FALSE(from_hex("abc").has_value());
+}
+
+TEST(BytesTest, FromHexRejectsGarbage) {
+  EXPECT_FALSE(from_hex("zz").has_value());
+  EXPECT_FALSE(from_hex("a b").has_value());  // split mid-byte
+}
+
+TEST(BytesTest, HexRoundTripProperty) {
+  Bytes data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  const auto parsed = from_hex(to_hex(data));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, data);
+}
+
+TEST(BytesTest, BigEndian32RoundTrip) {
+  Bytes out;
+  write_be32(out, 0xE7DE3F3D);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(read_be32(out, 0), 0xE7DE3F3Du);
+}
+
+TEST(BytesTest, BigEndian16RoundTrip) {
+  Bytes out;
+  write_be16(out, 0x1D0F);
+  EXPECT_EQ(read_be16(out, 0), 0x1D0F);
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(equal_constant_time(a, b));
+  EXPECT_FALSE(equal_constant_time(a, c));
+  EXPECT_FALSE(equal_constant_time(a, d));
+}
+
+TEST(BytesTest, Concat) {
+  const Bytes a = {1, 2};
+  const Bytes b = {3};
+  EXPECT_EQ(concat(a, b), (Bytes{1, 2, 3}));
+  EXPECT_EQ(concat({}, b), (Bytes{3}));
+}
+
+}  // namespace
+}  // namespace zc

@@ -1,0 +1,100 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace zc {
+namespace {
+
+TEST(ClockTest, StartsAtZero) {
+  EventScheduler scheduler;
+  EXPECT_EQ(scheduler.now(), 0u);
+}
+
+TEST(ClockTest, RunUntilAdvancesEvenWithoutEvents) {
+  EventScheduler scheduler;
+  scheduler.run_until(5 * kSecond);
+  EXPECT_EQ(scheduler.now(), 5 * kSecond);
+}
+
+TEST(ClockTest, EventsFireInTimestampOrder) {
+  EventScheduler scheduler;
+  std::vector<int> order;
+  scheduler.schedule_at(3 * kSecond, [&] { order.push_back(3); });
+  scheduler.schedule_at(1 * kSecond, [&] { order.push_back(1); });
+  scheduler.schedule_at(2 * kSecond, [&] { order.push_back(2); });
+  scheduler.run_until(10 * kSecond);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ClockTest, EqualTimestampsFireFifo) {
+  EventScheduler scheduler;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    scheduler.schedule_at(kSecond, [&order, i] { order.push_back(i); });
+  }
+  scheduler.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ClockTest, EventsSeeCorrectNow) {
+  EventScheduler scheduler;
+  SimTime seen = 0;
+  scheduler.schedule_after(42 * kMillisecond, [&] { seen = scheduler.now(); });
+  scheduler.run_all();
+  EXPECT_EQ(seen, 42 * kMillisecond);
+}
+
+TEST(ClockTest, NestedSchedulingWithinRun) {
+  EventScheduler scheduler;
+  int fired = 0;
+  scheduler.schedule_after(kSecond, [&] {
+    ++fired;
+    scheduler.schedule_after(kSecond, [&] { ++fired; });
+  });
+  scheduler.run_until(3 * kSecond);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ClockTest, RunUntilStopsAtDeadline) {
+  EventScheduler scheduler;
+  int fired = 0;
+  scheduler.schedule_at(5 * kSecond, [&] { ++fired; });
+  scheduler.run_until(4 * kSecond);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(scheduler.now(), 4 * kSecond);
+  scheduler.run_until(5 * kSecond);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ClockTest, PastEventsClampToNow) {
+  EventScheduler scheduler;
+  scheduler.run_until(10 * kSecond);
+  int fired = 0;
+  scheduler.schedule_at(1 * kSecond, [&] { ++fired; });  // in the past
+  scheduler.run_for(0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(scheduler.now(), 10 * kSecond);
+}
+
+TEST(ClockTest, FormatSimTime) {
+  EXPECT_EQ(format_sim_time(0), "0.000s");
+  EXPECT_EQ(format_sim_time(59 * kSecond), "59.000s");
+  EXPECT_EQ(format_sim_time(68 * kSecond), "1m08.000s");
+  EXPECT_EQ(format_sim_time(4 * kMinute), "4m00.000s");
+  EXPECT_EQ(format_sim_time(kHour + 2 * kMinute + 3 * kSecond + 4 * kMillisecond),
+            "1h02m03.004s");
+}
+
+TEST(ClockTest, PendingCount) {
+  EventScheduler scheduler;
+  scheduler.schedule_after(kSecond, [] {});
+  scheduler.schedule_after(2 * kSecond, [] {});
+  EXPECT_EQ(scheduler.pending(), 2u);
+  scheduler.run_all();
+  EXPECT_EQ(scheduler.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace zc

@@ -1,0 +1,62 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace zc {
+namespace {
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return Error{Errc::kBadField, "not positive"};
+  return v;
+}
+
+TEST(ResultTest, HoldsValue) {
+  const Result<int> r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(r.code(), Errc::kOk);
+}
+
+TEST(ResultTest, HoldsError) {
+  const Result<int> r = parse_positive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kBadField);
+  EXPECT_EQ(r.error().message, "not positive");
+  EXPECT_EQ(r.code(), Errc::kBadField);
+}
+
+TEST(ResultTest, ValueOr) {
+  EXPECT_EQ(parse_positive(3).value_or(9), 3);
+  EXPECT_EQ(parse_positive(-3).value_or(9), 9);
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string taken = std::move(r).take();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ResultTest, StatusDefaultsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Errc::kOk);
+}
+
+TEST(ResultTest, StatusError) {
+  const Status s(Errc::kTimeout, "no response");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, Errc::kTimeout);
+}
+
+TEST(ResultTest, ErrcNamesAreStable) {
+  EXPECT_STREQ(errc_name(Errc::kOk), "ok");
+  EXPECT_STREQ(errc_name(Errc::kBadChecksum), "bad_checksum");
+  EXPECT_STREQ(errc_name(Errc::kAuthFailed), "auth_failed");
+  EXPECT_STREQ(errc_name(Errc::kTimeout), "timeout");
+}
+
+}  // namespace
+}  // namespace zc

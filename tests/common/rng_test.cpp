@@ -1,0 +1,110 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <span>
+
+namespace zc {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceRoughlyCalibrated) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, Uniform01InHalfOpenInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BytesLengthAndDeterminism) {
+  Rng a(77), b(77);
+  EXPECT_EQ(a.bytes(0).size(), 0u);
+  EXPECT_EQ(a.bytes(33), b.bytes(33));
+}
+
+TEST(RngTest, PickDrawsUniformlyFromSpan) {
+  Rng rng(21);
+  const std::uint8_t items[] = {10, 20, 30, 40};
+  std::map<std::uint8_t, int> counts;
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[rng.pick(std::span<const std::uint8_t>(items))];
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(count, 2000, 250) << int(value);
+  }
+}
+
+TEST(RngTest, PickSingleElement) {
+  Rng rng(22);
+  const int items[] = {7};
+  EXPECT_EQ(rng.pick(std::span<const int>(items)), 7);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(123), b(123);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  EXPECT_EQ(fa.next_u64(), fb.next_u64());
+  // Forked stream differs from the parent stream.
+  Rng parent(123);
+  Rng child = parent.fork();
+  EXPECT_NE(child.next_u64(), parent.next_u64());
+}
+
+}  // namespace
+}  // namespace zc

@@ -1,0 +1,161 @@
+// Parameterized sweeps: the full ZCover pipeline against every testbed
+// controller, the Table III trigger matrix against every affected model,
+// and the mutator against every class of the fuzz cluster.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/campaign.h"
+
+namespace zc::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Campaign sweep over all seven controllers.
+// ---------------------------------------------------------------------------
+
+class CampaignPerDevice : public ::testing::TestWithParam<sim::DeviceModel> {};
+
+TEST_P(CampaignPerDevice, FullCampaignFindsEveryApplicableBug) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = GetParam();
+  sim::Testbed testbed(testbed_config);
+  CampaignConfig config;
+  config.mode = CampaignMode::kFull;
+  config.duration = 2 * kHour;
+  config.loop_queue = false;
+  Campaign campaign(testbed, config);
+  const auto result = campaign.run();
+
+  std::set<int> expected;
+  for (const auto& spec : sim::vulnerability_matrix()) {
+    if (spec.affects(GetParam())) expected.insert(spec.bug_id);
+  }
+  std::set<int> found;
+  for (const auto& finding : result.findings) {
+    if (finding.matched_bug_id > 0) found.insert(finding.matched_bug_id);
+  }
+  EXPECT_EQ(found, expected) << sim::device_model_name(GetParam());
+  // No unattributed noise findings either.
+  EXPECT_EQ(result.findings.size(), expected.size());
+}
+
+TEST_P(CampaignPerDevice, FingerprintArithmeticHolds) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = GetParam();
+  sim::Testbed testbed(testbed_config);
+  Campaign campaign(testbed, CampaignConfig{});
+  const auto report = campaign.fingerprint();
+  // known + unknown == the 45-class cluster, for every device (Table IV).
+  EXPECT_EQ(report.active.listed.size() + report.discovery.unknown().size(), 45u);
+  EXPECT_EQ(report.discovery.proprietary.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllControllers, CampaignPerDevice,
+                         ::testing::ValuesIn(sim::all_controller_models()),
+                         [](const ::testing::TestParamInfo<sim::DeviceModel>& info) {
+                           return "D" + std::to_string(static_cast<int>(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Table III trigger matrix: every bug against every affected model fires
+// from its documented payload, and only outside secure encapsulation.
+// ---------------------------------------------------------------------------
+
+struct TriggerCase {
+  int bug_id;
+  sim::DeviceModel model;
+};
+
+class TriggerMatrix : public ::testing::TestWithParam<TriggerCase> {};
+
+zwave::AppPayload trigger_payload(const sim::VulnSpec& spec) {
+  zwave::AppPayload payload;
+  payload.cmd_class = spec.cmd_class;
+  payload.command = spec.command;
+  if (spec.operation.has_value()) {
+    payload.params = {*spec.operation, 0x02, 0x00};
+  } else if (spec.cmd_class == 0x01 && spec.command == 0x02) {
+    payload.params = {0x77};  // ghost target (bug #05)
+  } else if (spec.cmd_class == 0x86 && spec.command == 0x13) {
+    payload.params = {0x44};  // unsupported class (bug #10)
+  } else {
+    payload.params = {0x00};
+  }
+  return payload;
+}
+
+TEST_P(TriggerMatrix, FiresFromDocumentedPayload) {
+  const auto* spec = sim::find_vulnerability(GetParam().bug_id);
+  ASSERT_NE(spec, nullptr);
+  sim::TestbedConfig config;
+  config.controller_model = GetParam().model;
+  sim::Testbed testbed(config);
+  radio::MacEndpoint attacker(testbed.medium(), testbed.attacker_radio_config("attacker"));
+
+  attacker.send(zwave::make_singlecast(testbed.controller().home_id(), 0xE7, 0x01,
+                                       trigger_payload(*spec), 1, true));
+  testbed.scheduler().run_for(200 * kMillisecond);
+
+  ASSERT_FALSE(testbed.controller().triggered().empty())
+      << "bug " << GetParam().bug_id << " on " << sim::device_model_name(GetParam().model);
+  EXPECT_EQ(testbed.controller().triggered().back().bug_id, GetParam().bug_id);
+}
+
+std::vector<TriggerCase> all_trigger_cases() {
+  std::vector<TriggerCase> cases;
+  for (const auto& spec : sim::vulnerability_matrix()) {
+    for (sim::DeviceModel model : spec.affected) {
+      cases.push_back({spec.bug_id, model});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTriggers, TriggerMatrix,
+                         ::testing::ValuesIn(all_trigger_cases()),
+                         [](const ::testing::TestParamInfo<TriggerCase>& info) {
+                           return "Bug" + std::to_string(info.param.bug_id) + "_D" +
+                                  std::to_string(static_cast<int>(info.param.model));
+                         });
+
+// ---------------------------------------------------------------------------
+// Mutator sweep over the whole fuzz cluster.
+// ---------------------------------------------------------------------------
+
+class MutatorPerClass : public ::testing::TestWithParam<zwave::CommandClassId> {};
+
+TEST_P(MutatorPerClass, PayloadsStayWithinClassAndMac) {
+  Rng rng(GetParam());
+  PositionSensitiveMutator mutator(rng, GetParam());
+  for (int i = 0; i < 600; ++i) {
+    const auto payload = mutator.next();
+    ASSERT_EQ(payload.cmd_class, GetParam());
+    ASSERT_LE(payload.encode().size(), zwave::kMaxApplicationPayload);
+  }
+}
+
+TEST_P(MutatorPerClass, SystematicPhaseTerminates) {
+  Rng rng(1);
+  PositionSensitiveMutator mutator(rng, GetParam());
+  int guard = 0;
+  while (mutator.in_systematic_phase()) {
+    mutator.next();
+    ASSERT_LT(++guard, 5000);
+  }
+  SUCCEED();
+}
+
+std::vector<zwave::CommandClassId> fuzz_cluster() {
+  return zwave::SpecDatabase::instance().controller_cluster(true);
+}
+
+INSTANTIATE_TEST_SUITE_P(FuzzCluster, MutatorPerClass, ::testing::ValuesIn(fuzz_cluster()),
+                         [](const ::testing::TestParamInfo<zwave::CommandClassId>& info) {
+                           char buf[8];
+                           std::snprintf(buf, sizeof(buf), "CC%02X", info.param);
+                           return std::string(buf);
+                         });
+
+}  // namespace
+}  // namespace zc::core

@@ -1,0 +1,279 @@
+#include "core/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace zc::core {
+namespace {
+
+CampaignConfig quick_config(CampaignMode mode, SimTime duration = 2 * kHour) {
+  CampaignConfig config;
+  config.mode = mode;
+  config.duration = duration;
+  config.loop_queue = false;
+  return config;
+}
+
+std::set<int> found_bug_ids(const CampaignResult& result) {
+  std::set<int> ids;
+  for (const auto& finding : result.findings) {
+    if (finding.matched_bug_id > 0) ids.insert(finding.matched_bug_id);
+  }
+  return ids;
+}
+
+TEST(CampaignTest, FingerprintMatchesTableIVRow) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  sim::Testbed testbed(testbed_config);
+  Campaign campaign(testbed, quick_config(CampaignMode::kFull));
+  const auto report = campaign.fingerprint();
+
+  ASSERT_TRUE(report.passive.home_id.has_value());
+  EXPECT_EQ(*report.passive.home_id, 0xC7E9DD54);
+  EXPECT_EQ(report.active.listed.size(), 17u);
+  EXPECT_EQ(report.discovery.unknown().size(), 28u);
+  EXPECT_EQ(report.fuzz_queue.size(), 45u);
+}
+
+TEST(CampaignTest, FullModeFindsAllFifteenBugs) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  sim::Testbed testbed(testbed_config);
+  Campaign campaign(testbed, quick_config(CampaignMode::kFull));
+  const auto result = campaign.run();
+
+  const auto ids = found_bug_ids(result);
+  for (int bug = 1; bug <= 15; ++bug) {
+    EXPECT_TRUE(ids.contains(bug)) << "missing bug #" << bug;
+  }
+  EXPECT_EQ(result.findings.size(), 15u);  // no duplicate signatures
+  EXPECT_EQ(result.classes_fuzzed.size(), 45u);
+  EXPECT_GT(result.test_packets, 0u);
+}
+
+TEST(CampaignTest, AcceptedPairCoverageMatchesTableV) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  sim::Testbed testbed(testbed_config);
+  Campaign campaign(testbed, quick_config(CampaignMode::kFull));
+  const auto result = campaign.run();
+  EXPECT_EQ(result.accepted_pairs.size(), 53u);  // Table V "CMD" column
+}
+
+TEST(CampaignTest, BetaModeFindsEightBugs) {
+  // Table VI: known CMDCLs only -> 8 unique vulnerabilities (everything in
+  // the proprietary class 0x01 is out of reach).
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD1_ZoozZst10;  // ZooZ, §IV-D
+  sim::Testbed testbed(testbed_config);
+  Campaign campaign(testbed, quick_config(CampaignMode::kKnownOnly, 1 * kHour));
+  const auto result = campaign.run();
+
+  const auto ids = found_bug_ids(result);
+  EXPECT_EQ(ids, (std::set<int>{6, 7, 8, 9, 10, 11, 13, 15}));
+}
+
+TEST(CampaignTest, DeterministicForSameSeed) {
+  auto run_once = [] {
+    sim::TestbedConfig testbed_config;
+    testbed_config.controller_model = sim::DeviceModel::kD2_SilabsUzb7;
+    testbed_config.seed = 777;
+    sim::Testbed testbed(testbed_config);
+    CampaignConfig config = quick_config(CampaignMode::kFull, 30 * kMinute);
+    config.seed = 4242;
+    Campaign campaign(testbed, config);
+    const auto result = campaign.run();
+    std::vector<std::pair<int, std::uint64_t>> trace;
+    for (const auto& finding : result.findings) {
+      trace.emplace_back(finding.matched_bug_id, finding.packets_sent);
+    }
+    return std::make_pair(result.test_packets, trace);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(CampaignTest, FindingsCarryBugInducingPayloads) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  sim::Testbed testbed(testbed_config);
+  Campaign campaign(testbed, quick_config(CampaignMode::kFull));
+  const auto result = campaign.run();
+  for (const auto& finding : result.findings) {
+    ASSERT_GE(finding.payload.size(), 2u);
+    EXPECT_EQ(finding.payload[0], finding.cmd_class);
+    EXPECT_EQ(finding.payload[1], finding.command);
+  }
+}
+
+TEST(CampaignTest, ServiceInterruptionBugsDetectedViaNopProbe) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  sim::Testbed testbed(testbed_config);
+  Campaign campaign(testbed, quick_config(CampaignMode::kFull));
+  const auto result = campaign.run();
+  for (const auto& finding : result.findings) {
+    if (finding.matched_bug_id >= 7 && finding.matched_bug_id <= 11) {
+      EXPECT_EQ(finding.kind, DetectionKind::kServiceInterruption)
+          << "bug " << finding.matched_bug_id;
+    }
+    if (finding.matched_bug_id >= 1 && finding.matched_bug_id <= 4) {
+      EXPECT_EQ(finding.kind, DetectionKind::kMemoryTampering)
+          << "bug " << finding.matched_bug_id;
+    }
+  }
+}
+
+TEST(CampaignTest, HubModelsReportAppDoSNotPcCrash) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD6_SamsungWv520;
+  sim::Testbed testbed(testbed_config);
+  Campaign campaign(testbed, quick_config(CampaignMode::kFull));
+  const auto result = campaign.run();
+  const auto ids = found_bug_ids(result);
+  EXPECT_TRUE(ids.contains(5));    // smartphone-app DoS
+  EXPECT_FALSE(ids.contains(6));   // no PC program on a hub
+  EXPECT_FALSE(ids.contains(13));
+}
+
+TEST(CampaignTest, MostBugsFoundEarly) {
+  // Fig. 12's shape: the bulk of the discoveries land in the initial
+  // fuzzing phase thanks to CMDCL prioritization.
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD1_ZoozZst10;
+  sim::Testbed testbed(testbed_config);
+  Campaign campaign(testbed, quick_config(CampaignMode::kFull));
+  const auto result = campaign.run();
+  std::size_t early = 0;
+  for (const auto& finding : result.findings) {
+    if (finding.detected_at - result.started_at < 900 * kSecond) ++early;
+  }
+  EXPECT_GE(early, result.findings.size() / 2);
+}
+
+TEST(CampaignTest, TimelineIsMonotonic) {
+  sim::Testbed testbed(sim::TestbedConfig{});
+  Campaign campaign(testbed, quick_config(CampaignMode::kFull, 30 * kMinute));
+  const auto result = campaign.run();
+  ASSERT_GE(result.packet_timeline.size(), 2u);
+  for (std::size_t i = 1; i < result.packet_timeline.size(); ++i) {
+    EXPECT_GE(result.packet_timeline[i].first, result.packet_timeline[i - 1].first);
+    EXPECT_GE(result.packet_timeline[i].second, result.packet_timeline[i - 1].second);
+  }
+}
+
+TEST(CampaignTest, EncapsulationBombsDoNotBreakTheController) {
+  // Deeply nested Multi Cmd / Supervision wrappers must neither crash the
+  // firmware nor sneak a trigger past the depth guard differently than the
+  // direct payload would.
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  sim::Testbed testbed(testbed_config);
+  radio::MacEndpoint attacker(testbed.medium(), testbed.attacker_radio_config("attacker"));
+
+  // Build an 8-deep 0x8F nest around a VERSION GET.
+  Bytes inner = {0x86, 0x11};
+  for (int i = 0; i < 8; ++i) {
+    Bytes wrapped = {0x8F, 0x01, 0x01, static_cast<std::uint8_t>(inner.size())};
+    wrapped.insert(wrapped.end(), inner.begin(), inner.end());
+    inner = wrapped;
+    if (inner.size() > zwave::kMaxApplicationPayload) break;
+  }
+  zwave::MacFrame frame;
+  frame.home_id = testbed.controller().home_id();
+  frame.src = 0xE7;
+  frame.dst = 0x01;
+  frame.sequence = 1;
+  frame.payload = inner;
+  if (frame.payload.size() <= zwave::kMaxApplicationPayload) {
+    attacker.send(frame);
+  }
+  testbed.scheduler().run_for(200 * kMillisecond);
+  EXPECT_TRUE(testbed.controller().responsive());  // survived, no recursion blowup
+}
+
+TEST(CampaignTest, ConfirmationOracleSuppressesNoiseFalsePositives) {
+  // A lossy channel with the inline confirmation oracle: every recorded
+  // finding must be attributable; transient ack losses are filtered out.
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  testbed_config.channel.bit_flip_rate = 0.00005;
+  sim::Testbed testbed(testbed_config);
+  CampaignConfig config = quick_config(CampaignMode::kFull, 90 * kMinute);
+  config.confirm_findings = true;
+  Campaign campaign(testbed, config);
+  const auto result = campaign.run();
+
+  std::size_t unattributed = 0;
+  for (const auto& finding : result.findings) {
+    if (finding.matched_bug_id <= 0) ++unattributed;
+  }
+  EXPECT_EQ(unattributed, 0u);
+  EXPECT_GE(found_bug_ids(result).size(), 13u);  // noise may hide a tail bug
+}
+
+TEST(CampaignTest, ResumeFromPriorLogSkipsKnownBugs) {
+  // Session 1 finds everything; session 2, seeded with session 1's
+  // payloads, reports nothing new and avoids re-triggering the outages.
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  sim::Testbed first_bed(testbed_config);
+  Campaign first(first_bed, quick_config(CampaignMode::kFull));
+  const auto first_result = first.run();
+  ASSERT_EQ(first_result.findings.size(), 15u);
+
+  sim::Testbed second_bed(testbed_config);
+  CampaignConfig resume_config = quick_config(CampaignMode::kFull, 1 * kHour);
+  for (const auto& finding : first_result.findings) {
+    resume_config.known_payloads.push_back(finding.payload);
+  }
+  Campaign second(second_bed, resume_config);
+  const auto second_result = second.run();
+
+  EXPECT_TRUE(second_result.findings.empty());
+  // The known triggers were never re-sent: the device log stays clean of
+  // service interruptions (only sweep-time residue like ghost-NIF host
+  // DoS attribution is tolerated at zero here too).
+  EXPECT_TRUE(second_bed.controller().triggered().empty());
+  // And the resumed campaign is dramatically faster: no outage waits.
+  EXPECT_LT(second_result.ended_at - second_result.started_at,
+            first_result.ended_at - first_result.started_at);
+}
+
+TEST(CampaignTest, MultiTrialAggregation) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  CampaignConfig config = quick_config(CampaignMode::kFull, 1 * kHour);
+  const auto summary = run_trials(testbed_config, config, 3);
+  EXPECT_EQ(summary.trials, 3u);
+  ASSERT_EQ(summary.per_trial_unique.size(), 3u);
+  for (std::size_t n : summary.per_trial_unique) EXPECT_EQ(n, 15u);
+  EXPECT_EQ(summary.union_bug_ids.size(), 15u);
+  EXPECT_GT(summary.total_packets, 0u);
+  for (SimTime t : summary.first_finding_at) EXPECT_GT(t, 0u);
+}
+
+TEST(CampaignTest, RandomModeFindsFewerBugsThanFull) {
+  // Table VI ordering: full (15) > gamma (~6) in one virtual hour.
+  sim::TestbedConfig full_testbed_config;
+  full_testbed_config.controller_model = sim::DeviceModel::kD1_ZoozZst10;
+  sim::Testbed full_testbed(full_testbed_config);
+  Campaign full(full_testbed, quick_config(CampaignMode::kFull, 1 * kHour));
+  const auto full_result = full.run();
+
+  sim::TestbedConfig gamma_testbed_config;
+  gamma_testbed_config.controller_model = sim::DeviceModel::kD1_ZoozZst10;
+  sim::Testbed gamma_testbed(gamma_testbed_config);
+  Campaign gamma(gamma_testbed, quick_config(CampaignMode::kRandom, 1 * kHour));
+  const auto gamma_result = gamma.run();
+
+  EXPECT_GT(found_bug_ids(full_result).size(), found_bug_ids(gamma_result).size());
+  EXPECT_GE(found_bug_ids(gamma_result).size(), 1u);
+}
+
+}  // namespace
+}  // namespace zc::core

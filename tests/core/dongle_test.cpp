@@ -1,0 +1,91 @@
+#include "core/dongle.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/testbed.h"
+
+namespace zc::core {
+namespace {
+
+TEST(DongleTest, ConfigurationValidation) {
+  sim::Testbed testbed(sim::TestbedConfig{});
+  ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                     testbed.attacker_radio_config("dongle"));
+  EXPECT_TRUE(dongle.configuration_valid());
+}
+
+TEST(DongleTest, CapturesPipelineStages) {
+  sim::TestbedConfig config;
+  config.slave_report_interval = 5 * kSecond;
+  sim::Testbed testbed(config);
+  ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                     testbed.attacker_radio_config("dongle"));
+  dongle.start_capture();
+  dongle.run_for(15 * kSecond);
+  ASSERT_FALSE(dongle.captures().empty());
+  const auto& captured = dongle.captures().front();
+  // Fig. 4 pipeline: raw bits counted, hex rendered, frame decoded.
+  EXPECT_GT(captured.raw_bit_count, 100u);
+  EXPECT_FALSE(captured.hex.empty());
+  ASSERT_TRUE(captured.frame.has_value());
+  EXPECT_EQ(captured.frame->home_id, testbed.controller().home_id());
+}
+
+TEST(DongleTest, InjectionReachesController) {
+  sim::Testbed testbed(sim::TestbedConfig{});
+  ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                     testbed.attacker_radio_config("dongle"));
+  zwave::AppPayload nop = zwave::make_nop();
+  dongle.send_app(testbed.controller().home_id(), 0xE7, 0x01, nop);
+  dongle.run_for(100 * kMillisecond);
+  EXPECT_GE(testbed.controller().stats().frames_received, 1u);
+  EXPECT_EQ(dongle.injected(), 1u);
+}
+
+TEST(DongleTest, AwaitAckRoundTrip) {
+  sim::Testbed testbed(sim::TestbedConfig{});
+  ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                     testbed.attacker_radio_config("dongle"));
+  const auto home = testbed.controller().home_id();
+  dongle.send_app(home, 0xE7, 0x01, zwave::make_nop());
+  EXPECT_TRUE(dongle.await_ack(home, 0x01, 0xE7, 500 * kMillisecond));
+}
+
+TEST(DongleTest, AwaitAckTimesOutAgainstDeadController) {
+  sim::Testbed testbed(sim::TestbedConfig{});
+  ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                     testbed.attacker_radio_config("dongle"));
+  const auto home = testbed.controller().home_id();
+  // Trigger bug 7: 68-second outage.
+  zwave::AppPayload reset;
+  reset.cmd_class = 0x5A;
+  reset.command = 0x01;
+  dongle.send_app(home, 0xE7, 0x01, reset);
+  dongle.run_for(200 * kMillisecond);
+  const SimTime before = testbed.scheduler().now();
+  dongle.send_app(home, 0xE7, 0x01, zwave::make_nop());
+  EXPECT_FALSE(dongle.await_ack(home, 0x01, 0xE7, 300 * kMillisecond));
+  EXPECT_GE(testbed.scheduler().now() - before, 300 * kMillisecond);
+}
+
+TEST(DongleTest, AwaitFramePredicateFilters) {
+  sim::Testbed testbed(sim::TestbedConfig{});
+  ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                     testbed.attacker_radio_config("dongle"));
+  const auto home = testbed.controller().home_id();
+  zwave::AppPayload version_get;
+  version_get.cmd_class = 0x86;
+  version_get.command = 0x11;
+  dongle.send_app(home, 0xE7, 0x01, version_get);
+  const auto report = dongle.await_frame(
+      [&](const zwave::MacFrame& frame) {
+        const auto app = zwave::decode_app_payload(frame.payload);
+        return app.ok() && app.value().cmd_class == 0x86 && app.value().command == 0x12;
+      },
+      500 * kMillisecond);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->src, 0x01);
+}
+
+}  // namespace
+}  // namespace zc::core

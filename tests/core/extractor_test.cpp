@@ -1,0 +1,94 @@
+#include "core/extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scanner.h"
+#include "sim/testbed.h"
+
+namespace zc::core {
+namespace {
+
+TEST(ExtractorTest, SpecClusteringYields26CandidatesFor17Listed) {
+  // §III-C1: "ZCOVER inferred 26 unlisted CMDCLs" for a 17-class NIF.
+  const auto& listed = sim::controller_profile(sim::DeviceModel::kD4_AeotecZw090).listed;
+  const auto candidates = UnknownPropertyExtractor::cluster_spec_candidates(listed);
+  EXPECT_EQ(candidates.size(), 26u);
+}
+
+TEST(ExtractorTest, SpecClusteringYields28CandidatesFor15Listed) {
+  const auto& listed = sim::controller_profile(sim::DeviceModel::kD3_NortekHusbzb1).listed;
+  EXPECT_EQ(UnknownPropertyExtractor::cluster_spec_candidates(listed).size(), 28u);
+}
+
+TEST(ExtractorTest, ValidationSweepFindsProprietaryClasses) {
+  sim::Testbed testbed(sim::TestbedConfig{});
+  ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                     testbed.attacker_radio_config("dongle"));
+  UnknownPropertyExtractor extractor(dongle, testbed.controller().home_id(), 0x01, 0xE7);
+  const auto validated = extractor.validation_sweep();
+  // Every class of the 45-member cluster reacts; nothing else does.
+  EXPECT_EQ(validated.size(), 45u);
+  EXPECT_TRUE(validated.contains(0x01));
+  EXPECT_TRUE(validated.contains(0x02));
+  EXPECT_FALSE(validated.contains(0x62));  // door lock: slave-only
+  EXPECT_FALSE(validated.contains(0x20));  // basic: not a controller class
+}
+
+TEST(ExtractorTest, FullDiscoveryMatchesTableIV) {
+  sim::TestbedConfig config;
+  config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  sim::Testbed testbed(config);
+  ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                     testbed.attacker_radio_config("dongle"));
+  ActiveScanner active(dongle, testbed.controller().home_id(), 0x01, 0xE7);
+  const auto listed = active.scan().listed;
+
+  UnknownPropertyExtractor extractor(dongle, testbed.controller().home_id(), 0x01, 0xE7);
+  const auto discovery = extractor.discover(listed);
+  EXPECT_EQ(discovery.spec_candidates.size(), 26u);
+  EXPECT_EQ(discovery.proprietary,
+            (std::vector<zwave::CommandClassId>{0x01, 0x02}));
+  EXPECT_EQ(discovery.unknown().size(), 28u);  // Table IV: D4 -> 28 unknown
+}
+
+TEST(ExtractorTest, PrioritizationOrdersByCommandCount) {
+  const auto& db = zwave::SpecDatabase::instance();
+  auto classes = db.controller_cluster(true);
+  const auto ordered =
+      UnknownPropertyExtractor::prioritize(classes, /*listed=*/{});
+  ASSERT_GE(ordered.size(), 3u);
+  // Proprietary classes lead the queue (0x01 has more commands than 0x02)...
+  EXPECT_EQ(ordered[0], 0x01);
+  EXPECT_EQ(ordered[1], 0x02);
+  // ...followed by the public classes, tallest command count first.
+  EXPECT_EQ(ordered[2], 0x9F);  // Security 2: 23 commands (Fig. 5)
+  for (std::size_t i = 3; i < ordered.size(); ++i) {
+    EXPECT_GE(db.command_count(ordered[i - 1]), db.command_count(ordered[i]))
+        << "position " << i;
+  }
+}
+
+TEST(ExtractorTest, PrioritizationFavorsUnlistedOnTies) {
+  // Two classes with equal command counts: the unlisted one goes first.
+  const auto& db = zwave::SpecDatabase::instance();
+  auto classes = db.controller_cluster(true);
+  const std::vector<zwave::CommandClassId> listed = {0x9F};
+  const auto ordered = UnknownPropertyExtractor::prioritize(classes, listed);
+  // Proprietary classes lead; 0x9F heads the public remainder.
+  EXPECT_EQ(ordered[2], 0x9F);
+  // Find any tie pair and verify unlisted-first within it.
+  for (std::size_t i = 1; i < ordered.size(); ++i) {
+    if (db.command_count(ordered[i - 1]) == db.command_count(ordered[i])) {
+      const bool prev_unlisted =
+          std::find(listed.begin(), listed.end(), ordered[i - 1]) == listed.end();
+      const bool cur_unlisted =
+          std::find(listed.begin(), listed.end(), ordered[i]) == listed.end();
+      // Never (listed before unlisted) within a tie.
+      EXPECT_FALSE(!prev_unlisted && cur_unlisted)
+          << int(ordered[i - 1]) << " vs " << int(ordered[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zc::core

@@ -1,0 +1,156 @@
+#include "core/ids.h"
+
+#include <gtest/gtest.h>
+
+namespace zc::core {
+namespace {
+
+IdsConfig home_config() {
+  IdsConfig config;
+  config.roster = {0x01, 0x02, 0x03};
+  return config;
+}
+
+zwave::MacFrame frame_with(zwave::CommandClassId cc, zwave::CommandId cmd,
+                           Bytes params = {}, zwave::NodeId src = 0x02) {
+  zwave::AppPayload app;
+  app.cmd_class = cc;
+  app.command = cmd;
+  app.params = std::move(params);
+  return zwave::make_singlecast(0xC7E9DD54, src, 0x01, app, 1, false);
+}
+
+TEST(IdsTest, FlagsPlaintextNodeTableUpdate) {
+  IntrusionDetector ids(home_config());
+  const auto alert = ids.inspect(frame_with(0x01, 0x0D, {0x02, 0x02, 0x00}), 0);
+  ASSERT_TRUE(alert.has_value());
+  // From a roster member it is still a secure-class violation.
+  EXPECT_EQ(alert->kind, AlertKind::kPlaintextSecureClass);
+}
+
+TEST(IdsTest, FlagsAttackerSource) {
+  IntrusionDetector ids(home_config());
+  const auto alert = ids.inspect(frame_with(0x01, 0x0D, {0x02, 0x02, 0x00}, 0xE7), 0);
+  ASSERT_TRUE(alert.has_value());
+  EXPECT_EQ(alert->kind, AlertKind::kUnknownSource);
+  EXPECT_EQ(alert->src, 0xE7);
+}
+
+TEST(IdsTest, AllowsNopLiveness) {
+  IntrusionDetector ids(home_config());
+  EXPECT_FALSE(ids.inspect(frame_with(0x01, 0x01), 0).has_value());
+}
+
+TEST(IdsTest, AllowsS2Encapsulation) {
+  IntrusionDetector ids(home_config());
+  EXPECT_FALSE(ids.inspect(frame_with(0x9F, 0x03, {0x00, 0x00, 0xAA}), 0).has_value());
+}
+
+TEST(IdsTest, AllowsLegacySwitchTraffic) {
+  IntrusionDetector ids(home_config());
+  EXPECT_FALSE(ids.inspect(frame_with(0x25, 0x03, {0xFF}, 0x03), 0).has_value());
+}
+
+TEST(IdsTest, FlagsGhostNifProbe) {
+  IdsConfig config = home_config();
+  config.enforce_secure_classes = false;  // isolate the ghost heuristic
+  IntrusionDetector ids(config);
+  const auto alert = ids.inspect(frame_with(0x01, 0x02, {0x77}), 0);
+  ASSERT_TRUE(alert.has_value());
+  EXPECT_EQ(alert->kind, AlertKind::kGhostNodeProbe);
+}
+
+TEST(IdsTest, FlagsMacViolations) {
+  IntrusionDetector ids(home_config());
+  zwave::MacFrame ack_abuse = frame_with(0x20, 0x02);
+  ack_abuse.header = zwave::HeaderType::kAck;
+  ack_abuse.ack_requested = true;
+  const auto alert = ids.inspect(ack_abuse, 0);
+  ASSERT_TRUE(alert.has_value());
+  EXPECT_EQ(alert->kind, AlertKind::kMacViolation);
+
+  zwave::MacFrame broadcast_abuse = frame_with(0x20, 0x02);
+  broadcast_abuse.dst = zwave::kBroadcastNodeId;
+  broadcast_abuse.ack_requested = true;
+  EXPECT_TRUE(ids.inspect(broadcast_abuse, 0).has_value());
+}
+
+TEST(IdsTest, AlertLogAccumulates) {
+  IntrusionDetector ids(home_config());
+  ids.inspect(frame_with(0x01, 0x0D, {0x00, 0x02, 0x00}), 1 * kSecond);
+  ids.inspect(frame_with(0x5A, 0x01, {}, 0xE7), 2 * kSecond);
+  EXPECT_EQ(ids.alerts().size(), 2u);
+  EXPECT_EQ(ids.frames_inspected(), 2u);
+  EXPECT_EQ(ids.alerts()[0].at, 1 * kSecond);
+}
+
+TEST(IdsTest, CleanTrafficRaisesNoAlerts) {
+  IntrusionDetector ids(home_config());
+  // Typical home traffic: S2 battery reports, switch reports, acks.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(ids.inspect(frame_with(0x9F, 0x03, {0x01, 0x00, 0x11, 0x22}), i).has_value());
+    EXPECT_FALSE(ids.inspect(frame_with(0x25, 0x03, {0x00}, 0x03), i).has_value());
+  }
+  EXPECT_TRUE(ids.alerts().empty());
+}
+
+TEST(IdsTest, RateRuleCatchesFloods) {
+  IdsConfig config = home_config();
+  config.enforce_secure_classes = false;
+  config.enforce_roster = false;
+  config.rate_threshold = 10;
+  IntrusionDetector ids(config);
+  // 30 frames within one window from the same source.
+  std::size_t floods = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto alert =
+        ids.inspect(frame_with(0x25, 0x02, {}, 0x02), static_cast<SimTime>(i) * 10 * kMillisecond);
+    if (alert.has_value() && alert->kind == AlertKind::kTrafficFlood) ++floods;
+  }
+  EXPECT_GE(floods, 1u);
+}
+
+TEST(IdsTest, RateRuleIgnoresSlowTraffic) {
+  IdsConfig config = home_config();
+  config.enforce_secure_classes = false;
+  config.enforce_roster = false;
+  config.rate_threshold = 10;
+  IntrusionDetector ids(config);
+  for (int i = 0; i < 60; ++i) {
+    const auto alert =
+        ids.inspect(frame_with(0x25, 0x02, {}, 0x02), static_cast<SimTime>(i) * kSecond);
+    EXPECT_FALSE(alert.has_value()) << i;
+  }
+}
+
+TEST(IdsTest, RateRuleIsPerSource) {
+  IdsConfig config = home_config();
+  config.enforce_secure_classes = false;
+  config.enforce_roster = false;
+  config.rate_threshold = 10;
+  IntrusionDetector ids(config);
+  // Six frames per source within the window: under threshold individually.
+  for (int i = 0; i < 6; ++i) {
+    for (zwave::NodeId src : {0x01, 0x02, 0x03}) {
+      EXPECT_FALSE(ids.inspect(frame_with(0x25, 0x02, {}, src),
+                               static_cast<SimTime>(i) * 50 * kMillisecond)
+                       .has_value());
+    }
+  }
+}
+
+TEST(IdsTest, CatchesEveryTableIIITriggerPayload) {
+  // Remediation check: an IDS watching the RF would alert on each of the
+  // paper's bug-inducing plaintext payloads.
+  IntrusionDetector ids(home_config());
+  const std::pair<zwave::CommandClassId, zwave::CommandId> triggers[] = {
+      {0x01, 0x0D}, {0x01, 0x02}, {0x01, 0x04}, {0x5A, 0x01}, {0x59, 0x03},
+      {0x59, 0x05}, {0x7A, 0x01}, {0x7A, 0x03}, {0x86, 0x13}, {0x73, 0x04}};
+  for (const auto& [cc, cmd] : triggers) {
+    const auto alert = ids.inspect(frame_with(cc, cmd, {0x00}, 0xE7), 0);
+    EXPECT_TRUE(alert.has_value()) << int(cc) << "/" << int(cmd);
+  }
+}
+
+}  // namespace
+}  // namespace zc::core

@@ -1,0 +1,135 @@
+#include "core/mutator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace zc::core {
+namespace {
+
+TEST(MutatorTest, ClassFieldIsNeverMutated) {
+  // Table I: CMDCL only takes rand_valid — i.e. stays the target class.
+  Rng rng(1);
+  PositionSensitiveMutator mutator(rng, 0x86);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(mutator.next().cmd_class, 0x86);
+  }
+}
+
+TEST(MutatorTest, StartsWithAlgorithmOneSeedPayload) {
+  Rng rng(1);
+  PositionSensitiveMutator mutator(rng, 0x70);
+  const auto first = mutator.next();
+  EXPECT_EQ(first.command, 0x00);
+  EXPECT_EQ(first.params, (Bytes{0x00}));
+}
+
+TEST(MutatorTest, SystematicPhaseEnumeratesEverySpecCommand) {
+  Rng rng(1);
+  PositionSensitiveMutator mutator(rng, 0x59);  // AGI: 6 commands
+  std::set<zwave::CommandId> seen;
+  while (mutator.in_systematic_phase()) {
+    seen.insert(mutator.next().command);
+  }
+  const auto* spec = zwave::SpecDatabase::instance().find(0x59);
+  for (const auto& command : spec->commands) {
+    EXPECT_TRUE(seen.contains(command.id)) << int(command.id);
+  }
+}
+
+TEST(MutatorTest, SystematicSweepCoversOperationSelectors) {
+  // The first-parameter walk must produce operations 0x00-0x04 of
+  // NODE_TABLE_UPDATE — the five destructive modes of Table III.
+  Rng rng(1);
+  PositionSensitiveMutator mutator(rng, 0x01);
+  std::set<std::uint8_t> ops;
+  while (mutator.in_systematic_phase()) {
+    const auto payload = mutator.next();
+    if (payload.command == 0x0D && !payload.params.empty()) {
+      ops.insert(payload.params[0]);
+    }
+  }
+  for (std::uint8_t op = 0; op <= 4; ++op) EXPECT_TRUE(ops.contains(op)) << int(op);
+}
+
+TEST(MutatorTest, SystematicPhaseIncludesBoundaryVectors) {
+  Rng rng(1);
+  PositionSensitiveMutator mutator(rng, 0x73);  // POWERLEVEL
+  bool saw_all_min = false, saw_all_max = false;
+  while (mutator.in_systematic_phase()) {
+    const auto payload = mutator.next();
+    if (payload.command != 0x01) continue;  // SET: level enum 0..9, timeout 1..255
+    if (payload.params == Bytes{0x00, 0x01}) saw_all_min = true;
+    if (payload.params == Bytes{0x09, 0xFF}) saw_all_max = true;
+  }
+  EXPECT_TRUE(saw_all_min);
+  EXPECT_TRUE(saw_all_max);
+}
+
+TEST(MutatorTest, RandomPhasePayloadsFitTheMac) {
+  Rng rng(7);
+  PositionSensitiveMutator mutator(rng, 0x9F);
+  for (int i = 0; i < 5000; ++i) {
+    const auto payload = mutator.next();
+    EXPECT_LE(payload.encode().size(), zwave::kMaxApplicationPayload);
+  }
+}
+
+TEST(MutatorTest, RandomPhaseMostlyUsesValidCommands) {
+  Rng rng(11);
+  PositionSensitiveMutator mutator(rng, 0x86);
+  while (mutator.in_systematic_phase()) mutator.next();
+  const auto* spec = zwave::SpecDatabase::instance().find(0x86);
+  int valid = 0, total = 4000;
+  for (int i = 0; i < total; ++i) {
+    if (spec->find_command(mutator.next().command) != nullptr) ++valid;
+  }
+  // rand_valid + arith-near-valid + insert dominate the operator mix.
+  EXPECT_GT(valid, total / 2);
+  EXPECT_LT(valid, total);  // but rand_invalid/interesting do appear
+}
+
+TEST(MutatorTest, DeterministicForSameSeed) {
+  Rng rng_a(99), rng_b(99);
+  PositionSensitiveMutator a(rng_a, 0x34);
+  PositionSensitiveMutator b(rng_b, 0x34);
+  for (int i = 0; i < 500; ++i) {
+    const auto pa = a.next();
+    const auto pb = b.next();
+    EXPECT_EQ(pa.command, pb.command);
+    EXPECT_EQ(pa.params, pb.params);
+  }
+}
+
+TEST(MutatorTest, UnknownClassStillGeneratesPayloads) {
+  Rng rng(3);
+  PositionSensitiveMutator mutator(rng, 0xF3);  // not in the spec DB
+  const auto first = mutator.next();
+  EXPECT_EQ(first.cmd_class, 0xF3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(mutator.next().params.size(), zwave::kMaxApplicationPayload);
+  }
+}
+
+TEST(MutatorTest, GeneratedCountTracks) {
+  Rng rng(5);
+  PositionSensitiveMutator mutator(rng, 0x80);
+  for (int i = 0; i < 10; ++i) mutator.next();
+  EXPECT_EQ(mutator.generated(), 10u);
+}
+
+TEST(RandomMutatorTest, CoversWholeClassRange) {
+  Rng rng(13);
+  RandomMutator mutator(rng);
+  std::set<zwave::CommandClassId> classes;
+  for (int i = 0; i < 8000; ++i) classes.insert(mutator.next().cmd_class);
+  EXPECT_GT(classes.size(), 250u);  // essentially all of 0x00-0xFF
+}
+
+TEST(MutationOpNames, Stable) {
+  EXPECT_STREQ(mutation_op_name(MutationOp::kRandValid), "rand_valid");
+  EXPECT_STREQ(mutation_op_name(MutationOp::kInsert), "insert");
+}
+
+}  // namespace
+}  // namespace zc::core

@@ -1,0 +1,67 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace zc::core {
+namespace {
+
+CampaignResult run_short_campaign(sim::Testbed& testbed) {
+  CampaignConfig config;
+  config.mode = CampaignMode::kFull;
+  config.duration = 1 * kHour;
+  config.loop_queue = false;
+  Campaign campaign(testbed, config);
+  return campaign.run();
+}
+
+TEST(ReportTest, MarkdownCarriesEveryFinding) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  sim::Testbed testbed(testbed_config);
+  const auto result = run_short_campaign(testbed);
+  ASSERT_EQ(result.findings.size(), 15u);
+
+  const std::string report =
+      render_markdown_report(result, sim::DeviceModel::kD4_AeotecZw090);
+  EXPECT_NE(report.find("# ZCover assessment report"), std::string::npos);
+  EXPECT_NE(report.find("C7E9DD54"), std::string::npos);
+  EXPECT_NE(report.find("CVE-2024-50929"), std::string::npos);   // bug #01
+  EXPECT_NE(report.find("vendor-confirmed"), std::string::npos); // bugs 13-15
+  for (const auto& finding : result.findings) {
+    EXPECT_NE(report.find(to_hex(finding.payload)), std::string::npos);
+  }
+}
+
+TEST(ReportTest, MarkdownHandlesEmptyResult) {
+  CampaignResult empty;
+  const std::string report =
+      render_markdown_report(empty, sim::DeviceModel::kD1_ZoozZst10);
+  EXPECT_NE(report.find("No vulnerabilities confirmed."), std::string::npos);
+}
+
+TEST(ReportTest, CsvRowPerFinding) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD6_SamsungWv520;
+  sim::Testbed testbed(testbed_config);
+  const auto result = run_short_campaign(testbed);
+
+  const std::string csv = render_findings_csv(result);
+  std::size_t rows = 0;
+  for (char c : csv) {
+    if (c == '\n') ++rows;
+  }
+  EXPECT_EQ(rows, result.findings.size() + 1);  // header + one per finding
+  EXPECT_EQ(csv.find("bug_id,cmd_class"), 0u);
+}
+
+TEST(ReportTest, TimelineCsvIsPlottable) {
+  sim::TestbedConfig testbed_config;
+  sim::Testbed testbed(testbed_config);
+  const auto result = run_short_campaign(testbed);
+  const std::string csv = render_timeline_csv(result);
+  EXPECT_EQ(csv.find("time_s,packets"), 0u);
+  EXPECT_GT(std::count(csv.begin(), csv.end(), '\n'), 5);
+}
+
+}  // namespace
+}  // namespace zc::core

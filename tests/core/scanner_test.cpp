@@ -1,0 +1,136 @@
+#include "core/scanner.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/testbed.h"
+
+namespace zc::core {
+namespace {
+
+TEST(PassiveScannerTest, RecoversHomeAndNodeIds) {
+  sim::TestbedConfig config;
+  config.controller_model = sim::DeviceModel::kD6_SamsungWv520;
+  config.slave_report_interval = 10 * kSecond;
+  sim::Testbed testbed(config);
+  ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                     testbed.attacker_radio_config("dongle"));
+  PassiveScanner scanner(dongle);
+  // Ask for enough packets that both slaves (10 s and 17 s cadence) show up.
+  const auto result = scanner.scan(60 * kSecond, /*min_packets=*/6);
+
+  ASSERT_TRUE(result.home_id.has_value());
+  EXPECT_EQ(*result.home_id, 0xCB95A34A);  // Table IV row D6
+  EXPECT_TRUE(result.node_ids.contains(0x01));
+  EXPECT_TRUE(result.node_ids.contains(sim::Testbed::kSwitchNodeId));
+  ASSERT_TRUE(result.controller.has_value());
+  EXPECT_EQ(*result.controller, 0x01);
+  EXPECT_GT(result.packets_analyzed, 0u);
+}
+
+TEST(PassiveScannerTest, InfersDeviceRolesFromTraffic) {
+  sim::TestbedConfig config;
+  config.include_s0_sensor = true;
+  config.slave_report_interval = 10 * kSecond;
+  sim::Testbed testbed(config);
+  ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                     testbed.attacker_radio_config("dongle"));
+  PassiveScanner scanner(dongle);
+  const auto result = scanner.scan(2 * kMinute, /*min_packets=*/24);
+
+  ASSERT_TRUE(result.observations.contains(0x01));
+  EXPECT_EQ(result.observations.at(0x01).role, NodeObservation::Role::kController);
+
+  ASSERT_TRUE(result.observations.contains(sim::Testbed::kLockNodeId));
+  EXPECT_EQ(result.observations.at(sim::Testbed::kLockNodeId).role,
+            NodeObservation::Role::kSecureSlave);
+  EXPECT_TRUE(result.observations.at(sim::Testbed::kLockNodeId).uses_s2);
+
+  ASSERT_TRUE(result.observations.contains(sim::Testbed::kSwitchNodeId));
+  EXPECT_EQ(result.observations.at(sim::Testbed::kSwitchNodeId).role,
+            NodeObservation::Role::kLegacySlave);
+  // The legacy switch's report class is visible in the clear.
+  EXPECT_TRUE(
+      result.observations.at(sim::Testbed::kSwitchNodeId).classes_seen.contains(0x25));
+
+  ASSERT_TRUE(result.observations.contains(sim::Testbed::kS0SensorNodeId));
+  EXPECT_TRUE(result.observations.at(sim::Testbed::kS0SensorNodeId).uses_s0);
+  EXPECT_EQ(result.observations.at(sim::Testbed::kS0SensorNodeId).role,
+            NodeObservation::Role::kSecureSlave);
+}
+
+TEST(PassiveScannerTest, ObservationTimestampsAreOrdered) {
+  sim::TestbedConfig config;
+  config.slave_report_interval = 10 * kSecond;
+  sim::Testbed testbed(config);
+  ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                     testbed.attacker_radio_config("dongle"));
+  PassiveScanner scanner(dongle);
+  const auto result = scanner.scan(90 * kSecond, /*min_packets=*/10);
+  for (const auto& [node, observation] : result.observations) {
+    if (observation.frames_sent == 0) continue;
+    EXPECT_LE(observation.first_seen, observation.last_seen) << int(node);
+    EXPECT_GT(observation.last_seen, 0u) << int(node);
+  }
+}
+
+TEST(PassiveScannerTest, WorksAgainstS2TrafficOnly) {
+  // S2 encrypts only the application payload: addressing stays visible.
+  sim::TestbedConfig config;
+  config.slave_report_interval = 5 * kSecond;
+  sim::Testbed testbed(config);
+  ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                     testbed.attacker_radio_config("dongle"));
+  PassiveScanner scanner(dongle);
+  const auto result = scanner.scan(30 * kSecond);
+  ASSERT_TRUE(result.home_id.has_value());
+  EXPECT_TRUE(result.node_ids.contains(sim::Testbed::kLockNodeId));
+}
+
+TEST(PassiveScannerTest, QuietNetworkYieldsNothing) {
+  sim::TestbedConfig config;
+  config.include_slaves = false;  // no ambient traffic
+  sim::Testbed testbed(config);
+  ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                     testbed.attacker_radio_config("dongle"));
+  PassiveScanner scanner(dongle);
+  const auto result = scanner.scan(10 * kSecond);
+  EXPECT_FALSE(result.home_id.has_value());
+  EXPECT_EQ(result.packets_analyzed, 0u);
+}
+
+TEST(ActiveScannerTest, ListsSupportedClasses) {
+  sim::TestbedConfig config;
+  config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  sim::Testbed testbed(config);
+  ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                     testbed.attacker_radio_config("dongle"));
+  ActiveScanner scanner(dongle, testbed.controller().home_id(), 0x01, 0xE7);
+  const auto result = scanner.scan();
+  EXPECT_TRUE(result.reachable);
+  EXPECT_EQ(result.listed.size(), 17u);  // Table IV: D4 lists 17 classes
+  ASSERT_TRUE(result.node_info.has_value());
+  EXPECT_EQ(result.node_info->basic_class, zwave::kBasicClassStaticController);
+}
+
+TEST(ActiveScannerTest, FifteenClassControllers) {
+  sim::TestbedConfig config;
+  config.controller_model = sim::DeviceModel::kD3_NortekHusbzb1;
+  sim::Testbed testbed(config);
+  ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                     testbed.attacker_radio_config("dongle"));
+  ActiveScanner scanner(dongle, testbed.controller().home_id(), 0x01, 0xE7);
+  EXPECT_EQ(scanner.scan().listed.size(), 15u);
+}
+
+TEST(ActiveScannerTest, WrongHomeIdUnreachable) {
+  sim::Testbed testbed(sim::TestbedConfig{});
+  ZWaveDongle dongle(testbed.medium(), testbed.scheduler(),
+                     testbed.attacker_radio_config("dongle"));
+  ActiveScanner scanner(dongle, 0xDEADBEEF, 0x01, 0xE7);
+  const auto result = scanner.scan();
+  EXPECT_FALSE(result.reachable);
+  EXPECT_TRUE(result.listed.empty());
+}
+
+}  // namespace
+}  // namespace zc::core

@@ -1,0 +1,77 @@
+#include "crypto/aes128.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace zc::crypto {
+namespace {
+
+AesKey key_from_hex(const char* hex) { return make_key(*from_hex(hex)); }
+AesBlock block_from_hex(const char* hex) { return make_block(*from_hex(hex)); }
+
+TEST(Aes128Test, Fips197AppendixBVector) {
+  const Aes128 cipher(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  AesBlock block = block_from_hex("00112233445566778899aabbccddeeff");
+  cipher.encrypt_block(block);
+  EXPECT_EQ(to_hex(ByteView(block.data(), block.size())),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+struct EcbVector {
+  const char* plaintext;
+  const char* ciphertext;
+};
+
+// NIST SP 800-38A F.1.1 (ECB-AES128.Encrypt).
+class Sp80038aEcb : public ::testing::TestWithParam<EcbVector> {};
+
+TEST_P(Sp80038aEcb, EncryptMatches) {
+  const Aes128 cipher(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  AesBlock block = block_from_hex(GetParam().plaintext);
+  cipher.encrypt_block(block);
+  EXPECT_EQ(to_hex(ByteView(block.data(), block.size())), GetParam().ciphertext);
+}
+
+TEST_P(Sp80038aEcb, DecryptInverts) {
+  const Aes128 cipher(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  AesBlock block = block_from_hex(GetParam().ciphertext);
+  cipher.decrypt_block(block);
+  EXPECT_EQ(to_hex(ByteView(block.data(), block.size())), GetParam().plaintext);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NistVectors, Sp80038aEcb,
+    ::testing::Values(
+        EcbVector{"6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"},
+        EcbVector{"ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"},
+        EcbVector{"30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688"},
+        EcbVector{"f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4"}));
+
+TEST(Aes128Test, EncryptDecryptRoundTripSweep) {
+  // Property: decrypt(encrypt(x)) == x across many keys/blocks.
+  for (std::uint8_t seed = 0; seed < 32; ++seed) {
+    AesKey key{};
+    AesBlock block{};
+    for (std::size_t i = 0; i < 16; ++i) {
+      key[i] = static_cast<std::uint8_t>(seed * 17 + i * 3);
+      block[i] = static_cast<std::uint8_t>(seed * 31 + i * 7);
+    }
+    const Aes128 cipher(key);
+    AesBlock work = block;
+    cipher.encrypt_block(work);
+    EXPECT_NE(work, block);  // never a fixed point for these inputs
+    cipher.decrypt_block(work);
+    EXPECT_EQ(work, block);
+  }
+}
+
+TEST(Aes128Test, DifferentKeysGiveDifferentCiphertext) {
+  const AesBlock plain = block_from_hex("00000000000000000000000000000000");
+  const Aes128 a(key_from_hex("00000000000000000000000000000000"));
+  const Aes128 b(key_from_hex("00000000000000000000000000000001"));
+  EXPECT_NE(a.encrypt(plain), b.encrypt(plain));
+}
+
+}  // namespace
+}  // namespace zc::crypto

@@ -1,0 +1,91 @@
+#include "crypto/cmac.h"
+
+#include <gtest/gtest.h>
+
+namespace zc::crypto {
+namespace {
+
+// RFC 4493 test vectors (key 2b7e1516...).
+const char* kKeyHex = "2b7e151628aed2a6abf7158809cf4f3c";
+const char* kMsg64 =
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710";
+
+struct CmacVector {
+  std::size_t message_len;
+  const char* tag;
+};
+
+class Rfc4493 : public ::testing::TestWithParam<CmacVector> {};
+
+TEST_P(Rfc4493, TagMatches) {
+  const AesKey key = make_key(*from_hex(kKeyHex));
+  const Bytes full_message = *from_hex(kMsg64);
+  const ByteView message(full_message.data(), GetParam().message_len);
+  const AesBlock tag = aes_cmac(key, message);
+  EXPECT_EQ(to_hex(ByteView(tag.data(), tag.size())), GetParam().tag);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Vectors, Rfc4493,
+    ::testing::Values(CmacVector{0, "bb1d6929e95937287fa37d129b756746"},
+                      CmacVector{16, "070a16b46b4d4144f79bdd9dd04a287c"},
+                      CmacVector{40, "dfa66747de9ae63030ca32611497c827"},
+                      CmacVector{64, "51f0bebf7e3b9d92fc49741779363cfe"}));
+
+TEST(CmacTest, TruncatedTagIsPrefix) {
+  const AesKey key = make_key(*from_hex(kKeyHex));
+  const Bytes message = {1, 2, 3, 4, 5};
+  const AesBlock full = aes_cmac(key, message);
+  const Bytes tag8 = aes_cmac_truncated(key, message, 8);
+  ASSERT_EQ(tag8.size(), 8u);
+  EXPECT_TRUE(std::equal(tag8.begin(), tag8.end(), full.begin()));
+}
+
+TEST(CmacTest, VerifyAcceptsCorrectTag) {
+  const AesKey key = make_key(*from_hex(kKeyHex));
+  const Bytes message = {0xDE, 0xAD, 0xBE, 0xEF};
+  const Bytes tag = aes_cmac_truncated(key, message, 8);
+  EXPECT_TRUE(aes_cmac_verify(key, message, tag));
+}
+
+TEST(CmacTest, VerifyRejectsTamperedMessage) {
+  const AesKey key = make_key(*from_hex(kKeyHex));
+  Bytes message = {0xDE, 0xAD, 0xBE, 0xEF};
+  const Bytes tag = aes_cmac_truncated(key, message, 8);
+  message[0] ^= 0x01;
+  EXPECT_FALSE(aes_cmac_verify(key, message, tag));
+}
+
+TEST(CmacTest, VerifyRejectsTamperedTag) {
+  const AesKey key = make_key(*from_hex(kKeyHex));
+  const Bytes message = {0xDE, 0xAD, 0xBE, 0xEF};
+  Bytes tag = aes_cmac_truncated(key, message, 8);
+  tag[7] ^= 0x80;
+  EXPECT_FALSE(aes_cmac_verify(key, message, tag));
+}
+
+TEST(CmacTest, VerifyRejectsSillyTagLengths) {
+  const AesKey key = make_key(*from_hex(kKeyHex));
+  const Bytes message = {1};
+  EXPECT_FALSE(aes_cmac_verify(key, message, Bytes{}));
+  EXPECT_FALSE(aes_cmac_verify(key, message, Bytes(17, 0)));
+}
+
+TEST(CmacTest, MessageLengthSweepIsStable) {
+  // Property: each length produces a distinct deterministic tag.
+  const AesKey key = make_key(*from_hex(kKeyHex));
+  Bytes message;
+  std::set<std::string> tags;
+  for (int len = 0; len <= 48; ++len) {
+    const AesBlock tag = aes_cmac(key, message);
+    tags.insert(to_hex(ByteView(tag.data(), tag.size())));
+    message.push_back(static_cast<std::uint8_t>(len));
+  }
+  EXPECT_EQ(tags.size(), 49u);
+}
+
+}  // namespace
+}  // namespace zc::crypto

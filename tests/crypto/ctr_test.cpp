@@ -1,0 +1,92 @@
+#include "crypto/ctr.h"
+
+#include <gtest/gtest.h>
+
+namespace zc::crypto {
+namespace {
+
+TEST(CtrTest, Sp80038aF51FirstBlock) {
+  const AesKey key = make_key(*from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const AesBlock iv = make_block(*from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff"));
+  const Bytes plaintext = *from_hex("6bc1bee22e409f96e93d7e117393172a");
+  const Bytes ciphertext = aes_ctr_crypt(key, iv, plaintext);
+  EXPECT_EQ(to_hex(ciphertext), "874d6191b620e3261bef6864990db6ce");
+}
+
+TEST(CtrTest, Sp80038aF51TwoBlocks) {
+  const AesKey key = make_key(*from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const AesBlock iv = make_block(*from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff"));
+  const Bytes plaintext = *from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51");
+  const Bytes ciphertext = aes_ctr_crypt(key, iv, plaintext);
+  EXPECT_EQ(to_hex(ciphertext),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff");
+}
+
+TEST(CtrTest, RoundTripOddLengths) {
+  const AesKey key = make_key(*from_hex("000102030405060708090a0b0c0d0e0f"));
+  AesBlock iv{};
+  iv[15] = 1;
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 33u, 63u}) {
+    Bytes plaintext(len);
+    for (std::size_t i = 0; i < len; ++i) plaintext[i] = static_cast<std::uint8_t>(i * 7);
+    const Bytes ciphertext = aes_ctr_crypt(key, iv, plaintext);
+    EXPECT_EQ(aes_ctr_crypt(key, iv, ciphertext), plaintext) << "len=" << len;
+    if (len > 0) {
+      EXPECT_NE(ciphertext, plaintext);
+    }
+  }
+}
+
+TEST(CtrTest, OfbRoundTrip) {
+  const AesKey key = make_key(*from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const AesBlock iv = make_block(*from_hex("000102030405060708090a0b0c0d0e0f"));
+  const Bytes plaintext = {0x25, 0x01, 0xFF, 0x00, 0x62};
+  const Bytes ciphertext = aes_ofb_crypt(key, iv, plaintext);
+  EXPECT_NE(ciphertext, plaintext);
+  EXPECT_EQ(aes_ofb_crypt(key, iv, ciphertext), plaintext);
+}
+
+TEST(CtrTest, OfbSp80038aF41FirstBlock) {
+  // NIST SP 800-38A F.4.1 (OFB-AES128.Encrypt), segment 1.
+  const AesKey key = make_key(*from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const AesBlock iv = make_block(*from_hex("000102030405060708090a0b0c0d0e0f"));
+  const Bytes plaintext = *from_hex("6bc1bee22e409f96e93d7e117393172a");
+  EXPECT_EQ(to_hex(aes_ofb_crypt(key, iv, plaintext)), "3b3fd92eb72dad20333449f8e83cfb4a");
+}
+
+TEST(CtrDrbgTest, DeterministicFromSeed) {
+  const Bytes seed(32, 0x42);
+  CtrDrbg a(seed);
+  CtrDrbg b(seed);
+  EXPECT_EQ(a.generate(48), b.generate(48));
+}
+
+TEST(CtrDrbgTest, StateRatchets) {
+  CtrDrbg drbg(Bytes(32, 0x42));
+  const Bytes first = drbg.generate(16);
+  const Bytes second = drbg.generate(16);
+  EXPECT_NE(first, second);
+}
+
+TEST(CtrDrbgTest, ReseedChangesStream) {
+  CtrDrbg a(Bytes(32, 0x42));
+  CtrDrbg b(Bytes(32, 0x42));
+  Bytes reseed(32, 0x99);
+  b.reseed(reseed);
+  EXPECT_NE(a.generate(16), b.generate(16));
+}
+
+TEST(CtrDrbgTest, OutputLooksBalanced) {
+  CtrDrbg drbg(Bytes(32, 0x07));
+  const Bytes stream = drbg.generate(4096);
+  std::size_t ones = 0;
+  for (std::uint8_t b : stream) ones += static_cast<std::size_t>(__builtin_popcount(b));
+  const double ratio = static_cast<double>(ones) / (4096 * 8);
+  EXPECT_NEAR(ratio, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace zc::crypto

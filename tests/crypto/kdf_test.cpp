@@ -1,0 +1,73 @@
+#include "crypto/kdf.h"
+
+#include <gtest/gtest.h>
+
+namespace zc::crypto {
+namespace {
+
+TEST(KdfTest, ExpandProducesRequestedLengths) {
+  AesKey prk{};
+  prk.fill(0x11);
+  const Bytes info = {'i', 'n', 'f', 'o'};
+  for (std::size_t len : {1u, 15u, 16u, 17u, 32u, 48u, 100u}) {
+    EXPECT_EQ(ckdf_expand(prk, info, len).size(), len);
+  }
+}
+
+TEST(KdfTest, ExpandIsDeterministicAndPrefixConsistent) {
+  AesKey prk{};
+  prk.fill(0x22);
+  const Bytes info = {'x'};
+  const Bytes long_out = ckdf_expand(prk, info, 64);
+  const Bytes short_out = ckdf_expand(prk, info, 16);
+  EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(), long_out.begin()));
+}
+
+TEST(KdfTest, ExpandInfoSeparatesStreams) {
+  AesKey prk{};
+  prk.fill(0x33);
+  const Bytes a = ckdf_expand(prk, Bytes{'a'}, 32);
+  const Bytes b = ckdf_expand(prk, Bytes{'b'}, 32);
+  EXPECT_NE(a, b);
+}
+
+TEST(KdfTest, S2KeysDependOnSharedSecret) {
+  const Bytes pub_a(32, 0x01);
+  const Bytes pub_b(32, 0x02);
+  const S2Keys k1 = derive_s2_keys(Bytes(32, 0xAA), pub_a, pub_b);
+  const S2Keys k2 = derive_s2_keys(Bytes(32, 0xAB), pub_a, pub_b);
+  EXPECT_NE(k1.ccm_key, k2.ccm_key);
+  EXPECT_NE(k1.auth_key, k2.auth_key);
+}
+
+TEST(KdfTest, S2KeySetMembersAreDistinct) {
+  const S2Keys keys = derive_s2_keys(Bytes(32, 0xAA), Bytes(32, 1), Bytes(32, 2));
+  EXPECT_NE(keys.ccm_key, keys.auth_key);
+  EXPECT_NE(keys.auth_key, keys.nonce_key);
+  EXPECT_NE(keys.ccm_key, keys.nonce_key);
+}
+
+TEST(KdfTest, S0KeysDeriveFromFixedPlaintexts) {
+  AesKey network_key{};
+  network_key.fill(0x5A);
+  const S0Keys keys = derive_s0_keys(network_key);
+  // Ke = AES(Kn, 0xAA * 16), Ka = AES(Kn, 0x55 * 16): check directly.
+  const Aes128 cipher(network_key);
+  AesBlock pe{};
+  pe.fill(0xAA);
+  cipher.encrypt_block(pe);
+  EXPECT_TRUE(std::equal(keys.enc_key.begin(), keys.enc_key.end(), pe.begin()));
+  EXPECT_NE(keys.enc_key, keys.auth_key);
+}
+
+TEST(KdfTest, S0TempKeyDerivationIsWeakByDesign) {
+  // The S0 inclusion weakness: the all-zero temp key gives every attacker
+  // the same derived keys.
+  const S0Keys ours = derive_s0_keys(AesKey{});
+  const S0Keys attackers = derive_s0_keys(AesKey{});
+  EXPECT_EQ(ours.enc_key, attackers.enc_key);
+  EXPECT_EQ(ours.auth_key, attackers.auth_key);
+}
+
+}  // namespace
+}  // namespace zc::crypto

@@ -1,0 +1,72 @@
+#include "crypto/x25519.h"
+
+#include <gtest/gtest.h>
+
+namespace zc::crypto {
+namespace {
+
+X25519Key key_from_hex(const char* hex) { return make_x25519_key(*from_hex(hex)); }
+
+std::string hex(const X25519Key& key) { return to_hex(ByteView(key.data(), key.size())); }
+
+TEST(X25519Test, Rfc7748Section52Vector1) {
+  const X25519Key scalar =
+      key_from_hex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  const X25519Key u =
+      key_from_hex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  EXPECT_EQ(hex(x25519(scalar, u)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+TEST(X25519Test, Rfc7748Section52Vector2) {
+  const X25519Key scalar =
+      key_from_hex("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  const X25519Key u =
+      key_from_hex("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  EXPECT_EQ(hex(x25519(scalar, u)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+TEST(X25519Test, Rfc7748Section61PublicKeys) {
+  const X25519Key alice_priv =
+      key_from_hex("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const X25519Key bob_priv =
+      key_from_hex("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+  EXPECT_EQ(hex(x25519_public(alice_priv)),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(hex(x25519_public(bob_priv)),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+}
+
+TEST(X25519Test, Rfc7748Section61SharedSecret) {
+  const X25519Key alice_priv =
+      key_from_hex("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const X25519Key bob_priv =
+      key_from_hex("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+  const X25519Key alice_pub = x25519_public(alice_priv);
+  const X25519Key bob_pub = x25519_public(bob_priv);
+  const X25519Key k_alice = x25519(alice_priv, bob_pub);
+  const X25519Key k_bob = x25519(bob_priv, alice_pub);
+  EXPECT_EQ(k_alice, k_bob);
+  EXPECT_EQ(hex(k_alice),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519Test, DiffieHellmanSymmetrySweep) {
+  // Property: scalarmult commutes through the DH construction for many
+  // (deterministic) private key pairs.
+  for (std::uint8_t i = 1; i <= 8; ++i) {
+    X25519Key a{};
+    X25519Key b{};
+    for (std::size_t j = 0; j < 32; ++j) {
+      a[j] = static_cast<std::uint8_t>(i * 11 + j);
+      b[j] = static_cast<std::uint8_t>(i * 29 + j * 3 + 1);
+    }
+    const X25519Key shared_ab = x25519(a, x25519_public(b));
+    const X25519Key shared_ba = x25519(b, x25519_public(a));
+    EXPECT_EQ(shared_ab, shared_ba) << "pair " << static_cast<int>(i);
+  }
+}
+
+}  // namespace
+}  // namespace zc::crypto

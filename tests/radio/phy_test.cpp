@@ -1,0 +1,89 @@
+#include "radio/phy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace zc::radio {
+namespace {
+
+TEST(PhyTest, ManchesterEncodeByteShape) {
+  BitStream bits;
+  manchester_encode_byte(0xF0, bits);
+  ASSERT_EQ(bits.size(), 16u);
+  // 1 -> 10, 0 -> 01; 0xF0 = 11110000.
+  const BitStream expected = {1, 0, 1, 0, 1, 0, 1, 0, 0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_EQ(bits, expected);
+}
+
+TEST(PhyTest, ManchesterRoundTripAllBytes) {
+  for (int value = 0; value < 256; ++value) {
+    BitStream bits;
+    manchester_encode_byte(static_cast<std::uint8_t>(value), bits);
+    const auto decoded = manchester_decode(bits, 0, 1);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value()[0], value);
+  }
+}
+
+TEST(PhyTest, ManchesterDetectsInvalidSymbol) {
+  BitStream bits(16, 0);  // 00 pairs are not Manchester symbols
+  const auto decoded = manchester_decode(bits, 0, 1);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, zc::Errc::kBadField);
+}
+
+TEST(PhyTest, ManchesterDetectsTruncation) {
+  BitStream bits = {1, 0, 0, 1};
+  EXPECT_FALSE(manchester_decode(bits, 0, 1).ok());
+}
+
+TEST(PhyTest, TransmissionRoundTrip) {
+  const zc::Bytes frame = {0xCB, 0x95, 0xA3, 0x4A, 0x0F, 0x41, 0x01, 0x0D, 0x01, 0x20, 0x55};
+  const BitStream bits = encode_transmission(frame);
+  const auto decoded = decode_transmission(bits);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), frame);
+}
+
+TEST(PhyTest, TransmissionRoundTripRandomFrames) {
+  zc::Rng rng(0x9A12);
+  for (int i = 0; i < 100; ++i) {
+    const zc::Bytes frame = rng.bytes(static_cast<std::size_t>(rng.uniform(1, 64)));
+    const auto decoded = decode_transmission(encode_transmission(frame));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), frame);
+  }
+}
+
+TEST(PhyTest, PreambleIsRepetitive0x55) {
+  const zc::Bytes frame = {0xAA};
+  const BitStream bits = encode_transmission(frame);
+  const auto first_byte = manchester_decode(bits, 0, 1);
+  ASSERT_TRUE(first_byte.ok());
+  EXPECT_EQ(first_byte.value()[0], kPreambleByte);
+}
+
+TEST(PhyTest, DecodeRejectsPureNoise) {
+  // All-zero bits: no valid Manchester symbols, no SOF.
+  BitStream zeros(400, 0);
+  EXPECT_FALSE(decode_transmission(zeros).ok());
+}
+
+TEST(PhyTest, DecodeRejectsTooShortStream) {
+  EXPECT_FALSE(decode_transmission(BitStream(8, 1)).ok());
+}
+
+TEST(PhyTest, CorruptedSymbolTruncatesFrame) {
+  const zc::Bytes frame = {0x01, 0x02, 0x03, 0x04};
+  BitStream bits = encode_transmission(frame);
+  // Corrupt the symbol of the third frame byte (after preamble+SOF).
+  const std::size_t offset = (kPreambleLength + 1 + 2) * 16;
+  bits[offset] = bits[offset + 1];  // make an invalid 00/11 pair
+  const auto decoded = decode_transmission(bits);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_LT(decoded.value().size(), frame.size());
+}
+
+}  // namespace
+}  // namespace zc::radio

@@ -1,0 +1,139 @@
+// Automation engine: the controller's routine execution, and how the
+// paper's memory-tampering attacks break it.
+#include <gtest/gtest.h>
+
+#include "sim/testbed.h"
+
+namespace zc::sim {
+namespace {
+
+VirtualController::AutomationRule motion_lights_rule() {
+  VirtualController::AutomationRule rule;
+  rule.trigger_node = Testbed::kS0SensorNodeId;
+  rule.trigger_class = 0x30;  // SENSOR_BINARY REPORT
+  rule.trigger_command = 0x03;
+  rule.trigger_value = 0xFF;  // motion detected
+  rule.action_node = Testbed::kSwitchNodeId;
+  rule.action.cmd_class = 0x25;  // SWITCH_BINARY SET on
+  rule.action.command = 0x01;
+  rule.action.params = {0xFF};
+  return rule;
+}
+
+TEST(AutomationTest, MotionTurnsOnTheLights) {
+  TestbedConfig config;
+  config.include_s0_sensor = true;
+  config.slave_report_interval = 10 * kSecond;
+  Testbed testbed(config);
+  testbed.controller().add_automation(motion_lights_rule());
+  ASSERT_FALSE(testbed.smart_switch()->on());
+
+  // The sensor's secure reports alternate motion on/off; the first report
+  // (motion=false) must not fire, the second (motion=true) must.
+  testbed.scheduler().run_for(50 * kSecond);
+  EXPECT_GE(testbed.controller().automations_fired(), 1u);
+  EXPECT_TRUE(testbed.smart_switch()->on());
+}
+
+TEST(AutomationTest, TriggerValueFilters) {
+  TestbedConfig config;
+  config.include_s0_sensor = true;
+  config.slave_report_interval = 10 * kSecond;
+  Testbed testbed(config);
+  auto rule = motion_lights_rule();
+  rule.trigger_value = 0x55;  // a value the sensor never reports
+  testbed.controller().add_automation(rule);
+  testbed.scheduler().run_for(60 * kSecond);
+  EXPECT_EQ(testbed.controller().automations_fired(), 0u);
+  EXPECT_FALSE(testbed.smart_switch()->on());
+}
+
+TEST(AutomationTest, RemovedDeviceBreaksTheRoutine) {
+  // Bug #03's user-facing impact (paper: "could disable door automation,
+  // ... disrupt automation sequences").
+  TestbedConfig config;
+  config.include_s0_sensor = true;
+  config.slave_report_interval = 10 * kSecond;
+  Testbed testbed(config);
+  testbed.controller().add_automation(motion_lights_rule());
+
+  // The attacker removes the switch from the controller's memory first.
+  radio::MacEndpoint attacker(testbed.medium(), testbed.attacker_radio_config("attacker"));
+  zwave::AppPayload remove;
+  remove.cmd_class = 0x01;
+  remove.command = 0x0D;
+  remove.params = {0x02, Testbed::kSwitchNodeId, 0x00};
+  attacker.send(zwave::make_singlecast(testbed.controller().home_id(), 0xE7, 0x01, remove,
+                                       1, false));
+  testbed.scheduler().run_for(100 * kMillisecond);
+  ASSERT_EQ(testbed.controller().node_table().find(Testbed::kSwitchNodeId), nullptr);
+
+  testbed.scheduler().run_for(60 * kSecond);
+  EXPECT_EQ(testbed.controller().automations_fired(), 0u);
+  EXPECT_GE(testbed.controller().automations_blocked(), 1u);
+  EXPECT_FALSE(testbed.smart_switch()->on());
+}
+
+TEST(AutomationTest, S2ActionRidesTheSecureSession) {
+  // A routine that locks the door on motion: the action must travel S2
+  // (the lock ignores plaintext).
+  TestbedConfig config;
+  config.include_s0_sensor = true;
+  config.slave_report_interval = 10 * kSecond;
+  Testbed testbed(config);
+  testbed.door_lock()->set_locked(false);
+
+  VirtualController::AutomationRule rule;
+  rule.trigger_node = Testbed::kS0SensorNodeId;
+  rule.trigger_class = 0x30;
+  rule.trigger_command = 0x03;
+  rule.trigger_value = 0xFF;
+  rule.action_node = Testbed::kLockNodeId;
+  rule.action.cmd_class = 0x62;  // DOOR_LOCK OPERATION_SET secured
+  rule.action.command = 0x01;
+  rule.action.params = {0xFF};
+  testbed.controller().add_automation(rule);
+
+  testbed.scheduler().run_for(50 * kSecond);
+  EXPECT_GE(testbed.controller().automations_fired(), 1u);
+  EXPECT_TRUE(testbed.door_lock()->locked());
+}
+
+TEST(AutomationTest, CorruptedS2PropertiesBlockSecureActions) {
+  // Bug #01 demotes the lock's security class: the controller refuses to
+  // send the (now-impossible) secure action rather than downgrading it to
+  // plaintext.
+  TestbedConfig config;
+  config.include_s0_sensor = true;
+  config.slave_report_interval = 10 * kSecond;
+  Testbed testbed(config);
+  testbed.door_lock()->set_locked(false);
+
+  VirtualController::AutomationRule rule;
+  rule.trigger_node = Testbed::kS0SensorNodeId;
+  rule.trigger_class = 0x30;
+  rule.trigger_command = 0x03;
+  rule.trigger_value = 0xFF;
+  rule.action_node = Testbed::kLockNodeId;
+  rule.action.cmd_class = 0x62;
+  rule.action.command = 0x01;
+  rule.action.params = {0xFF};
+  testbed.controller().add_automation(rule);
+
+  radio::MacEndpoint attacker(testbed.medium(), testbed.attacker_radio_config("attacker"));
+  zwave::AppPayload corrupt;
+  corrupt.cmd_class = 0x01;
+  corrupt.command = 0x0D;
+  corrupt.params = {0x00, Testbed::kLockNodeId, 0x00};  // bug #01
+  attacker.send(zwave::make_singlecast(testbed.controller().home_id(), 0xE7, 0x01, corrupt,
+                                       1, false));
+  testbed.scheduler().run_for(100 * kMillisecond);
+
+  testbed.scheduler().run_for(60 * kSecond);
+  // The demoted record (security=None) routes the action as plaintext,
+  // which the real lock ignores: the door stays unlocked.
+  EXPECT_FALSE(testbed.door_lock()->locked());
+}
+
+}  // namespace
+}  // namespace zc::sim

@@ -1,0 +1,376 @@
+#include "sim/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/testbed.h"
+#include "zwave/checksum.h"
+
+namespace zc::sim {
+namespace {
+
+/// Test harness: a testbed plus a raw attacker endpoint for crafting
+/// arbitrary frames at the controller.
+class ControllerHarness {
+ public:
+  explicit ControllerHarness(DeviceModel model = DeviceModel::kD4_AeotecZw090) {
+    TestbedConfig config;
+    config.controller_model = model;
+    testbed_ = std::make_unique<Testbed>(config);
+    attacker_ = std::make_unique<radio::MacEndpoint>(
+        testbed_->medium(), testbed_->attacker_radio_config("attacker"));
+    attacker_->set_frame_handler([this](const zwave::MacFrame& frame, double) {
+      if (frame.src == 0x01 && frame.dst == kAttackerNode) inbox_.push_back(frame);
+    });
+  }
+
+  static constexpr zwave::NodeId kAttackerNode = 0xE7;
+
+  VirtualController& controller() { return testbed_->controller(); }
+  Testbed& testbed() { return *testbed_; }
+
+  void send(const zwave::AppPayload& app, bool ack = true) {
+    attacker_->send(zwave::make_singlecast(controller().home_id(), kAttackerNode, 0x01,
+                                           app, seq_++ & 0x0F, ack));
+    testbed_->scheduler().run_for(100 * kMillisecond);
+  }
+
+  /// Last application reply from the controller (skipping acks).
+  std::optional<zwave::AppPayload> last_reply() {
+    for (auto it = inbox_.rbegin(); it != inbox_.rend(); ++it) {
+      if (it->header == zwave::HeaderType::kAck) continue;
+      const auto app = zwave::decode_app_payload(it->payload);
+      if (app.ok()) return app.value();
+    }
+    return std::nullopt;
+  }
+
+  bool got_ack() const {
+    for (const auto& frame : inbox_) {
+      if (frame.header == zwave::HeaderType::kAck) return true;
+    }
+    return false;
+  }
+
+  void clear() { inbox_.clear(); }
+
+ private:
+  std::unique_ptr<Testbed> testbed_;
+  std::unique_ptr<radio::MacEndpoint> attacker_;
+  std::vector<zwave::MacFrame> inbox_;
+  std::uint8_t seq_ = 1;
+};
+
+zwave::AppPayload app_of(zwave::CommandClassId cc, zwave::CommandId cmd, Bytes params = {}) {
+  zwave::AppPayload app;
+  app.cmd_class = cc;
+  app.command = cmd;
+  app.params = std::move(params);
+  return app;
+}
+
+TEST(ControllerTest, AcksSinglecastWhenRequested) {
+  ControllerHarness h;
+  h.send(app_of(0x01, 0x01));  // NOP
+  EXPECT_TRUE(h.got_ack());
+}
+
+TEST(ControllerTest, AnswersNifRequestWithListedClasses) {
+  ControllerHarness h;
+  h.send(app_of(0x01, 0x02, {0x01}));
+  const auto reply = h.last_reply();
+  ASSERT_TRUE(reply.has_value());
+  const auto info = zwave::decode_node_info(*reply);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().supported.size(), 17u);  // D4 lists 17 (Table IV)
+  EXPECT_EQ(info.value().basic_class, zwave::kBasicClassStaticController);
+}
+
+TEST(ControllerTest, RejectsUnimplementedCommandOnRecognizedClass) {
+  ControllerHarness h;
+  h.send(app_of(0x86, 0x00, {0x00}));  // VERSION, bogus command
+  const auto reply = h.last_reply();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->cmd_class, 0x22);  // APPLICATION_STATUS
+  EXPECT_EQ(reply->command, 0x02);    // REJECTED_REQUEST
+}
+
+TEST(ControllerTest, SilentlyIgnoresUnrecognizedClass) {
+  ControllerHarness h;
+  h.send(app_of(0x62, 0x02));  // DOOR_LOCK is a slave class
+  EXPECT_FALSE(h.last_reply().has_value());
+  EXPECT_EQ(h.controller().stats().unrecognized_class, 1u);
+}
+
+TEST(ControllerTest, IgnoresForeignHomeId) {
+  ControllerHarness h;
+  // Craft a frame with the wrong home id via a second endpoint.
+  radio::MacEndpoint rogue(h.testbed().medium(),
+                           h.testbed().attacker_radio_config("rogue"));
+  rogue.send(zwave::make_singlecast(0xDEADBEEF, 0x05, 0x01, app_of(0x01, 0x01), 1, true));
+  h.testbed().scheduler().run_for(100 * kMillisecond);
+  EXPECT_EQ(h.controller().stats().app_payloads, 0u);
+}
+
+TEST(ControllerTest, VersionQueryAnswered) {
+  ControllerHarness h;
+  h.send(app_of(0x86, 0x11));
+  const auto reply = h.last_reply();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->cmd_class, 0x86);
+  EXPECT_EQ(reply->command, 0x12);
+}
+
+TEST(ControllerTest, Bug1CorruptsNodeProperties) {
+  ControllerHarness h;
+  ASSERT_EQ(h.controller().node_table().find(2)->basic_class, zwave::kBasicClassSlave);
+  h.send(app_of(0x01, 0x0D, {0x00, 0x02, 0x00}));  // op 0: corrupt node 2
+  const NodeRecord* lock = h.controller().node_table().find(2);
+  ASSERT_NE(lock, nullptr);
+  EXPECT_EQ(lock->basic_class, zwave::kBasicClassRoutingSlave);  // Fig. 8
+  EXPECT_EQ(lock->security, zwave::SecurityLevel::kNone);
+  ASSERT_EQ(h.controller().triggered().size(), 1u);
+  EXPECT_EQ(h.controller().triggered()[0].bug_id, 1);
+}
+
+TEST(ControllerTest, Bug2InsertsRogueController) {
+  ControllerHarness h;
+  h.send(app_of(0x01, 0x0D, {0x01, 200, 0x00}));
+  const NodeRecord* rogue = h.controller().node_table().find(200);
+  ASSERT_NE(rogue, nullptr);
+  EXPECT_EQ(rogue->basic_class, zwave::kBasicClassController);  // Fig. 9
+}
+
+TEST(ControllerTest, Bug3RemovesValidDevice) {
+  ControllerHarness h;
+  h.send(app_of(0x01, 0x0D, {0x02, 0x02, 0x00}));
+  EXPECT_EQ(h.controller().node_table().find(2), nullptr);  // Fig. 10
+}
+
+TEST(ControllerTest, Bug4OverwritesDatabase) {
+  ControllerHarness h;
+  h.send(app_of(0x01, 0x0D, {0x03, 0x00, 0x00}));
+  const auto& table = h.controller().node_table();
+  EXPECT_EQ(table.find(2), nullptr);
+  EXPECT_NE(table.find(10), nullptr);   // Fig. 11: fake controllers
+  EXPECT_NE(table.find(200), nullptr);
+}
+
+TEST(ControllerTest, Bug12ClearsWakeupBookkeeping) {
+  ControllerHarness h;
+  ASSERT_EQ(h.controller().node_table().find(2)->wakeup_interval_s, 3600u);
+  h.send(app_of(0x01, 0x0D, {0x04, 0x05, 0x00}));  // any target
+  EXPECT_EQ(h.controller().node_table().find(2)->wakeup_interval_s, 0u);
+}
+
+TEST(ControllerTest, Bug5GhostNifKillsHostApp) {
+  ControllerHarness h(DeviceModel::kD6_SamsungWv520);
+  EXPECT_TRUE(h.controller().host().responsive());
+  h.send(app_of(0x01, 0x02, {0x77}));  // NIF for a non-member node
+  EXPECT_EQ(h.controller().host().state(), HostSoftware::State::kDenialOfService);
+  EXPECT_FALSE(h.controller().cloud_control_available());
+}
+
+TEST(ControllerTest, ValidNifTargetDoesNotTriggerBug5) {
+  ControllerHarness h(DeviceModel::kD6_SamsungWv520);
+  h.send(app_of(0x01, 0x02, {0x01}));  // the controller itself: legit
+  EXPECT_TRUE(h.controller().host().responsive());
+  EXPECT_TRUE(h.controller().triggered().empty());
+}
+
+TEST(ControllerTest, Bug6CrashesPcProgramOnUsbModels) {
+  ControllerHarness h(DeviceModel::kD1_ZoozZst10);
+  h.send(app_of(0x9F, 0x01, {0x00}));  // S2 NONCE_GET
+  EXPECT_EQ(h.controller().host().state(), HostSoftware::State::kCrashed);
+  EXPECT_EQ(h.controller().host().crash_count(), 1u);
+}
+
+TEST(ControllerTest, Bug6DoesNotAffectHubs) {
+  ControllerHarness h(DeviceModel::kD6_SamsungWv520);
+  h.send(app_of(0x9F, 0x01, {0x00}));
+  EXPECT_TRUE(h.controller().host().responsive());
+}
+
+TEST(ControllerTest, Bug7ServiceInterruption68s) {
+  ControllerHarness h;
+  h.send(app_of(0x5A, 0x01));
+  EXPECT_FALSE(h.controller().responsive());
+  // Unresponsive: no ack for a NOP now.
+  h.clear();
+  h.send(app_of(0x01, 0x01));
+  EXPECT_FALSE(h.got_ack());
+  // After 68 s the controller recovers by itself.
+  h.testbed().scheduler().run_for(68 * kSecond);
+  EXPECT_TRUE(h.controller().responsive());
+  h.send(app_of(0x01, 0x01));
+  EXPECT_TRUE(h.got_ack());
+}
+
+TEST(ControllerTest, Bug10NeedsBogusVersionParameter) {
+  ControllerHarness h;
+  h.send(app_of(0x86, 0x13, {0x85}));  // supported class: legit query
+  EXPECT_TRUE(h.controller().responsive());
+  const auto reply = h.last_reply();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->command, 0x14);
+
+  h.send(app_of(0x86, 0x13, {0x44}));  // class the controller ignores
+  EXPECT_FALSE(h.controller().responsive());
+  h.testbed().scheduler().run_for(4 * kSecond);
+  EXPECT_TRUE(h.controller().responsive());
+}
+
+TEST(ControllerTest, Bug14BusyScanLastsFourMinutes) {
+  ControllerHarness h;
+  h.send(app_of(0x01, 0x04, {0x00}));
+  EXPECT_FALSE(h.controller().responsive());
+  h.testbed().scheduler().run_for(3 * kMinute);
+  EXPECT_FALSE(h.controller().responsive());
+  h.testbed().scheduler().run_for(1 * kMinute + kSecond);
+  EXPECT_TRUE(h.controller().responsive());
+}
+
+TEST(ControllerTest, SecureNodeTableUpdateViaS2IsLegitimate) {
+  // The same NODE_TABLE_UPDATE payload through the S2 channel is the
+  // intended management path: no vulnerability trigger is recorded.
+  TestbedConfig config;
+  config.controller_model = DeviceModel::kD4_AeotecZw090;
+  Testbed testbed(config);
+  auto& controller = testbed.controller();
+
+  // Drive through the lock's established S2 session.
+  zwave::AppPayload update = app_of(0x01, 0x0D, {0x02, 0x03, 0x00});  // remove node 3
+  // Reuse the lock's session by sending from the lock's node id.
+  // (The lock object holds the lock-side session.)
+  // We emulate: encapsulate with a fresh pair of sessions installed on
+  // both sides for a test node.
+  Rng rng(99);
+  const auto priv_a = crypto::make_x25519_key(rng.bytes(32));
+  const auto priv_b = crypto::make_x25519_key(rng.bytes(32));
+  const auto keys_a = zwave::s2_key_agreement(priv_a, crypto::x25519_public(priv_b));
+  const auto keys_b = zwave::s2_key_agreement(priv_b, crypto::x25519_public(priv_a));
+  const Bytes seed = rng.bytes(32);
+  controller.install_s2_session(0x09, keys_a, seed);
+  zwave::S2Session sender(keys_b, seed);
+
+  radio::MacEndpoint trusted(testbed.medium(), testbed.attacker_radio_config("trusted"));
+  const auto outer = sender.encapsulate(update, controller.home_id(), 0x09, 0x01);
+  trusted.send(zwave::make_singlecast(controller.home_id(), 0x09, 0x01, outer, 1, true));
+  testbed.scheduler().run_for(100 * kMillisecond);
+
+  EXPECT_EQ(controller.node_table().find(3), nullptr);  // applied
+  EXPECT_TRUE(controller.triggered().empty());          // but no bug fired
+}
+
+TEST(ControllerTest, OperatorRecoverEndsOutagesAndRestartsHost) {
+  ControllerHarness h(DeviceModel::kD1_ZoozZst10);
+  h.send(app_of(0x73, 0x04, {0x02, 0x01, 0x00, 0x01}));  // bug 13: PC DoS
+  EXPECT_FALSE(h.controller().host().responsive());
+  h.send(app_of(0x01, 0x04, {0x00}));  // bug 14 outage
+  EXPECT_FALSE(h.controller().responsive());
+  h.controller().operator_recover();
+  EXPECT_TRUE(h.controller().responsive());
+  EXPECT_TRUE(h.controller().host().responsive());
+}
+
+TEST(ControllerTest, AcceptedPairsTrackDispatchedCommands) {
+  ControllerHarness h;
+  h.send(app_of(0x86, 0x11));
+  h.send(app_of(0x86, 0x11));
+  h.send(app_of(0x86, 0x00));  // rejected: not counted
+  const auto& pairs = h.controller().stats().accepted_pairs;
+  EXPECT_TRUE(pairs.contains({0x86, 0x11}));
+  EXPECT_FALSE(pairs.contains({0x86, 0x00}));
+}
+
+TEST(ControllerTest, MacQuirkFiresOnAffectedModelOnly) {
+  // Quirk 104: broadcast-addressed singlecast demanding ack (D4 only).
+  for (const auto model : {DeviceModel::kD4_AeotecZw090, DeviceModel::kD1_ZoozZst10}) {
+    TestbedConfig config;
+    config.controller_model = model;
+    Testbed testbed(config);
+    radio::MacEndpoint attacker(testbed.medium(),
+                                testbed.attacker_radio_config("attacker"));
+    zwave::MacFrame frame = zwave::make_singlecast(
+        testbed.controller().home_id(), 0xE7, zwave::kBroadcastNodeId, app_of(0x20, 0x02),
+        1, true);
+    attacker.send(frame);
+    testbed.scheduler().run_for(100 * kMillisecond);
+    const bool should_fire = model == DeviceModel::kD4_AeotecZw090;
+    EXPECT_EQ(!testbed.controller().triggered().empty(), should_fire)
+        << device_model_name(model);
+    if (should_fire) {
+      EXPECT_EQ(testbed.controller().triggered()[0].bug_id, 104);
+      EXPECT_FALSE(testbed.controller().responsive());
+    }
+  }
+}
+
+TEST(ControllerTest, RetransmissionIsAckedButNotReprocessed) {
+  ControllerHarness h;
+  // Two identical frames with the same sequence: a classic retry after a
+  // lost ack. The VERSION GET must be answered once, acked twice.
+  zwave::AppPayload version_get = app_of(0x86, 0x11);
+  const zwave::MacFrame frame = zwave::make_singlecast(
+      h.controller().home_id(), ControllerHarness::kAttackerNode, 0x01, version_get, 9, true);
+  radio::MacEndpoint attacker(h.testbed().medium(),
+                              h.testbed().attacker_radio_config("retry"));
+  attacker.send(frame);
+  h.testbed().scheduler().run_for(100 * kMillisecond);
+  attacker.send(frame);  // retransmission
+  h.testbed().scheduler().run_for(100 * kMillisecond);
+
+  EXPECT_EQ(h.controller().stats().duplicates_dropped, 1u);
+  EXPECT_EQ(h.controller().stats().app_payloads, 1u);
+}
+
+TEST(ControllerTest, NewSequenceIsProcessedNormally) {
+  ControllerHarness h;
+  h.send(app_of(0x86, 0x11));
+  h.send(app_of(0x86, 0x11));  // harness increments the sequence
+  EXPECT_EQ(h.controller().stats().duplicates_dropped, 0u);
+  EXPECT_EQ(h.controller().stats().app_payloads, 2u);
+}
+
+TEST(ControllerTest, NodeListReportContainsMembers) {
+  ControllerHarness h;
+  h.send(app_of(0x52, 0x01, {0x01}));
+  const auto reply = h.last_reply();
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->cmd_class, 0x52);
+  ASSERT_EQ(reply->command, 0x02);
+  // Mask starts at params[3]; nodes 1, 2, 3 are bits 0-2 of the first byte.
+  ASSERT_GE(reply->params.size(), 4u);
+  EXPECT_EQ(reply->params[3] & 0x07, 0x07);
+}
+
+TEST(ControllerTest, MultiCmdEncapsulationDispatchesInner) {
+  ControllerHarness h;
+  // MULTI_CMD wrapping a VERSION GET.
+  h.send(app_of(0x8F, 0x01, {0x01, 0x02, 0x86, 0x11}));
+  const auto reply = h.last_reply();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->cmd_class, 0x86);
+  EXPECT_EQ(reply->command, 0x12);
+}
+
+TEST(ControllerTest, CrcEncapValidatesChecksum) {
+  ControllerHarness h;
+  Bytes covered = {0x56, 0x01, 0x86, 0x11};
+  const std::uint16_t crc = zwave::crc16_ccitt(covered);
+  Bytes params = {0x86, 0x11};
+  write_be16(params, crc);
+  h.send(app_of(0x56, 0x01, params));
+  const auto reply = h.last_reply();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->cmd_class, 0x86);
+
+  // Broken CRC: silently dropped.
+  h.clear();
+  params[params.size() - 1] ^= 0xFF;
+  h.send(app_of(0x56, 0x01, params));
+  const auto no_reply = h.last_reply();
+  EXPECT_TRUE(!no_reply.has_value() || no_reply->cmd_class != 0x86);
+}
+
+}  // namespace
+}  // namespace zc::sim

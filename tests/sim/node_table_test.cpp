@@ -1,0 +1,164 @@
+#include "sim/node_table.h"
+
+#include <gtest/gtest.h>
+
+namespace zc::sim {
+namespace {
+
+NodeRecord lock_record() {
+  return NodeRecord{2, zwave::kBasicClassSlave, true, zwave::SecurityLevel::kS2, 3600,
+                    "Smart Lock"};
+}
+
+TEST(NodeTableTest, UpsertAndFind) {
+  NodeTable table;
+  table.upsert(lock_record());
+  const NodeRecord* record = table.find(2);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->label, "Smart Lock");
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.find(9), nullptr);
+}
+
+TEST(NodeTableTest, RemoveReportsSuccess) {
+  NodeTable table;
+  table.upsert(lock_record());
+  EXPECT_TRUE(table.remove(2));
+  EXPECT_FALSE(table.remove(2));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(NodeTableTest, GenerationBumpsOnEveryMutation) {
+  NodeTable table;
+  const auto g0 = table.generation();
+  table.upsert(lock_record());
+  const auto g1 = table.generation();
+  EXPECT_GT(g1, g0);
+  table.find_mutable(2)->wakeup_interval_s = 0;
+  EXPECT_GT(table.generation(), g1);
+}
+
+TEST(NodeTableTest, DigestDetectsPropertyTampering) {
+  NodeTable table;
+  table.upsert(lock_record());
+  const auto before = table.digest();
+  // The Fig. 8 attack: lock silently becomes a routing slave.
+  table.find_mutable(2)->basic_class = zwave::kBasicClassRoutingSlave;
+  EXPECT_NE(table.digest(), before);
+}
+
+TEST(NodeTableTest, DigestDetectsWakeupErasure) {
+  NodeTable table;
+  table.upsert(lock_record());
+  const auto before = table.digest();
+  table.find_mutable(2)->wakeup_interval_s = 0;
+  EXPECT_NE(table.digest(), before);
+}
+
+TEST(NodeTableTest, DigestDetectsMembershipChanges) {
+  NodeTable table;
+  table.upsert(lock_record());
+  const auto before = table.digest();
+  table.upsert(NodeRecord{200, zwave::kBasicClassController, true,
+                          zwave::SecurityLevel::kNone, 0, "Rogue"});
+  const auto with_rogue = table.digest();
+  EXPECT_NE(with_rogue, before);
+  table.remove(200);
+  EXPECT_EQ(table.digest(), before);
+}
+
+TEST(NodeTableTest, SnapshotRestoreRoundTrip) {
+  NodeTable table;
+  table.upsert(lock_record());
+  const auto snapshot = table.snapshot();
+  const auto digest = table.digest();
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+  table.restore(snapshot);
+  EXPECT_EQ(table.digest(), digest);
+}
+
+TEST(NodeTableTest, NodeIdsSorted) {
+  NodeTable table;
+  for (zwave::NodeId id : {7, 2, 200}) {
+    NodeRecord record;
+    record.node_id = id;
+    table.upsert(record);
+  }
+  EXPECT_EQ(table.node_ids(), (std::vector<zwave::NodeId>{2, 7, 200}));
+}
+
+TEST(NodeTableTest, NvmRoundTrip) {
+  NodeTable table;
+  table.upsert(lock_record());
+  table.upsert(NodeRecord{1, zwave::kBasicClassStaticController, true,
+                          zwave::SecurityLevel::kS2, 0, "Primary Controller"});
+  table.upsert(NodeRecord{4, zwave::kBasicClassSlave, false, zwave::SecurityLevel::kS0,
+                          600, "Motion Sensor"});
+
+  const Bytes image = table.serialize_nvm();
+  const auto restored = NodeTable::deserialize_nvm(image);
+  ASSERT_TRUE(restored.ok()) << restored.error().message;
+  EXPECT_EQ(restored.value().digest(), table.digest());
+  EXPECT_EQ(restored.value().find(4)->label, "Motion Sensor");
+  EXPECT_FALSE(restored.value().find(4)->listening);
+  EXPECT_EQ(restored.value().find(4)->wakeup_interval_s, 600u);
+}
+
+TEST(NodeTableTest, NvmRejectsBadMagic) {
+  NodeTable table;
+  table.upsert(lock_record());
+  Bytes image = table.serialize_nvm();
+  image[0] = 'X';
+  EXPECT_FALSE(NodeTable::deserialize_nvm(image).ok());
+}
+
+TEST(NodeTableTest, NvmRejectsTruncation) {
+  NodeTable table;
+  table.upsert(lock_record());
+  const Bytes image = table.serialize_nvm();
+  for (std::size_t cut = 1; cut < image.size(); ++cut) {
+    EXPECT_FALSE(
+        NodeTable::deserialize_nvm(ByteView(image.data(), image.size() - cut)).ok())
+        << "cut " << cut;
+  }
+}
+
+TEST(NodeTableTest, NvmRejectsBadSecurityBits) {
+  NodeTable table;
+  table.upsert(lock_record());
+  Bytes image = table.serialize_nvm();
+  image[8] = 0xFF;  // flags byte of the first record
+  EXPECT_FALSE(NodeTable::deserialize_nvm(image).ok());
+}
+
+TEST(NodeTableTest, NvmRejectsUnknownVersion) {
+  NodeTable table;
+  Bytes image = table.serialize_nvm();
+  image[4] = 9;
+  EXPECT_FALSE(NodeTable::deserialize_nvm(image).ok());
+}
+
+TEST(NodeTableTest, NvmEmptyTable) {
+  NodeTable table;
+  const auto restored = NodeTable::deserialize_nvm(table.serialize_nvm());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().size(), 0u);
+}
+
+TEST(NodeTableTest, RenderShowsDevices) {
+  NodeTable table;
+  table.upsert(lock_record());
+  const std::string text = table.render();
+  EXPECT_NE(text.find("Smart Lock"), std::string::npos);
+  EXPECT_NE(text.find("S2"), std::string::npos);
+  EXPECT_NE(text.find("#2"), std::string::npos);
+}
+
+TEST(NodeTableTest, RenderEmpty) {
+  NodeTable table;
+  EXPECT_NE(table.render().find("(empty)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zc::sim

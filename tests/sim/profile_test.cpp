@@ -1,0 +1,113 @@
+#include "sim/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "zwave/command_class.h"
+
+namespace zc::sim {
+namespace {
+
+TEST(ProfileTest, SevenControllers) {
+  EXPECT_EQ(all_controller_models().size(), 7u);
+}
+
+TEST(ProfileTest, HomeIdsMatchTableIV) {
+  const std::pair<DeviceModel, zwave::HomeId> expected[] = {
+      {DeviceModel::kD1_ZoozZst10, 0xE7DE3F3D},  {DeviceModel::kD2_SilabsUzb7, 0xCD007171},
+      {DeviceModel::kD3_NortekHusbzb1, 0xCB51722D}, {DeviceModel::kD4_AeotecZw090, 0xC7E9DD54},
+      {DeviceModel::kD5_ZwaveMeUzb1, 0xF4C3754D}, {DeviceModel::kD6_SamsungWv520, 0xCB95A34A},
+      {DeviceModel::kD7_SamsungSth200, 0xEDC87EE4}};
+  for (const auto& [model, home] : expected) {
+    EXPECT_EQ(controller_profile(model).home_id, home) << device_model_name(model);
+  }
+}
+
+TEST(ProfileTest, ListedCountsMatchTableIV) {
+  // D1/D2/D4/D6 list 17 classes; D3/D5/D7 list 15.
+  EXPECT_EQ(controller_profile(DeviceModel::kD1_ZoozZst10).listed.size(), 17u);
+  EXPECT_EQ(controller_profile(DeviceModel::kD2_SilabsUzb7).listed.size(), 17u);
+  EXPECT_EQ(controller_profile(DeviceModel::kD3_NortekHusbzb1).listed.size(), 15u);
+  EXPECT_EQ(controller_profile(DeviceModel::kD4_AeotecZw090).listed.size(), 17u);
+  EXPECT_EQ(controller_profile(DeviceModel::kD5_ZwaveMeUzb1).listed.size(), 15u);
+  EXPECT_EQ(controller_profile(DeviceModel::kD6_SamsungWv520).listed.size(), 17u);
+  EXPECT_EQ(controller_profile(DeviceModel::kD7_SamsungSth200).listed.size(), 15u);
+}
+
+TEST(ProfileTest, ListedPlusUnknownEqualsFortyFive) {
+  // Table IV/V arithmetic: listed + unknown = the 45-class cluster.
+  const auto cluster = zwave::SpecDatabase::instance().controller_cluster(true);
+  const std::set<zwave::CommandClassId> cluster_set(cluster.begin(), cluster.end());
+  for (DeviceModel model : all_controller_models()) {
+    const auto& profile = controller_profile(model);
+    for (zwave::CommandClassId cc : profile.listed) {
+      EXPECT_TRUE(cluster_set.contains(cc))
+          << device_model_name(model) << " lists non-cluster class " << int(cc);
+    }
+    EXPECT_EQ(45u - profile.listed.size(),
+              profile.listed.size() == 17 ? 28u : 30u);
+  }
+}
+
+TEST(ProfileTest, ListedClassesAreUnique) {
+  for (DeviceModel model : all_controller_models()) {
+    const auto& listed = controller_profile(model).listed;
+    const std::set<zwave::CommandClassId> unique(listed.begin(), listed.end());
+    EXPECT_EQ(unique.size(), listed.size()) << device_model_name(model);
+  }
+}
+
+TEST(ProfileTest, HubFlagsMatchTableII) {
+  EXPECT_FALSE(controller_profile(DeviceModel::kD1_ZoozZst10).hub);
+  EXPECT_FALSE(controller_profile(DeviceModel::kD5_ZwaveMeUzb1).hub);
+  EXPECT_TRUE(controller_profile(DeviceModel::kD6_SamsungWv520).hub);
+  EXPECT_TRUE(controller_profile(DeviceModel::kD7_SamsungSth200).hub);
+}
+
+TEST(ProfileTest, DispatchTableHas53Pairs) {
+  // Table V's "CMD" coverage column for ZCover.
+  EXPECT_EQ(firmware_handled_pair_count(), 53u);
+}
+
+TEST(ProfileTest, DispatchClassesAreClusterMembers) {
+  const auto cluster = zwave::SpecDatabase::instance().controller_cluster(true);
+  const std::set<zwave::CommandClassId> cluster_set(cluster.begin(), cluster.end());
+  for (const auto& [cc, cmds] : firmware_dispatch_table()) {
+    EXPECT_TRUE(cluster_set.contains(cc)) << "class " << int(cc);
+    EXPECT_FALSE(cmds.empty());
+  }
+}
+
+TEST(ProfileTest, DispatchCommandsExistInSpec) {
+  const auto& db = zwave::SpecDatabase::instance();
+  for (const auto& [cc, cmds] : firmware_dispatch_table()) {
+    const auto* spec = db.find(cc);
+    ASSERT_NE(spec, nullptr) << "class " << int(cc);
+    for (zwave::CommandId cmd : cmds) {
+      EXPECT_NE(spec->find_command(cmd), nullptr)
+          << "class " << int(cc) << " command " << int(cmd);
+    }
+  }
+}
+
+TEST(ProfileTest, VulnerabilityTriggersAreDispatched) {
+  // Every Table III trigger must be a genuinely-processed pair, otherwise
+  // the command would be rejected before reaching the flawed code.
+  const auto& dispatch = firmware_dispatch_table();
+  for (const auto& spec : vulnerability_matrix()) {
+    const auto it = dispatch.find(spec.cmd_class);
+    ASSERT_NE(it, dispatch.end()) << "bug " << spec.bug_id;
+    EXPECT_NE(std::find(it->second.begin(), it->second.end(), spec.command),
+              it->second.end())
+        << "bug " << spec.bug_id;
+  }
+}
+
+TEST(ProfileTest, ChipSeriesMatchesTableII) {
+  EXPECT_EQ(controller_profile(DeviceModel::kD1_ZoozZst10).chip_series, "700");
+  EXPECT_EQ(controller_profile(DeviceModel::kD4_AeotecZw090).chip_series, "500");
+}
+
+}  // namespace
+}  // namespace zc::sim

@@ -1,0 +1,119 @@
+#include "sim/repeater.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/testbed.h"
+
+namespace zc::sim {
+namespace {
+
+TEST(RepeaterTest, RelaysRoutedFrameToOutOfRangeController) {
+  // Attacker at 500 m: direct RF cannot reach the hub (sensitivity floor),
+  // but a mains repeater halfway bridges the gap.
+  TestbedConfig config;
+  config.attacker_distance_m = 500.0;
+  Testbed testbed(config);
+  auto& controller = testbed.controller();
+  Repeater repeater(testbed.medium(), testbed.scheduler(), controller.home_id(),
+                    0x08, 250.0, 0.0);
+  radio::MacEndpoint attacker(testbed.medium(), testbed.attacker_radio_config("attacker"));
+
+  zwave::AppPayload tamper;
+  tamper.cmd_class = 0x01;
+  tamper.command = 0x0D;
+  tamper.params = {0x02, Testbed::kLockNodeId, 0x00};  // remove the lock
+
+  // Direct injection: silence (out of range).
+  attacker.send(zwave::make_singlecast(controller.home_id(), 0xE7, 0x01, tamper, 1, false));
+  testbed.scheduler().run_for(200 * kMillisecond);
+  ASSERT_NE(controller.node_table().find(Testbed::kLockNodeId), nullptr);
+
+  // Routed injection through the repeater: lands.
+  zwave::RouteHeader route;
+  route.repeaters = {0x08};
+  attacker.send(zwave::make_routed_singlecast(controller.home_id(), 0xE7, 0x01, route,
+                                              tamper, 2));
+  testbed.scheduler().run_for(300 * kMillisecond);
+  EXPECT_EQ(repeater.frames_relayed(), 1u);
+  EXPECT_EQ(controller.node_table().find(Testbed::kLockNodeId), nullptr);
+  ASSERT_FALSE(controller.triggered().empty());
+  EXPECT_EQ(controller.triggered().back().bug_id, 3);
+}
+
+TEST(RepeaterTest, IgnoresFramesForOtherHops) {
+  TestbedConfig config;
+  Testbed testbed(config);
+  Repeater repeater(testbed.medium(), testbed.scheduler(), testbed.controller().home_id(),
+                    0x08, 10.0, 0.0);
+  radio::MacEndpoint sender(testbed.medium(), testbed.attacker_radio_config("sender"));
+
+  zwave::AppPayload nop = zwave::make_nop();
+  zwave::RouteHeader route;
+  route.repeaters = {0x09};  // a different repeater's hop
+  sender.send(zwave::make_routed_singlecast(testbed.controller().home_id(), 0xE7, 0x01,
+                                            route, nop, 1));
+  testbed.scheduler().run_for(100 * kMillisecond);
+  EXPECT_EQ(repeater.frames_relayed(), 0u);
+}
+
+TEST(RepeaterTest, IgnoresForeignNetworks) {
+  TestbedConfig config;
+  Testbed testbed(config);
+  Repeater repeater(testbed.medium(), testbed.scheduler(), testbed.controller().home_id(),
+                    0x08, 10.0, 0.0);
+  radio::MacEndpoint sender(testbed.medium(), testbed.attacker_radio_config("sender"));
+  zwave::RouteHeader route;
+  route.repeaters = {0x08};
+  sender.send(zwave::make_routed_singlecast(0xDEADBEEF, 0xE7, 0x01, route,
+                                            zwave::make_nop(), 1));
+  testbed.scheduler().run_for(100 * kMillisecond);
+  EXPECT_EQ(repeater.frames_relayed(), 0u);
+}
+
+TEST(RepeaterTest, MultiHopChain) {
+  TestbedConfig config;
+  config.attacker_distance_m = 600.0;
+  Testbed testbed(config);
+  auto& controller = testbed.controller();
+  Repeater hop1(testbed.medium(), testbed.scheduler(), controller.home_id(), 0x08, 400.0,
+                0.0);
+  Repeater hop2(testbed.medium(), testbed.scheduler(), controller.home_id(), 0x09, 200.0,
+                0.0);
+  // Each 200 m link clears the fade margin at 4 dBm; the 600 m direct path
+  // is below the sensitivity floor.
+  radio::MacEndpoint attacker(testbed.medium(), testbed.attacker_radio_config("attacker"));
+
+  zwave::RouteHeader route;
+  route.repeaters = {0x08, 0x09};
+  zwave::AppPayload probe;
+  probe.cmd_class = 0x86;
+  probe.command = 0x11;
+  attacker.send(zwave::make_routed_singlecast(controller.home_id(), 0xE7, 0x01, route,
+                                              probe, 1));
+  testbed.scheduler().run_for(300 * kMillisecond);
+  EXPECT_EQ(hop1.frames_relayed(), 1u);
+  EXPECT_EQ(hop2.frames_relayed(), 1u);
+  EXPECT_TRUE(controller.stats().accepted_pairs.contains({0x86, 0x11}));
+}
+
+TEST(RepeaterTest, ControllerIgnoresMidRouteFrames) {
+  // A routed frame whose hops are not yet exhausted must not be consumed
+  // by the destination, even if it happens to hear it.
+  TestbedConfig config;
+  Testbed testbed(config);
+  auto& controller = testbed.controller();
+  radio::MacEndpoint sender(testbed.medium(), testbed.attacker_radio_config("sender"));
+
+  zwave::RouteHeader route;
+  route.repeaters = {0x77};  // a repeater that does not exist
+  zwave::AppPayload probe;
+  probe.cmd_class = 0x86;
+  probe.command = 0x11;
+  sender.send(zwave::make_routed_singlecast(controller.home_id(), 0xE7, 0x01, route,
+                                            probe, 1));
+  testbed.scheduler().run_for(200 * kMillisecond);
+  EXPECT_FALSE(controller.stats().accepted_pairs.contains({0x86, 0x11}));
+}
+
+}  // namespace
+}  // namespace zc::sim

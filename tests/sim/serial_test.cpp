@@ -1,0 +1,357 @@
+#include "sim/serial.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/testbed.h"
+
+namespace zc::sim {
+namespace {
+
+TEST(SerialFrameTest, EncodeLayout) {
+  SerialFrame frame;
+  frame.type = SerialType::kRequest;
+  frame.func = static_cast<std::uint8_t>(SerialFunc::kApplicationCommandHandler);
+  frame.data = {0x02, 0x03, 0x20, 0x01, 0xFF};
+  const Bytes raw = frame.encode();
+  ASSERT_EQ(raw.size(), 2u + 3u + 5u);
+  EXPECT_EQ(raw[0], kSerialSof);
+  EXPECT_EQ(raw[1], 3 + 5);  // LEN = TYPE + FUNC + DATA + CS
+  EXPECT_EQ(raw[2], 0x00);   // request
+  EXPECT_EQ(raw[3], 0x04);
+  EXPECT_EQ(raw.back(), serial_checksum(ByteView(raw.data() + 1, raw.size() - 2)));
+}
+
+TEST(SerialFrameTest, DecodeInvertsEncode) {
+  SerialFrame frame;
+  frame.type = SerialType::kResponse;
+  frame.func = 0x41;
+  frame.data = {0xAA, 0xBB};
+  std::size_t consumed = 0;
+  const auto decoded = decode_serial_frame(frame.encode(), &consumed);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().type, SerialType::kResponse);
+  EXPECT_EQ(decoded.value().func, 0x41);
+  EXPECT_EQ(decoded.value().data, (Bytes{0xAA, 0xBB}));
+  EXPECT_EQ(consumed, frame.encode().size());
+}
+
+TEST(SerialFrameTest, EmptyDataFrame) {
+  SerialFrame frame;
+  frame.func = 0x13;
+  const auto decoded = decode_serial_frame(frame.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().data.empty());
+}
+
+TEST(SerialFrameTest, DecodeRejectsBadChecksum) {
+  SerialFrame frame;
+  frame.func = 0x04;
+  frame.data = {0x01};
+  const auto decoded = decode_serial_frame(frame.encode_corrupted());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, Errc::kBadChecksum);
+}
+
+TEST(SerialFrameTest, DecodeRejectsMissingSof) {
+  EXPECT_EQ(decode_serial_frame(Bytes{0x02, 0x03, 0x00}).error().code, Errc::kBadField);
+}
+
+TEST(SerialFrameTest, DecodeReportsTruncation) {
+  SerialFrame frame;
+  frame.func = 0x04;
+  frame.data = {0x01, 0x02, 0x03};
+  Bytes raw = frame.encode();
+  raw.resize(raw.size() - 2);
+  EXPECT_EQ(decode_serial_frame(raw).error().code, Errc::kTruncated);
+}
+
+TEST(SerialFrameTest, DecodeRejectsBadType) {
+  SerialFrame frame;
+  frame.func = 0x04;
+  Bytes raw = frame.encode();
+  raw[2] = 0x07;  // neither request nor response
+  raw.back() = serial_checksum(ByteView(raw.data() + 1, raw.size() - 2));
+  EXPECT_EQ(decode_serial_frame(raw).error().code, Errc::kBadField);
+}
+
+class HostProgramTest : public ::testing::Test {
+ protected:
+  HostProgramTest() : state_("pc-program", scheduler_), program_(state_, scheduler_) {}
+
+  EventScheduler scheduler_;
+  HostSoftware state_;
+  HostProgram program_;
+};
+
+TEST_F(HostProgramTest, ParsesWellFormedStream) {
+  SerialFrame frame;
+  frame.func = 0x04;
+  frame.data = {0x02, 0x01, 0x20};
+  for (int i = 0; i < 5; ++i) {
+    program_.on_serial_bytes(frame.encode());
+    scheduler_.run_for(50 * kMillisecond);
+  }
+  EXPECT_EQ(program_.frames_ok(), 5u);
+  EXPECT_TRUE(state_.responsive());
+}
+
+TEST_F(HostProgramTest, HandlesSplitDelivery) {
+  SerialFrame frame;
+  frame.func = 0x49;
+  frame.data = {0x84, 0x02};
+  const Bytes raw = frame.encode();
+  program_.on_serial_bytes(ByteView(raw.data(), 3));
+  EXPECT_EQ(program_.frames_ok(), 0u);
+  program_.on_serial_bytes(ByteView(raw.data() + 3, raw.size() - 3));
+  EXPECT_EQ(program_.frames_ok(), 1u);
+}
+
+TEST_F(HostProgramTest, ResynchronizesOnGarbage) {
+  SerialFrame frame;
+  frame.func = 0x04;
+  Bytes noisy = {0x55, 0x55};  // line noise before SOF
+  const Bytes raw = frame.encode();
+  noisy.insert(noisy.end(), raw.begin(), raw.end());
+  program_.on_serial_bytes(noisy);
+  EXPECT_EQ(program_.frames_ok(), 1u);
+  EXPECT_TRUE(state_.responsive());
+}
+
+TEST_F(HostProgramTest, MalformedFrameCrashesProgram) {
+  SerialFrame frame;
+  frame.func = static_cast<std::uint8_t>(SerialFunc::kSecurityEvent);
+  frame.data = {0x01};
+  program_.on_serial_bytes(frame.encode_corrupted());
+  EXPECT_EQ(state_.state(), HostSoftware::State::kCrashed);
+  EXPECT_EQ(program_.frames_bad(), 1u);
+}
+
+TEST_F(HostProgramTest, CallbackFloodWedgesProgram) {
+  SerialFrame frame;
+  frame.func = static_cast<std::uint8_t>(SerialFunc::kPowerlevelTestReport);
+  frame.data = {0x02, 0x01};
+  const Bytes raw = frame.encode();
+  for (int i = 0; i < 20; ++i) {
+    program_.on_serial_bytes(raw);
+    scheduler_.run_for(2 * kMillisecond);
+  }
+  EXPECT_EQ(state_.state(), HostSoftware::State::kDenialOfService);
+}
+
+TEST_F(HostProgramTest, SlowCallbacksDoNotTripFloodDetector) {
+  SerialFrame frame;
+  frame.func = static_cast<std::uint8_t>(SerialFunc::kPowerlevelTestReport);
+  const Bytes raw = frame.encode();
+  for (int i = 0; i < 60; ++i) {
+    program_.on_serial_bytes(raw);
+    scheduler_.run_for(50 * kMillisecond);
+  }
+  EXPECT_TRUE(state_.responsive());
+}
+
+TEST_F(HostProgramTest, CrashedProgramIgnoresBytesUntilRestart) {
+  SerialFrame frame;
+  frame.func = 0x04;
+  program_.on_serial_bytes(frame.encode_corrupted());
+  ASSERT_FALSE(state_.responsive());
+  program_.on_serial_bytes(frame.encode());
+  EXPECT_EQ(program_.frames_ok(), 0u);
+  state_.restart();
+  program_.on_serial_bytes(frame.encode());
+  EXPECT_EQ(program_.frames_ok(), 1u);
+}
+
+TEST(SerialFrameTest, DecoderSurvivesRandomBytes) {
+  Rng rng(0x5E41);
+  for (int i = 0; i < 5000; ++i) {
+    const Bytes blob = rng.bytes(static_cast<std::size_t>(rng.uniform(0, 40)));
+    std::size_t consumed = 0;
+    const auto frame = decode_serial_frame(blob, &consumed);
+    if (frame.ok()) {
+      EXPECT_GE(consumed, 5u);
+      EXPECT_LE(consumed, blob.size());
+    }
+  }
+}
+
+TEST(HostProgramFuzz, SurvivesRandomByteStreams) {
+  EventScheduler scheduler;
+  HostSoftware state("pc", scheduler);
+  HostProgram program(state, scheduler);
+  Rng rng(0x0573);
+  for (int i = 0; i < 3000; ++i) {
+    program.on_serial_bytes(rng.bytes(static_cast<std::size_t>(rng.uniform(1, 24))));
+    scheduler.run_for(10 * kMillisecond);
+    if (!state.responsive()) state.restart();  // operator keeps restarting
+  }
+  // The parser processed the garbage without wedging permanently.
+  EXPECT_TRUE(state.responsive());
+}
+
+TEST(SerialIntegrationTest, Bug6TravelsTheSerialLink) {
+  // End-to-end: the RF packet hits the chip, the chip survives, the
+  // malformed serial callback kills the program.
+  TestbedConfig config;
+  config.controller_model = DeviceModel::kD2_SilabsUzb7;
+  Testbed testbed(config);
+  radio::MacEndpoint attacker(testbed.medium(), testbed.attacker_radio_config("attacker"));
+  zwave::AppPayload nonce_get;
+  nonce_get.cmd_class = 0x9F;
+  nonce_get.command = 0x01;
+  nonce_get.params = {0x00};
+  attacker.send(zwave::make_singlecast(testbed.controller().home_id(), 0xE7, 0x01,
+                                       nonce_get, 1, true));
+  testbed.scheduler().run_for(200 * kMillisecond);
+
+  EXPECT_TRUE(testbed.controller().responsive());  // the chip is fine
+  EXPECT_EQ(testbed.controller().host().state(), HostSoftware::State::kCrashed);
+}
+
+TEST(SerialIntegrationTest, NormalTrafficForwardsAsCallbacks) {
+  TestbedConfig config;
+  config.controller_model = DeviceModel::kD1_ZoozZst10;
+  config.include_slaves = false;
+  Testbed testbed(config);
+  radio::MacEndpoint probe(testbed.medium(), testbed.attacker_radio_config("probe"));
+  zwave::AppPayload version_get;
+  version_get.cmd_class = 0x86;
+  version_get.command = 0x11;
+  probe.send(zwave::make_singlecast(testbed.controller().home_id(), 0xE7, 0x01,
+                                    version_get, 1, true));
+  testbed.scheduler().run_for(100 * kMillisecond);
+  ASSERT_NE(testbed.controller().host_program(), nullptr);
+  EXPECT_GE(testbed.controller().host_program()->frames_ok(), 1u);
+}
+
+sim::SerialFrame host_request(SerialFunc func, Bytes data) {
+  sim::SerialFrame frame;
+  frame.type = SerialType::kRequest;
+  frame.func = static_cast<std::uint8_t>(func);
+  frame.data = std::move(data);
+  return frame;
+}
+
+TEST(SerialHostApiTest, SendDataTransmitsOverRf) {
+  TestbedConfig config;
+  config.controller_model = DeviceModel::kD1_ZoozZst10;
+  Testbed testbed(config);
+  const auto response = testbed.controller().handle_host_request(host_request(
+      SerialFunc::kSendData, {Testbed::kSwitchNodeId, 3, 0x25, 0x01, 0xFF}));
+  EXPECT_EQ(response.type, SerialType::kResponse);
+  ASSERT_FALSE(response.data.empty());
+  EXPECT_EQ(response.data[0], 0x01);
+  testbed.scheduler().run_for(200 * kMillisecond);
+  EXPECT_TRUE(testbed.smart_switch()->on());
+}
+
+TEST(SerialHostApiTest, SendDataValidatesItsArguments) {
+  TestbedConfig config;
+  config.controller_model = DeviceModel::kD1_ZoozZst10;
+  Testbed testbed(config);
+  auto& controller = testbed.controller();
+  // Too short.
+  EXPECT_EQ(controller.handle_host_request(host_request(SerialFunc::kSendData, {3})).data[0],
+            0x00);
+  // Length overruns the data.
+  EXPECT_EQ(controller
+                .handle_host_request(host_request(SerialFunc::kSendData, {3, 9, 0x25}))
+                .data[0],
+            0x00);
+}
+
+TEST(SerialHostApiTest, GetNodeProtocolInfoReflectsTable) {
+  TestbedConfig config;
+  config.controller_model = DeviceModel::kD1_ZoozZst10;
+  Testbed testbed(config);
+  const auto known = testbed.controller().handle_host_request(
+      host_request(SerialFunc::kGetNodeProtocolInfo, {Testbed::kLockNodeId}));
+  ASSERT_EQ(known.data.size(), 4u);
+  EXPECT_EQ(known.data[0], 0x01);
+  EXPECT_EQ(known.data[2], static_cast<std::uint8_t>(zwave::SecurityLevel::kS2));
+
+  const auto unknown = testbed.controller().handle_host_request(
+      host_request(SerialFunc::kGetNodeProtocolInfo, {0x99}));
+  EXPECT_EQ(unknown.data[0], 0x00);
+}
+
+TEST(SerialHostApiTest, SendDataToSleepingNodeIsMailboxed) {
+  TestbedConfig config;
+  config.controller_model = DeviceModel::kD1_ZoozZst10;
+  config.include_s0_sensor = true;  // node 4: non-listening
+  Testbed testbed(config);
+  auto& controller = testbed.controller();
+
+  const auto response = controller.handle_host_request(host_request(
+      SerialFunc::kSendData, {Testbed::kS0SensorNodeId, 3, 0x20, 0x01, 0xFF}));
+  EXPECT_EQ(response.data[0], 0x01);
+  EXPECT_EQ(controller.queued_for(Testbed::kS0SensorNodeId), 1u);
+
+  // The sensor wakes up: the mailbox flushes over RF.
+  testbed.s0_sensor()->notify_awake();
+  testbed.scheduler().run_for(200 * kMillisecond);
+  EXPECT_EQ(controller.queued_for(Testbed::kS0SensorNodeId), 0u);
+}
+
+TEST(SerialHostApiTest, Bug12OrphansTheWakeupMailbox) {
+  // After the wake-up bookkeeping is wiped (bug #12), notifications no
+  // longer flush the queue: the paper's "network becomes unresponsive,
+  // requiring manual intervention".
+  TestbedConfig config;
+  config.controller_model = DeviceModel::kD1_ZoozZst10;
+  config.include_s0_sensor = true;
+  Testbed testbed(config);
+  auto& controller = testbed.controller();
+  controller.handle_host_request(host_request(
+      SerialFunc::kSendData, {Testbed::kS0SensorNodeId, 3, 0x20, 0x01, 0xFF}));
+  ASSERT_EQ(controller.queued_for(Testbed::kS0SensorNodeId), 1u);
+
+  radio::MacEndpoint attacker(testbed.medium(), testbed.attacker_radio_config("attacker"));
+  zwave::AppPayload wipe;
+  wipe.cmd_class = 0x01;
+  wipe.command = 0x0D;
+  wipe.params = {0x04, 0x02, 0x00};  // bug #12 trigger
+  attacker.send(zwave::make_singlecast(controller.home_id(), 0xE7, 0x01, wipe, 1, false));
+  testbed.scheduler().run_for(100 * kMillisecond);
+  ASSERT_EQ(controller.node_table().find(Testbed::kS0SensorNodeId)->wakeup_interval_s, 0u);
+
+  testbed.s0_sensor()->notify_awake();
+  testbed.scheduler().run_for(200 * kMillisecond);
+  EXPECT_EQ(controller.queued_for(Testbed::kS0SensorNodeId), 1u);  // still stuck
+}
+
+TEST(SerialHostApiTest, BusyChipRefusesRequests) {
+  TestbedConfig config;
+  config.controller_model = DeviceModel::kD1_ZoozZst10;
+  Testbed testbed(config);
+  radio::MacEndpoint attacker(testbed.medium(), testbed.attacker_radio_config("attacker"));
+  zwave::AppPayload reset;
+  reset.cmd_class = 0x5A;
+  reset.command = 0x01;
+  attacker.send(zwave::make_singlecast(testbed.controller().home_id(), 0xE7, 0x01, reset,
+                                       1, false));
+  testbed.scheduler().run_for(100 * kMillisecond);
+  ASSERT_FALSE(testbed.controller().responsive());
+  const auto response = testbed.controller().handle_host_request(
+      host_request(SerialFunc::kGetNodeProtocolInfo, {Testbed::kLockNodeId}));
+  EXPECT_EQ(response.data[0], 0x00);
+}
+
+TEST(SerialHostApiTest, UnsupportedFunctionRefused) {
+  TestbedConfig config;
+  config.controller_model = DeviceModel::kD1_ZoozZst10;
+  Testbed testbed(config);
+  sim::SerialFrame odd;
+  odd.type = SerialType::kRequest;
+  odd.func = 0xEE;
+  EXPECT_EQ(testbed.controller().handle_host_request(odd).data[0], 0x00);
+}
+
+TEST(SerialIntegrationTest, HubsHaveNoSerialProgram) {
+  TestbedConfig config;
+  config.controller_model = DeviceModel::kD6_SamsungWv520;
+  Testbed testbed(config);
+  EXPECT_EQ(testbed.controller().host_program(), nullptr);
+}
+
+}  // namespace
+}  // namespace zc::sim

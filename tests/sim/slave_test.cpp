@@ -1,0 +1,147 @@
+#include "sim/slave.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/testbed.h"
+
+namespace zc::sim {
+namespace {
+
+TEST(SlaveTest, SwitchRespondsToBinaryGet) {
+  TestbedConfig config;
+  Testbed testbed(config);
+  auto& scheduler = testbed.scheduler();
+  radio::MacEndpoint probe(testbed.medium(), testbed.attacker_radio_config("probe"));
+  std::vector<zwave::MacFrame> inbox;
+  probe.set_frame_handler([&](const zwave::MacFrame& frame, double) {
+    if (frame.src == Testbed::kSwitchNodeId) inbox.push_back(frame);
+  });
+
+  zwave::AppPayload get;
+  get.cmd_class = 0x25;
+  get.command = 0x02;
+  probe.send(zwave::make_singlecast(testbed.controller().home_id(), 0xE7,
+                                    Testbed::kSwitchNodeId, get, 1, true));
+  scheduler.run_for(200 * kMillisecond);
+
+  bool saw_report = false;
+  for (const auto& frame : inbox) {
+    const auto app = zwave::decode_app_payload(frame.payload);
+    if (app.ok() && app.value().cmd_class == 0x25 && app.value().command == 0x03) {
+      saw_report = true;
+      EXPECT_EQ(app.value().params[0], 0x00);  // off by default
+    }
+  }
+  EXPECT_TRUE(saw_report);
+}
+
+TEST(SlaveTest, SwitchObeysPlaintextSet) {
+  // The legacy switch's weakness: anyone can flip it (No Security mode).
+  TestbedConfig config;
+  Testbed testbed(config);
+  radio::MacEndpoint attacker(testbed.medium(), testbed.attacker_radio_config("attacker"));
+  zwave::AppPayload set;
+  set.cmd_class = 0x25;
+  set.command = 0x01;
+  set.params = {0xFF};
+  attacker.send(zwave::make_singlecast(testbed.controller().home_id(), 0xE7,
+                                       Testbed::kSwitchNodeId, set, 1, false));
+  testbed.scheduler().run_for(100 * kMillisecond);
+  EXPECT_TRUE(testbed.smart_switch()->on());
+}
+
+TEST(SlaveTest, LockIgnoresPlaintextOperation) {
+  // The S2 lock refuses unencapsulated commands — the paper's point that
+  // the *controller*, not the lock, is the weak link.
+  TestbedConfig config;
+  Testbed testbed(config);
+  radio::MacEndpoint attacker(testbed.medium(), testbed.attacker_radio_config("attacker"));
+  zwave::AppPayload unlock;
+  unlock.cmd_class = 0x62;
+  unlock.command = 0x01;
+  unlock.params = {0x00};
+  attacker.send(zwave::make_singlecast(testbed.controller().home_id(), 0xE7,
+                                       Testbed::kLockNodeId, unlock, 1, false));
+  testbed.scheduler().run_for(100 * kMillisecond);
+  EXPECT_TRUE(testbed.door_lock()->locked());
+}
+
+TEST(SlaveTest, PeriodicReportsFlow) {
+  TestbedConfig config;
+  config.slave_report_interval = 10 * kSecond;
+  Testbed testbed(config);
+  testbed.scheduler().run_for(65 * kSecond);
+  EXPECT_GE(testbed.door_lock()->reports_sent(), 5u);
+  // The switch reports on a staggered interval (10 s + 7 s).
+  EXPECT_GE(testbed.smart_switch()->reports_sent(), 3u);
+}
+
+TEST(SlaveTest, S0SensorRunsNonceHandshakeOverRf) {
+  TestbedConfig config;
+  config.include_s0_sensor = true;
+  config.slave_report_interval = 10 * kSecond;
+  Testbed testbed(config);
+  testbed.scheduler().run_for(80 * kSecond);
+
+  ASSERT_NE(testbed.s0_sensor(), nullptr);
+  EXPECT_GE(testbed.s0_sensor()->secure_reports_sent(), 3u);
+  // Every encapsulation verified at the controller: nothing failed auth.
+  EXPECT_EQ(testbed.controller().stats().auth_failures, 0u);
+  // The inner SENSOR_BINARY reports were decapsulated and consumed via the
+  // S0 message-encapsulation pair.
+  EXPECT_TRUE(testbed.controller().stats().accepted_pairs.contains(
+      {zwave::kSecurity0Class, zwave::kS0MessageEncap}));
+}
+
+TEST(SlaveTest, S0SensorNonceIsSingleUse) {
+  TestbedConfig config;
+  config.include_s0_sensor = true;
+  config.slave_report_interval = 10 * kSecond;
+  Testbed testbed(config);
+  // Capture one S0 encapsulation off the air and replay it: the
+  // controller's outstanding nonce was consumed, so the replay must fail.
+  radio::MacEndpoint sniffer(testbed.medium(), testbed.attacker_radio_config("sniffer"));
+  std::optional<zwave::MacFrame> captured;
+  sniffer.set_frame_handler([&](const zwave::MacFrame& frame, double) {
+    const auto app = zwave::decode_app_payload(frame.payload);
+    if (app.ok() && app.value().cmd_class == zwave::kSecurity0Class &&
+        app.value().command == zwave::kS0MessageEncap && !captured.has_value()) {
+      captured = frame;
+    }
+  });
+  testbed.scheduler().run_for(40 * kSecond);
+  ASSERT_TRUE(captured.has_value());
+  const auto failures_before = testbed.controller().stats().auth_failures;
+  // A replay attacker re-frames the ciphertext under a fresh sequence
+  // number (same-sequence copies are discarded as MAC retransmissions).
+  zwave::MacFrame replay = *captured;
+  replay.sequence = (replay.sequence + 7) & 0x0F;
+  sniffer.send(replay);
+  testbed.scheduler().run_for(200 * kMillisecond);
+  EXPECT_GT(testbed.controller().stats().auth_failures, failures_before);
+}
+
+TEST(SlaveTest, LockReportsRideS2) {
+  // A sniffer must not see the battery report's plaintext.
+  TestbedConfig config;
+  config.slave_report_interval = 5 * kSecond;
+  Testbed testbed(config);
+  radio::MacEndpoint sniffer(testbed.medium(), testbed.attacker_radio_config("sniffer"));
+  bool saw_lock_frame = false;
+  bool saw_plaintext_battery = false;
+  sniffer.set_frame_handler([&](const zwave::MacFrame& frame, double) {
+    if (frame.src != Testbed::kLockNodeId) return;
+    if (frame.header == zwave::HeaderType::kAck) return;
+    saw_lock_frame = true;
+    const auto app = zwave::decode_app_payload(frame.payload);
+    ASSERT_TRUE(app.ok());
+    if (app.value().cmd_class == 0x80) saw_plaintext_battery = true;
+    EXPECT_EQ(app.value().cmd_class, zwave::kSecurity2Class);
+  });
+  testbed.scheduler().run_for(20 * kSecond);
+  EXPECT_TRUE(saw_lock_frame);
+  EXPECT_FALSE(saw_plaintext_battery);
+}
+
+}  // namespace
+}  // namespace zc::sim

@@ -1,0 +1,61 @@
+#include "zwave/checksum.h"
+
+#include <gtest/gtest.h>
+
+namespace zc::zwave {
+namespace {
+
+TEST(ChecksumTest, Cs8EmptyIsSeed) { EXPECT_EQ(checksum8({}), 0xFF); }
+
+TEST(ChecksumTest, Cs8XorProperty) {
+  // XOR checksum algebra: appending the checksum itself yields the seed's
+  // complementary invariant cs(data || cs(data)) == 0x00 ^ seed-ish; check
+  // the defining property instead: cs differs by exactly the appended byte.
+  const Bytes data = {0x01, 0x02, 0x03};
+  const std::uint8_t cs = checksum8(data);
+  Bytes extended = data;
+  extended.push_back(0x10);
+  EXPECT_EQ(checksum8(extended), cs ^ 0x10);
+}
+
+TEST(ChecksumTest, Cs8AppendChecksumGivesZeroXor) {
+  const Bytes data = {0xCB, 0x95, 0xA3, 0x4A, 0x0F};
+  Bytes with_cs = data;
+  with_cs.push_back(checksum8(data));
+  // XOR of all bytes including the checksum equals the seed.
+  std::uint8_t acc = 0;
+  for (std::uint8_t b : with_cs) acc ^= b;
+  EXPECT_EQ(acc, 0xFF);
+}
+
+TEST(ChecksumTest, Cs8OrderInsensitive) {
+  EXPECT_EQ(checksum8(Bytes{1, 2, 3}), checksum8(Bytes{3, 2, 1}));
+}
+
+TEST(ChecksumTest, Crc16KnownValue) {
+  // CRC-16/AUG-CCITT (init 0x1D0F) of "123456789" is 0xE5CC.
+  const char* digits = "123456789";
+  const Bytes data(digits, digits + 9);
+  EXPECT_EQ(crc16_ccitt(data), 0xE5CC);
+}
+
+TEST(ChecksumTest, Crc16Empty) { EXPECT_EQ(crc16_ccitt({}), 0x1D0F); }
+
+TEST(ChecksumTest, Crc16DetectsSingleBitFlips) {
+  Bytes data = {0x56, 0x01, 0x20, 0x01, 0xFF};
+  const std::uint16_t original = crc16_ccitt(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_NE(crc16_ccitt(data), original) << "byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<std::uint8_t>(1 << bit);
+    }
+  }
+}
+
+TEST(ChecksumTest, Crc16OrderSensitiveUnlikeCs8) {
+  EXPECT_NE(crc16_ccitt(Bytes{1, 2, 3}), crc16_ccitt(Bytes{3, 2, 1}));
+}
+
+}  // namespace
+}  // namespace zc::zwave

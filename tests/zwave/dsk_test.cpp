@@ -1,0 +1,88 @@
+#include "zwave/dsk.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace zc::zwave {
+namespace {
+
+Dsk sample_dsk() {
+  Dsk dsk{};
+  for (std::size_t i = 0; i < dsk.size(); ++i) dsk[i] = static_cast<std::uint8_t>(i * 17 + 3);
+  return dsk;
+}
+
+TEST(DskTest, FormatShape) {
+  const std::string text = format_dsk(sample_dsk());
+  ASSERT_EQ(text.size(), 8 * 5 + 7);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (i % 6 == 5) {
+      EXPECT_EQ(text[i], '-');
+    } else {
+      EXPECT_TRUE(text[i] >= '0' && text[i] <= '9');
+    }
+  }
+}
+
+TEST(DskTest, FormatZeroPads) {
+  Dsk dsk{};  // all zero
+  EXPECT_EQ(format_dsk(dsk), "00000-00000-00000-00000-00000-00000-00000-00000");
+}
+
+TEST(DskTest, RoundTripProperty) {
+  Rng rng(0xD5C);
+  for (int i = 0; i < 200; ++i) {
+    Dsk dsk{};
+    const Bytes bytes = rng.bytes(16);
+    std::copy(bytes.begin(), bytes.end(), dsk.begin());
+    const auto parsed = parse_dsk(format_dsk(dsk));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, dsk);
+  }
+}
+
+TEST(DskTest, ParseToleratesSpaces) {
+  const Dsk dsk = sample_dsk();
+  std::string text = format_dsk(dsk);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '-') text.insert(i + 1, " ");
+  }
+  const auto parsed = parse_dsk(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, dsk);
+}
+
+TEST(DskTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_dsk("").has_value());
+  EXPECT_FALSE(parse_dsk("12345").has_value());                       // too few groups
+  EXPECT_FALSE(parse_dsk("1234-12345-12345-12345-12345-12345-12345-12345").has_value());
+  EXPECT_FALSE(parse_dsk("99999-12345-12345-12345-12345-12345-12345-12345").has_value());
+  EXPECT_FALSE(
+      parse_dsk("12345-12345-12345-12345-12345-12345-12345-12345-xx").has_value());
+}
+
+TEST(DskTest, ParseRejectsGroupOverflow) {
+  // 70000 > 0xFFFF even though it is five digits.
+  EXPECT_FALSE(
+      parse_dsk("70000-12345-12345-12345-12345-12345-12345-12345").has_value());
+}
+
+TEST(DskTest, PinIsFirstGroup) {
+  Dsk dsk{};
+  dsk[0] = 0x84;
+  dsk[1] = 0xF4;  // 34036
+  EXPECT_EQ(dsk_pin(dsk), 0x84F4);
+  EXPECT_EQ(format_dsk(dsk).substr(0, 5), "34036");
+}
+
+TEST(DskTest, DerivedFromPublicKey) {
+  Rng rng(0xD5C2);
+  const auto priv = crypto::make_x25519_key(rng.bytes(32));
+  const auto pub = crypto::x25519_public(priv);
+  const Dsk dsk = dsk_from_public_key(pub);
+  EXPECT_TRUE(std::equal(dsk.begin(), dsk.end(), pub.begin()));
+}
+
+}  // namespace
+}  // namespace zc::zwave

@@ -1,0 +1,201 @@
+#include "zwave/frame.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "zwave/checksum.h"
+
+namespace zc::zwave {
+namespace {
+
+MacFrame sample_frame() {
+  AppPayload app;
+  app.cmd_class = 0x20;
+  app.command = 0x01;
+  app.params = {0xFF};
+  return make_singlecast(0xCB95A34A, 0x0F, 0x01, app, 5, true);
+}
+
+TEST(FrameTest, EncodeLayoutMatchesFig1) {
+  const MacFrame frame = sample_frame();
+  const auto encoded = frame.encode();
+  ASSERT_TRUE(encoded.ok());
+  const Bytes& raw = encoded.value();
+  // H-ID(4) SRC P1 P2 LEN DST payload CS
+  ASSERT_EQ(raw.size(), kMacHeaderSize + 3 + 1);
+  EXPECT_EQ(read_be32(raw, 0), 0xCB95A34Au);
+  EXPECT_EQ(raw[4], 0x0F);              // SRC
+  EXPECT_EQ(raw[5] & 0x0F, 0x01);       // singlecast
+  EXPECT_TRUE(raw[5] & 0x40);           // ack requested
+  EXPECT_EQ(raw[6], 0x05);              // sequence
+  EXPECT_EQ(raw[7], raw.size());        // LEN covers the whole frame
+  EXPECT_EQ(raw[8], 0x01);              // DST
+  EXPECT_EQ(raw[9], 0x20);              // CMDCL
+  EXPECT_EQ(raw[10], 0x01);             // CMD
+  EXPECT_EQ(raw[11], 0xFF);             // PARAM
+}
+
+TEST(FrameTest, DecodeInvertsEncode) {
+  const MacFrame frame = sample_frame();
+  const auto decoded = decode_frame(frame.encode().value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().home_id, frame.home_id);
+  EXPECT_EQ(decoded.value().src, frame.src);
+  EXPECT_EQ(decoded.value().dst, frame.dst);
+  EXPECT_EQ(decoded.value().sequence, frame.sequence);
+  EXPECT_EQ(decoded.value().ack_requested, frame.ack_requested);
+  EXPECT_EQ(decoded.value().payload, frame.payload);
+}
+
+TEST(FrameTest, RoundTripPropertyOverRandomFrames) {
+  Rng rng(0xF7A3E);
+  for (int i = 0; i < 500; ++i) {
+    MacFrame frame;
+    frame.home_id = rng.next_u32();
+    frame.src = rng.next_byte();
+    frame.dst = rng.next_byte();
+    frame.sequence = static_cast<std::uint8_t>(rng.uniform(0, 15));
+    frame.ack_requested = rng.chance(0.5);
+    frame.routed = rng.chance(0.2);
+    const std::uint64_t kinds[] = {0x1, 0x2, 0x3};
+    frame.header = static_cast<HeaderType>(kinds[rng.uniform(0, 2)]);
+    frame.payload = rng.bytes(static_cast<std::size_t>(rng.uniform(0, 54)));
+
+    const auto encoded = frame.encode();
+    ASSERT_TRUE(encoded.ok());
+    const auto decoded = decode_frame(encoded.value());
+    ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+    EXPECT_EQ(decoded.value().payload, frame.payload);
+    EXPECT_EQ(decoded.value().home_id, frame.home_id);
+    EXPECT_EQ(decoded.value().header, frame.header);
+    EXPECT_EQ(decoded.value().routed, frame.routed);
+  }
+}
+
+TEST(FrameTest, EncodeRejectsOversizedPayload) {
+  MacFrame frame = sample_frame();
+  frame.payload = Bytes(55, 0xAA);  // 9 + 55 + 1 = 65 > 64
+  const auto encoded = frame.encode();
+  ASSERT_FALSE(encoded.ok());
+  EXPECT_EQ(encoded.error().code, Errc::kBadLength);
+}
+
+TEST(FrameTest, MaxSizeFrameIsExactly64Bytes) {
+  MacFrame frame = sample_frame();
+  frame.payload = Bytes(54, 0xAA);
+  const auto encoded = frame.encode();
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded.value().size(), kMaxMacFrame);
+  EXPECT_TRUE(decode_frame(encoded.value()).ok());
+}
+
+TEST(FrameTest, DecodeRejectsTruncated) {
+  const auto result = decode_frame(Bytes{0x01, 0x02, 0x03});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::kTruncated);
+}
+
+TEST(FrameTest, DecodeRejectsLenMismatch) {
+  Bytes raw = sample_frame().encode_raw(/*len_override=*/0x20);
+  const auto result = decode_frame(raw);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::kBadLength);
+}
+
+TEST(FrameTest, DecodeRejectsBadChecksum) {
+  Bytes raw = sample_frame().encode_raw(std::nullopt, /*cs_override=*/0x00);
+  // Guard: make sure the override actually broke the checksum.
+  ASSERT_NE(checksum8(ByteView(raw.data(), raw.size() - 1)), 0x00);
+  const auto result = decode_frame(raw);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::kBadChecksum);
+}
+
+TEST(FrameTest, DecodeRejectsUnknownHeaderType) {
+  Bytes raw = sample_frame().encode_raw();
+  raw[5] = (raw[5] & 0xF0) | 0x07;  // nibble 7 is unassigned
+  raw[raw.size() - 1] = checksum8(ByteView(raw.data(), raw.size() - 1));
+  const auto result = decode_frame(raw);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Errc::kBadField);
+}
+
+TEST(FrameTest, AppPayloadDecodeHierarchy) {
+  const Bytes payload = {0x62, 0x01, 0xFF, 0x00};
+  const auto app = decode_app_payload(payload);
+  ASSERT_TRUE(app.ok());
+  EXPECT_EQ(app.value().cmd_class, 0x62);
+  EXPECT_EQ(app.value().command, 0x01);
+  EXPECT_EQ(app.value().params, (Bytes{0xFF, 0x00}));
+}
+
+TEST(FrameTest, AppPayloadLoneClassIsLegal) {
+  const auto app = decode_app_payload(Bytes{0x5A});
+  ASSERT_TRUE(app.ok());
+  EXPECT_EQ(app.value().cmd_class, 0x5A);
+  EXPECT_EQ(app.value().command, 0x00);
+  EXPECT_TRUE(app.value().params.empty());
+}
+
+TEST(FrameTest, AppPayloadEmptyRejected) {
+  EXPECT_FALSE(decode_app_payload(Bytes{}).ok());
+}
+
+TEST(FrameTest, MakeAckMirrorsAddressing) {
+  const MacFrame frame = sample_frame();
+  const MacFrame ack = make_ack(frame, 0x01);
+  EXPECT_EQ(ack.header, HeaderType::kAck);
+  EXPECT_EQ(ack.src, 0x01);
+  EXPECT_EQ(ack.dst, frame.src);
+  EXPECT_EQ(ack.home_id, frame.home_id);
+  EXPECT_EQ(ack.sequence, frame.sequence);
+  EXPECT_FALSE(ack.ack_requested);
+}
+
+TEST(FrameTest, Crc16ModeRoundTrip) {
+  const MacFrame frame = sample_frame();
+  const auto encoded = frame.encode(IntegrityMode::kCrc16);
+  ASSERT_TRUE(encoded.ok());
+  // 2-byte trailer instead of 1.
+  EXPECT_EQ(encoded.value().size(), kMacHeaderSize + frame.payload.size() + 2);
+  const auto decoded = decode_frame(encoded.value(), IntegrityMode::kCrc16);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().payload, frame.payload);
+}
+
+TEST(FrameTest, Crc16ModeDetectsCorruption) {
+  const MacFrame frame = sample_frame();
+  Bytes raw = frame.encode(IntegrityMode::kCrc16).value();
+  raw[10] ^= 0x01;
+  const auto decoded = decode_frame(raw, IntegrityMode::kCrc16);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, Errc::kBadChecksum);
+}
+
+TEST(FrameTest, ModeMismatchIsRejected) {
+  // A CS-8 frame read as CRC-16 (or vice versa) must fail validation:
+  // channel configuration mismatches cannot silently parse.
+  const MacFrame frame = sample_frame();
+  const Bytes cs8 = frame.encode(IntegrityMode::kChecksum8).value();
+  EXPECT_FALSE(decode_frame(cs8, IntegrityMode::kCrc16).ok());
+  const Bytes crc = frame.encode(IntegrityMode::kCrc16).value();
+  EXPECT_FALSE(decode_frame(crc, IntegrityMode::kChecksum8).ok());
+}
+
+TEST(FrameTest, Crc16ModeMaxPayloadShrinksByOne) {
+  MacFrame frame = sample_frame();
+  frame.payload = Bytes(54, 0xAA);  // fits CS-8 exactly
+  EXPECT_TRUE(frame.encode(IntegrityMode::kChecksum8).ok());
+  EXPECT_FALSE(frame.encode(IntegrityMode::kCrc16).ok());
+  frame.payload.resize(53);
+  EXPECT_TRUE(frame.encode(IntegrityMode::kCrc16).ok());
+}
+
+TEST(FrameTest, DescribeMentionsKeyFields) {
+  const std::string text = sample_frame().describe();
+  EXPECT_NE(text.find("singlecast"), std::string::npos);
+  EXPECT_NE(text.find("CB95A34A"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zc::zwave

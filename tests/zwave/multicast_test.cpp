@@ -1,0 +1,110 @@
+#include "zwave/multicast.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/testbed.h"
+
+namespace zc::zwave {
+namespace {
+
+TEST(MulticastTest, MaskEncodesBitPerNode) {
+  const Bytes mask = encode_multicast_mask({1, 3, 9});
+  ASSERT_GE(mask.size(), 3u);
+  EXPECT_EQ(mask[0], 2);           // mask length: nodes up to 9 need 2 bytes
+  EXPECT_EQ(mask[1], 0b00000101);  // nodes 1 and 3
+  EXPECT_EQ(mask[2], 0b00000001);  // node 9
+}
+
+TEST(MulticastTest, SplitRoundTrip) {
+  AppPayload app;
+  app.cmd_class = 0x20;
+  app.command = 0x01;
+  app.params = {0x00};
+  const MacFrame frame = make_multicast(0xC7E9DD54, 0x01, {2, 3}, app, 5);
+  EXPECT_EQ(frame.header, HeaderType::kMulticast);
+  EXPECT_FALSE(frame.ack_requested);
+
+  const auto split = split_multicast_payload(frame.payload);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split.value().destinations, (std::vector<NodeId>{2, 3}));
+  EXPECT_TRUE(split.value().addresses(2));
+  EXPECT_FALSE(split.value().addresses(4));
+  EXPECT_EQ(split.value().app_payload, app.encode());
+}
+
+TEST(MulticastTest, SplitRejectsMalformedMasks) {
+  EXPECT_FALSE(split_multicast_payload(Bytes{}).ok());
+  EXPECT_FALSE(split_multicast_payload(Bytes{0}).ok());        // zero length
+  EXPECT_FALSE(split_multicast_payload(Bytes{30, 0xFF}).ok()); // above max
+  EXPECT_FALSE(split_multicast_payload(Bytes{2, 0x01}).ok());  // truncated
+  EXPECT_FALSE(split_multicast_payload(Bytes{1, 0x00, 0x20}).ok());  // empty mask
+}
+
+TEST(MulticastTest, HighNodeIds) {
+  const Bytes mask = encode_multicast_mask({232});
+  EXPECT_EQ(mask[0], 29);
+  const auto split = split_multicast_payload(concat(mask, Bytes{0x20, 0x02}));
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split.value().destinations, (std::vector<NodeId>{232}));
+}
+
+TEST(MulticastTest, SwitchObeysMulticastBlast) {
+  // The classic legacy attack: one multicast BASIC SET flips every
+  // unencrypted actuator at once.
+  sim::Testbed testbed(sim::TestbedConfig{});
+  radio::MacEndpoint attacker(testbed.medium(), testbed.attacker_radio_config("attacker"));
+  AppPayload blast;
+  blast.cmd_class = 0x25;
+  blast.command = 0x01;
+  blast.params = {0xFF};
+  attacker.send(make_multicast(testbed.controller().home_id(), 0xE7,
+                               {sim::Testbed::kLockNodeId, sim::Testbed::kSwitchNodeId},
+                               blast, 1));
+  testbed.scheduler().run_for(100 * kMillisecond);
+  EXPECT_TRUE(testbed.smart_switch()->on());   // legacy device obeys
+  EXPECT_TRUE(testbed.door_lock()->locked());  // S2 device ignores plaintext
+}
+
+TEST(MulticastTest, NonAddressedNodeIgnores) {
+  sim::Testbed testbed(sim::TestbedConfig{});
+  radio::MacEndpoint attacker(testbed.medium(), testbed.attacker_radio_config("attacker"));
+  AppPayload blast;
+  blast.cmd_class = 0x25;
+  blast.command = 0x01;
+  blast.params = {0xFF};
+  attacker.send(make_multicast(testbed.controller().home_id(), 0xE7,
+                               {sim::Testbed::kLockNodeId}, blast, 1));  // switch excluded
+  testbed.scheduler().run_for(100 * kMillisecond);
+  EXPECT_FALSE(testbed.smart_switch()->on());
+}
+
+TEST(MulticastTest, ControllerProcessesAddressedMulticast) {
+  sim::Testbed testbed(sim::TestbedConfig{});
+  radio::MacEndpoint attacker(testbed.medium(), testbed.attacker_radio_config("attacker"));
+  AppPayload probe;
+  probe.cmd_class = 0x86;
+  probe.command = 0x11;
+  attacker.send(
+      make_multicast(testbed.controller().home_id(), 0xE7, {0x01}, probe, 1));
+  testbed.scheduler().run_for(100 * kMillisecond);
+  EXPECT_TRUE(testbed.controller().stats().accepted_pairs.contains({0x86, 0x11}));
+}
+
+TEST(MulticastTest, MulticastIsNeverAcked) {
+  sim::Testbed testbed(sim::TestbedConfig{});
+  radio::MacEndpoint attacker(testbed.medium(), testbed.attacker_radio_config("attacker"));
+  std::size_t acks = 0;
+  attacker.set_frame_handler([&](const zwave::MacFrame& frame, double) {
+    if (frame.header == HeaderType::kAck) ++acks;
+  });
+  AppPayload probe;
+  probe.cmd_class = 0x01;
+  probe.command = 0x01;
+  attacker.send(make_multicast(testbed.controller().home_id(), 0xE7,
+                               {0x01, sim::Testbed::kSwitchNodeId}, probe, 1));
+  testbed.scheduler().run_for(200 * kMillisecond);
+  EXPECT_EQ(acks, 0u);
+}
+
+}  // namespace
+}  // namespace zc::zwave

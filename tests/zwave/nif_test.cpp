@@ -1,0 +1,72 @@
+#include "zwave/nif.h"
+
+#include <gtest/gtest.h>
+
+namespace zc::zwave {
+namespace {
+
+TEST(NifTest, EncodeDecodeRoundTrip) {
+  NodeInfo info;
+  info.capabilities = 0x80;
+  info.basic_class = kBasicClassStaticController;
+  info.generic_class = 0x02;
+  info.specific_class = 0x07;
+  info.supported = {0x22, 0x59, 0x85, 0x86, 0x9F};
+
+  const AppPayload payload = info.encode();
+  EXPECT_EQ(payload.cmd_class, 0x01);
+  EXPECT_EQ(payload.command, 0x07);
+
+  const auto decoded = decode_node_info(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().basic_class, kBasicClassStaticController);
+  EXPECT_EQ(decoded.value().supported, info.supported);
+}
+
+TEST(NifTest, EmptySupportedListIsValid) {
+  NodeInfo info;
+  const auto decoded = decode_node_info(info.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().supported.empty());
+}
+
+TEST(NifTest, DecodeRejectsWrongCommand) {
+  AppPayload payload;
+  payload.cmd_class = 0x01;
+  payload.command = 0x02;
+  EXPECT_FALSE(decode_node_info(payload).ok());
+}
+
+TEST(NifTest, DecodeRejectsTruncatedHeader) {
+  AppPayload payload;
+  payload.cmd_class = 0x01;
+  payload.command = 0x07;
+  payload.params = {0x80, 0x02};  // missing generic/specific
+  const auto decoded = decode_node_info(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, Errc::kTruncated);
+}
+
+TEST(NifTest, RequestTargetsNode) {
+  const AppPayload request = make_nif_request(0x01);
+  EXPECT_EQ(request.cmd_class, 0x01);
+  EXPECT_EQ(request.command, 0x02);
+  ASSERT_EQ(request.params.size(), 1u);
+  EXPECT_EQ(request.params[0], 0x01);
+}
+
+TEST(NifTest, NopShape) {
+  const AppPayload nop = make_nop();
+  EXPECT_EQ(nop.cmd_class, 0x01);
+  EXPECT_EQ(nop.command, 0x01);
+  EXPECT_TRUE(nop.params.empty());
+}
+
+TEST(NifTest, BasicClassNames) {
+  EXPECT_STREQ(basic_class_name(kBasicClassStaticController), "static-controller");
+  EXPECT_STREQ(basic_class_name(kBasicClassRoutingSlave), "routing-slave");
+  EXPECT_STREQ(basic_class_name(0x77), "unknown");
+}
+
+}  // namespace
+}  // namespace zc::zwave

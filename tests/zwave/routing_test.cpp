@@ -1,0 +1,77 @@
+#include "zwave/routing.h"
+
+#include <gtest/gtest.h>
+
+namespace zc::zwave {
+namespace {
+
+RouteHeader two_hop_route() {
+  RouteHeader route;
+  route.repeaters = {0x05, 0x06};
+  return route;
+}
+
+TEST(RoutingTest, HeaderEncodeLayout) {
+  RouteHeader route = two_hop_route();
+  route.hop_index = 1;
+  const Bytes raw = route.encode();
+  ASSERT_EQ(raw.size(), 4u);
+  EXPECT_EQ(raw[0], 0x00);           // outbound
+  EXPECT_EQ(raw[1], (1 << 4) | 2);   // hop 1, count 2
+  EXPECT_EQ(raw[2], 0x05);
+  EXPECT_EQ(raw[3], 0x06);
+}
+
+TEST(RoutingTest, SplitRoundTrip) {
+  AppPayload app;
+  app.cmd_class = 0x20;
+  app.command = 0x01;
+  app.params = {0xFF};
+  const MacFrame frame =
+      make_routed_singlecast(0xC7E9DD54, 0xE7, 0x01, two_hop_route(), app, 3);
+  ASSERT_TRUE(frame.routed);
+
+  const auto split = split_routed_payload(frame.payload);
+  ASSERT_TRUE(split.ok()) << split.error().message;
+  EXPECT_EQ(split.value().route.repeaters, (std::vector<NodeId>{0x05, 0x06}));
+  EXPECT_FALSE(split.value().route.complete());
+  EXPECT_EQ(split.value().app_payload, app.encode());
+}
+
+TEST(RoutingTest, CompletionSemantics) {
+  RouteHeader route = two_hop_route();
+  EXPECT_FALSE(route.complete());
+  route.hop_index = 2;
+  EXPECT_TRUE(route.complete());
+}
+
+TEST(RoutingTest, ReversedRouteFlipsEverything) {
+  RouteHeader route = two_hop_route();
+  route.hop_index = 2;
+  const RouteHeader back = route.reversed();
+  EXPECT_TRUE(back.response);
+  EXPECT_EQ(back.hop_index, 0);
+  EXPECT_EQ(back.repeaters, (std::vector<NodeId>{0x06, 0x05}));
+}
+
+TEST(RoutingTest, SplitRejectsMalformedHeaders) {
+  EXPECT_FALSE(split_routed_payload(Bytes{0x00}).ok());             // too short
+  EXPECT_FALSE(split_routed_payload(Bytes{0x07, 0x12, 0x05}).ok()); // bad status
+  EXPECT_FALSE(split_routed_payload(Bytes{0x00, 0x00}).ok());       // count 0
+  EXPECT_FALSE(split_routed_payload(Bytes{0x00, 0x05}).ok());       // count 5 > max
+  EXPECT_FALSE(split_routed_payload(Bytes{0x00, 0x31, 0x05}).ok()); // hop 3 > count 1
+  EXPECT_FALSE(split_routed_payload(Bytes{0x00, 0x02, 0x05}).ok()); // list truncated
+}
+
+TEST(RoutingTest, RouteHeaderNeverLooksLikeQuirkBait) {
+  // The legit route status byte is 0x00/0x01 — far below the 0xE0 garbage
+  // threshold of MAC quirk 101, so mesh traffic never trips the one-day.
+  for (bool response : {false, true}) {
+    RouteHeader route = two_hop_route();
+    route.response = response;
+    EXPECT_LE(route.encode()[0], 0x01);
+  }
+}
+
+}  // namespace
+}  // namespace zc::zwave

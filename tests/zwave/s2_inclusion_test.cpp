@@ -1,0 +1,206 @@
+#include "zwave/s2_inclusion.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "zwave/dsk.h"
+
+namespace zc::zwave {
+namespace {
+
+struct Pair {
+  Pair()
+      : including(S2InclusionMachine::Role::kIncluding, make_key(0x11)),
+        joining(S2InclusionMachine::Role::kJoining, make_key(0x22)) {}
+
+  static crypto::X25519Key make_key(std::uint8_t seed) {
+    Rng rng(seed);
+    return crypto::make_x25519_key(rng.bytes(32));
+  }
+
+  /// Runs the exchange to completion, recording the transcript. Returns
+  /// true when both sides finish without failure.
+  bool run(std::vector<AppPayload>* transcript = nullptr) {
+    InclusionStep step = including.start();
+    bool from_including = true;
+    int guard = 0;
+    while (step.send.has_value()) {
+      if (transcript != nullptr) transcript->push_back(*step.send);
+      S2InclusionMachine& receiver = from_including ? joining : including;
+      step = receiver.on_message(*step.send);
+      from_including = !from_including;
+      if (step.failure != KexFail::kNone) {
+        failure = step.failure;
+        return false;
+      }
+      if (++guard > 20) return false;
+    }
+    return including.established().has_value() && joining.established().has_value();
+  }
+
+  S2InclusionMachine including;
+  S2InclusionMachine joining;
+  KexFail failure = KexFail::kNone;
+};
+
+TEST(S2InclusionTest, HappyPathEstablishesMatchingChannels) {
+  Pair pair;
+  ASSERT_TRUE(pair.run());
+  const auto& a = *pair.including.established();
+  const auto& b = *pair.joining.established();
+  EXPECT_EQ(a.keys.ccm_key, b.keys.ccm_key);
+  EXPECT_EQ(a.keys.auth_key, b.keys.auth_key);
+  EXPECT_EQ(a.span_seed, b.span_seed);
+  EXPECT_EQ(a.span_seed.size(), 32u);
+}
+
+TEST(S2InclusionTest, EstablishedChannelCarriesRealTraffic) {
+  Pair pair;
+  ASSERT_TRUE(pair.run());
+  S2Session controller_session(pair.including.established()->keys,
+                               pair.including.established()->span_seed);
+  S2Session lock_session(pair.joining.established()->keys,
+                         pair.joining.established()->span_seed);
+  AppPayload lock_cmd;
+  lock_cmd.cmd_class = 0x62;
+  lock_cmd.command = 0x01;
+  lock_cmd.params = {0xFF};
+  const auto outer = controller_session.encapsulate(lock_cmd, 0xC7E9DD54, 0x01, 0x02);
+  const auto inner = lock_session.decapsulate(outer, 0xC7E9DD54, 0x01, 0x02);
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(inner.value().params, (Bytes{0xFF}));
+}
+
+TEST(S2InclusionTest, PassiveObserverLearnsNothingUseful) {
+  // The S0 flaw does not recur: the full plaintext transcript does not let
+  // an eavesdropper decrypt the subsequent traffic.
+  Pair pair;
+  std::vector<AppPayload> transcript;
+  ASSERT_TRUE(pair.run(&transcript));
+  ASSERT_GE(transcript.size(), 5u);
+
+  // The only secret-bearing values on air are the two public keys; an
+  // attacker combining them with an arbitrary private key of their own
+  // gets different session keys.
+  Rng rng(0xBAD);
+  const auto mallory = crypto::make_x25519_key(rng.bytes(32));
+  crypto::X25519Key alice_pub{};
+  for (const auto& message : transcript) {
+    if (message.command == 0x08 && message.params.size() == 33 &&
+        message.params[0] == 0x01) {
+      std::copy(message.params.begin() + 1, message.params.end(), alice_pub.begin());
+    }
+  }
+  const auto guessed = s2_key_agreement(mallory, alice_pub);
+  EXPECT_NE(guessed.ccm_key, pair.including.established()->keys.ccm_key);
+}
+
+TEST(S2InclusionTest, SchemeMismatchFails) {
+  Pair pair;
+  (void)pair.including.start();
+  // Joining answers KEX_GET normally; corrupt the report's scheme byte.
+  AppPayload report;
+  report.cmd_class = kSecurity2Class;
+  report.command = 0x05;
+  report.params = {0x00, 0x00 /* no schemes */, 0x01, 0x87};
+  const auto step = pair.including.on_message(report);
+  EXPECT_EQ(step.failure, KexFail::kScheme);
+  ASSERT_TRUE(step.send.has_value());
+  EXPECT_EQ(step.send->command, 0x07);  // KEX_FAIL on air
+}
+
+TEST(S2InclusionTest, CurveMismatchFails) {
+  Pair pair;
+  AppPayload set;
+  set.cmd_class = kSecurity2Class;
+  set.command = 0x06;
+  set.params = {0x00, 0x02, 0x00 /* no curves */, 0x87};
+  (void)pair.joining.on_message(AppPayload{kSecurity2Class, 0x04, {}});
+  const auto step = pair.joining.on_message(set);
+  EXPECT_EQ(step.failure, KexFail::kCurve);
+}
+
+TEST(S2InclusionTest, OutOfOrderMessageFailsProtocol) {
+  Pair pair;
+  AppPayload verify;
+  verify.cmd_class = kSecurity2Class;
+  verify.command = 0x0B;
+  verify.params = Bytes(8, 0);
+  const auto step = pair.including.on_message(verify);  // before start()
+  EXPECT_EQ(step.failure, KexFail::kProtocol);
+}
+
+TEST(S2InclusionTest, TamperedPublicKeyFailsKeyVerification) {
+  // A MITM swapping the joining node's public key cannot complete the
+  // exchange: the key-confirmation CMAC disagrees.
+  Pair pair;
+  InclusionStep step = pair.including.start();
+  step = pair.joining.on_message(*step.send);   // KEX_GET -> KEX_REPORT
+  step = pair.including.on_message(*step.send); // -> KEX_SET
+  step = pair.joining.on_message(*step.send);   // -> joining PUBLIC_KEY_REPORT
+
+  AppPayload tampered = *step.send;
+  tampered.params[5] ^= 0x01;  // flip a public-key bit
+  step = pair.including.on_message(tampered);   // -> including PUBLIC_KEY_REPORT
+  ASSERT_TRUE(step.send.has_value());
+  step = pair.joining.on_message(*step.send);   // -> NETWORK_KEY_VERIFY
+  ASSERT_TRUE(step.send.has_value());
+  step = pair.including.on_message(*step.send);
+  EXPECT_EQ(step.failure, KexFail::kKeyVerify);
+  EXPECT_FALSE(pair.including.established().has_value());
+}
+
+TEST(S2InclusionTest, AuthenticatedInclusionAcceptsCorrectPin) {
+  Pair pair;
+  const auto joining_pub = crypto::x25519_public(Pair::make_key(0x22));
+  pair.including.require_dsk_pin(dsk_pin(dsk_from_public_key(joining_pub)));
+  EXPECT_TRUE(pair.run());
+}
+
+TEST(S2InclusionTest, AuthenticatedInclusionRejectsWrongPin) {
+  Pair pair;
+  pair.including.require_dsk_pin(0x0000);  // installer typo / MITM key
+  EXPECT_FALSE(pair.run());
+  EXPECT_EQ(pair.failure, KexFail::kAuth);
+}
+
+TEST(S2InclusionTest, PinBlocksKeySubstitution) {
+  // A MITM replacing the joining key now fails *before* key confirmation.
+  Pair pair;
+  const auto joining_pub = crypto::x25519_public(Pair::make_key(0x22));
+  pair.including.require_dsk_pin(dsk_pin(dsk_from_public_key(joining_pub)));
+
+  InclusionStep step = pair.including.start();
+  step = pair.joining.on_message(*step.send);
+  step = pair.including.on_message(*step.send);
+  step = pair.joining.on_message(*step.send);  // joining PUBLIC_KEY_REPORT
+  AppPayload swapped = *step.send;
+  const auto mallory_pub = crypto::x25519_public(Pair::make_key(0x99));
+  std::copy(mallory_pub.begin(), mallory_pub.end(), swapped.params.begin() + 1);
+  step = pair.including.on_message(swapped);
+  EXPECT_EQ(step.failure, KexFail::kAuth);
+}
+
+TEST(S2InclusionTest, RejectsLowOrderPeerKey) {
+  // An all-zero peer public key collapses X25519 to the zero secret; the
+  // machine must refuse contribution-free exchanges.
+  Pair pair;
+  InclusionStep step = pair.including.start();
+  step = pair.joining.on_message(*step.send);
+  step = pair.including.on_message(*step.send);
+  step = pair.joining.on_message(*step.send);  // joining PUBLIC_KEY_REPORT
+
+  AppPayload zero_key = *step.send;
+  std::fill(zero_key.params.begin() + 1, zero_key.params.end(), std::uint8_t{0});
+  step = pair.including.on_message(zero_key);
+  EXPECT_EQ(step.failure, KexFail::kAuth);
+  EXPECT_FALSE(pair.including.established().has_value());
+}
+
+TEST(S2InclusionTest, KexFailNamesAreStable) {
+  EXPECT_STREQ(kex_fail_name(KexFail::kScheme), "KEX_FAIL_KEX_SCHEME");
+  EXPECT_STREQ(kex_fail_name(KexFail::kKeyVerify), "KEX_FAIL_KEY_VERIFY");
+}
+
+}  // namespace
+}  // namespace zc::zwave

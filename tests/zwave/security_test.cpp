@@ -1,0 +1,193 @@
+#include "zwave/security.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace zc::zwave {
+namespace {
+
+AppPayload lock_command() {
+  AppPayload app;
+  app.cmd_class = 0x62;
+  app.command = 0x01;
+  app.params = {0xFF};
+  return app;
+}
+
+crypto::CtrDrbg make_drbg(std::uint8_t fill) { return crypto::CtrDrbg(Bytes(32, fill)); }
+
+TEST(S0SessionTest, EncapsulateDecapsulateRoundTrip) {
+  crypto::AesKey network_key{};
+  network_key.fill(0x42);
+  const S0Session sender(network_key);
+  const S0Session receiver(network_key);
+  auto drbg_rx = make_drbg(1);
+  auto drbg_tx = make_drbg(2);
+
+  // Receiver hands out a nonce; sender encapsulates against it.
+  S0Session receiver_session(network_key);
+  const Bytes nonce = receiver_session.make_nonce(drbg_rx);
+  const AppPayload outer = sender.encapsulate(lock_command(), 0x0F, 0x01, nonce, drbg_tx);
+  EXPECT_EQ(outer.cmd_class, kSecurity0Class);
+  EXPECT_EQ(outer.command, kS0MessageEncap);
+
+  const auto inner = receiver.decapsulate(outer, 0x0F, 0x01, nonce);
+  ASSERT_TRUE(inner.ok()) << inner.error().message;
+  EXPECT_EQ(inner.value().cmd_class, 0x62);
+  EXPECT_EQ(inner.value().params, (Bytes{0xFF}));
+}
+
+TEST(S0SessionTest, CiphertextHidesPlaintext) {
+  crypto::AesKey network_key{};
+  network_key.fill(0x42);
+  const S0Session session(network_key);
+  auto drbg_rx = make_drbg(1);
+  auto drbg_tx = make_drbg(2);
+  S0Session rx(network_key);
+  const Bytes nonce = rx.make_nonce(drbg_rx);
+  const AppPayload outer = session.encapsulate(lock_command(), 0x0F, 0x01, nonce, drbg_tx);
+  // The inner bytes 62 01 FF must not appear contiguously in the encap.
+  const Bytes inner_bytes = lock_command().encode();
+  const auto it = std::search(outer.params.begin(), outer.params.end(), inner_bytes.begin(),
+                              inner_bytes.end());
+  EXPECT_EQ(it, outer.params.end());
+}
+
+TEST(S0SessionTest, RejectsTamperedCiphertext) {
+  crypto::AesKey network_key{};
+  network_key.fill(0x42);
+  const S0Session session(network_key);
+  auto drbg_rx = make_drbg(1);
+  auto drbg_tx = make_drbg(2);
+  S0Session rx(network_key);
+  const Bytes nonce = rx.make_nonce(drbg_rx);
+  AppPayload outer = session.encapsulate(lock_command(), 0x0F, 0x01, nonce, drbg_tx);
+  outer.params[9] ^= 0x01;  // flip a ciphertext byte
+  const auto inner = session.decapsulate(outer, 0x0F, 0x01, nonce);
+  ASSERT_FALSE(inner.ok());
+  EXPECT_EQ(inner.error().code, Errc::kAuthFailed);
+}
+
+TEST(S0SessionTest, RejectsWrongNonce) {
+  crypto::AesKey network_key{};
+  network_key.fill(0x42);
+  const S0Session session(network_key);
+  auto drbg_rx = make_drbg(1);
+  auto drbg_tx = make_drbg(2);
+  S0Session rx(network_key);
+  const Bytes nonce = rx.make_nonce(drbg_rx);
+  const AppPayload outer = session.encapsulate(lock_command(), 0x0F, 0x01, nonce, drbg_tx);
+  Bytes other_nonce = nonce;
+  other_nonce[0] ^= 0xFF;
+  EXPECT_FALSE(session.decapsulate(outer, 0x0F, 0x01, other_nonce).ok());
+}
+
+TEST(S0SessionTest, RejectsWrongAddressing) {
+  crypto::AesKey network_key{};
+  network_key.fill(0x42);
+  const S0Session session(network_key);
+  auto drbg_rx = make_drbg(1);
+  auto drbg_tx = make_drbg(2);
+  S0Session rx(network_key);
+  const Bytes nonce = rx.make_nonce(drbg_rx);
+  const AppPayload outer = session.encapsulate(lock_command(), 0x0F, 0x01, nonce, drbg_tx);
+  // Replaying toward a different destination must fail the MAC.
+  EXPECT_FALSE(session.decapsulate(outer, 0x0F, 0x02, nonce).ok());
+}
+
+TEST(S0SessionTest, TempKeyIsAllZeros) {
+  EXPECT_EQ(s0_temp_key(), crypto::AesKey{});
+}
+
+class S2SessionTest : public ::testing::Test {
+ protected:
+  S2SessionTest() {
+    Rng rng(0x5EC2);
+    const crypto::X25519Key a = crypto::make_x25519_key(rng.bytes(32));
+    const crypto::X25519Key b = crypto::make_x25519_key(rng.bytes(32));
+    keys_a_ = s2_key_agreement(a, crypto::x25519_public(b));
+    keys_b_ = s2_key_agreement(b, crypto::x25519_public(a));
+    seed_ = rng.bytes(32);
+  }
+
+  crypto::S2Keys keys_a_{}, keys_b_{};
+  Bytes seed_;
+};
+
+TEST_F(S2SessionTest, KeyAgreementIsSymmetric) {
+  EXPECT_EQ(keys_a_.ccm_key, keys_b_.ccm_key);
+  EXPECT_EQ(keys_a_.auth_key, keys_b_.auth_key);
+  EXPECT_EQ(keys_a_.nonce_key, keys_b_.nonce_key);
+}
+
+TEST_F(S2SessionTest, RoundTripSequenceOfMessages) {
+  S2Session sender(keys_a_, seed_);
+  S2Session receiver(keys_b_, seed_);
+  for (int i = 0; i < 10; ++i) {
+    AppPayload inner = lock_command();
+    inner.params[0] = static_cast<std::uint8_t>(i);
+    const AppPayload outer = sender.encapsulate(inner, 0xC7E9DD54, 0x01, 0x02);
+    const auto decoded = receiver.decapsulate(outer, 0xC7E9DD54, 0x01, 0x02);
+    ASSERT_TRUE(decoded.ok()) << "message " << i << ": " << decoded.error().message;
+    EXPECT_EQ(decoded.value().params[0], i);
+  }
+}
+
+TEST_F(S2SessionTest, ForgedTagRejected) {
+  S2Session sender(keys_a_, seed_);
+  S2Session receiver(keys_b_, seed_);
+  AppPayload outer = sender.encapsulate(lock_command(), 0xC7E9DD54, 0x01, 0x02);
+  outer.params.back() ^= 0x01;
+  const auto decoded = receiver.decapsulate(outer, 0xC7E9DD54, 0x01, 0x02);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, Errc::kAuthFailed);
+}
+
+TEST_F(S2SessionTest, AttackerWithoutKeysCannotForge) {
+  S2Session receiver(keys_b_, seed_);
+  // An attacker who sniffed everything but lacks the ECDH secret.
+  Rng attacker_rng(0xBAD);
+  const crypto::X25519Key mallory = crypto::make_x25519_key(attacker_rng.bytes(32));
+  const crypto::S2Keys wrong = s2_key_agreement(mallory, crypto::x25519_public(mallory));
+  S2Session forger(wrong, seed_);
+  const AppPayload outer = forger.encapsulate(lock_command(), 0xC7E9DD54, 0x01, 0x02);
+  EXPECT_FALSE(receiver.decapsulate(outer, 0xC7E9DD54, 0x01, 0x02).ok());
+}
+
+TEST_F(S2SessionTest, LostFrameDesynchronizesThenResyncRecovers) {
+  S2Session sender(keys_a_, seed_);
+  S2Session receiver(keys_b_, seed_);
+  // Frame 0 lost on air: the receiver never sees it.
+  (void)sender.encapsulate(lock_command(), 0xC7E9DD54, 0x01, 0x02);
+  const AppPayload second = sender.encapsulate(lock_command(), 0xC7E9DD54, 0x01, 0x02);
+  EXPECT_FALSE(receiver.decapsulate(second, 0xC7E9DD54, 0x01, 0x02).ok());
+
+  // NONCE_GET/REPORT resync: both sides re-seed the SPAN.
+  const Bytes new_seed(32, 0x77);
+  sender.resync(new_seed);
+  receiver.resync(new_seed);
+  const AppPayload third = sender.encapsulate(lock_command(), 0xC7E9DD54, 0x01, 0x02);
+  EXPECT_TRUE(receiver.decapsulate(third, 0xC7E9DD54, 0x01, 0x02).ok());
+}
+
+TEST_F(S2SessionTest, ReplayToOtherAddressRejected) {
+  S2Session sender(keys_a_, seed_);
+  S2Session receiver(keys_b_, seed_);
+  const AppPayload outer = sender.encapsulate(lock_command(), 0xC7E9DD54, 0x01, 0x02);
+  EXPECT_FALSE(receiver.decapsulate(outer, 0xC7E9DD54, 0x03, 0x02).ok());
+}
+
+TEST_F(S2SessionTest, TruncatedEncapRejected) {
+  S2Session receiver(keys_b_, seed_);
+  AppPayload outer;
+  outer.cmd_class = kSecurity2Class;
+  outer.command = kS2MessageEncap;
+  outer.params = {0x00};
+  const auto decoded = receiver.decapsulate(outer, 0xC7E9DD54, 0x01, 0x02);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, Errc::kTruncated);
+}
+
+}  // namespace
+}  // namespace zc::zwave

@@ -1,0 +1,187 @@
+#include "zwave/command_class.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace zc::zwave {
+namespace {
+
+TEST(SpecDbTest, PublicSpecCountMatchesPaper) {
+  // §III-C1: "as of November 2024, [the specification] lists 122 CMDCLs".
+  EXPECT_EQ(SpecDatabase::instance().public_spec_count(), 122u);
+}
+
+TEST(SpecDbTest, ProprietaryClassesExistButAreUnlisted) {
+  const auto& db = SpecDatabase::instance();
+  const auto* protocol = db.find(0x01);
+  const auto* zensor = db.find(0x02);
+  ASSERT_NE(protocol, nullptr);
+  ASSERT_NE(zensor, nullptr);
+  EXPECT_FALSE(protocol->in_public_spec);
+  EXPECT_FALSE(zensor->in_public_spec);
+  EXPECT_EQ(protocol->cluster, CcCluster::kProtocol);
+}
+
+TEST(SpecDbTest, ClassIdsAreUniqueAndSorted) {
+  const auto& db = SpecDatabase::instance();
+  std::set<CommandClassId> seen;
+  CommandClassId prev = 0;
+  bool first = true;
+  for (const auto& spec : db.all()) {
+    EXPECT_TRUE(seen.insert(spec.id).second) << "duplicate class id " << int(spec.id);
+    if (!first) {
+      EXPECT_GT(spec.id, prev);
+    }
+    prev = spec.id;
+    first = false;
+  }
+}
+
+TEST(SpecDbTest, CommandIdsUniqueWithinEachClass) {
+  for (const auto& spec : SpecDatabase::instance().all()) {
+    std::set<CommandId> seen;
+    for (const auto& command : spec.commands) {
+      EXPECT_TRUE(seen.insert(command.id).second)
+          << spec.name << " duplicates command " << int(command.id);
+    }
+  }
+}
+
+TEST(SpecDbTest, ControllerClusterCountsMatchPaper) {
+  const auto& db = SpecDatabase::instance();
+  // 45 prioritized classes in Table V = 43 spec classes + 2 proprietary.
+  EXPECT_EQ(db.controller_cluster(true).size(), 45u);
+  EXPECT_EQ(db.controller_cluster(false).size(), 43u);
+}
+
+TEST(SpecDbTest, ClusterMembersAreControllerRelevant) {
+  const auto& db = SpecDatabase::instance();
+  for (CommandClassId id : db.controller_cluster(true)) {
+    const auto* spec = db.find(id);
+    ASSERT_NE(spec, nullptr);
+    EXPECT_TRUE(spec->controller_relevant()) << spec->name;
+  }
+}
+
+TEST(SpecDbTest, SlaveOnlyClassesExcludedFromCluster) {
+  const auto& db = SpecDatabase::instance();
+  const auto cluster = db.controller_cluster(true);
+  for (CommandClassId slave_class : {0x20, 0x25, 0x30, 0x62, 0x63, 0x71, 0x80}) {
+    if (slave_class == 0x80) continue;  // battery is management
+    EXPECT_EQ(std::count(cluster.begin(), cluster.end(), slave_class), 0)
+        << "class " << slave_class << " should not be controller-relevant";
+  }
+}
+
+TEST(SpecDbTest, Figure5SelectedClassCommandCounts) {
+  // Fig. 5 visualizes 15 selected classes plus the empty MARK; the bars are
+  // 23 15 11 10 8 7 6 6 5 4 3 2 2 1 1 0.
+  const std::map<CommandClassId, std::size_t> expected = {
+      {0x9F, 23}, {0x34, 15}, {0x7A, 11}, {0x63, 10}, {0x85, 8}, {0x60, 7},
+      {0x86, 6},  {0x70, 6},  {0x71, 5},  {0x32, 4},  {0x20, 3}, {0x80, 2},
+      {0x22, 2},  {0x5A, 1},  {0x82, 1},  {0xEF, 0}};
+  const auto& db = SpecDatabase::instance();
+  for (const auto& [id, count] : expected) {
+    EXPECT_EQ(db.command_count(id), count) << "class 0x" << std::hex << int(id);
+  }
+}
+
+TEST(SpecDbTest, FindUnknownClassReturnsNull) {
+  EXPECT_EQ(SpecDatabase::instance().find(0x03), nullptr);
+  EXPECT_EQ(SpecDatabase::instance().command_count(0x03), 0u);
+}
+
+TEST(SpecDbTest, FindCommandWithinClass) {
+  const auto* version = SpecDatabase::instance().find(0x86);
+  ASSERT_NE(version, nullptr);
+  const auto* get = version->find_command(0x13);
+  ASSERT_NE(get, nullptr);
+  EXPECT_EQ(get->name, "COMMAND_CLASS_GET");
+  EXPECT_EQ(version->find_command(0xEE), nullptr);
+}
+
+TEST(SpecDbTest, BugTriggerCommandsExistInSpec) {
+  // Every Table III trigger (class, command) must be a real spec entry so
+  // the position-sensitive mutator can generate it from the schema —
+  // except the NODE_TABLE_UPDATE family which is proprietary by design.
+  const auto& db = SpecDatabase::instance();
+  const std::pair<CommandClassId, CommandId> triggers[] = {
+      {0x01, 0x0D}, {0x01, 0x02}, {0x01, 0x04}, {0x9F, 0x01}, {0x5A, 0x01},
+      {0x59, 0x03}, {0x59, 0x05}, {0x7A, 0x01}, {0x7A, 0x03}, {0x86, 0x13},
+      {0x73, 0x04}};
+  for (const auto& [cc, cmd] : triggers) {
+    const auto* spec = db.find(cc);
+    ASSERT_NE(spec, nullptr) << "class " << int(cc);
+    EXPECT_NE(spec->find_command(cmd), nullptr)
+        << "class " << int(cc) << " command " << int(cmd);
+  }
+}
+
+TEST(SpecDbTest, GoldenCommandIdsMatchPublicAssignments) {
+  // Pin well-known public command ids so registry edits cannot silently
+  // drift from the real protocol.
+  const auto& db = SpecDatabase::instance();
+  struct Golden {
+    CommandClassId cc;
+    CommandId cmd;
+    std::string_view name;
+  };
+  const Golden golden[] = {
+      {0x20, 0x01, "SET"},                      // BASIC_SET
+      {0x20, 0x02, "GET"},                      // BASIC_GET
+      {0x25, 0x03, "REPORT"},                   // SWITCH_BINARY_REPORT
+      {0x62, 0x01, "OPERATION_SET"},            // DOOR_LOCK
+      {0x84, 0x04, "INTERVAL_SET"},             // WAKE_UP
+      {0x84, 0x08, "NO_MORE_INFORMATION"},
+      {0x85, 0x02, "GET"},                      // ASSOCIATION_GET
+      {0x86, 0x11, "GET"},                      // VERSION_GET
+      {0x86, 0x13, "COMMAND_CLASS_GET"},
+      {0x98, 0x40, "NONCE_GET"},                // SECURITY
+      {0x98, 0x81, "MESSAGE_ENCAPSULATION"},
+      {0x9F, 0x03, "MESSAGE_ENCAPSULATION"},    // SECURITY_2
+      {0x9F, 0x07, "KEX_FAIL"},
+      {0x70, 0x04, "SET"},                      // CONFIGURATION_SET
+      {0x72, 0x05, "REPORT"},                   // MANUFACTURER_SPECIFIC
+      {0x5A, 0x01, "NOTIFICATION"},             // DEVICE_RESET_LOCALLY
+  };
+  for (const auto& g : golden) {
+    const auto* spec = db.find(g.cc);
+    ASSERT_NE(spec, nullptr) << int(g.cc);
+    const auto* command = spec->find_command(g.cmd);
+    ASSERT_NE(command, nullptr) << int(g.cc) << "/" << int(g.cmd);
+    EXPECT_EQ(command->name, g.name) << int(g.cc) << "/" << int(g.cmd);
+  }
+}
+
+TEST(SpecDbTest, ParamSpecLegality) {
+  const ParamSpec spec{"Operation", ParamType::kEnum, 0x00, 0x04};
+  EXPECT_TRUE(spec.is_legal(0x00));
+  EXPECT_TRUE(spec.is_legal(0x04));
+  EXPECT_FALSE(spec.is_legal(0x05));
+  EXPECT_FALSE(spec.is_legal(0xFF));
+}
+
+TEST(SpecDbTest, EveryClassHasAName) {
+  for (const auto& spec : SpecDatabase::instance().all()) {
+    EXPECT_FALSE(spec.name.empty());
+    for (const auto& command : spec.commands) {
+      EXPECT_FALSE(command.name.empty()) << spec.name;
+      for (const auto& param : command.params) {
+        EXPECT_FALSE(param.name.empty()) << spec.name << "::" << command.name;
+        EXPECT_LE(param.min, param.max) << spec.name << "::" << command.name;
+      }
+    }
+  }
+}
+
+TEST(SpecDbTest, ClusterNamesAreStable) {
+  EXPECT_STREQ(cc_cluster_name(CcCluster::kTransportEncapsulation),
+               "transport-encapsulation");
+  EXPECT_STREQ(cc_cluster_name(CcCluster::kProtocol), "protocol");
+  EXPECT_STREQ(param_type_name(ParamType::kVariadic), "variadic");
+}
+
+}  // namespace
+}  // namespace zc::zwave

@@ -1,0 +1,154 @@
+#include "zwave/spec_xml.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace zc::zwave {
+namespace {
+
+TEST(SpecXmlTest, ExportContainsEveryClass) {
+  const std::string xml = export_spec_xml(SpecDatabase::instance());
+  EXPECT_NE(xml.find("<zw_classes"), std::string::npos);
+  EXPECT_NE(xml.find("name=\"SECURITY_2\""), std::string::npos);
+  EXPECT_NE(xml.find("name=\"ZWAVE_PROTOCOL\""), std::string::npos);
+  EXPECT_NE(xml.find("public=\"false\""), std::string::npos);
+}
+
+TEST(SpecXmlTest, FullDatabaseRoundTrip) {
+  const auto& db = SpecDatabase::instance();
+  const std::string xml = export_spec_xml(db);
+  const auto parsed = parse_spec_xml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  ASSERT_EQ(parsed.value().size(), db.all().size());
+  for (std::size_t i = 0; i < parsed.value().size(); ++i) {
+    EXPECT_TRUE(parsed_matches_spec(parsed.value()[i], db.all()[i]))
+        << "class index " << i << " (" << parsed.value()[i].name << ")";
+  }
+}
+
+TEST(SpecXmlTest, ParsesHandWrittenVendorFile) {
+  const std::string xml = R"(<?xml version="1.0"?>
+<zw_classes version="1">
+  <cmd_class key="0xF1" name="VENDOR_MAGIC" cluster="management" public="false">
+    <cmd key="0x01" name="MAGIC_SET" direction="controlling">
+      <param name="Level" type="enum" min="0x00" max="0x04"/>
+      <param name="Payload" type="variadic" min="0x00" max="0xFF"/>
+    </cmd>
+    <cmd key="0x02" name="MAGIC_GET" direction="controlling"/>
+  </cmd_class>
+</zw_classes>)";
+  const auto parsed = parse_spec_xml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  ASSERT_EQ(parsed.value().size(), 1u);
+  const auto& cls = parsed.value()[0];
+  EXPECT_EQ(cls.id, 0xF1);
+  EXPECT_EQ(cls.name, "VENDOR_MAGIC");
+  EXPECT_EQ(cls.cluster, CcCluster::kManagement);
+  EXPECT_FALSE(cls.in_public_spec);
+  ASSERT_EQ(cls.commands.size(), 2u);
+  EXPECT_EQ(cls.commands[0].params.size(), 2u);
+  EXPECT_EQ(cls.commands[0].params[0].type, ParamType::kEnum);
+  EXPECT_EQ(cls.commands[0].params[0].max, 0x04);
+  EXPECT_TRUE(cls.commands[1].params.empty());
+}
+
+TEST(SpecXmlTest, RejectsDuplicateClassKeys) {
+  const std::string xml = R"(<zw_classes>
+  <cmd_class key="0x20" name="A" cluster="application"/>
+  <cmd_class key="0x20" name="B" cluster="application"/>
+</zw_classes>)";
+  const auto parsed = parse_spec_xml(xml);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("duplicate"), std::string::npos);
+}
+
+TEST(SpecXmlTest, RejectsUnknownCluster) {
+  const auto parsed =
+      parse_spec_xml(R"(<zw_classes><cmd_class key="0x20" name="A" cluster="nope"/></zw_classes>)");
+  ASSERT_FALSE(parsed.ok());
+}
+
+TEST(SpecXmlTest, RejectsOrphanCommand) {
+  const auto parsed = parse_spec_xml(
+      R"(<zw_classes><cmd key="0x01" name="X" direction="controlling"/></zw_classes>)");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("outside"), std::string::npos);
+}
+
+TEST(SpecXmlTest, RejectsMinAboveMax) {
+  const std::string xml = R"(<zw_classes>
+  <cmd_class key="0x20" name="A" cluster="application">
+    <cmd key="0x01" name="SET" direction="controlling">
+      <param name="V" type="byte" min="0x10" max="0x05"/>
+    </cmd>
+  </cmd_class>
+</zw_classes>)";
+  ASSERT_FALSE(parse_spec_xml(xml).ok());
+}
+
+TEST(SpecXmlTest, RejectsUnterminatedTag) {
+  ASSERT_FALSE(parse_spec_xml("<zw_classes><cmd_class key=\"0x20\"").ok());
+}
+
+TEST(SpecXmlTest, RejectsMissingAttributes) {
+  ASSERT_FALSE(parse_spec_xml(R"(<zw_classes><cmd_class name="A"/></zw_classes>)").ok());
+}
+
+TEST(SpecXmlTest, RejectsByteOverflow) {
+  ASSERT_FALSE(
+      parse_spec_xml(R"(<zw_classes><cmd_class key="0x1FF" name="A" cluster="application"/></zw_classes>)")
+          .ok());
+}
+
+TEST(SpecXmlTest, SkipsDeclarationsAndComments) {
+  const std::string xml =
+      "<?xml version=\"1.0\"?>\n<!-- vendor note -->\n<zw_classes>"
+      R"(<cmd_class key="0x82" name="HAIL" cluster="management"/>)"
+      "</zw_classes>";
+  const auto parsed = parse_spec_xml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().size(), 1u);
+}
+
+TEST(SpecXmlTest, ParserSurvivesRandomBytes) {
+  // Property: arbitrary input never crashes; it either parses (to some
+  // class list) or reports a clean error.
+  Rng rng(0x3417);
+  for (int i = 0; i < 2000; ++i) {
+    const Bytes blob = rng.bytes(static_cast<std::size_t>(rng.uniform(0, 200)));
+    const std::string text(blob.begin(), blob.end());
+    const auto parsed = parse_spec_xml(text);
+    if (parsed.ok()) {
+      for (const auto& cls : parsed.value()) {
+        EXPECT_FALSE(cls.name.empty() && !cls.commands.empty());
+      }
+    }
+  }
+}
+
+TEST(SpecXmlTest, ParserSurvivesMutatedExport) {
+  // Take a real export and flip bytes: result must be parse-or-clean-error.
+  const std::string xml = export_class_xml(*SpecDatabase::instance().find(0x9F));
+  Rng rng(0x3418);
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = "<zw_classes>" + xml + "</zw_classes>";
+    const std::size_t flips = rng.uniform(1, 5);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.uniform(0, mutated.size() - 1)] =
+          static_cast<char>(rng.next_byte());
+    }
+    (void)parse_spec_xml(mutated);  // must not crash / hang
+  }
+  SUCCEED();
+}
+
+TEST(SpecXmlTest, ClusterAndTypeNameHelpers) {
+  EXPECT_TRUE(cluster_from_name("network").ok());
+  EXPECT_FALSE(cluster_from_name("bogus").ok());
+  EXPECT_TRUE(param_type_from_name("node-id").ok());
+  EXPECT_FALSE(param_type_from_name("float").ok());
+}
+
+}  // namespace
+}  // namespace zc::zwave

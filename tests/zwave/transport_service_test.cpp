@@ -1,0 +1,202 @@
+#include "zwave/transport_service.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace zc::zwave {
+namespace {
+
+Bytes make_datagram(std::size_t size) {
+  Bytes data(size);
+  for (std::size_t i = 0; i < size; ++i) data[i] = static_cast<std::uint8_t>(i * 13 + 1);
+  return data;
+}
+
+TEST(SegmentationTest, SmallDatagramIsOneSegment) {
+  const Bytes datagram = make_datagram(10);
+  const auto segments = segment_datagram(datagram, 0x01);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].command, kTsFirstSegment);
+  EXPECT_EQ(segments[0].params[0], 10);
+  EXPECT_EQ(segments[0].params[1], 0x01);
+}
+
+TEST(SegmentationTest, LargeDatagramSplits) {
+  const Bytes datagram = make_datagram(100);
+  const auto segments = segment_datagram(datagram, 0x02, 40);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[0].command, kTsFirstSegment);
+  EXPECT_EQ(segments[1].command, kTsSubsequentSegment);
+  EXPECT_EQ(segments[1].params[2], 40);  // offset
+  EXPECT_EQ(segments[2].params[2], 80);
+}
+
+TEST(SegmentationTest, RejectsEmptyAndOversized) {
+  EXPECT_TRUE(segment_datagram(Bytes{}, 1).empty());
+  EXPECT_TRUE(segment_datagram(Bytes(300, 0xAA), 1).empty());
+}
+
+TEST(ReassemblyTest, InOrderRoundTrip) {
+  const Bytes datagram = make_datagram(100);
+  const auto segments = segment_datagram(datagram, 0x07, 40);
+  TransportReassembler reassembler;
+  std::optional<Bytes> completed;
+  for (const auto& segment : segments) {
+    const auto reaction = reassembler.feed(segment, 0x05, 0);
+    ASSERT_TRUE(reaction.ok()) << reaction.error().message;
+    if (reaction.value().completed.has_value()) completed = reaction.value().completed;
+  }
+  ASSERT_TRUE(completed.has_value());
+  EXPECT_EQ(*completed, datagram);
+  EXPECT_EQ(reassembler.open_sessions(), 0u);
+}
+
+TEST(ReassemblyTest, CompletionEmitsSegmentComplete) {
+  const auto segments = segment_datagram(make_datagram(10), 0x03);
+  TransportReassembler reassembler;
+  const auto reaction = reassembler.feed(segments[0], 0x05, 0);
+  ASSERT_TRUE(reaction.ok());
+  ASSERT_TRUE(reaction.value().reply.has_value());
+  EXPECT_EQ(reaction.value().reply->command, kTsSegmentComplete);
+}
+
+TEST(ReassemblyTest, OutOfOrderSegmentsStillComplete) {
+  const Bytes datagram = make_datagram(100);
+  auto segments = segment_datagram(datagram, 0x04, 40);
+  ASSERT_EQ(segments.size(), 3u);
+  TransportReassembler reassembler;
+  std::optional<Bytes> completed;
+  // first, third, second.
+  for (const auto* segment : {&segments[0], &segments[2], &segments[1]}) {
+    const auto reaction = reassembler.feed(*segment, 0x05, 0);
+    ASSERT_TRUE(reaction.ok());
+    if (reaction.value().completed.has_value()) completed = reaction.value().completed;
+  }
+  ASSERT_TRUE(completed.has_value());
+  EXPECT_EQ(*completed, datagram);
+}
+
+TEST(ReassemblyTest, GapTriggersSegmentRequest) {
+  const auto segments = segment_datagram(make_datagram(100), 0x04, 40);
+  TransportReassembler reassembler;
+  ASSERT_TRUE(reassembler.feed(segments[0], 0x05, 0).ok());
+  // Skip segment[1]; deliver segment[2]: the gap at offset 40 is behind it.
+  const auto reaction = reassembler.feed(segments[2], 0x05, 0);
+  ASSERT_TRUE(reaction.ok());
+  ASSERT_TRUE(reaction.value().reply.has_value());
+  EXPECT_EQ(reaction.value().reply->command, kTsSegmentRequest);
+  EXPECT_EQ(reaction.value().reply->params[1], 40);
+}
+
+TEST(ReassemblyTest, SubsequentWithoutFirstAsksForStart) {
+  const auto segments = segment_datagram(make_datagram(100), 0x09, 40);
+  TransportReassembler reassembler;
+  const auto reaction = reassembler.feed(segments[1], 0x05, 0);
+  ASSERT_TRUE(reaction.ok());
+  ASSERT_TRUE(reaction.value().reply.has_value());
+  EXPECT_EQ(reaction.value().reply->command, kTsSegmentRequest);
+  EXPECT_EQ(reaction.value().reply->params[1], 0x00);
+}
+
+TEST(ReassemblyTest, DuplicateSegmentsAreIdempotent) {
+  const Bytes datagram = make_datagram(80);
+  const auto segments = segment_datagram(datagram, 0x05, 40);
+  TransportReassembler reassembler;
+  ASSERT_TRUE(reassembler.feed(segments[0], 0x05, 0).ok());
+  ASSERT_TRUE(reassembler.feed(segments[0], 0x05, 0).ok());  // duplicate
+  const auto reaction = reassembler.feed(segments[1], 0x05, 0);
+  ASSERT_TRUE(reaction.ok());
+  ASSERT_TRUE(reaction.value().completed.has_value());
+  EXPECT_EQ(*reaction.value().completed, datagram);
+}
+
+TEST(ReassemblyTest, SessionLimitTriggersWait) {
+  TransportReassembler reassembler(ReassemblyLimits{2, 200, 2 * kSecond});
+  for (std::uint8_t session = 1; session <= 2; ++session) {
+    const auto segments = segment_datagram(make_datagram(100), session, 40);
+    ASSERT_TRUE(reassembler.feed(segments[0], 0x05, 0).ok());
+  }
+  const auto segments = segment_datagram(make_datagram(100), 9, 40);
+  const auto reaction = reassembler.feed(segments[0], 0x05, 0);
+  ASSERT_TRUE(reaction.ok());
+  ASSERT_TRUE(reaction.value().reply.has_value());
+  EXPECT_EQ(reaction.value().reply->command, kTsSegmentWait);
+}
+
+TEST(ReassemblyTest, StaleSessionsExpire) {
+  TransportReassembler reassembler;
+  const auto segments = segment_datagram(make_datagram(100), 0x06, 40);
+  ASSERT_TRUE(reassembler.feed(segments[0], 0x05, 0).ok());
+  EXPECT_EQ(reassembler.open_sessions(), 1u);
+  // 5 virtual seconds later the half-built session is gone.
+  const auto segments2 = segment_datagram(make_datagram(10), 0x07, 40);
+  ASSERT_TRUE(reassembler.feed(segments2[0], 0x05, 5 * kSecond).ok());
+  EXPECT_EQ(reassembler.open_sessions(), 0u);  // new one completed; old expired
+}
+
+TEST(ReassemblyTest, RejectsOverflowingSegment) {
+  TransportReassembler reassembler;
+  AppPayload evil;
+  evil.cmd_class = kTransportServiceClass;
+  evil.command = kTsSubsequentSegment;
+  // Declares size 10 but writes 8 bytes at offset 200: classic overflow bait.
+  evil.params = {10, 0x01, 200, 1, 2, 3, 4, 5, 6, 7, 8};
+  const auto reaction = reassembler.feed(evil, 0x05, 0);
+  ASSERT_FALSE(reaction.ok());
+  EXPECT_EQ(reaction.error().code, Errc::kBadLength);
+}
+
+TEST(ReassemblyTest, RejectsZeroAndHugeDatagrams) {
+  TransportReassembler reassembler;
+  AppPayload zero;
+  zero.cmd_class = kTransportServiceClass;
+  zero.command = kTsFirstSegment;
+  zero.params = {0, 0x01, 0xAA};
+  EXPECT_FALSE(reassembler.feed(zero, 0x05, 0).ok());
+
+  AppPayload huge;
+  huge.cmd_class = kTransportServiceClass;
+  huge.command = kTsFirstSegment;
+  huge.params = {0xFF, 0x01, 0xAA};
+  EXPECT_FALSE(reassembler.feed(huge, 0x05, 0).ok());  // above max_datagram
+}
+
+TEST(ReassemblyTest, SizeConflictDropsSession) {
+  TransportReassembler reassembler;
+  const auto segments = segment_datagram(make_datagram(100), 0x06, 40);
+  ASSERT_TRUE(reassembler.feed(segments[0], 0x05, 0).ok());
+  AppPayload conflicting;
+  conflicting.cmd_class = kTransportServiceClass;
+  conflicting.command = kTsSubsequentSegment;
+  conflicting.params = {50 /* different size */, 0x06, 40, 0xAA};
+  EXPECT_FALSE(reassembler.feed(conflicting, 0x05, 0).ok());
+  EXPECT_EQ(reassembler.open_sessions(), 0u);
+}
+
+TEST(ReassemblyTest, FuzzedSegmentsNeverCorruptState) {
+  // Property: arbitrary malformed 0x55 payloads either produce a clean
+  // error or a valid reaction — and never a bogus completed datagram.
+  Rng rng(0x55AA);
+  TransportReassembler reassembler;
+  for (int i = 0; i < 20000; ++i) {
+    AppPayload random;
+    random.cmd_class = kTransportServiceClass;
+    const CommandId commands[] = {kTsFirstSegment, kTsSubsequentSegment, kTsSegmentRequest,
+                                  kTsSegmentComplete, kTsSegmentWait,
+                                  static_cast<CommandId>(rng.next_byte())};
+    random.command = commands[rng.uniform(0, 5)];
+    random.params = rng.bytes(static_cast<std::size_t>(rng.uniform(0, 12)));
+    const auto reaction =
+        reassembler.feed(random, static_cast<NodeId>(rng.uniform(2, 6)),
+                         static_cast<SimTime>(i) * 10 * kMillisecond);
+    if (reaction.ok() && reaction.value().completed.has_value()) {
+      EXPECT_LE(reaction.value().completed->size(), 200u);
+      EXPECT_GT(reaction.value().completed->size(), 0u);
+    }
+  }
+  EXPECT_LE(reassembler.open_sessions(), 4u);
+}
+
+}  // namespace
+}  // namespace zc::zwave
