@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ids.dir/bench_ext_ids.cpp.o"
+  "CMakeFiles/bench_ext_ids.dir/bench_ext_ids.cpp.o.d"
+  "bench_ext_ids"
+  "bench_ext_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_trials.dir/bench_ext_trials.cpp.o"
+  "CMakeFiles/bench_ext_trials.dir/bench_ext_trials.cpp.o.d"
+  "bench_ext_trials"
+  "bench_ext_trials.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_trials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_timeline.dir/bench_fig12_timeline.cpp.o"
+  "CMakeFiles/bench_fig12_timeline.dir/bench_fig12_timeline.cpp.o.d"
+  "bench_fig12_timeline"
+  "bench_fig12_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_11_tampering.dir/bench_fig8_11_tampering.cpp.o"
+  "CMakeFiles/bench_fig8_11_tampering.dir/bench_fig8_11_tampering.cpp.o.d"
+  "bench_fig8_11_tampering"
+  "bench_fig8_11_tampering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_11_tampering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mutators.dir/bench_table1_mutators.cpp.o"
+  "CMakeFiles/bench_table1_mutators.dir/bench_table1_mutators.cpp.o.d"
+  "bench_table1_mutators"
+  "bench_table1_mutators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mutators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

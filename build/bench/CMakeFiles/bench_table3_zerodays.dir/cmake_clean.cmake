@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_zerodays.dir/bench_table3_zerodays.cpp.o"
+  "CMakeFiles/bench_table3_zerodays.dir/bench_table3_zerodays.cpp.o.d"
+  "bench_table3_zerodays"
+  "bench_table3_zerodays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_zerodays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

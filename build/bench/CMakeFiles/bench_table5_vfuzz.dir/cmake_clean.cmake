@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_vfuzz.dir/bench_table5_vfuzz.cpp.o"
+  "CMakeFiles/bench_table5_vfuzz.dir/bench_table5_vfuzz.cpp.o.d"
+  "bench_table5_vfuzz"
+  "bench_table5_vfuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_vfuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_controller_tool.dir/pc_controller_tool.cpp.o"
+  "CMakeFiles/pc_controller_tool.dir/pc_controller_tool.cpp.o.d"
+  "pc_controller_tool"
+  "pc_controller_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_controller_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s0_key_interception.dir/s0_key_interception.cpp.o"
+  "CMakeFiles/s0_key_interception.dir/s0_key_interception.cpp.o.d"
+  "s0_key_interception"
+  "s0_key_interception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s0_key_interception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

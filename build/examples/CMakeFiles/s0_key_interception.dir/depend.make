@@ -1,0 +1,2 @@
+# Empty dependencies file for s0_key_interception.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_home_attack.dir/smart_home_attack.cpp.o"
+  "CMakeFiles/smart_home_attack.dir/smart_home_attack.cpp.o.d"
+  "smart_home_attack"
+  "smart_home_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_home_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

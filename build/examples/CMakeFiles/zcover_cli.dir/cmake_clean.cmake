@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zcover_cli.dir/zcover_cli.cpp.o"
+  "CMakeFiles/zcover_cli.dir/zcover_cli.cpp.o.d"
+  "zcover_cli"
+  "zcover_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zcover_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

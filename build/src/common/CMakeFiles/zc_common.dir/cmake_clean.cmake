@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_common.dir/bytes.cpp.o"
+  "CMakeFiles/zc_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/zc_common.dir/clock.cpp.o"
+  "CMakeFiles/zc_common.dir/clock.cpp.o.d"
+  "CMakeFiles/zc_common.dir/log.cpp.o"
+  "CMakeFiles/zc_common.dir/log.cpp.o.d"
+  "CMakeFiles/zc_common.dir/rng.cpp.o"
+  "CMakeFiles/zc_common.dir/rng.cpp.o.d"
+  "libzc_common.a"
+  "libzc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/zc_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/dongle.cpp" "src/core/CMakeFiles/zc_core.dir/dongle.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/dongle.cpp.o.d"
+  "/root/repo/src/core/extractor.cpp" "src/core/CMakeFiles/zc_core.dir/extractor.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/extractor.cpp.o.d"
+  "/root/repo/src/core/ids.cpp" "src/core/CMakeFiles/zc_core.dir/ids.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/ids.cpp.o.d"
+  "/root/repo/src/core/mutator.cpp" "src/core/CMakeFiles/zc_core.dir/mutator.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/mutator.cpp.o.d"
+  "/root/repo/src/core/packet_tester.cpp" "src/core/CMakeFiles/zc_core.dir/packet_tester.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/packet_tester.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/zc_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/scanner.cpp" "src/core/CMakeFiles/zc_core.dir/scanner.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/scanner.cpp.o.d"
+  "/root/repo/src/core/vfuzz.cpp" "src/core/CMakeFiles/zc_core.dir/vfuzz.cpp.o" "gcc" "src/core/CMakeFiles/zc_core.dir/vfuzz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/zwave/CMakeFiles/zc_zwave.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/zc_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

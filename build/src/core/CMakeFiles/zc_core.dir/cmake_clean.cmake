@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_core.dir/campaign.cpp.o"
+  "CMakeFiles/zc_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/zc_core.dir/dongle.cpp.o"
+  "CMakeFiles/zc_core.dir/dongle.cpp.o.d"
+  "CMakeFiles/zc_core.dir/extractor.cpp.o"
+  "CMakeFiles/zc_core.dir/extractor.cpp.o.d"
+  "CMakeFiles/zc_core.dir/ids.cpp.o"
+  "CMakeFiles/zc_core.dir/ids.cpp.o.d"
+  "CMakeFiles/zc_core.dir/mutator.cpp.o"
+  "CMakeFiles/zc_core.dir/mutator.cpp.o.d"
+  "CMakeFiles/zc_core.dir/packet_tester.cpp.o"
+  "CMakeFiles/zc_core.dir/packet_tester.cpp.o.d"
+  "CMakeFiles/zc_core.dir/report.cpp.o"
+  "CMakeFiles/zc_core.dir/report.cpp.o.d"
+  "CMakeFiles/zc_core.dir/scanner.cpp.o"
+  "CMakeFiles/zc_core.dir/scanner.cpp.o.d"
+  "CMakeFiles/zc_core.dir/vfuzz.cpp.o"
+  "CMakeFiles/zc_core.dir/vfuzz.cpp.o.d"
+  "libzc_core.a"
+  "libzc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

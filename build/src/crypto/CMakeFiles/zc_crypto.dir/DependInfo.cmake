@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cpp" "src/crypto/CMakeFiles/zc_crypto.dir/aes128.cpp.o" "gcc" "src/crypto/CMakeFiles/zc_crypto.dir/aes128.cpp.o.d"
+  "/root/repo/src/crypto/cmac.cpp" "src/crypto/CMakeFiles/zc_crypto.dir/cmac.cpp.o" "gcc" "src/crypto/CMakeFiles/zc_crypto.dir/cmac.cpp.o.d"
+  "/root/repo/src/crypto/ctr.cpp" "src/crypto/CMakeFiles/zc_crypto.dir/ctr.cpp.o" "gcc" "src/crypto/CMakeFiles/zc_crypto.dir/ctr.cpp.o.d"
+  "/root/repo/src/crypto/kdf.cpp" "src/crypto/CMakeFiles/zc_crypto.dir/kdf.cpp.o" "gcc" "src/crypto/CMakeFiles/zc_crypto.dir/kdf.cpp.o.d"
+  "/root/repo/src/crypto/x25519.cpp" "src/crypto/CMakeFiles/zc_crypto.dir/x25519.cpp.o" "gcc" "src/crypto/CMakeFiles/zc_crypto.dir/x25519.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_crypto.dir/aes128.cpp.o"
+  "CMakeFiles/zc_crypto.dir/aes128.cpp.o.d"
+  "CMakeFiles/zc_crypto.dir/cmac.cpp.o"
+  "CMakeFiles/zc_crypto.dir/cmac.cpp.o.d"
+  "CMakeFiles/zc_crypto.dir/ctr.cpp.o"
+  "CMakeFiles/zc_crypto.dir/ctr.cpp.o.d"
+  "CMakeFiles/zc_crypto.dir/kdf.cpp.o"
+  "CMakeFiles/zc_crypto.dir/kdf.cpp.o.d"
+  "CMakeFiles/zc_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/zc_crypto.dir/x25519.cpp.o.d"
+  "libzc_crypto.a"
+  "libzc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

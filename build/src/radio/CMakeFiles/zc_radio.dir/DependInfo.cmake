@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/endpoint.cpp" "src/radio/CMakeFiles/zc_radio.dir/endpoint.cpp.o" "gcc" "src/radio/CMakeFiles/zc_radio.dir/endpoint.cpp.o.d"
+  "/root/repo/src/radio/medium.cpp" "src/radio/CMakeFiles/zc_radio.dir/medium.cpp.o" "gcc" "src/radio/CMakeFiles/zc_radio.dir/medium.cpp.o.d"
+  "/root/repo/src/radio/phy.cpp" "src/radio/CMakeFiles/zc_radio.dir/phy.cpp.o" "gcc" "src/radio/CMakeFiles/zc_radio.dir/phy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/zwave/CMakeFiles/zc_zwave.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

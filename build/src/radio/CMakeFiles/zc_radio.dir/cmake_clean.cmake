@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_radio.dir/endpoint.cpp.o"
+  "CMakeFiles/zc_radio.dir/endpoint.cpp.o.d"
+  "CMakeFiles/zc_radio.dir/medium.cpp.o"
+  "CMakeFiles/zc_radio.dir/medium.cpp.o.d"
+  "CMakeFiles/zc_radio.dir/phy.cpp.o"
+  "CMakeFiles/zc_radio.dir/phy.cpp.o.d"
+  "libzc_radio.a"
+  "libzc_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

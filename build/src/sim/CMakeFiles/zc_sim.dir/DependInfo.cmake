@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/controller.cpp" "src/sim/CMakeFiles/zc_sim.dir/controller.cpp.o" "gcc" "src/sim/CMakeFiles/zc_sim.dir/controller.cpp.o.d"
+  "/root/repo/src/sim/host.cpp" "src/sim/CMakeFiles/zc_sim.dir/host.cpp.o" "gcc" "src/sim/CMakeFiles/zc_sim.dir/host.cpp.o.d"
+  "/root/repo/src/sim/mac_quirks.cpp" "src/sim/CMakeFiles/zc_sim.dir/mac_quirks.cpp.o" "gcc" "src/sim/CMakeFiles/zc_sim.dir/mac_quirks.cpp.o.d"
+  "/root/repo/src/sim/node_table.cpp" "src/sim/CMakeFiles/zc_sim.dir/node_table.cpp.o" "gcc" "src/sim/CMakeFiles/zc_sim.dir/node_table.cpp.o.d"
+  "/root/repo/src/sim/profile.cpp" "src/sim/CMakeFiles/zc_sim.dir/profile.cpp.o" "gcc" "src/sim/CMakeFiles/zc_sim.dir/profile.cpp.o.d"
+  "/root/repo/src/sim/repeater.cpp" "src/sim/CMakeFiles/zc_sim.dir/repeater.cpp.o" "gcc" "src/sim/CMakeFiles/zc_sim.dir/repeater.cpp.o.d"
+  "/root/repo/src/sim/serial.cpp" "src/sim/CMakeFiles/zc_sim.dir/serial.cpp.o" "gcc" "src/sim/CMakeFiles/zc_sim.dir/serial.cpp.o.d"
+  "/root/repo/src/sim/slave.cpp" "src/sim/CMakeFiles/zc_sim.dir/slave.cpp.o" "gcc" "src/sim/CMakeFiles/zc_sim.dir/slave.cpp.o.d"
+  "/root/repo/src/sim/testbed.cpp" "src/sim/CMakeFiles/zc_sim.dir/testbed.cpp.o" "gcc" "src/sim/CMakeFiles/zc_sim.dir/testbed.cpp.o.d"
+  "/root/repo/src/sim/vulnerability.cpp" "src/sim/CMakeFiles/zc_sim.dir/vulnerability.cpp.o" "gcc" "src/sim/CMakeFiles/zc_sim.dir/vulnerability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/zwave/CMakeFiles/zc_zwave.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/zc_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_sim.dir/controller.cpp.o"
+  "CMakeFiles/zc_sim.dir/controller.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/host.cpp.o"
+  "CMakeFiles/zc_sim.dir/host.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/mac_quirks.cpp.o"
+  "CMakeFiles/zc_sim.dir/mac_quirks.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/node_table.cpp.o"
+  "CMakeFiles/zc_sim.dir/node_table.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/profile.cpp.o"
+  "CMakeFiles/zc_sim.dir/profile.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/repeater.cpp.o"
+  "CMakeFiles/zc_sim.dir/repeater.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/serial.cpp.o"
+  "CMakeFiles/zc_sim.dir/serial.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/slave.cpp.o"
+  "CMakeFiles/zc_sim.dir/slave.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/testbed.cpp.o"
+  "CMakeFiles/zc_sim.dir/testbed.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/vulnerability.cpp.o"
+  "CMakeFiles/zc_sim.dir/vulnerability.cpp.o.d"
+  "libzc_sim.a"
+  "libzc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

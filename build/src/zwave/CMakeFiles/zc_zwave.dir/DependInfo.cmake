@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zwave/checksum.cpp" "src/zwave/CMakeFiles/zc_zwave.dir/checksum.cpp.o" "gcc" "src/zwave/CMakeFiles/zc_zwave.dir/checksum.cpp.o.d"
+  "/root/repo/src/zwave/dsk.cpp" "src/zwave/CMakeFiles/zc_zwave.dir/dsk.cpp.o" "gcc" "src/zwave/CMakeFiles/zc_zwave.dir/dsk.cpp.o.d"
+  "/root/repo/src/zwave/frame.cpp" "src/zwave/CMakeFiles/zc_zwave.dir/frame.cpp.o" "gcc" "src/zwave/CMakeFiles/zc_zwave.dir/frame.cpp.o.d"
+  "/root/repo/src/zwave/multicast.cpp" "src/zwave/CMakeFiles/zc_zwave.dir/multicast.cpp.o" "gcc" "src/zwave/CMakeFiles/zc_zwave.dir/multicast.cpp.o.d"
+  "/root/repo/src/zwave/nif.cpp" "src/zwave/CMakeFiles/zc_zwave.dir/nif.cpp.o" "gcc" "src/zwave/CMakeFiles/zc_zwave.dir/nif.cpp.o.d"
+  "/root/repo/src/zwave/routing.cpp" "src/zwave/CMakeFiles/zc_zwave.dir/routing.cpp.o" "gcc" "src/zwave/CMakeFiles/zc_zwave.dir/routing.cpp.o.d"
+  "/root/repo/src/zwave/s2_inclusion.cpp" "src/zwave/CMakeFiles/zc_zwave.dir/s2_inclusion.cpp.o" "gcc" "src/zwave/CMakeFiles/zc_zwave.dir/s2_inclusion.cpp.o.d"
+  "/root/repo/src/zwave/security.cpp" "src/zwave/CMakeFiles/zc_zwave.dir/security.cpp.o" "gcc" "src/zwave/CMakeFiles/zc_zwave.dir/security.cpp.o.d"
+  "/root/repo/src/zwave/spec_db.cpp" "src/zwave/CMakeFiles/zc_zwave.dir/spec_db.cpp.o" "gcc" "src/zwave/CMakeFiles/zc_zwave.dir/spec_db.cpp.o.d"
+  "/root/repo/src/zwave/spec_db_data.cpp" "src/zwave/CMakeFiles/zc_zwave.dir/spec_db_data.cpp.o" "gcc" "src/zwave/CMakeFiles/zc_zwave.dir/spec_db_data.cpp.o.d"
+  "/root/repo/src/zwave/spec_xml.cpp" "src/zwave/CMakeFiles/zc_zwave.dir/spec_xml.cpp.o" "gcc" "src/zwave/CMakeFiles/zc_zwave.dir/spec_xml.cpp.o.d"
+  "/root/repo/src/zwave/transport_service.cpp" "src/zwave/CMakeFiles/zc_zwave.dir/transport_service.cpp.o" "gcc" "src/zwave/CMakeFiles/zc_zwave.dir/transport_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zc_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

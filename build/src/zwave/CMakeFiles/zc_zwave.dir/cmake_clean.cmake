@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_zwave.dir/checksum.cpp.o"
+  "CMakeFiles/zc_zwave.dir/checksum.cpp.o.d"
+  "CMakeFiles/zc_zwave.dir/dsk.cpp.o"
+  "CMakeFiles/zc_zwave.dir/dsk.cpp.o.d"
+  "CMakeFiles/zc_zwave.dir/frame.cpp.o"
+  "CMakeFiles/zc_zwave.dir/frame.cpp.o.d"
+  "CMakeFiles/zc_zwave.dir/multicast.cpp.o"
+  "CMakeFiles/zc_zwave.dir/multicast.cpp.o.d"
+  "CMakeFiles/zc_zwave.dir/nif.cpp.o"
+  "CMakeFiles/zc_zwave.dir/nif.cpp.o.d"
+  "CMakeFiles/zc_zwave.dir/routing.cpp.o"
+  "CMakeFiles/zc_zwave.dir/routing.cpp.o.d"
+  "CMakeFiles/zc_zwave.dir/s2_inclusion.cpp.o"
+  "CMakeFiles/zc_zwave.dir/s2_inclusion.cpp.o.d"
+  "CMakeFiles/zc_zwave.dir/security.cpp.o"
+  "CMakeFiles/zc_zwave.dir/security.cpp.o.d"
+  "CMakeFiles/zc_zwave.dir/spec_db.cpp.o"
+  "CMakeFiles/zc_zwave.dir/spec_db.cpp.o.d"
+  "CMakeFiles/zc_zwave.dir/spec_db_data.cpp.o"
+  "CMakeFiles/zc_zwave.dir/spec_db_data.cpp.o.d"
+  "CMakeFiles/zc_zwave.dir/spec_xml.cpp.o"
+  "CMakeFiles/zc_zwave.dir/spec_xml.cpp.o.d"
+  "CMakeFiles/zc_zwave.dir/transport_service.cpp.o"
+  "CMakeFiles/zc_zwave.dir/transport_service.cpp.o.d"
+  "libzc_zwave.a"
+  "libzc_zwave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_zwave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_tests_common.dir/common/bytes_test.cpp.o"
+  "CMakeFiles/zc_tests_common.dir/common/bytes_test.cpp.o.d"
+  "CMakeFiles/zc_tests_common.dir/common/clock_test.cpp.o"
+  "CMakeFiles/zc_tests_common.dir/common/clock_test.cpp.o.d"
+  "CMakeFiles/zc_tests_common.dir/common/result_test.cpp.o"
+  "CMakeFiles/zc_tests_common.dir/common/result_test.cpp.o.d"
+  "CMakeFiles/zc_tests_common.dir/common/rng_test.cpp.o"
+  "CMakeFiles/zc_tests_common.dir/common/rng_test.cpp.o.d"
+  "zc_tests_common"
+  "zc_tests_common.pdb"
+  "zc_tests_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_tests_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

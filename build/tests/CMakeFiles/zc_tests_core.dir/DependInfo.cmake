@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/campaign_sweep_test.cpp" "tests/CMakeFiles/zc_tests_core.dir/core/campaign_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_core.dir/core/campaign_sweep_test.cpp.o.d"
+  "/root/repo/tests/core/campaign_test.cpp" "tests/CMakeFiles/zc_tests_core.dir/core/campaign_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_core.dir/core/campaign_test.cpp.o.d"
+  "/root/repo/tests/core/dongle_test.cpp" "tests/CMakeFiles/zc_tests_core.dir/core/dongle_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_core.dir/core/dongle_test.cpp.o.d"
+  "/root/repo/tests/core/extractor_test.cpp" "tests/CMakeFiles/zc_tests_core.dir/core/extractor_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_core.dir/core/extractor_test.cpp.o.d"
+  "/root/repo/tests/core/ids_test.cpp" "tests/CMakeFiles/zc_tests_core.dir/core/ids_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_core.dir/core/ids_test.cpp.o.d"
+  "/root/repo/tests/core/mutator_test.cpp" "tests/CMakeFiles/zc_tests_core.dir/core/mutator_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_core.dir/core/mutator_test.cpp.o.d"
+  "/root/repo/tests/core/packet_tester_test.cpp" "tests/CMakeFiles/zc_tests_core.dir/core/packet_tester_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_core.dir/core/packet_tester_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/zc_tests_core.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_core.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/scanner_test.cpp" "tests/CMakeFiles/zc_tests_core.dir/core/scanner_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_core.dir/core/scanner_test.cpp.o.d"
+  "/root/repo/tests/core/vfuzz_test.cpp" "tests/CMakeFiles/zc_tests_core.dir/core/vfuzz_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_core.dir/core/vfuzz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/zc_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/zwave/CMakeFiles/zc_zwave.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_tests_core.dir/core/campaign_sweep_test.cpp.o"
+  "CMakeFiles/zc_tests_core.dir/core/campaign_sweep_test.cpp.o.d"
+  "CMakeFiles/zc_tests_core.dir/core/campaign_test.cpp.o"
+  "CMakeFiles/zc_tests_core.dir/core/campaign_test.cpp.o.d"
+  "CMakeFiles/zc_tests_core.dir/core/dongle_test.cpp.o"
+  "CMakeFiles/zc_tests_core.dir/core/dongle_test.cpp.o.d"
+  "CMakeFiles/zc_tests_core.dir/core/extractor_test.cpp.o"
+  "CMakeFiles/zc_tests_core.dir/core/extractor_test.cpp.o.d"
+  "CMakeFiles/zc_tests_core.dir/core/ids_test.cpp.o"
+  "CMakeFiles/zc_tests_core.dir/core/ids_test.cpp.o.d"
+  "CMakeFiles/zc_tests_core.dir/core/mutator_test.cpp.o"
+  "CMakeFiles/zc_tests_core.dir/core/mutator_test.cpp.o.d"
+  "CMakeFiles/zc_tests_core.dir/core/packet_tester_test.cpp.o"
+  "CMakeFiles/zc_tests_core.dir/core/packet_tester_test.cpp.o.d"
+  "CMakeFiles/zc_tests_core.dir/core/report_test.cpp.o"
+  "CMakeFiles/zc_tests_core.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/zc_tests_core.dir/core/scanner_test.cpp.o"
+  "CMakeFiles/zc_tests_core.dir/core/scanner_test.cpp.o.d"
+  "CMakeFiles/zc_tests_core.dir/core/vfuzz_test.cpp.o"
+  "CMakeFiles/zc_tests_core.dir/core/vfuzz_test.cpp.o.d"
+  "zc_tests_core"
+  "zc_tests_core.pdb"
+  "zc_tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

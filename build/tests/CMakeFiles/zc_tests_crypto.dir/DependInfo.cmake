@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/aes_test.cpp" "tests/CMakeFiles/zc_tests_crypto.dir/crypto/aes_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_crypto.dir/crypto/aes_test.cpp.o.d"
+  "/root/repo/tests/crypto/cmac_test.cpp" "tests/CMakeFiles/zc_tests_crypto.dir/crypto/cmac_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_crypto.dir/crypto/cmac_test.cpp.o.d"
+  "/root/repo/tests/crypto/ctr_test.cpp" "tests/CMakeFiles/zc_tests_crypto.dir/crypto/ctr_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_crypto.dir/crypto/ctr_test.cpp.o.d"
+  "/root/repo/tests/crypto/kdf_test.cpp" "tests/CMakeFiles/zc_tests_crypto.dir/crypto/kdf_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_crypto.dir/crypto/kdf_test.cpp.o.d"
+  "/root/repo/tests/crypto/x25519_test.cpp" "tests/CMakeFiles/zc_tests_crypto.dir/crypto/x25519_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_crypto.dir/crypto/x25519_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/zc_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/zwave/CMakeFiles/zc_zwave.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_tests_crypto.dir/crypto/aes_test.cpp.o"
+  "CMakeFiles/zc_tests_crypto.dir/crypto/aes_test.cpp.o.d"
+  "CMakeFiles/zc_tests_crypto.dir/crypto/cmac_test.cpp.o"
+  "CMakeFiles/zc_tests_crypto.dir/crypto/cmac_test.cpp.o.d"
+  "CMakeFiles/zc_tests_crypto.dir/crypto/ctr_test.cpp.o"
+  "CMakeFiles/zc_tests_crypto.dir/crypto/ctr_test.cpp.o.d"
+  "CMakeFiles/zc_tests_crypto.dir/crypto/kdf_test.cpp.o"
+  "CMakeFiles/zc_tests_crypto.dir/crypto/kdf_test.cpp.o.d"
+  "CMakeFiles/zc_tests_crypto.dir/crypto/x25519_test.cpp.o"
+  "CMakeFiles/zc_tests_crypto.dir/crypto/x25519_test.cpp.o.d"
+  "zc_tests_crypto"
+  "zc_tests_crypto.pdb"
+  "zc_tests_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_tests_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_tests_radio.dir/radio/endpoint_test.cpp.o"
+  "CMakeFiles/zc_tests_radio.dir/radio/endpoint_test.cpp.o.d"
+  "CMakeFiles/zc_tests_radio.dir/radio/medium_test.cpp.o"
+  "CMakeFiles/zc_tests_radio.dir/radio/medium_test.cpp.o.d"
+  "CMakeFiles/zc_tests_radio.dir/radio/phy_test.cpp.o"
+  "CMakeFiles/zc_tests_radio.dir/radio/phy_test.cpp.o.d"
+  "zc_tests_radio"
+  "zc_tests_radio.pdb"
+  "zc_tests_radio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_tests_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_tests_sim.dir/sim/automation_test.cpp.o"
+  "CMakeFiles/zc_tests_sim.dir/sim/automation_test.cpp.o.d"
+  "CMakeFiles/zc_tests_sim.dir/sim/controller_fuzz_test.cpp.o"
+  "CMakeFiles/zc_tests_sim.dir/sim/controller_fuzz_test.cpp.o.d"
+  "CMakeFiles/zc_tests_sim.dir/sim/controller_test.cpp.o"
+  "CMakeFiles/zc_tests_sim.dir/sim/controller_test.cpp.o.d"
+  "CMakeFiles/zc_tests_sim.dir/sim/node_table_test.cpp.o"
+  "CMakeFiles/zc_tests_sim.dir/sim/node_table_test.cpp.o.d"
+  "CMakeFiles/zc_tests_sim.dir/sim/profile_test.cpp.o"
+  "CMakeFiles/zc_tests_sim.dir/sim/profile_test.cpp.o.d"
+  "CMakeFiles/zc_tests_sim.dir/sim/repeater_test.cpp.o"
+  "CMakeFiles/zc_tests_sim.dir/sim/repeater_test.cpp.o.d"
+  "CMakeFiles/zc_tests_sim.dir/sim/serial_test.cpp.o"
+  "CMakeFiles/zc_tests_sim.dir/sim/serial_test.cpp.o.d"
+  "CMakeFiles/zc_tests_sim.dir/sim/slave_test.cpp.o"
+  "CMakeFiles/zc_tests_sim.dir/sim/slave_test.cpp.o.d"
+  "CMakeFiles/zc_tests_sim.dir/sim/testbed_test.cpp.o"
+  "CMakeFiles/zc_tests_sim.dir/sim/testbed_test.cpp.o.d"
+  "CMakeFiles/zc_tests_sim.dir/sim/vulnerability_test.cpp.o"
+  "CMakeFiles/zc_tests_sim.dir/sim/vulnerability_test.cpp.o.d"
+  "zc_tests_sim"
+  "zc_tests_sim.pdb"
+  "zc_tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

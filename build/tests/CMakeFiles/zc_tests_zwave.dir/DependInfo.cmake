@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/zwave/checksum_test.cpp" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/checksum_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/checksum_test.cpp.o.d"
+  "/root/repo/tests/zwave/dsk_test.cpp" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/dsk_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/dsk_test.cpp.o.d"
+  "/root/repo/tests/zwave/frame_test.cpp" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/frame_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/frame_test.cpp.o.d"
+  "/root/repo/tests/zwave/multicast_test.cpp" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/multicast_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/multicast_test.cpp.o.d"
+  "/root/repo/tests/zwave/nif_test.cpp" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/nif_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/nif_test.cpp.o.d"
+  "/root/repo/tests/zwave/routing_test.cpp" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/routing_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/routing_test.cpp.o.d"
+  "/root/repo/tests/zwave/s2_inclusion_test.cpp" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/s2_inclusion_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/s2_inclusion_test.cpp.o.d"
+  "/root/repo/tests/zwave/security_test.cpp" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/security_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/security_test.cpp.o.d"
+  "/root/repo/tests/zwave/spec_db_test.cpp" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/spec_db_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/spec_db_test.cpp.o.d"
+  "/root/repo/tests/zwave/spec_xml_test.cpp" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/spec_xml_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/spec_xml_test.cpp.o.d"
+  "/root/repo/tests/zwave/transport_service_test.cpp" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/transport_service_test.cpp.o" "gcc" "tests/CMakeFiles/zc_tests_zwave.dir/zwave/transport_service_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/zc_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/zwave/CMakeFiles/zc_zwave.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/zc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_tests_zwave.dir/zwave/checksum_test.cpp.o"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/checksum_test.cpp.o.d"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/dsk_test.cpp.o"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/dsk_test.cpp.o.d"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/frame_test.cpp.o"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/frame_test.cpp.o.d"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/multicast_test.cpp.o"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/multicast_test.cpp.o.d"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/nif_test.cpp.o"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/nif_test.cpp.o.d"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/routing_test.cpp.o"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/routing_test.cpp.o.d"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/s2_inclusion_test.cpp.o"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/s2_inclusion_test.cpp.o.d"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/security_test.cpp.o"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/security_test.cpp.o.d"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/spec_db_test.cpp.o"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/spec_db_test.cpp.o.d"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/spec_xml_test.cpp.o"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/spec_xml_test.cpp.o.d"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/transport_service_test.cpp.o"
+  "CMakeFiles/zc_tests_zwave.dir/zwave/transport_service_test.cpp.o.d"
+  "zc_tests_zwave"
+  "zc_tests_zwave.pdb"
+  "zc_tests_zwave[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_tests_zwave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
