@@ -2,6 +2,7 @@
 //
 //   zcover_cli fuzz   [--device D4] [--mode full|beta|gamma] [--hours 2]
 //                     [--seed N] [--log FILE]
+//                     [--checkpoint FILE] [--resume FILE]
 //   zcover_cli scan   [--device D4]
 //   zcover_cli replay   --log FILE [--device D4]
 //   zcover_cli minimize --log FILE [--device D4]
@@ -18,6 +19,7 @@
 #include <string>
 
 #include "core/campaign.h"
+#include "core/checkpoint.h"
 #include "core/packet_tester.h"
 #include "core/report.h"
 
@@ -50,6 +52,8 @@ struct Options {
   std::uint64_t seed = 0x2C07E12F;
   std::string log_path;
   std::string report_path;
+  std::string checkpoint_path;
+  std::string resume_path;
 };
 
 Options parse_options(int argc, char** argv) {
@@ -80,6 +84,10 @@ Options parse_options(int argc, char** argv) {
       options.log_path = value();
     } else if (arg == "--report") {
       options.report_path = value();
+    } else if (arg == "--checkpoint") {
+      options.checkpoint_path = value();
+    } else if (arg == "--resume") {
+      options.resume_path = value();
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       std::exit(2);
@@ -132,11 +140,47 @@ int cmd_fuzz(const Options& options) {
   config.duration = static_cast<SimTime>(options.hours * static_cast<double>(kHour));
   config.seed = options.seed;
   config.loop_queue = false;
+
+  if (!options.resume_path.empty()) {
+    std::ifstream in(options.resume_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", options.resume_path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto checkpoint = core::parse_checkpoint(buffer.str());
+    if (!checkpoint) {
+      std::fprintf(stderr, "%s is not a valid zcover checkpoint\n",
+                   options.resume_path.c_str());
+      return 1;
+    }
+    // The checkpoint pins mode and seed: a resumed campaign must replay the
+    // exact run that was interrupted.
+    config.mode = checkpoint->mode;
+    config.seed = checkpoint->seed;
+    std::printf("resuming from %s: %s after %s, %zu findings so far\n",
+                options.resume_path.c_str(), core::campaign_mode_name(checkpoint->mode),
+                format_sim_time(checkpoint->elapsed).c_str(), checkpoint->findings.size());
+    config.resume_from = std::move(*checkpoint);
+  }
+  if (!options.checkpoint_path.empty()) {
+    config.checkpoint_interval = 5 * kMinute;
+    config.checkpoint_sink = [&options](const core::CampaignCheckpoint& cp) {
+      std::ofstream out(options.checkpoint_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", options.checkpoint_path.c_str());
+        return;
+      }
+      out << core::serialize_checkpoint(cp);
+    };
+  }
+
   core::Campaign campaign(testbed, config);
   const auto result = campaign.run();
 
   std::printf("%s on %s: %llu packets over %s, %zu unique findings\n",
-              core::campaign_mode_name(options.mode),
+              core::campaign_mode_name(config.mode),
               sim::device_model_name(options.device),
               static_cast<unsigned long long>(result.test_packets),
               format_sim_time(result.ended_at - result.started_at).c_str(),

@@ -66,4 +66,12 @@ Bytes Rng::bytes(std::size_t n) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+std::array<std::uint64_t, 4> Rng::state() const {
+  return {state_[0], state_[1], state_[2], state_[3]};
+}
+
+void Rng::set_state(const std::array<std::uint64_t, 4>& state) {
+  std::copy(state.begin(), state.end(), state_);
+}
+
 }  // namespace zc

@@ -6,6 +6,7 @@
 // the log file (Algorithm 1, line 16).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 
@@ -45,6 +46,12 @@ class Rng {
 
   /// Derives an independent child generator (for per-device noise streams).
   Rng fork();
+
+  /// Raw generator state, for checkpoint/resume: a campaign snapshot stores
+  /// these four words so a resumed run continues the exact random sequence
+  /// instead of replaying it from the seed.
+  std::array<std::uint64_t, 4> state() const;
+  void set_state(const std::array<std::uint64_t, 4>& state);
 
  private:
   std::uint64_t state_[4] = {};

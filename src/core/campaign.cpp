@@ -10,8 +10,13 @@ namespace {
 
 constexpr SimTime kInterTestGap = 300 * kMillisecond;
 constexpr SimTime kOracleTimeout = 200 * kMillisecond;
+/// MAC ack turnaround allowance per injection attempt; real acks land in a
+/// few ms, so this only delays the retry path, never the clean one.
+constexpr SimTime kAckWait = 80 * kMillisecond;
 constexpr std::uint16_t kNoParam = 0x100;
 constexpr std::uint16_t kAnyParam = 0x1FF;
+/// Decorrelates the resilience jitter stream from the mutation stream.
+constexpr std::uint64_t kResilienceSeedSalt = 0x9E3779B97F4A7C15ULL;
 
 std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
   h ^= v;
@@ -72,6 +77,7 @@ Campaign::Campaign(sim::Testbed& testbed, CampaignConfig config)
     : testbed_(testbed),
       config_(config),
       rng_(config.seed),
+      resilience_rng_(config.seed ^ kResilienceSeedSalt),
       dongle_(testbed.medium(), testbed.scheduler(),
               testbed.attacker_radio_config("zcover-dongle")) {
   // Resume: retire everything a previous session already confirmed.
@@ -92,12 +98,58 @@ Campaign::Campaign(sim::Testbed& testbed, CampaignConfig config)
       blacklist_.insert(Signature{sig.cc, sig.cmd, kAnyParam});
     }
   }
+  if (config_.resume_from.has_value()) {
+    restore_from_checkpoint(*config_.resume_from);
+  }
 }
 
 Campaign::Signature Campaign::signature_of(const zwave::AppPayload& payload) {
   return Signature{payload.cmd_class, payload.command,
                    payload.params.empty() ? kNoParam
                                           : static_cast<std::uint16_t>(payload.params[0])};
+}
+
+void Campaign::restore_from_checkpoint(const CampaignCheckpoint& checkpoint) {
+  rng_.set_state(checkpoint.rng_state);
+  elapsed_offset_ = checkpoint.elapsed;
+  blacklist_.insert(checkpoint.blacklist.begin(), checkpoint.blacklist.end());
+  reported_signatures_.insert(checkpoint.reported_signatures.begin(),
+                              checkpoint.reported_signatures.end());
+  reported_bug_ids_.insert(checkpoint.reported_bug_ids.begin(),
+                           checkpoint.reported_bug_ids.end());
+}
+
+CampaignCheckpoint Campaign::make_checkpoint(const CampaignResult& result) const {
+  CampaignCheckpoint cp;
+  cp.mode = config_.mode;
+  cp.seed = config_.seed;
+  cp.rng_state = rng_.state();
+  cp.elapsed = elapsed_offset_ + (testbed_.scheduler().now() - fuzz_started_at_);
+  cp.test_packets = result.test_packets;
+  cp.inconclusive_tests = result.inconclusive_tests;
+  cp.retried_injections = result.retried_injections;
+  cp.classes_fuzzed.assign(result.classes_fuzzed.begin(), result.classes_fuzzed.end());
+  cp.blacklist.assign(blacklist_.begin(), blacklist_.end());
+  cp.reported_signatures.assign(reported_signatures_.begin(), reported_signatures_.end());
+  cp.reported_bug_ids.assign(reported_bug_ids_.begin(), reported_bug_ids_.end());
+  cp.findings = result.findings;
+  return cp;
+}
+
+bool Campaign::should_stop(CampaignResult& result) {
+  if (!aborted_ && config_.abort_hook && config_.abort_hook()) {
+    aborted_ = true;
+    result.aborted = true;
+    // Final snapshot: the kill must not lose the session's progress.
+    if (config_.checkpoint_sink) config_.checkpoint_sink(make_checkpoint(result));
+    return true;
+  }
+  if (config_.checkpoint_sink && config_.checkpoint_interval > 0 &&
+      testbed_.scheduler().now() - last_checkpoint_ >= config_.checkpoint_interval) {
+    last_checkpoint_ = testbed_.scheduler().now();
+    config_.checkpoint_sink(make_checkpoint(result));
+  }
+  return aborted_;
 }
 
 FingerprintReport Campaign::fingerprint() {
@@ -111,6 +163,7 @@ FingerprintReport Campaign::fingerprint() {
 
   // Phase 1b: active scanning.
   ActiveScanner active(dongle_, home_, target_, kAttackerNodeId);
+  active.set_retry_policy(config_.retry);
   report.active = active.scan();
 
   // Phase 2: unknown-property discovery.
@@ -136,6 +189,18 @@ CampaignResult Campaign::run() {
   last_host_state_ = testbed_.controller().host().state();
   triggers_seen_ = testbed_.controller().triggered().size();
 
+  // Resumed sessions carry their predecessor's progress forward; the
+  // restored blacklist keeps the re-walked queue from re-triggering any of
+  // these findings.
+  if (config_.resume_from.has_value()) {
+    const CampaignCheckpoint& cp = *config_.resume_from;
+    result.findings = cp.findings;
+    result.test_packets = cp.test_packets;
+    result.inconclusive_tests = cp.inconclusive_tests;
+    result.retried_injections = cp.retried_injections;
+    result.classes_fuzzed.insert(cp.classes_fuzzed.begin(), cp.classes_fuzzed.end());
+  }
+
   if (config_.mode == CampaignMode::kRandom) {
     fuzz_random(result);
   } else {
@@ -150,10 +215,14 @@ CampaignResult Campaign::run() {
 }
 
 void Campaign::fuzz(CampaignResult& result) {
-  const SimTime hard_deadline = testbed_.scheduler().now() + config_.duration;
-  while (testbed_.scheduler().now() < hard_deadline) {
+  fuzz_started_at_ = testbed_.scheduler().now();
+  last_checkpoint_ = fuzz_started_at_;
+  const SimTime budget =
+      config_.duration > elapsed_offset_ ? config_.duration - elapsed_offset_ : 0;
+  const SimTime hard_deadline = fuzz_started_at_ + budget;
+  while (testbed_.scheduler().now() < hard_deadline && !aborted_) {
     for (zwave::CommandClassId cc : result.fingerprint.fuzz_queue) {
-      if (testbed_.scheduler().now() >= hard_deadline) break;
+      if (testbed_.scheduler().now() >= hard_deadline || aborted_) break;
       fuzz_class(result, cc, hard_deadline);
     }
     if (!config_.loop_queue || result.fingerprint.fuzz_queue.empty()) break;
@@ -164,11 +233,15 @@ void Campaign::fuzz_class(CampaignResult& result, zwave::CommandClassId cc,
                           SimTime hard_deadline) {
   result.classes_fuzzed.insert(cc);
   PositionSensitiveMutator mutator(rng_, cc);
-  const SimTime class_deadline = testbed_.scheduler().now() + config_.per_class_budget;
+  // A class entered near the end of the campaign gets only the remaining
+  // global budget, systematic phase or not.
+  const SimTime class_deadline =
+      std::min(testbed_.scheduler().now() + config_.per_class_budget, hard_deadline);
 
-  while (testbed_.scheduler().now() < hard_deadline) {
-    const bool systematic = mutator.in_systematic_phase();
-    if (!systematic && testbed_.scheduler().now() >= class_deadline) break;
+  while (true) {
+    const SimTime now = testbed_.scheduler().now();
+    if (now >= hard_deadline) break;  // the global budget binds even mid-systematic
+    if (!mutator.in_systematic_phase() && now >= class_deadline) break;
     const zwave::AppPayload payload = mutator.next();
 
     const Signature sig = signature_of(payload);
@@ -176,14 +249,19 @@ void Campaign::fuzz_class(CampaignResult& result, zwave::CommandClassId cc,
     if (blacklist_.contains(sig) || blacklist_.contains(wildcard)) continue;
 
     execute_test(result, payload);
+    if (should_stop(result)) break;
   }
 }
 
 void Campaign::fuzz_random(CampaignResult& result) {
-  const SimTime hard_deadline = testbed_.scheduler().now() + config_.duration;
+  fuzz_started_at_ = testbed_.scheduler().now();
+  last_checkpoint_ = fuzz_started_at_;
+  const SimTime budget =
+      config_.duration > elapsed_offset_ ? config_.duration - elapsed_offset_ : 0;
+  const SimTime hard_deadline = fuzz_started_at_ + budget;
   RandomMutator mutator(rng_);
 
-  while (testbed_.scheduler().now() < hard_deadline) {
+  while (testbed_.scheduler().now() < hard_deadline && !aborted_) {
     // Blind volley: no per-packet feedback (the γ arm has none of ZCover's
     // pacing or properties).
     std::vector<zwave::AppPayload> batch;
@@ -194,6 +272,7 @@ void Campaign::fuzz_random(CampaignResult& result) {
       note_packet(result);
       dongle_.run_for(50 * kMillisecond);
     }
+    if (should_stop(result)) break;
 
     // Coarse oracle pass over the whole batch.
     const bool alive = probe_liveness();
@@ -206,7 +285,7 @@ void Campaign::fuzz_random(CampaignResult& result) {
 
     // Anomaly: recover the testbed, then triage by replaying candidates
     // one at a time with full oracles (crash triage / PoC verification).
-    if (!alive) await_recovery();
+    if (!alive) await_recovery(result);
     testbed_.restore_network();
     testbed_.controller().host().restart();
     last_host_state_ = testbed_.controller().host().state();
@@ -218,25 +297,65 @@ void Campaign::fuzz_random(CampaignResult& result) {
       const Signature wildcard{sig.cc, sig.cmd, kAnyParam};
       if (blacklist_.contains(sig) || blacklist_.contains(wildcard)) continue;
       execute_test(result, payload);
+      if (should_stop(result)) break;
     }
   }
 }
 
-bool Campaign::execute_test(CampaignResult& result, const zwave::AppPayload& payload) {
+bool Campaign::inject_acked(CampaignResult& result, const zwave::AppPayload& payload) {
+  // Build the frame once so every retry reuses the same MAC sequence
+  // number: the controller re-acks a repeated sequence without
+  // re-processing it, so a retried payload is applied at most once.
+  const zwave::MacFrame frame = zwave::make_singlecast(
+      home_, kAttackerNodeId, target_, payload, dongle_.next_sequence(),
+      /*ack_requested=*/true);
+
+  const SimTime injection_deadline = testbed_.scheduler().now() + config_.retry.deadline;
+  const std::size_t max_attempts = std::max<std::size_t>(1, config_.retry.max_attempts);
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      if (testbed_.scheduler().now() >= injection_deadline) break;
+      dongle_.run_for(config_.retry.backoff_before(attempt, resilience_rng_));
+      ++result.retried_injections;
+    }
+    dongle_.inject(frame);
+    if (dongle_.await_ack(home_, target_, kAttackerNodeId, kAckWait)) return true;
+  }
+  return false;
+}
+
+TestOutcome Campaign::execute_test(CampaignResult& result,
+                                   const zwave::AppPayload& payload) {
   const std::size_t findings_before = result.findings.size();
 
-  dongle_.send_app(home_, kAttackerNodeId, target_, payload);
+  const SimTime window_start = testbed_.scheduler().now();
   note_packet(result);
+  const bool acked = inject_acked(result, payload);
+
+  if (!acked) {
+    // Neither the injection nor any ack made it through. If the controller
+    // still answers NOP pings, the medium simply ate the exchange — the
+    // payload may never have arrived, so no oracle verdict is possible:
+    // inconclusive, not a finding.
+    if (probe_liveness()) {
+      ++result.inconclusive_tests;
+      dongle_.run_for(kInterTestGap);
+      return TestOutcome::kInconclusive;
+    }
+    // Controller down: fall through and let the liveness oracle decide
+    // (confirm_findings separates payload kills from blanket channel loss).
+  }
 
   // Drain the controller's reaction within the response window. The reply
   // classification (positive response vs APPLICATION_STATUS rejection) is
   // what the feedback loop of Fig. 7 feeds back into test generation.
-  const SimTime window_end = testbed_.scheduler().now() + config_.response_window;
+  const SimTime window_end = window_start + config_.response_window;
   while (testbed_.scheduler().now() < window_end) {
     const auto reply = dongle_.await_frame(
-        [&](const zwave::MacFrame& frame) {
-          return frame.home_id == home_ && frame.src == target_ &&
-                 frame.dst == kAttackerNodeId && frame.header != zwave::HeaderType::kAck;
+        [&](const zwave::MacFrame& reply_frame) {
+          return reply_frame.home_id == home_ && reply_frame.src == target_ &&
+                 reply_frame.dst == kAttackerNodeId &&
+                 reply_frame.header != zwave::HeaderType::kAck;
         },
         window_end - testbed_.scheduler().now());
     if (!reply.has_value()) break;
@@ -244,7 +363,8 @@ bool Campaign::execute_test(CampaignResult& result, const zwave::AppPayload& pay
 
   run_oracles(result, payload);
   dongle_.run_for(kInterTestGap);
-  return result.findings.size() != findings_before;
+  return result.findings.size() != findings_before ? TestOutcome::kFinding
+                                                   : TestOutcome::kClean;
 }
 
 void Campaign::run_oracles(CampaignResult& result, const zwave::AppPayload& suspect) {
@@ -265,13 +385,21 @@ void Campaign::run_oracles(CampaignResult& result, const zwave::AppPayload& susp
     if (config_.confirm_findings) {
       // Wait the apparent outage out, replay the suspect, and require the
       // silence to reproduce — transient RF loss does not.
-      await_recovery();
-      dongle_.send_app(home_, kAttackerNodeId, target_, suspect);
+      await_recovery(result);
+      if (!inject_acked(result, suspect)) {
+        // The replay itself never got through: the channel is still eating
+        // frames, so the renewed silence proves nothing about the payload.
+        return;
+      }
       dongle_.run_for(config_.response_window);
       if (probe_liveness()) return;  // transient: not a finding
+      // Second opinion clear of any short interference window: a real
+      // Table III outage lasts tens of seconds, a loss burst does not.
+      dongle_.run_for(config_.watchdog.ping_interval);
+      if (probe_liveness()) return;
     }
     record_finding(result, suspect, DetectionKind::kServiceInterruption);
-    await_recovery();
+    await_recovery(result);
     return;  // the outage window hid any concurrent table change
   }
 
@@ -289,6 +417,11 @@ void Campaign::run_oracles(CampaignResult& result, const zwave::AppPayload& susp
 bool Campaign::probe_liveness() {
   for (std::size_t attempt = 0; attempt < std::max<std::size_t>(1, config_.liveness_attempts);
        ++attempt) {
+    // Jittered spacing between attempts so repeated probes do not all land
+    // inside the same periodic interference window.
+    if (attempt > 0) {
+      dongle_.run_for(config_.retry.backoff_before(attempt, resilience_rng_));
+    }
     dongle_.send_app(home_, kAttackerNodeId, target_, zwave::make_nop());
     if (dongle_.await_ack(home_, target_, kAttackerNodeId, config_.liveness_timeout)) {
       return true;
@@ -297,15 +430,54 @@ bool Campaign::probe_liveness() {
   return false;
 }
 
-void Campaign::await_recovery() {
-  const SimTime give_up = testbed_.scheduler().now() + config_.recovery_give_up;
-  while (testbed_.scheduler().now() < give_up) {
-    dongle_.run_for(config_.recovery_poll);
-    if (probe_liveness()) return;
+RecoveryStats Campaign::await_recovery(CampaignResult& result) {
+  RecoveryStats stats;
+  stats.outage_started = testbed_.scheduler().now();
+
+  // Stage 1: passive NOP pings — finite firmware outages (the 30-68 s
+  // Table III kind) normally clear on their own.
+  const SimTime ping_deadline = stats.outage_started + config_.watchdog.ping_stage;
+  while (testbed_.scheduler().now() < ping_deadline) {
+    dongle_.run_for(config_.watchdog.ping_interval);
+    ++stats.nop_probes;
+    if (probe_liveness()) {
+      stats.recovered = true;
+      break;
+    }
   }
-  // Infinite outage: the operator power-cycles the device.
-  testbed_.controller().operator_recover();
-  dongle_.run_for(1 * kSecond);
+
+  // Stage 2: Serial API soft resets over the bench link. A chip that
+  // refuses is wedged below the firmware — skip straight to power.
+  if (!stats.recovered) {
+    stats.stage = RecoveryStage::kSoftReset;
+    for (std::size_t i = 0; i < config_.watchdog.soft_reset_attempts; ++i) {
+      ++stats.soft_resets;
+      if (!testbed_.controller().soft_reset()) break;
+      dongle_.run_for(config_.watchdog.reboot_settle);
+      ++stats.nop_probes;
+      if (probe_liveness()) {
+        stats.recovered = true;
+        break;
+      }
+    }
+  }
+
+  // Stage 3: the operator power-cycles the device.
+  if (!stats.recovered) {
+    stats.stage = RecoveryStage::kHardReboot;
+    ++stats.hard_reboots;
+    testbed_.controller().operator_recover();
+    dongle_.run_for(config_.watchdog.reboot_settle);
+    stats.recovered = probe_liveness();
+  }
+
+  stats.recovered_at = testbed_.scheduler().now();
+  ZC_INFO("watchdog: outage at %s cleared via %s after %s",
+          format_sim_time(stats.outage_started).c_str(),
+          recovery_stage_name(stats.stage),
+          format_sim_time(stats.downtime()).c_str());
+  result.recovery_log.push_back(stats);
+  return stats;
 }
 
 std::optional<std::uint64_t> Campaign::query_table_digest() {

@@ -13,8 +13,17 @@
 //
 // Modes implement the ablation arms of Table VI: kFull, kKnownOnly (β) and
 // kRandom (γ, batched blind fuzzing with replay triage).
+//
+// The engine is built to survive a hostile bench, not just the happy path:
+// injections are retried under a RetryPolicy and count as inconclusive —
+// never as findings — when the medium ate them; outages are cleared by an
+// escalating watchdog (NOP ping → Serial API soft reset → power cycle);
+// and progress checkpoints let a killed campaign resume without re-fuzzing
+// retired signatures. See docs/robustness.md.
 #pragma once
 
+#include <array>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -23,6 +32,7 @@
 #include "core/dongle.h"
 #include "core/extractor.h"
 #include "core/mutator.h"
+#include "core/resilience.h"
 #include "core/scanner.h"
 #include "sim/testbed.h"
 
@@ -31,6 +41,64 @@ namespace zc::core {
 enum class CampaignMode { kFull, kKnownOnly, kRandom };
 
 const char* campaign_mode_name(CampaignMode mode);
+
+enum class DetectionKind : std::uint8_t {
+  kServiceInterruption,
+  kMemoryTampering,
+  kHostCrash,
+  kHostDoS,
+};
+
+const char* detection_kind_name(DetectionKind kind);
+
+/// How one test injection resolved. kInconclusive means the injection (or
+/// every ack) was lost on the medium while the controller stayed alive —
+/// the payload may never have arrived, so no oracle verdict is possible.
+enum class TestOutcome : std::uint8_t { kClean, kFinding, kInconclusive };
+
+/// One confirmed unique finding (a Bug_Logs entry of Algorithm 1).
+struct BugFinding {
+  Bytes payload;                       // bug-inducing application payload
+  zwave::CommandClassId cmd_class = 0;
+  zwave::CommandId command = 0;
+  std::optional<std::uint8_t> first_param;
+  DetectionKind kind = DetectionKind::kServiceInterruption;
+  SimTime detected_at = 0;
+  std::uint64_t packets_sent = 0;      // test packets at detection (Fig. 12)
+  /// Ground-truth correlation via the public signature tables
+  /// (vulnerability_matrix / mac_quirk_matrix); -1 when unmatched.
+  int matched_bug_id = -1;
+};
+
+/// A (class, command, first-parameter) test signature, the engine's unit of
+/// dedupe and retirement. param0 is the widened first parameter byte:
+/// 0x100 = the payload had no parameters, 0x1FF = wildcard (any parameter).
+struct PayloadSignature {
+  std::uint16_t cc = 0;
+  std::uint16_t cmd = 0;
+  std::uint16_t param0 = 0;
+  auto operator<=>(const PayloadSignature&) const = default;
+};
+
+/// Resumable campaign progress: everything needed to continue a killed run
+/// without re-fuzzing retired signatures or replaying the RNG from zero.
+/// Serialized by core/checkpoint.h ("zcover-checkpoint v1").
+struct CampaignCheckpoint {
+  CampaignMode mode = CampaignMode::kFull;
+  std::uint64_t seed = 0;
+  std::array<std::uint64_t, 4> rng_state{};
+  /// Virtual fuzzing time consumed so far (fingerprinting excluded); the
+  /// resumed run fuzzes for `duration - elapsed`.
+  SimTime elapsed = 0;
+  std::uint64_t test_packets = 0;
+  std::uint64_t inconclusive_tests = 0;
+  std::uint64_t retried_injections = 0;
+  std::vector<zwave::CommandClassId> classes_fuzzed;
+  std::vector<PayloadSignature> blacklist;
+  std::vector<PayloadSignature> reported_signatures;
+  std::vector<int> reported_bug_ids;
+  std::vector<BugFinding> findings;
+};
 
 struct CampaignConfig {
   CampaignMode mode = CampaignMode::kFull;
@@ -52,37 +120,33 @@ struct CampaignConfig {
   /// re-reports nor re-triggers them (each entry's payload is the
   /// serialized application payload, as in the log file).
   std::vector<Bytes> known_payloads;
-  SimTime recovery_poll = 5 * kSecond;
-  SimTime recovery_give_up = 6 * kMinute;  // then operator power-cycles
+  /// Retransmission policy for test injections and active probes. Retries
+  /// reuse the original MAC sequence number, so the controller's duplicate
+  /// suppression guarantees a retried payload is processed at most once.
+  RetryPolicy retry;
+  /// Escalating recovery ladder replacing the old fixed poll/give-up pair.
+  WatchdogConfig watchdog;
   std::uint64_t seed = 0x2C07E12F;
   /// When the prioritized queue drains before `duration`, start another
   /// randomized pass (matches the paper's fixed 24 h trials).
   bool loop_queue = true;
   /// kRandom only: blind packets per batch before an oracle check.
   std::size_t random_batch = 10;
-};
-
-enum class DetectionKind : std::uint8_t {
-  kServiceInterruption,
-  kMemoryTampering,
-  kHostCrash,
-  kHostDoS,
-};
-
-const char* detection_kind_name(DetectionKind kind);
-
-/// One confirmed unique finding (a Bug_Logs entry of Algorithm 1).
-struct BugFinding {
-  Bytes payload;                       // bug-inducing application payload
-  zwave::CommandClassId cmd_class = 0;
-  zwave::CommandId command = 0;
-  std::optional<std::uint8_t> first_param;
-  DetectionKind kind = DetectionKind::kServiceInterruption;
-  SimTime detected_at = 0;
-  std::uint64_t packets_sent = 0;      // test packets at detection (Fig. 12)
-  /// Ground-truth correlation via the public signature tables
-  /// (vulnerability_matrix / mac_quirk_matrix); -1 when unmatched.
-  int matched_bug_id = -1;
+  /// Checkpointing: every `checkpoint_interval` of virtual fuzz time (0
+  /// disables periodic snapshots) the engine hands a fresh checkpoint to
+  /// `checkpoint_sink`; a final snapshot is always emitted when the
+  /// `abort_hook` stops the run.
+  SimTime checkpoint_interval = 0;
+  std::function<void(const CampaignCheckpoint&)> checkpoint_sink;
+  /// Polled between tests; returning true stops the campaign (the sim
+  /// equivalent of SIGTERM / an operator pulling the plug mid-run).
+  std::function<bool()> abort_hook;
+  /// Continue a previous session: restores RNG state, retired signatures,
+  /// findings and counters, and shrinks the fuzz budget by the checkpoint's
+  /// elapsed time. The queue is re-walked from the top — the restored
+  /// blacklist keeps retired signatures from re-triggering or re-reporting,
+  /// which makes resuming safe even after a mid-class kill.
+  std::optional<CampaignCheckpoint> resume_from;
 };
 
 struct FingerprintReport {
@@ -104,6 +168,15 @@ struct CampaignResult {
   std::set<std::pair<zwave::CommandClassId, zwave::CommandId>> accepted_pairs;
   /// (time, packets) samples every ~10 s of virtual time, for Fig. 12.
   std::vector<std::pair<SimTime, std::uint64_t>> packet_timeline;
+  /// One entry per outage the watchdog had to clear.
+  std::vector<RecoveryStats> recovery_log;
+  /// Injections whose transmissions (or acks) the medium ate while the
+  /// controller stayed alive — retried, then skipped without a verdict.
+  std::uint64_t inconclusive_tests = 0;
+  /// Extra transmissions spent on retries (not counted as distinct tests).
+  std::uint64_t retried_injections = 0;
+  /// True when the abort hook stopped the run before its deadline.
+  bool aborted = false;
 };
 
 /// Aggregate of N independent trials — the paper's methodology runs five
@@ -136,33 +209,43 @@ class Campaign {
   static constexpr zwave::NodeId kAttackerNodeId = 0xE7;
 
  private:
-  struct Signature {
-    zwave::CommandClassId cc;
-    zwave::CommandId cmd;
-    std::uint16_t param0;  // 0x100 = no parameter
-    auto operator<=>(const Signature&) const = default;
-  };
+  using Signature = PayloadSignature;
   static Signature signature_of(const zwave::AppPayload& payload);
 
   void fuzz(CampaignResult& result);
   void fuzz_class(CampaignResult& result, zwave::CommandClassId cc, SimTime hard_deadline);
   void fuzz_random(CampaignResult& result);
 
-  /// Sends one test payload and runs every oracle. Returns true when any
-  /// new finding was recorded.
-  bool execute_test(CampaignResult& result, const zwave::AppPayload& payload);
+  /// Sends one test payload (with retries) and runs every oracle.
+  TestOutcome execute_test(CampaignResult& result, const zwave::AppPayload& payload);
   void run_oracles(CampaignResult& result, const zwave::AppPayload& suspect);
+  /// Ack-verified injection under the retry policy; true once the frame's
+  /// delivery was confirmed by a MAC ack.
+  bool inject_acked(CampaignResult& result, const zwave::AppPayload& payload);
   bool probe_liveness();
-  void await_recovery();
+  /// The escalating watchdog: NOP pings, then Serial API soft resets, then
+  /// the operator's power cycle. Appends its episode to result.recovery_log.
+  RecoveryStats await_recovery(CampaignResult& result);
   std::optional<std::uint64_t> query_table_digest();
   void record_finding(CampaignResult& result, const zwave::AppPayload& payload,
                       DetectionKind kind);
   void note_packet(CampaignResult& result);
   int correlate_ground_truth(const zwave::AppPayload& payload, DetectionKind kind) const;
 
+  CampaignCheckpoint make_checkpoint(const CampaignResult& result) const;
+  /// Abort polling + periodic checkpoint emission; true when the campaign
+  /// should stop now.
+  bool should_stop(CampaignResult& result);
+  void restore_from_checkpoint(const CampaignCheckpoint& checkpoint);
+
   sim::Testbed& testbed_;
   CampaignConfig config_;
   Rng rng_;
+  /// Dedicated stream for retry/backoff jitter. Deliberately NOT forked
+  /// from rng_: the mutators share rng_ by reference, and resilience draws
+  /// interleaving with mutation draws would perturb the payload sequence
+  /// (and with it, seed-stable test expectations).
+  Rng resilience_rng_;
   ZWaveDongle dongle_;
   zwave::HomeId home_ = 0;
   zwave::NodeId target_ = zwave::kControllerNodeId;
@@ -173,6 +256,11 @@ class Campaign {
   std::size_t triggers_seen_ = 0;            // cursor into the SUT trigger log
   std::optional<std::uint64_t> baseline_digest_;
   sim::HostSoftware::State last_host_state_ = sim::HostSoftware::State::kRunning;
+
+  SimTime fuzz_started_at_ = 0;    // when this process began fuzzing
+  SimTime elapsed_offset_ = 0;     // fuzz time consumed by resumed-from runs
+  SimTime last_checkpoint_ = 0;
+  bool aborted_ = false;
 };
 
 }  // namespace zc::core

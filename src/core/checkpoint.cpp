@@ -1,0 +1,195 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace zc::core {
+
+namespace {
+
+constexpr const char* kHeader = "zcover-checkpoint v1";
+
+const char* mode_token(CampaignMode mode) {
+  switch (mode) {
+    case CampaignMode::kFull: return "full";
+    case CampaignMode::kKnownOnly: return "known-only";
+    case CampaignMode::kRandom: return "random";
+  }
+  return "?";
+}
+
+std::optional<CampaignMode> parse_mode(const std::string& token) {
+  for (CampaignMode mode :
+       {CampaignMode::kFull, CampaignMode::kKnownOnly, CampaignMode::kRandom}) {
+    if (token == mode_token(mode)) return mode;
+  }
+  return std::nullopt;
+}
+
+std::optional<DetectionKind> parse_kind(const std::string& token) {
+  for (DetectionKind kind :
+       {DetectionKind::kServiceInterruption, DetectionKind::kMemoryTampering,
+        DetectionKind::kHostCrash, DetectionKind::kHostDoS}) {
+    if (token == detection_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+void append_signature(std::string& out, const char* key, const PayloadSignature& sig) {
+  char line[64];
+  std::snprintf(line, sizeof(line), "%s %u %u %u\n", key, sig.cc, sig.cmd, sig.param0);
+  out += line;
+}
+
+bool parse_signature(std::istringstream& fields, PayloadSignature& sig) {
+  unsigned cc = 0, cmd = 0, param0 = 0;
+  if (!(fields >> cc >> cmd >> param0)) return false;
+  if (cc > 0xFFFF || cmd > 0xFFFF || param0 > 0xFFFF) return false;
+  sig.cc = static_cast<std::uint16_t>(cc);
+  sig.cmd = static_cast<std::uint16_t>(cmd);
+  sig.param0 = static_cast<std::uint16_t>(param0);
+  return true;
+}
+
+}  // namespace
+
+std::string serialize_checkpoint(const CampaignCheckpoint& checkpoint) {
+  std::string out = kHeader;
+  out += '\n';
+  char line[128];
+  std::snprintf(line, sizeof(line), "mode %s\n", mode_token(checkpoint.mode));
+  out += line;
+  std::snprintf(line, sizeof(line), "seed %llu\n",
+                static_cast<unsigned long long>(checkpoint.seed));
+  out += line;
+  std::snprintf(line, sizeof(line), "rng %llu %llu %llu %llu\n",
+                static_cast<unsigned long long>(checkpoint.rng_state[0]),
+                static_cast<unsigned long long>(checkpoint.rng_state[1]),
+                static_cast<unsigned long long>(checkpoint.rng_state[2]),
+                static_cast<unsigned long long>(checkpoint.rng_state[3]));
+  out += line;
+  std::snprintf(line, sizeof(line), "elapsed %llu\n",
+                static_cast<unsigned long long>(checkpoint.elapsed));
+  out += line;
+  std::snprintf(line, sizeof(line), "packets %llu\n",
+                static_cast<unsigned long long>(checkpoint.test_packets));
+  out += line;
+  std::snprintf(line, sizeof(line), "inconclusive %llu\n",
+                static_cast<unsigned long long>(checkpoint.inconclusive_tests));
+  out += line;
+  std::snprintf(line, sizeof(line), "retried %llu\n",
+                static_cast<unsigned long long>(checkpoint.retried_injections));
+  out += line;
+  for (zwave::CommandClassId cc : checkpoint.classes_fuzzed) {
+    std::snprintf(line, sizeof(line), "class %u\n", cc);
+    out += line;
+  }
+  for (const auto& sig : checkpoint.blacklist) append_signature(out, "retire", sig);
+  for (const auto& sig : checkpoint.reported_signatures) {
+    append_signature(out, "reported-sig", sig);
+  }
+  for (int bug_id : checkpoint.reported_bug_ids) {
+    std::snprintf(line, sizeof(line), "reported-bug %d\n", bug_id);
+    out += line;
+  }
+  for (const auto& finding : checkpoint.findings) {
+    std::snprintf(line, sizeof(line), " | %s | %d | %llu | %llu\n",
+                  detection_kind_name(finding.kind), finding.matched_bug_id,
+                  static_cast<unsigned long long>(finding.detected_at),
+                  static_cast<unsigned long long>(finding.packets_sent));
+    out += "finding ";
+    out += to_hex(finding.payload);
+    out += line;
+  }
+  return out;
+}
+
+std::optional<CampaignCheckpoint> parse_checkpoint(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+
+  // The header is mandatory here (unlike the bug log): resuming from a
+  // file of a different or future version must fail loudly.
+  do {
+    if (!std::getline(stream, line)) return std::nullopt;
+  } while (line.empty());
+  if (line != kHeader) return std::nullopt;
+
+  CampaignCheckpoint checkpoint;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "mode") {
+      std::string token;
+      if (!(fields >> token)) return std::nullopt;
+      const auto mode = parse_mode(token);
+      if (!mode.has_value()) return std::nullopt;
+      checkpoint.mode = *mode;
+    } else if (key == "seed") {
+      if (!(fields >> checkpoint.seed)) return std::nullopt;
+    } else if (key == "rng") {
+      for (auto& word : checkpoint.rng_state) {
+        if (!(fields >> word)) return std::nullopt;
+      }
+    } else if (key == "elapsed") {
+      if (!(fields >> checkpoint.elapsed)) return std::nullopt;
+    } else if (key == "packets") {
+      if (!(fields >> checkpoint.test_packets)) return std::nullopt;
+    } else if (key == "inconclusive") {
+      if (!(fields >> checkpoint.inconclusive_tests)) return std::nullopt;
+    } else if (key == "retried") {
+      if (!(fields >> checkpoint.retried_injections)) return std::nullopt;
+    } else if (key == "class") {
+      unsigned cc = 0;
+      if (!(fields >> cc) || cc > 0xFF) return std::nullopt;
+      checkpoint.classes_fuzzed.push_back(static_cast<zwave::CommandClassId>(cc));
+    } else if (key == "retire") {
+      PayloadSignature sig;
+      if (!parse_signature(fields, sig)) return std::nullopt;
+      checkpoint.blacklist.push_back(sig);
+    } else if (key == "reported-sig") {
+      PayloadSignature sig;
+      if (!parse_signature(fields, sig)) return std::nullopt;
+      checkpoint.reported_signatures.push_back(sig);
+    } else if (key == "reported-bug") {
+      int bug_id = 0;
+      if (!(fields >> bug_id)) return std::nullopt;
+      checkpoint.reported_bug_ids.push_back(bug_id);
+    } else if (key == "finding") {
+      std::string hex, bar1, kind_token, bar2, bug_str, bar3, time_str, bar4, packets_str;
+      if (!(fields >> hex >> bar1 >> kind_token >> bar2 >> bug_str >> bar3 >> time_str >>
+            bar4 >> packets_str) ||
+          bar1 != "|" || bar2 != "|" || bar3 != "|" || bar4 != "|") {
+        return std::nullopt;
+      }
+      const auto payload_bytes = from_hex(hex);
+      const auto kind = parse_kind(kind_token);
+      if (!payload_bytes.has_value() || payload_bytes->empty() || !kind.has_value()) {
+        return std::nullopt;
+      }
+      BugFinding finding;
+      finding.payload = *payload_bytes;
+      finding.kind = *kind;
+      finding.matched_bug_id = std::atoi(bug_str.c_str());
+      finding.detected_at = std::strtoull(time_str.c_str(), nullptr, 10);
+      finding.packets_sent = std::strtoull(packets_str.c_str(), nullptr, 10);
+      // cmd_class/command/first_param are views into the payload; re-derive
+      // them instead of trusting redundant fields to stay in sync.
+      const auto payload = zwave::decode_app_payload(finding.payload);
+      if (!payload.ok()) return std::nullopt;
+      finding.cmd_class = payload.value().cmd_class;
+      finding.command = payload.value().command;
+      if (!payload.value().params.empty()) {
+        finding.first_param = payload.value().params[0];
+      }
+      checkpoint.findings.push_back(std::move(finding));
+    } else {
+      return std::nullopt;  // unknown key: not a v1 file after all
+    }
+  }
+  return checkpoint;
+}
+
+}  // namespace zc::core

@@ -1,0 +1,40 @@
+// Checkpoint serialization: the campaign's resumable progress in a
+// versioned plain-text format, next to the bug-log format of
+// core/packet_tester.h.
+//
+//   zcover-checkpoint v1
+//   mode full
+//   seed 740680239
+//   rng <s0> <s1> <s2> <s3>
+//   elapsed 7200000000
+//   packets 48123
+//   inconclusive 17
+//   retried 211
+//   class 25
+//   retire <cc> <cmd> <param0>
+//   reported-sig <cc> <cmd> <param0>
+//   reported-bug 7
+//   finding <hex payload> | <kind> | <bug id> | <time us> | <packets>
+//
+// One key-value record per line; repeated keys accumulate. param0 uses the
+// widened encoding of PayloadSignature (0x100 = none, 0x1FF = wildcard).
+// A killed campaign restarts with `CampaignConfig::resume_from` pointing at
+// the parsed checkpoint and continues without re-fuzzing retired
+// signatures. See docs/robustness.md.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/campaign.h"
+
+namespace zc::core {
+
+std::string serialize_checkpoint(const CampaignCheckpoint& checkpoint);
+
+/// Strict v1 parser: returns nullopt on a missing/unknown header, an
+/// unknown key, or any malformed record — a resumed campaign must never
+/// run from half-read state.
+std::optional<CampaignCheckpoint> parse_checkpoint(const std::string& text);
+
+}  // namespace zc::core

@@ -49,7 +49,7 @@ void ZWaveDongle::inject_raw(ByteView frame_bytes) {
 
 void ZWaveDongle::send_app(zwave::HomeId home, zwave::NodeId src, zwave::NodeId dst,
                            const zwave::AppPayload& payload, bool ack_requested) {
-  inject(zwave::make_singlecast(home, src, dst, payload, tx_sequence_++ & 0x0F,
+  inject(zwave::make_singlecast(home, src, dst, payload, next_sequence(),
                                 ack_requested));
 }
 

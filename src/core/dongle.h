@@ -53,6 +53,13 @@ class ZWaveDongle {
   void send_app(zwave::HomeId home, zwave::NodeId src, zwave::NodeId dst,
                 const zwave::AppPayload& payload, bool ack_requested = true);
 
+  /// Claims the next MAC sequence number from the dongle's shared counter.
+  /// Callers that build frames themselves (so a retry can reuse the same
+  /// sequence and ride the controller's retransmission handling) must draw
+  /// from here, or their sequences would collide with `send_app`'s and be
+  /// suppressed as duplicates.
+  std::uint8_t next_sequence() { return tx_sequence_++ & 0x0F; }
+
   // --- scheduler-driving waits ----------------------------------------------
   using FramePredicate = std::function<bool(const zwave::MacFrame&)>;
 

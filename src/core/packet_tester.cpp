@@ -46,12 +46,16 @@ std::vector<LogEntry> parse_bug_log(const std::string& text, std::size_t* reject
   std::size_t rejected = 0;
   std::istringstream stream(text);
   std::string line;
-  bool header_seen = false;
+  bool first_content_line = true;
   while (std::getline(stream, line)) {
     if (line.empty()) continue;
-    if (!header_seen) {
-      header_seen = true;
-      if (line.rfind("zcover-log", 0) == 0) continue;  // header line
+    // The header is strictly optional and only recognized as the first
+    // non-empty line; a data first line is parsed as data, never consumed.
+    const bool is_first = first_content_line;
+    first_content_line = false;
+    if (is_first && line.rfind("zcover-log", 0) == 0) {
+      if (line != "zcover-log v1") ++rejected;  // unknown version
+      continue;
     }
     // Format: <hex> | <kind> | <bug id> | <time us>
     std::istringstream fields(line);

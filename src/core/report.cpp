@@ -44,6 +44,29 @@ std::string render_markdown_report(const CampaignResult& result, sim::DeviceMode
                 result.fingerprint.discovery.proprietary.size());
   out += line;
 
+  // Campaign health: how much the channel and the device fought back. A
+  // vendor reading the report needs to know whether "no finding" means
+  // "clean" or "the campaign spent its budget recovering the bench".
+  if (result.inconclusive_tests > 0 || result.retried_injections > 0 ||
+      !result.recovery_log.empty()) {
+    out += "## Campaign resilience\n\n";
+    std::snprintf(line, sizeof(line),
+                  "- **Inconclusive tests** (injection lost on the medium): %llu\n",
+                  static_cast<unsigned long long>(result.inconclusive_tests));
+    out += line;
+    std::snprintf(line, sizeof(line), "- **Retried injections**: %llu\n",
+                  static_cast<unsigned long long>(result.retried_injections));
+    out += line;
+    std::size_t escalations = 0;
+    for (const auto& episode : result.recovery_log) {
+      if (episode.escalated()) ++escalations;
+    }
+    std::snprintf(line, sizeof(line),
+                  "- **Watchdog recoveries**: %zu (%zu beyond NOP pings)\n\n",
+                  result.recovery_log.size(), escalations);
+    out += line;
+  }
+
   out += "## Findings\n\n";
   if (result.findings.empty()) {
     out += "No vulnerabilities confirmed.\n";

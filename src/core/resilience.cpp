@@ -1,0 +1,27 @@
+#include "core/resilience.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zc::core {
+
+SimTime RetryPolicy::backoff_before(std::size_t attempt, Rng& rng) const {
+  if (attempt == 0) return 0;
+  double backoff = static_cast<double>(initial_backoff) *
+                   std::pow(std::max(1.0, multiplier), static_cast<double>(attempt - 1));
+  backoff = std::min(backoff, static_cast<double>(max_backoff));
+  const double clamped_jitter = std::clamp(jitter, 0.0, 1.0);
+  const double factor = 1.0 + clamped_jitter * (2.0 * rng.uniform01() - 1.0);
+  return static_cast<SimTime>(backoff * factor);
+}
+
+const char* recovery_stage_name(RecoveryStage stage) {
+  switch (stage) {
+    case RecoveryStage::kNopPing: return "nop-ping";
+    case RecoveryStage::kSoftReset: return "soft-reset";
+    case RecoveryStage::kHardReboot: return "hard-reboot";
+  }
+  return "?";
+}
+
+}  // namespace zc::core

@@ -1,0 +1,84 @@
+// Campaign resilience primitives: bounded retries with exponential backoff
+// and the escalating liveness watchdog.
+//
+// The paper's campaigns run over real, lossy RF against controllers that
+// genuinely hang (§III-D liveness monitoring, §IV-A crash verification).
+// A robust reproduction must therefore distinguish three situations the
+// happy path conflates:
+//   * the medium ate the injection (or its ack)  -> retry, then
+//     kInconclusive — never a finding;
+//   * the controller is in a finite outage       -> wait / soft-reset;
+//   * the controller is wedged for good          -> hard reboot, finding.
+// CovFUZZ and ThreadFuzzer (PAPERS.md) gate coverage and findings on the
+// same kind of timeout/retransmission handling and recovery oracle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace zc::core {
+
+/// Bounded retry with exponential backoff + jitter, and a hard per-attempt
+/// sequence deadline. Used for test injections, the scanner's active
+/// probes, and liveness pings.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;
+  SimTime initial_backoff = 40 * kMillisecond;
+  double multiplier = 2.0;
+  SimTime max_backoff = 500 * kMillisecond;
+  /// Backoff is scaled by a uniform factor in [1-jitter, 1+jitter] so
+  /// retries desynchronize from periodic interference.
+  double jitter = 0.25;
+  /// Total virtual-time budget for one injection including retries; when
+  /// exceeded the attempt loop stops early.
+  SimTime deadline = 3 * kSecond;
+
+  /// Backoff before retry number `attempt` (1-based: the pause before the
+  /// second transmission is attempt 1). Deterministic given the Rng state.
+  SimTime backoff_before(std::size_t attempt, Rng& rng) const;
+};
+
+/// The watchdog's escalation ladder (§III-D's recovery monitor, made
+/// explicit): passive NOP pings first, then a Serial API soft reset, then
+/// the operator's power cycle.
+enum class RecoveryStage : std::uint8_t { kNopPing, kSoftReset, kHardReboot };
+
+const char* recovery_stage_name(RecoveryStage stage);
+
+/// One recovery episode: when the outage started, what it took to end it.
+struct RecoveryStats {
+  SimTime outage_started = 0;
+  SimTime recovered_at = 0;
+  /// Highest rung of the ladder that was needed.
+  RecoveryStage stage = RecoveryStage::kNopPing;
+  std::size_t nop_probes = 0;
+  std::size_t soft_resets = 0;
+  std::size_t hard_reboots = 0;
+  bool recovered = false;
+
+  SimTime downtime() const {
+    return recovered_at > outage_started ? recovered_at - outage_started : 0;
+  }
+  /// True when the NOP-ping stage alone was not enough.
+  bool escalated() const { return stage != RecoveryStage::kNopPing; }
+};
+
+/// Per-stage tuning for the escalating watchdog.
+struct WatchdogConfig {
+  /// Stage 1: passive NOP pings every `ping_interval`, for up to
+  /// `ping_stage` — finite firmware outages (the 30-68 s Table III kind)
+  /// normally end here without intervention.
+  SimTime ping_interval = 5 * kSecond;
+  SimTime ping_stage = 45 * kSecond;
+  /// Stage 2: Serial API soft resets (bench access, like the packet
+  /// tester's oracle sweep); skipped once the chip refuses — an infinite
+  /// outage models NVM damage a firmware restart cannot clear.
+  std::size_t soft_reset_attempts = 2;
+  /// Settle time after a soft reset or power cycle before re-probing.
+  SimTime reboot_settle = 1 * kSecond;
+};
+
+}  // namespace zc::core

@@ -1,5 +1,6 @@
 #include "core/scanner.h"
 
+#include <algorithm>
 #include <map>
 
 #include "zwave/security.h"
@@ -88,30 +89,41 @@ PassiveScanResult PassiveScanner::scan(SimTime duration, std::size_t min_packets
 
 ActiveScanResult ActiveScanner::scan(SimTime response_timeout) {
   ActiveScanResult result;
+  const std::size_t attempts = std::max<std::size_t>(1, retry_.max_attempts);
 
-  // Step 1: dynamic device interrogation — a state probe (NOP with ack).
-  dongle_.send_app(home_, self_, target_, zwave::make_nop(), /*ack_requested=*/true);
-  result.reachable = dongle_.await_ack(home_, target_, self_, response_timeout);
+  // Step 1: dynamic device interrogation — a state probe (NOP with ack),
+  // retried so one exchange eaten by the medium does not misreport an
+  // unreachable target. NOP is idempotent; each attempt may use a fresh
+  // sequence number.
+  for (std::size_t attempt = 0; attempt < attempts && !result.reachable; ++attempt) {
+    if (attempt > 0) dongle_.run_for(retry_.backoff_before(attempt, retry_rng_));
+    dongle_.send_app(home_, self_, target_, zwave::make_nop(), /*ack_requested=*/true);
+    result.reachable = dongle_.await_ack(home_, target_, self_, response_timeout);
+  }
   if (!result.reachable) return result;
 
-  // Step 2: listed property querying via a NIF request.
-  dongle_.send_app(home_, self_, target_, zwave::make_nif_request(target_));
+  // Steps 2+3: listed property querying via a NIF request, then response
+  // analysis — retried the same way. A lost NIF response would otherwise
+  // silently shrink the fuzz queue to nothing.
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) dongle_.run_for(retry_.backoff_before(attempt, retry_rng_));
+    dongle_.send_app(home_, self_, target_, zwave::make_nif_request(target_));
+    const auto response = dongle_.await_frame(
+        [&](const zwave::MacFrame& frame) {
+          if (frame.home_id != home_ || frame.src != target_) return false;
+          const auto app = zwave::decode_app_payload(frame.payload);
+          return app.ok() && app.value().cmd_class == 0x01 && app.value().command == 0x07;
+        },
+        response_timeout);
+    if (!response.has_value()) continue;
 
-  // Step 3: response analysis.
-  const auto response = dongle_.await_frame(
-      [&](const zwave::MacFrame& frame) {
-        if (frame.home_id != home_ || frame.src != target_) return false;
-        const auto app = zwave::decode_app_payload(frame.payload);
-        return app.ok() && app.value().cmd_class == 0x01 && app.value().command == 0x07;
-      },
-      response_timeout);
-  if (!response.has_value()) return result;
-
-  const auto app = zwave::decode_app_payload(response->payload);
-  const auto info = zwave::decode_node_info(app.value());
-  if (info.ok()) {
-    result.node_info = info.value();
-    result.listed = info.value().supported;
+    const auto app = zwave::decode_app_payload(response->payload);
+    const auto info = zwave::decode_node_info(app.value());
+    if (info.ok()) {
+      result.node_info = info.value();
+      result.listed = info.value().supported;
+    }
+    break;
   }
   return result;
 }

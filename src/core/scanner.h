@@ -14,7 +14,9 @@
 #include <set>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/dongle.h"
+#include "core/resilience.h"
 #include "zwave/nif.h"
 
 namespace zc::core {
@@ -70,8 +72,14 @@ class ActiveScanner {
                 zwave::NodeId attacker_node)
       : dongle_(dongle), home_(home), target_(target), self_(attacker_node) {}
 
+  /// Retransmission policy for the active probes (state probe + NIF
+  /// request). Defaults match the campaign engine's.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+
   /// Runs the three steps of §III-B2: dynamic interrogation, listed
-  /// property querying (NIF), response analysis.
+  /// property querying (NIF), response analysis. Probes are retried under
+  /// the policy so one lost exchange does not misreport the target as
+  /// unreachable or class-less.
   ActiveScanResult scan(SimTime response_timeout = 500 * kMillisecond);
 
  private:
@@ -79,6 +87,8 @@ class ActiveScanner {
   zwave::HomeId home_;
   zwave::NodeId target_;
   zwave::NodeId self_;
+  RetryPolicy retry_;
+  Rng retry_rng_{0x5CA22E7B};  // backoff jitter only; fixed, deterministic
 };
 
 }  // namespace zc::core

@@ -19,7 +19,7 @@ void Transceiver::move_to(double x_meters, double y_meters) {
 
 void Transceiver::transmit(ByteView frame) {
   ++frames_sent_;
-  medium_.broadcast(this, encode_transmission(frame));
+  medium_.broadcast(this, frame, encode_transmission(frame));
 }
 
 void Transceiver::deliver(const BitStream& bits, double rssi_dbm) {
@@ -46,8 +46,12 @@ double RfMedium::link_rssi_dbm(const Transceiver& from, const Transceiver& to) c
   return from.config().tx_power_dbm - loss;
 }
 
-void RfMedium::broadcast(Transceiver* sender, const BitStream& bits) {
+void RfMedium::broadcast(Transceiver* sender, ByteView frame, const BitStream& bits) {
   ++transmissions_;
+  // Injected burst loss swallows the transmission channel-wide, before any
+  // per-link work, so it never perturbs the channel's own random stream.
+  if (fault_tap_ != nullptr && fault_tap_->drop_transmission(frame)) return;
+
   const double airtime_seconds = static_cast<double>(bits.size()) / model_.data_rate_bps;
   const SimTime airtime = static_cast<SimTime>(airtime_seconds * static_cast<double>(kSecond));
 
@@ -69,6 +73,7 @@ void RfMedium::broadcast(Transceiver* sender, const BitStream& bits) {
         if (rng_.chance(model_.bit_flip_rate)) bit ^= 1;
       }
     }
+    if (fault_tap_ != nullptr) fault_tap_->corrupt_bits(delivered);
     scheduler_.schedule_after(airtime, [receiver, delivered = std::move(delivered), rssi] {
       receiver->deliver(delivered, rssi);
     });

@@ -10,8 +10,11 @@
 //     via Manchester symbol checks and the CS-8 checksum.
 //
 // Determinism: all randomness comes from the Rng handed to the
-// constructor; delivery order is scheduling order on the shared
-// EventScheduler.
+// constructor — one seeded stream drives both the drop decision and the
+// bit-flip decisions, in a fixed order per transmission, so two media built
+// with the same seed, endpoints and traffic produce identical delivery
+// traces. An installed fault tap must bring its own Rng; it never draws
+// from the channel's stream.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +50,23 @@ struct ChannelModel {
 };
 
 class RfMedium;
+
+/// Fault-injection hook consulted on every transmission. Installed by a
+/// fault injector (see sim/fault_injector.h); absent by default, leaving
+/// the channel's own loss/noise model untouched.
+class MediumFaultTap {
+ public:
+  virtual ~MediumFaultTap() = default;
+
+  /// May veto a whole transmission (burst loss / jamming). `frame` holds
+  /// the raw MAC bytes before line coding, so taps can target specific
+  /// traffic — e.g. ACK-only loss.
+  virtual bool drop_transmission(ByteView frame) = 0;
+
+  /// Extra deterministic corruption applied to one delivery's line-coded
+  /// bits, after the channel's own noise.
+  virtual void corrupt_bits(BitStream& bits) = 0;
+};
 
 /// One radio endpoint. Devices own a Transceiver; the medium holds a
 /// non-owning registry (endpoints must outlive the medium's use of them,
@@ -101,17 +121,24 @@ class RfMedium {
   /// Total transmissions that crossed the medium.
   std::uint64_t transmissions() const { return transmissions_; }
 
+  /// Installs (or clears, with nullptr) the fault-injection tap. The tap
+  /// must outlive its installation; the injector deregisters itself on
+  /// destruction.
+  void set_fault_tap(MediumFaultTap* tap) { fault_tap_ = tap; }
+  MediumFaultTap* fault_tap() const { return fault_tap_; }
+
  private:
   friend class Transceiver;
   void attach(Transceiver* endpoint);
   void detach(Transceiver* endpoint);
-  void broadcast(Transceiver* sender, const BitStream& bits);
+  void broadcast(Transceiver* sender, ByteView frame, const BitStream& bits);
 
   EventScheduler& scheduler_;
   Rng rng_;
   ChannelModel model_;
   std::vector<Transceiver*> endpoints_;
   std::uint64_t transmissions_ = 0;
+  MediumFaultTap* fault_tap_ = nullptr;
 };
 
 }  // namespace zc::radio

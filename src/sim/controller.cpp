@@ -79,6 +79,21 @@ void VirtualController::operator_recover() {
   host_->restart();
 }
 
+bool VirtualController::soft_reset() {
+  if (busy_until_ == kInfinite) return false;  // NVM-level wedge: power-cycle only
+  busy_until_ = scheduler_.now() + 100 * kMillisecond;  // firmware boot time
+  last_sequence_.clear();
+  return true;
+}
+
+void VirtualController::inject_stall(OutageDuration duration) { begin_outage(duration); }
+
+void VirtualController::inject_reboot(SimTime boot_delay) {
+  busy_until_ = scheduler_.now() + boot_delay;
+  last_sequence_.clear();
+  tx_sequence_ = 0;
+}
+
 void VirtualController::on_frame(const zwave::MacFrame& frame) {
   ++stats_.frames_received;
   if (frame.home_id != profile_.home_id) return;  // foreign network
@@ -495,7 +510,12 @@ std::size_t VirtualController::queued_for(zwave::NodeId node) const {
 
 void VirtualController::emit_serial(const Bytes& frame_bytes, SimTime delay) {
   scheduler_.schedule_after(delay, [this, frame_bytes] {
-    if (host_program_ != nullptr) host_program_->on_serial_bytes(frame_bytes);
+    if (host_program_ == nullptr) return;
+    // The fault tap models the physical link between chip and host: a
+    // desync window may eat or garble the frame at delivery time.
+    Bytes on_wire = frame_bytes;
+    if (serial_tap_ && !serial_tap_(on_wire)) return;
+    host_program_->on_serial_bytes(on_wire);
   });
 }
 

@@ -8,6 +8,7 @@
 // through *unencapsulated* payloads exactly as the paper describes.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -117,6 +118,28 @@ class VirtualController {
   /// memory tampering persists until devices are re-included.
   void operator_recover();
 
+  /// Host-side Serial API soft reset (FUNC_ID_SERIAL_API_SOFT_RESET): the
+  /// firmware restarts, clearing a wedged main loop and volatile MAC state.
+  /// Returns false for infinite outages — those model NVM-level damage
+  /// that survives a firmware restart and needs a power cycle
+  /// (operator_recover). Used by the campaign's recovery watchdog.
+  bool soft_reset();
+
+  // --- fault injection ------------------------------------------------------
+  /// Wedges the chip as if the firmware hung: unresponsive for `duration`,
+  /// or until a hard reboot when nullopt (see fault_injector.h).
+  void inject_stall(OutageDuration duration);
+
+  /// Spontaneous reboot (brownout): the chip restarts after `boot_delay`,
+  /// losing volatile MAC state (retransmit filter, sequence counters).
+  void inject_reboot(SimTime boot_delay = 250 * kMillisecond);
+
+  /// Serial-link fault tap, applied to every chip-to-host frame at emission
+  /// time. Return false to drop the frame (link glitch); the tap may also
+  /// mutate the bytes in place. Installed by the fault injector.
+  using SerialTap = std::function<bool(Bytes& frame_bytes)>;
+  void set_serial_tap(SerialTap tap) { serial_tap_ = std::move(tap); }
+
   // --- statistics ----------------------------------------------------------
   struct Stats {
     std::uint64_t frames_received = 0;
@@ -180,6 +203,7 @@ class VirtualController {
   crypto::CtrDrbg drbg_;
 
   SimTime busy_until_ = 0;  // UINT64_MAX = infinite outage
+  SerialTap serial_tap_;
   std::map<zwave::NodeId, std::uint8_t> last_sequence_;  // retransmit filter
   bool wakeup_books_damaged_ = false;
   std::uint8_t tx_sequence_ = 0;

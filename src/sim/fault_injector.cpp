@@ -1,0 +1,110 @@
+#include "sim/fault_injector.h"
+
+#include "common/log.h"
+#include "zwave/frame.h"
+
+namespace zc::sim {
+
+namespace {
+
+/// P1 sits at byte 5 of the MAC layout (H-ID(4) SRC(1) P1(1) ...); its low
+/// nibble is the header type. Frames too short to carry P1 are treated as
+/// data so malformed fuzz blobs still ride the generic loss path.
+bool is_ack_frame(ByteView frame) {
+  return frame.size() > 5 &&
+         (frame[5] & 0x0F) == static_cast<std::uint8_t>(zwave::HeaderType::kAck);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(radio::RfMedium& medium, VirtualController& controller,
+                             FaultPlan plan)
+    : medium_(medium), controller_(controller), plan_(std::move(plan)), rng_(plan_.seed) {
+  medium_.set_fault_tap(this);
+  controller_.set_serial_tap([this](Bytes& bytes) { return serial_tap(bytes); });
+
+  EventScheduler& scheduler = medium_.scheduler();
+  for (const FaultPlan::Stall& stall : plan_.stalls) {
+    scheduler.schedule_at(stall.at, [this, stall] {
+      ++stats_.stalls_injected;
+      ZC_DEBUG("fault: controller stall (%s)",
+               stall.duration.has_value() ? format_sim_time(*stall.duration).c_str()
+                                          : "until hard reboot");
+      controller_.inject_stall(stall.duration);
+    });
+  }
+  for (const FaultPlan::Reboot& reboot : plan_.reboots) {
+    scheduler.schedule_at(reboot.at, [this, reboot] {
+      ++stats_.reboots_injected;
+      ZC_DEBUG("fault: spontaneous controller reboot");
+      controller_.inject_reboot(reboot.boot_delay);
+    });
+  }
+}
+
+FaultInjector::~FaultInjector() {
+  if (medium_.fault_tap() == this) medium_.set_fault_tap(nullptr);
+  controller_.set_serial_tap(nullptr);
+}
+
+template <typename Window>
+bool FaultInjector::window_active(const Window& window, SimTime now) {
+  if (window.duration == 0 || now < window.start) return false;
+  if (window.period == 0) return now < window.start + window.duration;
+  return (now - window.start) % window.period < window.duration;
+}
+
+bool FaultInjector::drop_transmission(ByteView frame) {
+  const SimTime now = medium_.scheduler().now();
+  const bool ack = is_ack_frame(frame);
+  for (const FaultPlan::LossBurst& burst : plan_.loss_bursts) {
+    if (!window_active(burst, now)) continue;
+    if (burst.ack_only && !ack) continue;
+    if (!rng_.chance(burst.drop_probability)) continue;
+    ++stats_.transmissions_dropped;
+    if (ack) ++stats_.acks_dropped;
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::corrupt_bits(radio::BitStream& bits) {
+  const SimTime now = medium_.scheduler().now();
+  double rate = 0.0;
+  for (const FaultPlan::NoiseBurst& burst : plan_.noise_bursts) {
+    if (window_active(burst, now)) rate += burst.bit_flip_rate;
+  }
+  if (rate <= 0.0) return;
+  std::uint64_t flipped = 0;
+  for (auto& bit : bits) {
+    if (rng_.chance(rate)) {
+      bit ^= 1;
+      ++flipped;
+    }
+  }
+  if (flipped > 0) {
+    ++stats_.deliveries_corrupted;
+    stats_.bits_flipped += flipped;
+  }
+}
+
+bool FaultInjector::serial_tap(Bytes& frame_bytes) {
+  const SimTime now = medium_.scheduler().now();
+  for (const FaultPlan::SerialDesync& window : plan_.serial_desyncs) {
+    if (!window_active(window, now)) continue;
+    if (rng_.chance(window.drop_probability)) {
+      ++stats_.serial_frames_dropped;
+      return false;
+    }
+    if (rng_.chance(window.stray_byte_probability)) {
+      // A non-SOF garbage byte ahead of the frame: the host program's
+      // parser must resynchronize on the next SOF without misfiring its
+      // malformed-frame (bug #06) path.
+      frame_bytes.insert(frame_bytes.begin(), std::uint8_t{0xA5});
+      ++stats_.serial_strays_injected;
+    }
+  }
+  return true;
+}
+
+}  // namespace zc::sim

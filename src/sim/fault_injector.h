@@ -1,0 +1,128 @@
+// Deterministic fault injection for the simulated testbed.
+//
+// The paper's evaluation runs on real, misbehaving hardware: lossy 868/908
+// MHz RF, controllers that hang mid-campaign, serial links that glitch —
+// the NOP-ping liveness monitor of §III-D exists precisely because the
+// device under test misbehaves. This module reproduces that hostility on
+// demand: a FaultPlan schedules bursts of packet loss (optionally ACK-only),
+// extra frame bit-flips, controller stalls and spontaneous reboots, and
+// serial desync windows, all driven by one seeded Rng so a faulty campaign
+// replays bit-identically.
+//
+// The injector attaches through small hook points — RfMedium's fault tap,
+// VirtualController's stall/reboot/serial-tap surface — and detaches on
+// destruction. It never draws from the channel's own noise Rng, so arming
+// a plan does not perturb the medium's deterministic loss/noise stream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "radio/medium.h"
+#include "sim/controller.h"
+
+namespace zc::sim {
+
+/// A scheduled set of faults. All times are absolute virtual times on the
+/// testbed's scheduler; windows with `period > 0` recur every `period`.
+struct FaultPlan {
+  std::uint64_t seed = 0xFA017B57ULL;
+
+  /// Burst packet loss: during each active window every transmission is
+  /// dropped channel-wide with `drop_probability`. With `ack_only`, only
+  /// MAC acknowledgments are eaten — the classic "command arrived, ack
+  /// didn't" retransmission trap.
+  struct LossBurst {
+    SimTime start = 0;
+    SimTime duration = 0;
+    SimTime period = 0;  // 0 = one-shot window
+    double drop_probability = 0.3;
+    bool ack_only = false;
+  };
+  std::vector<LossBurst> loss_bursts;
+
+  /// Extra bit-flip noise on delivered transmissions, on top of the
+  /// channel model's own `bit_flip_rate`.
+  struct NoiseBurst {
+    SimTime start = 0;
+    SimTime duration = 0;
+    SimTime period = 0;
+    double bit_flip_rate = 0.001;
+  };
+  std::vector<NoiseBurst> noise_bursts;
+
+  /// Controller firmware hang at `at`, for `duration` (nullopt = wedged
+  /// until a hard reboot — the watchdog's worst case).
+  struct Stall {
+    SimTime at = 0;
+    std::optional<SimTime> duration;
+  };
+  std::vector<Stall> stalls;
+
+  /// Spontaneous controller reboot (brownout) at `at`; the chip is back
+  /// after `boot_delay` with volatile MAC state cleared.
+  struct Reboot {
+    SimTime at = 0;
+    SimTime boot_delay = 250 * kMillisecond;
+  };
+  std::vector<Reboot> reboots;
+
+  /// Serial-link desync: during each active window a chip-to-host frame is
+  /// dropped with `drop_probability`, and with `stray_byte_probability` a
+  /// non-SOF garbage byte is prepended, forcing the host program's
+  /// SOF-resynchronization path.
+  struct SerialDesync {
+    SimTime start = 0;
+    SimTime duration = 0;
+    SimTime period = 0;
+    double drop_probability = 0.5;
+    double stray_byte_probability = 0.25;
+  };
+  std::vector<SerialDesync> serial_desyncs;
+};
+
+/// What the injector actually did (for assertions and reports).
+struct FaultStats {
+  std::uint64_t transmissions_dropped = 0;
+  std::uint64_t acks_dropped = 0;
+  std::uint64_t deliveries_corrupted = 0;
+  std::uint64_t bits_flipped = 0;
+  std::uint64_t stalls_injected = 0;
+  std::uint64_t reboots_injected = 0;
+  std::uint64_t serial_frames_dropped = 0;
+  std::uint64_t serial_strays_injected = 0;
+};
+
+/// Arms a FaultPlan against one medium + controller pair. Typically built
+/// through Testbed::arm_faults().
+class FaultInjector final : public radio::MediumFaultTap {
+ public:
+  FaultInjector(radio::RfMedium& medium, VirtualController& controller, FaultPlan plan);
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+  // MediumFaultTap:
+  bool drop_transmission(ByteView frame) override;
+  void corrupt_bits(radio::BitStream& bits) override;
+
+ private:
+  template <typename Window>
+  static bool window_active(const Window& window, SimTime now);
+  bool serial_tap(Bytes& frame_bytes);
+
+  radio::RfMedium& medium_;
+  VirtualController& controller_;
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace zc::sim

@@ -67,6 +67,8 @@ void HostProgram::on_serial_bytes(ByteView bytes) {
     // Resynchronize on SOF.
     const auto sof = std::find(pending_.begin(), pending_.end(), kSerialSof);
     if (sof != pending_.begin()) {
+      ++resyncs_;
+      resync_bytes_skipped_ += static_cast<std::uint64_t>(sof - pending_.begin());
       pending_.erase(pending_.begin(), sof);
       continue;
     }

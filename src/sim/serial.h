@@ -79,6 +79,10 @@ class HostProgram {
 
   std::uint64_t frames_ok() const { return frames_ok_; }
   std::uint64_t frames_bad() const { return frames_bad_; }
+  /// SOF-resynchronization events: times the parser had to skip leading
+  /// garbage to find a frame start (serial-link desync observability).
+  std::uint64_t resyncs() const { return resyncs_; }
+  std::uint64_t resync_bytes_skipped() const { return resync_bytes_skipped_; }
   HostSoftware& state() { return state_; }
 
  private:
@@ -90,6 +94,8 @@ class HostProgram {
   Bytes pending_;  // partial frame bytes
   std::uint64_t frames_ok_ = 0;
   std::uint64_t frames_bad_ = 0;
+  std::uint64_t resyncs_ = 0;
+  std::uint64_t resync_bytes_skipped_ = 0;
   std::vector<SimTime> recent_callbacks_;
 };
 

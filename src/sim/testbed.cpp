@@ -85,6 +85,12 @@ void Testbed::restore_network() {
   }
 }
 
+FaultInjector& Testbed::arm_faults(FaultPlan plan) {
+  fault_injector_.reset();  // detach the old taps before installing new ones
+  fault_injector_ = std::make_unique<FaultInjector>(*medium_, *controller_, std::move(plan));
+  return *fault_injector_;
+}
+
 radio::RadioConfig Testbed::attacker_radio_config(const std::string& label) const {
   return radio::RadioConfig{label, zwave::RfRegion::kUs908, config_.attacker_distance_m, 0.0,
                             /*tx_power_dbm=*/4.0};

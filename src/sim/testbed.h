@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "radio/medium.h"
 #include "sim/controller.h"
+#include "sim/fault_injector.h"
 #include "sim/slave.h"
 
 namespace zc::sim {
@@ -46,6 +47,14 @@ class Testbed {
   /// Radio placement for an external attacker/test tool.
   radio::RadioConfig attacker_radio_config(const std::string& label) const;
 
+  /// Arms a fault plan against this testbed's medium + controller,
+  /// replacing any previously armed plan. Returns the live injector for
+  /// stats inspection; the testbed owns it.
+  FaultInjector& arm_faults(FaultPlan plan);
+
+  /// The armed injector, or nullptr when the testbed runs clean.
+  FaultInjector* fault_injector() { return fault_injector_.get(); }
+
   /// Operator-side restoration after destructive tests: re-includes the
   /// original devices into the controller's table (the researchers rebuilt
   /// the network between memory-tampering trials). Radio state, sessions
@@ -67,6 +76,7 @@ class Testbed {
   std::unique_ptr<DoorLock> lock_;
   std::unique_ptr<SmartSwitch> switch_;
   std::unique_ptr<S0Sensor> sensor_;
+  std::unique_ptr<FaultInjector> fault_injector_;
 };
 
 }  // namespace zc::sim

@@ -244,6 +244,20 @@ TEST(CampaignTest, ResumeFromPriorLogSkipsKnownBugs) {
             first_result.ended_at - first_result.started_at);
 }
 
+TEST(CampaignTest, HardDeadlineBoundsSystematicPhase) {
+  // A tiny global budget must bind mid-class: the systematic phase may not
+  // overrun it by more than the in-flight test and a final recovery tail.
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  sim::Testbed testbed(testbed_config);
+  Campaign campaign(testbed, quick_config(CampaignMode::kFull, 30 * kSecond));
+  const auto result = campaign.run();
+
+  ASSERT_FALSE(result.packet_timeline.empty());
+  const SimTime fuzz_started = result.packet_timeline.front().first;
+  EXPECT_LT(result.ended_at - fuzz_started, 30 * kSecond + 2 * kMinute);
+}
+
 TEST(CampaignTest, MultiTrialAggregation) {
   sim::TestbedConfig testbed_config;
   testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;

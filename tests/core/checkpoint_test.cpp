@@ -1,0 +1,107 @@
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+namespace zc::core {
+namespace {
+
+CampaignCheckpoint sample_checkpoint() {
+  CampaignCheckpoint cp;
+  cp.mode = CampaignMode::kKnownOnly;
+  cp.seed = 0xDEADBEEFULL;
+  cp.rng_state = {1, 0x123456789ABCDEF0ULL, 0xFFFFFFFFFFFFFFFFULL, 42};
+  cp.elapsed = 2 * kHour;
+  cp.test_packets = 48123;
+  cp.inconclusive_tests = 17;
+  cp.retried_injections = 211;
+  cp.classes_fuzzed = {0x25, 0x5A, 0x86};
+  cp.blacklist = {PayloadSignature{0x01, 0x0D, 0x02}, PayloadSignature{0x5A, 0x01, 0x1FF}};
+  cp.reported_signatures = {PayloadSignature{0x5A, 0x01, 0x100}};
+  cp.reported_bug_ids = {3, 7};
+
+  BugFinding outage;
+  outage.payload = {0x5A, 0x01};
+  outage.cmd_class = 0x5A;
+  outage.command = 0x01;
+  outage.kind = DetectionKind::kServiceInterruption;
+  outage.detected_at = 1234 * kMillisecond;
+  outage.packets_sent = 999;
+  outage.matched_bug_id = 7;
+  cp.findings.push_back(outage);
+
+  BugFinding tamper;
+  tamper.payload = {0x01, 0x0D, 0x02, 0x02, 0x00};
+  tamper.cmd_class = 0x01;
+  tamper.command = 0x0D;
+  tamper.first_param = 0x02;
+  tamper.kind = DetectionKind::kMemoryTampering;
+  tamper.detected_at = 42 * kSecond;
+  tamper.packets_sent = 100;
+  tamper.matched_bug_id = 3;
+  cp.findings.push_back(tamper);
+  return cp;
+}
+
+TEST(CheckpointTest, SerializeParseRoundTrip) {
+  const CampaignCheckpoint original = sample_checkpoint();
+  const std::string text = serialize_checkpoint(original);
+  EXPECT_EQ(text.rfind("zcover-checkpoint v1", 0), 0u);
+
+  const auto parsed = parse_checkpoint(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->mode, original.mode);
+  EXPECT_EQ(parsed->seed, original.seed);
+  EXPECT_EQ(parsed->rng_state, original.rng_state);
+  EXPECT_EQ(parsed->elapsed, original.elapsed);
+  EXPECT_EQ(parsed->test_packets, original.test_packets);
+  EXPECT_EQ(parsed->inconclusive_tests, original.inconclusive_tests);
+  EXPECT_EQ(parsed->retried_injections, original.retried_injections);
+  EXPECT_EQ(parsed->classes_fuzzed, original.classes_fuzzed);
+  EXPECT_EQ(parsed->blacklist, original.blacklist);
+  EXPECT_EQ(parsed->reported_signatures, original.reported_signatures);
+  EXPECT_EQ(parsed->reported_bug_ids, original.reported_bug_ids);
+  ASSERT_EQ(parsed->findings.size(), original.findings.size());
+  for (std::size_t i = 0; i < original.findings.size(); ++i) {
+    const BugFinding& want = original.findings[i];
+    const BugFinding& got = parsed->findings[i];
+    EXPECT_EQ(got.payload, want.payload);
+    EXPECT_EQ(got.cmd_class, want.cmd_class);
+    EXPECT_EQ(got.command, want.command);
+    EXPECT_EQ(got.first_param, want.first_param);
+    EXPECT_EQ(got.kind, want.kind);
+    EXPECT_EQ(got.detected_at, want.detected_at);
+    EXPECT_EQ(got.packets_sent, want.packets_sent);
+    EXPECT_EQ(got.matched_bug_id, want.matched_bug_id);
+  }
+}
+
+TEST(CheckpointTest, EmptyCheckpointRoundTrips) {
+  const auto parsed = parse_checkpoint(serialize_checkpoint(CampaignCheckpoint{}));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->findings.empty());
+  EXPECT_TRUE(parsed->blacklist.empty());
+  EXPECT_EQ(parsed->mode, CampaignMode::kFull);
+}
+
+TEST(CheckpointTest, RejectsMissingHeader) {
+  EXPECT_FALSE(parse_checkpoint("").has_value());
+  EXPECT_FALSE(parse_checkpoint("mode full\nseed 1\n").has_value());
+}
+
+TEST(CheckpointTest, RejectsUnknownVersion) {
+  EXPECT_FALSE(parse_checkpoint("zcover-checkpoint v2\nmode full\n").has_value());
+}
+
+TEST(CheckpointTest, RejectsUnknownKeyOrMalformedRecord) {
+  EXPECT_FALSE(
+      parse_checkpoint("zcover-checkpoint v1\nwarp-factor 9\n").has_value());
+  EXPECT_FALSE(parse_checkpoint("zcover-checkpoint v1\nretire 1 2\n").has_value());
+  EXPECT_FALSE(parse_checkpoint("zcover-checkpoint v1\nmode sideways\n").has_value());
+  EXPECT_FALSE(parse_checkpoint("zcover-checkpoint v1\nrng 1 2 3\n").has_value());
+  EXPECT_FALSE(
+      parse_checkpoint("zcover-checkpoint v1\nfinding zz | host-crash | 1 | 0 | 0\n")
+          .has_value());
+}
+
+}  // namespace
+}  // namespace zc::core

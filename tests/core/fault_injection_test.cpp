@@ -1,0 +1,240 @@
+// End-to-end resilience: campaigns under an armed FaultPlan must survive
+// burst loss, controller stalls and serial glitches, keep their findings
+// honest, and resume from a checkpoint after a simulated kill.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+
+#include "core/campaign.h"
+#include "core/checkpoint.h"
+#include "sim/fault_injector.h"
+
+namespace zc::core {
+namespace {
+
+CampaignConfig faulty_config(SimTime duration) {
+  CampaignConfig config;
+  config.mode = CampaignMode::kFull;
+  config.duration = duration;
+  config.loop_queue = false;
+  // Lossy channel discipline: replay-confirm every apparent outage so an
+  // injected drop can never masquerade as a crash.
+  config.confirm_findings = true;
+  return config;
+}
+
+// Recurring 2 s windows of 30% channel-wide loss, active from t=0 on.
+sim::FaultPlan::LossBurst recurring_burst_loss() {
+  sim::FaultPlan::LossBurst burst;
+  burst.start = 0;
+  burst.duration = 2 * kSecond;
+  burst.period = 20 * kSecond;
+  burst.drop_probability = 0.3;
+  return burst;
+}
+
+// The acceptance scenario: 30% burst loss + one finite controller stall,
+// campaign killed mid-run, resumed from its (text round-tripped)
+// checkpoint on the same testbed.
+TEST(FaultInjectionE2E, LossyCampaignResumesFromCheckpointAfterKill) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  sim::Testbed testbed(testbed_config);
+
+  sim::FaultPlan plan;
+  plan.loss_bursts.push_back(recurring_burst_loss());
+  // 90 s hang at 14 min: too long for the NOP-ping stage (45 s), cleared
+  // by the watchdog's Serial API soft reset — a guaranteed escalation.
+  sim::FaultPlan::Stall stall;
+  stall.at = 14 * kMinute;
+  stall.duration = 90 * kSecond;
+  plan.stalls.push_back(stall);
+  const sim::FaultInjector& injector = testbed.arm_faults(plan);
+
+  // Session 1: killed (simulated SIGTERM) at 20 min of virtual time.
+  CampaignConfig config = faulty_config(50 * kMinute);
+  std::optional<CampaignCheckpoint> last_checkpoint;
+  config.checkpoint_interval = 5 * kMinute;
+  config.checkpoint_sink = [&](const CampaignCheckpoint& cp) { last_checkpoint = cp; };
+  config.abort_hook = [&] { return testbed.scheduler().now() >= 20 * kMinute; };
+  Campaign first(testbed, config);
+  const CampaignResult first_result = first.run();
+
+  EXPECT_TRUE(first_result.aborted);
+  EXPECT_GT(injector.stats().transmissions_dropped, 0u);
+  EXPECT_GT(first_result.retried_injections, 0u);
+  ASSERT_TRUE(last_checkpoint.has_value());
+  EXPECT_GT(last_checkpoint->elapsed, 0u);
+  EXPECT_FALSE(last_checkpoint->blacklist.empty());
+
+  // The checkpoint survives the text format round trip.
+  const auto restored = parse_checkpoint(serialize_checkpoint(*last_checkpoint));
+  ASSERT_TRUE(restored.has_value());
+
+  // Session 2: resume on the same testbed and run to completion.
+  CampaignConfig resume_config = faulty_config(50 * kMinute);
+  resume_config.resume_from = *restored;
+  Campaign second(testbed, resume_config);
+  const CampaignResult final_result = second.run();
+
+  EXPECT_FALSE(final_result.aborted);
+  // Progress carried over: the resumed run starts from the checkpoint's
+  // counters and findings rather than from zero.
+  EXPECT_GE(final_result.test_packets, restored->test_packets);
+  EXPECT_GE(final_result.findings.size(), restored->findings.size());
+
+  // >= 1 watchdog escalation beyond NOP pings (the injected 90 s stall).
+  std::size_t escalations = 0;
+  for (const auto& episode : first_result.recovery_log) {
+    if (episode.escalated()) ++escalations;
+  }
+  for (const auto& episode : final_result.recovery_log) {
+    if (episode.escalated()) ++escalations;
+  }
+  EXPECT_GE(escalations, 1u);
+
+  // Honest findings: everything reported is attributable to a seeded bug —
+  // injected drops and the injected stall produced no phantom crashes.
+  std::set<int> ids;
+  for (const auto& finding : final_result.findings) {
+    EXPECT_GT(finding.matched_bug_id, 0)
+        << "unattributed " << detection_kind_name(finding.kind) << " finding cc=0x"
+        << std::hex << int(finding.cmd_class);
+    ids.insert(finding.matched_bug_id);
+  }
+  // No double-reporting across the kill/resume boundary.
+  EXPECT_EQ(ids.size(), final_result.findings.size());
+}
+
+// Drop-only faults: with retries + confirmation, injected packet loss must
+// produce zero findings that are not real seeded bugs.
+TEST(FaultInjectionE2E, DropOnlyFaultsProduceNoPhantomFindings) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  sim::Testbed testbed(testbed_config);
+
+  sim::FaultPlan plan;
+  plan.loss_bursts.push_back(recurring_burst_loss());
+  // Plus a meaner ACK-only window: commands arrive, acks vanish — the
+  // classic retransmission trap.
+  sim::FaultPlan::LossBurst ack_burst;
+  ack_burst.start = 10 * kSecond;
+  ack_burst.duration = 2 * kSecond;
+  ack_burst.period = 15 * kSecond;
+  ack_burst.drop_probability = 0.5;
+  ack_burst.ack_only = true;
+  plan.loss_bursts.push_back(ack_burst);
+  const sim::FaultInjector& injector = testbed.arm_faults(plan);
+
+  Campaign campaign(testbed, faulty_config(40 * kMinute));
+  const CampaignResult result = campaign.run();
+
+  EXPECT_GT(injector.stats().transmissions_dropped + injector.stats().acks_dropped, 0u);
+  EXPECT_GT(result.retried_injections, 0u);
+  for (const auto& finding : result.findings) {
+    EXPECT_GT(finding.matched_bug_id, 0)
+        << "phantom " << detection_kind_name(finding.kind) << " finding: "
+        << to_hex_spaced(finding.payload) << " at "
+        << format_sim_time(finding.detected_at);
+  }
+}
+
+// Satellite: a controller that stays dead through every liveness probe must
+// end with a service-interruption verdict and a bounded hard-reboot
+// recovery — never an infinite wait.
+TEST(FaultInjectionE2E, InfiniteStallEndsInHardRebootNotInfiniteWait) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  sim::Testbed testbed(testbed_config);
+
+  sim::FaultPlan plan;
+  sim::FaultPlan::Stall stall;
+  stall.at = 12 * kMinute;
+  stall.duration = std::nullopt;  // wedged until power-cycled
+  plan.stalls.push_back(stall);
+  testbed.arm_faults(plan);
+
+  CampaignConfig config;
+  config.mode = CampaignMode::kFull;
+  config.duration = 30 * kMinute;
+  config.loop_queue = false;
+  Campaign campaign(testbed, config);
+  const CampaignResult result = campaign.run();
+
+  // The run terminated within its budget (+ fingerprinting and the final
+  // recovery tail), so the watchdog did not spin forever.
+  EXPECT_LT(result.ended_at - result.started_at, 45 * kMinute);
+
+  bool hard_rebooted = false;
+  for (const auto& episode : result.recovery_log) {
+    if (episode.stage == RecoveryStage::kHardReboot) {
+      hard_rebooted = true;
+      EXPECT_TRUE(episode.recovered);
+      EXPECT_GT(episode.nop_probes, 0u);
+      EXPECT_GT(episode.soft_resets, 0u);  // tried (and was refused) first
+    }
+  }
+  EXPECT_TRUE(hard_rebooted);
+
+  bool interruption_logged = false;
+  for (const auto& finding : result.findings) {
+    if (finding.kind == DetectionKind::kServiceInterruption) interruption_logged = true;
+  }
+  EXPECT_TRUE(interruption_logged);
+}
+
+// Serial desync windows force the host program through its SOF-resync path
+// without crashing it (stray bytes are not bug #06's malformed frames).
+TEST(FaultInjectionE2E, SerialDesyncForcesResyncWithoutHostCrash) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;  // USB stick
+  sim::Testbed testbed(testbed_config);
+
+  sim::FaultPlan plan;
+  sim::FaultPlan::SerialDesync desync;
+  desync.start = 0;
+  desync.duration = 10 * kMinute;  // covers the whole run
+  desync.period = 0;
+  desync.drop_probability = 0.3;
+  desync.stray_byte_probability = 0.9;
+  plan.serial_desyncs.push_back(desync);
+  const sim::FaultInjector& injector = testbed.arm_faults(plan);
+
+  // Ambient slave reports (every ~30 s) flow up the serial link as
+  // APPLICATION_COMMAND_HANDLER callbacks.
+  testbed.scheduler().run_for(5 * kMinute);
+
+  sim::HostProgram* host = testbed.controller().host_program();
+  ASSERT_NE(host, nullptr);
+  EXPECT_GT(injector.stats().serial_strays_injected, 0u);
+  EXPECT_GT(host->resyncs(), 0u);
+  EXPECT_EQ(host->resync_bytes_skipped(), injector.stats().serial_strays_injected);
+  EXPECT_GT(host->frames_ok(), 0u);
+  EXPECT_EQ(testbed.controller().host().state(), sim::HostSoftware::State::kRunning);
+}
+
+// Determinism: the same fault plan on the same seeds replays identically.
+TEST(FaultInjectionE2E, FaultyCampaignIsDeterministic) {
+  auto run_once = [] {
+    sim::TestbedConfig testbed_config;
+    testbed_config.controller_model = sim::DeviceModel::kD2_SilabsUzb7;
+    testbed_config.seed = 777;
+    sim::Testbed testbed(testbed_config);
+    sim::FaultPlan plan;
+    plan.loss_bursts.push_back(recurring_burst_loss());
+    const sim::FaultInjector& injector = testbed.arm_faults(plan);
+
+    CampaignConfig config = faulty_config(20 * kMinute);
+    config.seed = 4242;
+    Campaign campaign(testbed, config);
+    const CampaignResult result = campaign.run();
+    return std::make_tuple(result.test_packets, result.retried_injections,
+                           result.inconclusive_tests, result.findings.size(),
+                           injector.stats().transmissions_dropped);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace zc::core

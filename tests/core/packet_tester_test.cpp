@@ -50,6 +50,38 @@ TEST(BugLogTest, SkipsMalformedLines) {
   EXPECT_EQ(rejected, 3u);
 }
 
+TEST(BugLogTest, HeaderIsStrictlyOptional) {
+  // A file whose first non-empty line is a data line parses that line as
+  // data — it is never consumed as a header.
+  std::size_t rejected = 0;
+  const auto parsed = parse_bug_log("5a01 | service-interruption | 7 | 99\n", &rejected);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(rejected, 0u);
+  EXPECT_EQ(parsed[0].payload, (Bytes{0x5A, 0x01}));
+  EXPECT_EQ(parsed[0].bug_id, 7);
+}
+
+TEST(BugLogTest, MalformedFirstLineIsRejectedNotSwallowed) {
+  const std::string log =
+      "garbage first line\n"
+      "5a01 | service-interruption | 7 | 99\n";
+  std::size_t rejected = 0;
+  const auto parsed = parse_bug_log(log, &rejected);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(rejected, 1u);
+  EXPECT_EQ(parsed[0].bug_id, 7);
+}
+
+TEST(BugLogTest, UnknownHeaderVersionCountsAsRejected) {
+  const std::string log =
+      "zcover-log v99\n"
+      "5a01 | service-interruption | 7 | 99\n";
+  std::size_t rejected = 0;
+  const auto parsed = parse_bug_log(log, &rejected);
+  EXPECT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(rejected, 1u);
+}
+
 TEST(BugLogTest, EmptyLog) {
   std::size_t rejected = 0;
   EXPECT_TRUE(parse_bug_log("zcover-log v1\n", &rejected).empty());

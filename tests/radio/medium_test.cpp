@@ -122,6 +122,37 @@ TEST(MediumTest, BroadcastReachesMultipleReceivers) {
   EXPECT_EQ(medium.transmissions(), 1u);
 }
 
+// A marginal link (inside the fade ramp) + bit-flip noise exercises every
+// random decision the channel makes: drop per link, flip per bit.
+std::vector<BitStream> run_lossy_trace(std::uint64_t seed) {
+  zc::EventScheduler scheduler;
+  ChannelModel noisy;
+  noisy.bit_flip_rate = 0.003;
+  RfMedium medium(scheduler, zc::Rng(seed), noisy);
+  Transceiver a(medium, at("a", 0));
+  Transceiver b(medium, at("b", 250.0));  // headroom ~2.5 dB of the 6 dB ramp
+
+  std::vector<BitStream> trace;
+  b.set_bits_handler([&](const BitStream& bits, double) { trace.push_back(bits); });
+  for (int i = 0; i < 60; ++i) {
+    a.transmit(zc::Bytes{static_cast<std::uint8_t>(i), 0xA5, 0x5A});
+  }
+  scheduler.run_all();
+  return trace;
+}
+
+TEST(MediumTest, SameSeedYieldsIdenticalDeliveryTrace) {
+  const auto first = run_lossy_trace(42);
+  const auto second = run_lossy_trace(42);
+  EXPECT_FALSE(first.empty());
+  EXPECT_LT(first.size(), 60u);  // the marginal link genuinely drops frames
+  EXPECT_EQ(first, second);
+}
+
+TEST(MediumTest, DifferentSeedsYieldDifferentTraces) {
+  EXPECT_NE(run_lossy_trace(42), run_lossy_trace(1337));
+}
+
 TEST(MediumTest, DetachedTransceiverStopsReceiving) {
   zc::EventScheduler scheduler;
   RfMedium medium(scheduler, zc::Rng(1));
