@@ -13,6 +13,7 @@
 #include "crypto/x25519.h"
 #include "radio/phy.h"
 #include "zwave/checksum.h"
+#include "zwave/command_class.h"
 #include "zwave/frame.h"
 #include "zwave/security.h"
 
@@ -95,14 +96,31 @@ void BM_PhyRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_PhyRoundTrip)->Arg(12)->Arg(64);
 
+void BM_PhyRoundTripReused(benchmark::State& state) {
+  // The _into variants the simulator's hot path uses: scratch buffers keep
+  // their capacity across frames, so steady state does zero allocations.
+  const Bytes frame(static_cast<std::size_t>(state.range(0)), 0x5A);
+  radio::BitStream bits;
+  Bytes decoded;
+  for (auto _ : state) {
+    radio::encode_transmission_into(frame, bits);
+    auto n = radio::decode_transmission_into(bits, decoded);
+    benchmark::DoNotOptimize(n);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_PhyRoundTripReused)->Arg(12)->Arg(64);
+
 void BM_Checksum8(benchmark::State& state) {
-  const Bytes data(64, 0x3C);
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0x3C);
   for (auto _ : state) {
     auto cs = zwave::checksum8(data);
     benchmark::DoNotOptimize(cs);
   }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
 }
-BENCHMARK(BM_Checksum8);
+BENCHMARK(BM_Checksum8)->Arg(8)->Arg(64)->Arg(256);
 
 void BM_Crc16(benchmark::State& state) {
   const Bytes data(64, 0x3C);
@@ -112,6 +130,37 @@ void BM_Crc16(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Crc16);
+
+void BM_SpecDbLookup(benchmark::State& state) {
+  // find() + command_count() over the whole 8-bit id space — the shape of
+  // the fingerprint phase's CMDCL prioritization and the controller's
+  // per-packet dispatch.
+  const auto& db = zwave::SpecDatabase::instance();
+  for (auto _ : state) {
+    std::size_t commands = 0;
+    for (unsigned id = 0; id < 256; ++id) {
+      const auto* spec = db.find(static_cast<zwave::CommandClassId>(id));
+      if (spec != nullptr) commands += db.command_count(spec->id);
+    }
+    benchmark::DoNotOptimize(commands);
+  }
+}
+BENCHMARK(BM_SpecDbLookup);
+
+void BM_SpecDbFindCommand(benchmark::State& state) {
+  // Per-class command lookup (binary search on the sorted spec tables).
+  const auto& db = zwave::SpecDatabase::instance();
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const auto& spec : db.all()) {
+      for (const auto& cmd : spec.commands) {
+        if (spec.find_command(cmd.id) != nullptr) ++hits;
+      }
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_SpecDbFindCommand);
 
 void BM_S2EncapDecap(benchmark::State& state) {
   Rng rng(1);

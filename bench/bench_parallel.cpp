@@ -1,0 +1,157 @@
+// bench_parallel: throughput of the sharded campaign engine vs thread
+// count, emitted as machine-readable JSON for the regression gate
+// (bench/check_regression.py) and the committed BENCH_parallel.json
+// baseline.
+//
+//   bench_parallel [output.json] [--trials N] [--minutes M] [--jobs a,b,c]
+//
+// One workload — N full-mode trials against the D4 reference controller —
+// is run once per requested job count. Shard seeds are pure functions of
+// (base seed, shard id), so every row fuzzes the *same* packets; only the
+// wall clock differs. Reported per row:
+//   * trials/sec   — completed shards per wall second
+//   * frames/sec   — RF-medium transmissions per wall second
+//   * speedup      — against the jobs=1 row of the same invocation
+//
+// Speedup scales with physical cores; hw_concurrency is recorded in the
+// JSON so a reader can judge a baseline produced on different hardware.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+
+namespace {
+
+using namespace zc;
+
+struct Row {
+  std::size_t jobs = 1;
+  double wall_seconds = 0.0;
+  double trials_per_sec = 0.0;
+  double frames_per_sec = 0.0;
+  double speedup = 1.0;
+  std::uint64_t total_packets = 0;
+  std::size_t union_bugs = 0;
+};
+
+std::vector<std::size_t> parse_jobs_list(const char* arg) {
+  std::vector<std::size_t> jobs;
+  std::string token;
+  for (const char* p = arg;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!token.empty()) jobs.push_back(std::strtoull(token.c_str(), nullptr, 10));
+      token.clear();
+      if (*p == '\0') break;
+    } else {
+      token += *p;
+    }
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_parallel.json";
+  std::size_t trials = 8;
+  double minutes = 20.0;
+  std::vector<std::size_t> jobs_list = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      trials = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--minutes") == 0 && i + 1 < argc) {
+      minutes = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs_list = parse_jobs_list(argv[++i]);
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  testbed_config.seed = 0x2C07E12F;
+
+  core::CampaignConfig config;
+  config.mode = core::CampaignMode::kFull;
+  config.duration = static_cast<SimTime>(minutes * static_cast<double>(kMinute));
+  config.seed = 0x2C07E12F;
+  config.loop_queue = false;
+
+  std::printf("workload: %zu trials x %.0f simulated minutes, device %s\n", trials,
+              minutes, sim::device_model_name(testbed_config.controller_model));
+
+  std::vector<Row> rows;
+  double base_wall = 0.0;
+  for (std::size_t jobs : jobs_list) {
+    core::ParallelConfig parallel;
+    parallel.jobs = jobs;
+    const core::ParallelTrialReport report =
+        core::run_trials_parallel(testbed_config, config, trials, parallel);
+
+    std::uint64_t frames = 0;
+    for (const core::ShardResult& shard : report.shards) {
+      frames += shard.medium_transmissions;
+    }
+
+    Row row;
+    row.jobs = report.jobs;
+    row.wall_seconds = report.wall_seconds;
+    row.trials_per_sec =
+        report.wall_seconds > 0.0
+            ? static_cast<double>(report.shards.size()) / report.wall_seconds
+            : 0.0;
+    row.frames_per_sec = report.wall_seconds > 0.0
+                             ? static_cast<double>(frames) / report.wall_seconds
+                             : 0.0;
+    row.total_packets = report.summary.total_packets;
+    row.union_bugs = report.summary.union_bug_ids.size();
+    if (rows.empty()) base_wall = report.wall_seconds;
+    row.speedup = report.wall_seconds > 0.0 ? base_wall / report.wall_seconds : 1.0;
+    rows.push_back(row);
+
+    std::printf(
+        "jobs=%-2zu wall=%7.3fs  trials/s=%8.2f  frames/s=%10.0f  speedup=%5.2fx  "
+        "packets=%llu bugs=%zu\n",
+        row.jobs, row.wall_seconds, row.trials_per_sec, row.frames_per_sec, row.speedup,
+        static_cast<unsigned long long>(row.total_packets), row.union_bugs);
+
+    // Determinism guard: every row must see the same merged campaign.
+    if (rows.size() > 1 && (row.total_packets != rows.front().total_packets ||
+                            row.union_bugs != rows.front().union_bugs)) {
+      std::fprintf(stderr, "FATAL: jobs=%zu diverged from jobs=%zu\n", row.jobs,
+                   rows.front().jobs);
+      return 1;
+    }
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"benchmark\": \"bench_parallel\",\n");
+  std::fprintf(out, "  \"workload\": {\"trials\": %zu, \"simulated_minutes\": %.1f, "
+                    "\"device\": \"%s\", \"mode\": \"full\", \"seed\": %llu},\n",
+               trials, minutes, sim::device_model_name(testbed_config.controller_model),
+               static_cast<unsigned long long>(config.seed));
+  std::fprintf(out, "  \"hw_concurrency\": %zu,\n", core::default_jobs());
+  std::fprintf(out, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "    {\"jobs\": %zu, \"wall_seconds\": %.6f, \"trials_per_sec\": %.3f, "
+                 "\"frames_per_sec\": %.1f, \"speedup\": %.3f, \"total_packets\": %llu, "
+                 "\"union_bugs\": %zu}%s\n",
+                 row.jobs, row.wall_seconds, row.trials_per_sec, row.frames_per_sec,
+                 row.speedup, static_cast<unsigned long long>(row.total_packets),
+                 row.union_bugs, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

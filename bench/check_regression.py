@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: compare a fresh run against a committed baseline.
+
+Usage:
+    check_regression.py --baseline BENCH_parallel.json --current fresh.json \
+        [--threshold 0.15]
+
+Understands two JSON shapes:
+
+* bench_parallel output -- ``{"benchmark": "bench_parallel", "rows": [...]}``;
+  rows are keyed by ``jobs`` and compared on ``trials_per_sec`` and
+  ``frames_per_sec`` (higher is better).
+* google-benchmark output (bench_micro with --benchmark_out) -- benchmarks
+  are keyed by ``name`` and compared on ``real_time`` with its ``time_unit``
+  (lower is better).
+
+Exit status 1 when any metric regressed more than ``--threshold`` (default
+15%). Entries present in only one file are reported but never fatal, so
+adding a benchmark does not break the gate before the baseline is refreshed.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_THRESHOLD = 0.15
+
+# google-benchmark time_unit -> nanoseconds
+_TIME_UNITS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_metrics(path):
+    """Return {metric_name: (value, higher_is_better)} for either format."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+
+    metrics = {}
+    if isinstance(data, dict) and data.get("benchmark") == "bench_parallel":
+        for row in data.get("rows", []):
+            jobs = row.get("jobs")
+            for key in ("trials_per_sec", "frames_per_sec"):
+                if key in row:
+                    metrics[f"parallel/jobs={jobs}/{key}"] = (float(row[key]), True)
+    elif isinstance(data, dict) and "benchmarks" in data:
+        for bench in data["benchmarks"]:
+            if bench.get("run_type") == "aggregate":
+                continue  # compare raw runs, not mean/median/stddev rows
+            unit = _TIME_UNITS.get(bench.get("time_unit", "ns"), 1.0)
+            metrics[bench["name"]] = (float(bench["real_time"]) * unit, False)
+    else:
+        raise ValueError(f"{path}: unrecognized benchmark JSON shape")
+    return metrics
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--current", required=True, help="freshly produced JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="max tolerated fractional regression (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_metrics(args.baseline)
+    current = load_metrics(args.current)
+
+    regressions = []
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"  (only in baseline) {name}")
+            continue
+        base_value, higher_is_better = baseline[name]
+        cur_value, _ = current[name]
+        if base_value <= 0:
+            continue
+        if higher_is_better:
+            change = (cur_value - base_value) / base_value
+        else:
+            change = (base_value - cur_value) / base_value  # faster => positive
+        marker = "OK "
+        if change < -args.threshold:
+            marker = "REG"
+            regressions.append(name)
+        print(f"  [{marker}] {name}: {base_value:.2f} -> {cur_value:.2f} "
+              f"({change * 100.0:+.1f}%)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  (new, no baseline) {name}")
+
+    if regressions:
+        print(f"FAIL: {len(regressions)} metric(s) regressed more than "
+              f"{args.threshold * 100.0:.0f}%:")
+        for name in regressions:
+            print(f"  {name}")
+        return 1
+    print(f"PASS: no metric regressed more than {args.threshold * 100.0:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

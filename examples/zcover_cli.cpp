@@ -3,12 +3,17 @@
 //   zcover_cli fuzz   [--device D4] [--mode full|beta|gamma] [--hours 2]
 //                     [--seed N] [--log FILE]
 //                     [--checkpoint FILE] [--resume FILE]
+//   zcover_cli trials [--device D4|all] [--trials 5] [--jobs N]
+//                     [--mode full|beta|gamma] [--hours 24] [--seed N]
 //   zcover_cli scan   [--device D4]
 //   zcover_cli replay   --log FILE [--device D4]
 //   zcover_cli minimize --log FILE [--device D4]
 //   zcover_cli list
 //
 // `fuzz` runs the three-phase pipeline and writes the Bug_Logs file;
+// `trials` runs N independent trials sharded across a thread pool
+// (`--jobs`, default hardware concurrency; `--device all` shards every
+// controller profile) — results are bit-identical for any job count;
 // `scan` stops after fingerprinting (Table IV view); `replay` re-validates
 // a saved log with the packet tester (the paper's PoC verification);
 // `minimize` shrinks each bug-inducing payload to its reproducing core.
@@ -21,6 +26,7 @@
 #include "core/campaign.h"
 #include "core/checkpoint.h"
 #include "core/packet_tester.h"
+#include "core/parallel.h"
 #include "core/report.h"
 
 namespace {
@@ -47,9 +53,12 @@ core::CampaignMode parse_mode(const std::string& name) {
 struct Options {
   std::string command;
   sim::DeviceModel device = sim::DeviceModel::kD4_AeotecZw090;
+  bool all_devices = false;
   core::CampaignMode mode = core::CampaignMode::kFull;
   double hours = 1.0;
   std::uint64_t seed = 0x2C07E12F;
+  std::size_t trials = 5;
+  std::size_t jobs = 0;  // 0 = hardware concurrency
   std::string log_path;
   std::string report_path;
   std::string checkpoint_path;
@@ -59,7 +68,7 @@ struct Options {
 Options parse_options(int argc, char** argv) {
   Options options;
   if (argc < 2) {
-    std::fprintf(stderr, "usage: zcover_cli fuzz|scan|replay|list [options]\n");
+    std::fprintf(stderr, "usage: zcover_cli fuzz|trials|scan|replay|minimize|list [options]\n");
     std::exit(2);
   }
   options.command = argv[1];
@@ -73,7 +82,16 @@ Options parse_options(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--device") {
-      options.device = parse_device(value());
+      const std::string name = value();
+      if (name == "all") {
+        options.all_devices = true;
+      } else {
+        options.device = parse_device(name);
+      }
+    } else if (arg == "--trials") {
+      options.trials = static_cast<std::size_t>(std::strtoull(value().c_str(), nullptr, 0));
+    } else if (arg == "--jobs") {
+      options.jobs = static_cast<std::size_t>(std::strtoull(value().c_str(), nullptr, 0));
     } else if (arg == "--mode") {
       options.mode = parse_mode(value());
     } else if (arg == "--hours") {
@@ -142,16 +160,9 @@ int cmd_fuzz(const Options& options) {
   config.loop_queue = false;
 
   if (!options.resume_path.empty()) {
-    std::ifstream in(options.resume_path);
-    if (!in) {
-      std::fprintf(stderr, "cannot read %s\n", options.resume_path.c_str());
-      return 1;
-    }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    auto checkpoint = core::parse_checkpoint(buffer.str());
+    auto checkpoint = core::read_checkpoint_file(options.resume_path);
     if (!checkpoint) {
-      std::fprintf(stderr, "%s is not a valid zcover checkpoint\n",
+      std::fprintf(stderr, "%s is missing or not a valid zcover checkpoint\n",
                    options.resume_path.c_str());
       return 1;
     }
@@ -167,12 +178,11 @@ int cmd_fuzz(const Options& options) {
   if (!options.checkpoint_path.empty()) {
     config.checkpoint_interval = 5 * kMinute;
     config.checkpoint_sink = [&options](const core::CampaignCheckpoint& cp) {
-      std::ofstream out(options.checkpoint_path);
-      if (!out) {
+      // Atomic tmp+rename: a kill mid-write leaves the previous complete
+      // snapshot in place instead of a truncated file --resume rejects.
+      if (!core::write_checkpoint_file(options.checkpoint_path, cp)) {
         std::fprintf(stderr, "cannot write %s\n", options.checkpoint_path.c_str());
-        return;
       }
-      out << core::serialize_checkpoint(cp);
     };
   }
 
@@ -209,6 +219,66 @@ int cmd_fuzz(const Options& options) {
     out << core::render_markdown_report(result, options.device);
     std::printf("assessment report written to %s\n", options.report_path.c_str());
   }
+  return 0;
+}
+
+int cmd_trials(const Options& options) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = options.device;
+  testbed_config.seed = options.seed;
+
+  core::CampaignConfig config;
+  config.mode = options.mode;
+  config.duration = static_cast<SimTime>(options.hours * static_cast<double>(kHour));
+  config.seed = options.seed;
+  config.loop_queue = false;
+
+  core::ParallelConfig parallel;
+  parallel.jobs = options.jobs;
+  if (!options.checkpoint_path.empty()) {
+    parallel.checkpoint_interval = 5 * kMinute;
+    parallel.checkpoint_sink = [&options](std::size_t shard_id,
+                                          const core::CampaignCheckpoint& cp) {
+      const std::string path =
+          options.checkpoint_path + ".shard" + std::to_string(shard_id);
+      if (!core::write_checkpoint_file(path, cp)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      }
+    };
+  }
+
+  std::vector<sim::DeviceModel> devices;
+  if (options.all_devices) {
+    const auto all = sim::all_controller_models();
+    devices.assign(all.begin(), all.end());
+  } else {
+    devices.push_back(options.device);
+  }
+
+  const core::ParallelTrialReport report =
+      options.all_devices
+          ? core::run_profiles_parallel(devices, testbed_config, config, options.trials,
+                                        parallel)
+          : core::run_trials_parallel(testbed_config, config, options.trials, parallel);
+
+  std::printf("%zu shard(s) on %zu thread(s): %.2f s wall, %.2f trials/s\n",
+              report.shards.size(), report.jobs, report.wall_seconds,
+              report.wall_seconds > 0.0
+                  ? static_cast<double>(report.shards.size()) / report.wall_seconds
+                  : 0.0);
+  for (const core::ShardResult& shard : report.shards) {
+    std::printf("  shard %-3zu %-24s seed=%llu packets=%llu findings=%zu\n",
+                shard.shard_id, sim::device_model_name(shard.device),
+                static_cast<unsigned long long>(shard.campaign_seed),
+                static_cast<unsigned long long>(shard.result.test_packets),
+                shard.result.findings.size());
+  }
+  std::printf("union of confirmed bugs: %zu, total packets: %llu, "
+              "inconclusive: %llu, recoveries: %zu\n",
+              report.summary.union_bug_ids.size(),
+              static_cast<unsigned long long>(report.summary.total_packets),
+              static_cast<unsigned long long>(report.inconclusive_tests),
+              report.recovery_episodes);
   return 0;
 }
 
@@ -279,6 +349,7 @@ int main(int argc, char** argv) {
   if (options.command == "list") return cmd_list();
   if (options.command == "scan") return cmd_scan(options);
   if (options.command == "fuzz") return cmd_fuzz(options);
+  if (options.command == "trials") return cmd_trials(options);
   if (options.command == "replay") return cmd_replay(options);
   if (options.command == "minimize") return cmd_minimize(options);
   std::fprintf(stderr, "unknown command '%s'\n", options.command.c_str());

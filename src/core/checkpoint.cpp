@@ -1,6 +1,7 @@
 #include "core/checkpoint.h"
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 namespace zc::core {
@@ -101,6 +102,10 @@ std::string serialize_checkpoint(const CampaignCheckpoint& checkpoint) {
     out += to_hex(finding.payload);
     out += line;
   }
+  // Footer sentinel: a file truncated anywhere — even mid-number, which
+  // would otherwise parse as a shorter-but-valid value — is missing this
+  // line and gets rejected wholesale.
+  out += "end\n";
   return out;
 }
 
@@ -116,12 +121,18 @@ std::optional<CampaignCheckpoint> parse_checkpoint(const std::string& text) {
   if (line != kHeader) return std::nullopt;
 
   CampaignCheckpoint checkpoint;
+  bool saw_footer = false;
   while (std::getline(stream, line)) {
     if (line.empty()) continue;
+    if (saw_footer) return std::nullopt;  // records after "end": not ours
     std::istringstream fields(line);
     std::string key;
     fields >> key;
-    if (key == "mode") {
+    if (key == "end") {
+      std::string extra;
+      if (fields >> extra) return std::nullopt;
+      saw_footer = true;
+    } else if (key == "mode") {
       std::string token;
       if (!(fields >> token)) return std::nullopt;
       const auto mode = parse_mode(token);
@@ -189,7 +200,39 @@ std::optional<CampaignCheckpoint> parse_checkpoint(const std::string& text) {
       return std::nullopt;  // unknown key: not a v1 file after all
     }
   }
+  // No footer means the tail of the file is gone (kill mid-write outside
+  // the atomic writer, disk-full copy, ...): reject rather than resume
+  // from silently shortened progress.
+  if (!saw_footer) return std::nullopt;
   return checkpoint;
+}
+
+bool write_checkpoint_file(const std::string& path, const CampaignCheckpoint& checkpoint) {
+  const std::string text = serialize_checkpoint(checkpoint);
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
+  if (out == nullptr) return false;
+  const bool written = std::fwrite(text.data(), 1, text.size(), out) == text.size() &&
+                       std::fflush(out) == 0;
+  const bool closed = std::fclose(out) == 0;
+  if (!written || !closed) {
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<CampaignCheckpoint> read_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return parse_checkpoint(buffer.str());
 }
 
 }  // namespace zc::core

@@ -15,7 +15,10 @@
 //   reported-sig <cc> <cmd> <param0>
 //   reported-bug 7
 //   finding <hex payload> | <kind> | <bug id> | <time us> | <packets>
+//   end
 //
+// The trailing `end` sentinel is mandatory: a truncated file (kill during
+// a non-atomic copy, disk full) is missing it and is rejected whole.
 // One key-value record per line; repeated keys accumulate. param0 uses the
 // widened encoding of PayloadSignature (0x100 = none, 0x1FF = wildcard).
 // A killed campaign restarts with `CampaignConfig::resume_from` pointing at
@@ -36,5 +39,16 @@ std::string serialize_checkpoint(const CampaignCheckpoint& checkpoint);
 /// unknown key, or any malformed record — a resumed campaign must never
 /// run from half-read state.
 std::optional<CampaignCheckpoint> parse_checkpoint(const std::string& text);
+
+/// Atomically replaces `path` with the serialized checkpoint: the text is
+/// written and flushed to `path + ".tmp"`, then renamed over the target.
+/// A kill mid-write leaves either the previous complete checkpoint or a
+/// stray .tmp — never a truncated file that --resume could half-read.
+bool write_checkpoint_file(const std::string& path, const CampaignCheckpoint& checkpoint);
+
+/// Reads and parses a checkpoint file; nullopt when the file is missing,
+/// unreadable, or fails the strict v1 parse (e.g. truncated by a crash
+/// that bypassed the atomic writer).
+std::optional<CampaignCheckpoint> read_checkpoint_file(const std::string& path);
 
 }  // namespace zc::core

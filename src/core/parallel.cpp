@@ -1,0 +1,178 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+namespace zc::core {
+
+namespace {
+
+/// Merges one shard's CampaignResult into the TrialSummary exactly the way
+/// the sequential run_trials() loop body does.
+void merge_into_summary(TrialSummary& summary, const CampaignResult& result) {
+  std::set<int> unique;
+  std::optional<SimTime> first;
+  for (const auto& finding : result.findings) {
+    if (finding.matched_bug_id > 0) unique.insert(finding.matched_bug_id);
+    if (!first.has_value()) first = finding.detected_at - result.started_at;
+  }
+  summary.union_bug_ids.insert(unique.begin(), unique.end());
+  summary.per_trial_unique.push_back(unique.size());
+  summary.first_finding_at.push_back(first.value_or(0));
+  summary.total_packets += result.test_packets;
+}
+
+ParallelTrialReport merge_report(std::vector<ShardResult> shards, std::size_t jobs,
+                                 double wall_seconds) {
+  ParallelTrialReport report;
+  report.jobs = jobs;
+  report.wall_seconds = wall_seconds;
+  report.summary.trials = shards.size();
+  for (const ShardResult& shard : shards) {  // already in shard order
+    merge_into_summary(report.summary, shard.result);
+    report.inconclusive_tests += shard.result.inconclusive_tests;
+    report.retried_injections += shard.result.retried_injections;
+    report.recovery_episodes += shard.result.recovery_log.size();
+  }
+  report.shards = std::move(shards);
+  return report;
+}
+
+}  // namespace
+
+std::size_t default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::uint64_t shard_testbed_seed(std::uint64_t base_seed, std::size_t shard_id) {
+  return base_seed + static_cast<std::uint64_t>(shard_id) * 0x9E3779B9ULL;
+}
+
+std::uint64_t shard_campaign_seed(std::uint64_t base_seed, std::size_t shard_id) {
+  return base_seed + static_cast<std::uint64_t>(shard_id) * 0xC2B2AE35ULL;
+}
+
+std::vector<ShardResult> run_shards(const std::vector<ShardSpec>& shards,
+                                    const ParallelConfig& parallel) {
+  std::vector<ShardResult> results(shards.size());
+  if (shards.empty()) return results;
+
+  const std::size_t jobs =
+      std::min(shards.size(), parallel.jobs == 0 ? default_jobs() : parallel.jobs);
+
+  // The sink is shared by every shard, so calls are funneled through one
+  // mutex; shard_id tagging lets the caller keep per-shard files.
+  std::mutex sink_mutex;
+
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (index >= shards.size()) return;
+      const ShardSpec& spec = shards[index];
+
+      CampaignConfig config = spec.campaign;
+      config.checkpoint_interval = parallel.checkpoint_interval;
+      if (parallel.checkpoint_sink) {
+        config.checkpoint_sink = [&parallel, &sink_mutex,
+                                  shard_id = spec.shard_id](const CampaignCheckpoint& cp) {
+          const std::lock_guard<std::mutex> lock(sink_mutex);
+          parallel.checkpoint_sink(shard_id, cp);
+        };
+      } else {
+        config.checkpoint_sink = nullptr;
+      }
+      config.abort_hook = parallel.abort_hook;
+
+      // The shard's whole world is local to this iteration: testbed,
+      // campaign, RNG streams. Nothing here is visible to other workers;
+      // the result slot is exclusively ours by shard index.
+      sim::Testbed testbed(spec.testbed);
+      Campaign campaign(testbed, config);
+
+      ShardResult& out = results[index];
+      out.shard_id = spec.shard_id;
+      out.device = spec.testbed.controller_model;
+      out.campaign_seed = config.seed;
+      out.result = campaign.run();
+      out.medium_transmissions = testbed.medium().transmissions();
+    }
+  };
+
+  if (jobs == 1) {
+    worker();  // run inline: no pool, identical code path
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t i = 0; i < jobs; ++i) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const ShardResult& a, const ShardResult& b) { return a.shard_id < b.shard_id; });
+  return results;
+}
+
+ParallelTrialReport run_trials_parallel(const sim::TestbedConfig& testbed_config,
+                                        const CampaignConfig& campaign_config,
+                                        std::size_t trials, const ParallelConfig& parallel) {
+  std::vector<ShardSpec> shards;
+  shards.reserve(trials);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    ShardSpec spec;
+    spec.shard_id = trial;
+    spec.testbed = testbed_config;
+    spec.testbed.seed = shard_testbed_seed(testbed_config.seed, trial);
+    spec.campaign = campaign_config;
+    spec.campaign.seed = shard_campaign_seed(campaign_config.seed, trial);
+    shards.push_back(std::move(spec));
+  }
+
+  const std::size_t jobs =
+      std::min(std::max<std::size_t>(1, trials),
+               parallel.jobs == 0 ? default_jobs() : parallel.jobs);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<ShardResult> results = run_shards(shards, parallel);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return merge_report(std::move(results), jobs, wall);
+}
+
+ParallelTrialReport run_profiles_parallel(const std::vector<sim::DeviceModel>& devices,
+                                          const sim::TestbedConfig& testbed_config,
+                                          const CampaignConfig& campaign_config,
+                                          std::size_t trials_per_device,
+                                          const ParallelConfig& parallel) {
+  std::vector<ShardSpec> shards;
+  shards.reserve(devices.size() * trials_per_device);
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    for (std::size_t trial = 0; trial < trials_per_device; ++trial) {
+      ShardSpec spec;
+      spec.shard_id = d * trials_per_device + trial;
+      spec.testbed = testbed_config;
+      spec.testbed.controller_model = devices[d];
+      // Per-device derivation matches a standalone run_trials() on that
+      // device, so sharding a fleet changes nothing about any one member.
+      spec.testbed.seed = shard_testbed_seed(testbed_config.seed, trial);
+      spec.campaign = campaign_config;
+      spec.campaign.seed = shard_campaign_seed(campaign_config.seed, trial);
+      shards.push_back(std::move(spec));
+    }
+  }
+
+  const std::size_t jobs =
+      std::min(std::max<std::size_t>(1, shards.size()),
+               parallel.jobs == 0 ? default_jobs() : parallel.jobs);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<ShardResult> results = run_shards(shards, parallel);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return merge_report(std::move(results), jobs, wall);
+}
+
+}  // namespace zc::core

@@ -1,0 +1,110 @@
+// Parallel campaign sharding: N independent trials (or device profiles)
+// executed on a fixed thread pool with deterministic, thread-count-
+// independent results.
+//
+// Sharding model: one shard = one trial against one device profile. Every
+// shard owns its whole world — a fresh sim::Testbed (scheduler, RF medium,
+// controller, slaves), its own Campaign and therefore its own seeded RNG
+// streams — so shards share no mutable state and never contend. Shard
+// seeds are pure functions of (base seed, shard id), the exact derivation
+// the sequential engine has always used, so the merged output is
+// bit-identical whether the shards run on 1 thread or 16:
+//
+//   testbed seed  = base + shard_id * 0x9E3779B9
+//   campaign seed = base + shard_id * 0xC2B2AE35
+//
+// Workers pull shard indices from an atomic cursor; each result lands in a
+// slot preallocated for its shard id, and the merge walks the slots in
+// shard order after the pool joins. Checkpoints are serialized through a
+// mutex-guarded sink tagged with the shard id.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/campaign.h"
+#include "sim/profile.h"
+#include "sim/testbed.h"
+
+namespace zc::core {
+
+/// Thread-pool configuration for a sharded run.
+struct ParallelConfig {
+  /// Worker threads; 0 means hardware_concurrency (at least 1).
+  std::size_t jobs = 0;
+  /// Periodic checkpoint interval applied to every shard (0 disables).
+  SimTime checkpoint_interval = 0;
+  /// Serialized checkpoint sink: invoked under an internal mutex, never
+  /// concurrently, tagged with the shard the snapshot belongs to.
+  std::function<void(std::size_t shard_id, const CampaignCheckpoint&)> checkpoint_sink;
+  /// Polled by every shard between tests; must be thread-safe (an
+  /// std::atomic<bool> read is the intended shape). Returning true stops
+  /// all shards at their next test boundary.
+  std::function<bool()> abort_hook;
+};
+
+/// One shard's definition: everything a worker needs to run it, all by
+/// value so the worker touches no shared state.
+struct ShardSpec {
+  std::size_t shard_id = 0;
+  sim::TestbedConfig testbed;
+  CampaignConfig campaign;
+};
+
+/// One shard's outcome, collected in deterministic shard order.
+struct ShardResult {
+  std::size_t shard_id = 0;
+  sim::DeviceModel device = sim::DeviceModel::kD4_AeotecZw090;
+  std::uint64_t campaign_seed = 0;
+  CampaignResult result;
+  /// Total transmissions that crossed the shard's medium (frame throughput
+  /// accounting for BENCH_parallel.json).
+  std::uint64_t medium_transmissions = 0;
+};
+
+/// Merged outcome of a sharded run. `summary` is byte-for-byte what the
+/// sequential run_trials() would have produced for the same inputs.
+struct ParallelTrialReport {
+  TrialSummary summary;
+  std::vector<ShardResult> shards;  // sorted by shard_id
+  /// Aggregates merged in shard order from every CampaignResult.
+  std::uint64_t inconclusive_tests = 0;
+  std::uint64_t retried_injections = 0;
+  std::size_t recovery_episodes = 0;
+  std::size_t jobs = 1;           // worker threads actually used
+  double wall_seconds = 0.0;      // host wall clock for the whole pool
+};
+
+/// hardware_concurrency with a floor of 1 (the value `jobs = 0` resolves to).
+std::size_t default_jobs();
+
+/// Shard seed derivation — shared with the sequential engine so a sharded
+/// run replays it exactly.
+std::uint64_t shard_testbed_seed(std::uint64_t base_seed, std::size_t shard_id);
+std::uint64_t shard_campaign_seed(std::uint64_t base_seed, std::size_t shard_id);
+
+/// Runs explicit shards on the pool. Results come back sorted by shard id
+/// regardless of completion order.
+std::vector<ShardResult> run_shards(const std::vector<ShardSpec>& shards,
+                                    const ParallelConfig& parallel = {});
+
+/// The parallel equivalent of run_trials(): N trials of one device, shard
+/// i seeded exactly like sequential trial i. `report.summary` matches
+/// run_trials() bit-for-bit for any thread count.
+ParallelTrialReport run_trials_parallel(const sim::TestbedConfig& testbed_config,
+                                        const CampaignConfig& campaign_config,
+                                        std::size_t trials,
+                                        const ParallelConfig& parallel = {});
+
+/// Multi-profile campaign: `trials_per_device` trials for every listed
+/// device model, sharded as device-major blocks (device d, trial t) ->
+/// shard d * trials_per_device + t. Per-device seed derivation matches a
+/// standalone run_trials() on that device.
+ParallelTrialReport run_profiles_parallel(const std::vector<sim::DeviceModel>& devices,
+                                          const sim::TestbedConfig& testbed_config,
+                                          const CampaignConfig& campaign_config,
+                                          std::size_t trials_per_device,
+                                          const ParallelConfig& parallel = {});
+
+}  // namespace zc::core

@@ -24,12 +24,14 @@ bool MacEndpoint::send(const zwave::MacFrame& frame) {
 void MacEndpoint::send_raw(ByteView frame_bytes) { radio_.transmit(frame_bytes); }
 
 void MacEndpoint::on_bits(const BitStream& bits, double rssi_dbm) {
-  const auto raw = decode_transmission(bits);
+  // Decode into the endpoint's scratch buffer: per-frame receive reuses
+  // its capacity instead of allocating a Bytes per delivery.
+  const auto raw = decode_transmission_into(bits, rx_scratch_);
   if (!raw.ok()) {
     ++frames_dropped_;
     return;
   }
-  const auto frame = zwave::decode_frame(raw.value());
+  const auto frame = zwave::decode_frame(rx_scratch_);
   if (!frame.ok()) {
     ++frames_dropped_;
     return;

@@ -39,6 +39,8 @@ class MacEndpoint {
 
   Transceiver radio_;
   FrameHandler handler_;
+  /// Reused PHY-decode buffer for the receive hot path.
+  Bytes rx_scratch_;
   std::uint64_t frames_ok_ = 0;
   std::uint64_t frames_dropped_ = 0;
 };

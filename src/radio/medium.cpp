@@ -19,7 +19,10 @@ void Transceiver::move_to(double x_meters, double y_meters) {
 
 void Transceiver::transmit(ByteView frame) {
   ++frames_sent_;
-  medium_.broadcast(this, frame, encode_transmission(frame));
+  // Line-code into the per-transceiver scratch: steady-state transmission
+  // reuses its capacity instead of allocating a fresh BitStream per frame.
+  encode_transmission_into(frame, tx_scratch_);
+  medium_.broadcast(this, frame, tx_scratch_);
 }
 
 void Transceiver::deliver(const BitStream& bits, double rssi_dbm) {
@@ -55,6 +58,13 @@ void RfMedium::broadcast(Transceiver* sender, ByteView frame, const BitStream& b
   const double airtime_seconds = static_cast<double>(bits.size()) / model_.data_rate_bps;
   const SimTime airtime = static_cast<SimTime>(airtime_seconds * static_cast<double>(kSecond));
 
+  // Only a noisy channel (or an armed fault tap) personalizes the bit
+  // stream per receiver; a clean channel delivers one shared immutable
+  // copy to every listener — one allocation per broadcast instead of one
+  // per link, and none of the per-bit copy loops.
+  const bool per_receiver_bits = model_.bit_flip_rate > 0.0 || fault_tap_ != nullptr;
+  std::shared_ptr<const BitStream> shared_clean;
+
   for (Transceiver* receiver : endpoints_) {
     if (receiver == sender) continue;
     if (receiver->config().region != sender->config().region) continue;
@@ -67,16 +77,23 @@ void RfMedium::broadcast(Transceiver* sender, ByteView frame, const BitStream& b
     const double delivery_p = std::clamp(headroom / model_.fade_margin_db, 0.0, 1.0);
     if (!rng_.chance(delivery_p)) continue;
 
-    BitStream delivered = bits;
-    if (model_.bit_flip_rate > 0.0) {
-      for (auto& bit : delivered) {
-        if (rng_.chance(model_.bit_flip_rate)) bit ^= 1;
+    if (per_receiver_bits) {
+      auto delivered = std::make_shared<BitStream>(bits);
+      if (model_.bit_flip_rate > 0.0) {
+        for (auto& bit : *delivered) {
+          if (rng_.chance(model_.bit_flip_rate)) bit ^= 1;
+        }
       }
+      if (fault_tap_ != nullptr) fault_tap_->corrupt_bits(*delivered);
+      scheduler_.schedule_after(airtime, [receiver, delivered = std::move(delivered), rssi] {
+        receiver->deliver(*delivered, rssi);
+      });
+    } else {
+      if (!shared_clean) shared_clean = std::make_shared<const BitStream>(bits);
+      scheduler_.schedule_after(airtime, [receiver, delivered = shared_clean, rssi] {
+        receiver->deliver(*delivered, rssi);
+      });
     }
-    if (fault_tap_ != nullptr) fault_tap_->corrupt_bits(delivered);
-    scheduler_.schedule_after(airtime, [receiver, delivered = std::move(delivered), rssi] {
-      receiver->deliver(delivered, rssi);
-    });
   }
 }
 

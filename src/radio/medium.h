@@ -102,6 +102,9 @@ class Transceiver {
   RfMedium& medium_;
   RadioConfig config_;
   BitsHandler handler_;
+  /// Reused line-coding buffer: transmit() encodes every frame into this
+  /// scratch so the hot path stops allocating once capacity settles.
+  BitStream tx_scratch_;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_heard_ = 0;
 };

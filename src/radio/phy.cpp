@@ -2,16 +2,70 @@
 
 namespace zc::radio {
 
-void manchester_encode_byte(std::uint8_t byte, BitStream& out) {
-  for (int bit = 7; bit >= 0; --bit) {
-    if ((byte >> bit) & 1) {
-      out.push_back(1);
-      out.push_back(0);
-    } else {
-      out.push_back(0);
-      out.push_back(1);
+namespace {
+
+/// Precomputed byte -> 16 Manchester line bits (MSB-first, 1 -> 10,
+/// 0 -> 01), so the encoder is a table copy instead of a per-bit loop.
+struct SymbolTable {
+  std::uint8_t bits[256][16];
+};
+
+SymbolTable build_symbol_table() {
+  SymbolTable table{};
+  for (unsigned value = 0; value < 256; ++value) {
+    for (int bit = 7; bit >= 0; --bit) {
+      const std::size_t pos = static_cast<std::size_t>(7 - bit) * 2;
+      if ((value >> bit) & 1) {
+        table.bits[value][pos] = 1;
+        table.bits[value][pos + 1] = 0;
+      } else {
+        table.bits[value][pos] = 0;
+        table.bits[value][pos + 1] = 1;
+      }
     }
   }
+  return table;
+}
+
+const SymbolTable& symbol_table() {
+  static const SymbolTable table = build_symbol_table();
+  return table;
+}
+
+/// Precomputed preamble + SOF prefix shared by every transmission.
+const BitStream& prefix_bits() {
+  static const BitStream prefix = [] {
+    BitStream bits;
+    bits.reserve((kPreambleLength + 1) * 16);
+    for (std::size_t i = 0; i < kPreambleLength; ++i) {
+      manchester_encode_byte(kPreambleByte, bits);
+    }
+    manchester_encode_byte(kStartOfFrame, bits);
+    return bits;
+  }();
+  return prefix;
+}
+
+/// Decodes one byte's 16 line bits starting at `bits` without the Result /
+/// heap traffic of the public manchester_decode. Returns the byte value,
+/// or -1 on an invalid Manchester pair (receiver noise). Equal line levels
+/// are the invalid pairs (00/11), matching a real slicer losing the edge.
+inline int decode_byte_at(const std::uint8_t* bits) {
+  unsigned value = 0;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint8_t first = bits[2 * i];
+    const std::uint8_t second = bits[2 * i + 1];
+    if (first == second) return -1;
+    value = (value << 1) | (first == 1 ? 1u : 0u);
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+void manchester_encode_byte(std::uint8_t byte, BitStream& out) {
+  const std::uint8_t* symbol = symbol_table().bits[byte];
+  out.insert(out.end(), symbol, symbol + 16);
 }
 
 Result<Bytes> manchester_decode(const BitStream& bits, std::size_t bit_offset,
@@ -21,33 +75,36 @@ Result<Bytes> manchester_decode(const BitStream& bits, std::size_t bit_offset,
   }
   Bytes out;
   out.reserve(byte_count);
-  std::size_t pos = bit_offset;
-  for (std::size_t i = 0; i < byte_count; ++i) {
-    std::uint8_t value = 0;
-    for (int bit = 0; bit < 8; ++bit) {
-      const std::uint8_t first = bits[pos];
-      const std::uint8_t second = bits[pos + 1];
-      pos += 2;
-      if (first == second) {
-        return Error{Errc::kBadField, "invalid Manchester symbol (noise)"};
-      }
-      value = static_cast<std::uint8_t>((value << 1) | (first == 1 ? 1 : 0));
+  const std::uint8_t* cursor = bits.data() + bit_offset;
+  for (std::size_t i = 0; i < byte_count; ++i, cursor += 16) {
+    const int value = decode_byte_at(cursor);
+    if (value < 0) {
+      return Error{Errc::kBadField, "invalid Manchester symbol (noise)"};
     }
-    out.push_back(value);
+    out.push_back(static_cast<std::uint8_t>(value));
   }
   return out;
 }
 
+void encode_transmission_into(ByteView frame, BitStream& out) {
+  out.clear();
+  out.reserve((kPreambleLength + 1 + frame.size()) * 16);
+  const BitStream& prefix = prefix_bits();
+  out.insert(out.end(), prefix.begin(), prefix.end());
+  const SymbolTable& table = symbol_table();
+  for (std::uint8_t b : frame) {
+    out.insert(out.end(), table.bits[b], table.bits[b] + 16);
+  }
+}
+
 BitStream encode_transmission(ByteView frame) {
   BitStream bits;
-  bits.reserve((kPreambleLength + 1 + frame.size()) * 16);
-  for (std::size_t i = 0; i < kPreambleLength; ++i) manchester_encode_byte(kPreambleByte, bits);
-  manchester_encode_byte(kStartOfFrame, bits);
-  for (std::uint8_t b : frame) manchester_encode_byte(b, bits);
+  encode_transmission_into(frame, bits);
   return bits;
 }
 
-Result<Bytes> decode_transmission(const BitStream& bits) {
+Result<std::size_t> decode_transmission_into(const BitStream& bits, Bytes& frame) {
+  frame.clear();
   // Hunt for the SOF byte on any 2-bit-aligned boundary after at least one
   // preamble byte worth of 0x55.
   const std::size_t total_bytes = bits.size() / 16;
@@ -57,13 +114,13 @@ Result<Bytes> decode_transmission(const BitStream& bits) {
   std::size_t sof_index = 0;
   bool found = false;
   std::size_t preamble_run = 0;
+  const std::uint8_t* data = bits.data();
   for (std::size_t i = 0; i < total_bytes; ++i) {
-    const auto byte = manchester_decode(bits, i * 16, 1);
-    if (!byte.ok()) {
+    const int value = decode_byte_at(data + i * 16);
+    if (value < 0) {
       preamble_run = 0;
       continue;
     }
-    const std::uint8_t value = byte.value()[0];
     if (value == kPreambleByte) {
       ++preamble_run;
       continue;
@@ -82,15 +139,21 @@ Result<Bytes> decode_transmission(const BitStream& bits) {
   // Everything after SOF until the stream ends (or a symbol error) is the
   // frame body. A trailing partial byte is ignored, like a real receiver
   // squelching at end of transmission.
-  Bytes frame;
   for (std::size_t i = sof_index + 1; i < total_bytes; ++i) {
-    const auto byte = manchester_decode(bits, i * 16, 1);
-    if (!byte.ok()) break;
-    frame.push_back(byte.value()[0]);
+    const int value = decode_byte_at(data + i * 16);
+    if (value < 0) break;
+    frame.push_back(static_cast<std::uint8_t>(value));
   }
   if (frame.empty()) {
     return Error{Errc::kTruncated, "no frame bytes after start-of-frame"};
   }
+  return frame.size();
+}
+
+Result<Bytes> decode_transmission(const BitStream& bits) {
+  Bytes frame;
+  auto decoded = decode_transmission_into(bits, frame);
+  if (!decoded.ok()) return decoded.error();
   return frame;
 }
 

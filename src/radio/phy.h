@@ -25,7 +25,8 @@ constexpr std::uint8_t kPreambleByte = 0x55;
 constexpr std::size_t kPreambleLength = 10;  // bytes of 0x55 before SOF
 constexpr std::uint8_t kStartOfFrame = 0xF0;
 
-/// Manchester-encodes one byte MSB-first (0 -> 01, 1 -> 10).
+/// Manchester-encodes one byte MSB-first (0 -> 01, 1 -> 10). Backed by a
+/// precomputed 256-entry symbol table (one 16-bit-pattern copy per byte).
 void manchester_encode_byte(std::uint8_t byte, BitStream& out);
 
 /// Decodes `2*n` Manchester bits back into `n` bytes. Fails on an invalid
@@ -36,11 +37,22 @@ Result<Bytes> manchester_decode(const BitStream& bits, std::size_t bit_offset,
 /// Encodes a full transmission: preamble + SOF + Manchester(frame bytes).
 BitStream encode_transmission(ByteView frame);
 
+/// Allocation-free variant: encodes into `out`, reusing its capacity. The
+/// per-frame hot path (Transceiver::transmit) keeps one scratch BitStream
+/// alive across frames so steady-state encoding never touches the heap.
+void encode_transmission_into(ByteView frame, BitStream& out);
+
 /// Scans a bit stream for a transmission: locates the preamble run and SOF,
 /// then Manchester-decodes the remainder into raw frame bytes. Returns the
 /// frame bytes (which may still fail MAC validation — that is the next
 /// layer's job). `frame_length_hint` of 0 means "decode until the stream
 /// ends or a symbol error occurs".
 Result<Bytes> decode_transmission(const BitStream& bits);
+
+/// Allocation-free variant: decodes into `frame` (cleared first, capacity
+/// reused) and returns the decoded byte count. Receivers keep one scratch
+/// Bytes alive across deliveries so the per-frame decode path stops
+/// allocating.
+Result<std::size_t> decode_transmission_into(const BitStream& bits, Bytes& frame);
 
 }  // namespace zc::radio

@@ -1,10 +1,26 @@
 #include "zwave/checksum.h"
 
+#include <cstring>
+
 namespace zc::zwave {
 
 std::uint8_t checksum8(ByteView data) {
-  std::uint8_t cs = 0xFF;
-  for (std::uint8_t b : data) cs ^= b;
+  // Single pass over the raw pointer range, folding eight bytes per step:
+  // XOR is byte-order-free, so a word-wide accumulator collapsed to its
+  // bytes at the end equals the byte-at-a-time scan.
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  std::uint64_t acc = 0;
+  for (; n >= 8; p += 8, n -= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    acc ^= word;
+  }
+  acc ^= acc >> 32;
+  acc ^= acc >> 16;
+  acc ^= acc >> 8;
+  std::uint8_t cs = static_cast<std::uint8_t>(0xFF ^ acc);
+  while (n-- > 0) cs ^= *p++;
   return cs;
 }
 

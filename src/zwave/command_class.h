@@ -13,6 +13,7 @@
 //     systematic validation testing (§III-C2).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -79,7 +80,19 @@ struct CommandClassSpec {
   /// Present in the public Z-Wave specification (false for 0x01/0x02).
   bool in_public_spec = true;
   std::vector<CommandSpec> commands;
+  /// True once index_commands() verified `commands` is ascending by id,
+  /// enabling binary-search lookups. The command order itself is never
+  /// changed — the systematic mutation walk depends on it.
+  bool commands_sorted = false;
 
+  /// Checks (without reordering) whether `commands` is sorted by id and
+  /// records the answer for find_command's fast path. Called by the spec
+  /// database on every class it owns; external builders (XML import) may
+  /// call it too.
+  void index_commands();
+
+  /// Lookup by command id: binary search when the ids are ascending (every
+  /// database-owned class), linear scan otherwise.
   const CommandSpec* find_command(CommandId cmd) const;
   bool controller_relevant() const;
 };
@@ -112,6 +125,14 @@ class SpecDatabase {
  private:
   SpecDatabase();
   std::vector<CommandClassSpec> classes_;
+  /// O(1) id -> spec index over the full 8-bit id space (nullptr = not
+  /// defined), replacing per-lookup binary searches on the fuzzing hot
+  /// path: every mutator construction and every simulated-controller
+  /// dispatch goes through find().
+  std::array<const CommandClassSpec*, 256> by_id_{};
+  /// Memoized commands-per-class, the PSM prioritization key (§III-C1):
+  /// queue sorting reads these counts O(n log n) times per fingerprint.
+  std::array<std::uint16_t, 256> command_counts_{};
 };
 
 }  // namespace zc::zwave

@@ -516,7 +516,20 @@ const char* param_type_name(ParamType type) {
   return "?";
 }
 
+void CommandClassSpec::index_commands() {
+  commands_sorted = std::is_sorted(
+      commands.begin(), commands.end(),
+      [](const CommandSpec& a, const CommandSpec& b) { return a.id < b.id; });
+}
+
 const CommandSpec* CommandClassSpec::find_command(CommandId cmd) const {
+  if (commands_sorted) {
+    const auto it = std::lower_bound(
+        commands.begin(), commands.end(), cmd,
+        [](const CommandSpec& command, CommandId value) { return command.id < value; });
+    if (it == commands.end() || it->id != cmd) return nullptr;
+    return &*it;
+  }
   for (const auto& command : commands) {
     if (command.id == cmd) return &command;
   }
@@ -538,7 +551,16 @@ bool CommandClassSpec::controller_relevant() const {
   return false;
 }
 
-SpecDatabase::SpecDatabase() : classes_(build_all_classes()) {}
+SpecDatabase::SpecDatabase() : classes_(build_all_classes()) {
+  // classes_ is immutable from here on, so raw pointers into it are
+  // stable: build the O(1) id index and memoize the per-class command
+  // counts once instead of re-searching on every hot-path lookup.
+  for (CommandClassSpec& spec : classes_) {
+    spec.index_commands();
+    by_id_[spec.id] = &spec;
+    command_counts_[spec.id] = static_cast<std::uint16_t>(spec.commands.size());
+  }
+}
 
 const SpecDatabase& SpecDatabase::instance() {
   static const SpecDatabase db;
@@ -546,11 +568,7 @@ const SpecDatabase& SpecDatabase::instance() {
 }
 
 const CommandClassSpec* SpecDatabase::find(CommandClassId id) const {
-  const auto it = std::lower_bound(
-      classes_.begin(), classes_.end(), id,
-      [](const CommandClassSpec& spec, CommandClassId value) { return spec.id < value; });
-  if (it == classes_.end() || it->id != id) return nullptr;
-  return &*it;
+  return by_id_[id];
 }
 
 std::size_t SpecDatabase::public_spec_count() const {
@@ -570,8 +588,7 @@ std::vector<CommandClassId> SpecDatabase::controller_cluster(bool include_unlist
 }
 
 std::size_t SpecDatabase::command_count(CommandClassId id) const {
-  const CommandClassSpec* spec = find(id);
-  return spec ? spec->commands.size() : 0;
+  return command_counts_[id];
 }
 
 }  // namespace zc::zwave

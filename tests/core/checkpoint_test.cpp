@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 namespace zc::core {
 namespace {
 
@@ -101,6 +105,82 @@ TEST(CheckpointTest, RejectsUnknownKeyOrMalformedRecord) {
   EXPECT_FALSE(
       parse_checkpoint("zcover-checkpoint v1\nfinding zz | host-crash | 1 | 0 | 0\n")
           .has_value());
+}
+
+TEST(CheckpointTest, RejectsTruncationAtEveryByte) {
+  // A checkpoint cut anywhere — mid-line, between lines, even mid-number
+  // where the stub still parses as a smaller value — must be rejected:
+  // the `end` footer only survives a complete write.
+  // (Cutting only the final '\n' keeps the complete `end` line and is the
+  // one truncation that legitimately still parses, hence size() - 1.)
+  const std::string text = serialize_checkpoint(sample_checkpoint());
+  for (std::size_t len = 0; len + 1 < text.size(); ++len) {
+    EXPECT_FALSE(parse_checkpoint(text.substr(0, len)).has_value())
+        << "accepted a checkpoint truncated to " << len << " of " << text.size()
+        << " bytes";
+  }
+  EXPECT_TRUE(parse_checkpoint(text).has_value());
+}
+
+TEST(CheckpointTest, RejectsRecordsAfterFooterOrDecoratedFooter) {
+  const std::string text = serialize_checkpoint(CampaignCheckpoint{});
+  EXPECT_FALSE(parse_checkpoint(text + "seed 9\n").has_value());
+  std::string decorated = text;
+  decorated.replace(decorated.rfind("end\n"), 4, "end of file\n");
+  EXPECT_FALSE(parse_checkpoint(decorated).has_value());
+}
+
+TEST(CheckpointFileTest, WriteReadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "zc_checkpoint_roundtrip.txt";
+  const CampaignCheckpoint original = sample_checkpoint();
+  ASSERT_TRUE(write_checkpoint_file(path, original));
+
+  const auto parsed = read_checkpoint_file(path);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->seed, original.seed);
+  EXPECT_EQ(parsed->test_packets, original.test_packets);
+  EXPECT_EQ(parsed->findings.size(), original.findings.size());
+
+  // The .tmp staging file must not linger after a successful rename.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFileTest, WriteReplacesPreviousSnapshotAtomically) {
+  const std::string path = ::testing::TempDir() + "zc_checkpoint_replace.txt";
+  CampaignCheckpoint first = sample_checkpoint();
+  first.test_packets = 100;
+  ASSERT_TRUE(write_checkpoint_file(path, first));
+  CampaignCheckpoint second = sample_checkpoint();
+  second.test_packets = 200;
+  ASSERT_TRUE(write_checkpoint_file(path, second));
+
+  const auto parsed = read_checkpoint_file(path);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->test_packets, 200u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFileTest, ReadRejectsMissingAndTruncatedFiles) {
+  const std::string missing = ::testing::TempDir() + "zc_checkpoint_nope.txt";
+  EXPECT_FALSE(read_checkpoint_file(missing).has_value());
+
+  // Simulate the crash the atomic writer exists to prevent (a partial
+  // non-atomic copy): a file holding only the first half of a snapshot.
+  const std::string path = ::testing::TempDir() + "zc_checkpoint_cut.txt";
+  const std::string text = serialize_checkpoint(sample_checkpoint());
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << text.substr(0, text.size() / 2);
+  }
+  EXPECT_FALSE(read_checkpoint_file(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointFileTest, WriteFailsCleanlyOnUnwritablePath) {
+  const CampaignCheckpoint cp = sample_checkpoint();
+  EXPECT_FALSE(write_checkpoint_file("/nonexistent-dir/zc.ckpt", cp));
 }
 
 }  // namespace

@@ -1,0 +1,206 @@
+// Determinism and merge-correctness of the sharded campaign engine
+// (core/parallel.h): the merged output must be a pure function of
+// (base seed, shard count) — never of the thread count — and must match
+// the sequential run_trials() bit for bit.
+//
+// Workloads are deliberately tiny (minutes of simulated time); the point
+// is shard bookkeeping, not coverage. Labeled `parallel` so a TSan build
+// (-DZC_SANITIZE=thread) can run exactly this suite: `ctest -L parallel`.
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace zc::core {
+namespace {
+
+CampaignConfig quick_config(SimTime duration = 5 * kMinute) {
+  CampaignConfig config;
+  config.mode = CampaignMode::kFull;
+  config.duration = duration;
+  config.seed = 0x2C07E12F;
+  config.loop_queue = false;
+  return config;
+}
+
+sim::TestbedConfig quick_testbed() {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  testbed_config.seed = 0x2C07E12F;
+  return testbed_config;
+}
+
+/// Canonical text form of a merged report: every field a thread-count
+/// dependence could perturb — per-shard findings (payload, kind, bug id,
+/// detection time), packet counts, summary vectors.
+std::string fingerprint(const ParallelTrialReport& report) {
+  std::ostringstream out;
+  out << "trials=" << report.summary.trials
+      << " packets=" << report.summary.total_packets
+      << " inconclusive=" << report.inconclusive_tests
+      << " retried=" << report.retried_injections << "\nbugs:";
+  for (int id : report.summary.union_bug_ids) out << ' ' << id;
+  out << "\nper-trial:";
+  for (std::size_t n : report.summary.per_trial_unique) out << ' ' << n;
+  out << "\nfirst-at:";
+  for (SimTime t : report.summary.first_finding_at) out << ' ' << t;
+  out << '\n';
+  for (const ShardResult& shard : report.shards) {
+    out << "shard " << shard.shard_id << " device=" << static_cast<int>(shard.device)
+        << " seed=" << shard.campaign_seed << " packets=" << shard.result.test_packets
+        << '\n';
+    for (const auto& finding : shard.result.findings) {
+      out << "  " << to_hex(finding.payload) << ' '
+          << detection_kind_name(finding.kind) << ' ' << finding.matched_bug_id << ' '
+          << finding.detected_at << '\n';
+    }
+  }
+  return out.str();
+}
+
+TEST(ParallelTrialsTest, SeedDerivationMatchesSequentialEngine) {
+  // The sequential run_trials() loop has always derived per-trial seeds as
+  // base + i*0x9E3779B9 / base + i*0xC2B2AE35; the shard helpers must be
+  // those exact functions or --jobs 1 stops replaying old runs.
+  EXPECT_EQ(shard_testbed_seed(42, 0), 42u);
+  EXPECT_EQ(shard_testbed_seed(42, 3), 42u + 3 * 0x9E3779B9ULL);
+  EXPECT_EQ(shard_campaign_seed(42, 0), 42u);
+  EXPECT_EQ(shard_campaign_seed(42, 3), 42u + 3 * 0xC2B2AE35ULL);
+}
+
+TEST(ParallelTrialsTest, MergedSummaryMatchesSequentialRunTrials) {
+  const auto testbed_config = quick_testbed();
+  const auto config = quick_config();
+  const TrialSummary sequential = run_trials(testbed_config, config, 3);
+
+  ParallelConfig parallel;
+  parallel.jobs = 4;
+  const ParallelTrialReport report =
+      run_trials_parallel(testbed_config, config, 3, parallel);
+
+  EXPECT_EQ(report.summary.trials, sequential.trials);
+  EXPECT_EQ(report.summary.union_bug_ids, sequential.union_bug_ids);
+  EXPECT_EQ(report.summary.per_trial_unique, sequential.per_trial_unique);
+  EXPECT_EQ(report.summary.first_finding_at, sequential.first_finding_at);
+  EXPECT_EQ(report.summary.total_packets, sequential.total_packets);
+}
+
+TEST(ParallelTrialsTest, SameSeedSameFindingsAtAnyJobCount) {
+  const auto testbed_config = quick_testbed();
+  const auto config = quick_config();
+
+  std::map<std::size_t, std::string> prints;
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    ParallelConfig parallel;
+    parallel.jobs = jobs;
+    prints[jobs] = fingerprint(run_trials_parallel(testbed_config, config, 5, parallel));
+  }
+  EXPECT_FALSE(prints[1].empty());
+  EXPECT_EQ(prints[1], prints[4]);
+  EXPECT_EQ(prints[1], prints[8]);
+}
+
+TEST(ParallelTrialsTest, DifferentSeedsDiverge) {
+  const auto testbed_config = quick_testbed();
+  auto config = quick_config();
+  ParallelConfig parallel;
+  parallel.jobs = 2;
+
+  const auto a = fingerprint(run_trials_parallel(testbed_config, config, 2, parallel));
+  config.seed = 0xDEADBEEF;
+  auto reseeded_testbed = testbed_config;
+  reseeded_testbed.seed = 0xDEADBEEF;
+  const auto b = fingerprint(run_trials_parallel(reseeded_testbed, config, 2, parallel));
+  EXPECT_NE(a, b);
+}
+
+TEST(ParallelTrialsTest, ShardsComeBackInOrder) {
+  const ParallelTrialReport report =
+      run_trials_parallel(quick_testbed(), quick_config(), 6, ParallelConfig{.jobs = 3});
+  ASSERT_EQ(report.shards.size(), 6u);
+  for (std::size_t i = 0; i < report.shards.size(); ++i) {
+    EXPECT_EQ(report.shards[i].shard_id, i);
+  }
+}
+
+TEST(ParallelProfilesTest, EachDeviceMatchesStandaloneRunTrials) {
+  const auto config = quick_config();
+  const std::vector<sim::DeviceModel> devices = {sim::DeviceModel::kD4_AeotecZw090,
+                                                 sim::DeviceModel::kD6_SamsungWv520};
+  ParallelConfig parallel;
+  parallel.jobs = 4;
+  const ParallelTrialReport report =
+      run_profiles_parallel(devices, quick_testbed(), config, 2, parallel);
+  ASSERT_EQ(report.shards.size(), 4u);
+
+  // Device-major sharding: shards [0,1] are device 0, [2,3] device 1, and
+  // each device's block equals a standalone run_trials() on that device.
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    auto testbed_config = quick_testbed();
+    testbed_config.controller_model = devices[d];
+    const TrialSummary standalone = run_trials(testbed_config, config, 2);
+    std::uint64_t block_packets = 0;
+    for (std::size_t t = 0; t < 2; ++t) {
+      const ShardResult& shard = report.shards[d * 2 + t];
+      EXPECT_EQ(shard.device, devices[d]);
+      EXPECT_EQ(shard.campaign_seed, shard_campaign_seed(config.seed, t));
+      block_packets += shard.result.test_packets;
+    }
+    EXPECT_EQ(block_packets, standalone.total_packets);
+  }
+}
+
+TEST(ParallelTrialsTest, CheckpointSinkIsTaggedAndSerialized) {
+  auto config = quick_config(20 * kMinute);
+  ParallelConfig parallel;
+  parallel.jobs = 4;
+  parallel.checkpoint_interval = 2 * kMinute;
+
+  // The engine promises sink calls never overlap; a plain (unsynchronized)
+  // map write below would be flagged by TSan if that promise broke.
+  std::map<std::size_t, std::size_t> snapshots_per_shard;
+  parallel.checkpoint_sink = [&](std::size_t shard_id, const CampaignCheckpoint& cp) {
+    EXPECT_EQ(cp.seed, shard_campaign_seed(quick_config().seed, shard_id));
+    ++snapshots_per_shard[shard_id];
+  };
+
+  const ParallelTrialReport report =
+      run_trials_parallel(quick_testbed(), config, 4, parallel);
+  EXPECT_EQ(report.shards.size(), 4u);
+  EXPECT_EQ(snapshots_per_shard.size(), 4u);
+  for (const auto& [shard_id, count] : snapshots_per_shard) {
+    EXPECT_LT(shard_id, 4u);
+    EXPECT_GE(count, 1u);
+  }
+}
+
+TEST(ParallelTrialsTest, AbortHookStopsAllShards) {
+  // A long-duration run aborted immediately finishes with far fewer
+  // packets than it would otherwise send.
+  auto config = quick_config(2 * kHour);
+  std::atomic<bool> stop{true};
+  ParallelConfig parallel;
+  parallel.jobs = 2;
+  parallel.abort_hook = [&stop] { return stop.load(); };
+
+  const ParallelTrialReport report =
+      run_trials_parallel(quick_testbed(), config, 2, parallel);
+  for (const ShardResult& shard : report.shards) {
+    EXPECT_TRUE(shard.result.aborted);
+  }
+}
+
+TEST(ParallelTrialsTest, ZeroTrialsIsEmptyReport) {
+  const ParallelTrialReport report =
+      run_trials_parallel(quick_testbed(), quick_config(), 0, ParallelConfig{});
+  EXPECT_EQ(report.summary.trials, 0u);
+  EXPECT_TRUE(report.shards.empty());
+  EXPECT_EQ(report.summary.total_packets, 0u);
+}
+
+}  // namespace
+}  // namespace zc::core
