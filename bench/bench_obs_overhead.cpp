@@ -1,0 +1,116 @@
+// bench_obs_overhead: cost of the always-compiled telemetry layer.
+//
+//   bench_obs_overhead [output.json] [--trials N] [--minutes M] [--reps R]
+//
+// Runs one fixed campaign workload twice per repetition — telemetry off
+// (no recorder installed: every obs hook is a thread-local load + branch)
+// and telemetry on (per-shard recorder collecting metrics + trace) — and
+// reports the throughput of the best repetition of each arm. The gate
+// (bench/check_overhead.py, `ctest -L perf` with -DZC_ENABLE_PERF_TESTS=ON)
+// fails when enabled telemetry costs more than 3% throughput.
+//
+// Both arms use jobs=1: a single worker keeps the measurement free of
+// scheduler noise, and the hooks' per-shard cost is thread-count
+// independent by construction (thread-local recorder, no shared state).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/parallel.h"
+
+namespace {
+
+using namespace zc;
+
+double run_arm(const sim::TestbedConfig& testbed_config,
+               const core::CampaignConfig& config, std::size_t trials,
+               bool collect_telemetry, int reps, std::uint64_t* packets_out) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    core::ParallelConfig parallel;
+    parallel.jobs = 1;
+    parallel.collect_telemetry = collect_telemetry;
+    const core::ParallelTrialReport report =
+        core::run_trials_parallel(testbed_config, config, trials, parallel);
+    *packets_out = report.summary.total_packets;
+    if (report.wall_seconds <= 0.0) continue;
+    const double throughput = static_cast<double>(trials) / report.wall_seconds;
+    best = std::max(best, throughput);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_obs_overhead.json";
+  std::size_t trials = 4;
+  double minutes = 10.0;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      trials = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--minutes") == 0 && i + 1 < argc) {
+      minutes = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  testbed_config.seed = 0x2C07E12F;
+
+  core::CampaignConfig config;
+  config.mode = core::CampaignMode::kFull;
+  config.duration = static_cast<SimTime>(minutes * static_cast<double>(kMinute));
+  config.seed = 0x2C07E12F;
+  config.loop_queue = false;
+
+  // Warm-up run: touches every lazy singleton (spec DB, symbol tables) so
+  // neither measured arm pays first-use costs.
+  std::uint64_t packets = 0;
+  run_arm(testbed_config, config, 1, false, 1, &packets);
+
+  const double off = run_arm(testbed_config, config, trials, false, reps, &packets);
+  std::uint64_t packets_on = 0;
+  const double on = run_arm(testbed_config, config, trials, true, reps, &packets_on);
+
+  if (packets != packets_on) {
+    std::fprintf(stderr, "telemetry perturbed the workload: %llu vs %llu packets\n",
+                 static_cast<unsigned long long>(packets),
+                 static_cast<unsigned long long>(packets_on));
+    return 1;
+  }
+  if (off <= 0.0 || on <= 0.0) {
+    std::fprintf(stderr, "degenerate measurement (zero wall time)\n");
+    return 1;
+  }
+
+  const double overhead = (off - on) / off;
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"bench_obs_overhead\",\n"
+               "  \"trials\": %zu,\n"
+               "  \"virtual_minutes\": %.1f,\n"
+               "  \"reps\": %d,\n"
+               "  \"total_packets\": %llu,\n"
+               "  \"baseline_trials_per_sec\": %.4f,\n"
+               "  \"telemetry_trials_per_sec\": %.4f,\n"
+               "  \"overhead_fraction\": %.4f\n"
+               "}\n",
+               trials, minutes, reps, static_cast<unsigned long long>(packets), off, on,
+               overhead);
+  std::fclose(out);
+  std::printf("telemetry off: %.2f trials/s, on: %.2f trials/s, overhead %+.2f%% -> %s\n",
+              off, on, overhead * 100.0, out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Telemetry overhead gate: fail when enabled telemetry costs too much throughput.
+
+Usage:
+    check_overhead.py --input BENCH_obs_overhead.json [--threshold 0.03]
+
+Reads the JSON bench_obs_overhead emits (one fixed campaign run with
+telemetry off and on) and compares the two throughputs directly — no
+committed baseline needed, because both arms run in the same invocation on
+the same machine. Exit status 1 when the telemetry-on arm is more than
+``--threshold`` (default 3%) slower than the telemetry-off arm.
+
+Follows the check_regression.py conventions: [OK]/[REG] markers per
+metric, PASS/FAIL summary line, argparse interface.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_THRESHOLD = 0.03
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--input", required=True,
+                        help="JSON produced by bench_obs_overhead")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="max tolerated fractional throughput loss (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.input, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("benchmark") != "bench_obs_overhead":
+        raise ValueError(f"{args.input}: not a bench_obs_overhead JSON document")
+
+    off = float(data["baseline_trials_per_sec"])
+    on = float(data["telemetry_trials_per_sec"])
+    if off <= 0:
+        raise ValueError(f"{args.input}: degenerate baseline throughput {off}")
+    loss = (off - on) / off
+
+    marker = "OK " if loss <= args.threshold else "REG"
+    print(f"  [{marker}] telemetry overhead: {off:.2f} -> {on:.2f} trials/s "
+          f"({loss * 100.0:+.1f}% loss, budget {args.threshold * 100.0:.0f}%)")
+
+    if loss > args.threshold:
+        print(f"FAIL: enabled telemetry costs {loss * 100.0:.1f}% throughput "
+              f"(budget {args.threshold * 100.0:.0f}%)")
+        return 1
+    print(f"PASS: telemetry overhead within the {args.threshold * 100.0:.0f}% budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

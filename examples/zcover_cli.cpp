@@ -3,8 +3,10 @@
 //   zcover_cli fuzz   [--device D4] [--mode full|beta|gamma] [--hours 2]
 //                     [--seed N] [--log FILE]
 //                     [--checkpoint FILE] [--resume FILE]
+//                     [--trace FILE] [--metrics FILE]
 //   zcover_cli trials [--device D4|all] [--trials 5] [--jobs N]
 //                     [--mode full|beta|gamma] [--hours 24] [--seed N]
+//                     [--trace FILE] [--metrics FILE]
 //   zcover_cli scan   [--device D4]
 //   zcover_cli replay   --log FILE [--device D4]
 //   zcover_cli minimize --log FILE [--device D4]
@@ -17,9 +19,15 @@
 // `scan` stops after fingerprinting (Table IV view); `replay` re-validates
 // a saved log with the packet tester (the paper's PoC verification);
 // `minimize` shrinks each bug-inducing payload to its reproducing core.
+//
+// `--trace FILE` writes the structured JSONL event stream and `--metrics
+// FILE` the metrics JSON (docs/observability.md documents both schemas);
+// either flag also prints the end-of-run telemetry summary table. Both
+// files are deterministic: byte-identical for a given seed at any --jobs.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -28,6 +36,8 @@
 #include "core/packet_tester.h"
 #include "core/parallel.h"
 #include "core/report.h"
+#include "obs/profile.h"
+#include "obs/recorder.h"
 
 namespace {
 
@@ -63,7 +73,33 @@ struct Options {
   std::string report_path;
   std::string checkpoint_path;
   std::string resume_path;
+  std::string trace_path;
+  std::string metrics_path;
+
+  bool telemetry() const { return !trace_path.empty() || !metrics_path.empty(); }
 };
+
+/// Writes telemetry output atomically enough for our purposes and reports
+/// failures without aborting the run's primary results.
+bool write_text_file(const std::string& path, const std::string& content,
+                     const char* what) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  std::printf("%s written to %s\n", what, path.c_str());
+  return true;
+}
+
+/// Prints the wall-clock profile (ZC_PROFILING builds only) to stderr so
+/// it never contaminates parseable stdout or the telemetry files.
+void print_profile_if_enabled() {
+  if (!zc::obs::profiling_enabled()) return;
+  const std::string report = zc::obs::profile_report();
+  if (!report.empty()) std::fputs(report.c_str(), stderr);
+}
 
 Options parse_options(int argc, char** argv) {
   Options options;
@@ -106,6 +142,10 @@ Options parse_options(int argc, char** argv) {
       options.checkpoint_path = value();
     } else if (arg == "--resume") {
       options.resume_path = value();
+    } else if (arg == "--trace") {
+      options.trace_path = value();
+    } else if (arg == "--metrics") {
+      options.metrics_path = value();
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       std::exit(2);
@@ -187,7 +227,14 @@ int cmd_fuzz(const Options& options) {
   }
 
   core::Campaign campaign(testbed, config);
+  std::optional<obs::Recorder> recorder;
+  std::optional<obs::ScopedRecorder> ambient;
+  if (options.telemetry()) {
+    recorder.emplace(testbed.scheduler(), /*shard_id=*/0, config.seed);
+    ambient.emplace(*recorder);
+  }
   const auto result = campaign.run();
+  ambient.reset();
 
   std::printf("%s on %s: %llu packets over %s, %zu unique findings\n",
               core::campaign_mode_name(config.mode),
@@ -219,6 +266,20 @@ int cmd_fuzz(const Options& options) {
     out << core::render_markdown_report(result, options.device);
     std::printf("assessment report written to %s\n", options.report_path.c_str());
   }
+  if (recorder.has_value()) {
+    const obs::Telemetry telemetry = recorder->snapshot();
+    if (!options.trace_path.empty()) {
+      std::string jsonl;
+      telemetry.append_jsonl(jsonl);
+      if (!write_text_file(options.trace_path, jsonl, "event trace")) return 1;
+    }
+    if (!options.metrics_path.empty() &&
+        !write_text_file(options.metrics_path, telemetry.metrics.to_json(), "metrics")) {
+      return 1;
+    }
+    std::fputs(telemetry.metrics.summary_table().c_str(), stdout);
+  }
+  print_profile_if_enabled();
   return 0;
 }
 
@@ -235,6 +296,7 @@ int cmd_trials(const Options& options) {
 
   core::ParallelConfig parallel;
   parallel.jobs = options.jobs;
+  parallel.collect_telemetry = options.telemetry();
   if (!options.checkpoint_path.empty()) {
     parallel.checkpoint_interval = 5 * kMinute;
     parallel.checkpoint_sink = [&options](std::size_t shard_id,
@@ -279,6 +341,19 @@ int cmd_trials(const Options& options) {
               static_cast<unsigned long long>(report.summary.total_packets),
               static_cast<unsigned long long>(report.inconclusive_tests),
               report.recovery_episodes);
+  if (options.telemetry()) {
+    if (!options.trace_path.empty() &&
+        !write_text_file(options.trace_path, report.merged_trace_jsonl(), "event trace")) {
+      return 1;
+    }
+    const obs::MetricsRegistry merged = report.merged_metrics();
+    if (!options.metrics_path.empty() &&
+        !write_text_file(options.metrics_path, merged.to_json(), "metrics")) {
+      return 1;
+    }
+    std::fputs(merged.summary_table().c_str(), stdout);
+  }
+  print_profile_if_enabled();
   return 0;
 }
 

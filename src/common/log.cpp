@@ -1,6 +1,7 @@
 #include "common/log.h"
 
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 namespace zc {
@@ -22,7 +23,16 @@ Logger& Logger::global() {
   return instance;
 }
 
-void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+void Logger::set_sink(Sink sink) {
+  // Swap under the emission mutex: any in-flight vlogf has either finished
+  // with the old sink or has not yet taken the lock and will see the new
+  // one. The old sink is destroyed outside the lock.
+  Sink old;
+  {
+    const std::lock_guard<std::mutex> lock(sink_mutex_);
+    old = std::exchange(sink_, std::move(sink));
+  }
+}
 
 void Logger::logf(LogLevel level, const char* fmt, ...) {
   va_list args;
@@ -40,6 +50,9 @@ void Logger::vlogf(LogLevel level, const char* fmt, va_list args) {
   if (needed < 0) return;
   std::string text(static_cast<std::size_t>(needed), '\0');
   std::vsnprintf(text.data(), text.size() + 1, fmt, args);
+  // Formatting above ran lock-free; only the sink read + invocation is
+  // serialized so shard threads cannot race a concurrent set_sink swap.
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
   if (sink_) {
     sink_(level, text);
   } else {

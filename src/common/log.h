@@ -3,10 +3,24 @@
 // ZCover writes a campaign log file (Algorithm 1's Bug_Logs) plus normal
 // diagnostics; this logger keeps both paths allocation-light and lets tests
 // capture output through a custom sink.
+//
+// Thread-safety contract (required since the sharded pool of
+// core/parallel runs campaigns — and therefore ZC_LOG sites — on worker
+// threads): `set_level` / `level` / `enabled` are atomic and callable from
+// any thread at any time. `set_sink` swaps the sink under the same
+// internal mutex that guards every emission — the discipline
+// core/parallel applies to checkpoint sinks — so a swap never races an
+// in-flight logf and two concurrent logf calls never interleave inside a
+// sink. Consequently the installed sink is always invoked serialized
+// (never concurrently with itself) and must not call back into set_sink
+// on the same thread (self-deadlock). Message formatting happens outside
+// the lock; only the sink invocation is serialized.
 #pragma once
 
+#include <atomic>
 #include <cstdarg>
 #include <functional>
+#include <mutex>
 #include <string>
 
 namespace zc {
@@ -22,19 +36,28 @@ class Logger {
   /// Process-wide logger used by default throughout the library.
   static Logger& global();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   /// Replaces the output sink (default: stderr). Pass nullptr to restore.
+  /// Safe to call while other threads are logging: the swap happens under
+  /// the emission mutex, so the old sink has fully returned from any
+  /// in-flight call before it is destroyed.
   void set_sink(Sink sink);
 
-  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+  bool enabled(LogLevel level) const {
+    const LogLevel current = this->level();
+    return level >= current && current != LogLevel::kOff;
+  }
 
   void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 3, 4)));
   void vlogf(LogLevel level, const char* fmt, va_list args);
 
  private:
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  /// Guards sink_ — both the swap and every invocation, so concurrent
+  /// shard logs serialize and a swap cannot free a sink mid-call.
+  std::mutex sink_mutex_;
   Sink sink_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "obs/recorder.h"
 
 namespace zc::core {
 
@@ -141,15 +142,24 @@ bool Campaign::should_stop(CampaignResult& result) {
     aborted_ = true;
     result.aborted = true;
     // Final snapshot: the kill must not lose the session's progress.
-    if (config_.checkpoint_sink) config_.checkpoint_sink(make_checkpoint(result));
+    if (config_.checkpoint_sink) emit_checkpoint(result);
     return true;
   }
   if (config_.checkpoint_sink && config_.checkpoint_interval > 0 &&
       testbed_.scheduler().now() - last_checkpoint_ >= config_.checkpoint_interval) {
     last_checkpoint_ = testbed_.scheduler().now();
-    config_.checkpoint_sink(make_checkpoint(result));
+    emit_checkpoint(result);
   }
   return aborted_;
+}
+
+void Campaign::emit_checkpoint(CampaignResult& result) {
+  const CampaignCheckpoint cp = make_checkpoint(result);
+  obs::count(obs::MetricId::kCampaignCheckpoints);
+  obs::emit(obs::TraceEventType::kCheckpoint, static_cast<std::int64_t>(cp.elapsed),
+            static_cast<std::int64_t>(cp.test_packets),
+            static_cast<std::int64_t>(cp.findings.size()));
+  config_.checkpoint_sink(cp);
 }
 
 FingerprintReport Campaign::fingerprint() {
@@ -211,6 +221,9 @@ CampaignResult Campaign::run() {
   // the SUT's firmware genuinely dispatched during the campaign, read from
   // the device instrumentation after the run.
   result.accepted_pairs = testbed_.controller().stats().accepted_pairs;
+  // End-of-run levels for the summary table.
+  obs::gauge_set(obs::MetricId::kCampaignQueueLength, result.fingerprint.fuzz_queue.size());
+  obs::gauge_set(obs::MetricId::kCampaignBlacklistSize, blacklist_.size());
   return result;
 }
 
@@ -243,6 +256,10 @@ void Campaign::fuzz_class(CampaignResult& result, zwave::CommandClassId cc,
     if (now >= hard_deadline) break;  // the global budget binds even mid-systematic
     if (!mutator.in_systematic_phase() && now >= class_deadline) break;
     const zwave::AppPayload payload = mutator.next();
+    obs::count(obs::MetricId::kCampaignMutations);
+    obs::emit(obs::TraceEventType::kMutation, payload.cmd_class, payload.command,
+              payload.params.empty() ? kNoParam : payload.params[0],
+              static_cast<std::int64_t>(payload.params.size()));
 
     const Signature sig = signature_of(payload);
     const Signature wildcard{sig.cc, sig.cmd, kAnyParam};
@@ -267,6 +284,11 @@ void Campaign::fuzz_random(CampaignResult& result) {
     std::vector<zwave::AppPayload> batch;
     for (std::size_t i = 0; i < config_.random_batch; ++i) {
       batch.push_back(mutator.next());
+      const zwave::AppPayload& generated = batch.back();
+      obs::count(obs::MetricId::kCampaignMutations);
+      obs::emit(obs::TraceEventType::kMutation, generated.cmd_class, generated.command,
+                generated.params.empty() ? kNoParam : generated.params[0],
+                static_cast<std::int64_t>(generated.params.size()));
       result.classes_fuzzed.insert(batch.back().cmd_class);
       dongle_.send_app(home_, kAttackerNodeId, target_, batch.back());
       note_packet(result);
@@ -310,16 +332,22 @@ bool Campaign::inject_acked(CampaignResult& result, const zwave::AppPayload& pay
       home_, kAttackerNodeId, target_, payload, dongle_.next_sequence(),
       /*ack_requested=*/true);
 
-  const SimTime injection_deadline = testbed_.scheduler().now() + config_.retry.deadline;
+  const SimTime injection_started = testbed_.scheduler().now();
+  const SimTime injection_deadline = injection_started + config_.retry.deadline;
   const std::size_t max_attempts = std::max<std::size_t>(1, config_.retry.max_attempts);
   for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0) {
       if (testbed_.scheduler().now() >= injection_deadline) break;
       dongle_.run_for(config_.retry.backoff_before(attempt, resilience_rng_));
       ++result.retried_injections;
+      obs::count(obs::MetricId::kCampaignRetriedInjections);
     }
     dongle_.inject(frame);
-    if (dongle_.await_ack(home_, target_, kAttackerNodeId, kAckWait)) return true;
+    if (dongle_.await_ack(home_, target_, kAttackerNodeId, kAckWait)) {
+      obs::observe(obs::MetricId::kCampaignInjectionAckUs,
+                   testbed_.scheduler().now() - injection_started);
+      return true;
+    }
   }
   return false;
 }
@@ -327,6 +355,7 @@ bool Campaign::inject_acked(CampaignResult& result, const zwave::AppPayload& pay
 TestOutcome Campaign::execute_test(CampaignResult& result,
                                    const zwave::AppPayload& payload) {
   const std::size_t findings_before = result.findings.size();
+  obs::count(obs::MetricId::kCampaignTests);
 
   const SimTime window_start = testbed_.scheduler().now();
   note_packet(result);
@@ -339,6 +368,7 @@ TestOutcome Campaign::execute_test(CampaignResult& result,
     // inconclusive, not a finding.
     if (probe_liveness()) {
       ++result.inconclusive_tests;
+      obs::count(obs::MetricId::kCampaignInconclusive);
       dongle_.run_for(kInterTestGap);
       return TestOutcome::kInconclusive;
     }
@@ -415,19 +445,31 @@ void Campaign::run_oracles(CampaignResult& result, const zwave::AppPayload& susp
 }
 
 bool Campaign::probe_liveness() {
-  for (std::size_t attempt = 0; attempt < std::max<std::size_t>(1, config_.liveness_attempts);
-       ++attempt) {
+  const SimTime started = testbed_.scheduler().now();
+  const std::size_t max_attempts = std::max<std::size_t>(1, config_.liveness_attempts);
+  bool alive = false;
+  std::size_t attempts = 0;
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
     // Jittered spacing between attempts so repeated probes do not all land
     // inside the same periodic interference window.
     if (attempt > 0) {
       dongle_.run_for(config_.retry.backoff_before(attempt, resilience_rng_));
     }
+    obs::emit(obs::TraceEventType::kProbeTx,
+              static_cast<std::int64_t>(obs::ProbeKind::kNop), 0, target_);
     dongle_.send_app(home_, kAttackerNodeId, target_, zwave::make_nop());
+    ++attempts;
     if (dongle_.await_ack(home_, target_, kAttackerNodeId, config_.liveness_timeout)) {
-      return true;
+      alive = true;
+      break;
     }
   }
-  return false;
+  obs::count(obs::MetricId::kCampaignLivenessChecks);
+  if (!alive) obs::count(obs::MetricId::kCampaignLivenessFailures);
+  obs::observe(obs::MetricId::kCampaignLivenessProbeUs, testbed_.scheduler().now() - started);
+  obs::emit(obs::TraceEventType::kLivenessCheck, alive ? 1 : 0,
+            static_cast<std::int64_t>(attempts));
+  return alive;
 }
 
 RecoveryStats Campaign::await_recovery(CampaignResult& result) {
@@ -472,6 +514,12 @@ RecoveryStats Campaign::await_recovery(CampaignResult& result) {
   }
 
   stats.recovered_at = testbed_.scheduler().now();
+  obs::count(obs::MetricId::kCampaignRecoveries);
+  obs::observe(obs::MetricId::kCampaignRecoveryDowntimeUs, stats.downtime());
+  obs::emit(obs::TraceEventType::kRecovery, static_cast<std::int64_t>(stats.stage),
+            static_cast<std::int64_t>(stats.downtime()),
+            static_cast<std::int64_t>(stats.nop_probes),
+            static_cast<std::int64_t>(stats.soft_resets));
   ZC_INFO("watchdog: outage at %s cleared via %s after %s",
           format_sim_time(stats.outage_started).c_str(),
           recovery_stage_name(stats.stage),
@@ -578,6 +626,9 @@ void Campaign::record_finding(CampaignResult& result, const zwave::AppPayload& p
   finding.detected_at = testbed_.scheduler().now();
   finding.packets_sent = result.test_packets;
   finding.matched_bug_id = matched;
+  obs::count(obs::MetricId::kCampaignFindings);
+  obs::emit(obs::TraceEventType::kBug, finding.cmd_class, finding.command,
+            static_cast<std::int64_t>(kind), finding.matched_bug_id);
   ZC_INFO("finding: cc=%02X cmd=%02X kind=%s bug#%d at %s", finding.cmd_class,
           finding.command, detection_kind_name(kind), finding.matched_bug_id,
           format_sim_time(finding.detected_at).c_str());

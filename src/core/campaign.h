@@ -233,6 +233,8 @@ class Campaign {
   int correlate_ground_truth(const zwave::AppPayload& payload, DetectionKind kind) const;
 
   CampaignCheckpoint make_checkpoint(const CampaignResult& result) const;
+  /// Snapshots progress into the configured sink, with telemetry.
+  void emit_checkpoint(CampaignResult& result);
   /// Abort polling + periodic checkpoint emission; true when the campaign
   /// should stop now.
   bool should_stop(CampaignResult& result);

@@ -1,5 +1,7 @@
 #include "core/dongle.h"
 
+#include "obs/recorder.h"
+
 namespace zc::core {
 
 namespace {
@@ -29,6 +31,15 @@ void ZWaveDongle::on_bits(const radio::BitStream& bits, double rssi_dbm) {
     auto frame = zwave::decode_frame(raw.value());
     if (frame.ok()) {
       captured.frame = frame.value();
+      if (obs::Recorder* recorder = obs::current()) {
+        // The command class is the first application byte; peeking it keeps
+        // this per-frame hook free of the full payload decode.
+        recorder->metrics().add(obs::MetricId::kDongleFramesRx);
+        const zwave::MacFrame& rx = *captured.frame;
+        recorder->emit(obs::TraceEventType::kFrameRx, rx.src,
+                       static_cast<std::int64_t>(rx.header),
+                       rx.payload.empty() ? -1 : rx.payload[0]);
+      }
       inbox_.emplace_back(scheduler_.now(), std::move(frame).take());
     }
   }
@@ -39,11 +50,13 @@ void ZWaveDongle::inject(const zwave::MacFrame& frame) {
   auto encoded = frame.encode();
   if (!encoded.ok()) return;
   ++injected_;
+  obs::count(obs::MetricId::kDongleFramesTx);
   radio_.transmit(encoded.value());
 }
 
 void ZWaveDongle::inject_raw(ByteView frame_bytes) {
   ++injected_;
+  obs::count(obs::MetricId::kDongleFramesTx);
   radio_.transmit(frame_bytes);
 }
 

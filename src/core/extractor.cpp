@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/recorder.h"
+
 namespace zc::core {
 
 std::vector<zwave::CommandClassId> DiscoveryResult::unknown() const {
@@ -36,6 +38,10 @@ std::set<zwave::CommandClassId> UnknownPropertyExtractor::validation_sweep(
     probe.cmd_class = static_cast<zwave::CommandClassId>(cc);
     probe.command = 0x00;
     probe.params = {0x00};
+    obs::count(obs::MetricId::kScannerProbesTx);
+    obs::emit(obs::TraceEventType::kProbeTx,
+              static_cast<std::int64_t>(obs::ProbeKind::kValidation),
+              static_cast<std::int64_t>(cc), target_);
     dongle_.send_app(home_, self_, target_, probe);
 
     const auto reaction = dongle_.await_frame(
@@ -47,6 +53,8 @@ std::set<zwave::CommandClassId> UnknownPropertyExtractor::validation_sweep(
         per_probe_timeout);
     if (reaction.has_value()) {
       validated.insert(static_cast<zwave::CommandClassId>(cc));
+      obs::count(obs::MetricId::kScannerCmdclValidated);
+      obs::emit(obs::TraceEventType::kCmdclValidated, static_cast<std::int64_t>(cc));
     }
     if (cc == 0xFF) break;  // avoid unsigned wrap
   }

@@ -44,6 +44,22 @@ ParallelTrialReport merge_report(std::vector<ShardResult> shards, std::size_t jo
 
 }  // namespace
 
+obs::MetricsRegistry ParallelTrialReport::merged_metrics() const {
+  obs::MetricsRegistry merged;
+  for (const ShardResult& shard : shards) {  // ascending shard order
+    if (shard.telemetry.collected) merged.merge(shard.telemetry.metrics);
+  }
+  return merged;
+}
+
+std::string ParallelTrialReport::merged_trace_jsonl() const {
+  std::string out;
+  for (const ShardResult& shard : shards) {  // ascending shard order
+    if (shard.telemetry.collected) shard.telemetry.append_jsonl(out);
+  }
+  return out;
+}
+
 std::size_t default_jobs() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
@@ -99,7 +115,18 @@ std::vector<ShardResult> run_shards(const std::vector<ShardSpec>& shards,
       out.shard_id = spec.shard_id;
       out.device = spec.testbed.controller_model;
       out.campaign_seed = config.seed;
-      out.result = campaign.run();
+      if (parallel.collect_telemetry) {
+        // The recorder is installed thread-locally for exactly this
+        // shard's campaign, so instrumentation sites down the stack reach
+        // it without plumbing and concurrent shards never share state.
+        obs::Recorder recorder(testbed.scheduler(), spec.shard_id, config.seed,
+                               parallel.trace_capacity);
+        const obs::ScopedRecorder ambient(recorder);
+        out.result = campaign.run();
+        out.telemetry = recorder.snapshot();
+      } else {
+        out.result = campaign.run();
+      }
       out.medium_transmissions = testbed.medium().transmissions();
     }
   };

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/campaign.h"
+#include "obs/recorder.h"
 #include "sim/profile.h"
 #include "sim/testbed.h"
 
@@ -42,6 +43,13 @@ struct ParallelConfig {
   /// std::atomic<bool> read is the intended shape). Returning true stops
   /// all shards at their next test boundary.
   std::function<bool()> abort_hook;
+  /// When true every shard runs under its own obs::Recorder (installed
+  /// thread-locally for exactly that shard's campaign) and detaches its
+  /// metrics + trace into ShardResult::telemetry. Off by default: the
+  /// instrumentation hooks then collapse to a thread-local load + branch.
+  bool collect_telemetry = false;
+  /// Per-shard trace ring capacity when collecting telemetry.
+  std::size_t trace_capacity = obs::TraceRing::kDefaultCapacity;
 };
 
 /// One shard's definition: everything a worker needs to run it, all by
@@ -61,6 +69,9 @@ struct ShardResult {
   /// Total transmissions that crossed the shard's medium (frame throughput
   /// accounting for BENCH_parallel.json).
   std::uint64_t medium_transmissions = 0;
+  /// Per-shard metrics + trace, populated only when
+  /// ParallelConfig::collect_telemetry is set (`telemetry.collected`).
+  obs::Telemetry telemetry;
 };
 
 /// Merged outcome of a sharded run. `summary` is byte-for-byte what the
@@ -74,6 +85,13 @@ struct ParallelTrialReport {
   std::size_t recovery_episodes = 0;
   std::size_t jobs = 1;           // worker threads actually used
   double wall_seconds = 0.0;      // host wall clock for the whole pool
+
+  /// Every collecting shard's metrics folded in ascending shard order —
+  /// byte-identical JSON at any thread count.
+  obs::MetricsRegistry merged_metrics() const;
+  /// Every collecting shard's trace serialized as JSONL, shards
+  /// concatenated in ascending shard order.
+  std::string merged_trace_jsonl() const;
 };
 
 /// hardware_concurrency with a floor of 1 (the value `jobs = 0` resolves to).

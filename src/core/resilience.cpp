@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/recorder.h"
+
 namespace zc::core {
 
 SimTime RetryPolicy::backoff_before(std::size_t attempt, Rng& rng) const {
@@ -12,7 +14,10 @@ SimTime RetryPolicy::backoff_before(std::size_t attempt, Rng& rng) const {
   backoff = std::min(backoff, static_cast<double>(max_backoff));
   const double clamped_jitter = std::clamp(jitter, 0.0, 1.0);
   const double factor = 1.0 + clamped_jitter * (2.0 * rng.uniform01() - 1.0);
-  return static_cast<SimTime>(backoff * factor);
+  const SimTime wait = static_cast<SimTime>(backoff * factor);
+  obs::count(obs::MetricId::kResilienceBackoffs);
+  obs::observe(obs::MetricId::kResilienceBackoffUs, wait);
+  return wait;
 }
 
 const char* recovery_stage_name(RecoveryStage stage) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/recorder.h"
 #include "zwave/security.h"
 
 namespace zc::core {
@@ -34,6 +35,7 @@ PassiveScanResult PassiveScanner::scan(SimTime duration, std::size_t min_packets
       if (!captured.frame.has_value()) continue;  // noise / checksum failure
       const auto& frame = *captured.frame;
       ++result.packets_analyzed;
+      obs::count(obs::MetricId::kScannerFramesSniffed);
       result.home_id = frame.home_id;
       result.node_ids.insert(frame.src);
 
@@ -97,6 +99,9 @@ ActiveScanResult ActiveScanner::scan(SimTime response_timeout) {
   // sequence number.
   for (std::size_t attempt = 0; attempt < attempts && !result.reachable; ++attempt) {
     if (attempt > 0) dongle_.run_for(retry_.backoff_before(attempt, retry_rng_));
+    obs::count(obs::MetricId::kScannerProbesTx);
+    obs::emit(obs::TraceEventType::kProbeTx,
+              static_cast<std::int64_t>(obs::ProbeKind::kState), 0, target_);
     dongle_.send_app(home_, self_, target_, zwave::make_nop(), /*ack_requested=*/true);
     result.reachable = dongle_.await_ack(home_, target_, self_, response_timeout);
   }
@@ -107,6 +112,9 @@ ActiveScanResult ActiveScanner::scan(SimTime response_timeout) {
   // silently shrink the fuzz queue to nothing.
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) dongle_.run_for(retry_.backoff_before(attempt, retry_rng_));
+    obs::count(obs::MetricId::kScannerProbesTx);
+    obs::emit(obs::TraceEventType::kProbeTx,
+              static_cast<std::int64_t>(obs::ProbeKind::kNif), 0, target_);
     dongle_.send_app(home_, self_, target_, zwave::make_nif_request(target_));
     const auto response = dongle_.await_frame(
         [&](const zwave::MacFrame& frame) {

@@ -1,5 +1,6 @@
 #include "core/vfuzz.h"
 
+#include "obs/recorder.h"
 #include "zwave/checksum.h"
 
 namespace zc::core {
@@ -78,6 +79,7 @@ VFuzzResult VFuzz::run() {
 
   while (testbed_.scheduler().now() < deadline) {
     dongle_.inject_raw(generate_frame());
+    obs::count(obs::MetricId::kVfuzzPacketsTx);
     ++result.packets_sent;
     dongle_.run_for(config_.inter_packet_gap);
   }

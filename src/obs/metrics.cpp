@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace zc::obs {
+
+namespace {
+
+constexpr MetricInfo kInfo[kMetricCount] = {
+    {"campaign.tests", MetricKind::kCounter, "tests"},
+    {"campaign.findings", MetricKind::kCounter, "findings"},
+    {"campaign.inconclusive", MetricKind::kCounter, "tests"},
+    {"campaign.retried_injections", MetricKind::kCounter, "frames"},
+    {"campaign.liveness_checks", MetricKind::kCounter, "probes"},
+    {"campaign.liveness_failures", MetricKind::kCounter, "probes"},
+    {"campaign.recoveries", MetricKind::kCounter, "episodes"},
+    {"campaign.checkpoints", MetricKind::kCounter, "snapshots"},
+    {"campaign.mutations", MetricKind::kCounter, "payloads"},
+    {"scanner.probes_tx", MetricKind::kCounter, "frames"},
+    {"scanner.frames_sniffed", MetricKind::kCounter, "frames"},
+    {"scanner.cmdcl_validated", MetricKind::kCounter, "classes"},
+    {"resilience.backoffs", MetricKind::kCounter, "pauses"},
+    {"vfuzz.packets_tx", MetricKind::kCounter, "frames"},
+    {"dongle.frames_tx", MetricKind::kCounter, "frames"},
+    {"dongle.frames_rx", MetricKind::kCounter, "frames"},
+    {"radio.transmissions", MetricKind::kCounter, "frames"},
+    {"radio.deliveries", MetricKind::kCounter, "frames"},
+    {"radio.drops_rf", MetricKind::kCounter, "frames"},
+    {"radio.drops_fault", MetricKind::kCounter, "frames"},
+    {"sim.network_restores", MetricKind::kCounter, "restores"},
+    {"trace.events_dropped", MetricKind::kCounter, "events"},
+    {"campaign.queue_length", MetricKind::kGauge, "classes"},
+    {"campaign.blacklist_size", MetricKind::kGauge, "signatures"},
+    {"campaign.injection_ack_us", MetricKind::kHistogram, "us"},
+    {"campaign.liveness_probe_us", MetricKind::kHistogram, "us"},
+    {"campaign.recovery_downtime_us", MetricKind::kHistogram, "us"},
+    {"resilience.backoff_us", MetricKind::kHistogram, "us"},
+};
+
+std::size_t bucket_for(std::uint64_t value_us) {
+  for (std::size_t i = 0; i < kHistogramBoundsUs.size(); ++i) {
+    if (value_us <= kHistogramBoundsUs[i]) return i;
+  }
+  return kHistogramBuckets - 1;  // +inf bucket
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+}  // namespace
+
+const MetricInfo& metric_info(MetricId id) { return kInfo[static_cast<std::size_t>(id)]; }
+
+void MetricsRegistry::observe(MetricId id, std::uint64_t value_us) {
+  HistogramData& h = histograms_[static_cast<std::size_t>(id)];
+  ++h.count;
+  h.sum += value_us;
+  ++h.buckets[bucket_for(value_us)];
+}
+
+const HistogramData& MetricsRegistry::histogram(MetricId id) const {
+  return histograms_[static_cast<std::size_t>(id)];
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    values_[i] += other.values_[i];
+    histograms_[i].count += other.histograms_[i].count;
+    histograms_[i].sum += other.histograms_[i].sum;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      histograms_[i].buckets[b] += other.histograms_[i].buckets[b];
+    }
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  // Emission order is the MetricId declaration order: fixed at compile
+  // time, so two registries with equal contents serialize to equal bytes.
+  std::string out;
+  out.reserve(2048);
+  out += "{\n  \"zcover_metrics\": 1,\n  \"counters\": {\n";
+  bool first = true;
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    if (kInfo[i].kind != MetricKind::kCounter) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += "    \"";
+    out += kInfo[i].name;
+    out += "\": ";
+    append_u64(out, values_[i]);
+  }
+  out += "\n  },\n  \"gauges\": {\n";
+  first = true;
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    if (kInfo[i].kind != MetricKind::kGauge) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += "    \"";
+    out += kInfo[i].name;
+    out += "\": ";
+    append_u64(out, values_[i]);
+  }
+  out += "\n  },\n  \"histograms\": {\n";
+  first = true;
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    if (kInfo[i].kind != MetricKind::kHistogram) continue;
+    if (!first) out += ",\n";
+    first = false;
+    const HistogramData& h = histograms_[i];
+    out += "    \"";
+    out += kInfo[i].name;
+    out += "\": {\"count\": ";
+    append_u64(out, h.count);
+    out += ", \"sum\": ";
+    append_u64(out, h.sum);
+    out += ", \"buckets\": [";
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (b > 0) out += ", ";
+      append_u64(out, h.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::summary_table() const {
+  std::string out = "telemetry summary\n";
+  char line[160];
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    const MetricInfo& info = kInfo[i];
+    if (info.kind == MetricKind::kHistogram) {
+      const HistogramData& h = histograms_[i];
+      if (h.count == 0) continue;
+      std::snprintf(line, sizeof(line), "  %-32s count=%llu mean=%.1f %s\n", info.name,
+                    static_cast<unsigned long long>(h.count),
+                    static_cast<double>(h.sum) / static_cast<double>(h.count), info.unit);
+    } else {
+      if (values_[i] == 0) continue;
+      std::snprintf(line, sizeof(line), "  %-32s %llu %s\n", info.name,
+                    static_cast<unsigned long long>(values_[i]), info.unit);
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace zc::obs

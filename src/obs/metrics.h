@@ -1,0 +1,140 @@
+// MetricsRegistry: the campaign's quantitative telemetry surface.
+//
+// Every metric the pipeline emits is predeclared in one enum, so updates
+// are O(1) array stores with no hashing, no allocation and no locks — a
+// registry instance is owned by exactly one shard (the same ownership
+// discipline `core/parallel` applies to testbeds and campaigns), and
+// cross-shard aggregation happens after the pool joins, by merging the
+// per-shard instances in shard order. That makes the merged registry a
+// pure function of (base seed, shard count): byte-identical JSON at any
+// `--jobs` value.
+//
+// Three metric kinds:
+//  * counters    — monotonically increasing event tallies; merge by sum;
+//  * gauges      — end-of-run levels (queue length, blacklist size);
+//    merge by sum, which aggregates per-shard levels into fleet totals;
+//  * histograms  — fixed-bucket latency distributions over virtual time
+//    (unit: microseconds). Bucket bounds are compile-time constants shared
+//    by every instance, so merging is element-wise addition.
+//
+// Values are virtual-time or event-count quantities only. Wall-clock data
+// (see obs/profile.h) is deliberately kept out of this registry so its
+// serialized form stays deterministic.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace zc::obs {
+
+/// Every metric the instrumented pipeline can touch. Names, kinds and
+/// units live in the parallel `metric_info()` table; docs/observability.md
+/// documents each entry.
+enum class MetricId : std::uint8_t {
+  // campaign engine (core/campaign.cpp)
+  kCampaignTests = 0,
+  kCampaignFindings,
+  kCampaignInconclusive,
+  kCampaignRetriedInjections,
+  kCampaignLivenessChecks,
+  kCampaignLivenessFailures,
+  kCampaignRecoveries,
+  kCampaignCheckpoints,
+  kCampaignMutations,
+  // fingerprinting (core/scanner.cpp, core/extractor.cpp)
+  kScannerProbesTx,
+  kScannerFramesSniffed,
+  kScannerCmdclValidated,
+  // resilience primitives (core/resilience.cpp)
+  kResilienceBackoffs,
+  // baseline fuzzer (core/vfuzz.cpp)
+  kVfuzzPacketsTx,
+  // attacker front-end (core/dongle.cpp)
+  kDongleFramesTx,
+  kDongleFramesRx,
+  // RF medium (radio/medium.cpp)
+  kRadioTransmissions,
+  kRadioDeliveries,
+  kRadioDropsRf,
+  kRadioDropsFault,
+  // testbed (sim/testbed.cpp)
+  kSimNetworkRestores,
+  // trace sink health (obs/recorder.cpp)
+  kTraceEventsDropped,
+  // gauges
+  kCampaignQueueLength,
+  kCampaignBlacklistSize,
+  // histograms (virtual-time microseconds)
+  kCampaignInjectionAckUs,
+  kCampaignLivenessProbeUs,
+  kCampaignRecoveryDowntimeUs,
+  kResilienceBackoffUs,
+
+  kMetricCount,
+};
+
+constexpr std::size_t kMetricCount = static_cast<std::size_t>(MetricId::kMetricCount);
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+struct MetricInfo {
+  const char* name;  // dotted, stable: "campaign.tests"
+  MetricKind kind;
+  const char* unit;  // "events", "frames", "us", ...
+};
+
+/// Static name/kind/unit for one metric id.
+const MetricInfo& metric_info(MetricId id);
+
+/// Histogram bucket upper bounds in microseconds of virtual time; the last
+/// bucket is unbounded (+inf). Chosen to resolve the quantities the paper
+/// cares about: ack turnarounds (sub-ms .. 100 ms), liveness probes
+/// (100 ms .. 1 s) and outages (tens of seconds .. minutes).
+inline constexpr std::array<std::uint64_t, 7> kHistogramBoundsUs = {
+    100, 1'000, 10'000, 100'000, 1'000'000, 10'000'000, 100'000'000};
+inline constexpr std::size_t kHistogramBuckets = kHistogramBoundsUs.size() + 1;
+
+struct HistogramData {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;  // microseconds
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+};
+
+/// One shard's metrics. Single-writer by construction; see file comment.
+class MetricsRegistry {
+ public:
+  void add(MetricId id, std::uint64_t delta = 1) {
+    values_[static_cast<std::size_t>(id)] += delta;
+  }
+  void set(MetricId id, std::uint64_t value) { values_[static_cast<std::size_t>(id)] = value; }
+  std::uint64_t value(MetricId id) const { return values_[static_cast<std::size_t>(id)]; }
+
+  /// Records one histogram sample (virtual-time microseconds).
+  void observe(MetricId id, std::uint64_t value_us);
+  const HistogramData& histogram(MetricId id) const;
+
+  /// Folds `other` into this registry: counters and gauges add, histogram
+  /// cells add. Callers merge shards in ascending shard order purely for
+  /// discipline — addition is commutative, but keeping one canonical order
+  /// mirrors core/parallel's result merge and keeps audits simple.
+  void merge(const MetricsRegistry& other);
+
+  /// Deterministic JSON document (fixed key order, one key per line —
+  /// friendly to `jq` and to byte-equality tests). `pretty` adds two-space
+  /// indentation.
+  std::string to_json() const;
+
+  /// Human-readable end-of-run table: every non-zero metric with its unit,
+  /// histograms summarized as count/mean/max-bucket.
+  std::string summary_table() const;
+
+ private:
+  std::array<std::uint64_t, kMetricCount> values_{};
+  /// Histogram payloads are stored sparsely by id; only ids whose kind is
+  /// kHistogram are ever touched.
+  std::array<HistogramData, kMetricCount> histograms_{};
+};
+
+}  // namespace zc::obs

@@ -1,0 +1,77 @@
+#include "obs/profile.h"
+
+#if defined(ZC_PROFILING)
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace zc::obs {
+
+namespace {
+
+// Registration is rare (once per annotated scope per process) and guarded;
+// measurement never touches this mutex.
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<ProfileSite*>& registry() {
+  static std::vector<ProfileSite*> sites;
+  return sites;
+}
+
+}  // namespace
+
+ProfileSite::ProfileSite(const char* name) : name_(name) {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().push_back(this);
+}
+
+bool profiling_enabled() { return true; }
+
+std::string profile_report() {
+  std::vector<ProfileSite*> sites;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    sites = registry();
+  }
+  std::erase_if(sites, [](const ProfileSite* s) { return s->calls() == 0; });
+  if (sites.empty()) return {};
+  std::sort(sites.begin(), sites.end(),
+            [](const ProfileSite* a, const ProfileSite* b) { return a->nanos() > b->nanos(); });
+
+  std::string out = "profile (wall clock, ZC_PROFILING build)\n";
+  char line[160];
+  for (const ProfileSite* site : sites) {
+    const std::uint64_t calls = site->calls();
+    const std::uint64_t nanos = site->nanos();
+    std::snprintf(line, sizeof(line), "  %-28s %12llu calls  %10.2f ms  %8.1f ns/call\n",
+                  site->name(), static_cast<unsigned long long>(calls),
+                  static_cast<double>(nanos) / 1e6,
+                  calls > 0 ? static_cast<double>(nanos) / static_cast<double>(calls) : 0.0);
+    out += line;
+  }
+  return out;
+}
+
+void profile_reset() {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  for (ProfileSite* site : registry()) site->reset();
+}
+
+}  // namespace zc::obs
+
+#else  // !ZC_PROFILING
+
+namespace zc::obs {
+
+bool profiling_enabled() { return false; }
+std::string profile_report() { return {}; }
+void profile_reset() {}
+
+}  // namespace zc::obs
+
+#endif  // ZC_PROFILING

@@ -1,0 +1,99 @@
+// Scoped wall-clock profiling for the simulator's hot paths, behind the
+// compile-time ZC_PROFILING flag (cmake -DZC_PROFILING=ON).
+//
+// When the flag is OFF — the default — ZC_PROF_SCOPE expands to nothing:
+// zero code, zero data, zero steady-state cost. When ON, each annotated
+// scope owns a lazily registered ProfileSite and accumulates call count
+// and elapsed nanoseconds into relaxed atomics, so profiled shards can
+// run concurrently without locks on the measurement path.
+//
+// Profiling measures host wall time, which is machine- and load-
+// dependent; it is therefore reported separately (profile_report(), the
+// CLI prints it to stderr) and deliberately kept OUT of the deterministic
+// metrics/trace files — a profiled build still produces byte-identical
+// m.json / t.jsonl. See docs/observability.md for build instructions and
+// the list of annotated paths.
+#pragma once
+
+#include <string>
+
+#if defined(ZC_PROFILING)
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#endif
+
+namespace zc::obs {
+
+/// True in ZC_PROFILING builds; lets callers decide whether printing the
+/// (otherwise empty) report is worthwhile.
+bool profiling_enabled();
+
+/// Formatted per-site table (calls, total ms, ns/call), sorted by total
+/// time descending. Empty string when no sites recorded anything.
+std::string profile_report();
+
+/// Zeroes every site's accumulators (between bench repetitions).
+void profile_reset();
+
+#if defined(ZC_PROFILING)
+
+class ProfileSite {
+ public:
+  explicit ProfileSite(const char* name);
+
+  void record(std::uint64_t ns) {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    nanos_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  const char* name() const { return name_; }
+  std::uint64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  std::uint64_t nanos() const { return nanos_.load(std::memory_order_relaxed); }
+  void reset() {
+    calls_.store(0, std::memory_order_relaxed);
+    nanos_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  const char* name_;
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> nanos_{0};
+};
+
+class ScopedProfileTimer {
+ public:
+  explicit ScopedProfileTimer(ProfileSite& site)
+      : site_(site), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedProfileTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    site_.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  }
+  ScopedProfileTimer(const ScopedProfileTimer&) = delete;
+  ScopedProfileTimer& operator=(const ScopedProfileTimer&) = delete;
+
+ private:
+  ProfileSite& site_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define ZC_PROF_CONCAT_(a, b) a##b
+#define ZC_PROF_CONCAT(a, b) ZC_PROF_CONCAT_(a, b)
+/// Times the enclosing scope under `name` (a string literal). The site is
+/// a function-local static: registration is thread-safe (magic static),
+/// happens once, and costs nothing after that.
+#define ZC_PROF_SCOPE(name)                                                   \
+  static ::zc::obs::ProfileSite ZC_PROF_CONCAT(zc_prof_site_, __LINE__){name}; \
+  ::zc::obs::ScopedProfileTimer ZC_PROF_CONCAT(zc_prof_timer_, __LINE__){      \
+      ZC_PROF_CONCAT(zc_prof_site_, __LINE__)}
+
+#else  // !ZC_PROFILING
+
+#define ZC_PROF_SCOPE(name) \
+  do {                      \
+  } while (0)
+
+#endif  // ZC_PROFILING
+
+}  // namespace zc::obs

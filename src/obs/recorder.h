@@ -1,0 +1,138 @@
+// The per-shard telemetry recorder and its ambient installation.
+//
+// A Recorder bundles one MetricsRegistry, one TraceRing, the virtual clock
+// that stamps events, and the (shard id, campaign seed) identity carried
+// on every serialized line. Exactly one shard owns a recorder; it is
+// installed for the duration of that shard's campaign through a
+// thread-local pointer (`ScopedRecorder`), which is the key design move:
+//
+//  * instrumentation sites anywhere in the stack (radio, sim, core) reach
+//    telemetry through `obs::current()` without any constructor plumbing;
+//  * a shard pool gets per-shard isolation for free — each worker thread
+//    installs the recorder of the shard it is currently running, so
+//    concurrent shards never share telemetry state and the hot path takes
+//    no locks (lock-cheap by construction, not by clever locking);
+//  * with no recorder installed every hook collapses to one thread-local
+//    load and a branch, which is what keeps always-compiled telemetry
+//    under the 3% budget bench/check_overhead.py enforces.
+//
+// After a run, `snapshot()` detaches a value-type Telemetry the merge
+// layer (core/parallel.cpp) collects per shard and folds in shard order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace zc::obs {
+
+/// Detached end-of-run telemetry for one shard: safe to copy across the
+/// pool boundary and to merge after the workers join.
+struct Telemetry {
+  bool collected = false;
+  std::size_t shard_id = 0;
+  std::uint64_t seed = 0;
+  MetricsRegistry metrics;
+  std::vector<TraceEvent> events;
+
+  /// This shard's events as JSONL (see trace.h for the line shape).
+  void append_jsonl(std::string& out) const { append_trace_jsonl(out, events, shard_id, seed); }
+};
+
+class Recorder {
+ public:
+  /// `clock` must outlive the recorder; `shard_id`/`seed` tag every
+  /// serialized line of this shard's trace.
+  Recorder(const EventScheduler& clock, std::size_t shard_id, std::uint64_t seed,
+           std::size_t trace_capacity = TraceRing::kDefaultCapacity)
+      : clock_(clock), shard_id_(shard_id), seed_(seed), trace_(trace_capacity) {}
+
+  MetricsRegistry& metrics() { return metrics_; }
+  TraceRing& trace() { return trace_; }
+
+  void emit(TraceEventType type, std::int64_t a0 = 0, std::int64_t a1 = 0,
+            std::int64_t a2 = 0, std::int64_t a3 = 0) {
+    TraceEvent event;
+    event.at = clock_.now();
+    event.type = type;
+    event.args = {a0, a1, a2, a3};
+    trace_.push(event);
+  }
+
+  /// Detaches the run's telemetry. Folds the ring's drop counter into the
+  /// metrics (`trace.events_dropped`) so the registry alone tells whether
+  /// the trace is complete.
+  Telemetry snapshot() const {
+    Telemetry out;
+    out.collected = true;
+    out.shard_id = shard_id_;
+    out.seed = seed_;
+    out.metrics = metrics_;
+    out.metrics.set(MetricId::kTraceEventsDropped, trace_.dropped());
+    out.events = trace_.snapshot();
+    return out;
+  }
+
+ private:
+  const EventScheduler& clock_;
+  std::size_t shard_id_;
+  std::uint64_t seed_;
+  MetricsRegistry metrics_;
+  TraceRing trace_;
+};
+
+namespace detail {
+inline thread_local Recorder* g_current = nullptr;
+}
+
+/// The recorder installed on this thread, or nullptr (telemetry off).
+inline Recorder* current() { return detail::g_current; }
+
+/// RAII installation of a recorder as this thread's ambient telemetry
+/// target. Nests (the previous recorder is restored on destruction) so a
+/// bench can wrap an instrumented bench harness around an instrumented
+/// campaign without either clobbering the other.
+class ScopedRecorder {
+ public:
+  explicit ScopedRecorder(Recorder& recorder) : previous_(detail::g_current) {
+    detail::g_current = &recorder;
+  }
+  ~ScopedRecorder() { detail::g_current = previous_; }
+  ScopedRecorder(const ScopedRecorder&) = delete;
+  ScopedRecorder& operator=(const ScopedRecorder&) = delete;
+
+ private:
+  Recorder* previous_;
+};
+
+// --- hot-path hooks --------------------------------------------------------
+// All of these are no-ops (one thread-local load + branch) when no
+// recorder is installed.
+
+inline void count(MetricId id, std::uint64_t delta = 1) {
+  if (Recorder* r = current()) r->metrics().add(id, delta);
+}
+
+inline void gauge_set(MetricId id, std::uint64_t value) {
+  if (Recorder* r = current()) r->metrics().set(id, value);
+}
+
+inline void observe(MetricId id, std::uint64_t value_us) {
+  if (Recorder* r = current()) r->metrics().observe(id, value_us);
+}
+
+inline void emit(TraceEventType type, std::int64_t a0 = 0, std::int64_t a1 = 0,
+                 std::int64_t a2 = 0, std::int64_t a3 = 0) {
+  if (Recorder* r = current()) r->emit(type, a0, a1, a2, a3);
+}
+
+/// True when a recorder is installed — for sites that want to skip
+/// assembling expensive event arguments entirely.
+inline bool active() { return current() != nullptr; }
+
+}  // namespace zc::obs

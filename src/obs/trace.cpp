@@ -1,0 +1,89 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace zc::obs {
+
+namespace {
+
+constexpr TraceEventInfo kEventInfo[kTraceEventTypes] = {
+    {"probe_tx", {"probe", "cc", "dst", nullptr}},
+    {"frame_rx", {"src", "header", "cc", nullptr}},
+    {"cmdcl_validated", {"cc", nullptr, nullptr, nullptr}},
+    {"mutation", {"cc", "cmd", "param0", "len"}},
+    {"liveness_check", {"ok", "attempts", nullptr, nullptr}},
+    {"recovery", {"stage", "downtime_us", "nop_probes", "soft_resets"}},
+    {"bug", {"cc", "cmd", "kind", "bug_id"}},
+    {"checkpoint", {"elapsed_us", "packets", "findings", nullptr}},
+};
+
+void append_i64(std::string& out, std::int64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+}  // namespace
+
+const TraceEventInfo& trace_event_info(TraceEventType type) {
+  return kEventInfo[static_cast<std::size_t>(type)];
+}
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {
+  events_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void TraceRing::push(const TraceEvent& event) {
+  if (size_ < capacity_) {
+    events_.push_back(event);
+    ++size_;
+    return;
+  }
+  // Full: overwrite the oldest retained event and advance the drop count.
+  events_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // head_ is the oldest slot once the ring has wrapped; 0 before that.
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(events_[(head_ + i) % size_]);
+  }
+  return out;
+}
+
+void append_trace_jsonl(std::string& out, const std::vector<TraceEvent>& events,
+                        std::size_t shard_id, std::uint64_t seed) {
+  for (const TraceEvent& event : events) {
+    const TraceEventInfo& info = kEventInfo[static_cast<std::size_t>(event.type)];
+    out += "{\"t\":";
+    append_u64(out, event.at);
+    out += ",\"shard\":";
+    append_u64(out, shard_id);
+    out += ",\"seed\":";
+    append_u64(out, seed);
+    out += ",\"ev\":\"";
+    out += info.name;
+    out += '"';
+    for (std::size_t i = 0; i < kTraceEventArgs; ++i) {
+      if (info.fields[i] == nullptr) break;
+      out += ",\"";
+      out += info.fields[i];
+      out += "\":";
+      append_i64(out, event.args[i]);
+    }
+    out += "}\n";
+  }
+}
+
+}  // namespace zc::obs

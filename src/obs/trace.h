@@ -1,0 +1,99 @@
+// Structured event tracing: the campaign's qualitative telemetry surface.
+//
+// Instrumented code emits fixed-size `TraceEvent` records into a bounded
+// ring buffer (one ring per shard, single-writer, no locks). Serialization
+// to JSONL happens once, after the run: one JSON object per line with the
+// event's virtual timestamp, the shard/seed identity, the event type and
+// its type-specific numeric fields. Timestamps are monotonic sim-clock
+// values, so a trace is a pure function of the seeds — byte-identical for
+// any `--jobs` count once shards are serialized in shard order.
+//
+// Ring policy: when full, the newest event overwrites the oldest and a
+// drop counter advances. The retained suffix is the most recent window —
+// exactly the context an analyst wants around the last finding — and the
+// counter (exported as metric `trace.events_dropped`) makes truncation
+// explicit instead of silent.
+//
+// The full per-type field schema, with example lines and jq recipes, is in
+// docs/observability.md.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace zc::obs {
+
+/// Every traceable pipeline event. Names and per-type field names live in
+/// `trace_event_info()`.
+enum class TraceEventType : std::uint8_t {
+  kProbeTx = 0,      // active probe left the dongle (NOP, state, NIF, validation)
+  kFrameRx,          // MAC-valid frame reached the dongle inbox
+  kCmdclValidated,   // validation sweep confirmed a command class responsive
+  kMutation,         // PSM produced one test payload
+  kLivenessCheck,    // NOP-ping oracle verdict
+  kRecovery,         // watchdog episode completed
+  kBug,              // Bug_Logs entry recorded (Algorithm 1)
+  kCheckpoint,       // progress snapshot handed to the sink
+  kEventTypeCount,
+};
+
+constexpr std::size_t kTraceEventTypes = static_cast<std::size_t>(TraceEventType::kEventTypeCount);
+constexpr std::size_t kTraceEventArgs = 4;
+
+struct TraceEventInfo {
+  const char* name;                       // JSON "ev" value: "probe_tx", ...
+  const char* fields[kTraceEventArgs];    // JSON keys; nullptr = unused slot
+};
+
+const TraceEventInfo& trace_event_info(TraceEventType type);
+
+/// Probe flavors for kProbeTx's "probe" field.
+enum class ProbeKind : std::uint64_t { kNop = 0, kState = 1, kNif = 2, kValidation = 3 };
+
+/// One fixed-size trace record. Args are type-specific signed integers
+/// (signed so kBug can carry `bug_id = -1` for unattributed findings);
+/// unused slots stay zero and are not serialized.
+struct TraceEvent {
+  SimTime at = 0;
+  TraceEventType type = TraceEventType::kProbeTx;
+  std::array<std::int64_t, kTraceEventArgs> args{};
+};
+
+/// Bounded single-writer ring of TraceEvents.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = kDefaultCapacity);
+
+  void push(const TraceEvent& event);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // next write slot once the ring has wrapped
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Serializes events as JSONL into `out`, one `{"t":..,"shard":..,
+/// "seed":..,"ev":..,<fields>}` object per line. `shard` and `seed`
+/// identify the emitting campaign on every line so merged multi-shard
+/// files stay self-describing.
+void append_trace_jsonl(std::string& out, const std::vector<TraceEvent>& events,
+                        std::size_t shard_id, std::uint64_t seed);
+
+}  // namespace zc::obs

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/profile.h"
+#include "obs/recorder.h"
+
 namespace zc::radio {
 
 Transceiver::Transceiver(RfMedium& medium, RadioConfig config)
@@ -50,10 +53,18 @@ double RfMedium::link_rssi_dbm(const Transceiver& from, const Transceiver& to) c
 }
 
 void RfMedium::broadcast(Transceiver* sender, ByteView frame, const BitStream& bits) {
+  ZC_PROF_SCOPE("medium.broadcast");
   ++transmissions_;
+  // One recorder lookup per broadcast; the per-receiver loop below then
+  // tallies into locals and posts once, keeping the hot loop hook-free.
+  obs::Recorder* recorder = obs::current();
+  if (recorder != nullptr) recorder->metrics().add(obs::MetricId::kRadioTransmissions);
   // Injected burst loss swallows the transmission channel-wide, before any
   // per-link work, so it never perturbs the channel's own random stream.
-  if (fault_tap_ != nullptr && fault_tap_->drop_transmission(frame)) return;
+  if (fault_tap_ != nullptr && fault_tap_->drop_transmission(frame)) {
+    if (recorder != nullptr) recorder->metrics().add(obs::MetricId::kRadioDropsFault);
+    return;
+  }
 
   const double airtime_seconds = static_cast<double>(bits.size()) / model_.data_rate_bps;
   const SimTime airtime = static_cast<SimTime>(airtime_seconds * static_cast<double>(kSecond));
@@ -64,19 +75,28 @@ void RfMedium::broadcast(Transceiver* sender, ByteView frame, const BitStream& b
   // per link, and none of the per-bit copy loops.
   const bool per_receiver_bits = model_.bit_flip_rate > 0.0 || fault_tap_ != nullptr;
   std::shared_ptr<const BitStream> shared_clean;
+  std::uint64_t deliveries = 0;
+  std::uint64_t drops_rf = 0;
 
   for (Transceiver* receiver : endpoints_) {
     if (receiver == sender) continue;
     if (receiver->config().region != sender->config().region) continue;
 
     const double rssi = link_rssi_dbm(*sender, *receiver);
-    if (rssi < model_.sensitivity_dbm) continue;
+    if (rssi < model_.sensitivity_dbm) {
+      ++drops_rf;
+      continue;
+    }
 
     // Linear delivery ramp across the fade margin just above sensitivity.
     const double headroom = rssi - model_.sensitivity_dbm;
     const double delivery_p = std::clamp(headroom / model_.fade_margin_db, 0.0, 1.0);
-    if (!rng_.chance(delivery_p)) continue;
+    if (!rng_.chance(delivery_p)) {
+      ++drops_rf;
+      continue;
+    }
 
+    ++deliveries;
     if (per_receiver_bits) {
       auto delivered = std::make_shared<BitStream>(bits);
       if (model_.bit_flip_rate > 0.0) {
@@ -94,6 +114,10 @@ void RfMedium::broadcast(Transceiver* sender, ByteView frame, const BitStream& b
         receiver->deliver(*delivered, rssi);
       });
     }
+  }
+  if (recorder != nullptr) {
+    if (deliveries > 0) recorder->metrics().add(obs::MetricId::kRadioDeliveries, deliveries);
+    if (drops_rf > 0) recorder->metrics().add(obs::MetricId::kRadioDropsRf, drops_rf);
   }
 }
 

@@ -1,5 +1,7 @@
 #include "radio/phy.h"
 
+#include "obs/profile.h"
+
 namespace zc::radio {
 
 namespace {
@@ -87,6 +89,7 @@ Result<Bytes> manchester_decode(const BitStream& bits, std::size_t bit_offset,
 }
 
 void encode_transmission_into(ByteView frame, BitStream& out) {
+  ZC_PROF_SCOPE("phy.encode");
   out.clear();
   out.reserve((kPreambleLength + 1 + frame.size()) * 16);
   const BitStream& prefix = prefix_bits();
@@ -104,6 +107,7 @@ BitStream encode_transmission(ByteView frame) {
 }
 
 Result<std::size_t> decode_transmission_into(const BitStream& bits, Bytes& frame) {
+  ZC_PROF_SCOPE("phy.decode");
   frame.clear();
   // Hunt for the SOF byte on any 2-bit-aligned boundary after at least one
   // preamble byte worth of 0x55.

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "crypto/x25519.h"
+#include "obs/recorder.h"
 #include "zwave/s2_inclusion.h"
 
 namespace zc::sim {
@@ -69,6 +70,7 @@ Testbed::Testbed(TestbedConfig config) : config_(config), rng_(config.seed) {
 }
 
 void Testbed::restore_network() {
+  obs::count(obs::MetricId::kSimNetworkRestores);
   auto& table = controller_->node_table();
   table.clear();
   table.upsert(NodeRecord{zwave::kControllerNodeId, zwave::kBasicClassStaticController, true,

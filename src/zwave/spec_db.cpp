@@ -17,6 +17,8 @@
 
 #include <algorithm>
 
+#include "obs/profile.h"
+
 namespace zc::zwave {
 
 namespace {
@@ -568,6 +570,7 @@ const SpecDatabase& SpecDatabase::instance() {
 }
 
 const CommandClassSpec* SpecDatabase::find(CommandClassId id) const {
+  ZC_PROF_SCOPE("spec_db.find");
   return by_id_[id];
 }
 
@@ -588,6 +591,7 @@ std::vector<CommandClassId> SpecDatabase::controller_cluster(bool include_unlist
 }
 
 std::size_t SpecDatabase::command_count(CommandClassId id) const {
+  ZC_PROF_SCOPE("spec_db.command_count");
   return command_counts_[id];
 }
 

@@ -1,0 +1,92 @@
+// Logger::global() thread-safety contract (src/common/log.h): sink swaps
+// and level changes must be safe while shard-pool worker threads are
+// logging. Run this suite under -DZC_SANITIZE=thread for the real
+// verdict; without TSan it still exercises the interleavings and checks
+// that no message is ever torn or delivered to a destroyed sink.
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace zc {
+namespace {
+
+TEST(LoggerTest, LevelGatingIsAtomic) {
+  Logger& logger = Logger::global();
+  const LogLevel original = logger.level();
+  logger.set_level(LogLevel::kError);
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+  logger.set_level(LogLevel::kOff);
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+  logger.set_level(original);
+}
+
+TEST(LoggerTest, SinkSwapsAreSafeUnderConcurrentLogging) {
+  Logger& logger = Logger::global();
+  const LogLevel original = logger.level();
+  logger.set_level(LogLevel::kInfo);
+
+  // Sinks append into per-sink buffers that outlive the test loop, so a
+  // use-after-swap would be visible (and TSan-reportable) rather than UB
+  // on a dangling stack frame.
+  constexpr int kSinks = 8;
+  auto buffers = std::make_shared<std::vector<std::string>>(kSinks);
+  std::atomic<bool> stop{false};
+  // Park a discard sink before the writers start so nothing hits stderr.
+  logger.set_sink([](LogLevel, const std::string&) {});
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&logger, &stop, w] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        ZC_INFO("shard %d says hello", w);
+        (void)logger;
+      }
+    });
+  }
+
+  for (int round = 0; round < 200; ++round) {
+    const int slot = round % kSinks;
+    logger.set_sink([buffers, slot](LogLevel, const std::string& text) {
+      (*buffers)[slot] += text;
+      (*buffers)[slot] += '\n';
+    });
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : writers) t.join();
+  logger.set_sink(nullptr);
+  logger.set_level(original);
+
+  // Every delivered message must be intact — the emission lock forbids
+  // interleaving two logf calls inside one sink invocation.
+  for (const std::string& buffer : *buffers) {
+    std::size_t start = 0;
+    while (start < buffer.size()) {
+      const std::size_t end = buffer.find('\n', start);
+      ASSERT_NE(end, std::string::npos);
+      const std::string message = buffer.substr(start, end - start);
+      EXPECT_EQ(message.find("shard "), 0u) << message;
+      EXPECT_NE(message.find(" says hello"), std::string::npos) << message;
+      start = end + 1;
+    }
+  }
+}
+
+TEST(LoggerTest, NullSinkRestoresStderrPath) {
+  Logger& logger = Logger::global();
+  const LogLevel original = logger.level();
+  logger.set_level(LogLevel::kOff);  // keep stderr quiet for the assertion below
+  logger.set_sink(nullptr);
+  // Must not crash routing through the default stderr branch.
+  logger.logf(LogLevel::kError, "suppressed by level %d", 1);
+  logger.set_level(original);
+}
+
+}  // namespace
+}  // namespace zc

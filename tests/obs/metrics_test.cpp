@@ -1,0 +1,98 @@
+// MetricsRegistry semantics: O(1) updates, fixed-bucket histograms, and —
+// the property the sharded engine leans on — merge-order-independent,
+// byte-deterministic serialization.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace zc::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CountersAndGauges) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.value(MetricId::kCampaignTests), 0u);
+  registry.add(MetricId::kCampaignTests);
+  registry.add(MetricId::kCampaignTests, 4);
+  EXPECT_EQ(registry.value(MetricId::kCampaignTests), 5u);
+
+  registry.set(MetricId::kCampaignQueueLength, 42);
+  registry.set(MetricId::kCampaignQueueLength, 17);  // gauge: last write wins
+  EXPECT_EQ(registry.value(MetricId::kCampaignQueueLength), 17u);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketPlacement) {
+  MetricsRegistry registry;
+  const MetricId id = MetricId::kCampaignInjectionAckUs;
+  registry.observe(id, 50);              // <= 100 -> bucket 0
+  registry.observe(id, 100);             // boundary is inclusive -> bucket 0
+  registry.observe(id, 101);             // -> bucket 1
+  registry.observe(id, 2'000'000'000);   // beyond the last bound -> +inf bucket
+
+  const HistogramData& h = registry.histogram(id);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 50u + 100u + 101u + 2'000'000'000u);
+  EXPECT_EQ(h.buckets[0], 2u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[kHistogramBuckets - 1], 1u);
+}
+
+TEST(MetricsRegistryTest, MergeAddsEverythingElementWise) {
+  MetricsRegistry a;
+  a.add(MetricId::kDongleFramesTx, 10);
+  a.set(MetricId::kCampaignBlacklistSize, 3);
+  a.observe(MetricId::kResilienceBackoffUs, 500);
+
+  MetricsRegistry b;
+  b.add(MetricId::kDongleFramesTx, 7);
+  b.set(MetricId::kCampaignBlacklistSize, 5);
+  b.observe(MetricId::kResilienceBackoffUs, 5'000'000);
+
+  a.merge(b);
+  EXPECT_EQ(a.value(MetricId::kDongleFramesTx), 17u);
+  // Gauges merge by sum: per-shard levels aggregate into a fleet total.
+  EXPECT_EQ(a.value(MetricId::kCampaignBlacklistSize), 8u);
+  const HistogramData& h = a.histogram(MetricId::kResilienceBackoffUs);
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.sum, 5'000'500u);
+}
+
+TEST(MetricsRegistryTest, JsonIsAPureFunctionOfContents) {
+  // Two registries that reach the same totals through different update
+  // sequences — and different merge orders — must serialize identically.
+  MetricsRegistry left_a, left_b;
+  left_a.add(MetricId::kCampaignTests, 3);
+  left_b.add(MetricId::kCampaignTests, 9);
+  left_a.observe(MetricId::kCampaignLivenessProbeUs, 120);
+  left_b.observe(MetricId::kCampaignLivenessProbeUs, 99);
+  MetricsRegistry merged_ab = left_a;
+  merged_ab.merge(left_b);
+  MetricsRegistry merged_ba = left_b;
+  merged_ba.merge(left_a);
+  EXPECT_EQ(merged_ab.to_json(), merged_ba.to_json());
+}
+
+TEST(MetricsRegistryTest, JsonNamesEveryMetricExactlyOnce) {
+  const std::string json = MetricsRegistry{}.to_json();
+  for (std::size_t i = 0; i < kMetricCount; ++i) {
+    const MetricInfo& info = metric_info(static_cast<MetricId>(i));
+    const std::string quoted = std::string("\"") + info.name + "\"";
+    const std::size_t first = json.find(quoted);
+    ASSERT_NE(first, std::string::npos) << info.name;
+    EXPECT_EQ(json.find(quoted, first + 1), std::string::npos) << info.name;
+  }
+}
+
+TEST(MetricsRegistryTest, SummaryTableShowsOnlyNonZeroMetrics) {
+  MetricsRegistry registry;
+  registry.add(MetricId::kCampaignFindings, 2);
+  registry.observe(MetricId::kCampaignRecoveryDowntimeUs, 30'000'000);
+  const std::string table = registry.summary_table();
+  EXPECT_NE(table.find("campaign.findings"), std::string::npos);
+  EXPECT_NE(table.find("campaign.recovery_downtime_us"), std::string::npos);
+  EXPECT_EQ(table.find("vfuzz.packets_tx"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zc::obs

@@ -1,0 +1,90 @@
+// A deliberately minimal JSON reader for the telemetry tests: just enough
+// to round-trip the flat objects src/obs emits (JSONL trace lines and the
+// metrics document's scalar leaves). Keeping the parser in the test tree
+// — not the library — means the schema check is independent of the
+// serializer under test.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace zc::obs::testing {
+
+struct JsonScalar {
+  bool is_string = false;
+  std::string text;       // when is_string
+  std::int64_t number = 0;  // when !is_string
+};
+
+/// Parses one flat JSON object — string keys, integer or string scalar
+/// values, no nesting — into a key->scalar map. Returns nullopt on any
+/// syntax violation, which is exactly what the "every line parses" tests
+/// want to detect.
+inline std::optional<std::map<std::string, JsonScalar>> parse_flat_object(
+    const std::string& text) {
+  std::map<std::string, JsonScalar> out;
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  };
+  auto parse_string = [&]() -> std::optional<std::string> {
+    if (i >= text.size() || text[i] != '"') return std::nullopt;
+    ++i;
+    std::string value;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\') return std::nullopt;  // obs never emits escapes
+      value += text[i++];
+    }
+    if (i >= text.size()) return std::nullopt;
+    ++i;  // closing quote
+    return value;
+  };
+
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') return std::nullopt;
+  ++i;
+  skip_ws();
+  if (i < text.size() && text[i] == '}') {
+    ++i;
+    return out;
+  }
+  while (true) {
+    skip_ws();
+    const auto key = parse_string();
+    if (!key.has_value()) return std::nullopt;
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') return std::nullopt;
+    ++i;
+    skip_ws();
+    JsonScalar scalar;
+    if (i < text.size() && text[i] == '"') {
+      const auto value = parse_string();
+      if (!value.has_value()) return std::nullopt;
+      scalar.is_string = true;
+      scalar.text = *value;
+    } else {
+      const std::size_t start = i;
+      if (i < text.size() && text[i] == '-') ++i;
+      while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) ++i;
+      if (i == start) return std::nullopt;
+      scalar.number = std::stoll(text.substr(start, i - start));
+    }
+    if (!out.emplace(*key, scalar).second) return std::nullopt;  // duplicate key
+    skip_ws();
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  skip_ws();
+  if (i >= text.size() || text[i] != '}') return std::nullopt;
+  ++i;
+  skip_ws();
+  return i == text.size() ? std::optional(out) : std::nullopt;
+}
+
+}  // namespace zc::obs::testing

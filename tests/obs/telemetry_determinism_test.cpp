@@ -1,0 +1,141 @@
+// End-to-end telemetry determinism: the merged metrics JSON and the
+// concatenated JSONL trace of a sharded campaign must be byte-identical
+// at any --jobs value, every line must parse, and every event and metric
+// name must be one the schema (docs/observability.md) documents. This is
+// the executable form of the observability layer's core guarantee.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/parallel.h"
+#include "minijson.h"
+#include "obs/recorder.h"
+
+namespace zc::core {
+namespace {
+
+CampaignConfig quick_config(SimTime duration = 5 * kMinute) {
+  CampaignConfig config;
+  config.mode = CampaignMode::kFull;
+  config.duration = duration;
+  config.seed = 0x2C07E12F;
+  config.loop_queue = false;
+  return config;
+}
+
+sim::TestbedConfig quick_testbed() {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  testbed_config.seed = 0x2C07E12F;
+  return testbed_config;
+}
+
+ParallelTrialReport run_with_telemetry(std::size_t jobs, std::size_t trials = 4,
+                                       std::size_t trace_capacity =
+                                           obs::TraceRing::kDefaultCapacity) {
+  ParallelConfig parallel;
+  parallel.jobs = jobs;
+  parallel.collect_telemetry = true;
+  parallel.trace_capacity = trace_capacity;
+  return run_trials_parallel(quick_testbed(), quick_config(), trials, parallel);
+}
+
+TEST(TelemetryDeterminismTest, MergedOutputsAreByteIdenticalAtAnyJobCount) {
+  std::map<std::size_t, std::string> metrics_json, trace_jsonl;
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    const ParallelTrialReport report = run_with_telemetry(jobs);
+    metrics_json[jobs] = report.merged_metrics().to_json();
+    trace_jsonl[jobs] = report.merged_trace_jsonl();
+  }
+  ASSERT_FALSE(trace_jsonl[1].empty());
+  EXPECT_EQ(metrics_json[1], metrics_json[4]);
+  EXPECT_EQ(metrics_json[1], metrics_json[8]);
+  EXPECT_EQ(trace_jsonl[1], trace_jsonl[4]);
+  EXPECT_EQ(trace_jsonl[1], trace_jsonl[8]);
+}
+
+TEST(TelemetryDeterminismTest, EveryTraceLineParsesAndUsesDocumentedEvents) {
+  const ParallelTrialReport report = run_with_telemetry(4);
+
+  std::set<std::string> documented;
+  for (std::size_t t = 0; t < obs::kTraceEventTypes; ++t) {
+    documented.insert(obs::trace_event_info(static_cast<obs::TraceEventType>(t)).name);
+  }
+
+  std::istringstream lines(report.merged_trace_jsonl());
+  std::string line;
+  std::size_t parsed_lines = 0;
+  std::map<std::size_t, SimTime> last_t_per_shard;
+  while (std::getline(lines, line)) {
+    const auto object = obs::testing::parse_flat_object(line);
+    ASSERT_TRUE(object.has_value()) << line;
+    ASSERT_TRUE(object->contains("ev")) << line;
+    EXPECT_TRUE(documented.contains(object->at("ev").text)) << line;
+    // Timestamps are sim-clock values: monotone non-decreasing per shard.
+    const auto shard = static_cast<std::size_t>(object->at("shard").number);
+    const auto at = static_cast<SimTime>(object->at("t").number);
+    if (last_t_per_shard.contains(shard)) EXPECT_GE(at, last_t_per_shard[shard]) << line;
+    last_t_per_shard[shard] = at;
+    ++parsed_lines;
+  }
+  EXPECT_GT(parsed_lines, 0u);
+  EXPECT_EQ(last_t_per_shard.size(), report.shards.size());
+
+  // Shard identity on the lines matches the shard order of the merge.
+  for (const ShardResult& shard : report.shards) {
+    EXPECT_TRUE(shard.telemetry.collected);
+    EXPECT_EQ(shard.telemetry.shard_id, shard.shard_id);
+    EXPECT_EQ(shard.telemetry.seed, shard.campaign_seed);
+  }
+}
+
+TEST(TelemetryDeterminismTest, MetricsAgreeWithCampaignResults) {
+  const ParallelTrialReport report = run_with_telemetry(2);
+  const obs::MetricsRegistry merged = report.merged_metrics();
+  std::uint64_t findings = 0;
+  for (const ShardResult& shard : report.shards) {
+    findings += shard.result.findings.size();
+  }
+  EXPECT_EQ(merged.value(obs::MetricId::kCampaignFindings), findings);
+  EXPECT_EQ(merged.value(obs::MetricId::kCampaignInconclusive), report.inconclusive_tests);
+  EXPECT_EQ(merged.value(obs::MetricId::kCampaignRecoveries),
+            static_cast<std::uint64_t>(report.recovery_episodes));
+}
+
+TEST(TelemetryDeterminismTest, TinyRingDropsLoudlyWithoutCorruptingJsonl) {
+  const ParallelTrialReport report =
+      run_with_telemetry(2, /*trials=*/2, /*trace_capacity=*/16);
+  const obs::MetricsRegistry merged = report.merged_metrics();
+  EXPECT_GT(merged.value(obs::MetricId::kTraceEventsDropped), 0u);
+
+  std::istringstream lines(report.merged_trace_jsonl());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_TRUE(obs::testing::parse_flat_object(line).has_value()) << line;
+    ++count;
+  }
+  // Each shard retains at most its ring capacity.
+  EXPECT_LE(count, 16u * report.shards.size());
+  EXPECT_GT(count, 0u);
+}
+
+TEST(TelemetryDeterminismTest, TelemetryCollectionDoesNotPerturbResults) {
+  // The observer must not change the observed: campaign outcomes with
+  // telemetry on must equal those with telemetry off.
+  ParallelConfig with, without;
+  with.jobs = 2;
+  with.collect_telemetry = true;
+  without.jobs = 2;
+  const auto observed = run_trials_parallel(quick_testbed(), quick_config(), 3, with);
+  const auto plain = run_trials_parallel(quick_testbed(), quick_config(), 3, without);
+  EXPECT_EQ(observed.summary.union_bug_ids, plain.summary.union_bug_ids);
+  EXPECT_EQ(observed.summary.total_packets, plain.summary.total_packets);
+  EXPECT_EQ(observed.summary.first_finding_at, plain.summary.first_finding_at);
+}
+
+}  // namespace
+}  // namespace zc::core

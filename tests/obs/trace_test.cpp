@@ -1,0 +1,130 @@
+// TraceRing bounding behavior and the JSONL serializer: overflow must be
+// loud (drop counter) but harmless (retained suffix stays well-formed),
+// and every serialized line must parse as the flat JSON object
+// docs/observability.md promises.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "minijson.h"
+
+namespace zc::obs {
+namespace {
+
+TraceEvent make_event(SimTime at, TraceEventType type,
+                      std::array<std::int64_t, kTraceEventArgs> args = {}) {
+  TraceEvent event;
+  event.at = at;
+  event.type = type;
+  event.args = args;
+  return event;
+}
+
+TEST(TraceRingTest, RetainsEverythingBelowCapacity) {
+  TraceRing ring(8);
+  for (int i = 0; i < 5; ++i) {
+    ring.push(make_event(i, TraceEventType::kMutation, {i, 0, 0, 0}));
+  }
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(events[i].args[0], i);
+}
+
+TEST(TraceRingTest, OverflowDropsOldestAndCountsIt) {
+  TraceRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.push(make_event(i, TraceEventType::kMutation, {i, 0, 0, 0}));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  // The retained window is the most recent suffix, oldest first.
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].args[0], 6 + i);
+    EXPECT_EQ(events[i].at, static_cast<SimTime>(6 + i));
+  }
+}
+
+TEST(TraceRingTest, OverflowKeepsJsonlWellFormed) {
+  TraceRing ring(3);
+  for (int i = 0; i < 20; ++i) {
+    ring.push(make_event(1000 + i, TraceEventType::kLivenessCheck, {1, 2, 0, 0}));
+  }
+  std::string jsonl;
+  append_trace_jsonl(jsonl, ring.snapshot(), /*shard_id=*/2, /*seed=*/99);
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    ASSERT_TRUE(testing::parse_flat_object(line).has_value()) << line;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(TraceJsonlTest, EveryEventTypeRoundTrips) {
+  // One event of every type, with distinctive argument values (including a
+  // negative bug id — the reason args are signed).
+  std::vector<TraceEvent> events;
+  for (std::size_t t = 0; t < kTraceEventTypes; ++t) {
+    events.push_back(make_event(10 * (t + 1), static_cast<TraceEventType>(t),
+                                {static_cast<std::int64_t>(100 + t), 7, 3, -1}));
+  }
+  std::string jsonl;
+  append_trace_jsonl(jsonl, events, /*shard_id=*/5, /*seed=*/0xABCD);
+
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::size_t index = 0;
+  while (std::getline(lines, line)) {
+    const auto parsed = testing::parse_flat_object(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    const auto& object = *parsed;
+
+    const TraceEventInfo& info = trace_event_info(static_cast<TraceEventType>(index));
+    ASSERT_TRUE(object.contains("t"));
+    ASSERT_TRUE(object.contains("shard"));
+    ASSERT_TRUE(object.contains("seed"));
+    ASSERT_TRUE(object.contains("ev"));
+    EXPECT_EQ(object.at("t").number, static_cast<std::int64_t>(10 * (index + 1)));
+    EXPECT_EQ(object.at("shard").number, 5);
+    EXPECT_EQ(object.at("seed").number, 0xABCD);
+    EXPECT_TRUE(object.at("ev").is_string);
+    EXPECT_EQ(object.at("ev").text, info.name);
+
+    // Exactly the declared fields, with the values we emitted; unused arg
+    // slots must not leak into the line.
+    std::size_t declared = 0;
+    for (std::size_t f = 0; f < kTraceEventArgs; ++f) {
+      if (info.fields[f] == nullptr) break;
+      ++declared;
+      ASSERT_TRUE(object.contains(info.fields[f])) << info.name << '.' << info.fields[f];
+      const std::int64_t expected =
+          f == 0 ? static_cast<std::int64_t>(100 + index) : (f == 1 ? 7 : (f == 2 ? 3 : -1));
+      EXPECT_EQ(object.at(info.fields[f]).number, expected) << info.name;
+    }
+    EXPECT_EQ(object.size(), 4u + declared) << info.name;
+    ++index;
+  }
+  EXPECT_EQ(index, kTraceEventTypes);
+}
+
+TEST(TraceJsonlTest, NegativeValuesSerializeAsSignedIntegers) {
+  std::vector<TraceEvent> events = {
+      make_event(1, TraceEventType::kBug, {0x52, 0x01, 0, -1})};
+  std::string jsonl;
+  append_trace_jsonl(jsonl, events, 0, 0);
+  const auto parsed = testing::parse_flat_object(jsonl.substr(0, jsonl.size() - 1));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->at("bug_id").number, -1);
+}
+
+}  // namespace
+}  // namespace zc::obs
