@@ -205,4 +205,19 @@ BENCHMARK(BM_RandomMutation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): stamp the build type into the
+// JSON context so check_regression.py can refuse debug-vs-release diffs.
+// (The library's own "library_build_type" reports how *libbenchmark* was
+// compiled, not this translation unit, so it cannot serve that role.)
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("zc_build_type", "release");
+#else
+  benchmark::AddCustomContext("zc_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -26,6 +26,15 @@ namespace {
 
 using namespace zc;
 
+// Debug and Release builds of the simulator differ by an order of magnitude
+// in throughput, so comparing across build types is meaningless. Stamp the
+// JSON so check_regression.py can refuse mixed comparisons.
+#ifdef NDEBUG
+constexpr const char* kBuildType = "release";
+#else
+constexpr const char* kBuildType = "debug";
+#endif
+
 struct Row {
   std::size_t jobs = 1;
   double wall_seconds = 0.0;
@@ -134,6 +143,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"benchmark\": \"bench_parallel\",\n");
+  std::fprintf(out, "  \"build_type\": \"%s\",\n", kBuildType);
   std::fprintf(out, "  \"workload\": {\"trials\": %zu, \"simulated_minutes\": %.1f, "
                     "\"device\": \"%s\", \"mode\": \"full\", \"seed\": %llu},\n",
                trials, minutes, sim::device_model_name(testbed_config.controller_model),

@@ -4,9 +4,11 @@
 //                     [--seed N] [--log FILE]
 //                     [--checkpoint FILE] [--resume FILE]
 //                     [--trace FILE] [--metrics FILE]
+//                     [--no-dedup] [--liveness-stride N]
 //   zcover_cli trials [--device D4|all] [--trials 5] [--jobs N]
 //                     [--mode full|beta|gamma] [--hours 24] [--seed N]
 //                     [--trace FILE] [--metrics FILE]
+//                     [--no-dedup] [--liveness-stride N]
 //   zcover_cli scan   [--device D4]
 //   zcover_cli replay   --log FILE [--device D4]
 //   zcover_cli minimize --log FILE [--device D4]
@@ -24,6 +26,11 @@
 // FILE` the metrics JSON (docs/observability.md documents both schemas);
 // either flag also prints the end-of-run telemetry summary table. Both
 // files are deterministic: byte-identical for a given seed at any --jobs.
+//
+// `--no-dedup` turns off duplicate-test memoization; `--liveness-stride N`
+// sets the adaptive oracle schedule (1 = probe after every test, the
+// paper's baseline; default 8 = sweep at stride boundaries with full
+// window replay on any anomaly).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -69,6 +76,8 @@ struct Options {
   std::uint64_t seed = 0x2C07E12F;
   std::size_t trials = 5;
   std::size_t jobs = 0;  // 0 = hardware concurrency
+  bool dedup = true;
+  std::size_t liveness_stride = 8;
   std::string log_path;
   std::string report_path;
   std::string checkpoint_path;
@@ -146,6 +155,11 @@ Options parse_options(int argc, char** argv) {
       options.trace_path = value();
     } else if (arg == "--metrics") {
       options.metrics_path = value();
+    } else if (arg == "--no-dedup") {
+      options.dedup = false;
+    } else if (arg == "--liveness-stride") {
+      options.liveness_stride =
+          static_cast<std::size_t>(std::strtoull(value().c_str(), nullptr, 0));
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       std::exit(2);
@@ -198,6 +212,8 @@ int cmd_fuzz(const Options& options) {
   config.duration = static_cast<SimTime>(options.hours * static_cast<double>(kHour));
   config.seed = options.seed;
   config.loop_queue = false;
+  config.dedup = options.dedup;
+  config.liveness_stride = options.liveness_stride;
 
   if (!options.resume_path.empty()) {
     auto checkpoint = core::read_checkpoint_file(options.resume_path);
@@ -293,6 +309,8 @@ int cmd_trials(const Options& options) {
   config.duration = static_cast<SimTime>(options.hours * static_cast<double>(kHour));
   config.seed = options.seed;
   config.loop_queue = false;
+  config.dedup = options.dedup;
+  config.liveness_stride = options.liveness_stride;
 
   core::ParallelConfig parallel;
   parallel.jobs = options.jobs;

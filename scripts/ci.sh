@@ -1,0 +1,64 @@
+#!/bin/sh
+# CI driver: one lane per argument, every lane usable locally.
+#
+#   scripts/ci.sh tier1      # Release build + full functional suite
+#   scripts/ci.sh perf       # perf smoke: bench gates vs committed baselines
+#   scripts/ci.sh asan       # AddressSanitizer build + full suite
+#   scripts/ci.sh tsan       # ThreadSanitizer build + concurrent suites
+#   scripts/ci.sh all        # every lane above, in that order
+#
+# Lanes build into their own directories (build-ci, build-ci-perf,
+# build-asan, build-tsan) so they never poison each other's caches. The
+# perf lane compares against the committed Release baselines, so it must
+# run a Release build on an otherwise quiet machine — results from a
+# loaded box or a debug build are refused by check_regression.py.
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
+
+build() {
+  # $1 = build dir, rest = extra cmake args
+  dir=$1
+  shift
+  cmake -B "$root/$dir" -S "$root" "$@" >/dev/null
+  cmake --build "$root/$dir" -j "$jobs"
+}
+
+lane_tier1() {
+  build build-ci -DCMAKE_BUILD_TYPE=Release
+  ctest --test-dir "$root/build-ci" --output-on-failure -j "$jobs"
+}
+
+lane_perf() {
+  build build-ci-perf -DCMAKE_BUILD_TYPE=Release -DZC_ENABLE_PERF_TESTS=ON
+  # Serial on purpose: the bench gates measure wall time.
+  ctest --test-dir "$root/build-ci-perf" --output-on-failure -L perf
+}
+
+lane_asan() {
+  # Pooled-buffer lifetime bugs (use-after-return-to-pool, leaked leases)
+  # are exactly what ASan exists for; run the whole functional suite under
+  # it. bench_pool_alloc self-disables here — ASan owns operator new.
+  build build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DZC_SANITIZE=address
+  ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs"
+}
+
+lane_tsan() {
+  build build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DZC_SANITIZE=thread
+  # The multi-threaded surfaces carry dedicated labels (see
+  # docs/performance.md and docs/observability.md).
+  ctest --test-dir "$root/build-tsan" --output-on-failure -L "parallel|obs"
+}
+
+[ $# -gt 0 ] || { echo "usage: $0 tier1|perf|asan|tsan|all ..." >&2; exit 2; }
+for lane in "$@"; do
+  case $lane in
+    tier1) lane_tier1 ;;
+    perf) lane_perf ;;
+    asan) lane_asan ;;
+    tsan) lane_tsan ;;
+    all) lane_tier1; lane_perf; lane_asan; lane_tsan ;;
+    *) echo "unknown lane: $lane" >&2; exit 2 ;;
+  esac
+done

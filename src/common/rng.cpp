@@ -64,6 +64,10 @@ Bytes Rng::bytes(std::size_t n) {
   return out;
 }
 
+void Rng::append_bytes(Bytes& out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next_byte());
+}
+
 Rng Rng::fork() { return Rng(next_u64()); }
 
 std::array<std::uint64_t, 4> Rng::state() const {

@@ -44,6 +44,10 @@ class Rng {
   /// Fills `n` random bytes.
   Bytes bytes(std::size_t n);
 
+  /// Appends `n` random bytes to `out` — the same draw sequence as
+  /// `bytes(n)`, without the fresh buffer (mutation hot path).
+  void append_bytes(Bytes& out, std::size_t n);
+
   /// Derives an independent child generator (for per-device noise streams).
   Rng fork();
 

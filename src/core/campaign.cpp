@@ -16,6 +16,11 @@ constexpr SimTime kOracleTimeout = 200 * kMillisecond;
 constexpr SimTime kAckWait = 80 * kMillisecond;
 constexpr std::uint16_t kNoParam = 0x100;
 constexpr std::uint16_t kAnyParam = 0x1FF;
+/// Dedup saturation guard: a class whose random stream produces this many
+/// consecutive already-executed payloads has exhausted its reachable space
+/// (tiny parameter schemas saturate fast); move on instead of spinning
+/// without advancing sim time.
+constexpr std::size_t kDedupSaturationLimit = 512;
 /// Decorrelates the resilience jitter stream from the mutation stream.
 constexpr std::uint64_t kResilienceSeedSalt = 0x9E3779B97F4A7C15ULL;
 
@@ -141,6 +146,10 @@ bool Campaign::should_stop(CampaignResult& result) {
   if (!aborted_ && config_.abort_hook && config_.abort_hook()) {
     aborted_ = true;
     result.aborted = true;
+    // No payload escapes oracle coverage: certify or triage the deferred
+    // window before the final snapshot. aborted_ is already set, so the
+    // nested should_stop calls inside a triage replay cannot re-enter.
+    sweep_window(result);
     // Final snapshot: the kill must not lose the session's progress.
     if (config_.checkpoint_sink) emit_checkpoint(result);
     return true;
@@ -224,6 +233,9 @@ CampaignResult Campaign::run() {
   // End-of-run levels for the summary table.
   obs::gauge_set(obs::MetricId::kCampaignQueueLength, result.fingerprint.fuzz_queue.size());
   obs::gauge_set(obs::MetricId::kCampaignBlacklistSize, blacklist_.size());
+  obs::gauge_set(obs::MetricId::kPoolBuffers, testbed_.medium().pool().size());
+  obs::gauge_set(obs::MetricId::kPoolAcquires, testbed_.medium().pool().acquires());
+  obs::gauge_set(obs::MetricId::kPoolReuses, testbed_.medium().pool().reuses());
   return result;
 }
 
@@ -234,16 +246,21 @@ void Campaign::fuzz(CampaignResult& result) {
       config_.duration > elapsed_offset_ ? config_.duration - elapsed_offset_ : 0;
   const SimTime hard_deadline = fuzz_started_at_ + budget;
   while (testbed_.scheduler().now() < hard_deadline && !aborted_) {
+    std::size_t executed = 0;
     for (zwave::CommandClassId cc : result.fingerprint.fuzz_queue) {
       if (testbed_.scheduler().now() >= hard_deadline || aborted_) break;
-      fuzz_class(result, cc, hard_deadline);
+      executed += fuzz_class(result, cc, hard_deadline);
     }
     if (!config_.loop_queue || result.fingerprint.fuzz_queue.empty()) break;
+    // A full walk that executed nothing means the memo has retired every
+    // payload the queue can still produce; further passes would spin
+    // without advancing virtual time.
+    if (config_.dedup && executed == 0) break;
   }
 }
 
-void Campaign::fuzz_class(CampaignResult& result, zwave::CommandClassId cc,
-                          SimTime hard_deadline) {
+std::size_t Campaign::fuzz_class(CampaignResult& result, zwave::CommandClassId cc,
+                                 SimTime hard_deadline) {
   result.classes_fuzzed.insert(cc);
   PositionSensitiveMutator mutator(rng_, cc);
   // A class entered near the end of the campaign gets only the remaining
@@ -251,11 +268,14 @@ void Campaign::fuzz_class(CampaignResult& result, zwave::CommandClassId cc,
   const SimTime class_deadline =
       std::min(testbed_.scheduler().now() + config_.per_class_budget, hard_deadline);
 
+  std::size_t executed = 0;
+  std::size_t consecutive_memo_hits = 0;
+  zwave::AppPayload& payload = payload_scratch_;  // reused across iterations
   while (true) {
     const SimTime now = testbed_.scheduler().now();
     if (now >= hard_deadline) break;  // the global budget binds even mid-systematic
     if (!mutator.in_systematic_phase() && now >= class_deadline) break;
-    const zwave::AppPayload payload = mutator.next();
+    mutator.next_into(payload);
     obs::count(obs::MetricId::kCampaignMutations);
     obs::emit(obs::TraceEventType::kMutation, payload.cmd_class, payload.command,
               payload.params.empty() ? kNoParam : payload.params[0],
@@ -265,9 +285,29 @@ void Campaign::fuzz_class(CampaignResult& result, zwave::CommandClassId cc,
     const Signature wildcard{sig.cc, sig.cmd, kAnyParam};
     if (blacklist_.contains(sig) || blacklist_.contains(wildcard)) continue;
 
-    execute_test(result, payload);
+    if (config_.dedup) {
+      if (memo_.contains(TestMemo::fingerprint(payload))) {
+        obs::count(obs::MetricId::kCampaignDedupHits);
+        // Skipped tests consume no virtual time; a class whose remaining
+        // stream is all duplicates must not spin against the deadline.
+        if (++consecutive_memo_hits >= kDedupSaturationLimit &&
+            !mutator.in_systematic_phase()) {
+          break;
+        }
+        continue;
+      }
+      obs::count(obs::MetricId::kCampaignDedupMisses);
+      consecutive_memo_hits = 0;
+    }
+
+    ++executed;
+    run_test_adaptive(result, payload);
     if (should_stop(result)) break;
   }
+  // Whatever ended the loop, no payload leaves the class un-oracled: sweep
+  // (and, if anomalous, triage) the residual deferred window.
+  sweep_window(result);
+  return executed;
 }
 
 void Campaign::fuzz_random(CampaignResult& result) {
@@ -327,10 +367,17 @@ void Campaign::fuzz_random(CampaignResult& result) {
 bool Campaign::inject_acked(CampaignResult& result, const zwave::AppPayload& payload) {
   // Build the frame once so every retry reuses the same MAC sequence
   // number: the controller re-acks a repeated sequence without
-  // re-processing it, so a retried payload is applied at most once.
-  const zwave::MacFrame frame = zwave::make_singlecast(
-      home_, kAttackerNodeId, target_, payload, dongle_.next_sequence(),
-      /*ack_requested=*/true);
+  // re-processing it, so a retried payload is applied at most once. The
+  // frame is assembled in the tx_frame_ scratch, reusing its payload
+  // buffer's capacity across tests.
+  zwave::MacFrame& frame = tx_frame_;
+  frame.home_id = home_;
+  frame.src = kAttackerNodeId;
+  frame.dst = target_;
+  frame.header = zwave::HeaderType::kSinglecast;
+  frame.ack_requested = true;
+  frame.sequence = dongle_.next_sequence() & 0x0F;
+  payload.encode_into(frame.payload);
 
   const SimTime injection_started = testbed_.scheduler().now();
   const SimTime injection_deadline = injection_started + config_.retry.deadline;
@@ -379,22 +426,162 @@ TestOutcome Campaign::execute_test(CampaignResult& result,
   // Drain the controller's reaction within the response window. The reply
   // classification (positive response vs APPLICATION_STATUS rejection) is
   // what the feedback loop of Fig. 7 feeds back into test generation.
-  const SimTime window_end = window_start + config_.response_window;
-  while (testbed_.scheduler().now() < window_end) {
+  drain_responses(window_start + config_.response_window);
+
+  run_oracles(result, payload);
+  dongle_.run_for(kInterTestGap);
+  return result.findings.size() != findings_before ? TestOutcome::kFinding
+                                                   : TestOutcome::kClean;
+}
+
+void Campaign::drain_responses(SimTime deadline) {
+  while (testbed_.scheduler().now() < deadline) {
     const auto reply = dongle_.await_frame(
         [&](const zwave::MacFrame& reply_frame) {
           return reply_frame.home_id == home_ && reply_frame.src == target_ &&
                  reply_frame.dst == kAttackerNodeId &&
                  reply_frame.header != zwave::HeaderType::kAck;
         },
-        window_end - testbed_.scheduler().now());
+        deadline - testbed_.scheduler().now());
     if (!reply.has_value()) break;
   }
+}
 
-  run_oracles(result, payload);
+TestOutcome Campaign::run_test_adaptive(CampaignResult& result,
+                                        const zwave::AppPayload& payload) {
+  if (config_.liveness_stride <= 1) {
+    // Legacy schedule: every oracle after every test.
+    const TestOutcome outcome = execute_test(result, payload);
+    if (outcome == TestOutcome::kClean) memoize_clean(payload);
+    return outcome;
+  }
+
+  const std::size_t findings_before = result.findings.size();
+  obs::count(obs::MetricId::kCampaignTests);
+  const SimTime window_start = testbed_.scheduler().now();
+  note_packet(result);
+  const bool acked = inject_acked(result, payload);
+  if (!acked) {
+    if (probe_liveness()) {
+      // A full retry envelope vanished yet the controller answers pings.
+      // Either the medium ate the exchange, or a short self-healing outage
+      // (one that expires before the probe lands) swallowed it — and its
+      // trigger would be a deferred payload that a later clean sweep would
+      // certify. Replay the window under per-test oracles so short-outage
+      // bugs cannot be memoized away; the lost payload itself stays
+      // inconclusive either way.
+      ++result.inconclusive_tests;
+      obs::count(obs::MetricId::kCampaignInconclusive);
+      if (!window_.empty()) triage_window(result, /*alive=*/true);
+      dongle_.run_for(kInterTestGap);
+      return result.findings.size() != findings_before
+                 ? TestOutcome::kFinding
+                 : TestOutcome::kInconclusive;
+    }
+    // Silence. The outage started somewhere inside the un-probed window —
+    // possibly before this payload ever arrived — so the whole window (plus
+    // this payload) is replayed under per-test oracles; the finding lands
+    // on the test that caused the outage, not the one that noticed it.
+    window_.push_back(payload);
+    triage_window(result, /*alive=*/false);
+    return result.findings.size() != findings_before ? TestOutcome::kFinding
+                                                     : TestOutcome::kInconclusive;
+  }
+
+  drain_responses(window_start + config_.response_window);
+
+  // The host oracle stays per-test: it is a free read of bench state, and a
+  // host anomaly right after an injection attributes exactly.
+  const auto host_state = testbed_.controller().host().state();
+  if (host_state != last_host_state_ &&
+      host_state != sim::HostSoftware::State::kRunning) {
+    record_finding(result, payload,
+                   host_state == sim::HostSoftware::State::kCrashed
+                       ? DetectionKind::kHostCrash
+                       : DetectionKind::kHostDoS);
+    testbed_.controller().host().restart();
+  }
+  last_host_state_ = testbed_.controller().host().state();
+
+  // Liveness and the (expensive) node-table digest are deferred to the
+  // stride boundary.
+  window_.push_back(payload);
   dongle_.run_for(kInterTestGap);
+  if (window_.size() >= config_.liveness_stride) sweep_window(result);
   return result.findings.size() != findings_before ? TestOutcome::kFinding
                                                    : TestOutcome::kClean;
+}
+
+bool Campaign::sweep_window(CampaignResult& result) {
+  if (window_.empty()) return true;
+  obs::count(obs::MetricId::kCampaignOracleSweeps);
+  const bool alive = probe_liveness();
+  if (alive) {
+    const auto digest = query_table_digest();
+    const bool tampered = digest.has_value() && baseline_digest_.has_value() &&
+                          *digest != *baseline_digest_;
+    if (!tampered) {
+      if (digest.has_value() && baseline_digest_.has_value()) {
+        // Certified clean: every deferred payload ran against a live
+        // controller whose table still matches the baseline.
+        for (const auto& clean : window_) memoize_clean(clean);
+        window_.clear();
+        return true;
+      }
+      if (digest.has_value()) {
+        // The reference digest was lost (a lossy re-baseline) while deferred
+        // tests ran. The digest just read may already include their
+        // tampering, so adopting it as the baseline would certify the very
+        // payloads that corrupted the table — and poison every later
+        // comparison. Triage instead: restore, re-baseline from a
+        // known-good table, and replay the window under per-test oracles.
+        triage_window(result, /*alive=*/true);
+        return false;
+      }
+      // Digest timeout (lossy channel): alive but unverifiable. Keep the
+      // window so the next sweep re-checks it — dropping it here would let
+      // a tampering payload slip past the oracle entirely.
+      return false;
+    }
+  }
+  triage_window(result, alive);
+  return false;
+}
+
+void Campaign::triage_window(CampaignResult& result, bool alive) {
+  obs::count(obs::MetricId::kCampaignWindowTriages);
+  // Clear the anomaly so every replay starts from a known-good bench: wait
+  // the outage out, restore the node table, restart the host, re-baseline.
+  if (!alive) await_recovery(result);
+  testbed_.restore_network();
+  testbed_.controller().host().restart();
+  last_host_state_ = testbed_.controller().host().state();
+  // The replays below compare against this baseline, so a lossy-channel
+  // timeout here would blind the tamper oracle for the whole window: retry
+  // the exchange a couple of times before giving up.
+  baseline_digest_ = query_table_digest();
+  for (int attempt = 0; !baseline_digest_.has_value() && attempt < 2; ++attempt) {
+    baseline_digest_ = query_table_digest();
+  }
+  // Deliberately leave triggers_seen_ alone: the window's executions may
+  // have appended trigger-log entries, and record_finding's newest-entry
+  // attribution must still be able to read them if a replay turns
+  // inconclusive on a lossy channel (same policy as fuzz_random's triage).
+
+  std::vector<zwave::AppPayload> replay;
+  replay.swap(window_);
+  for (const auto& suspect : replay) {
+    const Signature sig = signature_of(suspect);
+    const Signature wildcard{sig.cc, sig.cmd, kAnyParam};
+    if (blacklist_.contains(sig) || blacklist_.contains(wildcard)) continue;
+    if (execute_test(result, suspect) == TestOutcome::kClean) memoize_clean(suspect);
+    if (should_stop(result)) break;
+  }
+}
+
+void Campaign::memoize_clean(const zwave::AppPayload& payload) {
+  if (!config_.dedup) return;
+  memo_.check_and_insert(TestMemo::fingerprint(payload));
 }
 
 void Campaign::run_oracles(CampaignResult& result, const zwave::AppPayload& suspect) {

@@ -34,6 +34,7 @@
 #include "core/mutator.h"
 #include "core/resilience.h"
 #include "core/scanner.h"
+#include "core/test_memo.h"
 #include "sim/testbed.h"
 
 namespace zc::core {
@@ -130,6 +131,21 @@ struct CampaignConfig {
   /// When the prioritized queue drains before `duration`, start another
   /// randomized pass (matches the paper's fixed 24 h trials).
   bool loop_queue = true;
+  /// Duplicate-test memoization: the mutators regenerate identical
+  /// (CMDCL, CMD, PARAMs) payloads constantly, and against a deterministic
+  /// SUT a repeated test repeats its verdict. When enabled, payloads whose
+  /// canonical fingerprint already executed with a certified-clean verdict
+  /// are skipped (hits/misses are exported as campaign.dedup_* metrics).
+  /// Findings and inconclusive tests are never memoized. `--no-dedup`
+  /// restores exhaustive re-execution.
+  bool dedup = true;
+  /// Adaptive liveness schedule: on the clean path, the NOP probe and the
+  /// node-table digest run once every `liveness_stride` tests instead of
+  /// after every test. Risky tests — lost acks, host-state anomalies —
+  /// always probe immediately, and a failed sweep replays the deferred
+  /// window under full per-test oracles so attribution stays exact.
+  /// 1 = the legacy probe-after-every-test schedule.
+  std::size_t liveness_stride = 8;
   /// kRandom only: blind packets per batch before an oracle check.
   std::size_t random_batch = 10;
   /// Checkpointing: every `checkpoint_interval` of virtual fuzz time (0
@@ -213,11 +229,27 @@ class Campaign {
   static Signature signature_of(const zwave::AppPayload& payload);
 
   void fuzz(CampaignResult& result);
-  void fuzz_class(CampaignResult& result, zwave::CommandClassId cc, SimTime hard_deadline);
+  /// Returns the number of tests actually executed (not skipped by the
+  /// blacklist or the dedup memo) so fuzz() can detect a saturated queue.
+  std::size_t fuzz_class(CampaignResult& result, zwave::CommandClassId cc,
+                         SimTime hard_deadline);
   void fuzz_random(CampaignResult& result);
 
   /// Sends one test payload (with retries) and runs every oracle.
   TestOutcome execute_test(CampaignResult& result, const zwave::AppPayload& payload);
+  /// Adaptive-schedule variant for fuzz_class: per-test host oracle, but
+  /// liveness/digest deferred to the stride boundary on the clean path.
+  TestOutcome run_test_adaptive(CampaignResult& result, const zwave::AppPayload& payload);
+  /// Stride-boundary oracle pass over the deferred window; certifies (and
+  /// memoizes) it when clean, triages it otherwise. True when clean.
+  bool sweep_window(CampaignResult& result);
+  /// Replays the deferred window under full per-test oracles after an
+  /// anomalous sweep, so the finding lands on the payload that caused it.
+  void triage_window(CampaignResult& result, bool alive);
+  /// Records a certified-clean payload in the dedup memo.
+  void memoize_clean(const zwave::AppPayload& payload);
+  /// Drains the controller's replies until `deadline` (feedback loop).
+  void drain_responses(SimTime deadline);
   void run_oracles(CampaignResult& result, const zwave::AppPayload& suspect);
   /// Ack-verified injection under the retry policy; true once the frame's
   /// delivery was confirmed by a MAC ack.
@@ -255,6 +287,13 @@ class Campaign {
   std::set<Signature> blacklist_;
   std::set<Signature> reported_signatures_;  // dedupe for unattributed finds
   std::set<int> reported_bug_ids_;           // dedupe by confirmed root cause
+  TestMemo memo_;                            // certified-clean payload fingerprints
+  std::vector<zwave::AppPayload> window_;    // clean tests awaiting a sweep
+  /// Scratch buffers for the injection hot path: the test frame and the
+  /// mutation payload are rebuilt in place each test, so a steady-state
+  /// clean-channel iteration performs no heap allocation.
+  zwave::MacFrame tx_frame_;
+  zwave::AppPayload payload_scratch_;
   std::size_t triggers_seen_ = 0;            // cursor into the SUT trigger log
   std::optional<std::uint64_t> baseline_digest_;
   sim::HostSoftware::State last_host_state_ = sim::HostSoftware::State::kRunning;

@@ -21,37 +21,50 @@ bool ZWaveDongle::configuration_valid() const {
 }
 
 void ZWaveDongle::on_bits(const radio::BitStream& bits, double rssi_dbm) {
-  const auto raw = radio::decode_transmission(bits);
-  CapturedFrame captured;
-  captured.at = scheduler_.now();
-  captured.rssi_dbm = rssi_dbm;
-  captured.raw_bit_count = bits.size();
-  if (raw.ok()) {
-    captured.hex = to_hex(raw.value());
-    auto frame = zwave::decode_frame(raw.value());
-    if (frame.ok()) {
-      captured.frame = frame.value();
-      if (obs::Recorder* recorder = obs::current()) {
-        // The command class is the first application byte; peeking it keeps
-        // this per-frame hook free of the full payload decode.
-        recorder->metrics().add(obs::MetricId::kDongleFramesRx);
-        const zwave::MacFrame& rx = *captured.frame;
-        recorder->emit(obs::TraceEventType::kFrameRx, rx.src,
-                       static_cast<std::int64_t>(rx.header),
-                       rx.payload.empty() ? -1 : rx.payload[0]);
-      }
-      inbox_.emplace_back(scheduler_.now(), std::move(frame).take());
+  // Decode into the dongle's reused scratches; the display-oriented
+  // CapturedFrame (hex rendering and all) is only materialized while a
+  // capture is actually running — promiscuous listening during a fuzz
+  // campaign stays allocation-free for valid empty-payload traffic (acks).
+  const auto raw = radio::decode_transmission_into(bits, rx_scratch_);
+  const bool frame_ok =
+      raw.ok() && zwave::decode_frame_into(rx_scratch_, rx_frame_) == Errc::kOk;
+  if (frame_ok) {
+    if (obs::Recorder* recorder = obs::current()) {
+      // The command class is the first application byte; peeking it keeps
+      // this per-frame hook free of the full payload decode.
+      recorder->metrics().add(obs::MetricId::kDongleFramesRx);
+      recorder->emit(obs::TraceEventType::kFrameRx, rx_frame_.src,
+                     static_cast<std::int64_t>(rx_frame_.header),
+                     rx_frame_.payload.empty() ? -1 : rx_frame_.payload[0]);
     }
+    inbox_.emplace_back(scheduler_.now(), rx_frame_);
   }
-  if (capturing_) captures_.push_back(std::move(captured));
+  if (capturing_) {
+    CapturedFrame captured;
+    captured.at = scheduler_.now();
+    captured.rssi_dbm = rssi_dbm;
+    captured.raw_bit_count = bits.size();
+    if (raw.ok()) captured.hex = to_hex(rx_scratch_);
+    if (frame_ok) captured.frame = rx_frame_;
+    captures_.push_back(std::move(captured));
+  }
+}
+
+std::pair<SimTime, zwave::MacFrame> ZWaveDongle::inbox_pop() {
+  std::pair<SimTime, zwave::MacFrame> front = std::move(inbox_[inbox_head_]);
+  ++inbox_head_;
+  if (inbox_head_ == inbox_.size()) {
+    inbox_.clear();  // drained: rewind, keeping the vector's capacity
+    inbox_head_ = 0;
+  }
+  return front;
 }
 
 void ZWaveDongle::inject(const zwave::MacFrame& frame) {
-  auto encoded = frame.encode();
-  if (!encoded.ok()) return;
+  if (frame.encode_into(tx_scratch_) != Errc::kOk) return;
   ++injected_;
   obs::count(obs::MetricId::kDongleFramesTx);
-  radio_.transmit(encoded.value());
+  radio_.transmit(tx_scratch_);
 }
 
 void ZWaveDongle::inject_raw(ByteView frame_bytes) {
@@ -62,8 +75,17 @@ void ZWaveDongle::inject_raw(ByteView frame_bytes) {
 
 void ZWaveDongle::send_app(zwave::HomeId home, zwave::NodeId src, zwave::NodeId dst,
                            const zwave::AppPayload& payload, bool ack_requested) {
-  inject(zwave::make_singlecast(home, src, dst, payload, next_sequence(),
-                                ack_requested));
+  // Reuse the singlecast template so the per-probe path (NOP pings, oracle
+  // queries) does not rebuild a MacFrame + payload buffer every call.
+  app_frame_.home_id = home;
+  app_frame_.src = src;
+  app_frame_.dst = dst;
+  app_frame_.header = zwave::HeaderType::kSinglecast;
+  app_frame_.ack_requested = ack_requested;
+  app_frame_.routed = false;
+  app_frame_.sequence = next_sequence();
+  payload.encode_into(app_frame_.payload);
+  inject(app_frame_);
 }
 
 std::optional<zwave::MacFrame> ZWaveDongle::await_frame(const FramePredicate& pred,
@@ -71,9 +93,8 @@ std::optional<zwave::MacFrame> ZWaveDongle::await_frame(const FramePredicate& pr
   const SimTime since = scheduler_.now();
   const SimTime deadline = since + timeout;
   while (true) {
-    while (!inbox_.empty()) {
-      auto [at, frame] = std::move(inbox_.front());
-      inbox_.pop_front();
+    while (!inbox_empty()) {
+      auto [at, frame] = inbox_pop();
       if (at < since) continue;  // stale: predates this exchange
       if (pred(frame)) return frame;
     }

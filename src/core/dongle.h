@@ -10,10 +10,10 @@
 // scheduler forward while watching its inbox.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -82,11 +82,24 @@ class ZWaveDongle {
  private:
   void on_bits(const radio::BitStream& bits, double rssi_dbm);
 
+  bool inbox_empty() const { return inbox_head_ == inbox_.size(); }
+  std::pair<SimTime, zwave::MacFrame> inbox_pop();
+
   EventScheduler& scheduler_;
   radio::Transceiver radio_;
   bool capturing_ = false;
   std::vector<CapturedFrame> captures_;
-  std::deque<std::pair<SimTime, zwave::MacFrame>> inbox_;
+  /// FIFO inbox as a vector + head cursor: pop is a cursor bump, and once
+  /// drained the vector resets (capacity kept) — unlike a deque, whose
+  /// block churn allocates every few frames at steady state.
+  std::vector<std::pair<SimTime, zwave::MacFrame>> inbox_;
+  std::size_t inbox_head_ = 0;
+  /// Reused receive-path scratches (PHY bytes + parsed MAC frame) and the
+  /// injection encode buffer / singlecast template for send_app().
+  Bytes rx_scratch_;
+  zwave::MacFrame rx_frame_;
+  Bytes tx_scratch_;
+  zwave::MacFrame app_frame_;
   std::uint8_t tx_sequence_ = 1;
   std::uint64_t injected_ = 0;
 };

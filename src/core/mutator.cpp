@@ -66,13 +66,19 @@ void PositionSensitiveMutator::build_systematic_queue() {
 }
 
 zwave::AppPayload PositionSensitiveMutator::next() {
+  zwave::AppPayload payload;
+  next_into(payload);
+  return payload;
+}
+
+void PositionSensitiveMutator::next_into(zwave::AppPayload& out) {
   ++generated_;
   if (!systematic_queue_.empty()) {
-    zwave::AppPayload payload = std::move(systematic_queue_.back());
+    out = std::move(systematic_queue_.back());
     systematic_queue_.pop_back();
-    return payload;
+    return;
   }
-  return random_mutation();
+  random_mutation_into(out);
 }
 
 std::uint8_t PositionSensitiveMutator::pick_valid_command() const {
@@ -83,8 +89,9 @@ std::uint8_t PositionSensitiveMutator::pick_valid_command() const {
   return command.id;
 }
 
-zwave::AppPayload PositionSensitiveMutator::random_mutation() {
-  zwave::AppPayload payload;
+void PositionSensitiveMutator::random_mutation_into(zwave::AppPayload& out) {
+  zwave::AppPayload& payload = out;
+  payload.params.clear();
   payload.cmd_class = cmd_class_;  // position 0: rand_valid only (Table I)
 
   // Position 1 (CMD): weighted operator choice.
@@ -112,8 +119,7 @@ zwave::AppPayload PositionSensitiveMutator::random_mutation() {
     for (const auto& param : command_spec->params) {
       if (param.type == zwave::ParamType::kVariadic) {
         const std::size_t n = static_cast<std::size_t>(rng_.uniform(0, 8));
-        const Bytes extra = rng_.bytes(n);
-        payload.params.insert(payload.params.end(), extra.begin(), extra.end());
+        rng_.append_bytes(payload.params, n);
         break;
       }
       payload.params.push_back(mutate_param(param));
@@ -122,7 +128,7 @@ zwave::AppPayload PositionSensitiveMutator::random_mutation() {
   } else {
     // Unknown command: a short random parameter vector.
     const std::size_t n = static_cast<std::size_t>(rng_.uniform(0, 4));
-    payload.params = rng_.bytes(n);
+    rng_.append_bytes(payload.params, n);
   }
 
   if (append_extra || rng_.chance(0.05)) payload.params.push_back(rng_.next_byte());
@@ -132,7 +138,6 @@ zwave::AppPayload PositionSensitiveMutator::random_mutation() {
   if (payload.params.size() > zwave::kMaxApplicationPayload - 2) {
     payload.params.resize(zwave::kMaxApplicationPayload - 2);
   }
-  return payload;
 }
 
 std::uint8_t PositionSensitiveMutator::mutate_param(const zwave::ParamSpec& spec) {
@@ -167,10 +172,15 @@ std::uint8_t PositionSensitiveMutator::mutate_param(const zwave::ParamSpec& spec
 
 zwave::AppPayload RandomMutator::next() {
   zwave::AppPayload payload;
-  payload.cmd_class = rng_.next_byte();
-  payload.command = rng_.next_byte();
-  payload.params = rng_.bytes(static_cast<std::size_t>(rng_.uniform(0, 6)));
+  next_into(payload);
   return payload;
+}
+
+void RandomMutator::next_into(zwave::AppPayload& out) {
+  out.cmd_class = rng_.next_byte();
+  out.command = rng_.next_byte();
+  out.params.clear();
+  rng_.append_bytes(out.params, static_cast<std::size_t>(rng_.uniform(0, 6)));
 }
 
 }  // namespace zc::core

@@ -49,6 +49,11 @@ class PositionSensitiveMutator {
   /// Produces the next semi-valid payload for this class.
   zwave::AppPayload next();
 
+  /// Allocation-free variant for the campaign hot loop: writes into `out`,
+  /// reusing its params buffer's capacity. Identical RNG draw order to
+  /// next().
+  void next_into(zwave::AppPayload& out);
+
   /// True while the deterministic enumeration phase is still running.
   bool in_systematic_phase() const { return !systematic_queue_.empty(); }
 
@@ -56,7 +61,7 @@ class PositionSensitiveMutator {
 
  private:
   void build_systematic_queue();
-  zwave::AppPayload random_mutation();
+  void random_mutation_into(zwave::AppPayload& out);
   std::uint8_t mutate_param(const zwave::ParamSpec& spec);
   std::uint8_t pick_valid_command() const;
 
@@ -73,6 +78,7 @@ class RandomMutator {
  public:
   explicit RandomMutator(Rng& rng) : rng_(rng) {}
   zwave::AppPayload next();
+  void next_into(zwave::AppPayload& out);
 
  private:
   Rng& rng_;

@@ -1,5 +1,6 @@
 #include "core/packet_tester.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <limits>
 #include <sstream>
@@ -43,6 +44,9 @@ std::string serialize_bug_log(const std::vector<BugFinding>& findings) {
 
 std::vector<LogEntry> parse_bug_log(const std::string& text, std::size_t* rejected_lines) {
   std::vector<LogEntry> entries;
+  // One line per entry (header and rejects only ever shrink the estimate).
+  entries.reserve(static_cast<std::size_t>(
+      std::count(text.begin(), text.end(), '\n')));
   std::size_t rejected = 0;
   std::istringstream stream(text);
   std::string line;
@@ -109,13 +113,18 @@ void PacketTester::settle() {
 ReplayResult PacketTester::replay(const LogEntry& entry) {
   ReplayResult result;
   result.entry = entry;
+  replay_into(entry, result);
+  return result;
+}
+
+void PacketTester::replay_into(const LogEntry& entry, ReplayResult& result) {
   settle();
 
   const std::uint64_t table_before = table_digest_direct();
   const auto host_before = testbed_.controller().host().state();
 
   const auto payload = zwave::decode_app_payload(entry.payload);
-  if (!payload.ok()) return result;
+  if (!payload.ok()) return;
   const SimTime injected_at = testbed_.scheduler().now();
   dongle_.send_app(home_, kTesterNodeId, zwave::kControllerNodeId, payload.value());
   dongle_.run_for(200 * kMillisecond);
@@ -128,7 +137,7 @@ ReplayResult PacketTester::replay(const LogEntry& entry) {
     result.observed_kind = host_after == sim::HostSoftware::State::kCrashed
                                ? DetectionKind::kHostCrash
                                : DetectionKind::kHostDoS;
-    return result;
+    return;
   }
   if (!probe_liveness()) {
     result.reproduced = true;
@@ -141,13 +150,12 @@ ReplayResult PacketTester::replay(const LogEntry& entry) {
         outage == std::numeric_limits<SimTime>::max() ? outage : outage + consumed;
     // Wait it out so the next entry starts clean (capped for "Infinite").
     dongle_.run_for(std::min<SimTime>(outage, 5 * kMinute));
-    return result;
+    return;
   }
   if (table_digest_direct() != table_before) {
     result.reproduced = true;
     result.observed_kind = DetectionKind::kMemoryTampering;
   }
-  return result;
 }
 
 std::vector<ReplayResult> PacketTester::replay_all(const std::vector<LogEntry>& log) {
@@ -159,18 +167,25 @@ std::vector<ReplayResult> PacketTester::replay_all(const std::vector<LogEntry>& 
 
 Bytes PacketTester::minimize(const LogEntry& entry) {
   Bytes best = entry.payload;
+  // One candidate and one verdict reused across the whole shrink loop: the
+  // replays themselves dominate, but a long corpus minimization should not
+  // also churn a payload copy per dropped byte.
+  LogEntry candidate = entry;
+  ReplayResult verdict;
   while (best.size() > 2) {
-    LogEntry candidate = entry;
-    candidate.payload = Bytes(best.begin(), best.end() - 1);
-    if (!replay(candidate).reproduced) break;
+    candidate.payload.assign(best.begin(), best.end() - 1);
+    verdict = ReplayResult{};
+    replay_into(candidate, verdict);
+    if (!verdict.reproduced) break;
     best = candidate.payload;
   }
   // The two-byte floor keeps CMDCL+CMD; some triggers survive with just
   // those. Try the one-byte degenerate form too.
   if (best.size() == 2) {
-    LogEntry candidate = entry;
-    candidate.payload = Bytes(best.begin(), best.begin() + 1);
-    if (replay(candidate).reproduced) best = candidate.payload;
+    candidate.payload.assign(best.begin(), best.begin() + 1);
+    verdict = ReplayResult{};
+    replay_into(candidate, verdict);
+    if (verdict.reproduced) best = candidate.payload;
   }
   return best;
 }

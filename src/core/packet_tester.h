@@ -61,6 +61,10 @@ class PacketTester {
   Bytes minimize(const LogEntry& entry);
 
  private:
+  /// Oracle core shared by replay() and minimize(): fills the verdict
+  /// fields of `result` without copying the entry into it.
+  void replay_into(const LogEntry& entry, ReplayResult& result);
+
   bool probe_liveness();
   std::uint64_t table_digest_direct() const;
   void settle();

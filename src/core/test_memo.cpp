@@ -1,0 +1,86 @@
+#include "core/test_memo.h"
+
+namespace zc::core {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+constexpr std::size_t kInitialSlots = 1024;  // power of two
+
+inline std::uint64_t fnv_step(std::uint64_t h, std::uint8_t byte) {
+  return (h ^ byte) * kFnvPrime;
+}
+
+/// Final avalanche (splitmix64 tail) so linear probing over a power-of-two
+/// table sees well-mixed low bits even for near-identical payloads.
+inline std::uint64_t finalize(std::uint64_t h) {
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h != 0 ? h : 0x5EEDULL;  // 0 is the empty-slot sentinel
+}
+
+}  // namespace
+
+TestMemo::TestMemo() : slots_(kInitialSlots, 0), mask_(kInitialSlots - 1) {}
+
+std::uint64_t TestMemo::fingerprint(const zwave::AppPayload& payload) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_step(h, payload.cmd_class);
+  h = fnv_step(h, payload.command);
+  // Length byte disambiguates [0x00] from [] trailing-zero style prefixes.
+  h = fnv_step(h, static_cast<std::uint8_t>(payload.params.size()));
+  for (std::uint8_t b : payload.params) h = fnv_step(h, b);
+  return finalize(h);
+}
+
+std::uint64_t TestMemo::fingerprint(ByteView raw) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_step(h, static_cast<std::uint8_t>(raw.size()));
+  for (std::uint8_t b : raw) h = fnv_step(h, b);
+  return finalize(h);
+}
+
+bool TestMemo::check_and_insert(std::uint64_t fp) {
+  if (fp == 0) fp = 0x5EEDULL;
+  std::size_t index = static_cast<std::size_t>(fp) & mask_;
+  while (slots_[index] != 0) {
+    if (slots_[index] == fp) return true;
+    index = (index + 1) & mask_;
+  }
+  slots_[index] = fp;
+  ++size_;
+  // Grow at ~0.7 load so probe chains stay short.
+  if (size_ * 10 >= slots_.size() * 7) grow();
+  return false;
+}
+
+bool TestMemo::contains(std::uint64_t fp) const {
+  if (fp == 0) fp = 0x5EEDULL;
+  std::size_t index = static_cast<std::size_t>(fp) & mask_;
+  while (slots_[index] != 0) {
+    if (slots_[index] == fp) return true;
+    index = (index + 1) & mask_;
+  }
+  return false;
+}
+
+void TestMemo::clear() {
+  slots_.assign(slots_.size(), 0);
+  size_ = 0;
+}
+
+void TestMemo::grow() {
+  std::vector<std::uint64_t> old = std::move(slots_);
+  slots_.assign(old.size() * 2, 0);
+  mask_ = slots_.size() - 1;
+  for (std::uint64_t fp : old) {
+    if (fp == 0) continue;
+    std::size_t index = static_cast<std::size_t>(fp) & mask_;
+    while (slots_[index] != 0) index = (index + 1) & mask_;
+    slots_[index] = fp;
+  }
+}
+
+}  // namespace zc::core

@@ -1,0 +1,57 @@
+// Duplicate-test memoization (perf layer over Algorithm 1).
+//
+// The systematic enumeration pass and the position-sensitive random phase
+// can regenerate identical (CMDCL, CMD, PARAMs) payloads — boundary vectors
+// collide with sweep vectors, and the random operators re-draw popular
+// constants constantly. Re-executing an identical test against the same
+// deterministic controller model yields the identical verdict, so the
+// campaign memoizes canonical payload fingerprints and skips re-execution.
+//
+// The set is a compact open-addressing table over 64-bit FNV-1a
+// fingerprints: no buckets, no per-entry allocation, power-of-two sizing
+// with linear probing. Zero is reserved as the empty-slot sentinel
+// (fingerprints hashing to 0 are remapped to a fixed nonzero constant).
+//
+// A 64-bit fingerprint over a ~10^5-test campaign has a collision
+// probability around 10^-9 — and a collision merely skips one payload the
+// fuzzer believes it already ran, never mis-attributes a finding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "zwave/frame.h"
+
+namespace zc::core {
+
+/// Open-addressing set of 64-bit test fingerprints.
+class TestMemo {
+ public:
+  TestMemo();
+
+  /// Canonical FNV-1a fingerprint of an application payload. Never zero.
+  static std::uint64_t fingerprint(const zwave::AppPayload& payload);
+
+  /// Canonical fingerprint of a raw frame byte string. Never zero.
+  static std::uint64_t fingerprint(ByteView raw);
+
+  /// Inserts `fp`; returns true if it was already present (duplicate).
+  bool check_and_insert(std::uint64_t fp);
+
+  /// Membership test without insertion.
+  bool contains(std::uint64_t fp) const;
+
+  std::size_t size() const { return size_; }
+  void clear();
+
+ private:
+  void grow();
+
+  std::vector<std::uint64_t> slots_;  // 0 = empty
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace zc::core

@@ -78,7 +78,21 @@ VFuzzResult VFuzz::run() {
   const SimTime deadline = testbed_.scheduler().now() + config_.duration;
 
   while (testbed_.scheduler().now() < deadline) {
-    dongle_.inject_raw(generate_frame());
+    Bytes frame = generate_frame();
+    if (config_.dedup) {
+      // A duplicate frame would buy a 6-second response wait for a verdict
+      // the campaign already has. Redraw instead — bounded, so a saturated
+      // generator still injects rather than spinning.
+      for (int tries = 0;
+           tries < 4 && memo_.check_and_insert(
+                            TestMemo::fingerprint(ByteView(frame.data(), frame.size())));
+           ++tries) {
+        obs::count(obs::MetricId::kVfuzzDedupSkips);
+        ++result.dedup_skips;
+        frame = generate_frame();
+      }
+    }
+    dongle_.inject_raw(frame);
     obs::count(obs::MetricId::kVfuzzPacketsTx);
     ++result.packets_sent;
     dongle_.run_for(config_.inter_packet_gap);

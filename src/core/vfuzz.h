@@ -16,6 +16,7 @@
 #include <set>
 
 #include "core/dongle.h"
+#include "core/test_memo.h"
 #include "sim/testbed.h"
 
 namespace zc::core {
@@ -24,10 +25,17 @@ struct VFuzzConfig {
   SimTime duration = 24 * kHour;
   SimTime inter_packet_gap = 6 * kSecond;  // protocol-aware response waits
   std::uint64_t seed = 0xF022;
+  /// Skip byte-identical frames (the unguided generator redraws popular
+  /// header mutations constantly). Each duplicate is regenerated instead of
+  /// spent on a 6-second response wait; regeneration is bounded so a
+  /// saturated space still makes progress.
+  bool dedup = true;
 };
 
 struct VFuzzResult {
   std::uint64_t packets_sent = 0;
+  /// Duplicate frames regenerated before injection (dedup only).
+  std::uint64_t dedup_skips = 0;
   /// Distinct triggered root causes (Table III ids 1-15; MAC quirks 101+).
   std::set<int> unique_bug_ids;
   /// Coverage the tool itself reports: full byte ranges.
@@ -49,6 +57,7 @@ class VFuzz {
   Rng rng_;
   ZWaveDongle dongle_;
   zwave::HomeId home_;
+  TestMemo memo_;
 };
 
 }  // namespace zc::core

@@ -16,11 +16,16 @@ constexpr MetricInfo kInfo[kMetricCount] = {
     {"campaign.recoveries", MetricKind::kCounter, "episodes"},
     {"campaign.checkpoints", MetricKind::kCounter, "snapshots"},
     {"campaign.mutations", MetricKind::kCounter, "payloads"},
+    {"campaign.dedup_hits", MetricKind::kCounter, "tests"},
+    {"campaign.dedup_misses", MetricKind::kCounter, "tests"},
+    {"campaign.oracle_sweeps", MetricKind::kCounter, "sweeps"},
+    {"campaign.window_triages", MetricKind::kCounter, "episodes"},
     {"scanner.probes_tx", MetricKind::kCounter, "frames"},
     {"scanner.frames_sniffed", MetricKind::kCounter, "frames"},
     {"scanner.cmdcl_validated", MetricKind::kCounter, "classes"},
     {"resilience.backoffs", MetricKind::kCounter, "pauses"},
     {"vfuzz.packets_tx", MetricKind::kCounter, "frames"},
+    {"vfuzz.dedup_skips", MetricKind::kCounter, "frames"},
     {"dongle.frames_tx", MetricKind::kCounter, "frames"},
     {"dongle.frames_rx", MetricKind::kCounter, "frames"},
     {"radio.transmissions", MetricKind::kCounter, "frames"},
@@ -31,6 +36,9 @@ constexpr MetricInfo kInfo[kMetricCount] = {
     {"trace.events_dropped", MetricKind::kCounter, "events"},
     {"campaign.queue_length", MetricKind::kGauge, "classes"},
     {"campaign.blacklist_size", MetricKind::kGauge, "signatures"},
+    {"pool.buffers", MetricKind::kGauge, "buffers"},
+    {"pool.acquires", MetricKind::kGauge, "buffers"},
+    {"pool.reuses", MetricKind::kGauge, "buffers"},
     {"campaign.injection_ack_us", MetricKind::kHistogram, "us"},
     {"campaign.liveness_probe_us", MetricKind::kHistogram, "us"},
     {"campaign.recovery_downtime_us", MetricKind::kHistogram, "us"},

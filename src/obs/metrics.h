@@ -43,6 +43,10 @@ enum class MetricId : std::uint8_t {
   kCampaignRecoveries,
   kCampaignCheckpoints,
   kCampaignMutations,
+  kCampaignDedupHits,
+  kCampaignDedupMisses,
+  kCampaignOracleSweeps,
+  kCampaignWindowTriages,
   // fingerprinting (core/scanner.cpp, core/extractor.cpp)
   kScannerProbesTx,
   kScannerFramesSniffed,
@@ -51,10 +55,11 @@ enum class MetricId : std::uint8_t {
   kResilienceBackoffs,
   // baseline fuzzer (core/vfuzz.cpp)
   kVfuzzPacketsTx,
+  kVfuzzDedupSkips,
   // attacker front-end (core/dongle.cpp)
   kDongleFramesTx,
   kDongleFramesRx,
-  // RF medium (radio/medium.cpp)
+  // RF medium (radio/medium.cpp, radio/buffer_pool.cpp)
   kRadioTransmissions,
   kRadioDeliveries,
   kRadioDropsRf,
@@ -63,9 +68,14 @@ enum class MetricId : std::uint8_t {
   kSimNetworkRestores,
   // trace sink health (obs/recorder.cpp)
   kTraceEventsDropped,
-  // gauges
+  // gauges (pool totals are end-of-run levels published by campaign
+  // teardown — the pool itself keeps plain counters to stay hook-free on
+  // the per-packet path)
   kCampaignQueueLength,
   kCampaignBlacklistSize,
+  kPoolBuffers,
+  kPoolAcquires,
+  kPoolReuses,
   // histograms (virtual-time microseconds)
   kCampaignInjectionAckUs,
   kCampaignLivenessProbeUs,

@@ -1,0 +1,24 @@
+#include "radio/buffer_pool.h"
+
+namespace zc::radio {
+
+// Deliberately no obs:: hooks here: acquire() runs two-plus times per RF
+// packet, and even a disarmed thread-local telemetry probe is measurable at
+// that rate. The pool keeps plain counters; campaign teardown publishes
+// them as end-of-run gauges (kPoolAcquires/kPoolReuses/kPoolBuffers).
+BitBufferPool::Lease BitBufferPool::acquire() {
+  ++acquires_;
+  Slot* slot = nullptr;
+  if (!free_.empty()) {
+    ++reuses_;
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slots_.push_back(std::make_unique<Slot>());
+    slot = slots_.back().get();
+    slot->pool = this;
+  }
+  return Lease(slot);
+}
+
+}  // namespace zc::radio

@@ -1,0 +1,115 @@
+// Free-list pool of line-coded bit buffers for the RF fast path.
+//
+// Every transmission used to materialize at least one heap-allocated
+// BitStream (`make_shared<BitStream>` per delivery in RfMedium::broadcast),
+// which dominated the steady-state allocation profile of a campaign. The
+// pool replaces that with an arena of reusable slots handed out as
+// ref-counted leases:
+//
+//   * `acquire()` pops a slot from the free list (allocating a new slot
+//     only while the pool is still warming up);
+//   * a `Lease` is a cheap intrusive-refcount handle — copying it shares
+//     the same underlying buffer, as the clean-channel broadcast does
+//     across all receivers of one transmission;
+//   * when the last lease drops, the slot's buffer is cleared (capacity
+//     kept) and returned to the free list.
+//
+// Single-threaded by design: a pool belongs to one RfMedium, which belongs
+// to one shard (the ownership discipline of core/parallel). No atomics, no
+// locks — the refcount is a plain integer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "radio/phy.h"
+
+namespace zc::radio {
+
+class BitBufferPool {
+ public:
+  BitBufferPool() = default;
+  BitBufferPool(const BitBufferPool&) = delete;
+  BitBufferPool& operator=(const BitBufferPool&) = delete;
+
+  class Lease;
+
+  /// Hands out an empty buffer (capacity retained from previous uses).
+  Lease acquire();
+
+  /// Slots ever created (the arena's high-water mark).
+  std::size_t size() const { return slots_.size(); }
+  /// Slots currently on the free list (idle).
+  std::size_t idle() const { return free_.size(); }
+  /// Total acquire() calls / acquisitions served without allocating.
+  std::uint64_t acquires() const { return acquires_; }
+  std::uint64_t reuses() const { return reuses_; }
+
+ private:
+  struct Slot {
+    BitStream bits;
+    std::uint32_t refs = 0;
+    BitBufferPool* pool = nullptr;
+  };
+
+  void release(Slot* slot) {
+    slot->bits.clear();  // keeps capacity
+    free_.push_back(slot);
+  }
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<Slot*> free_;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t reuses_ = 0;
+
+ public:
+  /// Ref-counted handle to one pooled buffer. Copy to share (clean-path
+  /// fan-out), move to transfer. The buffer returns to the pool when the
+  /// last lease goes away — including leases still captured by scheduled
+  /// delivery events, so in-flight bits are never recycled early.
+  class Lease {
+   public:
+    Lease() = default;
+    explicit Lease(Slot* slot) : slot_(slot) {
+      if (slot_ != nullptr) ++slot_->refs;
+    }
+    Lease(const Lease& other) : slot_(other.slot_) {
+      if (slot_ != nullptr) ++slot_->refs;
+    }
+    Lease(Lease&& other) noexcept : slot_(other.slot_) { other.slot_ = nullptr; }
+    Lease& operator=(const Lease& other) {
+      if (this != &other) {
+        reset();
+        slot_ = other.slot_;
+        if (slot_ != nullptr) ++slot_->refs;
+      }
+      return *this;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        reset();
+        slot_ = other.slot_;
+        other.slot_ = nullptr;
+      }
+      return *this;
+    }
+    ~Lease() { reset(); }
+
+    void reset() {
+      if (slot_ != nullptr && --slot_->refs == 0) slot_->pool->release(slot_);
+      slot_ = nullptr;
+    }
+
+    explicit operator bool() const { return slot_ != nullptr; }
+    BitStream& bits() { return slot_->bits; }
+    const BitStream& bits() const { return slot_->bits; }
+    std::uint32_t ref_count() const { return slot_ == nullptr ? 0 : slot_->refs; }
+
+   private:
+    Slot* slot_ = nullptr;
+  };
+};
+
+}  // namespace zc::radio

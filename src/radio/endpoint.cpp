@@ -11,13 +11,12 @@ MacEndpoint::MacEndpoint(RfMedium& medium, RadioConfig config)
 }
 
 bool MacEndpoint::send(const zwave::MacFrame& frame) {
-  auto encoded = frame.encode();
-  if (!encoded.ok()) {
-    ZC_WARN("%s: refusing to send oversized frame: %s", radio_.config().label.c_str(),
-            encoded.error().message.c_str());
+  if (frame.encode_into(tx_scratch_) != Errc::kOk) {
+    ZC_WARN("%s: refusing to send oversized frame (%zu payload bytes)",
+            radio_.config().label.c_str(), frame.payload.size());
     return false;
   }
-  radio_.transmit(encoded.value());
+  radio_.transmit(tx_scratch_);
   return true;
 }
 
@@ -31,13 +30,15 @@ void MacEndpoint::on_bits(const BitStream& bits, double rssi_dbm) {
     ++frames_dropped_;
     return;
   }
-  const auto frame = zwave::decode_frame(rx_scratch_);
-  if (!frame.ok()) {
+  // Bare-Errc MAC parse into the reused scratch frame: rejections (the
+  // common case under fuzzing) build no error strings, acceptances reuse
+  // the payload buffer's capacity.
+  if (zwave::decode_frame_into(rx_scratch_, rx_frame_) != Errc::kOk) {
     ++frames_dropped_;
     return;
   }
   ++frames_ok_;
-  if (handler_) handler_(frame.value(), rssi_dbm);
+  if (handler_) handler_(rx_frame_, rssi_dbm);
 }
 
 }  // namespace zc::radio

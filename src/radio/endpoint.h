@@ -41,6 +41,11 @@ class MacEndpoint {
   FrameHandler handler_;
   /// Reused PHY-decode buffer for the receive hot path.
   Bytes rx_scratch_;
+  /// Reused MAC-parse scratch: its payload buffer's capacity persists
+  /// across frames, so steady-state receive performs zero allocations.
+  zwave::MacFrame rx_frame_;
+  /// Reused MAC-encode buffer for send().
+  Bytes tx_scratch_;
   std::uint64_t frames_ok_ = 0;
   std::uint64_t frames_dropped_ = 0;
 };

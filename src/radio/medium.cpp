@@ -22,10 +22,12 @@ void Transceiver::move_to(double x_meters, double y_meters) {
 
 void Transceiver::transmit(ByteView frame) {
   ++frames_sent_;
-  // Line-code into the per-transceiver scratch: steady-state transmission
-  // reuses its capacity instead of allocating a fresh BitStream per frame.
-  encode_transmission_into(frame, tx_scratch_);
-  medium_.broadcast(this, frame, tx_scratch_);
+  // Line-code straight into a pooled buffer: the broadcast shares that one
+  // lease across receivers, so steady-state transmission neither copies the
+  // bit stream nor touches the heap.
+  BitBufferPool::Lease lease = medium_.pool().acquire();
+  encode_transmission_into(frame, lease.bits());
+  medium_.broadcast(this, frame, std::move(lease));
 }
 
 void Transceiver::deliver(const BitStream& bits, double rssi_dbm) {
@@ -43,6 +45,34 @@ void RfMedium::detach(Transceiver* endpoint) {
                    endpoints_.end());
 }
 
+bool RfMedium::is_attached(const Transceiver* endpoint) const {
+  return std::find(endpoints_.begin(), endpoints_.end(), endpoint) != endpoints_.end();
+}
+
+RfMedium::Delivery* RfMedium::acquire_delivery() {
+  if (!delivery_free_.empty()) {
+    Delivery* record = delivery_free_.back();
+    delivery_free_.pop_back();
+    return record;
+  }
+  delivery_records_.push_back(std::make_unique<Delivery>());
+  return delivery_records_.back().get();
+}
+
+void RfMedium::fire_delivery(Delivery* delivery) {
+  // Copy the record out and recycle it *before* invoking the handler: the
+  // handler may transmit (acks do), which acquires fresh records.
+  Transceiver* receiver = delivery->receiver;
+  const double rssi = delivery->rssi_dbm;
+  BitBufferPool::Lease lease = std::move(delivery->lease);
+  delivery->receiver = nullptr;
+  delivery_free_.push_back(delivery);
+  // Endpoints detached (or destroyed) after the broadcast but before the
+  // airtime elapsed never hear the frame; the lease kept the buffer out of
+  // the pool until now either way.
+  if (is_attached(receiver)) receiver->deliver(lease.bits(), rssi);
+}
+
 double RfMedium::link_rssi_dbm(const Transceiver& from, const Transceiver& to) const {
   const double dx = from.config().x_meters - to.config().x_meters;
   const double dy = from.config().y_meters - to.config().y_meters;
@@ -52,7 +82,7 @@ double RfMedium::link_rssi_dbm(const Transceiver& from, const Transceiver& to) c
   return from.config().tx_power_dbm - loss;
 }
 
-void RfMedium::broadcast(Transceiver* sender, ByteView frame, const BitStream& bits) {
+void RfMedium::broadcast(Transceiver* sender, ByteView frame, BitBufferPool::Lease bits) {
   ZC_PROF_SCOPE("medium.broadcast");
   ++transmissions_;
   // One recorder lookup per broadcast; the per-receiver loop below then
@@ -66,15 +96,16 @@ void RfMedium::broadcast(Transceiver* sender, ByteView frame, const BitStream& b
     return;
   }
 
-  const double airtime_seconds = static_cast<double>(bits.size()) / model_.data_rate_bps;
+  const double airtime_seconds =
+      static_cast<double>(bits.bits().size()) / model_.data_rate_bps;
   const SimTime airtime = static_cast<SimTime>(airtime_seconds * static_cast<double>(kSecond));
 
   // Only a noisy channel (or an armed fault tap) personalizes the bit
-  // stream per receiver; a clean channel delivers one shared immutable
-  // copy to every listener — one allocation per broadcast instead of one
-  // per link, and none of the per-bit copy loops.
+  // stream per receiver (into a per-receiver pooled lease, preserving the
+  // exact RNG draw order seeded replays depend on); a clean channel shares
+  // the sender's own lease across every listener — zero copies, zero
+  // allocations once the pool is warm.
   const bool per_receiver_bits = model_.bit_flip_rate > 0.0 || fault_tap_ != nullptr;
-  std::shared_ptr<const BitStream> shared_clean;
   std::uint64_t deliveries = 0;
   std::uint64_t drops_rf = 0;
 
@@ -97,23 +128,25 @@ void RfMedium::broadcast(Transceiver* sender, ByteView frame, const BitStream& b
     }
 
     ++deliveries;
+    Delivery* record = acquire_delivery();
+    record->receiver = receiver;
+    record->rssi_dbm = rssi;
     if (per_receiver_bits) {
-      auto delivered = std::make_shared<BitStream>(bits);
+      BitBufferPool::Lease delivered = pool_.acquire();
+      delivered.bits().assign(bits.bits().begin(), bits.bits().end());
       if (model_.bit_flip_rate > 0.0) {
-        for (auto& bit : *delivered) {
+        for (auto& bit : delivered.bits()) {
           if (rng_.chance(model_.bit_flip_rate)) bit ^= 1;
         }
       }
-      if (fault_tap_ != nullptr) fault_tap_->corrupt_bits(*delivered);
-      scheduler_.schedule_after(airtime, [receiver, delivered = std::move(delivered), rssi] {
-        receiver->deliver(*delivered, rssi);
-      });
+      if (fault_tap_ != nullptr) fault_tap_->corrupt_bits(delivered.bits());
+      record->lease = std::move(delivered);
     } else {
-      if (!shared_clean) shared_clean = std::make_shared<const BitStream>(bits);
-      scheduler_.schedule_after(airtime, [receiver, delivered = shared_clean, rssi] {
-        receiver->deliver(*delivered, rssi);
-      });
+      record->lease = bits;  // shared: refcount keeps the buffer leased
     }
+    // Two trivially-copyable pointers fit std::function's inline storage,
+    // so scheduling a delivery does not allocate.
+    scheduler_.schedule_after(airtime, [this, record] { fire_delivery(record); });
   }
   if (recorder != nullptr) {
     if (deliveries > 0) recorder->metrics().add(obs::MetricId::kRadioDeliveries, deliveries);

@@ -25,6 +25,7 @@
 
 #include "common/clock.h"
 #include "common/rng.h"
+#include "radio/buffer_pool.h"
 #include "radio/phy.h"
 #include "zwave/types.h"
 
@@ -102,9 +103,6 @@ class Transceiver {
   RfMedium& medium_;
   RadioConfig config_;
   BitsHandler handler_;
-  /// Reused line-coding buffer: transmit() encodes every frame into this
-  /// scratch so the hot path stops allocating once capacity settles.
-  BitStream tx_scratch_;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_heard_ = 0;
 };
@@ -130,11 +128,34 @@ class RfMedium {
   void set_fault_tap(MediumFaultTap* tap) { fault_tap_ = tap; }
   MediumFaultTap* fault_tap() const { return fault_tap_; }
 
+  /// The medium's buffer arena (per shard, like the medium itself). The
+  /// transmit path leases line-coding buffers from here; tests and the
+  /// end-of-run telemetry read its stats.
+  BitBufferPool& pool() { return pool_; }
+
+  /// True while `endpoint` is registered. Scheduled deliveries re-check
+  /// this at fire time, so an endpoint detached (or destroyed) between a
+  /// broadcast and its airtime-delayed delivery is silently skipped instead
+  /// of being handed a dangling pointer or a recycled buffer.
+  bool is_attached(const Transceiver* endpoint) const;
+
  private:
   friend class Transceiver;
+
+  /// One scheduled delivery. Records live in a free-listed arena so the
+  /// capture of each delivery event is two raw pointers — small enough for
+  /// std::function's inline storage, keeping the scheduling path heap-free.
+  struct Delivery {
+    Transceiver* receiver = nullptr;
+    BitBufferPool::Lease lease;
+    double rssi_dbm = 0.0;
+  };
+
   void attach(Transceiver* endpoint);
   void detach(Transceiver* endpoint);
-  void broadcast(Transceiver* sender, ByteView frame, const BitStream& bits);
+  void broadcast(Transceiver* sender, ByteView frame, BitBufferPool::Lease bits);
+  Delivery* acquire_delivery();
+  void fire_delivery(Delivery* delivery);
 
   EventScheduler& scheduler_;
   Rng rng_;
@@ -142,6 +163,9 @@ class RfMedium {
   std::vector<Transceiver*> endpoints_;
   std::uint64_t transmissions_ = 0;
   MediumFaultTap* fault_tap_ = nullptr;
+  BitBufferPool pool_;
+  std::vector<std::unique_ptr<Delivery>> delivery_records_;
+  std::vector<Delivery*> delivery_free_;
 };
 
 }  // namespace zc::radio

@@ -111,9 +111,12 @@ Result<std::size_t> decode_transmission_into(const BitStream& bits, Bytes& frame
   frame.clear();
   // Hunt for the SOF byte on any 2-bit-aligned boundary after at least one
   // preamble byte worth of 0x55.
+  // Error literals below stay within std::string's small-buffer size: a
+  // noisy campaign rejects transmissions constantly, and the rejection path
+  // should not allocate either.
   const std::size_t total_bytes = bits.size() / 16;
   if (total_bytes < 2) {
-    return Error{Errc::kTruncated, "bit stream too short for framing"};
+    return Error{Errc::kTruncated, "short bits"};
   }
   std::size_t sof_index = 0;
   bool found = false;
@@ -137,7 +140,7 @@ Result<std::size_t> decode_transmission_into(const BitStream& bits, Bytes& frame
     preamble_run = 0;
   }
   if (!found) {
-    return Error{Errc::kBadField, "no start-of-frame delimiter found"};
+    return Error{Errc::kBadField, "no SOF"};
   }
 
   // Everything after SOF until the stream ends (or a symbol error) is the
@@ -149,7 +152,7 @@ Result<std::size_t> decode_transmission_into(const BitStream& bits, Bytes& frame
     frame.push_back(static_cast<std::uint8_t>(value));
   }
   if (frame.empty()) {
-    return Error{Errc::kTruncated, "no frame bytes after start-of-frame"};
+    return Error{Errc::kTruncated, "empty frame"};
   }
   return frame.size();
 }

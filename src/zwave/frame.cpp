@@ -13,9 +13,9 @@ std::uint8_t MacFrame::p1() const {
   return value;
 }
 
-Bytes MacFrame::encode_raw(std::optional<std::uint8_t> len_override,
-                           std::optional<std::uint8_t> cs_override) const {
-  Bytes out;
+void MacFrame::encode_raw_into(Bytes& out, std::optional<std::uint8_t> len_override,
+                               std::optional<std::uint8_t> cs_override) const {
+  out.clear();
   out.reserve(kMacHeaderSize + payload.size() + kChecksumSize);
   write_be32(out, home_id);
   out.push_back(src);
@@ -26,20 +26,25 @@ Bytes MacFrame::encode_raw(std::optional<std::uint8_t> len_override,
   out.push_back(dst);
   out.insert(out.end(), payload.begin(), payload.end());
   out.push_back(cs_override.value_or(checksum8(out)));
+}
+
+Bytes MacFrame::encode_raw(std::optional<std::uint8_t> len_override,
+                           std::optional<std::uint8_t> cs_override) const {
+  Bytes out;
+  encode_raw_into(out, len_override, cs_override);
   return out;
 }
 
-Result<Bytes> MacFrame::encode(IntegrityMode mode) const {
+Errc MacFrame::encode_into(Bytes& out, IntegrityMode mode) const {
+  out.clear();
   const std::size_t trailer = mode == IntegrityMode::kCrc16 ? 2u : kChecksumSize;
   const std::size_t total = kMacHeaderSize + payload.size() + trailer;
-  if (total > kMaxMacFrame) {
-    return Error{Errc::kBadLength,
-                 "frame would be " + std::to_string(total) + " bytes; MAC limit is 64"};
+  if (total > kMaxMacFrame) return Errc::kBadLength;
+  if (mode == IntegrityMode::kChecksum8) {
+    encode_raw_into(out);
+    return Errc::kOk;
   }
-  if (mode == IntegrityMode::kChecksum8) return encode_raw();
-
   // R3 framing: same header, 2-byte CRC-16-CCITT trailer.
-  Bytes out;
   out.reserve(total);
   write_be32(out, home_id);
   out.push_back(src);
@@ -49,6 +54,18 @@ Result<Bytes> MacFrame::encode(IntegrityMode mode) const {
   out.push_back(dst);
   out.insert(out.end(), payload.begin(), payload.end());
   write_be16(out, crc16_ccitt(out));
+  return Errc::kOk;
+}
+
+Result<Bytes> MacFrame::encode(IntegrityMode mode) const {
+  Bytes out;
+  const Errc code = encode_into(out, mode);
+  if (code != Errc::kOk) {
+    const std::size_t trailer = mode == IntegrityMode::kCrc16 ? 2u : kChecksumSize;
+    const std::size_t total = kMacHeaderSize + payload.size() + trailer;
+    return Error{Errc::kBadLength,
+                 "frame would be " + std::to_string(total) + " bytes; MAC limit is 64"};
+  }
   return out;
 }
 
@@ -60,60 +77,75 @@ std::string MacFrame::describe() const {
   return std::string(head) + to_hex_spaced(payload);
 }
 
-Result<MacFrame> decode_frame(ByteView raw, IntegrityMode mode) {
+Errc decode_frame_into(ByteView raw, MacFrame& out, IntegrityMode mode) {
   const std::size_t trailer = mode == IntegrityMode::kCrc16 ? 2u : kChecksumSize;
-  if (raw.size() < kMacHeaderSize + trailer) {
-    return Error{Errc::kTruncated,
-                 "frame of " + std::to_string(raw.size()) + " bytes is shorter than header"};
-  }
-  if (raw.size() > kMaxMacFrame) {
-    return Error{Errc::kBadLength, "frame exceeds 64-byte MAC limit"};
-  }
+  if (raw.size() < kMacHeaderSize + trailer) return Errc::kTruncated;
+  if (raw.size() > kMaxMacFrame) return Errc::kBadLength;
   const std::uint8_t len = raw[7];
-  if (len != raw.size()) {
-    return Error{Errc::kBadLength, "LEN field " + std::to_string(len) +
-                                       " != physical size " + std::to_string(raw.size())};
-  }
+  if (len != raw.size()) return Errc::kBadLength;
   if (mode == IntegrityMode::kCrc16) {
     const std::uint16_t expected = crc16_ccitt(raw.subspan(0, raw.size() - 2));
-    if (expected != read_be16(raw, raw.size() - 2)) {
-      return Error{Errc::kBadChecksum, "CRC-16 mismatch"};
-    }
+    if (expected != read_be16(raw, raw.size() - 2)) return Errc::kBadChecksum;
   } else {
     const std::uint8_t expected_cs = checksum8(raw.subspan(0, raw.size() - 1));
-    if (expected_cs != raw[raw.size() - 1]) {
-      return Error{Errc::kBadChecksum, "CS-8 mismatch"};
-    }
+    if (expected_cs != raw[raw.size() - 1]) return Errc::kBadChecksum;
   }
 
-  MacFrame frame;
-  frame.home_id = read_be32(raw, 0);
-  frame.src = raw[4];
+  out.home_id = read_be32(raw, 0);
+  out.src = raw[4];
   const std::uint8_t p1 = raw[5];
   const std::uint8_t type_nibble = p1 & 0x0F;
   switch (type_nibble) {
-    case 0x1: frame.header = HeaderType::kSinglecast; break;
-    case 0x2: frame.header = HeaderType::kMulticast; break;
-    case 0x3: frame.header = HeaderType::kAck; break;
-    case 0x8: frame.header = HeaderType::kRouted; break;
-    default:
-      return Error{Errc::kBadField, "unknown header type nibble " + std::to_string(type_nibble)};
+    case 0x1: out.header = HeaderType::kSinglecast; break;
+    case 0x2: out.header = HeaderType::kMulticast; break;
+    case 0x3: out.header = HeaderType::kAck; break;
+    case 0x8: out.header = HeaderType::kRouted; break;
+    default: return Errc::kBadField;
   }
-  frame.ack_requested = (p1 & 0x40) != 0;
-  frame.routed = (p1 & 0x80) != 0;
-  frame.sequence = raw[6] & 0x0F;
-  frame.dst = raw[8];
-  frame.payload.assign(raw.begin() + kMacHeaderSize,
-                       raw.end() - static_cast<std::ptrdiff_t>(trailer));
-  return frame;
+  out.ack_requested = (p1 & 0x40) != 0;
+  out.routed = (p1 & 0x80) != 0;
+  out.sequence = raw[6] & 0x0F;
+  out.dst = raw[8];
+  out.payload.assign(raw.begin() + kMacHeaderSize,
+                     raw.end() - static_cast<std::ptrdiff_t>(trailer));
+  return Errc::kOk;
 }
 
-Bytes AppPayload::encode() const {
-  Bytes out;
+Result<MacFrame> decode_frame(ByteView raw, IntegrityMode mode) {
+  MacFrame frame;
+  const Errc code = decode_frame_into(raw, frame, mode);
+  switch (code) {
+    case Errc::kOk: return frame;
+    case Errc::kTruncated:
+      return Error{Errc::kTruncated, "frame of " + std::to_string(raw.size()) +
+                                         " bytes is shorter than header"};
+    case Errc::kBadLength:
+      if (raw.size() > kMaxMacFrame) {
+        return Error{Errc::kBadLength, "frame exceeds 64-byte MAC limit"};
+      }
+      return Error{Errc::kBadLength, "LEN field " + std::to_string(raw[7]) +
+                                         " != physical size " + std::to_string(raw.size())};
+    case Errc::kBadChecksum:
+      return Error{Errc::kBadChecksum,
+                   mode == IntegrityMode::kCrc16 ? "CRC-16 mismatch" : "CS-8 mismatch"};
+    case Errc::kBadField:
+      return Error{Errc::kBadField, "unknown header type nibble " +
+                                        std::to_string(raw[5] & 0x0F)};
+    default: return Error{code, "frame rejected"};
+  }
+}
+
+void AppPayload::encode_into(Bytes& out) const {
+  out.clear();
   out.reserve(2 + params.size());
   out.push_back(cmd_class);
   out.push_back(command);
   out.insert(out.end(), params.begin(), params.end());
+}
+
+Bytes AppPayload::encode() const {
+  Bytes out;
+  encode_into(out);
   return out;
 }
 

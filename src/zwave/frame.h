@@ -42,12 +42,25 @@ struct MacFrame {
   /// Returns an error when the payload would exceed the 64-byte MAC limit.
   Result<Bytes> encode(IntegrityMode mode = IntegrityMode::kChecksum8) const;
 
+  /// Allocation-free variant: serializes into `out` (cleared first,
+  /// capacity reused). Returns Errc::kOk, or Errc::kBadLength when the
+  /// payload would exceed the 64-byte MAC limit (out is left empty). The
+  /// injection hot path keeps one scratch Bytes per sender so steady-state
+  /// encoding never touches the heap.
+  Errc encode_into(Bytes& out, IntegrityMode mode = IntegrityMode::kChecksum8) const;
+
   /// Serializes without validity enforcement and with explicit LEN/CS
   /// values — used by fuzzers and tests to produce deliberately broken
   /// frames. `len_override`/`cs_override` of nullopt mean "compute
   /// correctly".
   Bytes encode_raw(std::optional<std::uint8_t> len_override = std::nullopt,
                    std::optional<std::uint8_t> cs_override = std::nullopt) const;
+
+  /// Allocation-free encode_raw: writes into `out` (cleared, capacity
+  /// reused).
+  void encode_raw_into(Bytes& out,
+                       std::optional<std::uint8_t> len_override = std::nullopt,
+                       std::optional<std::uint8_t> cs_override = std::nullopt) const;
 
   /// One-line human-readable rendering for logs.
   std::string describe() const;
@@ -59,6 +72,13 @@ struct MacFrame {
 Result<MacFrame> decode_frame(ByteView raw,
                               IntegrityMode mode = IntegrityMode::kChecksum8);
 
+/// Allocation-free variant for the receive hot path: parses into `out`
+/// (whose payload buffer's capacity is reused across frames) and returns a
+/// bare error code — rejected frames are the *common* case under fuzzing,
+/// so this path builds no error strings. `out` is unspecified on failure.
+Errc decode_frame_into(ByteView raw, MacFrame& out,
+                       IntegrityMode mode = IntegrityMode::kChecksum8);
+
 /// Application-layer view of a payload: CMDCL at position 0, CMD at
 /// position 1, PARAMs from position 2 (paper Fig. 6).
 struct AppPayload {
@@ -67,6 +87,9 @@ struct AppPayload {
   Bytes params;
 
   Bytes encode() const;
+  /// Allocation-free encode: appends CMDCL CMD PARAM... into `out`
+  /// (cleared, capacity reused).
+  void encode_into(Bytes& out) const;
   std::string describe() const;
 };
 

@@ -1,0 +1,134 @@
+// Duplicate-test memoization and the adaptive liveness schedule: both are
+// perf layers over Algorithm 1 and must not change which bugs a campaign
+// finds — only how much work it spends finding them.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/campaign.h"
+#include "core/test_memo.h"
+#include "obs/recorder.h"
+
+namespace zc::core {
+namespace {
+
+std::set<int> found_bugs(const CampaignResult& result) {
+  std::set<int> found;
+  for (const auto& finding : result.findings) {
+    if (finding.matched_bug_id > 0) found.insert(finding.matched_bug_id);
+  }
+  return found;
+}
+
+CampaignResult run_campaign(bool dedup, std::size_t stride,
+                            obs::Recorder* recorder = nullptr) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  sim::Testbed testbed(testbed_config);
+  CampaignConfig config;
+  config.mode = CampaignMode::kFull;
+  config.duration = 2 * kHour;
+  config.loop_queue = false;
+  config.dedup = dedup;
+  config.liveness_stride = stride;
+  Campaign campaign(testbed, config);
+  if (recorder != nullptr) {
+    obs::ScopedRecorder scope(*recorder);
+    return campaign.run();
+  }
+  return campaign.run();
+}
+
+TEST(CampaignDedupTest, MemoizationDoesNotChangeFoundBugs) {
+  const auto with_dedup = run_campaign(true, 8);
+  const auto without = run_campaign(false, 8);
+  EXPECT_EQ(found_bugs(with_dedup), found_bugs(without));
+  EXPECT_EQ(found_bugs(with_dedup).size(), 15u);  // D4: all of Table III
+}
+
+TEST(CampaignDedupTest, AdaptiveStrideMatchesPerTestProbing) {
+  EventScheduler clock8, clock1;
+  obs::Recorder rec8(clock8, 0, 0), rec1(clock1, 0, 0);
+  const auto stride8 = run_campaign(true, 8, &rec8);
+  const auto stride1 = run_campaign(true, 1, &rec1);  // legacy: oracle every test
+  EXPECT_EQ(found_bugs(stride8), found_bugs(stride1));
+  // The deferred schedule pays far fewer liveness exchanges for the same
+  // findings; stride 1 probes after every single test.
+  EXPECT_LT(rec8.metrics().value(obs::MetricId::kCampaignLivenessChecks),
+            rec1.metrics().value(obs::MetricId::kCampaignLivenessChecks));
+}
+
+TEST(CampaignDedupTest, DedupHitCountersExposedViaMetrics) {
+  EventScheduler clock;
+  obs::Recorder recorder(clock, 0, 0);
+  run_campaign(true, 8, &recorder);
+  // The systematic phase re-derives boundary payloads the random phase
+  // redraws, so a 2-hour campaign always sees duplicates.
+  EXPECT_GT(recorder.metrics().value(obs::MetricId::kCampaignDedupHits), 0u);
+  EXPECT_GT(recorder.metrics().value(obs::MetricId::kCampaignDedupMisses), 0u);
+  EXPECT_GT(recorder.metrics().value(obs::MetricId::kCampaignOracleSweeps), 0u);
+}
+
+TEST(CampaignDedupTest, NoDedupEscapeHatchRecordsNoHits) {
+  EventScheduler clock;
+  obs::Recorder recorder(clock, 0, 0);
+  run_campaign(false, 8, &recorder);
+  EXPECT_EQ(recorder.metrics().value(obs::MetricId::kCampaignDedupHits), 0u);
+  EXPECT_EQ(recorder.metrics().value(obs::MetricId::kCampaignDedupMisses), 0u);
+}
+
+TEST(TestMemoTest, InsertContainsGrowRoundTrip) {
+  TestMemo memo;
+  zwave::AppPayload payload;
+  payload.cmd_class = 0x25;
+  payload.command = 0x01;
+  payload.params = {0xFF};
+  const auto fp = TestMemo::fingerprint(payload);
+  EXPECT_FALSE(memo.contains(fp));
+  EXPECT_FALSE(memo.check_and_insert(fp));  // first insert: not a duplicate
+  EXPECT_TRUE(memo.check_and_insert(fp));
+  EXPECT_TRUE(memo.contains(fp));
+  EXPECT_EQ(memo.size(), 1u);
+
+  // Push the table through several growths; membership must survive.
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    payload.params = {static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(i >> 8)};
+    memo.check_and_insert(TestMemo::fingerprint(payload));
+  }
+  EXPECT_EQ(memo.size(), 5001u);
+  EXPECT_TRUE(memo.contains(fp));
+  memo.clear();
+  EXPECT_EQ(memo.size(), 0u);
+  EXPECT_FALSE(memo.contains(fp));
+}
+
+TEST(TestMemoTest, LengthByteDisambiguatesTrailingZeroes) {
+  zwave::AppPayload a;
+  a.cmd_class = 0x01;
+  a.command = 0x02;
+  zwave::AppPayload b = a;
+  b.params = {0x00};
+  EXPECT_NE(TestMemo::fingerprint(a), TestMemo::fingerprint(b));
+}
+
+TEST(TestMemoTest, RawFrameFingerprintDetectsDuplicates) {
+  // The ByteView overload is VFuzz's whole-frame dedup key.
+  TestMemo memo;
+  const Bytes frame{0x01, 0x02, 0x03, 0x04};
+  const Bytes other{0x01, 0x02, 0x03, 0x05};
+  EXPECT_FALSE(memo.check_and_insert(
+      TestMemo::fingerprint(ByteView(frame.data(), frame.size()))));
+  EXPECT_TRUE(memo.check_and_insert(
+      TestMemo::fingerprint(ByteView(frame.data(), frame.size()))));
+  EXPECT_FALSE(memo.check_and_insert(
+      TestMemo::fingerprint(ByteView(other.data(), other.size()))));
+  // Length participates in the hash: a prefix is not its extension.
+  const Bytes prefix{0x01, 0x02, 0x03};
+  EXPECT_NE(TestMemo::fingerprint(ByteView(frame.data(), 3)),
+            TestMemo::fingerprint(ByteView(frame.data(), frame.size())));
+  EXPECT_FALSE(memo.check_and_insert(
+      TestMemo::fingerprint(ByteView(prefix.data(), prefix.size()))));
+}
+
+}  // namespace
+}  // namespace zc::core
