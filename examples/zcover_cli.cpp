@@ -3,11 +3,12 @@
 //   zcover_cli fuzz   [--device D4] [--mode full|beta|gamma] [--hours 2]
 //                     [--seed N] [--log FILE]
 //                     [--checkpoint FILE] [--resume FILE]
-//                     [--trace FILE] [--metrics FILE]
+//                     [--trace FILE] [--metrics FILE] [--journal FILE]
 //                     [--no-dedup] [--liveness-stride N]
 //   zcover_cli trials [--device D4|all] [--trials 5] [--jobs N]
 //                     [--mode full|beta|gamma] [--hours 24] [--seed N]
-//                     [--trace FILE] [--metrics FILE]
+//                     [--trace FILE] [--metrics FILE] [--journal FILE]
+//                     [--max-shard-restarts N] [--shard-deadline SECONDS]
 //                     [--no-dedup] [--liveness-stride N]
 //   zcover_cli scan   [--device D4]
 //   zcover_cli replay   --log FILE [--device D4]
@@ -31,12 +32,29 @@
 // sets the adaptive oracle schedule (1 = probe after every test, the
 // paper's baseline; default 8 = sweep at stride boundaries with full
 // window replay on any anomaly).
+//
+// `--journal FILE` opens a crash-safe append-only findings journal
+// (docs/robustness.md documents the on-disk format): every confirmed
+// finding is durable the moment it is detected, duplicates across runs
+// are skipped, and a torn tail from a previous kill is truncated on open.
+// `--max-shard-restarts N` and `--shard-deadline SECONDS` tune the shard
+// fault domains in `trials`: a crashed or hung shard is restarted up to N
+// times (resuming from its checkpoint when one exists) and quarantined
+// after that, leaving every other shard's results untouched.
+//
+// SIGINT/SIGTERM request a cooperative stop: every campaign halts at its
+// next test boundary, emits a final checkpoint (when checkpointing is
+// on), the journal is flushed, and the process exits with 128+signal
+// (130 for SIGINT, 143 for SIGTERM).
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+
+#include "store/journal.h"
 
 #include "core/campaign.h"
 #include "core/checkpoint.h"
@@ -49,6 +67,44 @@
 namespace {
 
 using namespace zc;
+
+/// Last termination signal received (0 = none). Campaigns poll it through
+/// their abort hooks, so shutdown is always cooperative: the stack unwinds
+/// normally, final checkpoints are written, the journal is flushed.
+volatile std::sig_atomic_t g_signal = 0;
+
+void handle_signal(int sig) { g_signal = sig; }
+
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+}
+
+/// 130 for SIGINT, 143 for SIGTERM — the conventional 128+signal codes, so
+/// scripts can tell an interrupted run from a completed one.
+int exit_code_for_signal() { return g_signal == 0 ? 0 : 128 + static_cast<int>(g_signal); }
+
+/// Opens the findings journal when --journal was given (returns whether it
+/// did); exits on an unrecoverable journal error (unknown version /
+/// foreign file) rather than silently fuzzing without durability.
+bool maybe_open_journal(const std::string& path, store::FindingsJournal& journal) {
+  if (path.empty()) return false;
+  if (!journal.open(path)) {
+    std::fprintf(stderr, "cannot open journal %s: %s\n", path.c_str(),
+                 store::journal_error_name(journal.error()));
+    std::exit(1);
+  }
+  const auto& recovery = journal.recovery();
+  if (recovery.bytes_truncated > 0) {
+    std::printf("journal %s: recovered %zu records, truncated %llu torn bytes\n",
+                path.c_str(), recovery.records_recovered,
+                static_cast<unsigned long long>(recovery.bytes_truncated));
+  } else if (recovery.records_recovered > 0) {
+    std::printf("journal %s: %zu records from previous runs (cross-run dedup on)\n",
+                path.c_str(), recovery.records_recovered);
+  }
+  return true;
+}
 
 sim::DeviceModel parse_device(const std::string& name) {
   for (sim::DeviceModel model : sim::all_controller_models()) {
@@ -84,6 +140,9 @@ struct Options {
   std::string resume_path;
   std::string trace_path;
   std::string metrics_path;
+  std::string journal_path;
+  std::size_t max_shard_restarts = 2;
+  double shard_deadline_seconds = 0.0;  // 0 = watchdog off
 
   bool telemetry() const { return !trace_path.empty() || !metrics_path.empty(); }
 };
@@ -155,6 +214,13 @@ Options parse_options(int argc, char** argv) {
       options.trace_path = value();
     } else if (arg == "--metrics") {
       options.metrics_path = value();
+    } else if (arg == "--journal") {
+      options.journal_path = value();
+    } else if (arg == "--max-shard-restarts") {
+      options.max_shard_restarts =
+          static_cast<std::size_t>(std::strtoull(value().c_str(), nullptr, 0));
+    } else if (arg == "--shard-deadline") {
+      options.shard_deadline_seconds = std::atof(value().c_str());
     } else if (arg == "--no-dedup") {
       options.dedup = false;
     } else if (arg == "--liveness-stride") {
@@ -232,6 +298,9 @@ int cmd_fuzz(const Options& options) {
     config.resume_from = std::move(*checkpoint);
   }
   if (!options.checkpoint_path.empty()) {
+    // A previous crash may have left a half-written temp next to the real
+    // checkpoint; it can never be resumed from, so clear it up front.
+    core::remove_stale_checkpoint_tmp(options.checkpoint_path);
     config.checkpoint_interval = 5 * kMinute;
     config.checkpoint_sink = [&options](const core::CampaignCheckpoint& cp) {
       // Atomic tmp+rename: a kill mid-write leaves the previous complete
@@ -242,6 +311,10 @@ int cmd_fuzz(const Options& options) {
     };
   }
 
+  store::FindingsJournal journal;
+  if (maybe_open_journal(options.journal_path, journal)) config.journal = &journal;
+  config.abort_hook = [] { return g_signal != 0; };
+
   core::Campaign campaign(testbed, config);
   std::optional<obs::Recorder> recorder;
   std::optional<obs::ScopedRecorder> ambient;
@@ -251,6 +324,12 @@ int cmd_fuzz(const Options& options) {
   }
   const auto result = campaign.run();
   ambient.reset();
+  if (journal.is_open()) journal.flush();
+  if (g_signal != 0) {
+    std::printf("interrupted by signal %d: %llu packets in, state flushed\n",
+                static_cast<int>(g_signal),
+                static_cast<unsigned long long>(result.test_packets));
+  }
 
   std::printf("%s on %s: %llu packets over %s, %zu unique findings\n",
               core::campaign_mode_name(config.mode),
@@ -296,7 +375,7 @@ int cmd_fuzz(const Options& options) {
     std::fputs(telemetry.metrics.summary_table().c_str(), stdout);
   }
   print_profile_if_enabled();
-  return 0;
+  return exit_code_for_signal();
 }
 
 int cmd_trials(const Options& options) {
@@ -315,6 +394,12 @@ int cmd_trials(const Options& options) {
   core::ParallelConfig parallel;
   parallel.jobs = options.jobs;
   parallel.collect_telemetry = options.telemetry();
+  parallel.restart.max_restarts = options.max_shard_restarts;
+  parallel.shard_deadline = std::chrono::milliseconds(
+      static_cast<std::int64_t>(options.shard_deadline_seconds * 1000.0));
+  parallel.abort_hook = [] { return g_signal != 0; };
+  store::FindingsJournal journal;
+  if (maybe_open_journal(options.journal_path, journal)) parallel.journal = &journal;
   if (!options.checkpoint_path.empty()) {
     parallel.checkpoint_interval = 5 * kMinute;
     parallel.checkpoint_sink = [&options](std::size_t shard_id,
@@ -335,6 +420,14 @@ int cmd_trials(const Options& options) {
     devices.push_back(options.device);
   }
 
+  if (!options.checkpoint_path.empty()) {
+    // One stale-temp sweep covers every shard file a crashed run left.
+    for (std::size_t shard = 0; shard < devices.size() * options.trials; ++shard) {
+      core::remove_stale_checkpoint_tmp(options.checkpoint_path + ".shard" +
+                                        std::to_string(shard));
+    }
+  }
+
   const core::ParallelTrialReport report =
       options.all_devices
           ? core::run_profiles_parallel(devices, testbed_config, config, options.trials,
@@ -347,11 +440,17 @@ int cmd_trials(const Options& options) {
                   ? static_cast<double>(report.shards.size()) / report.wall_seconds
                   : 0.0);
   for (const core::ShardResult& shard : report.shards) {
-    std::printf("  shard %-3zu %-24s seed=%llu packets=%llu findings=%zu\n",
+    std::printf("  shard %-3zu %-24s seed=%llu packets=%llu findings=%zu",
                 shard.shard_id, sim::device_model_name(shard.device),
                 static_cast<unsigned long long>(shard.campaign_seed),
                 static_cast<unsigned long long>(shard.result.test_packets),
                 shard.result.findings.size());
+    if (shard.health != core::ShardHealth::kHealthy) {
+      std::printf("  [%s after %zu restart(s)%s%s]", core::shard_health_name(shard.health),
+                  shard.restarts, shard.last_error.empty() ? "" : ": ",
+                  shard.last_error.c_str());
+    }
+    std::printf("\n");
   }
   std::printf("union of confirmed bugs: %zu, total packets: %llu, "
               "inconclusive: %llu, recoveries: %zu\n",
@@ -359,6 +458,17 @@ int cmd_trials(const Options& options) {
               static_cast<unsigned long long>(report.summary.total_packets),
               static_cast<unsigned long long>(report.inconclusive_tests),
               report.recovery_episodes);
+  if (!report.degraded_shards.empty()) {
+    std::printf("DEGRADED: %zu shard(s) quarantined and excluded from the summary:",
+                report.degraded_shards.size());
+    for (std::size_t id : report.degraded_shards) std::printf(" %zu", id);
+    std::printf("\n");
+  }
+  if (journal.is_open()) {
+    journal.flush();
+    std::printf("journal: %zu total records at %s\n", journal.records().size(),
+                journal.path().c_str());
+  }
   if (options.telemetry()) {
     if (!options.trace_path.empty() &&
         !write_text_file(options.trace_path, report.merged_trace_jsonl(), "event trace")) {
@@ -372,7 +482,7 @@ int cmd_trials(const Options& options) {
     std::fputs(merged.summary_table().c_str(), stdout);
   }
   print_profile_if_enabled();
-  return 0;
+  return exit_code_for_signal();
 }
 
 int cmd_minimize(const Options& options) {
@@ -438,6 +548,7 @@ int cmd_replay(const Options& options) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  install_signal_handlers();
   const Options options = parse_options(argc, argv);
   if (options.command == "list") return cmd_list();
   if (options.command == "scan") return cmd_scan(options);

@@ -5,6 +5,7 @@
 #   scripts/ci.sh perf       # perf smoke: bench gates vs committed baselines
 #   scripts/ci.sh asan       # AddressSanitizer build + full suite
 #   scripts/ci.sh tsan       # ThreadSanitizer build + concurrent suites
+#   scripts/ci.sh robust     # crash/hang + journal recovery under ASan & TSan
 #   scripts/ci.sh all        # every lane above, in that order
 #
 # Lanes build into their own directories (build-ci, build-ci-perf,
@@ -51,14 +52,27 @@ lane_tsan() {
   ctest --test-dir "$root/build-tsan" --output-on-failure -L "parallel|obs"
 }
 
-[ $# -gt 0 ] || { echo "usage: $0 tier1|perf|asan|tsan|all ..." >&2; exit 2; }
+lane_robust() {
+  # The fault-domain suite (shard crash/hang injection, restart,
+  # quarantine) and the journal torn-write recovery sweep, under both
+  # sanitizers: ASan catches lifetime bugs on the unwind/restart path,
+  # TSan proves the watchdog/token handshake is race-free. Reuses the
+  # asan/tsan build trees so `robust` after `all` costs only test time.
+  build build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DZC_SANITIZE=address
+  ctest --test-dir "$root/build-asan" --output-on-failure -L robust
+  build build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DZC_SANITIZE=thread
+  ctest --test-dir "$root/build-tsan" --output-on-failure -L robust
+}
+
+[ $# -gt 0 ] || { echo "usage: $0 tier1|perf|asan|tsan|robust|all ..." >&2; exit 2; }
 for lane in "$@"; do
   case $lane in
     tier1) lane_tier1 ;;
     perf) lane_perf ;;
     asan) lane_asan ;;
     tsan) lane_tsan ;;
-    all) lane_tier1; lane_perf; lane_asan; lane_tsan ;;
+    robust) lane_robust ;;
+    all) lane_tier1; lane_perf; lane_asan; lane_tsan; lane_robust ;;
     *) echo "unknown lane: $lane" >&2; exit 2 ;;
   esac
 done

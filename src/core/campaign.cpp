@@ -819,7 +819,37 @@ void Campaign::record_finding(CampaignResult& result, const zwave::AppPayload& p
   ZC_INFO("finding: cc=%02X cmd=%02X kind=%s bug#%d at %s", finding.cmd_class,
           finding.command, detection_kind_name(kind), finding.matched_bug_id,
           format_sim_time(finding.detected_at).c_str());
+  // Durability at confirmation time: the journal write happens here, on
+  // the rare finding path, never on the per-test hot path.
+  journal_finding(finding);
   result.findings.push_back(std::move(finding));
+}
+
+void Campaign::journal_finding(const BugFinding& finding) {
+  if (config_.journal == nullptr) return;
+  store::FindingRecord record;
+  record.device = static_cast<std::uint8_t>(testbed_.controller().model());
+  record.kind = static_cast<std::uint8_t>(finding.kind);
+  record.cc = finding.cmd_class;
+  record.cmd = finding.command;
+  record.param0 = finding.first_param.has_value()
+                      ? static_cast<std::uint16_t>(*finding.first_param)
+                      : kNoParam;
+  record.bug_id = finding.matched_bug_id;
+  record.detected_at = finding.detected_at;
+  record.campaign_seed = config_.seed;
+  record.shard_id = config_.journal_shard_id;
+  record.payload = finding.payload;
+  const auto outcome = config_.journal->append(record);
+  const bool duplicate = outcome == store::FindingsJournal::AppendOutcome::kDuplicate;
+  obs::count(duplicate ? obs::MetricId::kJournalDedupSkips
+                       : obs::MetricId::kJournalAppends);
+  obs::emit(obs::TraceEventType::kJournalAppend, record.cc, record.cmd, record.bug_id,
+            duplicate ? 1 : 0);
+  if (outcome == store::FindingsJournal::AppendOutcome::kError) {
+    ZC_WARN("journal: append failed (%s) — finding kept in memory only",
+            store::journal_error_name(config_.journal->error()));
+  }
 }
 
 void Campaign::note_packet(CampaignResult& result) {

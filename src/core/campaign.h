@@ -36,6 +36,7 @@
 #include "core/scanner.h"
 #include "core/test_memo.h"
 #include "sim/testbed.h"
+#include "store/journal.h"
 
 namespace zc::core {
 
@@ -157,6 +158,14 @@ struct CampaignConfig {
   /// Polled between tests; returning true stops the campaign (the sim
   /// equivalent of SIGTERM / an operator pulling the plug mid-run).
   std::function<bool()> abort_hook;
+  /// Durable findings journal: when set, every finding is appended (and
+  /// fsync-batched) the moment record_finding confirms it — not at exit —
+  /// so a crash loses nothing already confirmed. The journal is internally
+  /// serialized; one instance may be shared across all shards of a
+  /// parallel run. Not owned.
+  store::FindingsJournal* journal = nullptr;
+  /// Shard identity stamped on journal records (core/parallel sets it).
+  std::uint32_t journal_shard_id = 0;
   /// Continue a previous session: restores RNG state, retired signatures,
   /// findings and counters, and shrinks the fuzz budget by the checkpoint's
   /// elapsed time. The queue is re-walked from the top — the restored
@@ -261,6 +270,8 @@ class Campaign {
   std::optional<std::uint64_t> query_table_digest();
   void record_finding(CampaignResult& result, const zwave::AppPayload& payload,
                       DetectionKind kind);
+  /// Appends one confirmed finding to the configured durable journal.
+  void journal_finding(const BugFinding& finding);
   void note_packet(CampaignResult& result);
   int correlate_ground_truth(const zwave::AppPayload& payload, DetectionKind kind) const;
 

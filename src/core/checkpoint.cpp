@@ -4,6 +4,11 @@
 #include <fstream>
 #include <sstream>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace zc::core {
 
 namespace {
@@ -207,13 +212,41 @@ std::optional<CampaignCheckpoint> parse_checkpoint(const std::string& text) {
   return checkpoint;
 }
 
+namespace {
+
+/// fsyncs the directory holding `path` so a completed rename is on disk,
+/// not just in the directory cache. Best-effort on platforms without
+/// directory fds.
+bool sync_parent_directory(const std::string& path) {
+#ifdef _WIN32
+  (void)path;
+  return true;
+#else
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#endif
+}
+
+}  // namespace
+
 bool write_checkpoint_file(const std::string& path, const CampaignCheckpoint& checkpoint) {
   const std::string text = serialize_checkpoint(checkpoint);
   const std::string tmp_path = path + ".tmp";
   std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
   if (out == nullptr) return false;
-  const bool written = std::fwrite(text.data(), 1, text.size(), out) == text.size() &&
-                       std::fflush(out) == 0;
+  // Durability before visibility: the temp file's bytes must be on disk
+  // before the rename publishes them, or a power loss after the rename
+  // could leave the *target* pointing at unwritten data.
+  bool written = std::fwrite(text.data(), 1, text.size(), out) == text.size() &&
+                 std::fflush(out) == 0;
+#ifndef _WIN32
+  written = written && ::fsync(::fileno(out)) == 0;
+#endif
   const bool closed = std::fclose(out) == 0;
   if (!written || !closed) {
     std::remove(tmp_path.c_str());
@@ -223,7 +256,20 @@ bool write_checkpoint_file(const std::string& path, const CampaignCheckpoint& ch
     std::remove(tmp_path.c_str());
     return false;
   }
+  // The rename is only durable once the directory entry is: fsync the
+  // parent so a crash cannot roll the checkpoint back to its predecessor.
+  sync_parent_directory(path);
   return true;
+}
+
+bool remove_stale_checkpoint_tmp(const std::string& path) {
+  const std::string tmp_path = path + ".tmp";
+  // remove() failing on a missing file is the common case; only report a
+  // cleanup when something was actually there.
+  std::FILE* probe = std::fopen(tmp_path.c_str(), "rb");
+  if (probe == nullptr) return false;
+  std::fclose(probe);
+  return std::remove(tmp_path.c_str()) == 0;
 }
 
 std::optional<CampaignCheckpoint> read_checkpoint_file(const std::string& path) {

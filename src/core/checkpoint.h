@@ -40,11 +40,18 @@ std::string serialize_checkpoint(const CampaignCheckpoint& checkpoint);
 /// run from half-read state.
 std::optional<CampaignCheckpoint> parse_checkpoint(const std::string& text);
 
-/// Atomically replaces `path` with the serialized checkpoint: the text is
-/// written and flushed to `path + ".tmp"`, then renamed over the target.
-/// A kill mid-write leaves either the previous complete checkpoint or a
-/// stray .tmp — never a truncated file that --resume could half-read.
+/// Atomically and durably replaces `path` with the serialized checkpoint:
+/// the text is written, flushed AND fsynced to `path + ".tmp"`, renamed
+/// over the target, and the containing directory is fsynced so the rename
+/// itself survives a power loss. A kill mid-write leaves either the
+/// previous complete checkpoint or a stray .tmp — never a truncated file
+/// that --resume could half-read.
 bool write_checkpoint_file(const std::string& path, const CampaignCheckpoint& checkpoint);
+
+/// Removes a stale `path + ".tmp"` left behind by a kill mid-write. Call
+/// when a campaign that checkpoints to `path` starts; true when a stale
+/// file existed and was removed.
+bool remove_stale_checkpoint_tmp(const std::string& path);
 
 /// Reads and parses a checkpoint file; nullopt when the file is missing,
 /// unreadable, or fails the strict v1 parse (e.g. truncated by a crash

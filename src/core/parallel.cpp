@@ -3,13 +3,30 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <exception>
 #include <mutex>
 #include <optional>
 #include <thread>
 
+#include "common/log.h"
+
 namespace zc::core {
 
 namespace {
+
+/// One worker's watchdog registration: while an attempt is armed, the
+/// watchdog thread cancels `token` once steady_clock passes `deadline`.
+/// Both fields are guarded by `mutex`; the token itself is atomic, so the
+/// campaign thread polls it lock-free.
+struct WatchdogSlot {
+  std::mutex mutex;
+  CancellationToken* token = nullptr;
+  std::chrono::steady_clock::time_point deadline{};
+};
+
+/// Reason codes carried in the shard_failure trace event's third arg.
+constexpr std::int64_t kFailureCrash = 0;
+constexpr std::int64_t kFailureHang = 1;
 
 /// Merges one shard's CampaignResult into the TrialSummary exactly the way
 /// the sequential run_trials() loop body does.
@@ -31,8 +48,16 @@ ParallelTrialReport merge_report(std::vector<ShardResult> shards, std::size_t jo
   ParallelTrialReport report;
   report.jobs = jobs;
   report.wall_seconds = wall_seconds;
-  report.summary.trials = shards.size();
   for (const ShardResult& shard : shards) {  // already in shard order
+    report.shard_restarts += shard.restarts;
+    if (shard.health == ShardHealth::kQuarantined) {
+      // Partial results stay visible in `shards` but never contaminate the
+      // summary: the surviving set merges exactly as a failure-free run
+      // over those shards would.
+      report.degraded_shards.push_back(shard.shard_id);
+      continue;
+    }
+    ++report.summary.trials;
     merge_into_summary(report.summary, shard.result);
     report.inconclusive_tests += shard.result.inconclusive_tests;
     report.retried_injections += shard.result.retried_injections;
@@ -43,6 +68,15 @@ ParallelTrialReport merge_report(std::vector<ShardResult> shards, std::size_t jo
 }
 
 }  // namespace
+
+const char* shard_health_name(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kHealthy: return "healthy";
+    case ShardHealth::kRecovered: return "recovered";
+    case ShardHealth::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
 
 obs::MetricsRegistry ParallelTrialReport::merged_metrics() const {
   obs::MetricsRegistry merged;
@@ -85,59 +119,199 @@ std::vector<ShardResult> run_shards(const std::vector<ShardSpec>& shards,
   // mutex; shard_id tagging lets the caller keep per-shard files.
   std::mutex sink_mutex;
 
+  // Deadline watchdog: one slot per worker, one scanner thread. The
+  // scanner only ever flips an attempt's CancellationToken — the campaign
+  // loop notices at its next test boundary, checkpoints, and unwinds
+  // normally, so cancellation is always cooperative.
+  const bool watchdog_enabled = parallel.shard_deadline.count() > 0;
+  std::vector<WatchdogSlot> slots(jobs);
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+  if (watchdog_enabled) {
+    watchdog = std::thread([&slots, &watchdog_stop] {
+      while (!watchdog_stop.load(std::memory_order_acquire)) {
+        const auto now = std::chrono::steady_clock::now();
+        for (WatchdogSlot& slot : slots) {
+          const std::lock_guard<std::mutex> lock(slot.mutex);
+          if (slot.token != nullptr && now >= slot.deadline) {
+            slot.token->request_cancel();
+            slot.token = nullptr;  // fire once per armed attempt
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
   std::atomic<std::size_t> cursor{0};
-  auto worker = [&] {
+  auto worker = [&](std::size_t worker_index) {
     while (true) {
       const std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (index >= shards.size()) return;
+      if (index >= shards.size()) break;
       const ShardSpec& spec = shards[index];
-
-      CampaignConfig config = spec.campaign;
-      config.checkpoint_interval = parallel.checkpoint_interval;
-      if (parallel.checkpoint_sink) {
-        config.checkpoint_sink = [&parallel, &sink_mutex,
-                                  shard_id = spec.shard_id](const CampaignCheckpoint& cp) {
-          const std::lock_guard<std::mutex> lock(sink_mutex);
-          parallel.checkpoint_sink(shard_id, cp);
-        };
-      } else {
-        config.checkpoint_sink = nullptr;
-      }
-      config.abort_hook = parallel.abort_hook;
-
-      // The shard's whole world is local to this iteration: testbed,
-      // campaign, RNG streams. Nothing here is visible to other workers;
-      // the result slot is exclusively ours by shard index.
-      sim::Testbed testbed(spec.testbed);
-      Campaign campaign(testbed, config);
 
       ShardResult& out = results[index];
       out.shard_id = spec.shard_id;
       out.device = spec.testbed.controller_model;
-      out.campaign_seed = config.seed;
-      if (parallel.collect_telemetry) {
-        // The recorder is installed thread-locally for exactly this
-        // shard's campaign, so instrumentation sites down the stack reach
-        // it without plumbing and concurrent shards never share state.
-        obs::Recorder recorder(testbed.scheduler(), spec.shard_id, config.seed,
-                               parallel.trace_capacity);
-        const obs::ScopedRecorder ambient(recorder);
-        out.result = campaign.run();
-        out.telemetry = recorder.snapshot();
-      } else {
-        out.result = campaign.run();
+      out.campaign_seed = spec.campaign.seed;
+
+      // --- supervised attempt loop ------------------------------------
+      // Each attempt builds the shard's whole world from scratch (testbed,
+      // campaign, RNG streams), so a failed attempt leaves nothing behind
+      // except the checkpoint we captured from it.
+      std::optional<CampaignCheckpoint> last_checkpoint;
+      std::size_t failure_count = 0;   // crash + hang attempts
+      std::size_t hang_count = 0;
+      std::size_t attempt = 0;
+      while (true) {
+        CancellationToken token;
+        CampaignConfig config = spec.campaign;
+        config.checkpoint_interval = parallel.checkpoint_interval;
+        // Always capture checkpoints locally (restart needs the freshest
+        // one); forward to the caller's sink under the shared mutex.
+        config.checkpoint_sink = [&parallel, &sink_mutex, &last_checkpoint,
+                                  shard_id = spec.shard_id](const CampaignCheckpoint& cp) {
+          last_checkpoint = cp;
+          if (parallel.checkpoint_sink) {
+            const std::lock_guard<std::mutex> lock(sink_mutex);
+            parallel.checkpoint_sink(shard_id, cp);
+          }
+        };
+        config.abort_hook = [&parallel, &token] {
+          return token.cancelled() || (parallel.abort_hook && parallel.abort_hook());
+        };
+        config.journal = parallel.journal;
+        config.journal_shard_id = static_cast<std::uint32_t>(spec.shard_id);
+        if (attempt > 0 && last_checkpoint.has_value()) {
+          // A hung attempt checkpointed on its way out; resume there
+          // rather than repaying the whole prefix. Crashed attempts only
+          // have a checkpoint if periodic checkpointing was on.
+          config.resume_from = last_checkpoint;
+        }
+
+        if (watchdog_enabled) {
+          const std::lock_guard<std::mutex> lock(slots[worker_index].mutex);
+          slots[worker_index].token = &token;
+          slots[worker_index].deadline =
+              std::chrono::steady_clock::now() + parallel.shard_deadline;
+        }
+
+        bool crashed = false;
+        std::string crash_reason;
+        try {
+          if (parallel.shard_fault_hook) {
+            parallel.shard_fault_hook(spec.shard_id, attempt, token);
+          }
+          sim::Testbed testbed(spec.testbed);
+          Campaign campaign(testbed, config);
+          if (parallel.collect_telemetry) {
+            // The recorder is installed thread-locally for exactly this
+            // shard's campaign, so instrumentation sites down the stack
+            // reach it without plumbing and concurrent shards never share
+            // state. A restarted attempt gets a fresh recorder: the
+            // surviving telemetry describes the attempt that completed.
+            obs::Recorder recorder(testbed.scheduler(), spec.shard_id, config.seed,
+                                   parallel.trace_capacity);
+            const obs::ScopedRecorder ambient(recorder);
+            out.result = campaign.run();
+            out.telemetry = recorder.snapshot();
+          } else {
+            out.result = campaign.run();
+          }
+          out.medium_transmissions = testbed.medium().transmissions();
+        } catch (const std::exception& e) {
+          crashed = true;
+          crash_reason = e.what();
+        } catch (...) {
+          crashed = true;
+          crash_reason = "non-standard exception";
+        }
+
+        if (watchdog_enabled) {
+          const std::lock_guard<std::mutex> lock(slots[worker_index].mutex);
+          slots[worker_index].token = nullptr;
+        }
+
+        const bool user_abort = parallel.abort_hook && parallel.abort_hook();
+        const bool hung = !crashed && token.cancelled() && !user_abort;
+        if (!crashed && !hung) {
+          out.health = attempt == 0 ? ShardHealth::kHealthy : ShardHealth::kRecovered;
+          out.restarts = attempt;
+          break;
+        }
+
+        ++failure_count;
+        if (hung) ++hang_count;
+        out.last_error = crashed ? crash_reason : "deadline exceeded";
+        ZC_WARN("shard %zu attempt %zu %s: %s", spec.shard_id, attempt,
+                crashed ? "crashed" : "hung", out.last_error.c_str());
+
+        if (attempt >= parallel.restart.max_restarts || user_abort) {
+          // Budget exhausted (or the user is tearing the run down):
+          // quarantine. Whatever the last attempt produced stays in the
+          // slot for forensics but is excluded from the merged summary.
+          out.health = ShardHealth::kQuarantined;
+          out.restarts = attempt;
+          break;
+        }
+
+        const auto backoff = parallel.restart.backoff_before(attempt + 1);
+        if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+        ++attempt;
       }
-      out.medium_transmissions = testbed.medium().transmissions();
+
+      // Fold supervision counters into the shard's telemetry after the
+      // attempts settle — no ambient recorder exists on this path, and the
+      // values are deterministic for a deterministic fault pattern.
+      if (parallel.collect_telemetry && (failure_count > 0 || out.restarts > 0)) {
+        obs::Telemetry& t = out.telemetry;
+        if (!t.collected) {  // quarantined before any attempt completed
+          t.collected = true;
+          t.shard_id = spec.shard_id;
+          t.seed = spec.campaign.seed;
+        }
+        t.metrics.add(obs::MetricId::kParallelShardFailures, failure_count);
+        t.metrics.add(obs::MetricId::kParallelShardRestarts, out.restarts);
+        t.metrics.add(obs::MetricId::kParallelDeadlineCancels, hang_count);
+        const SimTime stamp = out.result.ended_at;
+        auto emit = [&t, stamp](obs::TraceEventType type, std::int64_t a0, std::int64_t a1,
+                                std::int64_t a2, std::int64_t a3) {
+          obs::TraceEvent event;
+          event.at = stamp;
+          event.type = type;
+          event.args = {a0, a1, a2, a3};
+          t.events.push_back(event);
+        };
+        emit(obs::TraceEventType::kShardFailure, static_cast<std::int64_t>(spec.shard_id),
+             static_cast<std::int64_t>(failure_count),
+             hang_count > 0 ? kFailureHang : kFailureCrash, 0);
+        if (out.restarts > 0) {
+          emit(obs::TraceEventType::kShardRestart, static_cast<std::int64_t>(spec.shard_id),
+               static_cast<std::int64_t>(out.restarts),
+               static_cast<std::int64_t>(parallel.restart.backoff_before(0).count()),
+               last_checkpoint.has_value() ? 1 : 0);
+        }
+        if (out.health == ShardHealth::kQuarantined) {
+          t.metrics.add(obs::MetricId::kParallelShardQuarantines, 1);
+          emit(obs::TraceEventType::kShardQuarantine, static_cast<std::int64_t>(spec.shard_id),
+               static_cast<std::int64_t>(failure_count), 0, 0);
+        }
+      }
     }
   };
 
   if (jobs == 1) {
-    worker();  // run inline: no pool, identical code path
+    worker(0);  // run inline: no pool, identical code path
   } else {
     std::vector<std::thread> pool;
     pool.reserve(jobs);
-    for (std::size_t i = 0; i < jobs; ++i) pool.emplace_back(worker);
+    for (std::size_t i = 0; i < jobs; ++i) pool.emplace_back(worker, i);
     for (std::thread& thread : pool) thread.join();
+  }
+
+  if (watchdog_enabled) {
+    watchdog_stop.store(true, std::memory_order_release);
+    watchdog.join();
   }
 
   std::sort(results.begin(), results.end(),

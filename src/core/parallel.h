@@ -17,16 +17,34 @@
 // slot preallocated for its shard id, and the merge walks the slots in
 // shard order after the pool joins. Checkpoints are serialized through a
 // mutex-guarded sink tagged with the shard id.
+//
+// Fault domains: every shard attempt runs under a supervisor. An attempt
+// that throws is caught, counted, and relaunched after a bounded
+// exponential wall-clock backoff (ShardRestartPolicy); an attempt that
+// exceeds `shard_deadline` wall time is cancelled cooperatively — a
+// per-worker watchdog thread trips the attempt's CancellationToken, the
+// campaign loop observes it at its next test boundary and emits a final
+// checkpoint, and the supervisor restarts the shard *resuming from that
+// checkpoint*. A shard that exhausts `restart.max_restarts` is
+// quarantined: its slot is marked degraded, its partial results (if any)
+// are excluded from the merged summary, and every other shard still runs
+// to completion — for the non-failed set the merged report is
+// byte-identical to a failure-free run at the same seeds, because each
+// shard's world is private and its seeds are pure functions of
+// (base seed, shard id).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/campaign.h"
 #include "obs/recorder.h"
 #include "sim/profile.h"
 #include "sim/testbed.h"
+#include "store/journal.h"
 
 namespace zc::core {
 
@@ -50,7 +68,35 @@ struct ParallelConfig {
   bool collect_telemetry = false;
   /// Per-shard trace ring capacity when collecting telemetry.
   std::size_t trace_capacity = obs::TraceRing::kDefaultCapacity;
+  /// Restart budget + backoff for failed/hung shard attempts
+  /// (`--max-shard-restarts` maps to restart.max_restarts).
+  ShardRestartPolicy restart;
+  /// Wall-clock deadline per shard attempt; 0 disables the watchdog
+  /// (`--shard-deadline`). An expired attempt is cancelled cooperatively
+  /// and treated like a hang: checkpoint, restart-with-resume, and
+  /// eventually quarantine.
+  std::chrono::milliseconds shard_deadline{0};
+  /// Durable findings journal shared by every shard (appends are
+  /// internally serialized); findings hit disk as they are confirmed.
+  /// Not owned.
+  store::FindingsJournal* journal = nullptr;
+  /// Chaos/fault injection for the supervision layer itself (tests): runs
+  /// at the start of every shard attempt on the worker thread. Throwing
+  /// simulates a crashed worker; blocking until `token.cancelled()`
+  /// simulates a hang the deadline watchdog must break. Production runs
+  /// leave it unset.
+  std::function<void(std::size_t shard_id, std::size_t attempt, const CancellationToken& token)>
+      shard_fault_hook;
 };
+
+/// How a shard's supervision ended.
+enum class ShardHealth : std::uint8_t {
+  kHealthy = 0,      // first attempt completed
+  kRecovered,        // completed after >= 1 restart
+  kQuarantined,      // restart budget exhausted; results degraded/partial
+};
+
+const char* shard_health_name(ShardHealth health);
 
 /// One shard's definition: everything a worker needs to run it, all by
 /// value so the worker touches no shared state.
@@ -72,10 +118,20 @@ struct ShardResult {
   /// Per-shard metrics + trace, populated only when
   /// ParallelConfig::collect_telemetry is set (`telemetry.collected`).
   obs::Telemetry telemetry;
+  /// Supervision outcome for this shard's fault domain.
+  ShardHealth health = ShardHealth::kHealthy;
+  /// Restarts consumed (0 for a clean first attempt).
+  std::size_t restarts = 0;
+  /// Human-readable reason for the last failed attempt ("" if none):
+  /// an exception's what() for a crash, "deadline exceeded" for a hang.
+  std::string last_error;
 };
 
 /// Merged outcome of a sharded run. `summary` is byte-for-byte what the
-/// sequential run_trials() would have produced for the same inputs.
+/// sequential run_trials() would have produced for the same inputs —
+/// quarantined shards are excluded from it (their partial results stay in
+/// `shards`, marked degraded), so the surviving set merges identically to
+/// a failure-free run over just those shards.
 struct ParallelTrialReport {
   TrialSummary summary;
   std::vector<ShardResult> shards;  // sorted by shard_id
@@ -83,6 +139,9 @@ struct ParallelTrialReport {
   std::uint64_t inconclusive_tests = 0;
   std::uint64_t retried_injections = 0;
   std::size_t recovery_episodes = 0;
+  /// Fault-domain aggregates.
+  std::size_t shard_restarts = 0;               // restarts across all shards
+  std::vector<std::size_t> degraded_shards;     // quarantined shard ids, ascending
   std::size_t jobs = 1;           // worker threads actually used
   double wall_seconds = 0.0;      // host wall clock for the whole pool
 

@@ -20,6 +20,14 @@ SimTime RetryPolicy::backoff_before(std::size_t attempt, Rng& rng) const {
   return wait;
 }
 
+std::chrono::milliseconds ShardRestartPolicy::backoff_before(std::size_t restart) const {
+  if (restart == 0) return std::chrono::milliseconds{0};
+  double backoff = static_cast<double>(initial_backoff.count()) *
+                   std::pow(std::max(1.0, multiplier), static_cast<double>(restart - 1));
+  backoff = std::min(backoff, static_cast<double>(max_backoff.count()));
+  return std::chrono::milliseconds{static_cast<std::int64_t>(backoff)};
+}
+
 const char* recovery_stage_name(RecoveryStage stage) {
   switch (stage) {
     case RecoveryStage::kNopPing: return "nop-ping";

@@ -13,6 +13,8 @@
 // same kind of timeout/retransmission handling and recovery oracle.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 
@@ -20,6 +22,35 @@
 #include "common/rng.h"
 
 namespace zc::core {
+
+/// Cooperative cancellation: the supervisor (or a signal handler) requests
+/// a stop, and the campaign loop observes it at its next test boundary via
+/// the abort hook. One writer, many readers, no locks — exactly the
+/// thread-safety shape CampaignConfig::abort_hook documents.
+class CancellationToken {
+ public:
+  void request_cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+  void reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Restart policy for a failed or hung shard worker. Unlike RetryPolicy —
+/// which paces retransmissions in *virtual* time inside a shard — this one
+/// lives in the supervisor's wall-clock domain: a crashed worker thread is
+/// a host-level event, and the backoff is a real pause between relaunches.
+struct ShardRestartPolicy {
+  /// Relaunches after the first failure; 0 = quarantine immediately.
+  std::size_t max_restarts = 2;
+  std::chrono::milliseconds initial_backoff{10};
+  double multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{250};
+
+  /// Bounded exponential pause before restart number `restart` (1-based).
+  std::chrono::milliseconds backoff_before(std::size_t restart) const;
+};
 
 /// Bounded retry with exponential backoff + jitter, and a hard per-attempt
 /// sequence deadline. Used for test injections, the scanner's active

@@ -75,7 +75,35 @@ Bytes VFuzz::generate_frame() {
 VFuzzResult VFuzz::run() {
   VFuzzResult result;
   const std::size_t triggers_before = testbed_.controller().triggered().size();
+  std::size_t triggers_journaled = triggers_before;
   const SimTime deadline = testbed_.scheduler().now() + config_.duration;
+
+  // Journals any trigger-log entries that appeared since the last call —
+  // findings reach disk as they fire, not at campaign exit.
+  auto journal_new_triggers = [&] {
+    if (config_.journal == nullptr) return;
+    const auto& triggered = testbed_.controller().triggered();
+    for (; triggers_journaled < triggered.size(); ++triggers_journaled) {
+      const auto& vuln = triggered[triggers_journaled];
+      store::FindingRecord record;
+      record.device = static_cast<std::uint8_t>(testbed_.controller().model());
+      record.kind = 0;  // VFuzz has one oracle: the trigger log itself
+      if (vuln.payload.size() >= 2) {
+        record.cc = vuln.payload[0];
+        record.cmd = vuln.payload[1];
+      }
+      record.param0 = vuln.payload.size() > 2 ? vuln.payload[2] : 0x100;
+      record.bug_id = vuln.bug_id;
+      record.detected_at = vuln.at;
+      record.campaign_seed = config_.seed;
+      record.shard_id = config_.journal_shard_id;
+      record.payload = vuln.payload;
+      const auto outcome = config_.journal->append(record);
+      obs::count(outcome == store::FindingsJournal::AppendOutcome::kDuplicate
+                     ? obs::MetricId::kJournalDedupSkips
+                     : obs::MetricId::kJournalAppends);
+    }
+  };
 
   while (testbed_.scheduler().now() < deadline) {
     Bytes frame = generate_frame();
@@ -96,6 +124,7 @@ VFuzzResult VFuzz::run() {
     obs::count(obs::MetricId::kVfuzzPacketsTx);
     ++result.packets_sent;
     dongle_.run_for(config_.inter_packet_gap);
+    journal_new_triggers();
   }
 
   const auto& triggered = testbed_.controller().triggered();

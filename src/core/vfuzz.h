@@ -18,6 +18,7 @@
 #include "core/dongle.h"
 #include "core/test_memo.h"
 #include "sim/testbed.h"
+#include "store/journal.h"
 
 namespace zc::core {
 
@@ -30,6 +31,10 @@ struct VFuzzConfig {
   /// spent on a 6-second response wait; regeneration is bounded so a
   /// saturated space still makes progress.
   bool dedup = true;
+  /// Durable findings journal (same contract as CampaignConfig::journal):
+  /// triggered root causes are appended as they first fire. Not owned.
+  store::FindingsJournal* journal = nullptr;
+  std::uint32_t journal_shard_id = 0;
 };
 
 struct VFuzzResult {

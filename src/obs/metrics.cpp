@@ -34,6 +34,12 @@ constexpr MetricInfo kInfo[kMetricCount] = {
     {"radio.drops_fault", MetricKind::kCounter, "frames"},
     {"sim.network_restores", MetricKind::kCounter, "restores"},
     {"trace.events_dropped", MetricKind::kCounter, "events"},
+    {"parallel.shard_failures", MetricKind::kCounter, "attempts"},
+    {"parallel.shard_restarts", MetricKind::kCounter, "restarts"},
+    {"parallel.shard_quarantines", MetricKind::kCounter, "shards"},
+    {"parallel.deadline_cancels", MetricKind::kCounter, "cancels"},
+    {"journal.appends", MetricKind::kCounter, "records"},
+    {"journal.dedup_skips", MetricKind::kCounter, "records"},
     {"campaign.queue_length", MetricKind::kGauge, "classes"},
     {"campaign.blacklist_size", MetricKind::kGauge, "signatures"},
     {"pool.buffers", MetricKind::kGauge, "buffers"},

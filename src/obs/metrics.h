@@ -68,6 +68,15 @@ enum class MetricId : std::uint8_t {
   kSimNetworkRestores,
   // trace sink health (obs/recorder.cpp)
   kTraceEventsDropped,
+  // shard supervision (core/parallel.cpp): folded into each shard's
+  // telemetry by the supervisor after the attempt loop settles
+  kParallelShardFailures,
+  kParallelShardRestarts,
+  kParallelShardQuarantines,
+  kParallelDeadlineCancels,
+  // findings journal (store/journal.h via core wiring)
+  kJournalAppends,
+  kJournalDedupSkips,
   // gauges (pool totals are end-of-run levels published by campaign
   // teardown — the pool itself keeps plain counters to stay hook-free on
   // the per-packet path)

@@ -16,6 +16,10 @@ constexpr TraceEventInfo kEventInfo[kTraceEventTypes] = {
     {"recovery", {"stage", "downtime_us", "nop_probes", "soft_resets"}},
     {"bug", {"cc", "cmd", "kind", "bug_id"}},
     {"checkpoint", {"elapsed_us", "packets", "findings", nullptr}},
+    {"shard_failure", {"shard_id", "attempts", "reason", nullptr}},
+    {"shard_restart", {"shard_id", "restarts", "backoff_ms", "resumed"}},
+    {"shard_quarantine", {"shard_id", "attempts", nullptr, nullptr}},
+    {"journal_append", {"cc", "cmd", "bug_id", "duplicate"}},
 };
 
 void append_i64(std::string& out, std::int64_t value) {

@@ -39,6 +39,10 @@ enum class TraceEventType : std::uint8_t {
   kRecovery,         // watchdog episode completed
   kBug,              // Bug_Logs entry recorded (Algorithm 1)
   kCheckpoint,       // progress snapshot handed to the sink
+  kShardFailure,     // shard attempt died (crash) or was cancelled (hang)
+  kShardRestart,     // supervisor relaunched a failed/hung shard
+  kShardQuarantine,  // shard exhausted its restart budget
+  kJournalAppend,    // finding written durably to the journal
   kEventTypeCount,
 };
 

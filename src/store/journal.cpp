@@ -1,0 +1,303 @@
+#include "store/journal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace zc::store {
+
+namespace {
+
+constexpr char kMagic[8] = {'Z', 'C', 'J', 'R', 'N', 'L', '1', '\n'};
+constexpr std::uint8_t kRecordVersion = 1;
+/// Fixed body size before the variable payload: version/device/kind/flags
+/// (4) + cc/cmd/param0 (6) + bug_id (4) + detected_at/seed (16) +
+/// shard_id (4) + payload_len (2).
+constexpr std::size_t kBodyFixedSize = 36;
+/// Frames larger than any sane finding are treated as torn length words so
+/// a corrupted length prefix cannot make recovery chase gigabytes of tail.
+constexpr std::uint32_t kMaxBodyLen = 64 * 1024;
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  constexpr Crc32Table() : entries() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      entries[i] = c;
+    }
+  }
+};
+constexpr Crc32Table kCrcTable;
+
+void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+bool fsync_file(std::FILE* file) {
+#ifdef _WIN32
+  return std::fflush(file) == 0;
+#else
+  return std::fflush(file) == 0 && ::fsync(::fileno(file)) == 0;
+#endif
+}
+
+}  // namespace
+
+std::uint32_t crc32(ByteView data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) c = kCrcTable.entries[(c ^ byte) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+const char* journal_error_name(JournalError error) {
+  switch (error) {
+    case JournalError::kNone: return "none";
+    case JournalError::kIoError: return "io-error";
+    case JournalError::kBadMagic: return "bad-magic";
+    case JournalError::kUnknownVersion: return "unknown-version";
+  }
+  return "?";
+}
+
+Bytes encode_record_body(const FindingRecord& record) {
+  Bytes body;
+  body.reserve(kBodyFixedSize + record.payload.size());
+  body.push_back(kRecordVersion);
+  body.push_back(record.device);
+  body.push_back(record.kind);
+  body.push_back(0);  // flags, reserved
+  put_u16(body, record.cc);
+  put_u16(body, record.cmd);
+  put_u16(body, record.param0);
+  put_u32(body, static_cast<std::uint32_t>(record.bug_id));
+  put_u64(body, record.detected_at);
+  put_u64(body, record.campaign_seed);
+  put_u32(body, record.shard_id);
+  put_u16(body, static_cast<std::uint16_t>(record.payload.size()));
+  body.insert(body.end(), record.payload.begin(), record.payload.end());
+  return body;
+}
+
+std::optional<FindingRecord> decode_record_body(ByteView body) {
+  if (body.size() < kBodyFixedSize) return std::nullopt;
+  const std::uint8_t* p = body.data();
+  // Unknown record version: the caller must reject the file whole — a
+  // crc-valid record we cannot interpret is future data, not noise.
+  if (p[0] != kRecordVersion) return std::nullopt;
+  FindingRecord record;
+  record.device = p[1];
+  record.kind = p[2];
+  // p[3] = flags, must-be-zero today; tolerated (reserved for v1 readers).
+  record.cc = get_u16(p + 4);
+  record.cmd = get_u16(p + 6);
+  record.param0 = get_u16(p + 8);
+  record.bug_id = static_cast<std::int32_t>(get_u32(p + 10));
+  record.detected_at = get_u64(p + 14);
+  record.campaign_seed = get_u64(p + 22);
+  record.shard_id = get_u32(p + 30);
+  const std::uint16_t payload_len = get_u16(p + 34);
+  if (body.size() != kBodyFixedSize + payload_len) return std::nullopt;
+  record.payload.assign(p + kBodyFixedSize, p + kBodyFixedSize + payload_len);
+  return record;
+}
+
+FindingsJournal::~FindingsJournal() { close(); }
+
+bool FindingsJournal::open(const std::string& path, JournalConfig config) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) return false;  // already open
+  config_ = config;
+  error_ = JournalError::kNone;
+  recovery_ = RecoveryStats{};
+  records_.clear();
+  keys_.clear();
+  unsynced_ = 0;
+  if (!recover_locked(path)) {
+    records_.clear();
+    keys_.clear();
+    return false;
+  }
+  path_ = path;
+  return true;
+}
+
+bool FindingsJournal::recover_locked(const std::string& path) {
+  // Read whatever exists today (a missing file is a fresh journal).
+  Bytes contents;
+  if (std::FILE* in = std::fopen(path.c_str(), "rb")) {
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+      contents.insert(contents.end(), buf, buf + n);
+    }
+    const bool read_ok = std::ferror(in) == 0;
+    std::fclose(in);
+    if (!read_ok) {
+      error_ = JournalError::kIoError;
+      return false;
+    }
+  }
+
+  std::size_t valid_end = 0;
+  if (!contents.empty()) {
+    // A file too short for the magic is a torn creation; anything with 8+
+    // bytes must start with OUR magic. "ZCJRNL2\n" and friends are future
+    // journals — reject, never truncate someone else's valid data.
+    if (contents.size() >= sizeof(kMagic) &&
+        std::memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0) {
+      error_ = std::memcmp(contents.data(), kMagic, 6) == 0 ? JournalError::kUnknownVersion
+                                                            : JournalError::kBadMagic;
+      return false;
+    }
+    if (contents.size() >= sizeof(kMagic)) {
+      valid_end = sizeof(kMagic);
+      std::size_t cursor = valid_end;
+      while (true) {
+        if (contents.size() - cursor < 8) break;  // torn frame header
+        const std::uint32_t body_len = get_u32(contents.data() + cursor);
+        const std::uint32_t stored_crc = get_u32(contents.data() + cursor + 4);
+        if (body_len > kMaxBodyLen) break;                    // torn length word
+        if (contents.size() - cursor - 8 < body_len) break;   // torn body
+        const ByteView body(contents.data() + cursor + 8, body_len);
+        if (crc32(body) != stored_crc) break;  // torn/corrupt body
+        const auto record = decode_record_body(body);
+        if (!record.has_value()) {
+          // crc-valid but uninterpretable: a future record version. The
+          // whole file is off-limits (see header comment).
+          error_ = JournalError::kUnknownVersion;
+          return false;
+        }
+        keys_.insert(record->key());
+        records_.push_back(std::move(*record));
+        cursor += 8 + body_len;
+        valid_end = cursor;
+      }
+    }
+    recovery_.records_recovered = records_.size();
+    recovery_.bytes_truncated = contents.size() - valid_end;
+  }
+
+  // Rewrite-free truncation: reopen in r+ (keeps the valid prefix), chop
+  // the torn tail, and append from there. A fresh/empty file instead gets
+  // created and stamped with the magic.
+  if (valid_end > 0) {
+    file_ = std::fopen(path.c_str(), "rb+");
+    if (file_ == nullptr) {
+      error_ = JournalError::kIoError;
+      return false;
+    }
+    if (recovery_.bytes_truncated > 0) {
+#ifdef _WIN32
+      const bool truncated = false;
+#else
+      const bool truncated = ::ftruncate(::fileno(file_), static_cast<off_t>(valid_end)) == 0;
+#endif
+      if (!truncated) {
+        std::fclose(file_);
+        file_ = nullptr;
+        error_ = JournalError::kIoError;
+        return false;
+      }
+    }
+    if (std::fseek(file_, static_cast<long>(valid_end), SEEK_SET) != 0) {
+      std::fclose(file_);
+      file_ = nullptr;
+      error_ = JournalError::kIoError;
+      return false;
+    }
+    return true;
+  }
+
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    error_ = JournalError::kIoError;
+    return false;
+  }
+  if (std::fwrite(kMagic, 1, sizeof(kMagic), file_) != sizeof(kMagic) ||
+      !fsync_file(file_)) {
+    std::fclose(file_);
+    file_ = nullptr;
+    error_ = JournalError::kIoError;
+    return false;
+  }
+  return true;
+}
+
+FindingsJournal::AppendOutcome FindingsJournal::append(const FindingRecord& record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return AppendOutcome::kError;
+  if (!keys_.insert(record.key()).second) return AppendOutcome::kDuplicate;
+
+  const Bytes body = encode_record_body(record);
+  Bytes frame;
+  frame.reserve(8 + body.size());
+  put_u32(frame, static_cast<std::uint32_t>(body.size()));
+  put_u32(frame, crc32(ByteView(body.data(), body.size())));
+  frame.insert(frame.end(), body.begin(), body.end());
+
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    error_ = JournalError::kIoError;
+    keys_.erase(record.key());
+    return AppendOutcome::kError;
+  }
+  records_.push_back(record);
+  if (++unsynced_ >= std::max<std::size_t>(1, config_.fsync_every)) {
+    unsynced_ = 0;
+    if (!fsync_file(file_)) {
+      error_ = JournalError::kIoError;
+      return AppendOutcome::kError;
+    }
+  }
+  return AppendOutcome::kAppended;
+}
+
+bool FindingsJournal::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return false;
+  unsynced_ = 0;
+  if (!fsync_file(file_)) {
+    error_ = JournalError::kIoError;
+    return false;
+  }
+  return true;
+}
+
+void FindingsJournal::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;
+  fsync_file(file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+}  // namespace zc::store

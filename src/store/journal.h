@@ -1,0 +1,170 @@
+// Durable findings journal: confirmed findings hit disk as they are
+// confirmed, not at campaign exit, so a crash (or SIGKILL) loses at most
+// the final partially-written record.
+//
+// On-disk format ("zcover-journal v1"): an 8-byte magic header followed by
+// append-only, length-prefixed, CRC-checksummed records:
+//
+//   file   := magic records*
+//   magic  := "ZCJRNL1\n"                     (8 bytes, version in the magic)
+//   record := u32 body_len | u32 crc32(body) | body
+//   body   := u8 record_version (=1)
+//             u8 device  u8 kind  u8 flags (0)
+//             u16 cc  u16 cmd  u16 param0    (widened PayloadSignature form)
+//             i32 bug_id
+//             u64 detected_at  u64 campaign_seed
+//             u32 shard_id
+//             u16 payload_len | payload bytes
+//
+// All integers little-endian. Writes are append-only and batched: fsync
+// runs every `fsync_every` appends and on flush()/close, so journal I/O
+// stays off the zero-allocation RF hot path (a finding is a rare event; a
+// test is not).
+//
+// Recovery contract (the never-run-from-half-read-state rule, mirrored
+// from core/checkpoint's strict parser):
+//  * a torn tail — truncated length/crc/body, or a crc mismatch — marks
+//    the end of the valid prefix; open() recovers every record before it
+//    and truncates the tail in place;
+//  * an unknown FILE magic or an unknown RECORD version inside a
+//    crc-valid record rejects the whole file. A crc-valid record we cannot
+//    interpret was written by a different (future) version of this code —
+//    truncating it would destroy someone else's valid data, and skipping
+//    it would silently drop findings. Neither is acceptable.
+//
+// Dedup: records are keyed by (device, cc, cmd, param0) — the
+// cross-campaign identity of a finding. append() returns kDuplicate for a
+// key the journal already holds (loaded keys included), so repeated
+// campaigns against the same device grow the journal by new findings only.
+//
+// Thread safety: append()/flush() are internally serialized; one journal
+// can be shared by every shard of a parallel run.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace zc::store {
+
+/// One journaled finding, flattened to plain integers so the store layer
+/// depends on nothing above zc_common.
+struct FindingRecord {
+  std::uint8_t device = 0;        // sim::DeviceModel, numeric
+  std::uint8_t kind = 0;          // core::DetectionKind, numeric
+  std::uint16_t cc = 0;
+  std::uint16_t cmd = 0;
+  std::uint16_t param0 = 0;       // widened: 0x100 = none, 0x1FF = wildcard
+  std::int32_t bug_id = -1;       // ground-truth id; -1 = unattributed
+  std::uint64_t detected_at = 0;  // virtual time (us)
+  std::uint64_t campaign_seed = 0;
+  std::uint32_t shard_id = 0;
+  Bytes payload;                  // bug-inducing application payload
+
+  /// The cross-campaign dedup identity.
+  struct Key {
+    std::uint8_t device;
+    std::uint16_t cc;
+    std::uint16_t cmd;
+    std::uint16_t param0;
+    auto operator<=>(const Key&) const = default;
+  };
+  Key key() const { return Key{device, cc, cmd, param0}; }
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`. Exposed for tests and for
+/// anything else that wants to frame records the journal's way.
+std::uint32_t crc32(ByteView data);
+
+/// Serializes one record body (no length/crc framing) — the exact bytes
+/// crc32 is computed over. Exposed so tests can build hostile files.
+Bytes encode_record_body(const FindingRecord& record);
+
+/// Strict body parser: nullopt on short bodies, length mismatches, or an
+/// unknown record version.
+std::optional<FindingRecord> decode_record_body(ByteView body);
+
+/// Why open() refused a file (kTornTail is not a refusal — it recovers).
+enum class JournalError : std::uint8_t {
+  kNone = 0,
+  kIoError,            // cannot open/create/read/write the file
+  kBadMagic,           // not a zcover journal at all
+  kUnknownVersion,     // future file magic or future record version: whole
+                       // file rejected, never skipped or truncated
+};
+
+const char* journal_error_name(JournalError error);
+
+struct JournalConfig {
+  /// fsync after every N appended records (1 = every record). The batch
+  /// also flushes on flush() and close().
+  std::size_t fsync_every = 8;
+};
+
+/// What open() found and did.
+struct RecoveryStats {
+  std::size_t records_recovered = 0;
+  /// Bytes of torn tail truncated away (0 on a clean open).
+  std::uint64_t bytes_truncated = 0;
+};
+
+class FindingsJournal {
+ public:
+  FindingsJournal() = default;
+  ~FindingsJournal();
+  FindingsJournal(const FindingsJournal&) = delete;
+  FindingsJournal& operator=(const FindingsJournal&) = delete;
+
+  /// Opens (or creates) the journal at `path`: scans to the last valid
+  /// record, truncates any torn tail, loads every record and its dedup
+  /// key, and positions the write cursor at the end. False on kIoError /
+  /// kBadMagic / kUnknownVersion (see error()).
+  bool open(const std::string& path, JournalConfig config = {});
+
+  /// True once open() succeeded and close() has not run.
+  bool is_open() const { return file_ != nullptr; }
+  JournalError error() const { return error_; }
+  const RecoveryStats& recovery() const { return recovery_; }
+
+  enum class AppendOutcome : std::uint8_t { kAppended, kDuplicate, kError };
+
+  /// Appends one record (length+crc framed) and registers its dedup key.
+  /// kDuplicate when the key is already present — nothing is written.
+  AppendOutcome append(const FindingRecord& record);
+
+  /// Forces buffered appends to disk (fflush + fsync) regardless of the
+  /// batch counter. True when the file is durable.
+  bool flush();
+
+  /// Flushes and closes. Safe to call twice.
+  void close();
+
+  /// Every record currently known: recovered on open, then appended, in
+  /// order.
+  const std::vector<FindingRecord>& records() const { return records_; }
+  bool contains(const FindingRecord::Key& key) const {
+    return keys_.find(key) != keys_.end();
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  bool recover_locked(const std::string& path);
+
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  JournalConfig config_;
+  JournalError error_ = JournalError::kNone;
+  RecoveryStats recovery_;
+  std::vector<FindingRecord> records_;
+  std::set<FindingRecord::Key> keys_;
+  std::size_t unsynced_ = 0;
+};
+
+}  // namespace zc::store

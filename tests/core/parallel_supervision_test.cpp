@@ -1,0 +1,253 @@
+// Fault-domain semantics of the supervised shard pool (core/parallel.h):
+// a crashed or hung shard restarts with backoff and, past its budget, is
+// quarantined — while every unaffected shard's results stay byte-identical
+// to a failure-free run. Hangs are broken cooperatively by the deadline
+// watchdog through a CancellationToken, never by killing threads.
+//
+// Faults are injected deterministically through
+// ParallelConfig::shard_fault_hook, so every outcome asserted here is a
+// pure function of the fault pattern. Labeled `robust` so `ctest -L
+// robust` runs the crash/hang suite in isolation (TSan-clean by
+// construction: tokens are atomic, watchdog slots are mutex-guarded).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "core/parallel.h"
+#include "store/journal.h"
+
+namespace zc::core {
+namespace {
+
+CampaignConfig quick_config(SimTime duration = 5 * kMinute) {
+  CampaignConfig config;
+  config.mode = CampaignMode::kFull;
+  config.duration = duration;
+  config.seed = 0x2C07E12F;
+  config.loop_queue = false;
+  return config;
+}
+
+sim::TestbedConfig quick_testbed() {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  testbed_config.seed = 0x2C07E12F;
+  return testbed_config;
+}
+
+/// Canonical text of one shard's campaign output — everything a fault or
+/// restart could perturb, excluding the supervision bookkeeping itself.
+std::string shard_fingerprint(const ShardResult& shard) {
+  std::ostringstream out;
+  out << "shard " << shard.shard_id << " seed=" << shard.campaign_seed
+      << " packets=" << shard.result.test_packets << '\n';
+  for (const auto& finding : shard.result.findings) {
+    out << "  " << to_hex(finding.payload) << ' ' << detection_kind_name(finding.kind)
+        << ' ' << finding.matched_bug_id << ' ' << finding.detected_at << '\n';
+  }
+  return out.str();
+}
+
+TEST(ShardRestartPolicyTest, BackoffIsBoundedExponential) {
+  ShardRestartPolicy policy;
+  policy.initial_backoff = std::chrono::milliseconds(10);
+  policy.multiplier = 2.0;
+  policy.max_backoff = std::chrono::milliseconds(35);
+  EXPECT_EQ(policy.backoff_before(0).count(), 0);    // before the first attempt
+  EXPECT_EQ(policy.backoff_before(1).count(), 10);   // before the first restart
+  EXPECT_EQ(policy.backoff_before(2).count(), 20);
+  EXPECT_EQ(policy.backoff_before(3).count(), 35);   // 40 clamped
+  EXPECT_EQ(policy.backoff_before(10).count(), 35);  // stays clamped
+}
+
+TEST(CancellationTokenTest, CancelIsStickyUntilReset) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.request_cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(ShardSupervisionTest, CrashedShardRestartsAndReportMatchesFaultFree) {
+  const auto testbed_config = quick_testbed();
+  const auto config = quick_config();
+
+  ParallelConfig clean;
+  clean.jobs = 2;
+  const ParallelTrialReport baseline = run_trials_parallel(testbed_config, config, 3, clean);
+
+  // Shard 1's first attempt dies; the restart rebuilds its world from
+  // scratch (no checkpoint exists), so the rerun is the run that should
+  // have happened — the merged report must match the fault-free one.
+  ParallelConfig faulty = clean;
+  faulty.restart.max_restarts = 2;
+  faulty.restart.initial_backoff = std::chrono::milliseconds(1);
+  faulty.shard_fault_hook = [](std::size_t shard_id, std::size_t attempt,
+                               const CancellationToken&) {
+    if (shard_id == 1 && attempt == 0) throw std::runtime_error("injected crash");
+  };
+  const ParallelTrialReport report = run_trials_parallel(testbed_config, config, 3, faulty);
+
+  ASSERT_EQ(report.shards.size(), 3u);
+  EXPECT_EQ(report.shards[0].health, ShardHealth::kHealthy);
+  EXPECT_EQ(report.shards[1].health, ShardHealth::kRecovered);
+  EXPECT_EQ(report.shards[1].restarts, 1u);
+  EXPECT_EQ(report.shards[1].last_error, "injected crash");
+  EXPECT_EQ(report.shards[2].health, ShardHealth::kHealthy);
+  EXPECT_EQ(report.shard_restarts, 1u);
+  EXPECT_TRUE(report.degraded_shards.empty());
+
+  EXPECT_EQ(report.summary.trials, baseline.summary.trials);
+  EXPECT_EQ(report.summary.union_bug_ids, baseline.summary.union_bug_ids);
+  EXPECT_EQ(report.summary.per_trial_unique, baseline.summary.per_trial_unique);
+  EXPECT_EQ(report.summary.total_packets, baseline.summary.total_packets);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(shard_fingerprint(report.shards[i]), shard_fingerprint(baseline.shards[i]));
+  }
+}
+
+TEST(ShardSupervisionTest, RepeatedCrashQuarantinesOnlyThatShard) {
+  const auto testbed_config = quick_testbed();
+  const auto config = quick_config();
+
+  ParallelConfig clean;
+  clean.jobs = 2;
+  const ParallelTrialReport baseline = run_trials_parallel(testbed_config, config, 3, clean);
+
+  std::atomic<std::size_t> attempts_seen{0};
+  ParallelConfig faulty = clean;
+  faulty.restart.max_restarts = 1;
+  faulty.restart.initial_backoff = std::chrono::milliseconds(1);
+  faulty.shard_fault_hook = [&attempts_seen](std::size_t shard_id, std::size_t,
+                                             const CancellationToken&) {
+    if (shard_id == 0) {
+      attempts_seen.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("persistent fault");
+    }
+  };
+  const ParallelTrialReport report = run_trials_parallel(testbed_config, config, 3, faulty);
+
+  // Budget of 1 restart = exactly 2 attempts, then quarantine.
+  EXPECT_EQ(attempts_seen.load(), 2u);
+  ASSERT_EQ(report.shards.size(), 3u);
+  EXPECT_EQ(report.shards[0].health, ShardHealth::kQuarantined);
+  EXPECT_EQ(report.shards[0].last_error, "persistent fault");
+  ASSERT_EQ(report.degraded_shards.size(), 1u);
+  EXPECT_EQ(report.degraded_shards[0], 0u);
+
+  // The survivors are untouched: same bytes as the fault-free run, and the
+  // summary is exactly the fault-free merge of shards 1 and 2.
+  EXPECT_EQ(shard_fingerprint(report.shards[1]), shard_fingerprint(baseline.shards[1]));
+  EXPECT_EQ(shard_fingerprint(report.shards[2]), shard_fingerprint(baseline.shards[2]));
+  EXPECT_EQ(report.summary.trials, 2u);
+  EXPECT_EQ(report.summary.total_packets, baseline.shards[1].result.test_packets +
+                                              baseline.shards[2].result.test_packets);
+}
+
+TEST(ShardSupervisionTest, HungShardIsCancelledByDeadlineAndRecovers) {
+  const auto testbed_config = quick_testbed();
+  const auto config = quick_config(2 * kMinute);
+
+  ParallelConfig clean;
+  clean.jobs = 2;
+  const ParallelTrialReport baseline = run_trials_parallel(testbed_config, config, 2, clean);
+
+  // Shard 0's first attempt blocks exactly until the watchdog trips its
+  // token — a cooperative hang, the only kind the design breaks. The
+  // restarted attempt runs clean and must deliver the shard's results.
+  ParallelConfig faulty = clean;
+  faulty.restart.max_restarts = 2;
+  faulty.restart.initial_backoff = std::chrono::milliseconds(1);
+  faulty.shard_deadline = std::chrono::milliseconds(250);
+  faulty.shard_fault_hook = [](std::size_t shard_id, std::size_t attempt,
+                               const CancellationToken& token) {
+    if (shard_id == 0 && attempt == 0) {
+      while (!token.cancelled()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  const ParallelTrialReport report = run_trials_parallel(testbed_config, config, 2, faulty);
+
+  ASSERT_EQ(report.shards.size(), 2u);
+  EXPECT_EQ(report.shards[0].health, ShardHealth::kRecovered);
+  EXPECT_GE(report.shards[0].restarts, 1u);
+  EXPECT_EQ(report.shards[0].last_error, "deadline exceeded");
+  EXPECT_EQ(report.shards[1].health, ShardHealth::kHealthy);
+  EXPECT_TRUE(report.degraded_shards.empty());
+
+  // The hung attempt aborted before fuzzing anything, so the resumed run
+  // replays the whole campaign: identical findings, identical summary.
+  EXPECT_EQ(report.summary.union_bug_ids, baseline.summary.union_bug_ids);
+  EXPECT_EQ(report.shards[0].result.findings.size(),
+            baseline.shards[0].result.findings.size());
+  EXPECT_EQ(shard_fingerprint(report.shards[1]), shard_fingerprint(baseline.shards[1]));
+}
+
+TEST(ShardSupervisionTest, SupervisionEventsLandInShardTelemetry) {
+  const auto testbed_config = quick_testbed();
+  const auto config = quick_config();
+
+  ParallelConfig faulty;
+  faulty.jobs = 2;
+  faulty.collect_telemetry = true;
+  faulty.restart.max_restarts = 1;
+  faulty.restart.initial_backoff = std::chrono::milliseconds(1);
+  faulty.shard_fault_hook = [](std::size_t shard_id, std::size_t attempt,
+                               const CancellationToken&) {
+    if (shard_id == 2 && attempt == 0) throw std::runtime_error("one-shot crash");
+    if (shard_id == 0) throw std::runtime_error("persistent crash");
+  };
+  const ParallelTrialReport report = run_trials_parallel(testbed_config, config, 3, faulty);
+
+  const obs::MetricsRegistry merged = report.merged_metrics();
+  // Shard 0: 2 failed attempts + quarantine; shard 2: 1 failure + restart.
+  EXPECT_EQ(merged.value(obs::MetricId::kParallelShardFailures), 3u);
+  EXPECT_EQ(merged.value(obs::MetricId::kParallelShardRestarts), 2u);
+  EXPECT_EQ(merged.value(obs::MetricId::kParallelShardQuarantines), 1u);
+
+  const std::string trace = report.merged_trace_jsonl();
+  EXPECT_NE(trace.find("\"ev\":\"shard_failure\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ev\":\"shard_restart\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ev\":\"shard_quarantine\""), std::string::npos);
+}
+
+TEST(ShardSupervisionTest, JournalCollectsFindingsAcrossShards) {
+  const auto testbed_config = quick_testbed();
+  const auto config = quick_config();
+  const std::string path = ::testing::TempDir() + "zc_parallel_journal.zcj";
+  std::remove(path.c_str());
+
+  store::FindingsJournal journal;
+  ASSERT_TRUE(journal.open(path));
+
+  ParallelConfig parallel;
+  parallel.jobs = 2;
+  parallel.journal = &journal;
+  const ParallelTrialReport report = run_trials_parallel(testbed_config, config, 3, parallel);
+  journal.close();
+
+  // Same device + same campaign => heavy key overlap across shards; the
+  // journal holds the union, deduplicated, durable.
+  ASSERT_GT(report.summary.union_bug_ids.size(), 0u);
+  store::FindingsJournal reopened;
+  ASSERT_TRUE(reopened.open(path));
+  EXPECT_GT(reopened.records().size(), 0u);
+  std::size_t with_bug_id = 0;
+  for (const auto& record : reopened.records()) {
+    EXPECT_EQ(record.device, static_cast<std::uint8_t>(testbed_config.controller_model));
+    if (record.bug_id > 0) ++with_bug_id;
+  }
+  EXPECT_GE(with_bug_id, report.summary.union_bug_ids.size());
+  reopened.close();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace zc::core

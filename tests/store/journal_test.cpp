@@ -1,0 +1,274 @@
+// Crash-safety contract of the findings journal (store/journal.h):
+//
+//  * torn-write recovery — a file truncated at ANY byte offset inside the
+//    final record's frame must open cleanly with every prior record intact
+//    (the kill-at-arbitrary-point acceptance criterion);
+//  * strictness — an unknown file magic or an unknown record version in a
+//    crc-valid record rejects the whole file, never skips or truncates
+//    (mirroring the checkpoint parser's never-run-from-half-read-state
+//    rule);
+//  * cross-run dedup — reopening loads every key, so a repeated campaign
+//    grows the journal by new findings only.
+//
+// Labeled `robust` so `ctest -L robust` runs the crash/recovery suite in
+// isolation (and under sanitizer builds in the CI robust lane).
+#include "store/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace zc::store {
+namespace {
+
+FindingRecord sample_record(int n) {
+  FindingRecord record;
+  record.device = 4;
+  record.kind = static_cast<std::uint8_t>(n % 4);
+  record.cc = static_cast<std::uint16_t>(0x20 + n);
+  record.cmd = static_cast<std::uint16_t>(0x01 + n);
+  record.param0 = n % 3 == 0 ? 0x100 : static_cast<std::uint16_t>(n);
+  record.bug_id = n + 1;
+  record.detected_at = 1000u * static_cast<std::uint64_t>(n + 1);
+  record.campaign_seed = 0x2C07E12F;
+  record.shard_id = static_cast<std::uint32_t>(n % 5);
+  record.payload = {static_cast<std::uint8_t>(0x20 + n), static_cast<std::uint8_t>(n), 0xFF};
+  return record;
+}
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + name; }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Builds a journal file with `count` sample records and returns its bytes.
+std::string build_journal(const std::string& path, int count) {
+  std::remove(path.c_str());
+  FindingsJournal journal;
+  EXPECT_TRUE(journal.open(path));
+  for (int n = 0; n < count; ++n) {
+    EXPECT_EQ(journal.append(sample_record(n)), FindingsJournal::AppendOutcome::kAppended);
+  }
+  journal.close();
+  return read_file(path);
+}
+
+TEST(JournalEncodingTest, BodyRoundTrips) {
+  const FindingRecord original = sample_record(7);
+  const Bytes body = encode_record_body(original);
+  const auto parsed = decode_record_body(ByteView(body.data(), body.size()));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->device, original.device);
+  EXPECT_EQ(parsed->kind, original.kind);
+  EXPECT_EQ(parsed->cc, original.cc);
+  EXPECT_EQ(parsed->cmd, original.cmd);
+  EXPECT_EQ(parsed->param0, original.param0);
+  EXPECT_EQ(parsed->bug_id, original.bug_id);
+  EXPECT_EQ(parsed->detected_at, original.detected_at);
+  EXPECT_EQ(parsed->campaign_seed, original.campaign_seed);
+  EXPECT_EQ(parsed->shard_id, original.shard_id);
+  EXPECT_EQ(parsed->payload, original.payload);
+}
+
+TEST(JournalEncodingTest, Crc32MatchesKnownVector) {
+  // The classic check value: CRC-32("123456789") = 0xCBF43926.
+  const Bytes data = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(ByteView(data.data(), data.size())), 0xCBF43926u);
+}
+
+TEST(JournalTest, AppendReopenLoadsEverything) {
+  const std::string path = temp_path("zc_journal_reopen.zcj");
+  build_journal(path, 5);
+
+  FindingsJournal journal;
+  ASSERT_TRUE(journal.open(path));
+  EXPECT_EQ(journal.recovery().records_recovered, 5u);
+  EXPECT_EQ(journal.recovery().bytes_truncated, 0u);
+  ASSERT_EQ(journal.records().size(), 5u);
+  for (int n = 0; n < 5; ++n) {
+    EXPECT_EQ(journal.records()[static_cast<std::size_t>(n)].cc, sample_record(n).cc);
+    EXPECT_TRUE(journal.contains(sample_record(n).key()));
+  }
+  journal.close();
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, DedupAcrossRuns) {
+  const std::string path = temp_path("zc_journal_dedup.zcj");
+  build_journal(path, 3);
+
+  FindingsJournal journal;
+  ASSERT_TRUE(journal.open(path));
+  // Same key, different payload/time: still the same finding.
+  FindingRecord dup = sample_record(1);
+  dup.detected_at = 999999;
+  dup.payload = {0xAA};
+  EXPECT_EQ(journal.append(dup), FindingsJournal::AppendOutcome::kDuplicate);
+  EXPECT_EQ(journal.append(sample_record(9)), FindingsJournal::AppendOutcome::kAppended);
+  journal.close();
+
+  FindingsJournal reopened;
+  ASSERT_TRUE(reopened.open(path));
+  EXPECT_EQ(reopened.records().size(), 4u);  // 3 + 1 new, duplicate dropped
+  reopened.close();
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, TruncationAtEveryByteOfLastRecordRecoversPrefix) {
+  // The acceptance criterion: kill-at-arbitrary-point loses at most the
+  // final partially-written record. Simulate every possible tear by
+  // truncating the file at each byte offset inside the last record's
+  // frame and asserting the first N-1 records always come back.
+  const std::string path = temp_path("zc_journal_sweep.zcj");
+  const std::string full = build_journal(path, 4);
+  const std::string prefix = build_journal(path, 3);
+  ASSERT_LT(prefix.size(), full.size());
+  ASSERT_EQ(full.substr(0, prefix.size()), prefix);  // append-only format
+
+  for (std::size_t cut = prefix.size(); cut < full.size(); ++cut) {
+    write_file(path, full.substr(0, cut));
+
+    FindingsJournal journal;
+    ASSERT_TRUE(journal.open(path)) << "cut at byte " << cut;
+    EXPECT_EQ(journal.recovery().records_recovered, 3u) << "cut at byte " << cut;
+    EXPECT_EQ(journal.recovery().bytes_truncated, cut - prefix.size())
+        << "cut at byte " << cut;
+    ASSERT_EQ(journal.records().size(), 3u) << "cut at byte " << cut;
+    for (int n = 0; n < 3; ++n) {
+      EXPECT_EQ(journal.records()[static_cast<std::size_t>(n)].bug_id, n + 1);
+    }
+    // Recovery must also repair the file in place: appending after a torn
+    // open and reopening yields exactly prefix + new record.
+    EXPECT_EQ(journal.append(sample_record(7)), FindingsJournal::AppendOutcome::kAppended);
+    journal.close();
+
+    FindingsJournal reopened;
+    ASSERT_TRUE(reopened.open(path)) << "cut at byte " << cut;
+    EXPECT_EQ(reopened.records().size(), 4u) << "cut at byte " << cut;
+    EXPECT_EQ(reopened.recovery().bytes_truncated, 0u) << "cut at byte " << cut;
+    reopened.close();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, CrcMismatchTruncatesFromCorruption) {
+  const std::string path = temp_path("zc_journal_crc.zcj");
+  const std::string full = build_journal(path, 4);
+  const std::string prefix2 = build_journal(path, 2);
+
+  // Flip one byte inside record 2's body (just past its 8-byte frame
+  // header): records 0-1 survive, records 2-3 are gone.
+  std::string corrupt = full;
+  corrupt[prefix2.size() + 8] = static_cast<char>(corrupt[prefix2.size() + 8] ^ 0x40);
+  write_file(path, corrupt);
+
+  FindingsJournal journal;
+  ASSERT_TRUE(journal.open(path));
+  EXPECT_EQ(journal.records().size(), 2u);
+  EXPECT_EQ(journal.recovery().bytes_truncated, full.size() - prefix2.size());
+  journal.close();
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, UnknownRecordVersionRejectsWholeFile) {
+  const std::string path = temp_path("zc_journal_future_record.zcj");
+  const std::string full = build_journal(path, 2);
+
+  // Craft a crc-VALID record with record_version=2 and append it: future
+  // data we cannot interpret. The whole file must be rejected — not
+  // truncated (that destroys someone else's valid data), not skipped
+  // (that silently drops findings).
+  Bytes body = encode_record_body(sample_record(9));
+  body[0] = 2;  // record_version
+  const std::uint32_t crc = crc32(ByteView(body.data(), body.size()));
+  std::string frame;
+  const std::uint32_t len = static_cast<std::uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+  for (int i = 0; i < 4; ++i) frame.push_back(static_cast<char>((crc >> (8 * i)) & 0xFF));
+  frame.append(body.begin(), body.end());
+  write_file(path, full + frame);
+
+  FindingsJournal journal;
+  EXPECT_FALSE(journal.open(path));
+  EXPECT_EQ(journal.error(), JournalError::kUnknownVersion);
+  EXPECT_FALSE(journal.is_open());
+  // The file is untouched: a downgrade must not lose the future records.
+  EXPECT_EQ(read_file(path).size(), full.size() + frame.size());
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, FutureFileMagicRejectsWholeFile) {
+  const std::string path = temp_path("zc_journal_future_magic.zcj");
+  write_file(path, "ZCJRNL2\n");
+
+  FindingsJournal journal;
+  EXPECT_FALSE(journal.open(path));
+  EXPECT_EQ(journal.error(), JournalError::kUnknownVersion);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, ForeignFileRejectedAsBadMagic) {
+  const std::string path = temp_path("zc_journal_foreign.zcj");
+  write_file(path, "not a journal at all\n");
+
+  FindingsJournal journal;
+  EXPECT_FALSE(journal.open(path));
+  EXPECT_EQ(journal.error(), JournalError::kBadMagic);
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, EmptyAndFreshFilesOpenClean) {
+  const std::string path = temp_path("zc_journal_fresh.zcj");
+  std::remove(path.c_str());
+
+  FindingsJournal journal;
+  ASSERT_TRUE(journal.open(path));  // creates
+  EXPECT_EQ(journal.records().size(), 0u);
+  EXPECT_EQ(journal.append(sample_record(0)), FindingsJournal::AppendOutcome::kAppended);
+  EXPECT_TRUE(journal.flush());
+  journal.close();
+
+  // A file holding only the magic (kill right after creation) is valid.
+  write_file(path, "ZCJRNL1\n");
+  FindingsJournal magic_only;
+  ASSERT_TRUE(magic_only.open(path));
+  EXPECT_EQ(magic_only.records().size(), 0u);
+  magic_only.close();
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, TruncationInsideMagicRecreates) {
+  const std::string path = temp_path("zc_journal_torn_magic.zcj");
+  // A kill before the 8-byte magic finished writing leaves a short file
+  // that can't hold any records: a torn creation. open() restarts it as a
+  // fresh journal (there is nothing to lose).
+  write_file(path, "ZCJ");
+
+  FindingsJournal journal;
+  ASSERT_TRUE(journal.open(path));
+  EXPECT_EQ(journal.records().size(), 0u);
+  EXPECT_EQ(journal.recovery().bytes_truncated, 3u);
+  EXPECT_EQ(journal.append(sample_record(0)), FindingsJournal::AppendOutcome::kAppended);
+  journal.close();
+
+  FindingsJournal reopened;
+  ASSERT_TRUE(reopened.open(path));
+  EXPECT_EQ(reopened.records().size(), 1u);
+  reopened.close();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace zc::store
