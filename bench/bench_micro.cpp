@@ -6,12 +6,18 @@
 // campaign replays in seconds of wall time.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <thread>
+
+#include "common/cpu.h"
 #include "common/rng.h"
 #include "core/mutator.h"
 #include "crypto/aes128.h"
 #include "crypto/cmac.h"
 #include "crypto/x25519.h"
+#include "radio/medium.h"
 #include "radio/phy.h"
+#include "radio/phy_simd.h"
 #include "zwave/checksum.h"
 #include "zwave/command_class.h"
 #include "zwave/frame.h"
@@ -33,6 +39,22 @@ void BM_Aes128EncryptBlock(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 16);
 }
 BENCHMARK(BM_Aes128EncryptBlock);
+
+void BM_Aes128EncryptBlockPortable(benchmark::State& state) {
+  // Pins the scalar reference path so the AES-NI speedup stays visible in
+  // the JSON even on hosts where the default bench takes the hardware path.
+  cpu::ScopedForcePortable portable;
+  crypto::AesKey key{};
+  key.fill(0x42);
+  const crypto::Aes128 cipher(key);
+  crypto::AesBlock block{};
+  for (auto _ : state) {
+    cipher.encrypt_block(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Aes128EncryptBlockPortable);
 
 void BM_AesCmac(benchmark::State& state) {
   crypto::AesKey key{};
@@ -111,6 +133,53 @@ void BM_PhyRoundTripReused(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_PhyRoundTripReused)->Arg(12)->Arg(64);
+
+void BM_ManchesterBatch(benchmark::State& state) {
+  // The batch symbol kernels in isolation (no preamble/SOF hunt): encode a
+  // whole body with one call, decode it back, on whichever ISA the host
+  // dispatches to. Compare against a ZC_DISABLE_SIMD=1 run for the speedup.
+  const Bytes frame(static_cast<std::size_t>(state.range(0)), 0x5A);
+  const radio::simd::Isa isa = radio::simd::active_isa();
+  state.SetLabel(radio::simd::isa_name(isa));
+  Bytes line(frame.size() * 16);
+  Bytes decoded(frame.size());
+  for (auto _ : state) {
+    radio::simd::manchester_encode_bytes(isa, frame.data(), frame.size(), line.data());
+    auto n = radio::simd::manchester_decode_bytes(isa, line.data(), frame.size(),
+                                                  decoded.data());
+    benchmark::DoNotOptimize(n);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ManchesterBatch)->Arg(64);
+
+void BM_MediumBatchSweep(benchmark::State& state) {
+  // One transmitter, range(0) listeners at point-blank range on a clean
+  // channel: every broadcast stages one DeliveryBatch (shared lease, no
+  // per-receiver copies) and resolves with a single scheduler event.
+  EventScheduler scheduler;
+  radio::RfMedium medium(scheduler, Rng(0x5EEDBA7C));
+  radio::RadioConfig tx_cfg;
+  tx_cfg.label = "tx";
+  radio::Transceiver tx(medium, tx_cfg);
+  std::vector<std::unique_ptr<radio::Transceiver>> listeners;
+  for (int i = 0; i < state.range(0); ++i) {
+    radio::RadioConfig cfg;
+    cfg.label = "rx" + std::to_string(i);
+    listeners.push_back(std::make_unique<radio::Transceiver>(medium, cfg));
+  }
+  const Bytes frame(12, 0x5A);
+  for (auto _ : state) {
+    tx.transmit(frame);
+    scheduler.run_all();
+  }
+  if (listeners[0]->frames_heard() == 0) {
+    state.SkipWithError("batch sweep delivered nothing");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MediumBatchSweep)->Arg(4)->Arg(16);
 
 void BM_Checksum8(benchmark::State& state) {
   const Bytes data(static_cast<std::size_t>(state.range(0)), 0x3C);
@@ -208,13 +277,22 @@ BENCHMARK(BM_RandomMutation);
 // Custom main instead of BENCHMARK_MAIN(): stamp the build type into the
 // JSON context so check_regression.py can refuse debug-vs-release diffs.
 // (The library's own "library_build_type" reports how *libbenchmark* was
-// compiled, not this translation unit, so it cannot serve that role.)
+// compiled, not this translation unit — check_regression.py gates the two
+// independently; -DZC_BENCHMARK_SOURCE_DIR builds the library in Release.)
 int main(int argc, char** argv) {
 #ifdef NDEBUG
   benchmark::AddCustomContext("zc_build_type", "release");
 #else
   benchmark::AddCustomContext("zc_build_type", "debug");
 #endif
+  // Core count of the measuring host: check_regression.py warns when a
+  // baseline from a differently-sized machine is compared against.
+  benchmark::AddCustomContext("zc_hw_concurrency",
+                              std::to_string(std::thread::hardware_concurrency()));
+  benchmark::AddCustomContext("zc_simd_isa",
+                              zc::radio::simd::isa_name(zc::radio::simd::active_isa()));
+  benchmark::AddCustomContext("zc_aes_backend",
+                              zc::crypto::aes_backend_name(zc::crypto::active_aes_backend()));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

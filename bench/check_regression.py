@@ -24,6 +24,20 @@ order of magnitude slower than release, so a mismatch between baseline and
 current is always a configuration error, not a regression — the gate refuses
 to compare them unless ``--allow-build-type-mismatch`` is given. Files
 predating the stamp carry no build type and are compared without the check.
+
+Two more provenance fields get the same scrutiny:
+
+* ``context.library_build_type`` (google-benchmark's own build) — a debug
+  timing library inflates per-iteration overhead just like a debug project
+  build, so baseline/current disagreement is refused under the same
+  ``--allow-build-type-mismatch`` override, and a run where *both* sides
+  used a debug library is flagged with a warning (the numbers compare
+  fairly against each other but overstate absolute cost).
+* core count (bench_micro: ``context.num_cpus`` / ``zc_hw_concurrency``;
+  bench_parallel: top-level ``hw_concurrency``) — a baseline captured on a
+  differently-sized machine skews parallel scaling, so a mismatch warns.
+  It never fails: CI fleets resize, and the per-metric threshold still
+  gates the actual numbers.
 """
 
 import argparse
@@ -37,21 +51,32 @@ _TIME_UNITS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_metrics(path):
-    """Return ({metric_name: (value, higher_is_better)}, build_type_or_None)."""
+    """Return ({metric_name: (value, higher_is_better)}, provenance dict).
+
+    Provenance keys (any may be None when the file predates the stamp):
+    ``build_type``, ``library_build_type``, ``num_cpus``.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
 
     metrics = {}
-    build_type = None
+    provenance = {"build_type": None, "library_build_type": None, "num_cpus": None}
     if isinstance(data, dict) and data.get("benchmark") == "bench_parallel":
-        build_type = data.get("build_type")
+        provenance["build_type"] = data.get("build_type")
+        if data.get("hw_concurrency") is not None:
+            provenance["num_cpus"] = int(data["hw_concurrency"])
         for row in data.get("rows", []):
             jobs = row.get("jobs")
             for key in ("trials_per_sec", "frames_per_sec"):
                 if key in row:
                     metrics[f"parallel/jobs={jobs}/{key}"] = (float(row[key]), True)
     elif isinstance(data, dict) and "benchmarks" in data:
-        build_type = data.get("context", {}).get("zc_build_type")
+        context = data.get("context", {})
+        provenance["build_type"] = context.get("zc_build_type")
+        provenance["library_build_type"] = context.get("library_build_type")
+        cpus = context.get("zc_hw_concurrency", context.get("num_cpus"))
+        if cpus is not None:
+            provenance["num_cpus"] = int(cpus)
         # With --benchmark_repetitions each benchmark contributes several raw
         # rows; keep the MINIMUM. Scheduler contention on a shared box only
         # ever adds time, so the min is the stable estimator of true cost —
@@ -66,7 +91,7 @@ def load_metrics(path):
                 metrics[name] = (value, False)
     else:
         raise ValueError(f"{path}: unrecognized benchmark JSON shape")
-    return metrics, build_type
+    return metrics, provenance
 
 
 def main(argv=None):
@@ -96,22 +121,49 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
-    baseline, baseline_build = load_metrics(args.baseline)
-    current, current_build = load_metrics(args.current)
+    baseline, baseline_prov = load_metrics(args.baseline)
+    current, current_prov = load_metrics(args.current)
 
-    if (
-        baseline_build is not None
-        and current_build is not None
-        and baseline_build != current_build
+    for field, label in (
+        ("build_type", "build-type"),
+        ("library_build_type", "benchmark-library build-type"),
     ):
+        base_value = baseline_prov[field]
+        cur_value = current_prov[field]
+        if base_value is None or cur_value is None or base_value == cur_value:
+            continue
         message = (
-            f"build-type mismatch: baseline is '{baseline_build}' but current "
-            f"is '{current_build}'; the comparison is meaningless"
+            f"{label} mismatch: baseline is '{base_value}' but current "
+            f"is '{cur_value}'; the comparison is meaningless"
         )
         if not args.allow_build_type_mismatch:
             print(f"FAIL: {message} (pass --allow-build-type-mismatch to override)")
             return 1
         print(f"WARNING: {message} (continuing: --allow-build-type-mismatch)")
+
+    if (
+        baseline_prov["library_build_type"] == "debug"
+        and current_prov["library_build_type"] == "debug"
+    ):
+        # Fair to compare (same handicap on both sides) but the absolute
+        # numbers carry debug-library overhead; point at the Release-lane fix.
+        print(
+            "WARNING: both sides measured against a debug google-benchmark "
+            "library; absolute timings are inflated (build the library in "
+            "Release via -DZC_BENCHMARK_SOURCE_DIR, see docs/performance.md)"
+        )
+
+    if (
+        baseline_prov["num_cpus"] is not None
+        and current_prov["num_cpus"] is not None
+        and baseline_prov["num_cpus"] != current_prov["num_cpus"]
+    ):
+        print(
+            f"WARNING: core-count mismatch: baseline measured on "
+            f"{baseline_prov['num_cpus']} CPU(s), current on "
+            f"{current_prov['num_cpus']}; scaling comparisons are skewed "
+            "(warning only, thresholds still apply)"
+        )
 
     regressions = []
     for name in sorted(baseline):

@@ -29,10 +29,24 @@ build() {
 lane_tier1() {
   build build-ci -DCMAKE_BUILD_TYPE=Release
   ctest --test-dir "$root/build-ci" --output-on-failure -j "$jobs"
+  # Equivalence suite again with every fast path forced off: the scalar
+  # reference kernels and portable AES must stand on their own, because
+  # they are what non-x86 hosts (and ZC_DISABLE_* escape hatches) run.
+  ZC_DISABLE_SIMD=1 ZC_DISABLE_AESNI=1 \
+    ctest --test-dir "$root/build-ci" --output-on-failure -j "$jobs" -L simd
 }
 
 lane_perf() {
-  build build-ci-perf -DCMAKE_BUILD_TYPE=Release -DZC_ENABLE_PERF_TESTS=ON
+  # A debug google-benchmark library taints the timing provenance
+  # (check_regression.py warns on it); build the library in-tree, Release,
+  # when a source checkout is available.
+  bench_src=${ZC_BENCHMARK_SRC:-/usr/src/benchmark}
+  if [ -f "$bench_src/CMakeLists.txt" ]; then
+    build build-ci-perf -DCMAKE_BUILD_TYPE=Release -DZC_ENABLE_PERF_TESTS=ON \
+      -DZC_BENCHMARK_SOURCE_DIR="$bench_src"
+  else
+    build build-ci-perf -DCMAKE_BUILD_TYPE=Release -DZC_ENABLE_PERF_TESTS=ON
+  fi
   # Serial on purpose: the bench gates measure wall time.
   ctest --test-dir "$root/build-ci-perf" --output-on-failure -L perf
 }
@@ -43,13 +57,21 @@ lane_asan() {
   # it. bench_pool_alloc self-disables here — ASan owns operator new.
   build build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DZC_SANITIZE=address
   ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs"
+  # SIMD kernels read through raw pointers; prove both dispatch modes clean.
+  ZC_DISABLE_SIMD=1 ZC_DISABLE_AESNI=1 \
+    ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs" -L simd
 }
 
 lane_tsan() {
   build build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DZC_SANITIZE=thread
   # The multi-threaded surfaces carry dedicated labels (see
-  # docs/performance.md and docs/observability.md).
+  # docs/performance.md and docs/observability.md). The simd suite rides
+  # along in both dispatch modes: cpu-feature/env caches are cross-thread
+  # reads under sharded campaigns, so TSan vets their init.
   ctest --test-dir "$root/build-tsan" --output-on-failure -L "parallel|obs"
+  ctest --test-dir "$root/build-tsan" --output-on-failure -L simd
+  ZC_DISABLE_SIMD=1 ZC_DISABLE_AESNI=1 \
+    ctest --test-dir "$root/build-tsan" --output-on-failure -L simd
 }
 
 lane_robust() {

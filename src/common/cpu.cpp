@@ -1,0 +1,74 @@
+#include "common/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace zc::cpu {
+
+namespace {
+
+bool env_disabled(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' && !(value[0] == '0' && value[1] == '\0');
+}
+
+struct EnvOverrides {
+  bool simd_off;
+  bool aesni_off;
+};
+
+const EnvOverrides& env_overrides() {
+  static const EnvOverrides overrides{env_disabled("ZC_DISABLE_SIMD"),
+                                      env_disabled("ZC_DISABLE_AESNI")};
+  return overrides;
+}
+
+std::atomic<int> g_force_simd_off{0};
+std::atomic<int> g_force_aesni_off{0};
+
+}  // namespace
+
+Features detect() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const Features features = [] {
+    Features f;
+    f.sse2 = __builtin_cpu_supports("sse2");
+    f.avx2 = __builtin_cpu_supports("avx2");
+    f.aesni = __builtin_cpu_supports("aes");
+    return f;
+  }();
+  return features;
+#else
+  return Features{};
+#endif
+}
+
+bool simd_forced_portable() {
+  return env_overrides().simd_off || g_force_simd_off.load(std::memory_order_relaxed) > 0;
+}
+
+Features enabled() {
+  Features f = detect();
+  const EnvOverrides& env = env_overrides();
+  if (env.simd_off || g_force_simd_off.load(std::memory_order_relaxed) > 0) {
+    f.sse2 = false;
+    f.avx2 = false;
+  }
+  if (env.aesni_off || g_force_aesni_off.load(std::memory_order_relaxed) > 0) {
+    f.aesni = false;
+  }
+  return f;
+}
+
+ScopedForcePortable::ScopedForcePortable(bool force_simd_off, bool force_aesni_off)
+    : simd_off_(force_simd_off), aesni_off_(force_aesni_off) {
+  if (simd_off_) g_force_simd_off.fetch_add(1, std::memory_order_relaxed);
+  if (aesni_off_) g_force_aesni_off.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedForcePortable::~ScopedForcePortable() {
+  if (simd_off_) g_force_simd_off.fetch_sub(1, std::memory_order_relaxed);
+  if (aesni_off_) g_force_aesni_off.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace zc::cpu

@@ -1,0 +1,54 @@
+// Host CPU feature detection and runtime dispatch control.
+//
+// The PHY symbol kernels (radio/phy_simd.h) and the AES backend
+// (crypto/aes128.h) pick their fastest implementation at runtime from the
+// features reported here. Two environment variables force the portable
+// fallbacks for A/B testing and for running both code paths under
+// sanitizers (read once, at first query):
+//
+//   ZC_DISABLE_SIMD=1    never use SSE2/AVX2 (or wide-word) symbol kernels
+//   ZC_DISABLE_AESNI=1   never use hardware AES rounds
+//
+// Tests that need to exercise the portable paths in-process (the
+// dispatch-equivalence suite) use ScopedForcePortable instead of the
+// environment, which is cached.
+#pragma once
+
+namespace zc::cpu {
+
+struct Features {
+  bool sse2 = false;   // x86-64 baseline, but reported honestly
+  bool avx2 = false;
+  bool aesni = false;  // AES-NI (x86) hardware rounds
+};
+
+/// Raw features the host advertises (CPUID on x86; all-false elsewhere).
+/// Never affected by environment or test overrides.
+Features detect();
+
+/// Features the dispatchers may actually use: detect() minus the
+/// ZC_DISABLE_* environment overrides minus any live ScopedForcePortable.
+Features enabled();
+
+/// True when ZC_DISABLE_SIMD or a live ScopedForcePortable forces the
+/// symbol kernels all the way down to the scalar reference loop (as opposed
+/// to merely lacking vector ISA, where the wide-word fallback still runs).
+bool simd_forced_portable();
+
+/// RAII test hook: while alive, enabled() reports no SIMD and/or no AES-NI,
+/// so freshly-constructed ciphers and kernel calls take the portable path.
+/// Counts nest; not thread-safe against concurrent dispatch (test-only).
+class ScopedForcePortable {
+ public:
+  explicit ScopedForcePortable(bool force_simd_off = true, bool force_aesni_off = true);
+  ~ScopedForcePortable();
+
+  ScopedForcePortable(const ScopedForcePortable&) = delete;
+  ScopedForcePortable& operator=(const ScopedForcePortable&) = delete;
+
+ private:
+  bool simd_off_;
+  bool aesni_off_;
+};
+
+}  // namespace zc::cpu

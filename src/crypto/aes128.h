@@ -7,8 +7,16 @@
 // reject forged or unencrypted traffic — which is exactly the property the
 // paper's seeded specification flaws violate.
 //
-// This is a straightforward table-free implementation (S-box only); Z-Wave
-// frames are tiny and infrequent, so per-block cost is irrelevant here.
+// Two backends sit behind the same class: the from-scratch portable
+// implementation (the validated reference), and an AES-NI path that runs
+// the identical schedule/rounds in hardware — under a fuzzing campaign the
+// S0/S2 encap path encrypts thousands of blocks per trial, so the ~10x
+// hardware speedup is a first-order throughput win. The backend is chosen
+// per cipher instance at construction from cpu::enabled() (AES-NI when the
+// CPU has it; ZC_DISABLE_AESNI=1 or cpu::ScopedForcePortable force the
+// portable path). Both backends are byte-identical on every input — pinned
+// by tests/crypto/aes_backend_test.cpp against FIPS-197 vectors and
+// randomized cross-checks.
 #pragma once
 
 #include <array>
@@ -23,6 +31,16 @@ constexpr std::size_t kAesKeySize = 16;
 
 using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
 using AesKey = std::array<std::uint8_t, kAesKeySize>;
+
+/// The implementation behind an Aes128 instance.
+enum class AesBackend { kPortable, kAesni };
+
+/// Backend the dispatcher would select for a cipher constructed right now
+/// (honors ZC_DISABLE_AESNI and cpu::ScopedForcePortable).
+AesBackend active_aes_backend();
+
+/// Human-readable backend name ("portable", "aes-ni") for docs/telemetry.
+const char* aes_backend_name(AesBackend backend);
 
 /// AES-128 with a precomputed key schedule.
 class Aes128 {
@@ -42,9 +60,13 @@ class Aes128 {
     return out;
   }
 
+  /// The backend this instance captured at construction.
+  AesBackend backend() const { return backend_; }
+
  private:
-  // 11 round keys of 16 bytes each.
+  // 11 round keys of 16 bytes each (identical bytes under either backend).
   std::array<std::uint8_t, 176> round_keys_{};
+  AesBackend backend_ = AesBackend::kPortable;
 };
 
 /// Builds an AesKey from a byte view; requires exactly 16 bytes.

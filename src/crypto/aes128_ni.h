@@ -1,0 +1,28 @@
+// Internal AES-NI primitives (x86 hardware AES rounds). Only aes128.cpp
+// should include this; everything dispatches through the Aes128 class.
+//
+// The functions are compiled with per-function target("aes,sse2")
+// attributes in aes128_ni.cpp, so the library builds without global -maes
+// and plain builds still run on CPUs without the extension — callers must
+// gate on aes128_ni_supported() (which reports raw hardware capability;
+// policy overrides like ZC_DISABLE_AESNI live in crypto::active_aes_backend).
+#pragma once
+
+#include <cstdint>
+
+namespace zc::crypto::ni {
+
+/// True when the host CPU executes AES-NI (and the build targets x86).
+bool aes128_ni_supported();
+
+/// Expands `key` (16 bytes) into the standard 176-byte AES-128 round-key
+/// schedule — byte-identical to the portable expansion.
+void aes128_ni_expand_key(const std::uint8_t* key, std::uint8_t* round_keys);
+
+/// Encrypts/decrypts one 16-byte block in place against the 176-byte
+/// schedule produced by aes128_ni_expand_key (or the portable expansion —
+/// the bytes are the same).
+void aes128_ni_encrypt_block(const std::uint8_t* round_keys, std::uint8_t* block);
+void aes128_ni_decrypt_block(const std::uint8_t* round_keys, std::uint8_t* block);
+
+}  // namespace zc::crypto::ni

@@ -49,28 +49,44 @@ bool RfMedium::is_attached(const Transceiver* endpoint) const {
   return std::find(endpoints_.begin(), endpoints_.end(), endpoint) != endpoints_.end();
 }
 
-RfMedium::Delivery* RfMedium::acquire_delivery() {
-  if (!delivery_free_.empty()) {
-    Delivery* record = delivery_free_.back();
-    delivery_free_.pop_back();
+RfMedium::DeliveryBatch* RfMedium::acquire_batch() {
+  if (!batch_free_.empty()) {
+    DeliveryBatch* record = batch_free_.back();
+    batch_free_.pop_back();
     return record;
   }
-  delivery_records_.push_back(std::make_unique<Delivery>());
-  return delivery_records_.back().get();
+  batch_records_.push_back(std::make_unique<DeliveryBatch>());
+  return batch_records_.back().get();
 }
 
-void RfMedium::fire_delivery(Delivery* delivery) {
-  // Copy the record out and recycle it *before* invoking the handler: the
-  // handler may transmit (acks do), which acquires fresh records.
-  Transceiver* receiver = delivery->receiver;
-  const double rssi = delivery->rssi_dbm;
-  BitBufferPool::Lease lease = std::move(delivery->lease);
-  delivery->receiver = nullptr;
-  delivery_free_.push_back(delivery);
-  // Endpoints detached (or destroyed) after the broadcast but before the
-  // airtime elapsed never hear the frame; the lease kept the buffer out of
-  // the pool until now either way.
-  if (is_attached(receiver)) receiver->deliver(lease.bits(), rssi);
+void RfMedium::release_batch(DeliveryBatch* batch) {
+  batch->receivers.clear();  // all three keep capacity for reuse
+  batch->rssi_dbm.clear();
+  batch->leases.clear();
+  batch->shared.reset();
+  batch_free_.push_back(batch);
+}
+
+void RfMedium::fire_batch(DeliveryBatch* batch) {
+  // One virtual-clock sweep resolves every delivery of the transmission,
+  // in the order they were staged — the same order the per-delivery
+  // scheduler entries used to fire in (the event queue is FIFO-stable at
+  // equal timestamps, and a broadcast's entries were always contiguous).
+  // The batch is NOT recycled until the sweep completes: handlers may
+  // transmit (acks do), and those broadcasts acquire their own batches.
+  const std::size_t count = batch->receivers.size();
+  const bool personalized = !batch->leases.empty();
+  for (std::size_t i = 0; i < count; ++i) {
+    Transceiver* receiver = batch->receivers[i];
+    // Endpoints detached (or destroyed) after the broadcast but before the
+    // airtime elapsed never hear the frame — re-checked per delivery, so a
+    // handler earlier in the sweep can still silence later receivers.
+    if (!is_attached(receiver)) continue;
+    const BitStream& bits =
+        personalized ? batch->leases[i].bits() : batch->shared.bits();
+    receiver->deliver(bits, batch->rssi_dbm[i]);
+  }
+  release_batch(batch);
 }
 
 double RfMedium::link_rssi_dbm(const Transceiver& from, const Transceiver& to) const {
@@ -106,9 +122,13 @@ void RfMedium::broadcast(Transceiver* sender, ByteView frame, BitBufferPool::Lea
   // the sender's own lease across every listener — zero copies, zero
   // allocations once the pool is warm.
   const bool per_receiver_bits = model_.bit_flip_rate > 0.0 || fault_tap_ != nullptr;
-  std::uint64_t deliveries = 0;
   std::uint64_t drops_rf = 0;
 
+  // Stage the whole transmission into one struct-of-arrays batch. The RNG
+  // draw order below (per-receiver drop decision, then that receiver's bit
+  // flips, in endpoint order) is exactly the order the per-delivery path
+  // used, so seeded replays are byte-identical.
+  DeliveryBatch* batch = acquire_batch();
   for (Transceiver* receiver : endpoints_) {
     if (receiver == sender) continue;
     if (receiver->config().region != sender->config().region) continue;
@@ -127,10 +147,8 @@ void RfMedium::broadcast(Transceiver* sender, ByteView frame, BitBufferPool::Lea
       continue;
     }
 
-    ++deliveries;
-    Delivery* record = acquire_delivery();
-    record->receiver = receiver;
-    record->rssi_dbm = rssi;
+    batch->receivers.push_back(receiver);
+    batch->rssi_dbm.push_back(rssi);
     if (per_receiver_bits) {
       BitBufferPool::Lease delivered = pool_.acquire();
       delivered.bits().assign(bits.bits().begin(), bits.bits().end());
@@ -140,13 +158,20 @@ void RfMedium::broadcast(Transceiver* sender, ByteView frame, BitBufferPool::Lea
         }
       }
       if (fault_tap_ != nullptr) fault_tap_->corrupt_bits(delivered.bits());
-      record->lease = std::move(delivered);
-    } else {
-      record->lease = bits;  // shared: refcount keeps the buffer leased
+      batch->leases.push_back(std::move(delivered));
     }
-    // Two trivially-copyable pointers fit std::function's inline storage,
-    // so scheduling a delivery does not allocate.
-    scheduler_.schedule_after(airtime, [this, record] { fire_delivery(record); });
+  }
+  const std::uint64_t deliveries = batch->receivers.size();
+  if (deliveries == 0) {
+    release_batch(batch);
+  } else {
+    if (!per_receiver_bits) {
+      batch->shared = bits;  // shared: refcount keeps the buffer leased
+    }
+    // One scheduler entry per *transmission*, not per receiver; the two
+    // trivially-copyable pointers fit std::function's inline storage, so
+    // scheduling still does not allocate.
+    scheduler_.schedule_after(airtime, [this, batch] { fire_batch(batch); });
   }
   if (recorder != nullptr) {
     if (deliveries > 0) recorder->metrics().add(obs::MetricId::kRadioDeliveries, deliveries);

@@ -142,20 +142,31 @@ class RfMedium {
  private:
   friend class Transceiver;
 
-  /// One scheduled delivery. Records live in a free-listed arena so the
-  /// capture of each delivery event is two raw pointers — small enough for
-  /// std::function's inline storage, keeping the scheduling path heap-free.
-  struct Delivery {
-    Transceiver* receiver = nullptr;
-    BitBufferPool::Lease lease;
-    double rssi_dbm = 0.0;
+  /// One broadcast's pending deliveries, staged in struct-of-arrays form:
+  /// `receivers[i]` / `rssi_dbm[i]` / (`leases[i]` on the noisy path)
+  /// describe delivery i. All of a transmission's deliveries share one
+  /// airtime, so the whole batch resolves with a single virtual-clock event
+  /// (fire_batch) instead of one scheduler entry per receiver — the event
+  /// capture stays two raw pointers, and the scheduler queue shrinks from
+  /// O(receivers) to O(transmissions in flight).
+  ///
+  /// Batches live in a free-listed arena; their vectors keep capacity
+  /// across reuse, so staging is heap-free once the arena is warm.
+  struct DeliveryBatch {
+    std::vector<Transceiver*> receivers;
+    std::vector<double> rssi_dbm;
+    /// Per-receiver personalized bits (noisy channel / armed fault tap);
+    /// empty on the clean path, where `shared` serves every receiver.
+    std::vector<BitBufferPool::Lease> leases;
+    BitBufferPool::Lease shared;
   };
 
   void attach(Transceiver* endpoint);
   void detach(Transceiver* endpoint);
   void broadcast(Transceiver* sender, ByteView frame, BitBufferPool::Lease bits);
-  Delivery* acquire_delivery();
-  void fire_delivery(Delivery* delivery);
+  DeliveryBatch* acquire_batch();
+  void release_batch(DeliveryBatch* batch);
+  void fire_batch(DeliveryBatch* batch);
 
   EventScheduler& scheduler_;
   Rng rng_;
@@ -164,8 +175,8 @@ class RfMedium {
   std::uint64_t transmissions_ = 0;
   MediumFaultTap* fault_tap_ = nullptr;
   BitBufferPool pool_;
-  std::vector<std::unique_ptr<Delivery>> delivery_records_;
-  std::vector<Delivery*> delivery_free_;
+  std::vector<std::unique_ptr<DeliveryBatch>> batch_records_;
+  std::vector<DeliveryBatch*> batch_free_;
 };
 
 }  // namespace zc::radio

@@ -1,38 +1,13 @@
 #include "radio/phy.h"
 
+#include <cstring>
+
 #include "obs/profile.h"
+#include "radio/phy_simd.h"
 
 namespace zc::radio {
 
 namespace {
-
-/// Precomputed byte -> 16 Manchester line bits (MSB-first, 1 -> 10,
-/// 0 -> 01), so the encoder is a table copy instead of a per-bit loop.
-struct SymbolTable {
-  std::uint8_t bits[256][16];
-};
-
-SymbolTable build_symbol_table() {
-  SymbolTable table{};
-  for (unsigned value = 0; value < 256; ++value) {
-    for (int bit = 7; bit >= 0; --bit) {
-      const std::size_t pos = static_cast<std::size_t>(7 - bit) * 2;
-      if ((value >> bit) & 1) {
-        table.bits[value][pos] = 1;
-        table.bits[value][pos + 1] = 0;
-      } else {
-        table.bits[value][pos] = 0;
-        table.bits[value][pos + 1] = 1;
-      }
-    }
-  }
-  return table;
-}
-
-const SymbolTable& symbol_table() {
-  static const SymbolTable table = build_symbol_table();
-  return table;
-}
 
 /// Precomputed preamble + SOF prefix shared by every transmission.
 const BitStream& prefix_bits() {
@@ -48,26 +23,12 @@ const BitStream& prefix_bits() {
   return prefix;
 }
 
-/// Decodes one byte's 16 line bits starting at `bits` without the Result /
-/// heap traffic of the public manchester_decode. Returns the byte value,
-/// or -1 on an invalid Manchester pair (receiver noise). Equal line levels
-/// are the invalid pairs (00/11), matching a real slicer losing the edge.
-inline int decode_byte_at(const std::uint8_t* bits) {
-  unsigned value = 0;
-  for (int i = 0; i < 8; ++i) {
-    const std::uint8_t first = bits[2 * i];
-    const std::uint8_t second = bits[2 * i + 1];
-    if (first == second) return -1;
-    value = (value << 1) | (first == 1 ? 1u : 0u);
-  }
-  return static_cast<int>(value);
-}
-
 }  // namespace
 
 void manchester_encode_byte(std::uint8_t byte, BitStream& out) {
-  const std::uint8_t* symbol = symbol_table().bits[byte];
-  out.insert(out.end(), symbol, symbol + 16);
+  const std::size_t offset = out.size();
+  out.resize(offset + 16);
+  simd::manchester_encode_bytes(simd::Isa::kScalar, &byte, 1, out.data() + offset);
 }
 
 Result<Bytes> manchester_decode(const BitStream& bits, std::size_t bit_offset,
@@ -75,29 +36,22 @@ Result<Bytes> manchester_decode(const BitStream& bits, std::size_t bit_offset,
   if (bit_offset + byte_count * 16 > bits.size()) {
     return Error{Errc::kTruncated, "bit stream shorter than requested bytes"};
   }
-  Bytes out;
-  out.reserve(byte_count);
-  const std::uint8_t* cursor = bits.data() + bit_offset;
-  for (std::size_t i = 0; i < byte_count; ++i, cursor += 16) {
-    const int value = decode_byte_at(cursor);
-    if (value < 0) {
-      return Error{Errc::kBadField, "invalid Manchester symbol (noise)"};
-    }
-    out.push_back(static_cast<std::uint8_t>(value));
+  Bytes out(byte_count);
+  const std::size_t decoded =
+      simd::manchester_decode_bytes(bits.data() + bit_offset, byte_count, out.data());
+  if (decoded < byte_count) {
+    return Error{Errc::kBadField, "invalid Manchester symbol (noise)"};
   }
   return out;
 }
 
 void encode_transmission_into(ByteView frame, BitStream& out) {
   ZC_PROF_SCOPE("phy.encode");
-  out.clear();
-  out.reserve((kPreambleLength + 1 + frame.size()) * 16);
   const BitStream& prefix = prefix_bits();
-  out.insert(out.end(), prefix.begin(), prefix.end());
-  const SymbolTable& table = symbol_table();
-  for (std::uint8_t b : frame) {
-    out.insert(out.end(), table.bits[b], table.bits[b] + 16);
-  }
+  // Size once, then raw batch stores: no per-byte insert() bookkeeping.
+  out.resize(prefix.size() + frame.size() * 16);
+  std::memcpy(out.data(), prefix.data(), prefix.size());
+  simd::manchester_encode_bytes(frame.data(), frame.size(), out.data() + prefix.size());
 }
 
 BitStream encode_transmission(ByteView frame) {
@@ -114,6 +68,7 @@ Result<std::size_t> decode_transmission_into(const BitStream& bits, Bytes& frame
   // Error literals below stay within std::string's small-buffer size: a
   // noisy campaign rejects transmissions constantly, and the rejection path
   // should not allocate either.
+  const simd::Isa isa = simd::active_isa();
   const std::size_t total_bytes = bits.size() / 16;
   if (total_bytes < 2) {
     return Error{Errc::kTruncated, "short bits"};
@@ -123,7 +78,7 @@ Result<std::size_t> decode_transmission_into(const BitStream& bits, Bytes& frame
   std::size_t preamble_run = 0;
   const std::uint8_t* data = bits.data();
   for (std::size_t i = 0; i < total_bytes; ++i) {
-    const int value = decode_byte_at(data + i * 16);
+    const int value = simd::manchester_decode_byte(isa, data + i * 16);
     if (value < 0) {
       preamble_run = 0;
       continue;
@@ -144,13 +99,13 @@ Result<std::size_t> decode_transmission_into(const BitStream& bits, Bytes& frame
   }
 
   // Everything after SOF until the stream ends (or a symbol error) is the
-  // frame body. A trailing partial byte is ignored, like a real receiver
-  // squelching at end of transmission.
-  for (std::size_t i = sof_index + 1; i < total_bytes; ++i) {
-    const int value = decode_byte_at(data + i * 16);
-    if (value < 0) break;
-    frame.push_back(static_cast<std::uint8_t>(value));
-  }
+  // frame body, decoded in one batch kernel call. A trailing partial byte
+  // is ignored, like a real receiver squelching at end of transmission.
+  const std::size_t body_bytes = total_bytes - sof_index - 1;
+  frame.resize(body_bytes);
+  const std::size_t decoded = simd::manchester_decode_bytes(
+      isa, data + (sof_index + 1) * 16, body_bytes, frame.data());
+  frame.resize(decoded);
   if (frame.empty()) {
     return Error{Errc::kTruncated, "empty frame"};
   }

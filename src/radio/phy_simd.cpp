@@ -1,0 +1,234 @@
+#include "radio/phy_simd.h"
+
+#include <cstring>
+
+#include "common/cpu.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <emmintrin.h>
+#define ZC_SIMD_HAVE_SSE2 1
+#endif
+
+namespace zc::radio::simd {
+
+namespace {
+
+struct SymbolTable {
+  std::uint8_t bits[256][16];
+};
+
+SymbolTable build_symbol_table() {
+  SymbolTable table{};
+  for (unsigned value = 0; value < 256; ++value) {
+    for (int bit = 7; bit >= 0; --bit) {
+      const std::size_t pos = static_cast<std::size_t>(7 - bit) * 2;
+      if ((value >> bit) & 1) {
+        table.bits[value][pos] = 1;
+        table.bits[value][pos + 1] = 0;
+      } else {
+        table.bits[value][pos] = 0;
+        table.bits[value][pos + 1] = 1;
+      }
+    }
+  }
+  return table;
+}
+
+const SymbolTable& symbol_table() {
+  static const SymbolTable table = build_symbol_table();
+  return table;
+}
+
+/// 8-bit bit-reversal, for turning a compacted LSB-first pair mask back
+/// into the MSB-first byte value the scalar loop builds.
+constexpr std::uint8_t reverse8(std::uint8_t v) {
+  v = static_cast<std::uint8_t>(((v & 0xF0) >> 4) | ((v & 0x0F) << 4));
+  v = static_cast<std::uint8_t>(((v & 0xCC) >> 2) | ((v & 0x33) << 2));
+  v = static_cast<std::uint8_t>(((v & 0xAA) >> 1) | ((v & 0x55) << 1));
+  return v;
+}
+
+struct Reverse8Table {
+  std::uint8_t value[256];
+};
+
+constexpr Reverse8Table build_reverse8() {
+  Reverse8Table t{};
+  for (unsigned i = 0; i < 256; ++i) t.value[i] = reverse8(static_cast<std::uint8_t>(i));
+  return t;
+}
+
+constexpr Reverse8Table kReverse8 = build_reverse8();
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels: the exact semantics every wider path must match.
+// Pair (first, second) is invalid iff first == second (any equal byte
+// values, not just 0/1 — callers may hand arbitrary garbage); otherwise the
+// recovered bit is (first == 1).
+// ---------------------------------------------------------------------------
+
+inline int decode_byte_scalar(const std::uint8_t* bits) {
+  unsigned value = 0;
+  for (int i = 0; i < 8; ++i) {
+    const std::uint8_t first = bits[2 * i];
+    const std::uint8_t second = bits[2 * i + 1];
+    if (first == second) return -1;
+    value = (value << 1) | (first == 1 ? 1u : 0u);
+  }
+  return static_cast<int>(value);
+}
+
+// ---------------------------------------------------------------------------
+// Wide64 kernels: two 64-bit SWAR words per byte. Line-bit bytes live in
+// 16-bit lanes (first in the low byte, second in the high byte); lane
+// arithmetic never crosses lanes because every intermediate fits in 16 bits
+// (max 255 + 255 < 65536), so the per-lane zero/one tests are exact.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kLoBytes = 0x00FF00FF00FF00FFULL;
+constexpr std::uint64_t kOnePerLane = 0x0001000100010001ULL;
+constexpr std::uint64_t kFFPerLane = 0x00FF00FF00FF00FFULL;
+constexpr std::uint64_t kBit8PerLane = 0x0100010001000100ULL;
+
+/// Decodes 8 line bits (4 pairs) into the high-to-low 4 value bits, or -1.
+inline int decode_nibble_wide64(const std::uint8_t* line) {
+  std::uint64_t w;
+  std::memcpy(&w, line, 8);
+  // Lane k (low byte) = first_k ^ second_k; a zero lane is an equal pair.
+  const std::uint64_t diff = (w ^ (w >> 8)) & kLoBytes;
+  // Adding 0xFF sets lane bit 8 iff the lane is nonzero (no cross-lane
+  // carries: 255 + 255 = 510 < 2^16).
+  const std::uint64_t diff_nz = (diff + kFFPerLane) & kBit8PerLane;
+  if (diff_nz != kBit8PerLane) return -1;
+  // Lane k = first_k ^ 1: zero iff the recovered bit is 1.
+  const std::uint64_t firsts = (w & kLoBytes) ^ kOnePerLane;
+  const std::uint64_t firsts_nz = (firsts + kFFPerLane) & kBit8PerLane;
+  const std::uint64_t hit = ~firsts_nz;  // lane bit 8 set iff first_k == 1
+  return static_cast<int>(((hit >> 8) & 1) << 3 | ((hit >> 24) & 1) << 2 |
+                          ((hit >> 40) & 1) << 1 | ((hit >> 56) & 1));
+}
+
+inline int decode_byte_wide64(const std::uint8_t* bits) {
+  const int hi = decode_nibble_wide64(bits);
+  if (hi < 0) return -1;
+  const int lo = decode_nibble_wide64(bits + 8);
+  if (lo < 0) return -1;
+  return (hi << 4) | lo;
+}
+
+// ---------------------------------------------------------------------------
+// SSE2 kernels: one 16-byte vector load per byte; pair validity and value
+// extraction via movemask.
+// ---------------------------------------------------------------------------
+
+#if ZC_SIMD_HAVE_SSE2
+inline int decode_byte_sse2(const std::uint8_t* bits) {
+  const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(bits));
+  // first_k == second_k per 16-bit lane -> invalid pair.
+  const __m128i lo = _mm_and_si128(v, _mm_set1_epi16(0x00FF));
+  const __m128i hi = _mm_srli_epi16(v, 8);
+  if (_mm_movemask_epi8(_mm_cmpeq_epi16(lo, hi)) != 0) return -1;
+  // Bit i of `ones` = (byte_i == 1); the firsts sit at even positions.
+  const unsigned ones = static_cast<unsigned>(
+      _mm_movemask_epi8(_mm_cmpeq_epi8(v, _mm_set1_epi8(1))));
+  unsigned x = ones & 0x5555u;
+  x = (x | (x >> 1)) & 0x3333u;
+  x = (x | (x >> 2)) & 0x0F0Fu;
+  x = (x | (x >> 4)) & 0x00FFu;
+  // Compaction is LSB-first (pair 0 at bit 0); the scalar loop builds
+  // MSB-first (pair 0 is the value's bit 7), so reverse.
+  return kReverse8.value[x];
+}
+#endif
+
+}  // namespace
+
+const std::uint8_t (&symbol_rows())[256][16] { return symbol_table().bits; }
+
+Isa active_isa() {
+  if (cpu::simd_forced_portable()) return Isa::kScalar;
+#if ZC_SIMD_HAVE_SSE2
+  if (cpu::enabled().sse2) return Isa::kSse2;
+#endif
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  // The SWAR lane layout maps "first of pair" to the low byte of each
+  // 16-bit lane, which only a little-endian load guarantees.
+  return Isa::kWide64;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kWide64: return "wide64";
+    case Isa::kSse2: return "sse2";
+  }
+  return "?";
+}
+
+void manchester_encode_bytes(Isa isa, const std::uint8_t* src, std::size_t n,
+                             std::uint8_t* dst) {
+  const SymbolTable& table = symbol_table();
+#if ZC_SIMD_HAVE_SSE2
+  if (isa == Isa::kSse2) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const __m128i row =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(table.bits[src[i]]));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 16 * i), row);
+    }
+    return;
+  }
+#endif
+  // Scalar and wide64 share the table-row copy; a 16-byte memcpy compiles
+  // to two word moves, which *is* the wide path.
+  (void)isa;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(dst + 16 * i, table.bits[src[i]], 16);
+  }
+}
+
+int manchester_decode_byte(Isa isa, const std::uint8_t* line_bits) {
+  switch (isa) {
+#if ZC_SIMD_HAVE_SSE2
+    case Isa::kSse2: return decode_byte_sse2(line_bits);
+#endif
+    case Isa::kWide64: return decode_byte_wide64(line_bits);
+    default: return decode_byte_scalar(line_bits);
+  }
+}
+
+std::size_t manchester_decode_bytes(Isa isa, const std::uint8_t* line_bits,
+                                    std::size_t n, std::uint8_t* dst) {
+  switch (isa) {
+#if ZC_SIMD_HAVE_SSE2
+    case Isa::kSse2: {
+      for (std::size_t i = 0; i < n; ++i) {
+        const int value = decode_byte_sse2(line_bits + 16 * i);
+        if (value < 0) return i;
+        dst[i] = static_cast<std::uint8_t>(value);
+      }
+      return n;
+    }
+#endif
+    case Isa::kWide64: {
+      for (std::size_t i = 0; i < n; ++i) {
+        const int value = decode_byte_wide64(line_bits + 16 * i);
+        if (value < 0) return i;
+        dst[i] = static_cast<std::uint8_t>(value);
+      }
+      return n;
+    }
+    default: {
+      for (std::size_t i = 0; i < n; ++i) {
+        const int value = decode_byte_scalar(line_bits + 16 * i);
+        if (value < 0) return i;
+        dst[i] = static_cast<std::uint8_t>(value);
+      }
+      return n;
+    }
+  }
+}
+
+}  // namespace zc::radio::simd

@@ -1,0 +1,63 @@
+// zc_simd: runtime-dispatched batch kernels for the PHY symbol hot loops.
+//
+// The per-frame cost of line coding used to be a byte-at-a-time walk:
+// encode inserted one 16-entry symbol row per byte into a growing vector,
+// decode ran sixteen branchy comparisons per byte. These kernels process
+// whole frames against preallocated buffers and pick the widest
+// implementation the host supports at runtime:
+//
+//   kSse2    16 line bits per vector load, movemask pair-validity + value
+//            extraction (x86-64)
+//   kWide64  two 64-bit SWAR words per byte (portable wide fallback; also
+//            what aarch64/NEON builds take — the compiler vectorizes it)
+//   kScalar  the original readable reference loop
+//
+// Every path is byte-for-byte identical on every input, including invalid
+// Manchester pairs and non-0/1 garbage bytes (the reference semantics are
+// "pair invalid iff first == second, bit = (first == 1)"). The
+// dispatch-equivalence suite (tests/radio/phy_simd_test.cpp) pins this;
+// ZC_DISABLE_SIMD / cpu::ScopedForcePortable force kScalar.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zc::radio::simd {
+
+enum class Isa { kScalar, kWide64, kSse2 };
+
+/// The ISA the dispatcher picks right now: honors cpu::enabled(), i.e. the
+/// ZC_DISABLE_SIMD environment override and any ScopedForcePortable.
+Isa active_isa();
+
+/// Human-readable ISA name for docs/telemetry ("scalar", "wide64", "sse2").
+const char* isa_name(Isa isa);
+
+/// Manchester-encodes `n` bytes MSB-first (1 -> 10, 0 -> 01) into exactly
+/// `16 * n` line bits at `dst` (caller allocates).
+void manchester_encode_bytes(Isa isa, const std::uint8_t* src, std::size_t n,
+                             std::uint8_t* dst);
+
+/// Decodes one byte from 16 line bits. Returns the byte value, or -1 on an
+/// invalid pair (equal line levels — a slicer losing the edge).
+int manchester_decode_byte(Isa isa, const std::uint8_t* line_bits);
+
+/// Decodes up to `n` bytes from `16 * n` line bits into `dst`, stopping at
+/// the first invalid pair. Returns the number of bytes decoded.
+std::size_t manchester_decode_bytes(Isa isa, const std::uint8_t* line_bits,
+                                    std::size_t n, std::uint8_t* dst);
+
+/// The shared 256-entry byte -> 16-line-bit symbol table (row-major).
+const std::uint8_t (&symbol_rows())[256][16];
+
+// Convenience overloads: dispatch on the current active_isa().
+inline void manchester_encode_bytes(const std::uint8_t* src, std::size_t n,
+                                    std::uint8_t* dst) {
+  manchester_encode_bytes(active_isa(), src, n, dst);
+}
+inline std::size_t manchester_decode_bytes(const std::uint8_t* line_bits,
+                                           std::size_t n, std::uint8_t* dst) {
+  return manchester_decode_bytes(active_isa(), line_bits, n, dst);
+}
+
+}  // namespace zc::radio::simd

@@ -1,0 +1,211 @@
+// Dispatch-equivalence suite for the batch PHY symbol kernels.
+//
+// Every Isa the host can run must be byte-for-byte identical to the scalar
+// reference on every input: valid frames of all hot-path sizes, invalid
+// Manchester pairs (00/11), arbitrary non-0/1 garbage line levels, and
+// transmissions with torn preambles. The reference semantics are "pair
+// invalid iff first == second (full byte equality), bit = (first == 1)" —
+// the wide paths must preserve them exactly, not just on clean 0/1 inputs.
+#include "radio/phy_simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/cpu.h"
+#include "common/rng.h"
+#include "radio/phy.h"
+
+namespace zc::radio {
+namespace {
+
+std::vector<simd::Isa> runnable_isas() {
+  std::vector<simd::Isa> isas = {simd::Isa::kScalar};
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  isas.push_back(simd::Isa::kWide64);
+#endif
+  if (cpu::detect().sse2) isas.push_back(simd::Isa::kSse2);
+  return isas;
+}
+
+// Independent bit-by-bit reference, deliberately not sharing code with any
+// shipped path: encode from first principles (MSB-first, 1 -> 10, 0 -> 01).
+std::vector<std::uint8_t> reference_encode(const Bytes& frame) {
+  std::vector<std::uint8_t> line;
+  for (std::uint8_t byte : frame) {
+    for (int bit = 7; bit >= 0; --bit) {
+      const bool one = (byte >> bit) & 1;
+      line.push_back(one ? 1 : 0);
+      line.push_back(one ? 0 : 1);
+    }
+  }
+  return line;
+}
+
+// Reference decode with the exact documented semantics, over arbitrary
+// (not just 0/1) line levels.
+int reference_decode_byte(const std::uint8_t* line) {
+  int value = 0;
+  for (int pair = 0; pair < 8; ++pair) {
+    const std::uint8_t first = line[2 * pair];
+    const std::uint8_t second = line[2 * pair + 1];
+    if (first == second) return -1;
+    value = (value << 1) | (first == 1 ? 1 : 0);
+  }
+  return value;
+}
+
+TEST(PhySimdDispatch, ActiveIsaHonorsForcePortable) {
+  // Whatever the host picks by default, a live ScopedForcePortable must
+  // drop it to the scalar reference.
+  cpu::ScopedForcePortable portable;
+  EXPECT_EQ(simd::active_isa(), simd::Isa::kScalar);
+  EXPECT_STREQ(simd::isa_name(simd::active_isa()), "scalar");
+}
+
+TEST(PhySimdDispatch, IsaNamesAreDistinct) {
+  EXPECT_STRNE(simd::isa_name(simd::Isa::kScalar), simd::isa_name(simd::Isa::kWide64));
+  EXPECT_STRNE(simd::isa_name(simd::Isa::kWide64), simd::isa_name(simd::Isa::kSse2));
+}
+
+TEST(PhySimdEquivalence, EncodeMatchesReferenceAllSizes) {
+  Rng rng(0xE47C0DE);
+  for (std::size_t size = 1; size <= 64; ++size) {
+    const Bytes frame = rng.bytes(size);
+    const auto expected = reference_encode(frame);
+    for (simd::Isa isa : runnable_isas()) {
+      std::vector<std::uint8_t> line(frame.size() * 16, 0xEE);
+      simd::manchester_encode_bytes(isa, frame.data(), frame.size(), line.data());
+      EXPECT_EQ(line, expected) << "size " << size << " isa " << simd::isa_name(isa);
+    }
+  }
+}
+
+TEST(PhySimdEquivalence, DecodeValidFramesAllSizes) {
+  Rng rng(0xDEC0DE);
+  for (std::size_t size = 1; size <= 64; ++size) {
+    const Bytes frame = rng.bytes(size);
+    const auto line = reference_encode(frame);
+    for (simd::Isa isa : runnable_isas()) {
+      Bytes decoded(size, 0xEE);
+      const std::size_t n =
+          simd::manchester_decode_bytes(isa, line.data(), size, decoded.data());
+      EXPECT_EQ(n, size) << "isa " << simd::isa_name(isa);
+      EXPECT_EQ(decoded, frame) << "size " << size << " isa " << simd::isa_name(isa);
+    }
+  }
+}
+
+TEST(PhySimdEquivalence, DecodeByteMatchesReferenceOnGarbage) {
+  // Arbitrary bytes as line levels: pairs are invalid iff the two bytes are
+  // equal (whatever the value), and a "1" line bit means exactly 1 — e.g.
+  // (7, 7) is invalid, (7, 3) decodes as bit 0, (1, 200) as bit 1.
+  Rng rng(0x6A4BA6E);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::uint8_t line[16];
+    for (auto& level : line) {
+      // Bias toward small values so valid/invalid/garbage all occur often.
+      level = (trial % 3 == 0) ? rng.next_byte()
+                               : static_cast<std::uint8_t>(rng.next_byte() % 3);
+    }
+    const int expected = reference_decode_byte(line);
+    for (simd::Isa isa : runnable_isas()) {
+      EXPECT_EQ(simd::manchester_decode_byte(isa, line), expected)
+          << "trial " << trial << " isa " << simd::isa_name(isa);
+    }
+  }
+}
+
+TEST(PhySimdEquivalence, BatchDecodeStopsAtFirstInvalidPair) {
+  Rng rng(0xBAD5E6);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t size = 1 + static_cast<std::size_t>(rng.uniform(0, 63));
+    const Bytes frame = rng.bytes(size);
+    auto line = reference_encode(frame);
+    // Tear one random pair into 00 or 11.
+    const std::size_t bad_pair = static_cast<std::size_t>(rng.uniform(0, size * 8 - 1));
+    const std::uint8_t level = rng.chance(0.5) ? 1 : 0;
+    line[2 * bad_pair] = level;
+    line[2 * bad_pair + 1] = level;
+    const std::size_t expected_bytes = bad_pair / 8;  // bytes before the tear
+    for (simd::Isa isa : runnable_isas()) {
+      Bytes decoded(size, 0xEE);
+      const std::size_t n =
+          simd::manchester_decode_bytes(isa, line.data(), size, decoded.data());
+      ASSERT_EQ(n, expected_bytes) << "trial " << trial << " isa " << simd::isa_name(isa);
+      EXPECT_TRUE(std::equal(decoded.begin(), decoded.begin() + static_cast<long>(n),
+                             frame.begin()))
+          << "prefix mismatch, isa " << simd::isa_name(isa);
+    }
+  }
+}
+
+TEST(PhySimdEquivalence, FullTransmissionDispatchedVsPortable) {
+  // The shipped entry points (preamble/SOF scan + batch body decode) must
+  // produce identical bytes whether dispatch picks a wide path or the
+  // scalar fallback.
+  Rng rng(0x7A4);
+  for (std::size_t size = 1; size <= 64; ++size) {
+    const Bytes frame = rng.bytes(size);
+    BitStream bits_fast;
+    encode_transmission_into(frame, bits_fast);
+
+    BitStream bits_portable;
+    Bytes decoded_portable;
+    std::string error_portable;
+    {
+      cpu::ScopedForcePortable portable;
+      encode_transmission_into(frame, bits_portable);
+      auto result = decode_transmission(bits_fast);
+      if (result.ok()) {
+        decoded_portable = result.value();
+      } else {
+        error_portable = result.error().message;
+      }
+    }
+    EXPECT_EQ(bits_fast, bits_portable) << "encode diverged at size " << size;
+
+    auto result_fast = decode_transmission(bits_fast);
+    ASSERT_TRUE(result_fast.ok()) << result_fast.error().message;
+    EXPECT_TRUE(error_portable.empty()) << error_portable;
+    EXPECT_EQ(result_fast.value(), frame);
+    EXPECT_EQ(result_fast.value(), decoded_portable);
+  }
+}
+
+TEST(PhySimdEquivalence, TornPreamblesIdenticalAcrossBackends) {
+  // Truncate the front of a transmission at every bit offset through the
+  // preamble and into the body: both backends must agree on success or on
+  // the exact error.
+  Rng rng(0x70A4);
+  const Bytes frame = rng.bytes(12);
+  BitStream bits;
+  encode_transmission_into(frame, bits);
+  for (std::size_t cut = 1; cut < (kPreambleLength + 2) * 16; cut += 3) {
+    const BitStream torn(bits.begin() + static_cast<long>(cut), bits.end());
+    auto fast = decode_transmission(torn);
+    cpu::ScopedForcePortable portable;
+    auto slow = decode_transmission(torn);
+    ASSERT_EQ(fast.ok(), slow.ok()) << "cut " << cut;
+    if (fast.ok()) {
+      EXPECT_EQ(fast.value(), slow.value()) << "cut " << cut;
+    } else {
+      EXPECT_EQ(fast.error().message, slow.error().message) << "cut " << cut;
+    }
+  }
+}
+
+TEST(PhySimdEquivalence, SymbolTableMatchesReference) {
+  const auto& rows = simd::symbol_rows();
+  for (unsigned byte = 0; byte < 256; ++byte) {
+    const auto expected = reference_encode({static_cast<std::uint8_t>(byte)});
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_EQ(rows[byte][i], expected[static_cast<std::size_t>(i)]) << "byte " << byte;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zc::radio
