@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
-"""Telemetry overhead gate: fail when enabled telemetry costs too much throughput.
+"""Instrumentation overhead gate: fail when an enabled hook layer costs too much.
 
 Usage:
     check_overhead.py --input BENCH_obs_overhead.json [--threshold 0.03]
+                      [--benchmark bench_obs_overhead]
 
-Reads the JSON bench_obs_overhead emits (one fixed campaign run with
-telemetry off and on) and compares the two throughputs directly — no
-committed baseline needed, because both arms run in the same invocation on
-the same machine. Exit status 1 when the telemetry-on arm is more than
-``--threshold`` (default 3%) slower than the telemetry-off arm.
+Reads the off-vs-on JSON an overhead bench emits (bench_obs_overhead for
+the telemetry hooks, bench_covfuzz_overhead for the coverage hooks — both
+run one fixed campaign workload with the instrumentation off and on) and
+compares the two throughputs directly — no committed baseline needed,
+because both arms run in the same invocation on the same machine. Exit
+status 1 when the instrumented arm is more than ``--threshold`` (default
+3%) slower than the uninstrumented arm.
 
 Follows the check_regression.py conventions: [OK]/[REG] markers per
 metric, PASS/FAIL summary line, argparse interface.
@@ -24,19 +27,24 @@ DEFAULT_THRESHOLD = 0.03
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--input", required=True,
-                        help="JSON produced by bench_obs_overhead")
+                        help="JSON produced by an overhead bench")
     parser.add_argument(
         "--threshold",
         type=float,
         default=DEFAULT_THRESHOLD,
         help="max tolerated fractional throughput loss (default %(default)s)",
     )
+    parser.add_argument(
+        "--benchmark",
+        default="bench_obs_overhead",
+        help="expected 'benchmark' field in the JSON (default %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     with open(args.input, "r", encoding="utf-8") as handle:
         data = json.load(handle)
-    if data.get("benchmark") != "bench_obs_overhead":
-        raise ValueError(f"{args.input}: not a bench_obs_overhead JSON document")
+    if data.get("benchmark") != args.benchmark:
+        raise ValueError(f"{args.input}: not a {args.benchmark} JSON document")
 
     off = float(data["baseline_trials_per_sec"])
     on = float(data["telemetry_trials_per_sec"])
@@ -45,14 +53,14 @@ def main(argv=None):
     loss = (off - on) / off
 
     marker = "OK " if loss <= args.threshold else "REG"
-    print(f"  [{marker}] telemetry overhead: {off:.2f} -> {on:.2f} trials/s "
+    print(f"  [{marker}] {args.benchmark}: {off:.2f} -> {on:.2f} trials/s "
           f"({loss * 100.0:+.1f}% loss, budget {args.threshold * 100.0:.0f}%)")
 
     if loss > args.threshold:
-        print(f"FAIL: enabled telemetry costs {loss * 100.0:.1f}% throughput "
+        print(f"FAIL: enabled instrumentation costs {loss * 100.0:.1f}% throughput "
               f"(budget {args.threshold * 100.0:.0f}%)")
         return 1
-    print(f"PASS: telemetry overhead within the {args.threshold * 100.0:.0f}% budget")
+    print(f"PASS: overhead within the {args.threshold * 100.0:.0f}% budget")
     return 0
 
 

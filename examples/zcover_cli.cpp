@@ -7,6 +7,7 @@
 //                     [--no-dedup] [--liveness-stride N]
 //   zcover_cli trials [--device D4|all] [--trials 5] [--jobs N]
 //                     [--mode full|beta|gamma] [--hours 24] [--seed N]
+//                     [--fuzzer psm|cov] [--corpus-dir DIR] [--no-coverage]
 //                     [--trace FILE] [--metrics FILE] [--journal FILE]
 //                     [--max-shard-restarts N] [--shard-deadline SECONDS]
 //                     [--no-dedup] [--liveness-stride N]
@@ -41,6 +42,15 @@
 // fault domains in `trials`: a crashed or hung shard is restarted up to N
 // times (resuming from its checkpoint when one exists) and quarantined
 // after that, leaving every other shard's results untouched.
+//
+// `--fuzzer cov` switches `trials` to the coverage-guided mode
+// (docs/FUZZING.md "Coverage-guided mode"): every shard runs a feedback
+// loop over the simulated firmware's handler-coverage map instead of the
+// PSM campaign. `--corpus-dir DIR` both loads an existing corpus as extra
+// seeds before the run and saves the merged admitted corpus back to DIR
+// after it (one `<fingerprint>.seed` file per payload). `--no-coverage`
+// disables the feedback loop — the blind ablation arm, with no coverage
+// map installed at all.
 //
 // SIGINT/SIGTERM request a cooperative stop: every campaign halts at its
 // next test boundary, emits a final checkpoint (when checkpointing is
@@ -115,6 +125,13 @@ sim::DeviceModel parse_device(const std::string& name) {
   std::exit(2);
 }
 
+core::FuzzerFamily parse_fuzzer(const std::string& name) {
+  if (name == "psm") return core::FuzzerFamily::kPsm;
+  if (name == "cov") return core::FuzzerFamily::kCov;
+  std::fprintf(stderr, "unknown fuzzer '%s' (psm|cov)\n", name.c_str());
+  std::exit(2);
+}
+
 core::CampaignMode parse_mode(const std::string& name) {
   if (name == "full") return core::CampaignMode::kFull;
   if (name == "beta") return core::CampaignMode::kKnownOnly;
@@ -143,6 +160,9 @@ struct Options {
   std::string journal_path;
   std::size_t max_shard_restarts = 2;
   double shard_deadline_seconds = 0.0;  // 0 = watchdog off
+  core::FuzzerFamily fuzzer = core::FuzzerFamily::kPsm;
+  std::string corpus_dir;
+  bool coverage = true;  // --no-coverage clears it (cov mode only)
 
   bool telemetry() const { return !trace_path.empty() || !metrics_path.empty(); }
 };
@@ -221,6 +241,12 @@ Options parse_options(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoull(value().c_str(), nullptr, 0));
     } else if (arg == "--shard-deadline") {
       options.shard_deadline_seconds = std::atof(value().c_str());
+    } else if (arg == "--fuzzer") {
+      options.fuzzer = parse_fuzzer(value());
+    } else if (arg == "--corpus-dir") {
+      options.corpus_dir = value();
+    } else if (arg == "--no-coverage") {
+      options.coverage = false;
     } else if (arg == "--no-dedup") {
       options.dedup = false;
     } else if (arg == "--liveness-stride") {
@@ -398,6 +424,19 @@ int cmd_trials(const Options& options) {
   parallel.shard_deadline = std::chrono::milliseconds(
       static_cast<std::int64_t>(options.shard_deadline_seconds * 1000.0));
   parallel.abort_hook = [] { return g_signal != 0; };
+  parallel.fuzzer = options.fuzzer;
+  const bool cov_mode = options.fuzzer == core::FuzzerFamily::kCov;
+  if (cov_mode) {
+    parallel.covfuzz.dedup = options.dedup;
+    parallel.covfuzz.coverage_feedback = options.coverage;
+    if (!options.corpus_dir.empty()) {
+      parallel.covfuzz.extra_seeds = core::CovFuzz::load_corpus(options.corpus_dir);
+      if (!parallel.covfuzz.extra_seeds.empty()) {
+        std::printf("corpus %s: %zu seed(s) loaded\n", options.corpus_dir.c_str(),
+                    parallel.covfuzz.extra_seeds.size());
+      }
+    }
+  }
   store::FindingsJournal journal;
   if (maybe_open_journal(options.journal_path, journal)) parallel.journal = &journal;
   if (!options.checkpoint_path.empty()) {
@@ -445,6 +484,9 @@ int cmd_trials(const Options& options) {
                 static_cast<unsigned long long>(shard.campaign_seed),
                 static_cast<unsigned long long>(shard.result.test_packets),
                 shard.result.findings.size());
+    if (shard.coverage_collected) {
+      std::printf(" edges=%zu corpus=%zu", shard.coverage.edges_hit(), shard.corpus.size());
+    }
     if (shard.health != core::ShardHealth::kHealthy) {
       std::printf("  [%s after %zu restart(s)%s%s]", core::shard_health_name(shard.health),
                   shard.restarts, shard.last_error.empty() ? "" : ": ",
@@ -463,6 +505,18 @@ int cmd_trials(const Options& options) {
                 report.degraded_shards.size());
     for (std::size_t id : report.degraded_shards) std::printf(" %zu", id);
     std::printf("\n");
+  }
+  if (cov_mode && options.coverage) {
+    const std::vector<Bytes> corpus = report.merged_corpus();
+    std::printf("coverage: %zu edge(s) hit, merged corpus: %zu payload(s)\n",
+                report.merged_coverage().edges_hit(), corpus.size());
+    if (!options.corpus_dir.empty()) {
+      if (core::CovFuzz::save_corpus(options.corpus_dir, corpus)) {
+        std::printf("corpus written to %s\n", options.corpus_dir.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write corpus to %s\n", options.corpus_dir.c_str());
+      }
+    }
   }
   if (journal.is_open()) {
     journal.flush();

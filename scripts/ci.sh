@@ -29,6 +29,10 @@ build() {
 lane_tier1() {
   build build-ci -DCMAKE_BUILD_TYPE=Release
   ctest --test-dir "$root/build-ci" --output-on-failure -j "$jobs"
+  # Coverage-guided suite called out by label: merge determinism, PSM
+  # parity, corpus round-trip. Cheap, and a named lane step makes a
+  # covfuzz regression obvious in the CI log.
+  ctest --test-dir "$root/build-ci" --output-on-failure -j "$jobs" -L covfuzz
   # Equivalence suite again with every fast path forced off: the scalar
   # reference kernels and portable AES must stand on their own, because
   # they are what non-x86 hosts (and ZC_DISABLE_* escape hatches) run.
@@ -57,6 +61,9 @@ lane_asan() {
   # it. bench_pool_alloc self-disables here — ASan owns operator new.
   build build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DZC_SANITIZE=address
   ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs"
+  # The covfuzz suite exercises corpus file I/O and journal flag records —
+  # exactly the buffer-handling paths ASan should sweep by name.
+  ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs" -L covfuzz
   # SIMD kernels read through raw pointers; prove both dispatch modes clean.
   ZC_DISABLE_SIMD=1 ZC_DISABLE_AESNI=1 \
     ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs" -L simd
@@ -65,10 +72,12 @@ lane_asan() {
 lane_tsan() {
   build build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DZC_SANITIZE=thread
   # The multi-threaded surfaces carry dedicated labels (see
-  # docs/performance.md and docs/observability.md). The simd suite rides
-  # along in both dispatch modes: cpu-feature/env caches are cross-thread
-  # reads under sharded campaigns, so TSan vets their init.
-  ctest --test-dir "$root/build-tsan" --output-on-failure -L "parallel|obs"
+  # docs/performance.md and docs/observability.md). covfuzz joins them:
+  # its merge-determinism tests run shard pools whose thread-local coverage
+  # maps TSan must prove isolated. The simd suite rides along in both
+  # dispatch modes: cpu-feature/env caches are cross-thread reads under
+  # sharded campaigns, so TSan vets their init.
+  ctest --test-dir "$root/build-tsan" --output-on-failure -L "parallel|obs|covfuzz"
   ctest --test-dir "$root/build-tsan" --output-on-failure -L simd
   ZC_DISABLE_SIMD=1 ZC_DISABLE_AESNI=1 \
     ctest --test-dir "$root/build-tsan" --output-on-failure -L simd

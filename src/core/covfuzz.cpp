@@ -1,0 +1,325 @@
+#include "core/covfuzz.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <optional>
+
+#include "obs/recorder.h"
+#include "zwave/command_class.h"
+
+namespace zc::core {
+
+namespace {
+
+/// Settle window after clearing an outage with a reset/power-cycle.
+constexpr SimTime kRecoverySettle = 150 * kMillisecond;
+/// Short outages are cheaper to wait out than to reset through.
+constexpr SimTime kWaitOutLimit = 2 * kSecond;
+
+}  // namespace
+
+CovFuzz::CovFuzz(sim::Testbed& testbed, CovFuzzConfig config)
+    : testbed_(testbed),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      dongle_(testbed.medium(), testbed.scheduler(),
+              testbed.attacker_radio_config("covfuzz-dongle")),
+      home_(testbed.controller().home_id()) {}
+
+std::vector<Bytes> CovFuzz::canonical_seeds() {
+  const auto& db = zwave::SpecDatabase::instance();
+  std::vector<Bytes> seeds;
+  for (zwave::CommandClassId cc : db.controller_cluster(true)) {
+    const zwave::CommandClassSpec* spec = db.find(cc);
+    if (spec == nullptr || spec->commands.empty()) {
+      zwave::AppPayload bare;
+      bare.cmd_class = cc;
+      bare.command = 0x00;
+      seeds.push_back(bare.encode());
+      continue;
+    }
+    for (const zwave::CommandSpec& cmd : spec->commands) {
+      zwave::AppPayload payload;
+      payload.cmd_class = cc;
+      payload.command = cmd.id;
+      for (const zwave::ParamSpec& param : cmd.params) payload.params.push_back(param.min);
+      seeds.push_back(payload.encode());
+    }
+  }
+  return seeds;
+}
+
+bool CovFuzz::save_corpus(const std::string& dir, const std::vector<Bytes>& corpus) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  for (const Bytes& payload : corpus) {
+    const std::uint64_t fp = TestMemo::fingerprint(ByteView(payload.data(), payload.size()));
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.seed", static_cast<unsigned long long>(fp));
+    const std::filesystem::path path = std::filesystem::path(dir) / name;
+    std::FILE* file = std::fopen(path.string().c_str(), "wb");
+    if (file == nullptr) return false;
+    const bool written =
+        payload.empty() ||
+        std::fwrite(payload.data(), 1, payload.size(), file) == payload.size();
+    const bool closed = std::fclose(file) == 0;
+    if (!written || !closed) return false;
+  }
+  return true;
+}
+
+std::vector<Bytes> CovFuzz::load_corpus(const std::string& dir) {
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  for (; !ec && it != std::filesystem::directory_iterator(); it.increment(ec)) {
+    if (it->path().extension() == ".seed") files.push_back(it->path());
+  }
+  // Sorted filename order: the load sequence is a function of the corpus
+  // content, not of the filesystem's enumeration order.
+  std::sort(files.begin(), files.end());
+  std::vector<Bytes> corpus;
+  for (const std::filesystem::path& path : files) {
+    std::FILE* file = std::fopen(path.string().c_str(), "rb");
+    if (file == nullptr) continue;
+    Bytes payload;
+    char buf[256];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+      payload.insert(payload.end(), buf, buf + n);
+    }
+    std::fclose(file);
+    corpus.push_back(std::move(payload));
+  }
+  return corpus;
+}
+
+void CovFuzz::clear_outage() {
+  sim::VirtualController& controller = testbed_.controller();
+  if (controller.responsive()) return;
+  const SimTime remaining = controller.outage_remaining();
+  if (remaining <= kWaitOutLimit) {
+    // Finite, short: let virtual time absorb it.
+    dongle_.run_for(remaining);
+    return;
+  }
+  if (controller.soft_reset()) {
+    dongle_.run_for(kRecoverySettle);
+    return;
+  }
+  // NVM-level wedge (infinite outage): only the operator's power cycle
+  // clears it — same bottom rung as the campaign watchdog's ladder.
+  controller.operator_recover();
+  dongle_.run_for(kRecoverySettle);
+}
+
+void CovFuzz::journal_new_triggers(std::size_t& cursor) {
+  const auto& triggered = testbed_.controller().triggered();
+  if (config_.journal == nullptr) {
+    cursor = triggered.size();
+    return;
+  }
+  for (; cursor < triggered.size(); ++cursor) {
+    const auto& vuln = triggered[cursor];
+    store::FindingRecord record;
+    record.device = static_cast<std::uint8_t>(testbed_.controller().model());
+    record.kind = 0;  // like VFuzz, the oracle is the trigger log itself
+    if (vuln.payload.size() >= 2) {
+      record.cc = vuln.payload[0];
+      record.cmd = vuln.payload[1];
+    }
+    record.param0 = vuln.payload.size() > 2 ? vuln.payload[2] : 0x100;
+    record.bug_id = vuln.bug_id;
+    record.detected_at = vuln.at;
+    record.campaign_seed = config_.seed;
+    record.shard_id = config_.journal_shard_id;
+    record.payload = vuln.payload;
+    const auto outcome = config_.journal->append(record);
+    obs::count(outcome == store::FindingsJournal::AppendOutcome::kDuplicate
+                   ? obs::MetricId::kJournalDedupSkips
+                   : obs::MetricId::kJournalAppends);
+  }
+}
+
+void CovFuzz::journal_admission(const zwave::AppPayload& payload) {
+  if (config_.journal == nullptr) return;
+  store::FindingRecord record;
+  record.device = static_cast<std::uint8_t>(testbed_.controller().model());
+  record.kind = 0;
+  record.flags = store::FindingRecord::kCorpusSeedFlag;
+  record.cc = payload.cmd_class;
+  record.cmd = payload.command;
+  record.param0 = payload.params.empty() ? 0x100 : payload.params[0];
+  record.bug_id = 0;  // not a finding; the flag says what this is
+  record.detected_at = testbed_.scheduler().now();
+  record.campaign_seed = config_.seed;
+  record.shard_id = config_.journal_shard_id;
+  record.payload = payload.encode();
+  const auto outcome = config_.journal->append(record);
+  obs::count(outcome == store::FindingsJournal::AppendOutcome::kDuplicate
+                 ? obs::MetricId::kJournalDedupSkips
+                 : obs::MetricId::kJournalAppends);
+}
+
+void CovFuzz::execute_test(CovFuzzResult& result, const zwave::AppPayload& payload) {
+  last_new_edges_ = 0;
+  if (config_.coverage_feedback) {
+    scratch_.clear();
+    {
+      // The scratch map observes exactly this test's dispatch chain —
+      // including slave chatter inside the settle window, which is
+      // deterministic in virtual time and therefore stable per seed.
+      const sim::cov::ScopedCoverage scoped(scratch_);
+      dongle_.send_app(home_, kAttackerNodeId, zwave::kControllerNodeId, payload);
+      obs::count(obs::MetricId::kCovfuzzPacketsTx);
+      ++result.packets_sent;
+      dongle_.run_for(config_.inter_test_gap);
+    }
+    const std::size_t new_edges = scratch_.fold_into(result.coverage);
+    last_new_edges_ = new_edges;
+    if (new_edges > 0) {
+      // The admission rule: this payload's execution grew the map.
+      result.corpus.push_back(payload.encode());
+      corpus_by_class_[payload.cmd_class].push_back(result.corpus.size() - 1);
+      obs::count(obs::MetricId::kCovfuzzCorpusAdmissions);
+      obs::gauge_set(obs::MetricId::kCovfuzzCorpusSize, result.corpus.size());
+      obs::gauge_set(obs::MetricId::kCovfuzzEdgesHit, result.coverage.edges_hit());
+      obs::emit(obs::TraceEventType::kCoverageNew, payload.cmd_class, payload.command,
+                static_cast<std::int64_t>(new_edges),
+                static_cast<std::int64_t>(result.corpus.size()));
+      journal_admission(payload);
+    }
+  } else {
+    // Blind arm: no map installed anywhere — this is also the
+    // instrumentation-off baseline bench_covfuzz_overhead measures.
+    dongle_.send_app(home_, kAttackerNodeId, zwave::kControllerNodeId, payload);
+    obs::count(obs::MetricId::kCovfuzzPacketsTx);
+    ++result.packets_sent;
+    dongle_.run_for(config_.inter_test_gap);
+  }
+  clear_outage();
+  journal_new_triggers(triggers_journaled_);
+}
+
+CovFuzzResult CovFuzz::run() {
+  CovFuzzResult result;
+  const std::size_t triggers_before = testbed_.controller().triggered().size();
+  triggers_journaled_ = triggers_before;
+  const SimTime deadline = testbed_.scheduler().now() + config_.duration;
+
+  auto stopped = [&] {
+    if (testbed_.scheduler().now() >= deadline) return true;
+    if (config_.abort_hook && config_.abort_hook()) {
+      result.aborted = true;
+      return true;
+    }
+    return false;
+  };
+
+  // --- phase 1: seed replay -------------------------------------------
+  // Canonical spec-derived payloads first, then any caller-provided extra
+  // seeds (--corpus-dir). Replaying a previous run's corpus warms the map,
+  // so a follow-up run admits only genuinely new edges.
+  std::vector<Bytes> seeds = canonical_seeds();
+  seeds.insert(seeds.end(), config_.extra_seeds.begin(), config_.extra_seeds.end());
+  for (const Bytes& bytes : seeds) {
+    if (stopped()) break;
+    const auto decoded = zwave::decode_app_payload(ByteView(bytes.data(), bytes.size()));
+    if (!decoded.ok()) continue;
+    if (config_.dedup &&
+        memo_.check_and_insert(TestMemo::fingerprint(ByteView(bytes.data(), bytes.size())))) {
+      obs::count(obs::MetricId::kCovfuzzDedupSkips);
+      ++result.dedup_skips;
+      continue;
+    }
+    execute_test(result, decoded.value());
+  }
+  const std::size_t seed_admissions = result.corpus.size();
+
+  // --- phase 2: scheduled mutation rounds -----------------------------
+  // One PositionSensitiveMutator per controller-relevant class. The power
+  // schedule walks the ring; a class keeps its first turn until its
+  // systematic enumeration completes (the PSM-parity guarantee), then
+  // earns boosted energy while its tests keep uncovering edges.
+  struct ClassState {
+    zwave::CommandClassId cc = 0;
+    std::optional<PositionSensitiveMutator> mutator;
+    bool boosted = false;
+    std::size_t havoc_cursor = 0;
+  };
+  const std::vector<zwave::CommandClassId> ring =
+      zwave::SpecDatabase::instance().controller_cluster(true);
+  std::vector<ClassState> states(ring.size());
+  for (std::size_t i = 0; i < ring.size(); ++i) states[i].cc = ring[i];
+
+  // Re-mutates an admitted corpus entry of this class: one parameter byte
+  // nudged to an interesting constant or an arithmetic neighbor. False
+  // when the class has no corpus entry with parameters to work on.
+  auto havoc_into = [&](ClassState& state, zwave::AppPayload& out) {
+    const auto entry = corpus_by_class_.find(state.cc);
+    if (entry == corpus_by_class_.end() || entry->second.empty()) return false;
+    const std::size_t pick = entry->second[state.havoc_cursor++ % entry->second.size()];
+    const Bytes& base = result.corpus[pick];
+    const auto decoded = zwave::decode_app_payload(ByteView(base.data(), base.size()));
+    if (!decoded.ok() || decoded.value().params.empty()) return false;
+    out = decoded.value();
+    const std::size_t pos =
+        static_cast<std::size_t>(rng_.uniform(0, out.params.size() - 1));
+    if (rng_.chance(0.5)) {
+      out.params[pos] = kInterestingBytes[rng_.uniform(0, 5)];
+    } else {
+      out.params[pos] =
+          static_cast<std::uint8_t>(out.params[pos] + (rng_.chance(0.5) ? 1 : 0xFF));
+    }
+    return true;
+  };
+
+  while (!stopped()) {
+    for (ClassState& state : states) {
+      if (stopped()) break;
+      if (!state.mutator.has_value()) state.mutator.emplace(rng_, state.cc);
+      const std::size_t energy =
+          config_.energy_base * (state.boosted ? config_.energy_boost : 1);
+      bool grew = false;
+      std::size_t tests = 0;
+      while ((tests < energy || state.mutator->in_systematic_phase()) && !stopped()) {
+        ++tests;
+        const bool havoc_turn = config_.havoc_stride > 0 &&
+                                tests % config_.havoc_stride == 0 &&
+                                havoc_into(state, payload_scratch_);
+        if (!havoc_turn) state.mutator->next_into(payload_scratch_);
+        if (config_.dedup) {
+          // Bounded redraw, as in vfuzz: a duplicate buys nothing but the
+          // settle wait for a verdict the map already absorbed.
+          bool duplicate =
+              memo_.check_and_insert(TestMemo::fingerprint(payload_scratch_));
+          for (int tries = 0; duplicate && tries < 4; ++tries) {
+            obs::count(obs::MetricId::kCovfuzzDedupSkips);
+            ++result.dedup_skips;
+            state.mutator->next_into(payload_scratch_);
+            duplicate = memo_.check_and_insert(TestMemo::fingerprint(payload_scratch_));
+          }
+          if (duplicate) continue;  // saturated: spend no settle wait on it
+        }
+        execute_test(result, payload_scratch_);
+        if (last_new_edges_ > 0) grew = true;
+      }
+      state.boosted = grew;
+    }
+  }
+
+  result.mutated_admissions = result.corpus.size() - seed_admissions;
+  obs::gauge_set(obs::MetricId::kCovfuzzCorpusSize, result.corpus.size());
+  obs::gauge_set(obs::MetricId::kCovfuzzEdgesHit, result.coverage.edges_hit());
+
+  const auto& triggered = testbed_.controller().triggered();
+  for (std::size_t i = triggers_before; i < triggered.size(); ++i) {
+    result.unique_bug_ids.insert(triggered[i].bug_id);
+  }
+  return result;
+}
+
+}  // namespace zc::core

@@ -1,0 +1,145 @@
+// Coverage-guided fuzzing mode — the third fuzzer family next to the
+// paper's PSM campaign (core/campaign.h) and the VFuzz baseline
+// (core/vfuzz.h), in the style CovFUZZ and ThreadFuzzer brought to
+// protocol stacks: a feedback loop over the handler-level coverage map the
+// simulated firmware exports (sim/coverage.h).
+//
+// The loop, per test:
+//   1. pick a payload — the scheduled class's PositionSensitiveMutator
+//      stream (systematic enumeration first, randomized ops after), with a
+//      periodic corpus-havoc step that re-mutates an admitted seed;
+//   2. skip it when core/test_memo has already executed the identical
+//      payload (corpus minimization: the corpus can never collect two
+//      byte-identical entries, and saturated generators stop burning
+//      response waits);
+//   3. execute it under a per-test scratch CoverageMap;
+//   4. fold the scratch map into the accumulated map — when the fold
+//      uncovers edges never seen before, the payload is *interesting*:
+//      admitted to the corpus, journaled (FindingRecord flags bit 0), and
+//      announced as a `coverage_new` trace event.
+//
+// Seed scheduling is a deterministic power schedule over command classes:
+// a class whose tests recently grew the map gets `energy_boost` times the
+// base energy on its next turn; a class whose systematic enumeration phase
+// is still running keeps its turn until the phase completes (which is the
+// property that makes coverage mode find everything the PSM campaign
+// finds under a fixed seed — the systematic sweep is a superset of
+// Algorithm 1's line 6 walk).
+//
+// Everything is virtual-time deterministic: same testbed seed + same
+// config => byte-identical corpus, coverage map, and findings at any
+// shard/thread arrangement (core/parallel merges per-shard maps in
+// ascending shard order).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/dongle.h"
+#include "core/mutator.h"
+#include "core/test_memo.h"
+#include "sim/coverage.h"
+#include "sim/testbed.h"
+#include "store/journal.h"
+
+namespace zc::core {
+
+struct CovFuzzConfig {
+  SimTime duration = 24 * kHour;
+  /// Post-injection settle window: long enough for the dispatch chain and
+  /// any reply to land, far shorter than VFuzz's 6 s response waits.
+  SimTime inter_test_gap = 300 * kMillisecond;
+  std::uint64_t seed = 0xC0F2;
+  /// Duplicate-payload skip through core/test_memo (see step 2 above).
+  bool dedup = true;
+  /// The feedback loop itself. Off = the blind ablation arm (and the
+  /// instrumentation-disabled overhead baseline): no scratch map is ever
+  /// installed, nothing is admitted, the corpus stays at its seeds.
+  bool coverage_feedback = true;
+  /// Power schedule: tests per class turn, and the multiplier a class
+  /// earns while its tests keep growing the coverage map.
+  std::size_t energy_base = 8;
+  std::size_t energy_boost = 4;
+  /// Every 4th test of a turn re-mutates an admitted corpus entry of the
+  /// scheduled class instead of drawing from the mutator stream.
+  std::size_t havoc_stride = 4;
+  /// Extra seed payloads (encoded application payloads) replayed after the
+  /// canonical spec-derived seeds — `--corpus-dir` loads land here.
+  std::vector<Bytes> extra_seeds;
+  /// Durable journal: confirmed findings (flags = 0) and corpus-admitted
+  /// seeds (flags bit 0 set) are appended as they happen. Not owned.
+  store::FindingsJournal* journal = nullptr;
+  std::uint32_t journal_shard_id = 0;
+  /// Polled between tests; returning true stops the run at the next test
+  /// boundary (same contract as CampaignConfig::abort_hook).
+  std::function<bool()> abort_hook;
+};
+
+struct CovFuzzResult {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t dedup_skips = 0;
+  /// Corpus entries admitted by the feedback rule, in admission order.
+  /// Seed payloads that uncovered edges count too — the corpus is exactly
+  /// "every payload whose execution grew the map".
+  std::vector<Bytes> corpus;
+  /// Admissions beyond the canonical + extra seed replay phase.
+  std::uint64_t mutated_admissions = 0;
+  /// The accumulated coverage map for the whole run.
+  sim::cov::CoverageMap coverage;
+  /// Distinct triggered root causes from the device's ground-truth log.
+  std::set<int> unique_bug_ids;
+  bool aborted = false;
+};
+
+class CovFuzz {
+ public:
+  CovFuzz(sim::Testbed& testbed, CovFuzzConfig config);
+
+  CovFuzzResult run();
+
+  /// One canonical payload per (class, command) of the controller-relevant
+  /// cluster: every parameter at its schema minimum. The corpus every run
+  /// starts from, before any `extra_seeds`.
+  static std::vector<Bytes> canonical_seeds();
+
+  /// Corpus on-disk format (documented in docs/FUZZING.md): one file per
+  /// payload named `<16-hex fingerprint>.seed` holding the raw encoded
+  /// application payload. save_corpus writes every entry (returns false on
+  /// the first I/O error); load_corpus reads `*.seed` files in sorted
+  /// filename order, so reloading is deterministic regardless of the
+  /// directory's enumeration order.
+  static bool save_corpus(const std::string& dir, const std::vector<Bytes>& corpus);
+  static std::vector<Bytes> load_corpus(const std::string& dir);
+
+  static constexpr zwave::NodeId kAttackerNodeId = 0xE7;
+
+ private:
+  /// Injects one payload, settles, folds coverage, admits, journals.
+  void execute_test(CovFuzzResult& result, const zwave::AppPayload& payload);
+  /// Clears an outage the test opened so the next test is deliverable
+  /// (soft reset first, operator power-cycle for NVM-level wedges).
+  void clear_outage();
+  void journal_new_triggers(std::size_t& cursor);
+  void journal_admission(const zwave::AppPayload& payload);
+
+  sim::Testbed& testbed_;
+  CovFuzzConfig config_;
+  Rng rng_;
+  ZWaveDongle dongle_;
+  zwave::HomeId home_;
+  TestMemo memo_;
+  /// Per-test scratch map; folded into the result's accumulated map after
+  /// every execution (fold_into == the admission rule).
+  sim::cov::CoverageMap scratch_;
+  /// Corpus indices grouped by command class — the havoc step only
+  /// re-mutates entries of the class currently holding the turn.
+  std::map<zwave::CommandClassId, std::vector<std::size_t>> corpus_by_class_;
+  zwave::AppPayload payload_scratch_;
+  std::size_t triggers_journaled_ = 0;
+  std::uint64_t last_new_edges_ = 0;  // set by execute_test for the scheduler
+};
+
+}  // namespace zc::core

@@ -6,6 +6,7 @@
 #include <exception>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <thread>
 
 #include "common/log.h"
@@ -43,6 +44,50 @@ void merge_into_summary(TrialSummary& summary, const CampaignResult& result) {
   summary.total_packets += result.test_packets;
 }
 
+/// Runs one coverage-mode shard attempt and shapes its outcome into the
+/// CampaignResult form the merge layer already understands: the device's
+/// ground-truth trigger log becomes the findings list (coverage mode has
+/// one oracle — the trigger log — so every entry is a service-interruption
+/// style finding with its bug id pre-matched).
+void run_covfuzz_attempt(sim::Testbed& testbed, const ShardSpec& spec,
+                         const ParallelConfig& parallel,
+                         const std::function<bool()>& abort_hook, ShardResult& out) {
+  const std::size_t triggers_before = testbed.controller().triggered().size();
+  CovFuzzConfig cov = parallel.covfuzz;
+  cov.duration = spec.campaign.duration;
+  cov.seed = spec.campaign.seed;
+  cov.journal = parallel.journal;
+  cov.journal_shard_id = static_cast<std::uint32_t>(spec.shard_id);
+  cov.abort_hook = abort_hook;
+  CovFuzz fuzzer(testbed, cov);
+
+  out.result = CampaignResult{};
+  out.result.started_at = testbed.scheduler().now();
+  CovFuzzResult run = fuzzer.run();
+  out.result.ended_at = testbed.scheduler().now();
+  out.result.test_packets = run.packets_sent;
+  out.result.aborted = run.aborted;
+
+  const auto& triggered = testbed.controller().triggered();
+  for (std::size_t i = triggers_before; i < triggered.size(); ++i) {
+    const sim::TriggeredVuln& vuln = triggered[i];
+    BugFinding finding;
+    finding.payload = vuln.payload;
+    if (!vuln.payload.empty()) finding.cmd_class = vuln.payload[0];
+    if (vuln.payload.size() >= 2) finding.command = vuln.payload[1];
+    if (vuln.payload.size() >= 3) finding.first_param = vuln.payload[2];
+    finding.kind = DetectionKind::kServiceInterruption;
+    finding.detected_at = vuln.at;
+    finding.packets_sent = run.packets_sent;
+    finding.matched_bug_id = vuln.bug_id;
+    out.result.findings.push_back(std::move(finding));
+  }
+
+  out.coverage_collected = cov.coverage_feedback;
+  out.coverage = std::move(run.coverage);
+  out.corpus = std::move(run.corpus);
+}
+
 ParallelTrialReport merge_report(std::vector<ShardResult> shards, std::size_t jobs,
                                  double wall_seconds) {
   ParallelTrialReport report;
@@ -69,6 +114,14 @@ ParallelTrialReport merge_report(std::vector<ShardResult> shards, std::size_t jo
 
 }  // namespace
 
+const char* fuzzer_family_name(FuzzerFamily family) {
+  switch (family) {
+    case FuzzerFamily::kPsm: return "psm";
+    case FuzzerFamily::kCov: return "cov";
+  }
+  return "unknown";
+}
+
 const char* shard_health_name(ShardHealth health) {
   switch (health) {
     case ShardHealth::kHealthy: return "healthy";
@@ -92,6 +145,29 @@ std::string ParallelTrialReport::merged_trace_jsonl() const {
     if (shard.telemetry.collected) shard.telemetry.append_jsonl(out);
   }
   return out;
+}
+
+sim::cov::CoverageMap ParallelTrialReport::merged_coverage() const {
+  sim::cov::CoverageMap merged;
+  for (const ShardResult& shard : shards) {  // ascending shard order
+    if (shard.health == ShardHealth::kQuarantined) continue;
+    if (shard.coverage_collected) merged.merge(shard.coverage);
+  }
+  return merged;
+}
+
+std::vector<Bytes> ParallelTrialReport::merged_corpus() const {
+  std::vector<Bytes> merged;
+  std::set<std::uint64_t> seen;
+  for (const ShardResult& shard : shards) {  // ascending shard order
+    if (shard.health == ShardHealth::kQuarantined) continue;
+    for (const Bytes& payload : shard.corpus) {
+      const std::uint64_t fp =
+          TestMemo::fingerprint(ByteView(payload.data(), payload.size()));
+      if (seen.insert(fp).second) merged.push_back(payload);
+    }
+  }
+  return merged;
 }
 
 std::size_t default_jobs() {
@@ -203,7 +279,29 @@ std::vector<ShardResult> run_shards(const std::vector<ShardSpec>& shards,
             parallel.shard_fault_hook(spec.shard_id, attempt, token);
           }
           sim::Testbed testbed(spec.testbed);
-          Campaign campaign(testbed, config);
+          // One attempt's work, family-dispatched. A restarted attempt
+          // overwrites whatever a failed one left in the slot.
+          auto run_attempt = [&] {
+            if (parallel.fuzzer == FuzzerFamily::kCov) {
+              run_covfuzz_attempt(testbed, spec, parallel, config.abort_hook, out);
+              return;
+            }
+            Campaign campaign(testbed, config);
+            if (parallel.collect_coverage) {
+              // Same ambient-installation move as the recorder: the map is
+              // this thread's for exactly this campaign, so concurrent
+              // shards never share coverage state.
+              sim::cov::CoverageMap map;
+              {
+                const sim::cov::ScopedCoverage scoped(map);
+                out.result = campaign.run();
+              }
+              out.coverage_collected = true;
+              out.coverage = std::move(map);
+            } else {
+              out.result = campaign.run();
+            }
+          };
           if (parallel.collect_telemetry) {
             // The recorder is installed thread-locally for exactly this
             // shard's campaign, so instrumentation sites down the stack
@@ -213,10 +311,10 @@ std::vector<ShardResult> run_shards(const std::vector<ShardSpec>& shards,
             obs::Recorder recorder(testbed.scheduler(), spec.shard_id, config.seed,
                                    parallel.trace_capacity);
             const obs::ScopedRecorder ambient(recorder);
-            out.result = campaign.run();
+            run_attempt();
             out.telemetry = recorder.snapshot();
           } else {
-            out.result = campaign.run();
+            run_attempt();
           }
           out.medium_transmissions = testbed.medium().transmissions();
         } catch (const std::exception& e) {

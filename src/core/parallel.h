@@ -41,12 +41,20 @@
 #include <vector>
 
 #include "core/campaign.h"
+#include "core/covfuzz.h"
 #include "obs/recorder.h"
+#include "sim/coverage.h"
 #include "sim/profile.h"
 #include "sim/testbed.h"
 #include "store/journal.h"
 
 namespace zc::core {
+
+/// Which fuzzer family every shard runs: the paper's position-sensitive
+/// campaign (core/campaign.h) or the coverage-guided mode (core/covfuzz.h).
+enum class FuzzerFamily : std::uint8_t { kPsm = 0, kCov };
+
+const char* fuzzer_family_name(FuzzerFamily family);
 
 /// Thread-pool configuration for a sharded run.
 struct ParallelConfig {
@@ -87,6 +95,23 @@ struct ParallelConfig {
   /// leave it unset.
   std::function<void(std::size_t shard_id, std::size_t attempt, const CancellationToken& token)>
       shard_fault_hook;
+  /// Fuzzer family run by every shard. Under kCov each shard runs a
+  /// CovFuzz loop instead of a Campaign; its duration, seed, journal and
+  /// abort wiring still come from the shard's CampaignConfig-derived spec,
+  /// while the remaining knobs come from `covfuzz` below. Coverage shards
+  /// do not checkpoint: a restarted attempt replays from scratch, which is
+  /// cheap and exact because the loop is virtual-time deterministic.
+  FuzzerFamily fuzzer = FuzzerFamily::kPsm;
+  /// Coverage-mode template (kCov only). duration/seed/journal/
+  /// journal_shard_id/abort_hook are overwritten per shard.
+  CovFuzzConfig covfuzz;
+  /// PSM shards only: when true, each shard's campaign runs under its own
+  /// sim::cov::CoverageMap (installed thread-locally like the telemetry
+  /// recorder) and detaches it into ShardResult::coverage. Off by default —
+  /// the firmware hooks then collapse to a thread-local load + branch.
+  /// kCov shards always collect coverage unless covfuzz.coverage_feedback
+  /// is off (`--no-coverage`).
+  bool collect_coverage = false;
 };
 
 /// How a shard's supervision ended.
@@ -125,6 +150,14 @@ struct ShardResult {
   /// Human-readable reason for the last failed attempt ("" if none):
   /// an exception's what() for a crash, "deadline exceeded" for a hang.
   std::string last_error;
+  /// True when this shard ran with coverage instrumentation installed
+  /// (kCov with feedback on, or a PSM shard under collect_coverage).
+  bool coverage_collected = false;
+  /// The shard's accumulated handler-coverage map (see coverage_collected).
+  sim::cov::CoverageMap coverage;
+  /// kCov only: payloads the shard's feedback rule admitted, in admission
+  /// order.
+  std::vector<Bytes> corpus;
 };
 
 /// Merged outcome of a sharded run. `summary` is byte-for-byte what the
@@ -151,6 +184,14 @@ struct ParallelTrialReport {
   /// Every collecting shard's trace serialized as JSONL, shards
   /// concatenated in ascending shard order.
   std::string merged_trace_jsonl() const;
+  /// Every coverage-collecting, non-quarantined shard's map folded in
+  /// ascending shard order — byte-identical at any thread count (maps are
+  /// commutative, but the fixed order makes the guarantee trivial).
+  sim::cov::CoverageMap merged_coverage() const;
+  /// Shard corpora concatenated in ascending shard order and fingerprint-
+  /// deduplicated (first occurrence wins), quarantined shards excluded —
+  /// the same list at any thread count.
+  std::vector<Bytes> merged_corpus() const;
 };
 
 /// hardware_concurrency with a floor of 1 (the value `jobs = 0` resolves to).

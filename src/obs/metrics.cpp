@@ -26,6 +26,9 @@ constexpr MetricInfo kInfo[kMetricCount] = {
     {"resilience.backoffs", MetricKind::kCounter, "pauses"},
     {"vfuzz.packets_tx", MetricKind::kCounter, "frames"},
     {"vfuzz.dedup_skips", MetricKind::kCounter, "frames"},
+    {"covfuzz.packets_tx", MetricKind::kCounter, "frames"},
+    {"covfuzz.dedup_skips", MetricKind::kCounter, "frames"},
+    {"covfuzz.corpus_admissions", MetricKind::kCounter, "payloads"},
     {"dongle.frames_tx", MetricKind::kCounter, "frames"},
     {"dongle.frames_rx", MetricKind::kCounter, "frames"},
     {"radio.transmissions", MetricKind::kCounter, "frames"},
@@ -45,6 +48,8 @@ constexpr MetricInfo kInfo[kMetricCount] = {
     {"pool.buffers", MetricKind::kGauge, "buffers"},
     {"pool.acquires", MetricKind::kGauge, "buffers"},
     {"pool.reuses", MetricKind::kGauge, "buffers"},
+    {"covfuzz.corpus_size", MetricKind::kGauge, "payloads"},
+    {"covfuzz.edges_hit", MetricKind::kGauge, "edges"},
     {"campaign.injection_ack_us", MetricKind::kHistogram, "us"},
     {"campaign.liveness_probe_us", MetricKind::kHistogram, "us"},
     {"campaign.recovery_downtime_us", MetricKind::kHistogram, "us"},

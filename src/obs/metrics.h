@@ -56,6 +56,10 @@ enum class MetricId : std::uint8_t {
   // baseline fuzzer (core/vfuzz.cpp)
   kVfuzzPacketsTx,
   kVfuzzDedupSkips,
+  // coverage-guided fuzzer (core/covfuzz.cpp)
+  kCovfuzzPacketsTx,
+  kCovfuzzDedupSkips,
+  kCovfuzzCorpusAdmissions,
   // attacker front-end (core/dongle.cpp)
   kDongleFramesTx,
   kDongleFramesRx,
@@ -85,6 +89,9 @@ enum class MetricId : std::uint8_t {
   kPoolBuffers,
   kPoolAcquires,
   kPoolReuses,
+  // coverage-mode end-of-run levels (core/covfuzz.cpp)
+  kCovfuzzCorpusSize,
+  kCovfuzzEdgesHit,
   // histograms (virtual-time microseconds)
   kCampaignInjectionAckUs,
   kCampaignLivenessProbeUs,

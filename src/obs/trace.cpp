@@ -20,6 +20,7 @@ constexpr TraceEventInfo kEventInfo[kTraceEventTypes] = {
     {"shard_restart", {"shard_id", "restarts", "backoff_ms", "resumed"}},
     {"shard_quarantine", {"shard_id", "attempts", nullptr, nullptr}},
     {"journal_append", {"cc", "cmd", "bug_id", "duplicate"}},
+    {"coverage_new", {"cc", "cmd", "new_edges", "corpus"}},
 };
 
 void append_i64(std::string& out, std::int64_t value) {

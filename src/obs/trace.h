@@ -43,6 +43,7 @@ enum class TraceEventType : std::uint8_t {
   kShardRestart,     // supervisor relaunched a failed/hung shard
   kShardQuarantine,  // shard exhausted its restart budget
   kJournalAppend,    // finding written durably to the journal
+  kCoverageNew,      // covfuzz admitted a payload that grew the coverage map
   kEventTypeCount,
 };
 

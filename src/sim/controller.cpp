@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/log.h"
+#include "sim/coverage.h"
 #include "sim/mac_quirks.h"
 #include "zwave/checksum.h"
 #include "zwave/multicast.h"
@@ -165,12 +166,14 @@ void VirtualController::dispatch(const zwave::AppPayload& app, zwave::NodeId src
 
   if (!recognized_.contains(app.cmd_class)) {
     ++stats_.unrecognized_class;  // silent ignore: class truly unsupported
+    cov::record(app.cmd_class, app.command, cov::kDispatchUnrecognized);
     return;
   }
 
   // Seeded flaws fire before the legit handler, and only for payloads that
   // arrived outside secure encapsulation (the paper's root cause).
   const bool fired = check_vulnerabilities(app, origin);
+  if (fired) cov::record(app.cmd_class, app.command, cov::kVulnTriggered);
 
   const auto it = dispatch_table_.find(app.cmd_class);
   const bool command_handled =
@@ -183,6 +186,7 @@ void VirtualController::dispatch(const zwave::AppPayload& app, zwave::NodeId src
     const zwave::CommandSpec* cmd_spec =
         cls_spec != nullptr ? cls_spec->find_command(app.command) : nullptr;
     if (cmd_spec != nullptr && cmd_spec->direction == zwave::CmdDirection::kSupporting) {
+      cov::record(app.cmd_class, app.command, cov::kDispatchSupporting);
       // WAKE_UP NOTIFICATION: a sleeping node announced itself — flush its
       // mailbox, provided the wake-up bookkeeping still exists (bug #12
       // wipes it, silently orphaning every queued command).
@@ -205,11 +209,13 @@ void VirtualController::dispatch(const zwave::AppPayload& app, zwave::NodeId src
     // rejection. This is what makes systematic validation testing
     // (§III-C2) work.
     ++stats_.rejected_commands;
+    cov::record(app.cmd_class, app.command, cov::kDispatchRejected);
     reply_rejected(src);
     return;
   }
 
   stats_.accepted_pairs.insert({app.cmd_class, app.command});
+  cov::record(app.cmd_class, app.command, cov::kDispatchAccepted);
 
   // Forward the application payload to the host program, the way a USB
   // stick raises APPLICATION_COMMAND_HANDLER callbacks for the PC tool.
@@ -543,6 +549,7 @@ void VirtualController::handle_protocol(const zwave::AppPayload& app, zwave::Nod
                                         Origin origin) {
   if (app.cmd_class == kZensor) {
     if (app.command == 0x01) {  // BIND_REQUEST -> BIND_ACCEPT
+      cov::record(app.cmd_class, app.command, cov::kHandlerCase);
       zwave::AppPayload accept;
       accept.cmd_class = kZensor;
       accept.command = 0x02;
@@ -584,7 +591,10 @@ void VirtualController::handle_protocol(const zwave::AppPayload& app, zwave::Nod
       // NODE_TABLE_UPDATE over a *secure* channel is the legitimate
       // management path; the plaintext variant was handled by the
       // vulnerability matrix.
-      if (origin == Origin::kS2) apply_node_table_update(app);
+      if (origin == Origin::kS2) {
+        cov::record(app.cmd_class, app.command, cov::kHandlerCase);
+        apply_node_table_update(app);
+      }
       break;
     default:
       break;
@@ -611,14 +621,17 @@ void VirtualController::handle_security2(const zwave::AppPayload& app, zwave::No
       const auto session = s2_sessions_.find(src);
       if (session == s2_sessions_.end()) {
         ++stats_.auth_failures;
+        cov::record(app.cmd_class, app.command, cov::kDecapRejected);
         return;
       }
       auto inner =
           session->second.decapsulate(app, profile_.home_id, src, node_id());
       if (!inner.ok()) {
         ++stats_.auth_failures;
+        cov::record(app.cmd_class, app.command, cov::kDecapRejected);
         return;
       }
+      cov::record(app.cmd_class, app.command, cov::kDecapAccepted);
       dispatch(inner.value(), src, Origin::kS2);
       break;
     }
@@ -688,14 +701,17 @@ void VirtualController::handle_security0(const zwave::AppPayload& app, zwave::No
       const auto nonce = s0_outstanding_nonce_.find(src);
       if (session == s0_sessions_.end() || nonce == s0_outstanding_nonce_.end()) {
         ++stats_.auth_failures;
+        cov::record(app.cmd_class, app.command, cov::kDecapRejected);
         return;
       }
       auto inner = session->second.decapsulate(app, src, node_id(), nonce->second);
       s0_outstanding_nonce_.erase(nonce);  // single use
       if (!inner.ok()) {
         ++stats_.auth_failures;
+        cov::record(app.cmd_class, app.command, cov::kDecapRejected);
         return;
       }
+      cov::record(app.cmd_class, app.command, cov::kDecapAccepted);
       dispatch(inner.value(), src, Origin::kS0);
       break;
     }
@@ -715,11 +731,13 @@ void VirtualController::handle_management(const zwave::AppPayload& app, zwave::N
         report.params = {lib, 6, 7, 1, static_cast<std::uint8_t>(profile_.year % 100)};
         reply(src, report);
       } else if (app.command == 0x13 && !app.params.empty()) {
+        const bool known = recognized_.contains(app.params[0]);
+        cov::record(app.cmd_class, app.command,
+                    known ? cov::kHandlerCase : cov::kHandlerDefault);
         zwave::AppPayload report;
         report.cmd_class = 0x86;
         report.command = 0x14;
-        report.params = {app.params[0],
-                         static_cast<std::uint8_t>(recognized_.contains(app.params[0]) ? 1 : 0)};
+        report.params = {app.params[0], static_cast<std::uint8_t>(known ? 1 : 0)};
         reply(src, report);
       } else if (app.command == 0x15) {
         zwave::AppPayload report;
@@ -731,6 +749,7 @@ void VirtualController::handle_management(const zwave::AppPayload& app, zwave::N
       break;
     case 0x70:  // CONFIGURATION
       if (app.command == 0x04 && app.params.size() >= 3) {
+        cov::record(app.cmd_class, app.command, cov::kHandlerCase);
         config_params_[app.params[0]] = app.params[2];
       } else if (app.command == 0x05 && !app.params.empty()) {
         zwave::AppPayload report;
@@ -771,6 +790,8 @@ void VirtualController::handle_management(const zwave::AppPayload& app, zwave::N
       break;
     case 0x73:  // POWERLEVEL
       if (app.command == 0x01 && !app.params.empty()) {
+        cov::record(app.cmd_class, app.command,
+                    app.params[0] <= 9 ? cov::kHandlerCase : cov::kHandlerDefault);
         powerlevel_ = app.params[0] <= 9 ? app.params[0] : powerlevel_;
       } else if (app.command == 0x02) {
         zwave::AppPayload report;
@@ -791,6 +812,7 @@ void VirtualController::handle_management(const zwave::AppPayload& app, zwave::N
     case 0x85:  // ASSOCIATION
       if (app.command == 0x01 && app.params.size() >= 2) {
         // SET: record group members (bounded per group, like real NVM).
+        cov::record(app.cmd_class, app.command, cov::kHandlerCase);
         auto& group = association_groups_[app.params[0]];
         for (std::size_t i = 1; i < app.params.size() && group.size() < 8; ++i) {
           group.insert(app.params[i]);
@@ -819,6 +841,7 @@ void VirtualController::handle_management(const zwave::AppPayload& app, zwave::N
         // INTERVAL_SET records the *sender's* wake-up interval; a node not
         // in the table (e.g. an attacker id) has no row to update.
         if (NodeRecord* record = table_.find_mutable(src)) {
+          cov::record(app.cmd_class, app.command, cov::kHandlerCase);
           record->wakeup_interval_s = (static_cast<std::uint32_t>(app.params[0]) << 16) |
                                       (static_cast<std::uint32_t>(app.params[1]) << 8) |
                                       app.params[2];
@@ -849,6 +872,7 @@ void VirtualController::handle_network_mgmt(const zwave::AppPayload& app, zwave:
   const std::uint8_t seq = app.params.empty() ? 0 : app.params[0];
   if (app.cmd_class == 0x34) {
     // Unauthenticated inclusion/removal requests fail cleanly.
+    cov::record(app.cmd_class, app.command, cov::kHandlerCase);
     zwave::AppPayload status;
     status.cmd_class = 0x34;
     status.command = app.command == 0x01 ? std::uint8_t{0x02} : std::uint8_t{0x04};
@@ -875,6 +899,8 @@ void VirtualController::handle_network_mgmt(const zwave::AppPayload& app, zwave:
     report.cmd_class = 0x52;
     report.command = 0x04;
     const NodeRecord* record = table_.find(target);
+    cov::record(app.cmd_class, app.command,
+                record == nullptr ? cov::kHandlerDefault : cov::kHandlerCase);
     if (record == nullptr) {
       report.params = {seq, 0x01 /* status: unknown */};
     } else {
@@ -902,7 +928,11 @@ void VirtualController::handle_encapsulation(const zwave::AppPayload& app, zwave
       covered.insert(covered.end(), app.params.begin(), app.params.end() - 2);
       const std::uint16_t expected = zwave::crc16_ccitt(covered);
       const std::uint16_t got = read_be16(app.params, app.params.size() - 2);
-      if (expected != got) return;
+      if (expected != got) {
+        cov::record(app.cmd_class, app.command, cov::kDecapRejected);
+        return;
+      }
+      cov::record(app.cmd_class, app.command, cov::kDecapAccepted);
       const auto inner =
           zwave::decode_app_payload(ByteView(app.params.data(), app.params.size() - 2));
       if (inner.ok()) dispatch(inner.value(), src, origin, depth + 1);
@@ -935,7 +965,10 @@ void VirtualController::handle_encapsulation(const zwave::AppPayload& app, zwave
         if (inner_len + 2 <= app.params.size()) {
           const auto inner =
               zwave::decode_app_payload(ByteView(app.params.data() + 2, inner_len));
-          if (inner.ok()) dispatch(inner.value(), src, origin, depth + 1);
+          if (inner.ok()) {
+            cov::record(app.cmd_class, app.command, cov::kDecapAccepted);
+            dispatch(inner.value(), src, origin, depth + 1);
+          }
         }
         zwave::AppPayload report;
         report.cmd_class = 0x6C;
@@ -953,7 +986,10 @@ void VirtualController::handle_encapsulation(const zwave::AppPayload& app, zwave
         const std::size_t len = app.params[pos++];
         if (len == 0 || pos + len > app.params.size()) break;
         const auto inner = zwave::decode_app_payload(ByteView(app.params.data() + pos, len));
-        if (inner.ok()) dispatch(inner.value(), src, origin, depth + 1);
+        if (inner.ok()) {
+          cov::record(app.cmd_class, app.command, cov::kDecapAccepted);
+          dispatch(inner.value(), src, origin, depth + 1);
+        }
         pos += len;
       }
       break;
@@ -964,7 +1000,10 @@ void VirtualController::handle_encapsulation(const zwave::AppPayload& app, zwave
       if (reaction.value().reply.has_value()) reply(src, *reaction.value().reply);
       if (reaction.value().completed.has_value()) {
         const auto inner = zwave::decode_app_payload(*reaction.value().completed);
-        if (inner.ok()) dispatch(inner.value(), src, origin, depth + 1);
+        if (inner.ok()) {
+          cov::record(app.cmd_class, app.command, cov::kDecapAccepted);
+          dispatch(inner.value(), src, origin, depth + 1);
+        }
       }
       break;
     }

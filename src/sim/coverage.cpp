@@ -1,0 +1,52 @@
+#include "sim/coverage.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace zc::sim::cov {
+
+std::size_t CoverageMap::edges_hit() const {
+  std::size_t edges = 0;
+  for (std::uint32_t slot : slots_) edges += slot != 0 ? 1 : 0;
+  return edges;
+}
+
+std::uint64_t CoverageMap::total_hits() const {
+  std::uint64_t total = 0;
+  for (std::uint32_t slot : slots_) total += slot;
+  return total;
+}
+
+void CoverageMap::merge(const CoverageMap& other) {
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    const std::uint64_t sum =
+        static_cast<std::uint64_t>(slots_[i]) + other.slots_[i];
+    slots_[i] = sum > UINT32_MAX ? UINT32_MAX : static_cast<std::uint32_t>(sum);
+  }
+}
+
+std::size_t CoverageMap::fold_into(CoverageMap& accumulated) const {
+  std::size_t new_edges = 0;
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    if (slots_[i] == 0) continue;
+    if (accumulated.slots_[i] == 0) ++new_edges;
+    const std::uint64_t sum =
+        static_cast<std::uint64_t>(accumulated.slots_[i]) + slots_[i];
+    accumulated.slots_[i] =
+        sum > UINT32_MAX ? UINT32_MAX : static_cast<std::uint32_t>(sum);
+  }
+  return new_edges;
+}
+
+std::string CoverageMap::to_text() const {
+  std::string out;
+  char line[32];
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    if (slots_[i] == 0) continue;
+    std::snprintf(line, sizeof(line), "%zu:%" PRIu32 "\n", i, slots_[i]);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace zc::sim::cov

@@ -1,0 +1,130 @@
+// Handler-level coverage instrumentation for the simulated firmware.
+//
+// The real controllers are black boxes; their simulated stand-ins are not.
+// This map exploits that: every application-layer dispatch outcome and
+// every per-command handler branch in sim/controller.cpp (and the slave
+// devices) records a (CMDCL, CMD, branch) edge into a compact fixed-size
+// array of hit counters — the signal core/covfuzz.h turns into corpus
+// admission decisions, the way CovFUZZ and ThreadFuzzer bolt coverage
+// feedback onto otherwise black-box protocol stacks.
+//
+// The recording hook copies the obs layer's ambient-recorder design move
+// exactly (see obs/recorder.h): a thread-local CoverageMap pointer
+// installed with RAII (`ScopedCoverage`) for precisely the test window
+// being measured. With no map installed every hook collapses to one
+// thread-local load and a branch, which is what keeps the always-compiled
+// instrumentation under the ≤3% budget bench_covfuzz_overhead enforces.
+// Per-shard isolation in a pool comes for free, as with telemetry: each
+// worker thread installs the map of the shard it is currently running.
+//
+// Determinism contract: slot indexing is a pure function of
+// (cc, cmd, branch); merge() is element-wise addition, performed by the
+// parallel layer in ascending shard order, so merged maps (and their
+// serialized form) are byte-identical at any --jobs count.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace zc::sim::cov {
+
+/// Branch identifiers for the instrumented dispatch/handler sites. One
+/// byte, hashed together with (cc, cmd) into the map — two sites with the
+/// same id on different commands still occupy distinct edges.
+enum Branch : std::uint8_t {
+  kDispatchUnrecognized = 0,  // class not in the device profile
+  kDispatchRejected = 1,      // APPLICATION_STATUS rejection path
+  kDispatchSupporting = 2,    // supporting-direction silent consume
+  kDispatchAccepted = 3,      // command reached its handler
+  kVulnTriggered = 4,         // a seeded vulnerability fired
+  kHandlerCase = 5,           // per-command switch case inside a handler
+  kHandlerDefault = 6,        // handler fell through to its default arm
+  kDecapAccepted = 7,         // S0/S2/CRC16 encapsulation decoded clean
+  kDecapRejected = 8,         // auth/CRC failure on an encapsulated frame
+  kSlaveHandled = 9,          // a slave device's application handler ran
+};
+
+/// Compact fixed-size coverage map: kSlots saturating 32-bit hit counters
+/// indexed by an AFL-style hash of (cc, cmd, branch). Collisions merge
+/// edges (acceptable, deterministic); the map never grows or allocates.
+class CoverageMap {
+ public:
+  static constexpr std::size_t kSlots = 4096;  // 16 KiB per shard
+
+  /// Pure function of the edge — identical on every shard and platform.
+  static constexpr std::size_t slot_index(std::uint8_t cc, std::uint8_t cmd,
+                                          std::uint8_t branch) {
+    // FNV-1a over the three bytes, folded into the table.
+    std::uint32_t h = 2166136261u;
+    h = (h ^ cc) * 16777619u;
+    h = (h ^ cmd) * 16777619u;
+    h = (h ^ branch) * 16777619u;
+    return static_cast<std::size_t>(h & (kSlots - 1));
+  }
+
+  void record(std::uint8_t cc, std::uint8_t cmd, std::uint8_t branch) {
+    std::uint32_t& slot = slots_[slot_index(cc, cmd, branch)];
+    if (slot != UINT32_MAX) ++slot;  // saturate, never wrap
+  }
+
+  std::uint32_t hits(std::size_t slot) const { return slots_[slot]; }
+
+  /// Distinct edges observed (nonzero slots).
+  std::size_t edges_hit() const;
+  std::uint64_t total_hits() const;
+  bool empty() const { return edges_hit() == 0; }
+  void clear() { slots_.fill(0); }
+
+  /// Element-wise saturating addition. The parallel layer folds shard maps
+  /// in ascending shard order; since addition here is commutative the
+  /// order is a discipline, not a requirement — kept so every merged
+  /// artifact in the report pipeline follows one rule.
+  void merge(const CoverageMap& other);
+
+  /// Folds this (per-test scratch) map into `accumulated` and returns the
+  /// number of edges that were new — nonzero here, zero there before the
+  /// fold. The covfuzz admission rule in one call: a payload is
+  /// interesting iff its fold returns > 0.
+  std::size_t fold_into(CoverageMap& accumulated) const;
+
+  bool operator==(const CoverageMap& other) const { return slots_ == other.slots_; }
+
+  /// Canonical serialization: `slot:hits` pairs for nonzero slots,
+  /// ascending slot order, one per line. Byte-identical for equal maps.
+  std::string to_text() const;
+
+ private:
+  std::array<std::uint32_t, kSlots> slots_{};
+};
+
+namespace detail {
+inline thread_local CoverageMap* g_current = nullptr;
+}
+
+/// The map installed on this thread, or nullptr (instrumentation off).
+inline CoverageMap* current_map() { return detail::g_current; }
+
+/// RAII installation of a map as this thread's ambient coverage sink.
+/// Nests (the previous map is restored on destruction) so covfuzz can
+/// wrap a per-test scratch map inside a campaign-lifetime map.
+class ScopedCoverage {
+ public:
+  explicit ScopedCoverage(CoverageMap& map) : previous_(detail::g_current) {
+    detail::g_current = &map;
+  }
+  ~ScopedCoverage() { detail::g_current = previous_; }
+  ScopedCoverage(const ScopedCoverage&) = delete;
+  ScopedCoverage& operator=(const ScopedCoverage&) = delete;
+
+ private:
+  CoverageMap* previous_;
+};
+
+/// Hot-path hook: one thread-local load + branch when no map is installed.
+inline void record(std::uint8_t cc, std::uint8_t cmd, std::uint8_t branch) {
+  if (CoverageMap* map = current_map()) map->record(cc, cmd, branch);
+}
+
+}  // namespace zc::sim::cov

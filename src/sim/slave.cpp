@@ -1,5 +1,6 @@
 #include "sim/slave.h"
 
+#include "sim/coverage.h"
 #include "zwave/multicast.h"
 
 namespace zc::sim {
@@ -74,11 +75,16 @@ void DoorLock::on_app_payload(const zwave::AppPayload& app, zwave::NodeId src) {
   if (app.cmd_class != zwave::kSecurity2Class || app.command != zwave::kS2MessageEncap) return;
   if (!s2_.has_value()) return;
   auto inner = s2_->decapsulate(app, home_for_s2_, src, node_id());
-  if (!inner.ok()) return;
+  if (!inner.ok()) {
+    cov::record(app.cmd_class, app.command, cov::kDecapRejected);
+    return;
+  }
   const auto& payload = inner.value();
   if (payload.cmd_class == 0x62 && payload.command == 0x01 && !payload.params.empty()) {
+    cov::record(payload.cmd_class, payload.command, cov::kSlaveHandled);
     locked_ = payload.params[0] == 0xFF;
   } else if (payload.cmd_class == 0x62 && payload.command == 0x02) {
+    cov::record(payload.cmd_class, payload.command, cov::kSlaveHandled);
     zwave::AppPayload report;
     report.cmd_class = 0x62;
     report.command = 0x03;
@@ -127,6 +133,7 @@ void S0Sensor::on_app_payload(const zwave::AppPayload& app, zwave::NodeId src) {
   if (app.cmd_class != zwave::kSecurity0Class) return;
   if (app.command == zwave::kS0NonceReport && awaiting_nonce_ && s0_.has_value() &&
       app.params.size() == 8) {
+    cov::record(app.cmd_class, app.command, cov::kSlaveHandled);
     awaiting_nonce_ = false;
     zwave::AppPayload report;
     report.cmd_class = 0x30;  // SENSOR_BINARY REPORT
@@ -156,14 +163,17 @@ SmartSwitch::SmartSwitch(radio::RfMedium& medium, EventScheduler& scheduler, zwa
 
 void SmartSwitch::on_app_payload(const zwave::AppPayload& app, zwave::NodeId src) {
   if (app.cmd_class == 0x25 && app.command == 0x01 && !app.params.empty()) {
+    cov::record(app.cmd_class, app.command, cov::kSlaveHandled);
     on_ = app.params[0] != 0x00;
   } else if (app.cmd_class == 0x25 && app.command == 0x02) {
+    cov::record(app.cmd_class, app.command, cov::kSlaveHandled);
     zwave::AppPayload report;
     report.cmd_class = 0x25;
     report.command = 0x03;
     report.params = {static_cast<std::uint8_t>(on_ ? 0xFF : 0x00)};
     send_app(src, report);
   } else if (app.cmd_class == 0x20 && app.command == 0x01 && !app.params.empty()) {
+    cov::record(app.cmd_class, app.command, cov::kSlaveHandled);
     on_ = app.params[0] != 0x00;
   }
 }

@@ -95,7 +95,7 @@ Bytes encode_record_body(const FindingRecord& record) {
   body.push_back(kRecordVersion);
   body.push_back(record.device);
   body.push_back(record.kind);
-  body.push_back(0);  // flags, reserved
+  body.push_back(record.flags);  // bit 0: corpus seed; remaining bits reserved
   put_u16(body, record.cc);
   put_u16(body, record.cmd);
   put_u16(body, record.param0);
@@ -117,7 +117,7 @@ std::optional<FindingRecord> decode_record_body(ByteView body) {
   FindingRecord record;
   record.device = p[1];
   record.kind = p[2];
-  // p[3] = flags, must-be-zero today; tolerated (reserved for v1 readers).
+  record.flags = p[3];  // unknown high bits tolerated (reserved for v1 readers)
   record.cc = get_u16(p + 4);
   record.cmd = get_u16(p + 6);
   record.param0 = get_u16(p + 8);

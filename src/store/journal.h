@@ -9,7 +9,7 @@
 //   magic  := "ZCJRNL1\n"                     (8 bytes, version in the magic)
 //   record := u32 body_len | u32 crc32(body) | body
 //   body   := u8 record_version (=1)
-//             u8 device  u8 kind  u8 flags (0)
+//             u8 device  u8 kind  u8 flags (bit 0: corpus seed, rest 0)
 //             u16 cc  u16 cmd  u16 param0    (widened PayloadSignature form)
 //             i32 bug_id
 //             u64 detected_at  u64 campaign_seed
@@ -32,10 +32,13 @@
 //    truncating it would destroy someone else's valid data, and skipping
 //    it would silently drop findings. Neither is acceptable.
 //
-// Dedup: records are keyed by (device, cc, cmd, param0) — the
+// Dedup: records are keyed by (device, cc, cmd, param0, flags) — the
 // cross-campaign identity of a finding. append() returns kDuplicate for a
 // key the journal already holds (loaded keys included), so repeated
 // campaigns against the same device grow the journal by new findings only.
+// Flags is part of the key so a covfuzz corpus seed (flags bit 0) never
+// shadows — or is shadowed by — a confirmed finding with the same
+// signature; the key lives in memory only, never in the file framing.
 //
 // Thread safety: append()/flush() are internally serialized; one journal
 // can be shared by every shard of a parallel run.
@@ -56,8 +59,15 @@ namespace zc::store {
 /// One journaled finding, flattened to plain integers so the store layer
 /// depends on nothing above zc_common.
 struct FindingRecord {
+  /// flags bit 0: the record is a covfuzz corpus-admitted seed, not a
+  /// confirmed finding. Stored in the body byte that was reserved (and
+  /// already tolerated by v1 readers), so the record version stays 1 and
+  /// old journals load unchanged.
+  static constexpr std::uint8_t kCorpusSeedFlag = 0x01;
+
   std::uint8_t device = 0;        // sim::DeviceModel, numeric
   std::uint8_t kind = 0;          // core::DetectionKind, numeric
+  std::uint8_t flags = 0;
   std::uint16_t cc = 0;
   std::uint16_t cmd = 0;
   std::uint16_t param0 = 0;       // widened: 0x100 = none, 0x1FF = wildcard
@@ -73,9 +83,10 @@ struct FindingRecord {
     std::uint16_t cc;
     std::uint16_t cmd;
     std::uint16_t param0;
+    std::uint8_t flags;
     auto operator<=>(const Key&) const = default;
   };
-  Key key() const { return Key{device, cc, cmd, param0}; }
+  Key key() const { return Key{device, cc, cmd, param0, flags}; }
 };
 
 /// CRC-32 (IEEE 802.3, reflected) over `data`. Exposed for tests and for

@@ -1,0 +1,252 @@
+#include "core/covfuzz.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/campaign.h"
+#include "core/parallel.h"
+
+namespace zc::core {
+namespace {
+
+CovFuzzResult run_cov(sim::DeviceModel model, SimTime duration, std::uint64_t seed,
+                      CovFuzzConfig config = {}) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = model;
+  testbed_config.seed = seed;
+  sim::Testbed testbed(testbed_config);
+  config.duration = duration;
+  config.seed = seed;
+  CovFuzz fuzzer(testbed, config);
+  return fuzzer.run();
+}
+
+TEST(CovFuzzTest, CanonicalSeedsAreDecodableAndDistinct) {
+  const auto seeds = CovFuzz::canonical_seeds();
+  ASSERT_FALSE(seeds.empty());
+  std::set<std::uint64_t> fingerprints;
+  for (const Bytes& payload : seeds) {
+    const auto decoded = zwave::decode_app_payload(ByteView(payload.data(), payload.size()));
+    ASSERT_TRUE(decoded.ok());
+    fingerprints.insert(TestMemo::fingerprint(ByteView(payload.data(), payload.size())));
+  }
+  EXPECT_EQ(fingerprints.size(), seeds.size());
+}
+
+TEST(CovFuzzTest, AdmitsSeedsAndGrowsCorpus) {
+  const auto result = run_cov(sim::DeviceModel::kD4_AeotecZw090, 10 * kMinute, 42);
+  EXPECT_GT(result.packets_sent, 0u);
+  EXPECT_FALSE(result.corpus.empty());
+  // Every admission uncovered at least one edge no earlier test hit, so
+  // the map holds at least one edge per corpus entry.
+  EXPECT_GE(result.coverage.edges_hit(), result.corpus.size());
+  EXPECT_GT(result.mutated_admissions, 0u);
+}
+
+TEST(CovFuzzTest, DeterministicForSeed) {
+  const auto a = run_cov(sim::DeviceModel::kD2_SilabsUzb7, 10 * kMinute, 777);
+  const auto b = run_cov(sim::DeviceModel::kD2_SilabsUzb7, 10 * kMinute, 777);
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.corpus, b.corpus);
+  EXPECT_TRUE(a.coverage == b.coverage);
+  EXPECT_EQ(a.unique_bug_ids, b.unique_bug_ids);
+}
+
+TEST(CovFuzzTest, AdmissionIsMonotone) {
+  // Same seed, longer budget: the shorter run's corpus must be a strict
+  // prefix of the longer run's (the loop is deterministic, and admissions
+  // are append-only).
+  const auto short_run = run_cov(sim::DeviceModel::kD4_AeotecZw090, 10 * kMinute, 42);
+  const auto long_run = run_cov(sim::DeviceModel::kD4_AeotecZw090, 30 * kMinute, 42);
+  ASSERT_LE(short_run.corpus.size(), long_run.corpus.size());
+  EXPECT_TRUE(std::equal(short_run.corpus.begin(), short_run.corpus.end(),
+                         long_run.corpus.begin()));
+  EXPECT_LE(short_run.coverage.edges_hit(), long_run.coverage.edges_hit());
+}
+
+TEST(CovFuzzTest, FindsEverythingPsmFindsOnFixedSeed) {
+  constexpr std::uint64_t kSeed = 42;
+  constexpr SimTime kBudget = kHour;
+
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  testbed_config.seed = kSeed;
+
+  std::set<int> psm_bugs;
+  {
+    sim::Testbed testbed(testbed_config);
+    CampaignConfig config;
+    config.duration = kBudget;
+    config.seed = kSeed;
+    Campaign campaign(testbed, config);
+    for (const BugFinding& finding : campaign.run().findings) {
+      if (finding.matched_bug_id > 0) psm_bugs.insert(finding.matched_bug_id);
+    }
+  }
+  ASSERT_FALSE(psm_bugs.empty());
+
+  const auto cov = run_cov(sim::DeviceModel::kD4_AeotecZw090, kBudget, kSeed);
+  for (int bug : psm_bugs) {
+    EXPECT_TRUE(cov.unique_bug_ids.count(bug)) << "coverage mode missed bug#" << bug;
+  }
+}
+
+TEST(CovFuzzTest, FeedbackOffRunsBlindWithEmptyCorpusBeyondNothing) {
+  CovFuzzConfig config;
+  config.coverage_feedback = false;
+  const auto result = run_cov(sim::DeviceModel::kD4_AeotecZw090, 10 * kMinute, 42, config);
+  EXPECT_GT(result.packets_sent, 0u);
+  EXPECT_TRUE(result.corpus.empty());
+  EXPECT_TRUE(result.coverage.empty());
+  EXPECT_EQ(result.mutated_admissions, 0u);
+}
+
+TEST(CovFuzzTest, InstrumentationDoesNotPerturbTheCampaign) {
+  // The firmware hooks must be behaviorally invisible: a PSM campaign run
+  // under an installed coverage map produces the exact same results as one
+  // without.
+  auto run_campaign = [](bool instrumented) {
+    sim::TestbedConfig testbed_config;
+    testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+    testbed_config.seed = 99;
+    sim::Testbed testbed(testbed_config);
+    CampaignConfig config;
+    config.duration = 30 * kMinute;
+    config.seed = 99;
+    Campaign campaign(testbed, config);
+    sim::cov::CoverageMap map;
+    CampaignResult result;
+    if (instrumented) {
+      const sim::cov::ScopedCoverage scoped(map);
+      result = campaign.run();
+      EXPECT_FALSE(map.empty());  // the hooks did fire
+    } else {
+      result = campaign.run();
+    }
+    return result;
+  };
+  const auto plain = run_campaign(false);
+  const auto instrumented = run_campaign(true);
+  EXPECT_EQ(plain.test_packets, instrumented.test_packets);
+  ASSERT_EQ(plain.findings.size(), instrumented.findings.size());
+  for (std::size_t i = 0; i < plain.findings.size(); ++i) {
+    EXPECT_EQ(plain.findings[i].matched_bug_id, instrumented.findings[i].matched_bug_id);
+    EXPECT_EQ(plain.findings[i].payload, instrumented.findings[i].payload);
+  }
+}
+
+TEST(CovFuzzTest, CorpusSaveLoadRoundTrips) {
+  const auto result = run_cov(sim::DeviceModel::kD4_AeotecZw090, 5 * kMinute, 42);
+  ASSERT_FALSE(result.corpus.empty());
+  const std::string dir = testing::TempDir() + "zc_covfuzz_corpus";
+  ASSERT_TRUE(CovFuzz::save_corpus(dir, result.corpus));
+  const auto loaded = CovFuzz::load_corpus(dir);
+  // Loading is fingerprint-ordered, not admission-ordered: compare as sets.
+  std::set<Bytes> saved_set(result.corpus.begin(), result.corpus.end());
+  std::set<Bytes> loaded_set(loaded.begin(), loaded.end());
+  EXPECT_EQ(saved_set, loaded_set);
+  // And loading twice is stable.
+  EXPECT_EQ(loaded, CovFuzz::load_corpus(dir));
+}
+
+TEST(CovFuzzTest, ExtraSeedsWarmTheMap) {
+  // Replaying a first run's corpus as extra seeds means the second run
+  // re-admits those payloads during its (deduplicated) seed phase, so its
+  // corpus is at least as rich from the start.
+  const auto first = run_cov(sim::DeviceModel::kD4_AeotecZw090, 5 * kMinute, 42);
+  CovFuzzConfig config;
+  config.extra_seeds = first.corpus;
+  const auto second = run_cov(sim::DeviceModel::kD4_AeotecZw090, 5 * kMinute, 43, config);
+  EXPECT_GE(second.coverage.edges_hit(), first.coverage.edges_hit());
+}
+
+TEST(CovFuzzTest, JournalsCorpusSeedsWithTheFlagBit) {
+  const std::string path = testing::TempDir() + "zc_covfuzz_test.jrnl";
+  std::remove(path.c_str());
+  {
+    store::FindingsJournal journal;
+    ASSERT_TRUE(journal.open(path));
+    CovFuzzConfig config;
+    config.journal = &journal;
+    config.journal_shard_id = 7;
+    const auto result =
+        run_cov(sim::DeviceModel::kD4_AeotecZw090, 10 * kMinute, 42, config);
+    ASSERT_FALSE(result.corpus.empty());
+    ASSERT_FALSE(result.unique_bug_ids.empty());
+  }
+  // Reload: corpus-seed records carry the flag bit, findings stay flag 0,
+  // and both kinds survive the on-disk round trip under record version 1.
+  store::FindingsJournal journal;
+  ASSERT_TRUE(journal.open(path));
+  std::size_t seeds = 0;
+  std::size_t findings = 0;
+  for (const store::FindingRecord& record : journal.records()) {
+    if (record.flags & store::FindingRecord::kCorpusSeedFlag) {
+      ++seeds;
+      EXPECT_EQ(record.bug_id, 0);
+    } else {
+      ++findings;
+      EXPECT_GT(record.bug_id, 0);
+    }
+    EXPECT_EQ(record.shard_id, 7u);
+  }
+  EXPECT_GT(seeds, 0u);
+  EXPECT_GT(findings, 0u);
+}
+
+TEST(CovFuzzParallelTest, MergedArtifactsAreJobCountInvariant) {
+  auto run_with_jobs = [](std::size_t jobs) {
+    sim::TestbedConfig testbed_config;
+    testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+    testbed_config.seed = 42;
+    CampaignConfig campaign_config;
+    campaign_config.duration = 5 * kMinute;
+    campaign_config.seed = 42;
+    ParallelConfig parallel;
+    parallel.jobs = jobs;
+    parallel.fuzzer = FuzzerFamily::kCov;
+    return run_trials_parallel(testbed_config, campaign_config, 4, parallel);
+  };
+  const auto one = run_with_jobs(1);
+  const auto four = run_with_jobs(4);
+  const auto eight = run_with_jobs(8);
+
+  EXPECT_TRUE(one.merged_coverage() == four.merged_coverage());
+  EXPECT_TRUE(one.merged_coverage() == eight.merged_coverage());
+  EXPECT_EQ(one.merged_corpus(), four.merged_corpus());
+  EXPECT_EQ(one.merged_corpus(), eight.merged_corpus());
+  EXPECT_EQ(one.summary.union_bug_ids, four.summary.union_bug_ids);
+  EXPECT_EQ(one.summary.union_bug_ids, eight.summary.union_bug_ids);
+  EXPECT_EQ(one.summary.total_packets, eight.summary.total_packets);
+
+  // Per-shard artifacts match slot for slot, too.
+  ASSERT_EQ(one.shards.size(), eight.shards.size());
+  for (std::size_t i = 0; i < one.shards.size(); ++i) {
+    EXPECT_TRUE(one.shards[i].coverage == eight.shards[i].coverage);
+    EXPECT_EQ(one.shards[i].corpus, eight.shards[i].corpus);
+  }
+}
+
+TEST(CovFuzzParallelTest, PsmShardsCollectCoverageWhenAsked) {
+  sim::TestbedConfig testbed_config;
+  testbed_config.controller_model = sim::DeviceModel::kD4_AeotecZw090;
+  testbed_config.seed = 42;
+  CampaignConfig campaign_config;
+  campaign_config.duration = 5 * kMinute;
+  campaign_config.seed = 42;
+  ParallelConfig parallel;
+  parallel.jobs = 2;
+  parallel.collect_coverage = true;
+  const auto report = run_trials_parallel(testbed_config, campaign_config, 2, parallel);
+  for (const ShardResult& shard : report.shards) {
+    EXPECT_TRUE(shard.coverage_collected);
+    EXPECT_FALSE(shard.coverage.empty());
+    EXPECT_TRUE(shard.corpus.empty());  // admission is a cov-mode concept
+  }
+  EXPECT_GT(report.merged_coverage().edges_hit(), 0u);
+}
+
+}  // namespace
+}  // namespace zc::core

@@ -1,0 +1,104 @@
+#include "sim/coverage.h"
+
+#include <gtest/gtest.h>
+
+namespace zc::sim::cov {
+namespace {
+
+TEST(CoverageMapTest, SlotIndexDeterministicAndBounded) {
+  for (int cc = 0; cc < 256; cc += 7) {
+    for (int cmd = 0; cmd < 256; cmd += 11) {
+      const std::size_t slot = CoverageMap::slot_index(
+          static_cast<std::uint8_t>(cc), static_cast<std::uint8_t>(cmd), kHandlerCase);
+      EXPECT_LT(slot, CoverageMap::kSlots);
+      EXPECT_EQ(slot, CoverageMap::slot_index(static_cast<std::uint8_t>(cc),
+                                              static_cast<std::uint8_t>(cmd), kHandlerCase));
+    }
+  }
+  // The branch participates in the hash: the same (cc, cmd) lands on
+  // distinct slots per branch (for this triple — collisions are legal in
+  // general, but these particular inputs must stay stable).
+  EXPECT_NE(CoverageMap::slot_index(0x25, 0x01, kDispatchAccepted),
+            CoverageMap::slot_index(0x25, 0x01, kDispatchRejected));
+}
+
+TEST(CoverageMapTest, RecordCountsHitsAndEdges) {
+  CoverageMap map;
+  EXPECT_TRUE(map.empty());
+  map.record(0x25, 0x01, kDispatchAccepted);
+  map.record(0x25, 0x01, kDispatchAccepted);
+  map.record(0x86, 0x11, kHandlerCase);
+  EXPECT_FALSE(map.empty());
+  EXPECT_EQ(map.edges_hit(), 2u);
+  EXPECT_EQ(map.total_hits(), 3u);
+  EXPECT_EQ(map.hits(CoverageMap::slot_index(0x25, 0x01, kDispatchAccepted)), 2u);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.edges_hit(), 0u);
+}
+
+TEST(CoverageMapTest, FoldIntoCountsOnlyNewEdges) {
+  CoverageMap accumulated;
+  CoverageMap scratch;
+  scratch.record(0x25, 0x01, kDispatchAccepted);
+  scratch.record(0x86, 0x11, kHandlerCase);
+  EXPECT_EQ(scratch.fold_into(accumulated), 2u);  // both edges are new
+  EXPECT_EQ(accumulated.edges_hit(), 2u);
+
+  scratch.clear();
+  scratch.record(0x25, 0x01, kDispatchAccepted);  // already accumulated
+  scratch.record(0x70, 0x04, kHandlerCase);       // new
+  EXPECT_EQ(scratch.fold_into(accumulated), 1u);
+  EXPECT_EQ(accumulated.edges_hit(), 3u);
+  EXPECT_EQ(accumulated.hits(CoverageMap::slot_index(0x25, 0x01, kDispatchAccepted)), 2u);
+}
+
+TEST(CoverageMapTest, MergeAccumulatesAndEqualityIsSlotwise) {
+  CoverageMap a;
+  CoverageMap b;
+  a.record(0x25, 0x01, kDispatchAccepted);
+  b.record(0x25, 0x01, kDispatchAccepted);
+  EXPECT_TRUE(a == b);
+  b.record(0x86, 0x11, kHandlerCase);
+  EXPECT_FALSE(a == b);
+  a.merge(b);
+  EXPECT_EQ(a.total_hits(), 3u);
+  EXPECT_EQ(a.edges_hit(), 2u);
+}
+
+TEST(CoverageMapTest, ToTextIsCanonical) {
+  CoverageMap a;
+  CoverageMap b;
+  // Different record order, same content -> identical text.
+  a.record(0x25, 0x01, kDispatchAccepted);
+  a.record(0x86, 0x11, kHandlerCase);
+  b.record(0x86, 0x11, kHandlerCase);
+  b.record(0x25, 0x01, kDispatchAccepted);
+  EXPECT_EQ(a.to_text(), b.to_text());
+  b.record(0x86, 0x11, kHandlerCase);
+  EXPECT_NE(a.to_text(), b.to_text());
+}
+
+TEST(ScopedCoverageTest, InstallsRestoresAndNests) {
+  EXPECT_EQ(current_map(), nullptr);
+  record(0x25, 0x01, kDispatchAccepted);  // no map installed: a no-op
+  CoverageMap outer;
+  {
+    const ScopedCoverage scoped_outer(outer);
+    EXPECT_EQ(current_map(), &outer);
+    record(0x25, 0x01, kDispatchAccepted);
+    CoverageMap inner;
+    {
+      const ScopedCoverage scoped_inner(inner);
+      EXPECT_EQ(current_map(), &inner);
+      record(0x86, 0x11, kHandlerCase);
+    }
+    EXPECT_EQ(current_map(), &outer);  // previous map restored
+    EXPECT_EQ(inner.total_hits(), 1u);
+  }
+  EXPECT_EQ(current_map(), nullptr);
+  EXPECT_EQ(outer.total_hits(), 1u);  // the inner hit never leaked out
+}
+
+}  // namespace
+}  // namespace zc::sim::cov
