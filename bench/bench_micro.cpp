@@ -18,6 +18,7 @@
 #include "radio/medium.h"
 #include "radio/phy.h"
 #include "radio/phy_simd.h"
+#include "sim/testbed.h"
 #include "zwave/checksum.h"
 #include "zwave/command_class.h"
 #include "zwave/frame.h"
@@ -271,6 +272,34 @@ void BM_RandomMutation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RandomMutation);
+
+// Shard-context turnaround: constructing a testbed world from scratch vs
+// recycling one through Testbed::reset — the per-shard fixed cost the
+// executor's persistent worker contexts amortize. The pair quantifies how
+// much of a shard's setup the warm BitBufferPool + DeliveryBatch arena
+// actually saves.
+void BM_TestbedFresh(benchmark::State& state) {
+  sim::TestbedConfig config;
+  config.seed = 0x2C07E12F;
+  for (auto _ : state) {
+    sim::Testbed testbed(config);
+    benchmark::DoNotOptimize(testbed.controller().home_id());
+  }
+}
+BENCHMARK(BM_TestbedFresh);
+
+void BM_TestbedReset(benchmark::State& state) {
+  sim::TestbedConfig config;
+  config.seed = 0x2C07E12F;
+  sim::Testbed testbed(config);
+  // Warm the pools the way a real shard does before the first reset.
+  testbed.scheduler().run_for(30 * kSecond);
+  for (auto _ : state) {
+    testbed.reset(config);
+    benchmark::DoNotOptimize(testbed.controller().home_id());
+  }
+}
+BENCHMARK(BM_TestbedReset);
 
 }  // namespace
 

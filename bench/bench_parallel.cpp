@@ -13,9 +13,17 @@
 //   * frames/sec   — RF-medium transmissions per wall second
 //   * speedup      — against the jobs=1 row of the same invocation
 //
+// A second sweep (`skew_rows` in the JSON) runs the same shard count with
+// shard 0 at 8x the simulated duration of the rest — the steal-heavy case
+// for the work-stealing executor, where a static block split would leave
+// every other worker idle for most of the run. The determinism guard
+// covers both sweeps.
+//
 // Speedup scales with physical cores; hw_concurrency is recorded in the
 // JSON so a reader can judge a baseline produced on different hardware.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -92,49 +100,92 @@ int main(int argc, char** argv) {
   std::printf("workload: %zu trials x %.0f simulated minutes, device %s\n", trials,
               minutes, sim::device_model_name(testbed_config.controller_model));
 
-  std::vector<Row> rows;
-  double base_wall = 0.0;
-  for (std::size_t jobs : jobs_list) {
+  // One sweep over jobs_list; `sweep` builds the report per job count so the
+  // uniform and skewed workloads share measurement + guard code.
+  auto run_sweep = [&](const char* label,
+                       auto make_report) -> std::vector<Row> {
+    std::vector<Row> rows;
+    double base_wall = 0.0;
+    for (std::size_t jobs : jobs_list) {
+      const core::ParallelTrialReport report = make_report(jobs);
+
+      std::uint64_t frames = 0;
+      for (const core::ShardResult& shard : report.shards) {
+        frames += shard.medium_transmissions;
+      }
+
+      Row row;
+      row.jobs = report.jobs;
+      row.wall_seconds = report.wall_seconds;
+      row.trials_per_sec =
+          report.wall_seconds > 0.0
+              ? static_cast<double>(report.shards.size()) / report.wall_seconds
+              : 0.0;
+      row.frames_per_sec = report.wall_seconds > 0.0
+                               ? static_cast<double>(frames) / report.wall_seconds
+                               : 0.0;
+      row.total_packets = report.summary.total_packets;
+      row.union_bugs = report.summary.union_bug_ids.size();
+      if (rows.empty()) base_wall = report.wall_seconds;
+      row.speedup = report.wall_seconds > 0.0 ? base_wall / report.wall_seconds : 1.0;
+      rows.push_back(row);
+
+      std::printf(
+          "%s jobs=%-2zu wall=%7.3fs  trials/s=%8.2f  frames/s=%10.0f  speedup=%5.2fx  "
+          "packets=%llu bugs=%zu\n",
+          label, row.jobs, row.wall_seconds, row.trials_per_sec, row.frames_per_sec,
+          row.speedup, static_cast<unsigned long long>(row.total_packets),
+          row.union_bugs);
+
+      // Determinism guard: every row must see the same merged campaign.
+      if (rows.size() > 1 && (row.total_packets != rows.front().total_packets ||
+                              row.union_bugs != rows.front().union_bugs)) {
+        std::fprintf(stderr, "FATAL: %s jobs=%zu diverged from jobs=%zu\n", label,
+                     row.jobs, rows.front().jobs);
+        std::exit(1);
+      }
+    }
+    return rows;
+  };
+
+  const std::vector<Row> rows = run_sweep("uniform", [&](std::size_t jobs) {
     core::ParallelConfig parallel;
     parallel.jobs = jobs;
-    const core::ParallelTrialReport report =
-        core::run_trials_parallel(testbed_config, config, trials, parallel);
+    return core::run_trials_parallel(testbed_config, config, trials, parallel);
+  });
 
-    std::uint64_t frames = 0;
-    for (const core::ShardResult& shard : report.shards) {
-      frames += shard.medium_transmissions;
-    }
-
-    Row row;
-    row.jobs = report.jobs;
-    row.wall_seconds = report.wall_seconds;
-    row.trials_per_sec =
-        report.wall_seconds > 0.0
-            ? static_cast<double>(report.shards.size()) / report.wall_seconds
-            : 0.0;
-    row.frames_per_sec = report.wall_seconds > 0.0
-                             ? static_cast<double>(frames) / report.wall_seconds
-                             : 0.0;
-    row.total_packets = report.summary.total_packets;
-    row.union_bugs = report.summary.union_bug_ids.size();
-    if (rows.empty()) base_wall = report.wall_seconds;
-    row.speedup = report.wall_seconds > 0.0 ? base_wall / report.wall_seconds : 1.0;
-    rows.push_back(row);
-
-    std::printf(
-        "jobs=%-2zu wall=%7.3fs  trials/s=%8.2f  frames/s=%10.0f  speedup=%5.2fx  "
-        "packets=%llu bugs=%zu\n",
-        row.jobs, row.wall_seconds, row.trials_per_sec, row.frames_per_sec, row.speedup,
-        static_cast<unsigned long long>(row.total_packets), row.union_bugs);
-
-    // Determinism guard: every row must see the same merged campaign.
-    if (rows.size() > 1 && (row.total_packets != rows.front().total_packets ||
-                            row.union_bugs != rows.front().union_bugs)) {
-      std::fprintf(stderr, "FATAL: jobs=%zu diverged from jobs=%zu\n", row.jobs,
-                   rows.front().jobs);
-      return 1;
-    }
+  // Skewed workload: shard 0 gets 8x the simulated minutes. Run through the
+  // explicit-shard API so the report carries the same accounting.
+  std::vector<core::ShardSpec> skewed;
+  for (std::size_t i = 0; i < trials; ++i) {
+    core::ShardSpec spec;
+    spec.shard_id = i;
+    spec.testbed = testbed_config;
+    spec.testbed.seed = core::shard_testbed_seed(testbed_config.seed, i);
+    spec.campaign = config;
+    spec.campaign.duration = i == 0 ? 8 * config.duration : config.duration;
+    spec.campaign.seed = core::shard_campaign_seed(config.seed, i);
+    skewed.push_back(std::move(spec));
   }
+  const std::vector<Row> skew_rows = run_sweep("skewed ", [&](std::size_t jobs) {
+    core::ParallelConfig parallel;
+    parallel.jobs = jobs;
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<core::ShardResult> results = core::run_shards(skewed, parallel);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    core::ParallelTrialReport report;
+    report.jobs = jobs;
+    report.wall_seconds = wall;
+    for (const core::ShardResult& shard : results) {
+      report.summary.total_packets += shard.result.test_packets;
+      for (const auto& finding : shard.result.findings) {
+        if (finding.matched_bug_id > 0) report.summary.union_bug_ids.insert(finding.matched_bug_id);
+      }
+    }
+    report.shards = std::move(results);
+    return report;
+  });
 
   std::FILE* out = std::fopen(out_path.c_str(), "wb");
   if (out == nullptr) {
@@ -149,18 +200,23 @@ int main(int argc, char** argv) {
                trials, minutes, sim::device_model_name(testbed_config.controller_model),
                static_cast<unsigned long long>(config.seed));
   std::fprintf(out, "  \"hw_concurrency\": %zu,\n", core::default_jobs());
-  std::fprintf(out, "  \"rows\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& row = rows[i];
-    std::fprintf(out,
-                 "    {\"jobs\": %zu, \"wall_seconds\": %.6f, \"trials_per_sec\": %.3f, "
-                 "\"frames_per_sec\": %.1f, \"speedup\": %.3f, \"total_packets\": %llu, "
-                 "\"union_bugs\": %zu}%s\n",
-                 row.jobs, row.wall_seconds, row.trials_per_sec, row.frames_per_sec,
-                 row.speedup, static_cast<unsigned long long>(row.total_packets),
-                 row.union_bugs, i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(out, "  ]\n}\n");
+  auto write_rows = [out](const char* key, const std::vector<Row>& list, bool last) {
+    std::fprintf(out, "  \"%s\": [\n", key);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const Row& row = list[i];
+      std::fprintf(out,
+                   "    {\"jobs\": %zu, \"wall_seconds\": %.6f, \"trials_per_sec\": %.3f, "
+                   "\"frames_per_sec\": %.1f, \"speedup\": %.3f, \"total_packets\": %llu, "
+                   "\"union_bugs\": %zu}%s\n",
+                   row.jobs, row.wall_seconds, row.trials_per_sec, row.frames_per_sec,
+                   row.speedup, static_cast<unsigned long long>(row.total_packets),
+                   row.union_bugs, i + 1 < list.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]%s\n", last ? "" : ",");
+  };
+  write_rows("rows", rows, false);
+  write_rows("skew_rows", skew_rows, true);
+  std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

@@ -8,8 +8,11 @@ Usage:
 Understands two JSON shapes:
 
 * bench_parallel output -- ``{"benchmark": "bench_parallel", "rows": [...]}``;
-  rows are keyed by ``jobs`` and compared on ``trials_per_sec`` and
-  ``frames_per_sec`` (higher is better).
+  rows (and the steal-heavy ``skew_rows``, when present) are keyed by
+  ``jobs`` and compared on ``trials_per_sec``, ``frames_per_sec`` and
+  ``speedup`` (higher is better). Speedup rows are warn-only when the
+  baseline was captured on a 1-core host (``hw_concurrency: 1``): parallel
+  scaling does not exist there, so any dip is scheduler noise.
 * google-benchmark output (bench_micro with --benchmark_out) -- benchmarks
   are keyed by ``name`` and compared on ``real_time`` with its ``time_unit``
   (lower is better).
@@ -65,11 +68,12 @@ def load_metrics(path):
         provenance["build_type"] = data.get("build_type")
         if data.get("hw_concurrency") is not None:
             provenance["num_cpus"] = int(data["hw_concurrency"])
-        for row in data.get("rows", []):
-            jobs = row.get("jobs")
-            for key in ("trials_per_sec", "frames_per_sec"):
-                if key in row:
-                    metrics[f"parallel/jobs={jobs}/{key}"] = (float(row[key]), True)
+        for rows_key, prefix in (("rows", "parallel"), ("skew_rows", "parallel/skew")):
+            for row in data.get(rows_key, []):
+                jobs = row.get("jobs")
+                for key in ("trials_per_sec", "frames_per_sec", "speedup"):
+                    if key in row:
+                        metrics[f"{prefix}/jobs={jobs}/{key}"] = (float(row[key]), True)
     elif isinstance(data, dict) and "benchmarks" in data:
         context = data.get("context", {})
         provenance["build_type"] = context.get("zc_build_type")
@@ -184,6 +188,15 @@ def main(argv=None):
             # below the measurement noise floor and never gate.
             if not higher_is_better and base_value < args.min_gated_ns:
                 marker = "ign"
+            elif name.endswith("/speedup") and baseline_prov["num_cpus"] == 1:
+                # On a single-core baseline host, parallel speedup is pure
+                # scheduler noise (>1x is physically impossible at N>=1
+                # cores' worth of workers), so a speedup dip there says
+                # nothing about the code. Warn, never fail; the absolute
+                # trials/frames rates above still gate throughput.
+                marker = "wrn"
+                print(f"  WARNING: {name} regressed on a 1-core baseline "
+                      "host; speedup is not gated there")
             else:
                 marker = "REG"
                 regressions.append(name)

@@ -56,10 +56,14 @@
 // next test boundary, emits a final checkpoint (when checkpointing is
 // on), the journal is flushed, and the process exits with 128+signal
 // (130 for SIGINT, 143 for SIGTERM).
+#include <cctype>
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -189,6 +193,30 @@ void print_profile_if_enabled() {
   if (!report.empty()) std::fputs(report.c_str(), stderr);
 }
 
+/// Strict unsigned-count parser for flags like --jobs: the whole string
+/// must be a valid non-negative integer (0x/0 prefixes accepted) that fits
+/// a size_t. strtoull alone silently maps "abc" to 0 and "-4"/overflow to
+/// huge values — either one turns a typo'd --jobs into a nonsense pool
+/// size, so reject them with a usage error instead.
+std::size_t parse_count(const std::string& flag, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const char* begin = text.c_str();
+  if (text.empty() || text[0] == '-' || std::isspace(static_cast<unsigned char>(text[0]))) {
+    std::fprintf(stderr, "%s expects a non-negative integer, got '%s'\n", flag.c_str(),
+                 text.c_str());
+    std::exit(2);
+  }
+  const unsigned long long parsed = std::strtoull(begin, &end, 0);
+  if (end == begin || *end != '\0' || errno == ERANGE ||
+      parsed > std::numeric_limits<std::size_t>::max()) {
+    std::fprintf(stderr, "%s expects a non-negative integer, got '%s'\n", flag.c_str(),
+                 text.c_str());
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
 Options parse_options(int argc, char** argv) {
   Options options;
   if (argc < 2) {
@@ -213,9 +241,9 @@ Options parse_options(int argc, char** argv) {
         options.device = parse_device(name);
       }
     } else if (arg == "--trials") {
-      options.trials = static_cast<std::size_t>(std::strtoull(value().c_str(), nullptr, 0));
+      options.trials = parse_count(arg, value());
     } else if (arg == "--jobs") {
-      options.jobs = static_cast<std::size_t>(std::strtoull(value().c_str(), nullptr, 0));
+      options.jobs = parse_count(arg, value());  // 0 = hardware concurrency
     } else if (arg == "--mode") {
       options.mode = parse_mode(value());
     } else if (arg == "--hours") {
@@ -237,8 +265,7 @@ Options parse_options(int argc, char** argv) {
     } else if (arg == "--journal") {
       options.journal_path = value();
     } else if (arg == "--max-shard-restarts") {
-      options.max_shard_restarts =
-          static_cast<std::size_t>(std::strtoull(value().c_str(), nullptr, 0));
+      options.max_shard_restarts = parse_count(arg, value());
     } else if (arg == "--shard-deadline") {
       options.shard_deadline_seconds = std::atof(value().c_str());
     } else if (arg == "--fuzzer") {
@@ -250,8 +277,7 @@ Options parse_options(int argc, char** argv) {
     } else if (arg == "--no-dedup") {
       options.dedup = false;
     } else if (arg == "--liveness-stride") {
-      options.liveness_stride =
-          static_cast<std::size_t>(std::strtoull(value().c_str(), nullptr, 0));
+      options.liveness_stride = parse_count(arg, value());
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       std::exit(2);

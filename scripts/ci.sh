@@ -33,6 +33,10 @@ lane_tier1() {
   # parity, corpus round-trip. Cheap, and a named lane step makes a
   # covfuzz regression obvious in the CI log.
   ctest --test-dir "$root/build-ci" --output-on-failure -j "$jobs" -L covfuzz
+  # Executor suite called out by label: work-stealing pool contracts,
+  # sharded determinism under steal-heavy skew, and the Testbed::reset
+  # byte-identity fence the worker-context reuse depends on.
+  ctest --test-dir "$root/build-ci" --output-on-failure -j "$jobs" -L executor
   # Equivalence suite again with every fast path forced off: the scalar
   # reference kernels and portable AES must stand on their own, because
   # they are what non-x86 hosts (and ZC_DISABLE_* escape hatches) run.
@@ -64,6 +68,9 @@ lane_asan() {
   # The covfuzz suite exercises corpus file I/O and journal flag records —
   # exactly the buffer-handling paths ASan should sweep by name.
   ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs" -L covfuzz
+  # The executor suite recycles testbeds/mediums across shards on
+  # persistent workers — reuse-after-reset lifetime bugs are ASan's beat.
+  ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs" -L executor
   # SIMD kernels read through raw pointers; prove both dispatch modes clean.
   ZC_DISABLE_SIMD=1 ZC_DISABLE_AESNI=1 \
     ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs" -L simd
@@ -74,10 +81,13 @@ lane_tsan() {
   # The multi-threaded surfaces carry dedicated labels (see
   # docs/performance.md and docs/observability.md). covfuzz joins them:
   # its merge-determinism tests run shard pools whose thread-local coverage
-  # maps TSan must prove isolated. The simd suite rides along in both
-  # dispatch modes: cpu-feature/env caches are cross-thread reads under
-  # sharded campaigns, so TSan vets their init.
-  ctest --test-dir "$root/build-tsan" --output-on-failure -L "parallel|obs|covfuzz"
+  # maps TSan must prove isolated. The executor suite is the core
+  # concurrency surface now: deque hand-offs, steal-backs, the done/
+  # on_complete publication edge, and the ordered journal-commit queue.
+  # The simd suite rides along in both dispatch modes: cpu-feature/env
+  # caches are cross-thread reads under sharded campaigns, so TSan vets
+  # their init.
+  ctest --test-dir "$root/build-tsan" --output-on-failure -L "parallel|obs|covfuzz|executor"
   ctest --test-dir "$root/build-tsan" --output-on-failure -L simd
   ZC_DISABLE_SIMD=1 ZC_DISABLE_AESNI=1 \
     ctest --test-dir "$root/build-tsan" --output-on-failure -L simd

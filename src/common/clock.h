@@ -60,6 +60,20 @@ class EventScheduler {
 
   std::size_t pending() const { return queue_.size(); }
 
+  /// Returns the clock to its just-constructed state: time zero, empty
+  /// queue, sequence counter rewound. Pending callbacks are destroyed
+  /// unrun — callers (sim::Testbed::reset) must first tear down anything
+  /// those closures point at, or reclaim it afterwards (the RF medium
+  /// reclaims its in-flight delivery batches this way). Rewinding
+  /// `next_seq_` matters for determinism: equal-timestamp events tie-break
+  /// on it, so a reused scheduler must deal the same sequence numbers a
+  /// fresh one would.
+  void reset() {
+    now_ = 0;
+    next_seq_ = 0;
+    queue_ = {};
+  }
+
  private:
   struct Item {
     SimTime when;

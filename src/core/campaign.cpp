@@ -86,6 +86,10 @@ Campaign::Campaign(sim::Testbed& testbed, CampaignConfig config)
       resilience_rng_(config.seed ^ kResilienceSeedSalt),
       dongle_(testbed.medium(), testbed.scheduler(),
               testbed.attacker_radio_config("zcover-dongle")) {
+  // A lent scratch memo starts empty (capacity kept), so the dedup
+  // behavior is exactly the internal memo's.
+  memo_ = config_.memo_scratch != nullptr ? config_.memo_scratch : &own_memo_;
+  if (config_.memo_scratch != nullptr) memo_->clear();
   // Resume: retire everything a previous session already confirmed.
   for (const Bytes& payload_bytes : config_.known_payloads) {
     const auto payload = zwave::decode_app_payload(payload_bytes);
@@ -218,6 +222,11 @@ CampaignResult Campaign::run() {
     result.inconclusive_tests = cp.inconclusive_tests;
     result.retried_injections = cp.retried_injections;
     result.classes_fuzzed.insert(cp.classes_fuzzed.begin(), cp.classes_fuzzed.end());
+    // Re-offer restored findings to the sink. Against the durable journal
+    // this dedups to a no-op; against a staged per-shard sink (a restarted
+    // shard under core/parallel) it is what carries pre-checkpoint
+    // findings into the batch the supervisor finally commits.
+    for (const BugFinding& finding : result.findings) journal_finding(finding);
   }
 
   if (config_.mode == CampaignMode::kRandom) {
@@ -286,7 +295,7 @@ std::size_t Campaign::fuzz_class(CampaignResult& result, zwave::CommandClassId c
     if (blacklist_.contains(sig) || blacklist_.contains(wildcard)) continue;
 
     if (config_.dedup) {
-      if (memo_.contains(TestMemo::fingerprint(payload))) {
+      if (memo_->contains(TestMemo::fingerprint(payload))) {
         obs::count(obs::MetricId::kCampaignDedupHits);
         // Skipped tests consume no virtual time; a class whose remaining
         // stream is all duplicates must not spin against the deadline.
@@ -581,7 +590,7 @@ void Campaign::triage_window(CampaignResult& result, bool alive) {
 
 void Campaign::memoize_clean(const zwave::AppPayload& payload) {
   if (!config_.dedup) return;
-  memo_.check_and_insert(TestMemo::fingerprint(payload));
+  memo_->check_and_insert(TestMemo::fingerprint(payload));
 }
 
 void Campaign::run_oracles(CampaignResult& result, const zwave::AppPayload& suspect) {
@@ -848,7 +857,7 @@ void Campaign::journal_finding(const BugFinding& finding) {
             duplicate ? 1 : 0);
   if (outcome == store::FindingsJournal::AppendOutcome::kError) {
     ZC_WARN("journal: append failed (%s) — finding kept in memory only",
-            store::journal_error_name(config_.journal->error()));
+            config_.journal->error_name());
   }
 }
 

@@ -158,14 +158,22 @@ struct CampaignConfig {
   /// Polled between tests; returning true stops the campaign (the sim
   /// equivalent of SIGTERM / an operator pulling the plug mid-run).
   std::function<bool()> abort_hook;
-  /// Durable findings journal: when set, every finding is appended (and
-  /// fsync-batched) the moment record_finding confirms it — not at exit —
-  /// so a crash loses nothing already confirmed. The journal is internally
-  /// serialized; one instance may be shared across all shards of a
-  /// parallel run. Not owned.
-  store::FindingsJournal* journal = nullptr;
+  /// Findings sink: when set, every finding is appended the moment
+  /// record_finding confirms it — not at exit. Sequential runs point this
+  /// straight at the durable store::FindingsJournal (internally
+  /// serialized, crash-loses-nothing-confirmed); core/parallel points each
+  /// shard at a store::BufferedFindingSink it batch-commits in shard
+  /// order, which keeps the journal file byte-identical at any --jobs.
+  /// Not owned.
+  store::FindingSink* journal = nullptr;
   /// Shard identity stamped on journal records (core/parallel sets it).
   std::uint32_t journal_shard_id = 0;
+  /// Optional dedup-memo scratch reused across campaigns (core/parallel's
+  /// per-worker shard contexts): cleared on campaign construction, so
+  /// behavior is identical to the internal memo — the table just keeps its
+  /// grown capacity instead of re-growing from 1 KiB every shard. Not
+  /// owned; must outlive the campaign.
+  TestMemo* memo_scratch = nullptr;
   /// Continue a previous session: restores RNG state, retired signatures,
   /// findings and counters, and shrinks the fuzz budget by the checkpoint's
   /// elapsed time. The queue is re-walked from the top — the restored
@@ -298,7 +306,8 @@ class Campaign {
   std::set<Signature> blacklist_;
   std::set<Signature> reported_signatures_;  // dedupe for unattributed finds
   std::set<int> reported_bug_ids_;           // dedupe by confirmed root cause
-  TestMemo memo_;                            // certified-clean payload fingerprints
+  TestMemo own_memo_;                        // backing store when no scratch is lent
+  TestMemo* memo_ = nullptr;                 // certified-clean payload fingerprints
   std::vector<zwave::AppPayload> window_;    // clean tests awaiting a sweep
   /// Scratch buffers for the injection hot path: the test frame and the
   /// mutation payload are rebuilt in place each test, so a steady-state

@@ -26,7 +26,12 @@ CovFuzz::CovFuzz(sim::Testbed& testbed, CovFuzzConfig config)
       rng_(config_.seed),
       dongle_(testbed.medium(), testbed.scheduler(),
               testbed.attacker_radio_config("covfuzz-dongle")),
-      home_(testbed.controller().home_id()) {}
+      home_(testbed.controller().home_id()) {
+  // Same scratch-lending move as Campaign: a reused memo is cleared, so
+  // only its table capacity (not its contents) survives across runs.
+  memo_ = config_.memo_scratch != nullptr ? config_.memo_scratch : &own_memo_;
+  if (config_.memo_scratch != nullptr) memo_->clear();
+}
 
 std::vector<Bytes> CovFuzz::canonical_seeds() {
   const auto& db = zwave::SpecDatabase::instance();
@@ -230,7 +235,7 @@ CovFuzzResult CovFuzz::run() {
     const auto decoded = zwave::decode_app_payload(ByteView(bytes.data(), bytes.size()));
     if (!decoded.ok()) continue;
     if (config_.dedup &&
-        memo_.check_and_insert(TestMemo::fingerprint(ByteView(bytes.data(), bytes.size())))) {
+        memo_->check_and_insert(TestMemo::fingerprint(ByteView(bytes.data(), bytes.size())))) {
       obs::count(obs::MetricId::kCovfuzzDedupSkips);
       ++result.dedup_skips;
       continue;
@@ -295,12 +300,12 @@ CovFuzzResult CovFuzz::run() {
           // Bounded redraw, as in vfuzz: a duplicate buys nothing but the
           // settle wait for a verdict the map already absorbed.
           bool duplicate =
-              memo_.check_and_insert(TestMemo::fingerprint(payload_scratch_));
+              memo_->check_and_insert(TestMemo::fingerprint(payload_scratch_));
           for (int tries = 0; duplicate && tries < 4; ++tries) {
             obs::count(obs::MetricId::kCovfuzzDedupSkips);
             ++result.dedup_skips;
             state.mutator->next_into(payload_scratch_);
-            duplicate = memo_.check_and_insert(TestMemo::fingerprint(payload_scratch_));
+            duplicate = memo_->check_and_insert(TestMemo::fingerprint(payload_scratch_));
           }
           if (duplicate) continue;  // saturated: spend no settle wait on it
         }

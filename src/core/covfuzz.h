@@ -69,10 +69,16 @@ struct CovFuzzConfig {
   /// Extra seed payloads (encoded application payloads) replayed after the
   /// canonical spec-derived seeds — `--corpus-dir` loads land here.
   std::vector<Bytes> extra_seeds;
-  /// Durable journal: confirmed findings (flags = 0) and corpus-admitted
-  /// seeds (flags bit 0 set) are appended as they happen. Not owned.
-  store::FindingsJournal* journal = nullptr;
+  /// Findings sink: confirmed findings (flags = 0) and corpus-admitted
+  /// seeds (flags bit 0 set) are appended as they happen. Sequential runs
+  /// pass the durable journal; core/parallel passes a per-shard staging
+  /// buffer it commits in shard order. Not owned.
+  store::FindingSink* journal = nullptr;
   std::uint32_t journal_shard_id = 0;
+  /// Optional dedup-memo scratch reused across runs (same contract as
+  /// CampaignConfig::memo_scratch): cleared on construction, capacity
+  /// kept. Not owned; must outlive the fuzzer.
+  TestMemo* memo_scratch = nullptr;
   /// Polled between tests; returning true stops the run at the next test
   /// boundary (same contract as CampaignConfig::abort_hook).
   std::function<bool()> abort_hook;
@@ -130,7 +136,8 @@ class CovFuzz {
   Rng rng_;
   ZWaveDongle dongle_;
   zwave::HomeId home_;
-  TestMemo memo_;
+  TestMemo own_memo_;   // backing store when no scratch is lent
+  TestMemo* memo_ = nullptr;
   /// Per-test scratch map; folded into the result's accumulated map after
   /// every execution (fold_into == the admission rule).
   sim::cov::CoverageMap scratch_;

@@ -1,0 +1,232 @@
+#include "core/executor.h"
+
+#include <algorithm>
+
+namespace zc::core {
+
+namespace detail {
+
+/// One submitted job's scheduling state. Shared (via shared_ptr) between
+/// the executor's active list, every participating worker, and any
+/// outstanding Handles, so it outlives whichever of them finishes last.
+struct JobState {
+  Executor::TaskFn run;
+  std::function<void()> on_complete;
+  std::size_t participants = 0;
+
+  /// Per-participant deque of unclaimed task indices. The owner pops from
+  /// the front, thieves pop from the back; the mutex is per-slot, so a
+  /// steal only ever contends with its victim. Coarse tasks (whole shard
+  /// campaigns) make the lock cost irrelevant next to a lock-free deque's
+  /// complexity.
+  struct Slot {
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;
+  };
+  std::vector<std::unique_ptr<Slot>> slots;
+
+  /// Tasks no worker has claimed yet: lets an idle worker park on the pool
+  /// condvar instead of rescanning a job whose deques have drained while
+  /// its last tasks are still executing elsewhere.
+  std::atomic<std::size_t> unclaimed{0};
+  /// Tasks not yet retired; the decrement that hits zero runs on_complete
+  /// and wakes waiters.
+  std::atomic<std::size_t> remaining{0};
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+
+  void mark_done() {
+    {
+      const std::lock_guard<std::mutex> lock(done_mutex);
+      done = true;
+    }
+    done_cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+bool Executor::Handle::done() const {
+  if (state_ == nullptr) return true;
+  const std::lock_guard<std::mutex> lock(state_->done_mutex);
+  return state_->done;
+}
+
+void Executor::Handle::wait() const {
+  if (state_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(state_->done_mutex);
+  state_->done_cv.wait(lock, [this] { return state_->done; });
+}
+
+Executor::Executor(std::size_t workers) {
+  const std::size_t count = std::max<std::size_t>(1, workers);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  threads_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+std::size_t Executor::workers() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return threads_.size();
+}
+
+void Executor::ensure_workers(std::size_t n) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  while (threads_.size() < n) {
+    const std::size_t index = threads_.size();
+    threads_.emplace_back([this, index] { worker_main(index); });
+  }
+}
+
+Executor::Handle Executor::submit(Job job) {
+  auto state = std::make_shared<detail::JobState>();
+  state->run = std::move(job.run);
+  state->on_complete = std::move(job.on_complete);
+  jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  if (job.task_count == 0) {
+    if (state->on_complete) state->on_complete();
+    state->done = true;  // no concurrency yet: the state never left this thread
+    return Handle(std::move(state));
+  }
+
+  // Participants are pool workers [0, P): a worker's pool index doubles as
+  // its slot index, which is what lets core/parallel key per-worker state
+  // (watchdog slots, thread_local contexts) by worker_index.
+  std::size_t participants = job.max_workers == 0
+                                 ? workers()
+                                 : std::min(job.max_workers, workers());
+  participants = std::max<std::size_t>(1, std::min(participants, job.task_count));
+  state->participants = participants;
+
+  // Deal task indices in contiguous blocks, like the block decomposition a
+  // static scheduler would use — neighbors in the shard list start on the
+  // same worker, and a steal takes from the far end of the largest
+  // untouched run the scan finds.
+  const std::size_t chunk = (job.task_count + participants - 1) / participants;
+  state->slots.reserve(participants);
+  for (std::size_t s = 0; s < participants; ++s) {
+    auto slot = std::make_unique<detail::JobState::Slot>();
+    const std::size_t begin = s * chunk;
+    const std::size_t end = std::min(job.task_count, begin + chunk);
+    for (std::size_t task = begin; task < end; ++task) slot->tasks.push_back(task);
+    state->slots.push_back(std::move(slot));
+  }
+  state->unclaimed.store(job.task_count, std::memory_order_relaxed);
+  state->remaining.store(job.task_count, std::memory_order_relaxed);
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    active_jobs_.push_back(state);
+  }
+  cv_.notify_all();
+  return Handle(std::move(state));
+}
+
+ExecutorStats Executor::stats() const {
+  ExecutorStats out;
+  out.jobs_submitted = jobs_submitted_.load(std::memory_order_relaxed);
+  out.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  out.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+  return out;
+}
+
+Executor& Executor::global(std::size_t min_workers) {
+  // Meyers singleton (not a leak): static destruction joins the pool, so
+  // sanitizer runs end with zero live threads and zero leaked contexts.
+  static Executor instance(std::max<std::size_t>(1, min_workers));
+  instance.ensure_workers(min_workers);
+  return instance;
+}
+
+std::shared_ptr<detail::JobState> Executor::find_runnable_locked(std::size_t worker_index) {
+  for (const auto& job : active_jobs_) {
+    if (worker_index >= job->participants) continue;
+    if (job->unclaimed.load(std::memory_order_relaxed) == 0) continue;
+    return job;
+  }
+  return nullptr;
+}
+
+void Executor::worker_main(std::size_t worker_index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    std::shared_ptr<detail::JobState> job = find_runnable_locked(worker_index);
+    if (job == nullptr) {
+      if (stopping_) return;
+      cv_.wait(lock);
+      continue;
+    }
+    lock.unlock();
+    run_job_tasks(*job, worker_index);
+    lock.lock();
+  }
+}
+
+void Executor::run_job_tasks(detail::JobState& job, std::size_t worker_index) {
+  const std::size_t own = worker_index;  // slot index == pool index, see submit()
+  for (;;) {
+    std::size_t task = 0;
+    bool found = false;
+    bool stolen = false;
+    {
+      detail::JobState::Slot& slot = *job.slots[own];
+      const std::lock_guard<std::mutex> guard(slot.mutex);
+      if (!slot.tasks.empty()) {
+        task = slot.tasks.front();
+        slot.tasks.pop_front();
+        found = true;
+      }
+    }
+    // Own deque dry: steal from the back of the first non-empty sibling,
+    // scanning round-robin from our own slot so thieves spread across
+    // victims instead of all mobbing slot 0.
+    for (std::size_t k = 1; k < job.participants && !found; ++k) {
+      detail::JobState::Slot& victim = *job.slots[(own + k) % job.participants];
+      const std::lock_guard<std::mutex> guard(victim.mutex);
+      if (!victim.tasks.empty()) {
+        task = victim.tasks.back();
+        victim.tasks.pop_back();
+        found = true;
+        stolen = true;
+      }
+    }
+    if (!found) return;  // job drained (others may still be executing)
+
+    job.unclaimed.fetch_sub(1, std::memory_order_relaxed);
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    if (stolen) tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+
+    job.run(task, worker_index);
+
+    if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last task retired: completion runs here, on a worker, so a
+      // submit-and-move-on caller (the future daemon) needs no extra
+      // thread to collect results.
+      if (job.on_complete) job.on_complete();
+      job.mark_done();
+      const std::lock_guard<std::mutex> lock(mutex_);
+      active_jobs_.erase(
+          std::remove_if(active_jobs_.begin(), active_jobs_.end(),
+                         [&job](const std::shared_ptr<detail::JobState>& entry) {
+                           return entry.get() == &job;
+                         }),
+          active_jobs_.end());
+    }
+  }
+}
+
+}  // namespace zc::core

@@ -1,0 +1,145 @@
+// Persistent work-stealing executor: the scheduling substrate under
+// core/parallel (and, eventually, the campaign-as-a-service daemon of
+// ROADMAP item 1).
+//
+// Why it exists: the original sharded engine spawned a fresh std::thread
+// pool on every run_trials_parallel() call and handed out shard indices
+// from one atomic cursor. That shape has two costs at fleet scale:
+//   * pool churn — thread create/join per call, once per bench row, once
+//     per service request;
+//   * convoying — a cursor hands each worker the *next* shard, so a list
+//     with skewed shard costs ends with every worker idle behind whichever
+//     one drew the expensive tail.
+//
+// This executor keeps one long-lived pool per process (Executor::global(),
+// grown on demand, never shrunk) and gives every submitted job per-worker
+// deques: task indices are dealt in contiguous blocks, a worker pops from
+// the front of its own deque, and when it runs dry it steals from the
+// *back* of the first non-empty sibling (scanning round-robin from its own
+// slot). Owners and thieves therefore touch opposite deque ends, steals
+// grab the work farthest from the victim's current locality, and a skewed
+// tail gets rebalanced instead of serialized.
+//
+// Determinism contract (the property core/parallel is built on): the
+// executor moves *execution* between threads, never results. A job's tasks
+// are identified by dense indices; what a task writes is the caller's
+// business, and core/parallel gives every shard a preallocated result slot
+// keyed by index. Which worker runs a task — and in what order tasks
+// interleave across workers — is scheduling noise with no data flow, so
+// merged outputs stay byte-identical at any worker count.
+//
+// Threading rules:
+//   * submit() may be called from any thread EXCEPT an executor worker —
+//     a worker blocking in Handle::wait() on a nested job could deadlock
+//     the pool. (Fire-and-forget nested submission would be safe, but no
+//     caller needs it; keep the rule simple.)
+//   * Job::run must not throw: a task that leaks an exception would take
+//     the worker down with std::terminate. core/parallel catches
+//     everything inside the task (that is what its supervision layer is
+//     for).
+//   * on_complete runs on the worker that finishes the job's last task,
+//     before the handle unblocks.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace zc::core {
+
+/// Lifetime counters for the pool (monotonic; read with stats()).
+struct ExecutorStats {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t tasks_run = 0;
+  /// Tasks a worker claimed from another worker's deque. Zero on a
+  /// perfectly balanced workload; > 0 is the work-stealing rebalance
+  /// actually firing.
+  std::uint64_t tasks_stolen = 0;
+};
+
+namespace detail {
+struct JobState;
+}  // namespace detail
+
+class Executor {
+ public:
+  /// Task body: dense task index plus the pool-wide index of the worker
+  /// running it (core/parallel keys watchdog slots by it).
+  using TaskFn = std::function<void(std::size_t task_index, std::size_t worker_index)>;
+
+  /// One unit of submission: `task_count` dense tasks fanned over at most
+  /// `max_workers` pool workers (0 = every worker).
+  struct Job {
+    std::size_t task_count = 0;
+    std::size_t max_workers = 0;
+    TaskFn run;
+    /// Optional: runs exactly once, on the worker that retires the last
+    /// task, before waiters wake. Empty jobs fire it inside submit().
+    std::function<void()> on_complete;
+  };
+
+  /// Completion handle. Copyable; all copies observe the same job.
+  class Handle {
+   public:
+    Handle() = default;
+    bool valid() const { return state_ != nullptr; }
+    /// True once every task retired and on_complete returned.
+    bool done() const;
+    /// Blocks until done(). No-op on an invalid handle.
+    void wait() const;
+
+   private:
+    friend class Executor;
+    explicit Handle(std::shared_ptr<detail::JobState> state) : state_(std::move(state)) {}
+    std::shared_ptr<detail::JobState> state_;
+  };
+
+  /// A private pool with exactly `workers` threads (floored at 1). Tests
+  /// use private pools; production code shares global().
+  explicit Executor(std::size_t workers);
+  /// Joins the pool. All submitted jobs must be complete.
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  std::size_t workers() const;
+  /// Grows the pool to at least `n` threads (never shrinks — persistent
+  /// workers are what make thread_local shard contexts reusable).
+  void ensure_workers(std::size_t n);
+
+  Handle submit(Job job);
+
+  ExecutorStats stats() const;
+
+  /// The process-wide pool. First caller sizes it (min_workers, floored at
+  /// 1); later callers grow it on demand via ensure_workers. Never torn
+  /// down before static destruction, so worker-thread contexts persist
+  /// across run_trials_parallel()/covfuzz calls — the whole point.
+  static Executor& global(std::size_t min_workers = 0);
+
+ private:
+  void worker_main(std::size_t worker_index);
+  std::shared_ptr<detail::JobState> find_runnable_locked(std::size_t worker_index);
+  void run_job_tasks(detail::JobState& job, std::size_t worker_index);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::thread> threads_;
+  std::vector<std::shared_ptr<detail::JobState>> active_jobs_;
+  bool stopping_ = false;
+  // Monotonic counters kept atomic so stats() never contends with task
+  // retirement (tasks are coarse, but the read side is a test/diagnostic
+  // path that should stay wait-free).
+  std::atomic<std::uint64_t> jobs_submitted_{0};
+  std::atomic<std::uint64_t> tasks_run_{0};
+  std::atomic<std::uint64_t> tasks_stolen_{0};
+};
+
+}  // namespace zc::core

@@ -4,12 +4,14 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <thread>
 
 #include "common/log.h"
+#include "core/executor.h"
 
 namespace zc::core {
 
@@ -28,6 +30,23 @@ struct WatchdogSlot {
 /// Reason codes carried in the shard_failure trace event's third arg.
 constexpr std::int64_t kFailureCrash = 0;
 constexpr std::int64_t kFailureHang = 1;
+
+/// Per-worker reusable shard context. Executor workers are persistent
+/// (Executor::global never shrinks), so thread_local here means "lives as
+/// long as the process fuzzes": the testbed is reset — not reconstructed —
+/// between shards, which keeps its RF medium's warm BitBufferPool slots
+/// and DeliveryBatch arena, and the dedup memo keeps its grown table.
+/// Byte-identity to fresh construction is Testbed::reset's contract
+/// (pinned by tests/sim/testbed_reset_test.cpp).
+struct WorkerContext {
+  std::unique_ptr<sim::Testbed> testbed;
+  TestMemo memo;
+};
+
+WorkerContext& worker_context() {
+  thread_local WorkerContext context;
+  return context;
+}
 
 /// Merges one shard's CampaignResult into the TrialSummary exactly the way
 /// the sequential run_trials() loop body does.
@@ -50,14 +69,16 @@ void merge_into_summary(TrialSummary& summary, const CampaignResult& result) {
 /// one oracle — the trigger log — so every entry is a service-interruption
 /// style finding with its bug id pre-matched).
 void run_covfuzz_attempt(sim::Testbed& testbed, const ShardSpec& spec,
-                         const ParallelConfig& parallel,
-                         const std::function<bool()>& abort_hook, ShardResult& out) {
+                         const ParallelConfig& parallel, store::FindingSink* sink,
+                         TestMemo* memo_scratch, const std::function<bool()>& abort_hook,
+                         ShardResult& out) {
   const std::size_t triggers_before = testbed.controller().triggered().size();
   CovFuzzConfig cov = parallel.covfuzz;
   cov.duration = spec.campaign.duration;
   cov.seed = spec.campaign.seed;
-  cov.journal = parallel.journal;
+  cov.journal = sink;
   cov.journal_shard_id = static_cast<std::uint32_t>(spec.shard_id);
+  cov.memo_scratch = memo_scratch;
   cov.abort_hook = abort_hook;
   CovFuzz fuzzer(testbed, cov);
 
@@ -110,6 +131,263 @@ ParallelTrialReport merge_report(std::vector<ShardResult> shards, std::size_t jo
   }
   report.shards = std::move(shards);
   return report;
+}
+
+/// Shared state of one submitted batch: lives (via shared_ptr captured by
+/// the executor job) until the last task retires and on_complete fires.
+struct ShardRunState {
+  std::vector<ShardSpec> shards;
+  ParallelConfig parallel;
+  std::vector<ShardResult> results;  // slot per shard-list index
+  std::function<void(std::vector<ShardResult>)> on_complete;
+
+  /// Serializes the caller's checkpoint sink across workers.
+  std::mutex sink_mutex;
+
+  /// Deadline watchdog: one slot per participating worker (indexed by the
+  /// executor's pool-wide worker index), one scanner thread per batch.
+  bool watchdog_enabled = false;
+  std::vector<WatchdogSlot> slots;
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+
+  /// Ordered journal commit: each shard stages its findings in a private
+  /// BufferedFindingSink; completed stages are committed to the shared
+  /// journal strictly in shard-list order (a shard finishing early parks
+  /// its batch until every predecessor committed). Appends therefore hit
+  /// the journal file in the same order at any --jobs — byte-identical —
+  /// and each batch costs one lock + one fsync instead of per-finding I/O.
+  std::mutex commit_mutex;
+  std::size_t next_commit = 0;
+  std::vector<std::vector<store::FindingRecord>> staged;
+  std::vector<char> staged_ready;
+};
+
+void commit_staged(ShardRunState& state, std::size_t index,
+                   std::vector<store::FindingRecord> records) {
+  const std::lock_guard<std::mutex> lock(state.commit_mutex);
+  state.staged[index] = std::move(records);
+  state.staged_ready[index] = 1;
+  while (state.next_commit < state.staged.size() && state.staged_ready[state.next_commit]) {
+    std::vector<store::FindingRecord>& batch = state.staged[state.next_commit];
+    if (state.parallel.journal != nullptr && !batch.empty()) {
+      state.parallel.journal->append_batch(batch);
+    }
+    batch.clear();
+    ++state.next_commit;
+  }
+}
+
+/// One shard's whole supervised life, executed on an executor worker. The
+/// attempt loop, restart budget, watchdog arming and telemetry fold-in are
+/// the supervision layer; the surrounding context acquisition and journal
+/// staging are the reuse layer.
+void run_one_shard(ShardRunState& state, std::size_t index, std::size_t worker_index) {
+  const ShardSpec& spec = state.shards[index];
+  const ParallelConfig& parallel = state.parallel;
+
+  ShardResult& out = state.results[index];
+  out.shard_id = spec.shard_id;
+  out.device = spec.testbed.controller_model;
+  out.campaign_seed = spec.campaign.seed;
+
+  // Findings stage here across every attempt of this shard (never cleared
+  // on restart: a failed attempt's confirmed findings stay committable,
+  // which is strictly more durable than the old write-through journal, and
+  // the commit-time dedup collapses anything a resumed attempt re-found).
+  store::BufferedFindingSink sink;
+  store::FindingSink* shard_sink = parallel.journal != nullptr ? &sink : nullptr;
+
+  WorkerContext& context = worker_context();
+  // Context reuse is off under telemetry: Campaign's end-of-run pool
+  // gauges report the medium pool's *cumulative* counters, which a warm
+  // recycled pool carries across shards — fresh worlds per shard keep
+  // merged metrics byte-identical to a fresh-construct run. The memo
+  // scratch stays shared either way (membership behavior is capacity-
+  // independent, so no metric can see the difference).
+  const bool reuse_context = !parallel.collect_telemetry;
+
+  // --- supervised attempt loop ------------------------------------
+  // Each attempt rebuilds the shard's whole world (testbed, campaign, RNG
+  // streams) — by reset on the worker's persistent testbed or from scratch
+  // — so a failed attempt leaves nothing behind except the checkpoint we
+  // captured from it.
+  std::optional<CampaignCheckpoint> last_checkpoint;
+  std::size_t failure_count = 0;   // crash + hang attempts
+  std::size_t hang_count = 0;
+  std::size_t attempt = 0;
+  while (true) {
+    CancellationToken token;
+    CampaignConfig config = spec.campaign;
+    config.checkpoint_interval = parallel.checkpoint_interval;
+    // Always capture checkpoints locally (restart needs the freshest
+    // one); forward to the caller's sink under the shared mutex.
+    config.checkpoint_sink = [&state, &last_checkpoint,
+                              shard_id = spec.shard_id](const CampaignCheckpoint& cp) {
+      last_checkpoint = cp;
+      if (state.parallel.checkpoint_sink) {
+        const std::lock_guard<std::mutex> lock(state.sink_mutex);
+        state.parallel.checkpoint_sink(shard_id, cp);
+      }
+    };
+    config.abort_hook = [&parallel, &token] {
+      return token.cancelled() || (parallel.abort_hook && parallel.abort_hook());
+    };
+    config.journal = shard_sink;
+    config.journal_shard_id = static_cast<std::uint32_t>(spec.shard_id);
+    config.memo_scratch = &context.memo;
+    if (attempt > 0 && last_checkpoint.has_value()) {
+      // A hung attempt checkpointed on its way out; resume there
+      // rather than repaying the whole prefix. Crashed attempts only
+      // have a checkpoint if periodic checkpointing was on.
+      config.resume_from = last_checkpoint;
+    }
+
+    if (state.watchdog_enabled) {
+      const std::lock_guard<std::mutex> lock(state.slots[worker_index].mutex);
+      state.slots[worker_index].token = &token;
+      state.slots[worker_index].deadline =
+          std::chrono::steady_clock::now() + parallel.shard_deadline;
+    }
+
+    bool crashed = false;
+    std::string crash_reason;
+    try {
+      if (parallel.shard_fault_hook) {
+        parallel.shard_fault_hook(spec.shard_id, attempt, token);
+      }
+      std::unique_ptr<sim::Testbed> fresh;
+      sim::Testbed* testbed = nullptr;
+      if (reuse_context) {
+        if (context.testbed == nullptr) {
+          context.testbed = std::make_unique<sim::Testbed>(spec.testbed);
+        } else {
+          context.testbed->reset(spec.testbed);
+        }
+        testbed = context.testbed.get();
+      } else {
+        fresh = std::make_unique<sim::Testbed>(spec.testbed);
+        testbed = fresh.get();
+      }
+      // One attempt's work, family-dispatched. A restarted attempt
+      // overwrites whatever a failed one left in the slot.
+      auto run_attempt = [&] {
+        if (parallel.fuzzer == FuzzerFamily::kCov) {
+          run_covfuzz_attempt(*testbed, spec, parallel, shard_sink, &context.memo,
+                              config.abort_hook, out);
+          return;
+        }
+        Campaign campaign(*testbed, config);
+        if (parallel.collect_coverage) {
+          // Same ambient-installation move as the recorder: the map is
+          // this thread's for exactly this campaign, so concurrent
+          // shards never share coverage state.
+          sim::cov::CoverageMap map;
+          {
+            const sim::cov::ScopedCoverage scoped(map);
+            out.result = campaign.run();
+          }
+          out.coverage_collected = true;
+          out.coverage = std::move(map);
+        } else {
+          out.result = campaign.run();
+        }
+      };
+      if (parallel.collect_telemetry) {
+        // The recorder is installed thread-locally for exactly this
+        // shard's campaign, so instrumentation sites down the stack
+        // reach it without plumbing and concurrent shards never share
+        // state. A restarted attempt gets a fresh recorder: the
+        // surviving telemetry describes the attempt that completed.
+        obs::Recorder recorder(testbed->scheduler(), spec.shard_id, config.seed,
+                               parallel.trace_capacity);
+        const obs::ScopedRecorder ambient(recorder);
+        run_attempt();
+        out.telemetry = recorder.snapshot();
+      } else {
+        run_attempt();
+      }
+      out.medium_transmissions = testbed->medium().transmissions();
+    } catch (const std::exception& e) {
+      crashed = true;
+      crash_reason = e.what();
+    } catch (...) {
+      crashed = true;
+      crash_reason = "non-standard exception";
+    }
+
+    if (state.watchdog_enabled) {
+      const std::lock_guard<std::mutex> lock(state.slots[worker_index].mutex);
+      state.slots[worker_index].token = nullptr;
+    }
+
+    const bool user_abort = parallel.abort_hook && parallel.abort_hook();
+    const bool hung = !crashed && token.cancelled() && !user_abort;
+    if (!crashed && !hung) {
+      out.health = attempt == 0 ? ShardHealth::kHealthy : ShardHealth::kRecovered;
+      out.restarts = attempt;
+      break;
+    }
+
+    ++failure_count;
+    if (hung) ++hang_count;
+    out.last_error = crashed ? crash_reason : "deadline exceeded";
+    ZC_WARN("shard %zu attempt %zu %s: %s", spec.shard_id, attempt,
+            crashed ? "crashed" : "hung", out.last_error.c_str());
+
+    if (attempt >= parallel.restart.max_restarts || user_abort) {
+      // Budget exhausted (or the user is tearing the run down):
+      // quarantine. Whatever the last attempt produced stays in the
+      // slot for forensics but is excluded from the merged summary.
+      out.health = ShardHealth::kQuarantined;
+      out.restarts = attempt;
+      break;
+    }
+
+    const auto backoff = parallel.restart.backoff_before(attempt + 1);
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    ++attempt;
+  }
+
+  // Fold supervision counters into the shard's telemetry after the
+  // attempts settle — no ambient recorder exists on this path, and the
+  // values are deterministic for a deterministic fault pattern.
+  if (parallel.collect_telemetry && (failure_count > 0 || out.restarts > 0)) {
+    obs::Telemetry& t = out.telemetry;
+    if (!t.collected) {  // quarantined before any attempt completed
+      t.collected = true;
+      t.shard_id = spec.shard_id;
+      t.seed = spec.campaign.seed;
+    }
+    t.metrics.add(obs::MetricId::kParallelShardFailures, failure_count);
+    t.metrics.add(obs::MetricId::kParallelShardRestarts, out.restarts);
+    t.metrics.add(obs::MetricId::kParallelDeadlineCancels, hang_count);
+    const SimTime stamp = out.result.ended_at;
+    auto emit = [&t, stamp](obs::TraceEventType type, std::int64_t a0, std::int64_t a1,
+                            std::int64_t a2, std::int64_t a3) {
+      obs::TraceEvent event;
+      event.at = stamp;
+      event.type = type;
+      event.args = {a0, a1, a2, a3};
+      t.events.push_back(event);
+    };
+    emit(obs::TraceEventType::kShardFailure, static_cast<std::int64_t>(spec.shard_id),
+         static_cast<std::int64_t>(failure_count),
+         hang_count > 0 ? kFailureHang : kFailureCrash, 0);
+    if (out.restarts > 0) {
+      emit(obs::TraceEventType::kShardRestart, static_cast<std::int64_t>(spec.shard_id),
+           static_cast<std::int64_t>(out.restarts),
+           static_cast<std::int64_t>(parallel.restart.backoff_before(0).count()),
+           last_checkpoint.has_value() ? 1 : 0);
+    }
+    if (out.health == ShardHealth::kQuarantined) {
+      t.metrics.add(obs::MetricId::kParallelShardQuarantines, 1);
+      emit(obs::TraceEventType::kShardQuarantine, static_cast<std::int64_t>(spec.shard_id),
+           static_cast<std::int64_t>(failure_count), 0, 0);
+    }
+  }
+
+  commit_staged(state, index, sink.records());
 }
 
 }  // namespace
@@ -183,31 +461,36 @@ std::uint64_t shard_campaign_seed(std::uint64_t base_seed, std::size_t shard_id)
   return base_seed + static_cast<std::uint64_t>(shard_id) * 0xC2B2AE35ULL;
 }
 
-std::vector<ShardResult> run_shards(const std::vector<ShardSpec>& shards,
-                                    const ParallelConfig& parallel) {
-  std::vector<ShardResult> results(shards.size());
-  if (shards.empty()) return results;
+Executor::Handle run_shards_async(std::vector<ShardSpec> shards, ParallelConfig parallel,
+                                  std::function<void(std::vector<ShardResult>)> on_complete) {
+  auto state = std::make_shared<ShardRunState>();
+  state->shards = std::move(shards);
+  state->parallel = std::move(parallel);
+  state->results.resize(state->shards.size());
+  state->staged.resize(state->shards.size());
+  state->staged_ready.assign(state->shards.size(), 0);
+  state->on_complete = std::move(on_complete);
 
-  const std::size_t jobs =
-      std::min(shards.size(), parallel.jobs == 0 ? default_jobs() : parallel.jobs);
+  const std::size_t limit =
+      state->shards.empty()
+          ? 1
+          : std::min(state->shards.size(),
+                     state->parallel.jobs == 0 ? default_jobs() : state->parallel.jobs);
+  Executor& executor = Executor::global(limit);
 
-  // The sink is shared by every shard, so calls are funneled through one
-  // mutex; shard_id tagging lets the caller keep per-shard files.
-  std::mutex sink_mutex;
-
-  // Deadline watchdog: one slot per worker, one scanner thread. The
-  // scanner only ever flips an attempt's CancellationToken — the campaign
-  // loop notices at its next test boundary, checkpoints, and unwinds
-  // normally, so cancellation is always cooperative.
-  const bool watchdog_enabled = parallel.shard_deadline.count() > 0;
-  std::vector<WatchdogSlot> slots(jobs);
-  std::atomic<bool> watchdog_stop{false};
-  std::thread watchdog;
-  if (watchdog_enabled) {
-    watchdog = std::thread([&slots, &watchdog_stop] {
-      while (!watchdog_stop.load(std::memory_order_acquire)) {
+  // Deadline watchdog: one slot per participating worker, one scanner
+  // thread per batch. The scanner only ever flips an attempt's
+  // CancellationToken — the campaign loop notices at its next test
+  // boundary, checkpoints, and unwinds normally, so cancellation is
+  // always cooperative.
+  state->watchdog_enabled =
+      state->parallel.shard_deadline.count() > 0 && !state->shards.empty();
+  if (state->watchdog_enabled) {
+    state->slots = std::vector<WatchdogSlot>(limit);
+    state->watchdog = std::thread([state] {
+      while (!state->watchdog_stop.load(std::memory_order_acquire)) {
         const auto now = std::chrono::steady_clock::now();
-        for (WatchdogSlot& slot : slots) {
+        for (WatchdogSlot& slot : state->slots) {
           const std::lock_guard<std::mutex> lock(slot.mutex);
           if (slot.token != nullptr && now >= slot.deadline) {
             slot.token->request_cancel();
@@ -219,201 +502,33 @@ std::vector<ShardResult> run_shards(const std::vector<ShardSpec>& shards,
     });
   }
 
-  std::atomic<std::size_t> cursor{0};
-  auto worker = [&](std::size_t worker_index) {
-    while (true) {
-      const std::size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (index >= shards.size()) break;
-      const ShardSpec& spec = shards[index];
-
-      ShardResult& out = results[index];
-      out.shard_id = spec.shard_id;
-      out.device = spec.testbed.controller_model;
-      out.campaign_seed = spec.campaign.seed;
-
-      // --- supervised attempt loop ------------------------------------
-      // Each attempt builds the shard's whole world from scratch (testbed,
-      // campaign, RNG streams), so a failed attempt leaves nothing behind
-      // except the checkpoint we captured from it.
-      std::optional<CampaignCheckpoint> last_checkpoint;
-      std::size_t failure_count = 0;   // crash + hang attempts
-      std::size_t hang_count = 0;
-      std::size_t attempt = 0;
-      while (true) {
-        CancellationToken token;
-        CampaignConfig config = spec.campaign;
-        config.checkpoint_interval = parallel.checkpoint_interval;
-        // Always capture checkpoints locally (restart needs the freshest
-        // one); forward to the caller's sink under the shared mutex.
-        config.checkpoint_sink = [&parallel, &sink_mutex, &last_checkpoint,
-                                  shard_id = spec.shard_id](const CampaignCheckpoint& cp) {
-          last_checkpoint = cp;
-          if (parallel.checkpoint_sink) {
-            const std::lock_guard<std::mutex> lock(sink_mutex);
-            parallel.checkpoint_sink(shard_id, cp);
-          }
-        };
-        config.abort_hook = [&parallel, &token] {
-          return token.cancelled() || (parallel.abort_hook && parallel.abort_hook());
-        };
-        config.journal = parallel.journal;
-        config.journal_shard_id = static_cast<std::uint32_t>(spec.shard_id);
-        if (attempt > 0 && last_checkpoint.has_value()) {
-          // A hung attempt checkpointed on its way out; resume there
-          // rather than repaying the whole prefix. Crashed attempts only
-          // have a checkpoint if periodic checkpointing was on.
-          config.resume_from = last_checkpoint;
-        }
-
-        if (watchdog_enabled) {
-          const std::lock_guard<std::mutex> lock(slots[worker_index].mutex);
-          slots[worker_index].token = &token;
-          slots[worker_index].deadline =
-              std::chrono::steady_clock::now() + parallel.shard_deadline;
-        }
-
-        bool crashed = false;
-        std::string crash_reason;
-        try {
-          if (parallel.shard_fault_hook) {
-            parallel.shard_fault_hook(spec.shard_id, attempt, token);
-          }
-          sim::Testbed testbed(spec.testbed);
-          // One attempt's work, family-dispatched. A restarted attempt
-          // overwrites whatever a failed one left in the slot.
-          auto run_attempt = [&] {
-            if (parallel.fuzzer == FuzzerFamily::kCov) {
-              run_covfuzz_attempt(testbed, spec, parallel, config.abort_hook, out);
-              return;
-            }
-            Campaign campaign(testbed, config);
-            if (parallel.collect_coverage) {
-              // Same ambient-installation move as the recorder: the map is
-              // this thread's for exactly this campaign, so concurrent
-              // shards never share coverage state.
-              sim::cov::CoverageMap map;
-              {
-                const sim::cov::ScopedCoverage scoped(map);
-                out.result = campaign.run();
-              }
-              out.coverage_collected = true;
-              out.coverage = std::move(map);
-            } else {
-              out.result = campaign.run();
-            }
-          };
-          if (parallel.collect_telemetry) {
-            // The recorder is installed thread-locally for exactly this
-            // shard's campaign, so instrumentation sites down the stack
-            // reach it without plumbing and concurrent shards never share
-            // state. A restarted attempt gets a fresh recorder: the
-            // surviving telemetry describes the attempt that completed.
-            obs::Recorder recorder(testbed.scheduler(), spec.shard_id, config.seed,
-                                   parallel.trace_capacity);
-            const obs::ScopedRecorder ambient(recorder);
-            run_attempt();
-            out.telemetry = recorder.snapshot();
-          } else {
-            run_attempt();
-          }
-          out.medium_transmissions = testbed.medium().transmissions();
-        } catch (const std::exception& e) {
-          crashed = true;
-          crash_reason = e.what();
-        } catch (...) {
-          crashed = true;
-          crash_reason = "non-standard exception";
-        }
-
-        if (watchdog_enabled) {
-          const std::lock_guard<std::mutex> lock(slots[worker_index].mutex);
-          slots[worker_index].token = nullptr;
-        }
-
-        const bool user_abort = parallel.abort_hook && parallel.abort_hook();
-        const bool hung = !crashed && token.cancelled() && !user_abort;
-        if (!crashed && !hung) {
-          out.health = attempt == 0 ? ShardHealth::kHealthy : ShardHealth::kRecovered;
-          out.restarts = attempt;
-          break;
-        }
-
-        ++failure_count;
-        if (hung) ++hang_count;
-        out.last_error = crashed ? crash_reason : "deadline exceeded";
-        ZC_WARN("shard %zu attempt %zu %s: %s", spec.shard_id, attempt,
-                crashed ? "crashed" : "hung", out.last_error.c_str());
-
-        if (attempt >= parallel.restart.max_restarts || user_abort) {
-          // Budget exhausted (or the user is tearing the run down):
-          // quarantine. Whatever the last attempt produced stays in the
-          // slot for forensics but is excluded from the merged summary.
-          out.health = ShardHealth::kQuarantined;
-          out.restarts = attempt;
-          break;
-        }
-
-        const auto backoff = parallel.restart.backoff_before(attempt + 1);
-        if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
-        ++attempt;
-      }
-
-      // Fold supervision counters into the shard's telemetry after the
-      // attempts settle — no ambient recorder exists on this path, and the
-      // values are deterministic for a deterministic fault pattern.
-      if (parallel.collect_telemetry && (failure_count > 0 || out.restarts > 0)) {
-        obs::Telemetry& t = out.telemetry;
-        if (!t.collected) {  // quarantined before any attempt completed
-          t.collected = true;
-          t.shard_id = spec.shard_id;
-          t.seed = spec.campaign.seed;
-        }
-        t.metrics.add(obs::MetricId::kParallelShardFailures, failure_count);
-        t.metrics.add(obs::MetricId::kParallelShardRestarts, out.restarts);
-        t.metrics.add(obs::MetricId::kParallelDeadlineCancels, hang_count);
-        const SimTime stamp = out.result.ended_at;
-        auto emit = [&t, stamp](obs::TraceEventType type, std::int64_t a0, std::int64_t a1,
-                                std::int64_t a2, std::int64_t a3) {
-          obs::TraceEvent event;
-          event.at = stamp;
-          event.type = type;
-          event.args = {a0, a1, a2, a3};
-          t.events.push_back(event);
-        };
-        emit(obs::TraceEventType::kShardFailure, static_cast<std::int64_t>(spec.shard_id),
-             static_cast<std::int64_t>(failure_count),
-             hang_count > 0 ? kFailureHang : kFailureCrash, 0);
-        if (out.restarts > 0) {
-          emit(obs::TraceEventType::kShardRestart, static_cast<std::int64_t>(spec.shard_id),
-               static_cast<std::int64_t>(out.restarts),
-               static_cast<std::int64_t>(parallel.restart.backoff_before(0).count()),
-               last_checkpoint.has_value() ? 1 : 0);
-        }
-        if (out.health == ShardHealth::kQuarantined) {
-          t.metrics.add(obs::MetricId::kParallelShardQuarantines, 1);
-          emit(obs::TraceEventType::kShardQuarantine, static_cast<std::int64_t>(spec.shard_id),
-               static_cast<std::int64_t>(failure_count), 0, 0);
-        }
-      }
-    }
+  Executor::Job job;
+  job.task_count = state->shards.size();
+  job.max_workers = limit;
+  job.run = [state](std::size_t task_index, std::size_t worker_index) {
+    run_one_shard(*state, task_index, worker_index);
   };
+  job.on_complete = [state] {
+    if (state->watchdog_enabled) {
+      state->watchdog_stop.store(true, std::memory_order_release);
+      state->watchdog.join();
+    }
+    std::sort(state->results.begin(), state->results.end(),
+              [](const ShardResult& a, const ShardResult& b) {
+                return a.shard_id < b.shard_id;
+              });
+    if (state->on_complete) state->on_complete(std::move(state->results));
+  };
+  return executor.submit(std::move(job));
+}
 
-  if (jobs == 1) {
-    worker(0);  // run inline: no pool, identical code path
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (std::size_t i = 0; i < jobs; ++i) pool.emplace_back(worker, i);
-    for (std::thread& thread : pool) thread.join();
-  }
-
-  if (watchdog_enabled) {
-    watchdog_stop.store(true, std::memory_order_release);
-    watchdog.join();
-  }
-
-  std::sort(results.begin(), results.end(),
-            [](const ShardResult& a, const ShardResult& b) { return a.shard_id < b.shard_id; });
+std::vector<ShardResult> run_shards(const std::vector<ShardSpec>& shards,
+                                    const ParallelConfig& parallel) {
+  std::vector<ShardResult> results;
+  const Executor::Handle handle = run_shards_async(
+      shards, parallel,
+      [&results](std::vector<ShardResult> merged) { results = std::move(merged); });
+  handle.wait();
   return results;
 }
 

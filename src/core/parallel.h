@@ -13,10 +13,18 @@
 //   testbed seed  = base + shard_id * 0x9E3779B9
 //   campaign seed = base + shard_id * 0xC2B2AE35
 //
-// Workers pull shard indices from an atomic cursor; each result lands in a
-// slot preallocated for its shard id, and the merge walks the slots in
-// shard order after the pool joins. Checkpoints are serialized through a
-// mutex-guarded sink tagged with the shard id.
+// Execution rides the persistent work-stealing pool in core/executor.h:
+// shard indices are dealt to per-worker deques and idle workers steal from
+// loaded ones, so stealing moves *execution*, never results — each result
+// lands in a slot preallocated for its shard id and the merge walks the
+// slots in shard order after the batch retires. Workers are long-lived
+// across run_* calls and keep a reusable shard context (a Testbed recycled
+// via Testbed::reset, a dedup-memo scratch), so steady-state sharded runs
+// stop paying construction and allocator churn per shard. Checkpoints are
+// serialized through a mutex-guarded sink tagged with the shard id;
+// findings stage in a per-shard buffer and are committed to the shared
+// journal in shard-list order (batched appends, one fsync per shard), so
+// the journal file is byte-identical at any --jobs.
 //
 // Fault domains: every shard attempt runs under a supervisor. An attempt
 // that throws is caught, counted, and relaunched after a bounded
@@ -42,6 +50,7 @@
 
 #include "core/campaign.h"
 #include "core/covfuzz.h"
+#include "core/executor.h"
 #include "obs/recorder.h"
 #include "sim/coverage.h"
 #include "sim/profile.h"
@@ -84,8 +93,10 @@ struct ParallelConfig {
   /// and treated like a hang: checkpoint, restart-with-resume, and
   /// eventually quarantine.
   std::chrono::milliseconds shard_deadline{0};
-  /// Durable findings journal shared by every shard (appends are
-  /// internally serialized); findings hit disk as they are confirmed.
+  /// Durable findings journal shared by the whole run. Shards never write
+  /// it directly: each stages findings in a private buffer, and completed
+  /// buffers are committed via append_batch strictly in shard-list order —
+  /// one lock + one fsync per shard, file bytes independent of --jobs.
   /// Not owned.
   store::FindingsJournal* journal = nullptr;
   /// Chaos/fault injection for the supervision layer itself (tests): runs
@@ -202,8 +213,19 @@ std::size_t default_jobs();
 std::uint64_t shard_testbed_seed(std::uint64_t base_seed, std::size_t shard_id);
 std::uint64_t shard_campaign_seed(std::uint64_t base_seed, std::size_t shard_id);
 
-/// Runs explicit shards on the pool. Results come back sorted by shard id
-/// regardless of completion order.
+/// Asynchronous submission path (the shape the ROADMAP daemon needs): the
+/// shard batch is handed to the persistent executor and the call returns
+/// immediately with a Handle. When the last shard retires, `on_complete`
+/// receives every ShardResult sorted by shard id — it runs on the executor
+/// worker that finished last, so keep it light and do not submit new
+/// batches from inside it. Journal commits and checkpoint-sink calls have
+/// all happened by the time it fires. `Handle::wait()` returns only after
+/// `on_complete` has returned.
+Executor::Handle run_shards_async(std::vector<ShardSpec> shards, ParallelConfig parallel,
+                                  std::function<void(std::vector<ShardResult>)> on_complete);
+
+/// Blocking wrapper over run_shards_async. Results come back sorted by
+/// shard id regardless of completion order.
 std::vector<ShardResult> run_shards(const std::vector<ShardSpec>& shards,
                                     const ParallelConfig& parallel = {});
 

@@ -31,9 +31,9 @@ struct VFuzzConfig {
   /// spent on a 6-second response wait; regeneration is bounded so a
   /// saturated space still makes progress.
   bool dedup = true;
-  /// Durable findings journal (same contract as CampaignConfig::journal):
-  /// triggered root causes are appended as they first fire. Not owned.
-  store::FindingsJournal* journal = nullptr;
+  /// Findings sink (same contract as CampaignConfig::journal): triggered
+  /// root causes are appended as they first fire. Not owned.
+  store::FindingSink* journal = nullptr;
   std::uint32_t journal_shard_id = 0;
 };
 

@@ -38,6 +38,25 @@ void Transceiver::deliver(const BitStream& bits, double rssi_dbm) {
 RfMedium::RfMedium(EventScheduler& scheduler, Rng noise_rng, ChannelModel model)
     : scheduler_(scheduler), rng_(noise_rng), model_(model) {}
 
+void RfMedium::recycle(Rng noise_rng, ChannelModel model) {
+  rng_ = noise_rng;
+  model_ = model;
+  endpoints_.clear();
+  transmissions_ = 0;
+  fault_tap_ = nullptr;
+  // Batches that were in flight when the scheduler queue was dropped were
+  // never released by fire_batch; rebuild the free list from the arena
+  // itself so no batch (and no lease it still holds) leaks across reuse.
+  batch_free_.clear();
+  for (const std::unique_ptr<DeliveryBatch>& record : batch_records_) {
+    record->receivers.clear();
+    record->rssi_dbm.clear();
+    record->leases.clear();
+    record->shared.reset();
+    batch_free_.push_back(record.get());
+  }
+}
+
 void RfMedium::attach(Transceiver* endpoint) { endpoints_.push_back(endpoint); }
 
 void RfMedium::detach(Transceiver* endpoint) {

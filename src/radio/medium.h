@@ -133,6 +133,18 @@ class RfMedium {
   /// end-of-run telemetry read its stats.
   BitBufferPool& pool() { return pool_; }
 
+  /// Returns the medium to its just-constructed state while keeping its
+  /// warm allocations: a new noise RNG and channel model replace the old
+  /// ones; endpoints, the fault tap and the transmission counter clear;
+  /// every arena DeliveryBatch — including batches whose fire_batch events
+  /// died with the scheduler queue — returns to the free list with its
+  /// pooled leases released. The BitBufferPool keeps its slots (and its
+  /// monotonic acquire/reuse counters), so a recycled medium transmits
+  /// heap-free from the first frame. Call with all transceivers already
+  /// destroyed and the scheduler queue already reset (sim::Testbed::reset
+  /// sequences this).
+  void recycle(Rng noise_rng, ChannelModel model);
+
   /// True while `endpoint` is registered. Scheduled deliveries re-check
   /// this at fire time, so an endpoint detached (or destroyed) between a
   /// broadcast and its airtime-delayed delivery is silently skipped instead

@@ -10,6 +10,33 @@ namespace zc::sim {
 
 Testbed::Testbed(TestbedConfig config) : config_(config), rng_(config.seed) {
   medium_ = std::make_unique<radio::RfMedium>(scheduler_, rng_.fork(), config_.channel);
+  build();
+}
+
+void Testbed::reset(TestbedConfig config) {
+  // Devices go first, in reverse construction order, so their transceivers
+  // detach from the medium and the injector's taps disarm before anything
+  // is rebuilt. The host program holds a reference into the controller, so
+  // it dies before the controller does.
+  fault_injector_.reset();
+  sensor_.reset();
+  switch_.reset();
+  lock_.reset();
+  host_program_.reset();
+  controller_.reset();
+
+  config_ = std::move(config);
+  // Queue entries may capture the devices just destroyed; drop them unrun,
+  // then let the medium reclaim the delivery batches those entries held.
+  scheduler_.reset();
+  rng_.reseed(config_.seed);
+  // Same draw order as construction: the medium's noise stream is the
+  // first fork off the testbed RNG.
+  medium_->recycle(rng_.fork(), config_.channel);
+  build();
+}
+
+void Testbed::build() {
   controller_ = std::make_unique<VirtualController>(*medium_, scheduler_,
                                                     config_.controller_model,
                                                     /*x=*/0.0, /*y=*/0.0, rng_.fork());

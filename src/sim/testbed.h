@@ -35,6 +35,18 @@ class Testbed {
  public:
   explicit Testbed(TestbedConfig config);
 
+  /// Rebuilds this testbed for `config` as if freshly constructed, but
+  /// recycling the expensive substrate: the scheduler rewinds (time zero,
+  /// sequence zero), the RF medium keeps its warm BitBufferPool slots and
+  /// DeliveryBatch arena, and only the devices themselves are
+  /// reconstructed. The RNG reseeds and is consumed in exactly the
+  /// constructor's draw order, so a reset testbed produces byte-identical
+  /// campaigns to a fresh Testbed(config) — the property
+  /// tests/sim/testbed_reset_test.cpp pins down and core/parallel's
+  /// per-worker context reuse relies on. Any FaultInjector armed on the
+  /// old world is disarmed and destroyed.
+  void reset(TestbedConfig config);
+
   EventScheduler& scheduler() { return scheduler_; }
   radio::RfMedium& medium() { return *medium_; }
   VirtualController& controller() { return *controller_; }
@@ -67,6 +79,11 @@ class Testbed {
   static constexpr zwave::NodeId kS0SensorNodeId = 0x04;
 
  private:
+  /// Everything downstream of the medium: controller, host program,
+  /// slaves, S2/S0 session establishment. Shared verbatim by the
+  /// constructor and reset() so the two paths cannot drift.
+  void build();
+
   TestbedConfig config_;
   EventScheduler scheduler_;
   Rng rng_;

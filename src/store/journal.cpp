@@ -255,6 +255,26 @@ bool FindingsJournal::recover_locked(const std::string& path) {
 
 FindingsJournal::AppendOutcome FindingsJournal::append(const FindingRecord& record) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  return append_locked(record, /*allow_fsync=*/true);
+}
+
+std::size_t FindingsJournal::append_batch(const std::vector<FindingRecord>& batch) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t appended = 0;
+  for (const FindingRecord& record : batch) {
+    const AppendOutcome outcome = append_locked(record, /*allow_fsync=*/false);
+    if (outcome == AppendOutcome::kError) break;
+    if (outcome == AppendOutcome::kAppended) ++appended;
+  }
+  if (appended > 0 && file_ != nullptr) {
+    unsynced_ = 0;
+    if (!fsync_file(file_)) error_ = JournalError::kIoError;
+  }
+  return appended;
+}
+
+FindingsJournal::AppendOutcome FindingsJournal::append_locked(const FindingRecord& record,
+                                                              bool allow_fsync) {
   if (file_ == nullptr) return AppendOutcome::kError;
   if (!keys_.insert(record.key()).second) return AppendOutcome::kDuplicate;
 
@@ -271,7 +291,7 @@ FindingsJournal::AppendOutcome FindingsJournal::append(const FindingRecord& reco
     return AppendOutcome::kError;
   }
   records_.push_back(record);
-  if (++unsynced_ >= std::max<std::size_t>(1, config_.fsync_every)) {
+  if (++unsynced_ >= std::max<std::size_t>(1, config_.fsync_every) && allow_fsync) {
     unsynced_ = 0;
     if (!fsync_file(file_)) {
       error_ = JournalError::kIoError;

@@ -125,10 +125,53 @@ struct RecoveryStats {
   std::uint64_t bytes_truncated = 0;
 };
 
-class FindingsJournal {
+/// Where confirmed findings go. The engine layers (core/campaign,
+/// core/covfuzz, core/vfuzz) write through this interface so a shard can
+/// be pointed either at the durable journal directly (sequential runs) or
+/// at a per-shard staging buffer that core/parallel commits to the journal
+/// in shard order — which is what makes the journal *file* byte-identical
+/// at any --jobs.
+class FindingSink {
+ public:
+  enum class AppendOutcome : std::uint8_t { kAppended, kDuplicate, kError };
+
+  virtual ~FindingSink() = default;
+
+  /// Accepts one record. kDuplicate when the sink's dedup identity already
+  /// holds the record's key; kError when the sink cannot take it.
+  virtual AppendOutcome append(const FindingRecord& record) = 0;
+
+  /// Human-readable reason for the last kError ("none" otherwise) — what
+  /// the engine layers put in their warning logs.
+  virtual const char* error_name() const = 0;
+};
+
+/// In-memory staging sink: records accumulate in append order and every
+/// append succeeds (no dedup — cross-shard dedup belongs to the commit
+/// into the real journal, and deferring it keeps a shard's own journal
+/// metrics independent of what other shards found first). core/parallel
+/// gives each shard one of these and batch-commits via
+/// FindingsJournal::append_batch once the shard settles.
+class BufferedFindingSink : public FindingSink {
+ public:
+  AppendOutcome append(const FindingRecord& record) override {
+    records_.push_back(record);
+    return AppendOutcome::kAppended;
+  }
+  const char* error_name() const override { return "none"; }
+
+  const std::vector<FindingRecord>& records() const { return records_; }
+  /// Drops staged records, keeping capacity for the next shard.
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<FindingRecord> records_;
+};
+
+class FindingsJournal : public FindingSink {
  public:
   FindingsJournal() = default;
-  ~FindingsJournal();
+  ~FindingsJournal() override;
   FindingsJournal(const FindingsJournal&) = delete;
   FindingsJournal& operator=(const FindingsJournal&) = delete;
 
@@ -143,11 +186,22 @@ class FindingsJournal {
   JournalError error() const { return error_; }
   const RecoveryStats& recovery() const { return recovery_; }
 
-  enum class AppendOutcome : std::uint8_t { kAppended, kDuplicate, kError };
+  using AppendOutcome = FindingSink::AppendOutcome;
 
   /// Appends one record (length+crc framed) and registers its dedup key.
   /// kDuplicate when the key is already present — nothing is written.
-  AppendOutcome append(const FindingRecord& record);
+  AppendOutcome append(const FindingRecord& record) override;
+
+  /// Appends a whole shard's staged records under one lock acquisition and
+  /// one trailing fsync (instead of the per-record fsync cadence) — the
+  /// batch is the durability unit core/parallel commits per shard.
+  /// Duplicates are skipped record-by-record exactly as append() would.
+  /// Returns how many records were actually written; on an I/O error the
+  /// batch stops there (written prefix stays valid, see error()).
+  std::size_t append_batch(const std::vector<FindingRecord>& batch);
+
+  /// journal_error_name(error()) — the FindingSink log hook.
+  const char* error_name() const override { return journal_error_name(error()); }
 
   /// Forces buffered appends to disk (fflush + fsync) regardless of the
   /// batch counter. True when the file is durable.
@@ -166,6 +220,7 @@ class FindingsJournal {
 
  private:
   bool recover_locked(const std::string& path);
+  AppendOutcome append_locked(const FindingRecord& record, bool allow_fsync);
 
   mutable std::mutex mutex_;
   std::FILE* file_ = nullptr;
