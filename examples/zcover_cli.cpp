@@ -15,6 +15,19 @@
 //   zcover_cli replay   --log FILE [--device D4]
 //   zcover_cli minimize --log FILE [--device D4]
 //   zcover_cli list
+//   zcover_cli version
+//   zcover_cli serve  [--listen HOST:PORT] [--journal FILE]
+//                     [--max-jobs N] [--jobs N] [--checkpoint-dir DIR]
+//                     [--max-shard-restarts N]
+//   zcover_cli submit --connect HOST:PORT [--device D4] [--fuzzer psm|cov|vfuzz]
+//                     [--seed N] [--trials N] [--duration-ms N]
+//                     [--telemetry] [--name LABEL]
+//   zcover_cli status --connect HOST:PORT [--job ID]
+//   zcover_cli watch  --connect HOST:PORT --job ID
+//   zcover_cli pause  --connect HOST:PORT --job ID
+//   zcover_cli resume --connect HOST:PORT --job ID [--resume-mode replay|checkpoint]
+//   zcover_cli cancel --connect HOST:PORT --job ID
+//   zcover_cli stats|ping|shutdown --connect HOST:PORT
 //
 // `fuzz` runs the three-phase pipeline and writes the Bug_Logs file;
 // `trials` runs N independent trials sharded across a thread pool
@@ -52,12 +65,24 @@
 // disables the feedback loop — the blind ablation arm, with no coverage
 // map installed at all.
 //
+// `serve` runs the campaign service (docs/SERVICE.md): a long-lived
+// daemon accepting job submissions over a newline-delimited JSON line
+// protocol, multiplexing up to `--max-jobs` campaigns concurrently over
+// the shared executor pool, streaming per-job events to `watch`
+// subscribers, and parking every running job behind a checkpoint on
+// shutdown. The remaining subcommands are the thin client side: each
+// sends one protocol line to `--connect HOST:PORT` and prints the
+// daemon's JSON reply (`watch` streams events until the job finishes).
+//
 // SIGINT/SIGTERM request a cooperative stop: every campaign halts at its
 // next test boundary, emits a final checkpoint (when checkpointing is
 // on), the journal is flushed, and the process exits with 128+signal
 // (130 for SIGINT, 143 for SIGTERM).
+#include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -67,16 +92,26 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "store/journal.h"
 
+#include "common/version.h"
 #include "core/campaign.h"
 #include "core/checkpoint.h"
 #include "core/packet_tester.h"
 #include "core/parallel.h"
 #include "core/report.h"
+#include "crypto/aes128.h"
 #include "obs/profile.h"
 #include "obs/recorder.h"
+#include "radio/phy_simd.h"
+#include "svc/client.h"
+#include "svc/jobs.h"
+#include "svc/json.h"
+#include "svc/protocol.h"
+#include "svc/server.h"
 
 namespace {
 
@@ -132,7 +167,8 @@ sim::DeviceModel parse_device(const std::string& name) {
 core::FuzzerFamily parse_fuzzer(const std::string& name) {
   if (name == "psm") return core::FuzzerFamily::kPsm;
   if (name == "cov") return core::FuzzerFamily::kCov;
-  std::fprintf(stderr, "unknown fuzzer '%s' (psm|cov)\n", name.c_str());
+  if (name == "vfuzz") return core::FuzzerFamily::kVfuzz;
+  std::fprintf(stderr, "unknown fuzzer '%s' (psm|cov|vfuzz)\n", name.c_str());
   std::exit(2);
 }
 
@@ -143,6 +179,11 @@ core::CampaignMode parse_mode(const std::string& name) {
   std::fprintf(stderr, "unknown mode '%s' (full|beta|gamma)\n", name.c_str());
   std::exit(2);
 }
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
 
 struct Options {
   std::string command;
@@ -167,6 +208,17 @@ struct Options {
   core::FuzzerFamily fuzzer = core::FuzzerFamily::kPsm;
   std::string corpus_dir;
   bool coverage = true;  // --no-coverage clears it (cov mode only)
+
+  // service mode (serve + client commands)
+  Endpoint listen{"127.0.0.1", 5790};
+  Endpoint connect{"127.0.0.1", 5790};
+  std::string job;                     // --job for status/watch/pause/...
+  std::size_t max_jobs = 2;            // serve: jobs running concurrently
+  std::string checkpoint_dir;          // serve: shutdown checkpoint files
+  std::size_t duration_ms = 0;         // submit: virtual ms per trial
+  std::string job_name;                // submit: human label
+  bool svc_telemetry = false;          // submit: per-shard telemetry
+  svc::ResumeMode resume_mode = svc::ResumeMode::kReplay;
 
   bool telemetry() const { return !trace_path.empty() || !metrics_path.empty(); }
 };
@@ -217,10 +269,35 @@ std::size_t parse_count(const std::string& flag, const std::string& text) {
   return static_cast<std::size_t>(parsed);
 }
 
+/// Strict "host:port" parser for --listen/--connect: the host must be
+/// non-empty, the port a valid integer in [1, 65535] by the same
+/// parse_count rules as every other numeric flag. Anything else is a
+/// usage error (exit 2) — a daemon silently listening on the wrong
+/// endpoint is worse than no daemon.
+Endpoint parse_endpoint(const std::string& flag, const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == text.size()) {
+    std::fprintf(stderr, "%s expects HOST:PORT, got '%s'\n", flag.c_str(), text.c_str());
+    std::exit(2);
+  }
+  Endpoint endpoint;
+  endpoint.host = text.substr(0, colon);
+  const std::size_t port = parse_count(flag + " port", text.substr(colon + 1));
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "%s port must be in [1, 65535], got '%s'\n", flag.c_str(),
+                 text.substr(colon + 1).c_str());
+    std::exit(2);
+  }
+  endpoint.port = static_cast<std::uint16_t>(port);
+  return endpoint;
+}
+
 Options parse_options(int argc, char** argv) {
   Options options;
   if (argc < 2) {
-    std::fprintf(stderr, "usage: zcover_cli fuzz|trials|scan|replay|minimize|list [options]\n");
+    std::fprintf(stderr,
+                 "usage: zcover_cli fuzz|trials|scan|replay|minimize|list|version|serve|"
+                 "submit|status|watch|pause|resume|cancel|stats|ping|shutdown [options]\n");
     std::exit(2);
   }
   options.command = argv[1];
@@ -278,6 +355,32 @@ Options parse_options(int argc, char** argv) {
       options.dedup = false;
     } else if (arg == "--liveness-stride") {
       options.liveness_stride = parse_count(arg, value());
+    } else if (arg == "--listen") {
+      options.listen = parse_endpoint(arg, value());
+    } else if (arg == "--connect") {
+      options.connect = parse_endpoint(arg, value());
+    } else if (arg == "--job") {
+      options.job = value();
+    } else if (arg == "--max-jobs") {
+      options.max_jobs = parse_count(arg, value());
+    } else if (arg == "--checkpoint-dir") {
+      options.checkpoint_dir = value();
+    } else if (arg == "--duration-ms") {
+      options.duration_ms = parse_count(arg, value());
+    } else if (arg == "--name") {
+      options.job_name = value();
+    } else if (arg == "--telemetry") {
+      options.svc_telemetry = true;
+    } else if (arg == "--resume-mode") {
+      const std::string mode = value();
+      if (mode == "replay") {
+        options.resume_mode = svc::ResumeMode::kReplay;
+      } else if (mode == "checkpoint") {
+        options.resume_mode = svc::ResumeMode::kCheckpoint;
+      } else {
+        std::fprintf(stderr, "unknown resume mode '%s' (replay|checkpoint)\n", mode.c_str());
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       std::exit(2);
@@ -625,6 +728,180 @@ int cmd_replay(const Options& options) {
   return reproduced == log.size() ? 0 : 1;
 }
 
+/// Build provenance + active accelerator backends: what exactly is
+/// running, on what, selected how. The SIMD ISA and AES backend lines
+/// reflect runtime dispatch, not compile flags — what this process will
+/// actually execute.
+int cmd_version() {
+  std::printf("zcover %s (%s)\n", build_version(), build_git_describe());
+  std::printf("  build   : %s\n", build_type()[0] != '\0' ? build_type() : "unspecified");
+  std::printf("  simd    : %s\n", radio::simd::isa_name(radio::simd::active_isa()));
+  std::printf("  aes     : %s\n", crypto::aes_backend_name(crypto::active_aes_backend()));
+  return 0;
+}
+
+/// The long-lived campaign service: a JobManager over the shared executor
+/// fronted by the line-protocol server. Runs until SIGINT/SIGTERM or a
+/// client's shutdown op, then drains cooperatively — every running job is
+/// stopped at its next packet boundary and checkpointed, staged findings
+/// are committed, the journal is flushed.
+int cmd_serve(const Options& options) {
+  store::FindingsJournal journal;
+  const bool journaled = maybe_open_journal(options.journal_path, journal);
+
+  obs::MetricsRegistry metrics;  // daemon-level svc.*/executor.* registry
+
+  svc::JobManager::Config manager_config;
+  manager_config.max_parallel_jobs = std::max<std::size_t>(1, options.max_jobs);
+  manager_config.executor_workers = options.jobs;
+  manager_config.journal = journaled ? &journal : nullptr;
+  manager_config.checkpoint_dir = options.checkpoint_dir;
+  manager_config.metrics = &metrics;
+  manager_config.restart.max_restarts = options.max_shard_restarts;
+  svc::JobManager jobs(manager_config);
+
+  std::atomic<bool> shutdown_requested{false};
+  svc::Server::Config server_config;
+  server_config.host = options.listen.host;
+  server_config.port = options.listen.port;
+  server_config.jobs = &jobs;
+  server_config.metrics = &metrics;
+  server_config.on_shutdown_request = [&shutdown_requested] {
+    shutdown_requested.store(true);
+  };
+  svc::Server server(server_config);
+
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "zc serve: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("zc serve: listening on %s:%u (max %zu concurrent jobs%s)\n",
+              options.listen.host.c_str(), static_cast<unsigned>(server.port()),
+              manager_config.max_parallel_jobs, journaled ? ", journal on" : "");
+  std::fflush(stdout);
+
+  while (g_signal == 0 && !shutdown_requested.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("zc serve: draining (%s)...\n",
+              shutdown_requested.load() ? "shutdown op" : "signal");
+
+  const std::vector<svc::RecoveredJob> recovered = jobs.shutdown_and_checkpoint();
+  server.stop();
+  for (const svc::RecoveredJob& job : recovered) {
+    std::printf("  %s parked (%zu checkpoint(s)%s)\n", job.id.c_str(),
+                job.checkpoints.size(),
+                options.checkpoint_dir.empty() ? "" : ", written to disk");
+  }
+  if (journal.is_open()) {
+    journal.flush();
+    std::printf("journal: %zu total records at %s\n", journal.records().size(),
+                journal.path().c_str());
+  }
+  return shutdown_requested.load() ? 0 : exit_code_for_signal();
+}
+
+/// Shared preamble of every client command: connect or die.
+void connect_or_exit(svc::Client& client, const Options& options) {
+  std::string error;
+  if (!client.connect(options.connect.host, options.connect.port, &error)) {
+    std::fprintf(stderr, "cannot reach %s:%u: %s\n", options.connect.host.c_str(),
+                 static_cast<unsigned>(options.connect.port), error.c_str());
+    std::exit(1);
+  }
+}
+
+/// One request, one response line, printed raw (the protocol is JSON —
+/// operators pipe it into jq). Exit 0 iff the daemon said ok.
+int client_roundtrip(const Options& options, const std::string& line) {
+  svc::Client client;
+  connect_or_exit(client, options);
+  std::string response;
+  if (!client.request(line, &response)) {
+    std::fprintf(stderr, "connection lost\n");
+    return 1;
+  }
+  std::printf("%s\n", response.c_str());
+  return response.rfind("{\"ok\":true", 0) == 0 ? 0 : 1;
+}
+
+std::string require_job(const Options& options) {
+  if (options.job.empty()) {
+    std::fprintf(stderr, "%s needs --job JOB-ID\n", options.command.c_str());
+    std::exit(2);
+  }
+  return options.job;
+}
+
+int cmd_submit(const Options& options) {
+  svc::JobSpec spec;
+  spec.device = options.device;
+  spec.fuzzer = core::fuzzer_family_name(options.fuzzer);
+  spec.seed = options.seed;
+  spec.trials = options.trials;
+  spec.duration_ms = options.duration_ms;
+  spec.telemetry = options.svc_telemetry;
+  spec.name = options.job_name;
+  return client_roundtrip(options, svc::encode_submit(spec));
+}
+
+int cmd_watch(const Options& options) {
+  const std::string job = require_job(options);
+  svc::Client client;
+  connect_or_exit(client, options);
+  if (!client.send_line(svc::encode_job_op(svc::Op::kWatch, job))) {
+    std::fprintf(stderr, "connection lost\n");
+    return 1;
+  }
+  // Stream everything — the ack, replayed history, live events — until
+  // the terminal event arrives or the daemon goes away.
+  std::string line;
+  while (client.recv_line(&line)) {
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+    if (line.rfind("{\"ok\":false", 0) == 0) return 1;
+    const std::optional<svc::JsonValue> event = svc::parse_json(line);
+    if (event.has_value()) {
+      const svc::JsonValue* type = event->find("event");
+      if (type != nullptr && type->string_value == "done") return 0;
+    }
+    if (g_signal != 0) return exit_code_for_signal();
+  }
+  std::fprintf(stderr, "connection lost\n");
+  return 1;
+}
+
+int cmd_status(const Options& options) {
+  return client_roundtrip(options, options.job.empty()
+                                       ? svc::encode_simple(svc::Op::kStatus)
+                                       : svc::encode_job_op(svc::Op::kStatus, options.job));
+}
+
+int cmd_pause(const Options& options) {
+  return client_roundtrip(options, svc::encode_job_op(svc::Op::kPause, require_job(options)));
+}
+
+int cmd_resume(const Options& options) {
+  return client_roundtrip(options, svc::encode_resume(require_job(options), options.resume_mode));
+}
+
+int cmd_cancel(const Options& options) {
+  return client_roundtrip(options, svc::encode_job_op(svc::Op::kCancel, require_job(options)));
+}
+
+int cmd_stats(const Options& options) {
+  return client_roundtrip(options, svc::encode_simple(svc::Op::kStats));
+}
+
+int cmd_ping(const Options& options) {
+  return client_roundtrip(options, svc::encode_simple(svc::Op::kPing));
+}
+
+int cmd_shutdown(const Options& options) {
+  return client_roundtrip(options, svc::encode_simple(svc::Op::kShutdown));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -636,6 +913,17 @@ int main(int argc, char** argv) {
   if (options.command == "trials") return cmd_trials(options);
   if (options.command == "replay") return cmd_replay(options);
   if (options.command == "minimize") return cmd_minimize(options);
+  if (options.command == "version") return cmd_version();
+  if (options.command == "serve") return cmd_serve(options);
+  if (options.command == "submit") return cmd_submit(options);
+  if (options.command == "status") return cmd_status(options);
+  if (options.command == "watch") return cmd_watch(options);
+  if (options.command == "pause") return cmd_pause(options);
+  if (options.command == "resume") return cmd_resume(options);
+  if (options.command == "cancel") return cmd_cancel(options);
+  if (options.command == "stats") return cmd_stats(options);
+  if (options.command == "ping") return cmd_ping(options);
+  if (options.command == "shutdown") return cmd_shutdown(options);
   std::fprintf(stderr, "unknown command '%s'\n", options.command.c_str());
   return 2;
 }

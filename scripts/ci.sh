@@ -37,6 +37,11 @@ lane_tier1() {
   # sharded determinism under steal-heavy skew, and the Testbed::reset
   # byte-identity fence the worker-context reuse depends on.
   ctest --test-dir "$root/build-ci" --output-on-failure -j "$jobs" -L executor
+  # Campaign-service suite called out by label: the strict wire codec, the
+  # job control plane's pause/resume byte-identity, cooperative shutdown
+  # recovery, and the loopback TCP end-to-end path (binds 127.0.0.1:0, so
+  # it needs no network privileges).
+  ctest --test-dir "$root/build-ci" --output-on-failure -j "$jobs" -L svc
   # Equivalence suite again with every fast path forced off: the scalar
   # reference kernels and portable AES must stand on their own, because
   # they are what non-x86 hosts (and ZC_DISABLE_* escape hatches) run.
@@ -71,6 +76,11 @@ lane_asan() {
   # The executor suite recycles testbeds/mediums across shards on
   # persistent workers — reuse-after-reset lifetime bugs are ASan's beat.
   ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs" -L executor
+  # The svc suite pushes request bytes through a real socket pair and
+  # parks/restores checkpoint state across manager teardowns — socket
+  # buffers, event-history strings and recovered-job copies are the
+  # lifetimes ASan should sweep here.
+  ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs" -L svc
   # SIMD kernels read through raw pointers; prove both dispatch modes clean.
   ZC_DISABLE_SIMD=1 ZC_DISABLE_AESNI=1 \
     ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs" -L simd
@@ -86,8 +96,10 @@ lane_tsan() {
   # on_complete publication edge, and the ordered journal-commit queue.
   # The simd suite rides along in both dispatch modes: cpu-feature/env
   # caches are cross-thread reads under sharded campaigns, so TSan vets
-  # their init.
-  ctest --test-dir "$root/build-tsan" --output-on-failure -L "parallel|obs|covfuzz|executor"
+  # their init. svc layers acceptor/connection threads, the JobManager
+  # control thread and executor on_complete callbacks over one mutex —
+  # prime TSan territory.
+  ctest --test-dir "$root/build-tsan" --output-on-failure -L "parallel|obs|covfuzz|executor|svc"
   ctest --test-dir "$root/build-tsan" --output-on-failure -L simd
   ZC_DISABLE_SIMD=1 ZC_DISABLE_AESNI=1 \
     ctest --test-dir "$root/build-tsan" --output-on-failure -L simd

@@ -1,0 +1,21 @@
+#include "common/version.h"
+
+// The definitions arrive per-source from src/common/CMakeLists.txt; the
+// fallbacks keep non-CMake builds (IDE single-file checks) compiling.
+#ifndef ZC_VERSION
+#define ZC_VERSION "0.0.0"
+#endif
+#ifndef ZC_GIT_DESCRIBE
+#define ZC_GIT_DESCRIBE "unknown"
+#endif
+#ifndef ZC_BUILD_TYPE
+#define ZC_BUILD_TYPE ""
+#endif
+
+namespace zc {
+
+const char* build_version() { return ZC_VERSION; }
+const char* build_git_describe() { return ZC_GIT_DESCRIBE; }
+const char* build_type() { return ZC_BUILD_TYPE; }
+
+}  // namespace zc

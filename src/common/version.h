@@ -1,0 +1,24 @@
+// Build provenance stamps: which sources, which build type. Values are
+// injected at configure time (root CMakeLists.txt) into version.cpp only,
+// so touching the git head re-compiles one translation unit, not the tree.
+//
+// The stamps exist to correlate artifacts: daemon logs, BENCH_*.json
+// provenance and findings journals all come from *some* build, and
+// `zc version` (examples/zcover_cli.cpp) prints these next to the runtime
+// dispatch state (active SIMD ISA, AES backend) so an operator can tell
+// exactly what produced a number.
+#pragma once
+
+namespace zc {
+
+/// Project version from CMake (`project(... VERSION)`), e.g. "1.0.0".
+const char* build_version();
+
+/// `git describe --always --dirty --tags` captured at configure time;
+/// "unknown" when the source tree was not a git checkout (tarball builds).
+const char* build_git_describe();
+
+/// CMAKE_BUILD_TYPE of this binary (e.g. "Release", "RelWithDebInfo").
+const char* build_type();
+
+}  // namespace zc

@@ -14,6 +14,26 @@ struct JobState {
   std::function<void()> on_complete;
   std::size_t participants = 0;
 
+  /// First eligible pool worker: participant s runs on pool worker
+  /// (origin + s) % pool_span. Rotating origins spread narrow jobs
+  /// (max_workers below the pool size) across the pool — without this,
+  /// every narrow job would pin to worker 0, and two concurrent
+  /// single-worker campaigns would serialize there while the rest of the
+  /// pool idled.
+  std::size_t origin = 0;
+  /// Pool size snapshotted at submit; the origin mapping is computed
+  /// against it so a later ensure_workers growth cannot re-map (and
+  /// double-assign) participant indices mid-job.
+  std::size_t pool_span = 1;
+
+  /// Participant (slot) index of pool worker `worker_index`, or
+  /// `participants` when that worker is not eligible for this job.
+  std::size_t participant_of(std::size_t worker_index) const {
+    if (worker_index >= pool_span) return participants;
+    const std::size_t local = (worker_index + pool_span - origin) % pool_span;
+    return local < participants ? local : participants;
+  }
+
   /// Per-participant deque of unclaimed task indices. The owner pops from
   /// the front, thieves pop from the back; the mutex is per-slot, so a
   /// steal only ever contends with its victim. Coarse tasks (whole shard
@@ -98,14 +118,16 @@ Executor::Handle Executor::submit(Job job) {
   jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
 
   if (job.task_count == 0) {
+    jobs_completed_.fetch_add(1, std::memory_order_relaxed);
     if (state->on_complete) state->on_complete();
     state->done = true;  // no concurrency yet: the state never left this thread
     return Handle(std::move(state));
   }
 
-  // Participants are pool workers [0, P): a worker's pool index doubles as
-  // its slot index, which is what lets core/parallel key per-worker state
-  // (watchdog slots, thread_local contexts) by worker_index.
+  // Participants are a window of the pool starting at a rotating origin
+  // (see JobState::origin); tasks see the job-local slot index, which is
+  // what lets core/parallel key per-job state (watchdog slots) by
+  // worker_index with vectors sized to the job's worker cap.
   std::size_t participants = job.max_workers == 0
                                  ? workers()
                                  : std::min(job.max_workers, workers());
@@ -130,6 +152,11 @@ Executor::Handle Executor::submit(Job job) {
 
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    state->pool_span = threads_.size();
+    if (participants < state->pool_span) {
+      state->origin = next_origin_ % state->pool_span;
+      next_origin_ += participants;  // the next narrow job starts past us
+    }
     active_jobs_.push_back(state);
   }
   cv_.notify_all();
@@ -139,6 +166,7 @@ Executor::Handle Executor::submit(Job job) {
 ExecutorStats Executor::stats() const {
   ExecutorStats out;
   out.jobs_submitted = jobs_submitted_.load(std::memory_order_relaxed);
+  out.jobs_completed = jobs_completed_.load(std::memory_order_relaxed);
   out.tasks_run = tasks_run_.load(std::memory_order_relaxed);
   out.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
   return out;
@@ -154,7 +182,7 @@ Executor& Executor::global(std::size_t min_workers) {
 
 std::shared_ptr<detail::JobState> Executor::find_runnable_locked(std::size_t worker_index) {
   for (const auto& job : active_jobs_) {
-    if (worker_index >= job->participants) continue;
+    if (job->participant_of(worker_index) == job->participants) continue;
     if (job->unclaimed.load(std::memory_order_relaxed) == 0) continue;
     return job;
   }
@@ -177,7 +205,7 @@ void Executor::worker_main(std::size_t worker_index) {
 }
 
 void Executor::run_job_tasks(detail::JobState& job, std::size_t worker_index) {
-  const std::size_t own = worker_index;  // slot index == pool index, see submit()
+  const std::size_t own = job.participant_of(worker_index);  // job-local slot
   for (;;) {
     std::size_t task = 0;
     bool found = false;
@@ -210,12 +238,15 @@ void Executor::run_job_tasks(detail::JobState& job, std::size_t worker_index) {
     tasks_run_.fetch_add(1, std::memory_order_relaxed);
     if (stolen) tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
 
-    job.run(task, worker_index);
+    job.run(task, own);
 
     if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last task retired: completion runs here, on a worker, so a
       // submit-and-move-on caller (the future daemon) needs no extra
-      // thread to collect results.
+      // thread to collect results. The stat ticks before on_complete so
+      // that anything on_complete unblocks already observes the job as
+      // completed.
+      jobs_completed_.fetch_add(1, std::memory_order_relaxed);
       if (job.on_complete) job.on_complete();
       job.mark_done();
       const std::lock_guard<std::mutex> lock(mutex_);

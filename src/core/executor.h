@@ -57,6 +57,11 @@ namespace zc::core {
 /// Lifetime counters for the pool (monotonic; read with stats()).
 struct ExecutorStats {
   std::uint64_t jobs_submitted = 0;
+  /// Jobs whose last task retired (ticks just before on_complete fires,
+  /// so completion callbacks already observe it). jobs_submitted
+  /// minus jobs_completed is the pool's in-flight depth — the number the
+  /// service control plane publishes as executor.* gauges.
+  std::uint64_t jobs_completed = 0;
   std::uint64_t tasks_run = 0;
   /// Tasks a worker claimed from another worker's deque. Zero on a
   /// perfectly balanced workload; > 0 is the work-stealing rebalance
@@ -70,8 +75,10 @@ struct JobState;
 
 class Executor {
  public:
-  /// Task body: dense task index plus the pool-wide index of the worker
-  /// running it (core/parallel keys watchdog slots by it).
+  /// Task body: dense task index plus the job-local worker slot in
+  /// [0, resolved max_workers) running it. The slot, not the pool index:
+  /// narrow jobs are rotated across the pool, and core/parallel keys its
+  /// per-job watchdog slots by this value, sized to the job's worker cap.
   using TaskFn = std::function<void(std::size_t task_index, std::size_t worker_index)>;
 
   /// One unit of submission: `task_count` dense tasks fanned over at most
@@ -133,11 +140,15 @@ class Executor {
   std::condition_variable cv_;
   std::vector<std::thread> threads_;
   std::vector<std::shared_ptr<detail::JobState>> active_jobs_;
+  /// Rotates the starting worker of narrow jobs (max_workers < pool size)
+  /// so concurrent narrow jobs spread across the pool. Guarded by mutex_.
+  std::size_t next_origin_ = 0;
   bool stopping_ = false;
   // Monotonic counters kept atomic so stats() never contends with task
   // retirement (tasks are coarse, but the read side is a test/diagnostic
   // path that should stay wait-free).
   std::atomic<std::uint64_t> jobs_submitted_{0};
+  std::atomic<std::uint64_t> jobs_completed_{0};
   std::atomic<std::uint64_t> tasks_run_{0};
   std::atomic<std::uint64_t> tasks_stolen_{0};
 };

@@ -63,11 +63,30 @@ void merge_into_summary(TrialSummary& summary, const CampaignResult& result) {
   summary.total_packets += result.test_packets;
 }
 
+/// Shapes the device's ground-truth trigger log (entries past
+/// `triggers_before`) into the findings list of `out.result` — the shared
+/// tail of the single-oracle families (kCov, kVfuzz): every entry is a
+/// service-interruption style finding with its bug id pre-matched.
+void append_trigger_findings(sim::Testbed& testbed, std::size_t triggers_before,
+                             std::uint64_t packets_sent, ShardResult& out) {
+  const auto& triggered = testbed.controller().triggered();
+  for (std::size_t i = triggers_before; i < triggered.size(); ++i) {
+    const sim::TriggeredVuln& vuln = triggered[i];
+    BugFinding finding;
+    finding.payload = vuln.payload;
+    if (!vuln.payload.empty()) finding.cmd_class = vuln.payload[0];
+    if (vuln.payload.size() >= 2) finding.command = vuln.payload[1];
+    if (vuln.payload.size() >= 3) finding.first_param = vuln.payload[2];
+    finding.kind = DetectionKind::kServiceInterruption;
+    finding.detected_at = vuln.at;
+    finding.packets_sent = packets_sent;
+    finding.matched_bug_id = vuln.bug_id;
+    out.result.findings.push_back(std::move(finding));
+  }
+}
+
 /// Runs one coverage-mode shard attempt and shapes its outcome into the
-/// CampaignResult form the merge layer already understands: the device's
-/// ground-truth trigger log becomes the findings list (coverage mode has
-/// one oracle — the trigger log — so every entry is a service-interruption
-/// style finding with its bug id pre-matched).
+/// CampaignResult form the merge layer already understands.
 void run_covfuzz_attempt(sim::Testbed& testbed, const ShardSpec& spec,
                          const ParallelConfig& parallel, store::FindingSink* sink,
                          TestMemo* memo_scratch, const std::function<bool()>& abort_hook,
@@ -88,29 +107,43 @@ void run_covfuzz_attempt(sim::Testbed& testbed, const ShardSpec& spec,
   out.result.ended_at = testbed.scheduler().now();
   out.result.test_packets = run.packets_sent;
   out.result.aborted = run.aborted;
-
-  const auto& triggered = testbed.controller().triggered();
-  for (std::size_t i = triggers_before; i < triggered.size(); ++i) {
-    const sim::TriggeredVuln& vuln = triggered[i];
-    BugFinding finding;
-    finding.payload = vuln.payload;
-    if (!vuln.payload.empty()) finding.cmd_class = vuln.payload[0];
-    if (vuln.payload.size() >= 2) finding.command = vuln.payload[1];
-    if (vuln.payload.size() >= 3) finding.first_param = vuln.payload[2];
-    finding.kind = DetectionKind::kServiceInterruption;
-    finding.detected_at = vuln.at;
-    finding.packets_sent = run.packets_sent;
-    finding.matched_bug_id = vuln.bug_id;
-    out.result.findings.push_back(std::move(finding));
-  }
+  append_trigger_findings(testbed, triggers_before, run.packets_sent, out);
 
   out.coverage_collected = cov.coverage_feedback;
   out.coverage = std::move(run.coverage);
   out.corpus = std::move(run.corpus);
 }
 
-ParallelTrialReport merge_report(std::vector<ShardResult> shards, std::size_t jobs,
-                                 double wall_seconds) {
+/// Runs one VFuzz-baseline shard attempt (kVfuzz): duration, seed, dedup
+/// and journal wiring come from the shard's campaign-derived spec, the
+/// rest from the `vfuzz` template. Like kCov, there is no checkpoint — a
+/// restarted attempt replays from scratch under virtual time.
+void run_vfuzz_attempt(sim::Testbed& testbed, const ShardSpec& spec,
+                       const ParallelConfig& parallel, store::FindingSink* sink,
+                       const std::function<bool()>& abort_hook, ShardResult& out) {
+  const std::size_t triggers_before = testbed.controller().triggered().size();
+  VFuzzConfig vf = parallel.vfuzz;
+  vf.duration = spec.campaign.duration;
+  vf.seed = spec.campaign.seed;
+  vf.dedup = spec.campaign.dedup;
+  vf.journal = sink;
+  vf.journal_shard_id = static_cast<std::uint32_t>(spec.shard_id);
+  vf.abort_hook = abort_hook;
+  VFuzz fuzzer(testbed, vf);
+
+  out.result = CampaignResult{};
+  out.result.started_at = testbed.scheduler().now();
+  const VFuzzResult run = fuzzer.run();
+  out.result.ended_at = testbed.scheduler().now();
+  out.result.test_packets = run.packets_sent;
+  out.result.aborted = run.aborted;
+  append_trigger_findings(testbed, triggers_before, run.packets_sent, out);
+}
+
+}  // namespace
+
+ParallelTrialReport merge_shard_results(std::vector<ShardResult> shards, std::size_t jobs,
+                                        double wall_seconds) {
   ParallelTrialReport report;
   report.jobs = jobs;
   report.wall_seconds = wall_seconds;
@@ -133,6 +166,8 @@ ParallelTrialReport merge_report(std::vector<ShardResult> shards, std::size_t jo
   return report;
 }
 
+namespace {
+
 /// Shared state of one submitted batch: lives (via shared_ptr captured by
 /// the executor job) until the last task retires and on_complete fires.
 struct ShardRunState {
@@ -145,7 +180,7 @@ struct ShardRunState {
   std::mutex sink_mutex;
 
   /// Deadline watchdog: one slot per participating worker (indexed by the
-  /// executor's pool-wide worker index), one scanner thread per batch.
+  /// executor's job-local worker slot), one scanner thread per batch.
   bool watchdog_enabled = false;
   std::vector<WatchdogSlot> slots;
   std::atomic<bool> watchdog_stop{false};
@@ -170,7 +205,12 @@ void commit_staged(ShardRunState& state, std::size_t index,
   state.staged_ready[index] = 1;
   while (state.next_commit < state.staged.size() && state.staged_ready[state.next_commit]) {
     std::vector<store::FindingRecord>& batch = state.staged[state.next_commit];
-    if (state.parallel.journal != nullptr && !batch.empty()) {
+    if (state.parallel.commit_sink) {
+      // Redirected commit (the daemon's job-level staging): same strict
+      // shard-list order, same exactly-once discipline, but the caller
+      // decides when the records reach the durable journal.
+      state.parallel.commit_sink(state.next_commit, std::move(batch));
+    } else if (state.parallel.journal != nullptr && !batch.empty()) {
       state.parallel.journal->append_batch(batch);
     }
     batch.clear();
@@ -196,7 +236,19 @@ void run_one_shard(ShardRunState& state, std::size_t index, std::size_t worker_i
   // which is strictly more durable than the old write-through journal, and
   // the commit-time dedup collapses anything a resumed attempt re-found).
   store::BufferedFindingSink sink;
-  store::FindingSink* shard_sink = parallel.journal != nullptr ? &sink : nullptr;
+  store::FindingSink* shard_sink =
+      (parallel.journal != nullptr || parallel.commit_sink) ? &sink : nullptr;
+
+  // A job-level pause/cancel that lands before this shard ever started:
+  // skip the whole attempt loop (no fingerprint, zero packets) and settle
+  // as an aborted-but-healthy shard. Commit order still includes us (an
+  // empty batch), so successors are never blocked.
+  if (parallel.skip_unstarted_on_abort && parallel.abort_hook && parallel.abort_hook()) {
+    out.result.aborted = true;
+    commit_staged(state, index, sink.records());
+    if (parallel.shard_complete) parallel.shard_complete(index, out);
+    return;
+  }
 
   WorkerContext& context = worker_context();
   // Context reuse is off under telemetry: Campaign's end-of-run pool
@@ -275,6 +327,10 @@ void run_one_shard(ShardRunState& state, std::size_t index, std::size_t worker_i
         if (parallel.fuzzer == FuzzerFamily::kCov) {
           run_covfuzz_attempt(*testbed, spec, parallel, shard_sink, &context.memo,
                               config.abort_hook, out);
+          return;
+        }
+        if (parallel.fuzzer == FuzzerFamily::kVfuzz) {
+          run_vfuzz_attempt(*testbed, spec, parallel, shard_sink, config.abort_hook, out);
           return;
         }
         Campaign campaign(*testbed, config);
@@ -388,6 +444,7 @@ void run_one_shard(ShardRunState& state, std::size_t index, std::size_t worker_i
   }
 
   commit_staged(state, index, sink.records());
+  if (parallel.shard_complete) parallel.shard_complete(index, out);
 }
 
 }  // namespace
@@ -396,6 +453,7 @@ const char* fuzzer_family_name(FuzzerFamily family) {
   switch (family) {
     case FuzzerFamily::kPsm: return "psm";
     case FuzzerFamily::kCov: return "cov";
+    case FuzzerFamily::kVfuzz: return "vfuzz";
   }
   return "unknown";
 }
@@ -554,7 +612,7 @@ ParallelTrialReport run_trials_parallel(const sim::TestbedConfig& testbed_config
   std::vector<ShardResult> results = run_shards(shards, parallel);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  return merge_report(std::move(results), jobs, wall);
+  return merge_shard_results(std::move(results), jobs, wall);
 }
 
 ParallelTrialReport run_profiles_parallel(const std::vector<sim::DeviceModel>& devices,
@@ -586,7 +644,7 @@ ParallelTrialReport run_profiles_parallel(const std::vector<sim::DeviceModel>& d
   std::vector<ShardResult> results = run_shards(shards, parallel);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  return merge_report(std::move(results), jobs, wall);
+  return merge_shard_results(std::move(results), jobs, wall);
 }
 
 }  // namespace zc::core

@@ -51,6 +51,7 @@
 #include "core/campaign.h"
 #include "core/covfuzz.h"
 #include "core/executor.h"
+#include "core/vfuzz.h"
 #include "obs/recorder.h"
 #include "sim/coverage.h"
 #include "sim/profile.h"
@@ -60,10 +61,13 @@
 namespace zc::core {
 
 /// Which fuzzer family every shard runs: the paper's position-sensitive
-/// campaign (core/campaign.h) or the coverage-guided mode (core/covfuzz.h).
-enum class FuzzerFamily : std::uint8_t { kPsm = 0, kCov };
+/// campaign (core/campaign.h), the coverage-guided mode (core/covfuzz.h),
+/// or the VFuzz baseline (core/vfuzz.h).
+enum class FuzzerFamily : std::uint8_t { kPsm = 0, kCov, kVfuzz };
 
 const char* fuzzer_family_name(FuzzerFamily family);
+
+struct ShardResult;  // defined below; referenced by the control-plane hooks
 
 /// Thread-pool configuration for a sharded run.
 struct ParallelConfig {
@@ -116,6 +120,11 @@ struct ParallelConfig {
   /// Coverage-mode template (kCov only). duration/seed/journal/
   /// journal_shard_id/abort_hook are overwritten per shard.
   CovFuzzConfig covfuzz;
+  /// VFuzz-baseline template (kVfuzz only); same per-shard overwrite rule
+  /// as `covfuzz`, plus dedup from the shard's campaign spec. VFuzz shards
+  /// do not checkpoint — like kCov, a restarted or resumed attempt replays
+  /// from scratch, cheap and exact under virtual time.
+  VFuzzConfig vfuzz;
   /// PSM shards only: when true, each shard's campaign runs under its own
   /// sim::cov::CoverageMap (installed thread-locally like the telemetry
   /// recorder) and detaches it into ShardResult::coverage. Off by default —
@@ -123,6 +132,33 @@ struct ParallelConfig {
   /// kCov shards always collect coverage unless covfuzz.coverage_feedback
   /// is off (`--no-coverage`).
   bool collect_coverage = false;
+
+  // --- job-level control hooks (the service control plane's surface) ----
+
+  /// When set, the ordered per-shard journal commits are handed here
+  /// instead of being appended to `journal`: called under the commit lock,
+  /// strictly in shard-list order, exactly once per shard (possibly with
+  /// an empty batch). The daemon uses this to hold a job's findings until
+  /// the job finalizes — so a paused-and-replayed job can replace a
+  /// shard's batch wholesale and the eventual journal file stays
+  /// byte-identical to an uninterrupted run. `journal` is ignored while
+  /// this is set; setting either one still enables finding staging.
+  std::function<void(std::size_t shard_list_index, std::vector<store::FindingRecord> batch)>
+      commit_sink;
+  /// Fires on the worker thread right after a shard's findings commit
+  /// (after `commit_sink`/journal append), with the shard's settled
+  /// result. Called concurrently across shards — must be thread-safe. The
+  /// daemon streams per-shard progress events from here; completion order
+  /// is scheduling-dependent and therefore outside the determinism
+  /// contract (the merged report is not).
+  std::function<void(std::size_t shard_list_index, const ShardResult& result)> shard_complete;
+  /// When true, a shard whose abort hook is already tripped before its
+  /// first attempt starts is skipped outright (zero packets, result marked
+  /// aborted) instead of paying a fingerprint phase just to notice the
+  /// abort. Off by default: the one-shot CLI keeps the historical
+  /// shape where every shard at least fingerprints; the daemon turns it on
+  /// so pausing a wide job stops paying per-shard setup immediately.
+  bool skip_unstarted_on_abort = false;
 };
 
 /// How a shard's supervision ended.
@@ -212,6 +248,15 @@ std::size_t default_jobs();
 /// run replays it exactly.
 std::uint64_t shard_testbed_seed(std::uint64_t base_seed, std::size_t shard_id);
 std::uint64_t shard_campaign_seed(std::uint64_t base_seed, std::size_t shard_id);
+
+/// Folds shard results (already in ascending shard order) into the merged
+/// report exactly the way run_trials_parallel does — exposed so a caller
+/// holding results from run_shards_async (the daemon's job finalizer) can
+/// produce a report byte-identical to the blocking wrappers'. Quarantined
+/// shards are excluded from the summary, `jobs`/`wall_seconds` are
+/// reporting metadata only.
+ParallelTrialReport merge_shard_results(std::vector<ShardResult> shards, std::size_t jobs,
+                                        double wall_seconds);
 
 /// Asynchronous submission path (the shape the ROADMAP daemon needs): the
 /// shard batch is handed to the persistent executor and the call returns

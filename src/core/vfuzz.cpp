@@ -106,6 +106,10 @@ VFuzzResult VFuzz::run() {
   };
 
   while (testbed_.scheduler().now() < deadline) {
+    if (config_.abort_hook && config_.abort_hook()) {
+      result.aborted = true;
+      break;
+    }
     Bytes frame = generate_frame();
     if (config_.dedup) {
       // A duplicate frame would buy a 6-second response wait for a verdict

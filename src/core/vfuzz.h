@@ -13,6 +13,7 @@
 // trigger log after the campaign.
 #pragma once
 
+#include <functional>
 #include <set>
 
 #include "core/dongle.h"
@@ -35,6 +36,11 @@ struct VFuzzConfig {
   /// root causes are appended as they first fire. Not owned.
   store::FindingSink* journal = nullptr;
   std::uint32_t journal_shard_id = 0;
+  /// Polled between packets (same contract as CampaignConfig::abort_hook);
+  /// returning true stops the run at its next packet boundary — what lets
+  /// core/parallel and the service control plane pause/cancel a vfuzz
+  /// shard cooperatively.
+  std::function<bool()> abort_hook;
 };
 
 struct VFuzzResult {
@@ -46,6 +52,8 @@ struct VFuzzResult {
   /// Coverage the tool itself reports: full byte ranges.
   std::size_t cmdcl_space = 256;
   std::size_t cmd_space = 256;
+  /// True when the abort hook stopped the run before its deadline.
+  bool aborted = false;
 };
 
 class VFuzz {

@@ -43,6 +43,16 @@ constexpr MetricInfo kInfo[kMetricCount] = {
     {"parallel.deadline_cancels", MetricKind::kCounter, "cancels"},
     {"journal.appends", MetricKind::kCounter, "records"},
     {"journal.dedup_skips", MetricKind::kCounter, "records"},
+    {"svc.jobs_submitted", MetricKind::kCounter, "jobs"},
+    {"svc.jobs_completed", MetricKind::kCounter, "jobs"},
+    {"svc.jobs_failed", MetricKind::kCounter, "jobs"},
+    {"svc.jobs_cancelled", MetricKind::kCounter, "jobs"},
+    {"svc.job_pauses", MetricKind::kCounter, "pauses"},
+    {"svc.job_resumes", MetricKind::kCounter, "resumes"},
+    {"svc.connections", MetricKind::kCounter, "connections"},
+    {"svc.requests", MetricKind::kCounter, "requests"},
+    {"svc.protocol_errors", MetricKind::kCounter, "requests"},
+    {"svc.events_streamed", MetricKind::kCounter, "events"},
     {"campaign.queue_length", MetricKind::kGauge, "classes"},
     {"campaign.blacklist_size", MetricKind::kGauge, "signatures"},
     {"pool.buffers", MetricKind::kGauge, "buffers"},
@@ -50,6 +60,13 @@ constexpr MetricInfo kInfo[kMetricCount] = {
     {"pool.reuses", MetricKind::kGauge, "buffers"},
     {"covfuzz.corpus_size", MetricKind::kGauge, "payloads"},
     {"covfuzz.edges_hit", MetricKind::kGauge, "edges"},
+    {"svc.jobs_running", MetricKind::kGauge, "jobs"},
+    {"svc.jobs_queued", MetricKind::kGauge, "jobs"},
+    {"executor.workers", MetricKind::kGauge, "threads"},
+    {"executor.jobs_submitted", MetricKind::kGauge, "jobs"},
+    {"executor.jobs_completed", MetricKind::kGauge, "jobs"},
+    {"executor.tasks_run", MetricKind::kGauge, "tasks"},
+    {"executor.tasks_stolen", MetricKind::kGauge, "tasks"},
     {"campaign.injection_ack_us", MetricKind::kHistogram, "us"},
     {"campaign.liveness_probe_us", MetricKind::kHistogram, "us"},
     {"campaign.recovery_downtime_us", MetricKind::kHistogram, "us"},

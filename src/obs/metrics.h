@@ -81,6 +81,19 @@ enum class MetricId : std::uint8_t {
   // findings journal (store/journal.h via core wiring)
   kJournalAppends,
   kJournalDedupSkips,
+  // campaign service control plane (src/svc): daemon-level registry only —
+  // these tally scheduling/wire activity and must never enter per-shard
+  // telemetry, where they would break byte-identity across --jobs values
+  kSvcJobsSubmitted,
+  kSvcJobsCompleted,
+  kSvcJobsFailed,
+  kSvcJobsCancelled,
+  kSvcJobPauses,
+  kSvcJobResumes,
+  kSvcConnections,
+  kSvcRequests,
+  kSvcProtocolErrors,
+  kSvcEventsStreamed,
   // gauges (pool totals are end-of-run levels published by campaign
   // teardown — the pool itself keeps plain counters to stay hook-free on
   // the per-packet path)
@@ -92,6 +105,15 @@ enum class MetricId : std::uint8_t {
   // coverage-mode end-of-run levels (core/covfuzz.cpp)
   kCovfuzzCorpusSize,
   kCovfuzzEdgesHit,
+  // service/executor levels (daemon-level registry only, like svc.*):
+  // snapshots of Executor::global().stats() plus the job table's depth
+  kSvcJobsRunning,
+  kSvcJobsQueued,
+  kExecutorWorkers,
+  kExecutorJobsSubmitted,
+  kExecutorJobsCompleted,
+  kExecutorTasksRun,
+  kExecutorTasksStolen,
   // histograms (virtual-time microseconds)
   kCampaignInjectionAckUs,
   kCampaignLivenessProbeUs,

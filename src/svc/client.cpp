@@ -1,0 +1,80 @@
+#include "svc/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace zc::svc {
+
+Client::~Client() { close(); }
+
+bool Client::connect(const std::string& host, std::uint16_t port, std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "invalid address \"" + host + "\"";
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) *error = std::string("connect: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::send_line(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::string framed = line;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::recv_line(std::string* line) {
+  if (fd_ < 0) return false;
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      *line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool Client::request(const std::string& line, std::string* response) {
+  return send_line(line) && recv_line(response);
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace zc::svc

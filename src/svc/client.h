@@ -1,0 +1,40 @@
+// Client: the blocking line-protocol counterpart of svc::Server, used by
+// the CLI's submit/status/watch/pause/resume/cancel commands and by the
+// loopback tests. One connection, one request/response at a time, plus a
+// recv_line loop for watch streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace zc::svc {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connect(const std::string& host, std::uint16_t port, std::string* error);
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request line ('\n' appended here).
+  bool send_line(const std::string& line);
+
+  /// Blocks for the next line (response or streamed event). False on EOF
+  /// or error — the server went away.
+  bool recv_line(std::string* line);
+
+  /// One round trip: send, then receive exactly one line.
+  bool request(const std::string& line, std::string* response);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace zc::svc

@@ -1,0 +1,645 @@
+#include "svc/jobs.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "common/clock.h"
+#include "common/log.h"
+#include "core/executor.h"
+#include "sim/profile.h"
+#include "svc/json.h"
+
+namespace zc::svc {
+
+namespace {
+
+core::FuzzerFamily family_of(const JobSpec& spec) {
+  if (spec.fuzzer == "cov") return core::FuzzerFamily::kCov;
+  if (spec.fuzzer == "vfuzz") return core::FuzzerFamily::kVfuzz;
+  return core::FuzzerFamily::kPsm;
+}
+
+/// The job's shard list, derived exactly like run_trials_parallel derives
+/// it from (testbed, campaign, trials) — same seed functions, same order —
+/// so the daemon's merged results can be byte-compared against the
+/// one-shot path.
+std::vector<core::ShardSpec> build_shards(const JobSpec& spec) {
+  sim::TestbedConfig testbed;
+  testbed.controller_model = spec.device;
+  testbed.seed = spec.seed;
+
+  core::CampaignConfig campaign;
+  campaign.seed = spec.seed;
+  campaign.loop_queue = false;
+  if (spec.duration_ms != 0) {
+    campaign.duration = static_cast<SimTime>(spec.duration_ms) * kMillisecond;
+  }
+
+  std::vector<core::ShardSpec> shards;
+  shards.reserve(spec.trials);
+  for (std::size_t trial = 0; trial < spec.trials; ++trial) {
+    core::ShardSpec shard;
+    shard.shard_id = trial;
+    shard.testbed = testbed;
+    shard.testbed.seed = core::shard_testbed_seed(testbed.seed, trial);
+    shard.campaign = campaign;
+    shard.campaign.seed = core::shard_campaign_seed(campaign.seed, trial);
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+void append_u64_field(std::string& out, const char* key, std::uint64_t value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", key,
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+}  // namespace
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kPaused: return "paused";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+bool job_state_terminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+/// Everything the manager tracks about one job. Guarded by the manager
+/// mutex except `stop`, which worker threads poll lock-free through the
+/// run's abort hook.
+struct JobManager::Job {
+  std::string id;
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+
+  std::vector<core::ShardSpec> shards;           // full list, shard_id == index
+  std::vector<core::ShardResult> results;        // slot per shard
+  std::vector<char> settled;                     // results[i] is this run's outcome
+  std::vector<std::vector<store::FindingRecord>> staged;  // ordered findings
+  std::map<std::size_t, core::CampaignCheckpoint> checkpoints;  // abort-final, by shard id
+
+  /// The active run's cooperative stop flag; replaced on every launch so a
+  /// late poll from a draining run can never cancel the next one.
+  std::shared_ptr<std::atomic<bool>> stop = std::make_shared<std::atomic<bool>>(false);
+  std::vector<std::size_t> run_map;              // subset index -> shard index
+  bool run_active = false;
+  bool pause_requested = false;
+  bool cancel_requested = false;
+  ResumeMode next_resume = ResumeMode::kReplay;
+
+  std::optional<core::ParallelTrialReport> final_report;
+  std::string error;
+
+  std::vector<EventSink> sinks;
+  std::vector<std::string> event_log;
+};
+
+JobManager::JobManager(Config config) : config_(std::move(config)) {
+  const std::size_t workers = config_.executor_workers == 0 ? core::default_jobs()
+                                                            : config_.executor_workers;
+  core::Executor::global(workers);  // size the shared pool once, up front
+  control_ = std::thread([this] { control_main(); });
+}
+
+JobManager::~JobManager() {
+  shutdown_and_checkpoint();
+  if (control_.joinable()) control_.join();
+}
+
+std::string JobManager::submit(const JobSpec& spec, std::string* error) {
+  return enqueue(spec, nullptr, error);
+}
+
+std::string JobManager::submit_recovered(const RecoveredJob& recovered, std::string* error) {
+  return enqueue(recovered.spec, &recovered, error);
+}
+
+std::string JobManager::enqueue(const JobSpec& spec, const RecoveredJob* recovered,
+                                std::string* error) {
+  if (spec.trials == 0) {
+    if (error != nullptr) *error = "trials must be >= 1";
+    return "";
+  }
+  if (!valid_fuzzer_name(spec.fuzzer)) {
+    if (error != nullptr) *error = "unknown fuzzer \"" + spec.fuzzer + "\"";
+    return "";
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) {
+    if (error != nullptr) *error = "daemon is shutting down";
+    return "";
+  }
+  auto job = std::make_unique<Job>();
+  job->id = "job-" + std::to_string(next_id_++);
+  job->spec = spec;
+  job->shards = build_shards(spec);
+  job->results.resize(job->shards.size());
+  job->settled.assign(job->shards.size(), 0);
+  job->staged.resize(job->shards.size());
+  if (recovered != nullptr) {
+    // Attached before the control thread can see the job: launch_locked
+    // reads next_resume and the checkpoint map, so writing them after the
+    // enqueue would race an immediate launch into a from-scratch replay.
+    job->checkpoints = recovered->checkpoints;
+    job->next_resume = ResumeMode::kCheckpoint;
+  }
+  Job* raw = job.get();
+  jobs_.push_back(std::move(job));
+  pending_.push_back(raw);
+  count_locked(obs::MetricId::kSvcJobsSubmitted);
+  emit_state_locked(*raw);
+  control_cv_.notify_all();
+  return raw->id;
+}
+
+bool JobManager::pause(const std::string& id, std::string* error) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Job* job = find_locked(id);
+  if (job == nullptr) {
+    if (error != nullptr) *error = "unknown job \"" + id + "\"";
+    return false;
+  }
+  if (job->state != JobState::kRunning) {
+    if (error != nullptr) {
+      *error = "job is " + std::string(job_state_name(job->state)) + ", not running";
+    }
+    return false;
+  }
+  job->pause_requested = true;
+  job->stop->store(true, std::memory_order_relaxed);
+  count_locked(obs::MetricId::kSvcJobPauses);
+  return true;
+}
+
+bool JobManager::resume(const std::string& id, ResumeMode mode, std::string* error) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Job* job = find_locked(id);
+  if (job == nullptr) {
+    if (error != nullptr) *error = "unknown job \"" + id + "\"";
+    return false;
+  }
+  if (job->state != JobState::kPaused) {
+    if (error != nullptr) {
+      *error = "job is " + std::string(job_state_name(job->state)) + ", not paused";
+    }
+    return false;
+  }
+  if (stopping_) {
+    if (error != nullptr) *error = "daemon is shutting down";
+    return false;
+  }
+  job->next_resume = mode;
+  job->pause_requested = false;
+  set_state_locked(*job, JobState::kQueued);
+  pending_.push_back(job);
+  count_locked(obs::MetricId::kSvcJobResumes);
+  control_cv_.notify_all();
+  return true;
+}
+
+bool JobManager::cancel(const std::string& id, std::string* error) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Job* job = find_locked(id);
+  if (job == nullptr) {
+    if (error != nullptr) *error = "unknown job \"" + id + "\"";
+    return false;
+  }
+  if (job_state_terminal(job->state)) {
+    if (error != nullptr) {
+      *error = "job already " + std::string(job_state_name(job->state));
+    }
+    return false;
+  }
+  job->cancel_requested = true;
+  job->stop->store(true, std::memory_order_relaxed);
+  if (job->state == JobState::kQueued || job->state == JobState::kPaused) {
+    // Not running: settle immediately and drop any queue entry.
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), job), pending_.end());
+    set_state_locked(*job, JobState::kCancelled);
+    count_locked(obs::MetricId::kSvcJobsCancelled);
+    cv_.notify_all();
+  }
+  return true;
+}
+
+std::optional<JobStatus> JobManager::status(const std::string& id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Job* job = find_locked(id);
+  if (job == nullptr) return std::nullopt;
+  return status_locked(*job);
+}
+
+std::vector<JobStatus> JobManager::list() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobStatus> out;
+  out.reserve(jobs_.size());
+  for (const auto& job : jobs_) out.push_back(status_locked(*job));
+  return out;
+}
+
+bool JobManager::subscribe(const std::string& id, EventSink sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Job* job = find_locked(id);
+  if (job == nullptr) return false;
+  // Full history first: a late watcher sees the same stream an early one
+  // did, which is what makes `zc watch` usable after submit returns.
+  for (const std::string& line : job->event_log) {
+    count_locked(obs::MetricId::kSvcEventsStreamed);
+    if (!sink(line)) return true;  // sink died during replay; drop silently
+  }
+  job->sinks.push_back(std::move(sink));
+  return true;
+}
+
+bool JobManager::wait(const std::string& id, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const Job* job = find_locked(id);
+  if (job == nullptr) return false;
+  return cv_.wait_for(lock, timeout, [job] { return job_state_terminal(job->state); });
+}
+
+bool JobManager::wait_state(const std::string& id, JobState target,
+                            std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const Job* job = find_locked(id);
+  if (job == nullptr) return false;
+  return cv_.wait_for(lock, timeout, [job, target] { return job->state == target; });
+}
+
+std::optional<core::ParallelTrialReport> JobManager::report(const std::string& id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Job* job = find_locked(id);
+  if (job == nullptr) return std::nullopt;
+  return job->final_report;
+}
+
+std::vector<RecoveredJob> JobManager::shutdown_and_checkpoint() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) return {};
+  stopping_ = true;
+  // Ask every active run to stop at its next packet boundary; queued jobs
+  // simply never start (start_next_locked checks stopping_).
+  for (const auto& job : jobs_) {
+    if (job->run_active) job->stop->store(true, std::memory_order_relaxed);
+  }
+  control_cv_.notify_all();
+  cv_.wait(lock, [this] { return active_runs_ == 0 && batch_done_.empty(); });
+
+  std::vector<RecoveredJob> recovered;
+  for (const auto& job : jobs_) {
+    if (job_state_terminal(job->state)) continue;
+    // Durability first: whatever this job staged goes to the journal now,
+    // in shard order. A later resubmission re-finds the same records and
+    // the journal's dedup absorbs the overlap — superset, no duplicates.
+    if (config_.journal != nullptr) {
+      for (const auto& batch : job->staged) {
+        if (!batch.empty()) config_.journal->append_batch(batch);
+      }
+    }
+    if (!config_.checkpoint_dir.empty()) {
+      for (const auto& [shard_id, checkpoint] : job->checkpoints) {
+        const std::string path = config_.checkpoint_dir + "/" + job->id + ".shard" +
+                                 std::to_string(shard_id);
+        if (!core::write_checkpoint_file(path, checkpoint)) {
+          ZC_WARN("svc: cannot write %s", path.c_str());
+        }
+      }
+    }
+    RecoveredJob entry;
+    entry.id = job->id;
+    entry.spec = job->spec;
+    entry.checkpoints = job->checkpoints;
+    recovered.push_back(std::move(entry));
+  }
+  if (config_.journal != nullptr && config_.journal->is_open()) config_.journal->flush();
+  return recovered;
+}
+
+std::string JobManager::stats_json() {
+  const core::Executor& executor = core::Executor::global();
+  const core::ExecutorStats stats = executor.stats();
+  const std::size_t workers = executor.workers();
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t by_state[6] = {0, 0, 0, 0, 0, 0};
+  for (const auto& job : jobs_) ++by_state[static_cast<std::size_t>(job->state)];
+
+  if (config_.metrics != nullptr) {
+    config_.metrics->set(obs::MetricId::kSvcJobsRunning,
+                         by_state[static_cast<std::size_t>(JobState::kRunning)]);
+    config_.metrics->set(obs::MetricId::kSvcJobsQueued,
+                         by_state[static_cast<std::size_t>(JobState::kQueued)]);
+    config_.metrics->set(obs::MetricId::kExecutorWorkers, workers);
+    config_.metrics->set(obs::MetricId::kExecutorJobsSubmitted, stats.jobs_submitted);
+    config_.metrics->set(obs::MetricId::kExecutorJobsCompleted, stats.jobs_completed);
+    config_.metrics->set(obs::MetricId::kExecutorTasksRun, stats.tasks_run);
+    config_.metrics->set(obs::MetricId::kExecutorTasksStolen, stats.tasks_stolen);
+  }
+
+  std::string out = "\"jobs\":{";
+  bool first = true;
+  for (std::size_t s = 0; s < 6; ++s) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += job_state_name(static_cast<JobState>(s));
+    out += "\":";
+    out += std::to_string(by_state[s]);
+  }
+  out += "},\"executor\":{\"workers\":";
+  out += std::to_string(workers);
+  append_u64_field(out, "jobs_submitted", stats.jobs_submitted);
+  append_u64_field(out, "jobs_completed", stats.jobs_completed);
+  append_u64_field(out, "tasks_run", stats.tasks_run);
+  append_u64_field(out, "tasks_stolen", stats.tasks_stolen);
+  out += '}';
+  return ok_response(out);
+}
+
+std::size_t JobManager::peak_active_jobs() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return peak_active_;
+}
+
+bool JobManager::shutting_down() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stopping_;
+}
+
+// --- control thread ----------------------------------------------------
+
+void JobManager::control_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    control_cv_.wait(lock, [this] {
+      return !batch_done_.empty() ||
+             (!stopping_ && !pending_.empty() && active_runs_ < config_.max_parallel_jobs) ||
+             (stopping_ && active_runs_ == 0);
+    });
+
+    while (!batch_done_.empty()) {
+      Job* job = batch_done_.back();
+      batch_done_.pop_back();
+      job->run_active = false;
+      --active_runs_;
+      if (job->cancel_requested) {
+        set_state_locked(*job, JobState::kCancelled);
+        count_locked(obs::MetricId::kSvcJobsCancelled);
+      } else if (!unfinished_indices_locked(*job).empty()) {
+        // Aborted mid-flight: a pause or a daemon shutdown. Either way the
+        // job parks with its settled shards, staged findings and any
+        // abort-final checkpoints intact.
+        job->pause_requested = false;
+        set_state_locked(*job, JobState::kPaused);
+      } else {
+        job->pause_requested = false;  // pause landed after the last shard
+        finalize_locked(*job);
+      }
+      cv_.notify_all();
+    }
+
+    if (stopping_) {
+      if (active_runs_ == 0 && batch_done_.empty()) return;
+      continue;
+    }
+    start_next_locked();
+  }
+}
+
+void JobManager::start_next_locked() {
+  while (!stopping_ && !pending_.empty() && active_runs_ < config_.max_parallel_jobs) {
+    Job* job = pending_.front();
+    pending_.pop_front();
+    if (job->state != JobState::kQueued) continue;  // cancelled while queued
+    launch_locked(*job);
+  }
+}
+
+void JobManager::launch_locked(Job& job) {
+  std::vector<std::size_t> subset = unfinished_indices_locked(job);
+  if (subset.empty()) {
+    // Resumed with nothing left to run (pause landed after the last
+    // shard settled): finalize straight from the parked results.
+    finalize_locked(job);
+    cv_.notify_all();
+    return;
+  }
+
+  std::vector<core::ShardSpec> specs;
+  specs.reserve(subset.size());
+  for (const std::size_t index : subset) {
+    // Replaced wholesale: a replayed shard's results, telemetry and staged
+    // findings come entirely from the new attempt.
+    job.settled[index] = 0;
+    job.staged[index].clear();
+    job.results[index] = core::ShardResult{};
+    core::ShardSpec spec = job.shards[index];
+    if (job.next_resume == ResumeMode::kCheckpoint) {
+      const auto it = job.checkpoints.find(spec.shard_id);
+      if (it != job.checkpoints.end()) spec.campaign.resume_from = it->second;
+    }
+    specs.push_back(std::move(spec));
+  }
+  job.run_map = std::move(subset);
+  job.stop = std::make_shared<std::atomic<bool>>(false);
+
+  core::ParallelConfig parallel;
+  parallel.jobs = config_.workers_per_job;
+  parallel.collect_telemetry = job.spec.telemetry;
+  parallel.restart = config_.restart;
+  parallel.fuzzer = family_of(job.spec);
+  parallel.shard_fault_hook = config_.shard_gate;
+  // Pause machinery: no periodic checkpoints (they would perturb the
+  // metrics stream) — only the abort-final snapshot a pausing PSM shard
+  // emits on its way out.
+  parallel.checkpoint_interval = 0;
+  parallel.skip_unstarted_on_abort = true;
+  const std::shared_ptr<std::atomic<bool>> stop = job.stop;
+  parallel.abort_hook = [stop] { return stop->load(std::memory_order_relaxed); };
+
+  Job* raw = &job;
+  parallel.checkpoint_sink = [this, raw](std::size_t shard_id,
+                                         const core::CampaignCheckpoint& checkpoint) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    raw->checkpoints[shard_id] = checkpoint;
+  };
+  const std::vector<std::size_t> run_map = job.run_map;  // immutable copy for hooks
+  parallel.commit_sink = [this, raw, run_map](std::size_t subset_index,
+                                              std::vector<store::FindingRecord> batch) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    raw->staged[run_map[subset_index]] = std::move(batch);
+  };
+  parallel.shard_complete = [this, raw, run_map](std::size_t subset_index,
+                                                 const core::ShardResult& result) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t index = run_map[subset_index];
+    raw->results[index] = result;
+    raw->settled[index] = 1;
+    std::string line = "{\"event\":\"shard\",\"job\":";
+    line += json_quote(raw->id);
+    append_u64_field(line, "shard", result.shard_id);
+    append_u64_field(line, "packets", result.result.test_packets);
+    append_u64_field(line, "findings", raw->staged[index].size());
+    line += ",\"health\":";
+    line += json_quote(core::shard_health_name(result.health));
+    line += ",\"aborted\":";
+    line += result.result.aborted ? "true" : "false";
+    line += '}';
+    emit_locked(*raw, line);
+    cv_.notify_all();
+  };
+
+  set_state_locked(job, JobState::kRunning);
+  job.run_active = true;
+  ++active_runs_;
+  peak_active_ = std::max(peak_active_, active_runs_);
+
+  // The completion callback runs on the executor worker that retires the
+  // last shard; submitting the *next* batch from there would violate the
+  // executor's threading rule, so it only posts a message back to the
+  // control thread.
+  core::run_shards_async(std::move(specs), std::move(parallel),
+                         [this, raw](std::vector<core::ShardResult>) {
+                           const std::lock_guard<std::mutex> lock(mutex_);
+                           batch_done_.push_back(raw);
+                           control_cv_.notify_all();
+                         });
+}
+
+void JobManager::finalize_locked(Job& job) {
+  // Merge exactly as run_trials_parallel would have: full shard vector in
+  // shard order, same jobs arithmetic; wall time is reporting metadata.
+  const std::size_t limit =
+      std::min(std::max<std::size_t>(1, job.shards.size()),
+               config_.workers_per_job == 0 ? core::default_jobs() : config_.workers_per_job);
+  std::vector<core::ShardResult> copy = job.results;
+  job.final_report = core::merge_shard_results(std::move(copy), limit, 0.0);
+
+  // Findings reach the shared journal here and only here, strictly in
+  // shard order — the same append_batch sequence the one-shot path makes,
+  // so the journal file is byte-identical for an identical job.
+  if (config_.journal != nullptr) {
+    for (const auto& batch : job.staged) {
+      if (!batch.empty()) config_.journal->append_batch(batch);
+    }
+    if (config_.journal->is_open()) config_.journal->flush();
+  }
+
+  const bool degraded = !job.final_report->degraded_shards.empty();
+  if (degraded) {
+    job.error = "quarantined shards:";
+    for (const std::size_t id : job.final_report->degraded_shards) {
+      job.error += " " + std::to_string(id);
+    }
+  }
+  set_state_locked(job, degraded ? JobState::kFailed : JobState::kDone);
+  count_locked(degraded ? obs::MetricId::kSvcJobsFailed : obs::MetricId::kSvcJobsCompleted);
+}
+
+void JobManager::emit_locked(Job& job, const std::string& line) {
+  job.event_log.push_back(line);
+  auto it = job.sinks.begin();
+  while (it != job.sinks.end()) {
+    count_locked(obs::MetricId::kSvcEventsStreamed);
+    if ((*it)(line)) {
+      ++it;
+    } else {
+      it = job.sinks.erase(it);
+    }
+  }
+}
+
+void JobManager::emit_state_locked(Job& job) {
+  std::string line = "{\"event\":";
+  line += job_state_terminal(job.state) ? json_quote("done") : json_quote("state");
+  line += ",\"job\":";
+  line += json_quote(job.id);
+  line += ",\"state\":";
+  line += json_quote(job_state_name(job.state));
+  if (!job.spec.name.empty()) {
+    line += ",\"name\":";
+    line += json_quote(job.spec.name);
+  }
+  if (job_state_terminal(job.state)) {
+    const JobStatus view = status_locked(job);
+    append_u64_field(line, "trials", view.shards_total);
+    append_u64_field(line, "packets", view.packets);
+    append_u64_field(line, "findings", view.findings);
+    append_u64_field(line, "bugs", view.bugs);
+    append_u64_field(line, "degraded", view.degraded);
+    if (!job.error.empty()) {
+      line += ",\"error\":";
+      line += json_quote(job.error);
+    }
+  }
+  line += '}';
+  emit_locked(job, line);
+}
+
+void JobManager::set_state_locked(Job& job, JobState next) {
+  job.state = next;
+  emit_state_locked(job);
+}
+
+void JobManager::count_locked(obs::MetricId id, std::uint64_t delta) {
+  if (config_.metrics != nullptr) config_.metrics->add(id, delta);
+}
+
+std::vector<std::size_t> JobManager::unfinished_indices_locked(const Job& job) const {
+  // Finished = settled this run, ran to its own end (not aborted by a
+  // pause/shutdown) and not quarantined. Re-running a legitimately
+  // quarantined shard after a pause is deterministic — the same fault
+  // pattern exhausts the same budget — so the rule stays simple.
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < job.shards.size(); ++i) {
+    const bool finished = job.settled[i] && !job.results[i].result.aborted &&
+                          job.results[i].health != core::ShardHealth::kQuarantined;
+    if (!finished) out.push_back(i);
+  }
+  return out;
+}
+
+JobStatus JobManager::status_locked(const Job& job) const {
+  JobStatus out;
+  out.id = job.id;
+  out.spec = job.spec;
+  out.state = job.state;
+  out.shards_total = job.shards.size();
+  for (std::size_t i = 0; i < job.shards.size(); ++i) {
+    // A shard interrupted by pause/shutdown settles with aborted=true, but
+    // its result is provisional (replaced on resume) — only shards that ran
+    // to their own end count as done.
+    if (job.settled[i] && !job.results[i].result.aborted) {
+      ++out.shards_done;
+      out.packets += job.results[i].result.test_packets;
+    }
+    out.findings += job.staged[i].size();
+  }
+  if (job.final_report.has_value()) {
+    out.bugs = job.final_report->summary.union_bug_ids.size();
+    out.degraded = job.final_report->degraded_shards.size();
+  }
+  out.error = job.error;
+  return out;
+}
+
+JobManager::Job* JobManager::find_locked(const std::string& id) const {
+  for (const auto& job : jobs_) {
+    if (job->id == id) return job.get();
+  }
+  return nullptr;
+}
+
+}  // namespace zc::svc

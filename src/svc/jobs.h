@@ -1,0 +1,222 @@
+// JobManager: the daemon's control plane over the persistent executor.
+//
+// Many campaign jobs — different devices, seeds and fuzzer families —
+// multiplex over the one shared Executor::global() pool. Each job's shard
+// batch goes through core::run_shards_async; the manager owns everything
+// around that call: the queue, the lifecycle state machine, pause/resume,
+// event fan-out to watchers, and the ordered hand-off of findings into
+// the shared crash-safe journal.
+//
+// Lifecycle (docs/SERVICE.md renders the full state machine):
+//
+//     queued -> running -> done
+//                |  ^         \-> failed   (shards quarantined)
+//                v  |
+//              paused ----------> cancelled
+//
+// Threading model. One dedicated control thread makes every scheduling
+// decision: it is the only caller of run_shards_async, which keeps the
+// executor's "never submit from a worker" rule trivially satisfied —
+// executor completion callbacks only post a message back here. API calls
+// (submit/pause/...) arrive on server connection threads and touch the
+// job table under one mutex; shard-completion hooks run on executor
+// workers and take the same mutex briefly to stream events.
+//
+// Determinism. A job's merged results are a pure function of its spec:
+// the shard list, seed derivation and result merge are exactly the
+// one-shot run_trials_parallel path, and findings reach the journal
+// strictly in shard order at finalization — so a (device, seed, fuzzer,
+// trials) job produces packets, bugs, metrics and journal bytes identical
+// to `zc trials`, no matter how many other jobs ran beside it. Pause
+// keeps the guarantee through replay-mode resume: unfinished shards
+// re-run from scratch under virtual time (cheap, exact), and their
+// staged findings are replaced wholesale. Checkpoint-mode resume trades
+// that byte-identity for not repaying finished work — its use is crash
+// recovery after a daemon shutdown, not transparent pause.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/parallel.h"
+#include "obs/metrics.h"
+#include "store/journal.h"
+#include "svc/protocol.h"
+
+namespace zc::svc {
+
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning,
+  kPaused,
+  kDone,
+  kFailed,     // finished with quarantined shards
+  kCancelled,
+};
+
+const char* job_state_name(JobState state);
+bool job_state_terminal(JobState state);
+
+/// One watcher. Returns false to unsubscribe (e.g. the connection died);
+/// called under the manager lock, so implementations must not call back
+/// into the manager and should only hand the line to an outbound buffer
+/// or socket.
+using EventSink = std::function<bool(const std::string& line)>;
+
+/// Point-in-time public view of one job.
+struct JobStatus {
+  std::string id;
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  std::size_t shards_total = 0;
+  std::size_t shards_done = 0;   // settled (committed) this run
+  std::uint64_t packets = 0;     // settled shards' packet total
+  std::uint64_t findings = 0;    // staged finding records
+  std::size_t bugs = 0;          // union of confirmed bug ids (terminal)
+  std::size_t degraded = 0;      // quarantined shard count (terminal)
+  std::string error;
+};
+
+/// What a cooperative shutdown hands back for each non-terminal job: the
+/// spec plus every abort-final checkpoint the pause captured, keyed by
+/// shard id. submit_recovered() on a fresh manager resumes from these.
+struct RecoveredJob {
+  std::string id;
+  JobSpec spec;
+  std::map<std::size_t, core::CampaignCheckpoint> checkpoints;
+};
+
+class JobManager {
+ public:
+  struct Config {
+    /// Jobs allowed in kRunning simultaneously; further submissions queue.
+    std::size_t max_parallel_jobs = 2;
+    /// Executor workers each job's batch may use (ParallelConfig::jobs);
+    /// 0 = every pool worker. The pool itself is sized once, below.
+    std::size_t workers_per_job = 0;
+    /// Worker floor for Executor::global(); 0 = hardware concurrency.
+    std::size_t executor_workers = 0;
+    /// Shared findings journal (may be null: findings then live only in
+    /// job status). Committed per job, in shard order, at finalization;
+    /// cross-campaign dedup is the journal's (device,cc,cmd,param0,flags)
+    /// key working as-is. Not owned.
+    store::FindingsJournal* journal = nullptr;
+    /// Directory for shutdown checkpoints ("" = don't write files).
+    std::string checkpoint_dir;
+    /// Daemon-level registry for svc.* counters and executor.* gauges.
+    /// Never merged into job results (scheduling-dependent values would
+    /// break their byte-determinism). Not owned; may be null.
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Test hook, forwarded to every job's shard_fault_hook: lets tests
+    /// gate shard starts so pause/concurrency windows land
+    /// deterministically on any host. Production leaves it unset.
+    std::function<void(std::size_t shard_id, std::size_t attempt,
+                       const core::CancellationToken& token)>
+        shard_gate;
+    /// Per-shard restart budget (defaults match the one-shot CLI).
+    core::ShardRestartPolicy restart;
+  };
+
+  explicit JobManager(Config config);
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Validated spec in, job id out ("" + reason in `error` on refusal).
+  std::string submit(const JobSpec& spec, std::string* error);
+
+  /// Resubmits a shutdown-recovered job: shards with a checkpoint resume
+  /// from it, the rest replay from scratch. The recovered id is kept when
+  /// free, else a fresh one is issued.
+  std::string submit_recovered(const RecoveredJob& job, std::string* error);
+
+  bool pause(const std::string& id, std::string* error);
+  bool resume(const std::string& id, ResumeMode mode, std::string* error);
+  bool cancel(const std::string& id, std::string* error);
+
+  std::optional<JobStatus> status(const std::string& id) const;
+  std::vector<JobStatus> list() const;
+
+  /// Attaches a watcher: the job's full event history replays into the
+  /// sink first (so late subscribers see a complete stream), then live
+  /// events follow. False when the job id is unknown.
+  bool subscribe(const std::string& id, EventSink sink);
+
+  /// Blocks until the job reaches `target` (or any terminal state when
+  /// `target` is terminal-agnostic via wait()). False on timeout/unknown.
+  bool wait(const std::string& id, std::chrono::milliseconds timeout);
+  bool wait_state(const std::string& id, JobState target, std::chrono::milliseconds timeout);
+
+  /// The merged report of a terminal job (kDone/kFailed), byte-equal to
+  /// the one-shot path's for the same spec. Nullopt otherwise.
+  std::optional<core::ParallelTrialReport> report(const std::string& id) const;
+
+  /// Cooperative shutdown: stops the scheduler, asks every running job to
+  /// abort at its next packet boundary, waits for the executor to drain,
+  /// commits every job's staged findings (partial ones included — the
+  /// journal's dedup absorbs the overlap when they are resubmitted) and
+  /// flushes the journal, writes checkpoint files when checkpoint_dir is
+  /// set, and returns the non-terminal jobs for later resubmission.
+  /// Idempotent; the destructor calls it too.
+  std::vector<RecoveredJob> shutdown_and_checkpoint();
+
+  /// One-line JSON snapshot of daemon-level gauges/counters (svc.* and
+  /// executor.*), refreshed from Executor::global().stats() at call time.
+  std::string stats_json();
+
+  /// High-water mark of jobs simultaneously in kRunning.
+  std::size_t peak_active_jobs() const;
+
+  /// True once shutdown_and_checkpoint has begun (every running job's
+  /// abort flag is already tripped by then) — the serve loop and tests
+  /// use it to sequence against an in-flight drain.
+  bool shutting_down() const;
+
+ private:
+  struct Job;
+
+  /// Shared body of submit()/submit_recovered(): builds and enqueues the
+  /// job in ONE locked section. Recovered state (checkpoint map, resume
+  /// mode) must be attached before the enqueue makes the job visible to
+  /// the control thread — it may launch the job the moment the lock drops.
+  std::string enqueue(const JobSpec& spec, const RecoveredJob* recovered, std::string* error);
+
+  void control_main();
+  void start_next_locked();
+  void launch_locked(Job& job);
+  void finalize_locked(Job& job);
+  void emit_locked(Job& job, const std::string& line);
+  void emit_state_locked(Job& job);
+  void set_state_locked(Job& job, JobState next);
+  void count_locked(obs::MetricId id, std::uint64_t delta = 1);
+  std::vector<std::size_t> unfinished_indices_locked(const Job& job) const;
+  JobStatus status_locked(const Job& job) const;
+  Job* find_locked(const std::string& id) const;
+
+  Config config_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;         // state transitions (waiters)
+  std::condition_variable control_cv_; // control-thread wakeups
+  std::vector<std::unique_ptr<Job>> jobs_;  // submission order
+  std::deque<Job*> pending_;
+  std::vector<Job*> batch_done_;       // posted by executor completions
+  std::uint64_t next_id_ = 1;
+  std::size_t active_runs_ = 0;
+  std::size_t peak_active_ = 0;
+  bool stopping_ = false;
+  std::thread control_;
+};
+
+}  // namespace zc::svc

@@ -1,0 +1,291 @@
+#include "svc/json.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace zc::svc {
+
+namespace {
+
+/// Recursive-descent parser over a byte range. Depth is capped well below
+/// any stack limit: protocol messages are two levels deep, so 32 is
+/// already generous and turns a hostile nesting bomb into a clean error.
+constexpr std::size_t kMaxDepth = 32;
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& reason) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " at byte %zu", pos);
+    error = reason + buf;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos < text.size() && text[pos] == expected) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + expected + "'");
+  }
+
+  bool parse_value(JsonValue& out, std::size_t depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    switch (c) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return parse_string(out.string_value);
+      case 't': return parse_literal("true", [&] { out.type = JsonValue::Type::kBool; out.bool_value = true; });
+      case 'f': return parse_literal("false", [&] { out.type = JsonValue::Type::kBool; out.bool_value = false; });
+      case 'n': return parse_literal("null", [&] { out.type = JsonValue::Type::kNull; });
+      default: return parse_number(out);
+    }
+  }
+
+  template <typename Commit>
+  bool parse_literal(const char* word, Commit commit) {
+    const std::size_t len = std::string(word).size();
+    if (text.compare(pos, len, word) != 0) return fail("invalid literal");
+    pos += len;
+    commit();
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    // int part: 0 | [1-9][0-9]*
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') return fail("invalid number");
+    if (text[pos] == '0') {
+      ++pos;
+    } else {
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') return fail("invalid fraction");
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') return fail("invalid exponent");
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    out.type = JsonValue::Type::kNumber;
+    out.number = text.substr(start, pos - start);
+    return true;
+  }
+
+  bool parse_hex4(std::uint32_t* out) {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos >= text.size()) return fail("truncated \\u escape");
+      const char c = text[pos++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else return fail("invalid \\u escape");
+    }
+    *out = value;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (true) {
+      if (pos >= text.size()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text[pos]);
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++pos;
+        continue;
+      }
+      ++pos;  // consume backslash
+      if (pos >= text.size()) return fail("truncated escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(&cp)) return false;
+          // Surrogates would need pairing logic the protocol never emits;
+          // reject rather than mis-decode.
+          if (cp >= 0xD800 && cp <= 0xDFFF) return fail("surrogate \\u escape unsupported");
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("invalid escape");
+      }
+    }
+  }
+
+  bool parse_object(JsonValue& out, std::size_t depth) {
+    if (!consume('{')) return false;
+    out.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      for (const auto& member : out.members) {
+        if (member.first == key) return fail("duplicate key \"" + key + "\"");
+      }
+      skip_ws();
+      if (!consume(':')) return false;
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.members.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool parse_array(JsonValue& out, std::size_t depth) {
+    if (!consume('[')) return false;
+    out.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.elements.push_back(std::move(value));
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& member : members) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+std::optional<JsonValue> parse_json(const std::string& text, std::string* error) {
+  Parser parser{text, 0, {}};
+  JsonValue value;
+  if (!parser.parse_value(value, 0)) {
+    if (error != nullptr) *error = parser.error;
+    return std::nullopt;
+  }
+  parser.skip_ws();
+  if (parser.pos != text.size()) {
+    parser.fail("trailing garbage");
+    if (error != nullptr) *error = parser.error;
+    return std::nullopt;
+  }
+  return value;
+}
+
+bool as_u64(const JsonValue& value, std::uint64_t* out) {
+  if (value.type != JsonValue::Type::kNumber) return false;
+  const std::string& lex = value.number;
+  if (lex.empty() || lex[0] == '-') return false;
+  if (lex.size() > 1 && lex[0] == '0') return false;  // leading zeros
+  for (const char c : lex) {
+    if (c < '0' || c > '9') return false;  // rejects '.', 'e', ...
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(lex.c_str(), &end, 10);
+  if (errno == ERANGE || end != lex.c_str() + lex.size()) return false;
+  *out = static_cast<std::uint64_t>(parsed);
+  return true;
+}
+
+void append_json_escaped(std::string& out, const std::string& text) {
+  for (const unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+std::string json_quote(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  append_json_escaped(out, text);
+  out += '"';
+  return out;
+}
+
+}  // namespace zc::svc

@@ -1,0 +1,62 @@
+// Minimal strict JSON for the service line protocol (docs/SERVICE.md).
+//
+// The daemon speaks newline-delimited JSON over a raw TCP socket, so the
+// codec has two unusual requirements that rule out a generic library even
+// if the image shipped one:
+//
+//  * strictness — a control plane should reject, not guess. The parser
+//    accepts exactly the RFC 8259 grammar (minus nothing, plus nothing),
+//    fails on trailing garbage, duplicate object keys and over-deep
+//    nesting, and keeps every number's raw lexeme so integer fields can be
+//    validated with the same no-sloppy-coercion rules the CLI's
+//    parse_count applies to argv (rejecting "1e3", "1.0", "-0", 2^64);
+//  * determinism — responses and events are byte-compared in tests, so
+//    the writer side is explicit string assembly with a fixed key order
+//    (helpers here only handle escaping and number formatting).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zc::svc {
+
+/// One parsed JSON value. Plain tagged struct, not a variant: the protocol
+/// layer walks it read-only and the shapes are tiny.
+struct JsonValue {
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  /// Numbers keep their exact source lexeme ("17", "-2.5e3"); strict
+  /// integer extraction happens downstream via as_u64.
+  std::string number;
+  std::string string_value;
+  /// Object members in source order (duplicates are a parse error).
+  std::vector<std::pair<std::string, JsonValue>> members;
+  std::vector<JsonValue> elements;
+
+  /// Member lookup; nullptr when absent or when this is not an object.
+  const JsonValue* find(const std::string& key) const;
+};
+
+/// Parses exactly one JSON document (leading/trailing whitespace allowed,
+/// anything else after the value is an error). On failure returns nullopt
+/// and, when `error` is non-null, a one-line reason with a byte offset.
+std::optional<JsonValue> parse_json(const std::string& text, std::string* error = nullptr);
+
+/// Strict unsigned extraction: the value must be a JSON number whose
+/// lexeme is a bare base-10 natural ("0" or [1-9][0-9]*; no sign, dot,
+/// exponent or leading zeros) that fits in 64 bits. The same contract as
+/// the CLI's parse_count, applied to a wire field.
+bool as_u64(const JsonValue& value, std::uint64_t* out);
+
+/// Appends `text` JSON-escaped (quotes not included) to `out`.
+void append_json_escaped(std::string& out, const std::string& text);
+
+/// `"key":` with escaping — the writer-side building block.
+std::string json_quote(const std::string& text);
+
+}  // namespace zc::svc

@@ -1,0 +1,257 @@
+#include "svc/protocol.h"
+
+#include <cstdio>
+
+#include "sim/profile.h"
+#include "svc/json.h"
+
+namespace zc::svc {
+
+namespace {
+
+/// Key whitelist per op: parse_request rejects members outside the op's
+/// set, so a misspelled field is an error instead of a silent default.
+bool key_allowed(Op op, const std::string& key) {
+  if (key == "op") return true;
+  switch (op) {
+    case Op::kSubmit:
+      return key == "device" || key == "fuzzer" || key == "seed" || key == "trials" ||
+             key == "duration_ms" || key == "telemetry" || key == "name";
+    case Op::kStatus:
+      return key == "job";
+    case Op::kWatch:
+    case Op::kPause:
+    case Op::kCancel:
+      return key == "job";
+    case Op::kResume:
+      return key == "job" || key == "mode";
+    case Op::kStats:
+    case Op::kPing:
+    case Op::kShutdown:
+      return false;
+  }
+  return false;
+}
+
+bool get_string(const JsonValue& root, const char* key, std::string* out, std::string* error) {
+  const JsonValue* value = root.find(key);
+  if (value == nullptr) return true;  // optional
+  if (value->type != JsonValue::Type::kString) {
+    *error = std::string("field \"") + key + "\" must be a string";
+    return false;
+  }
+  *out = value->string_value;
+  return true;
+}
+
+bool get_u64(const JsonValue& root, const char* key, std::uint64_t* out, std::string* error) {
+  const JsonValue* value = root.find(key);
+  if (value == nullptr) return true;  // optional
+  if (!as_u64(*value, out)) {
+    *error = std::string("field \"") + key +
+             "\" must be a non-negative integer (no sign/fraction/exponent, < 2^64)";
+    return false;
+  }
+  return true;
+}
+
+bool get_bool(const JsonValue& root, const char* key, bool* out, std::string* error) {
+  const JsonValue* value = root.find(key);
+  if (value == nullptr) return true;
+  if (value->type != JsonValue::Type::kBool) {
+    *error = std::string("field \"") + key + "\" must be a boolean";
+    return false;
+  }
+  *out = value->bool_value;
+  return true;
+}
+
+}  // namespace
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kSubmit: return "submit";
+    case Op::kStatus: return "status";
+    case Op::kWatch: return "watch";
+    case Op::kPause: return "pause";
+    case Op::kResume: return "resume";
+    case Op::kCancel: return "cancel";
+    case Op::kStats: return "stats";
+    case Op::kPing: return "ping";
+    case Op::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* resume_mode_name(ResumeMode mode) {
+  switch (mode) {
+    case ResumeMode::kReplay: return "replay";
+    case ResumeMode::kCheckpoint: return "checkpoint";
+  }
+  return "unknown";
+}
+
+std::optional<sim::DeviceModel> device_by_name(const std::string& name) {
+  for (const sim::DeviceModel model : sim::all_controller_models()) {
+    const std::string label = sim::device_model_name(model);
+    if (label.substr(0, 2) == name || label == name) return model;
+  }
+  return std::nullopt;
+}
+
+bool valid_fuzzer_name(const std::string& fuzzer) {
+  return fuzzer == "psm" || fuzzer == "cov" || fuzzer == "vfuzz";
+}
+
+std::optional<Request> parse_request(const std::string& line, std::string* error) {
+  std::string parse_error;
+  std::optional<JsonValue> root = parse_json(line, &parse_error);
+  if (!root.has_value()) {
+    *error = "invalid JSON: " + parse_error;
+    return std::nullopt;
+  }
+  if (root->type != JsonValue::Type::kObject) {
+    *error = "request must be a JSON object";
+    return std::nullopt;
+  }
+
+  const JsonValue* op_field = root->find("op");
+  if (op_field == nullptr || op_field->type != JsonValue::Type::kString) {
+    *error = "missing string field \"op\"";
+    return std::nullopt;
+  }
+
+  Request request;
+  const std::string& op = op_field->string_value;
+  if (op == "submit") request.op = Op::kSubmit;
+  else if (op == "status") request.op = Op::kStatus;
+  else if (op == "watch") request.op = Op::kWatch;
+  else if (op == "pause") request.op = Op::kPause;
+  else if (op == "resume") request.op = Op::kResume;
+  else if (op == "cancel") request.op = Op::kCancel;
+  else if (op == "stats") request.op = Op::kStats;
+  else if (op == "ping") request.op = Op::kPing;
+  else if (op == "shutdown") request.op = Op::kShutdown;
+  else {
+    *error = "unknown op \"" + op + "\"";
+    return std::nullopt;
+  }
+
+  for (const auto& member : root->members) {
+    if (!key_allowed(request.op, member.first)) {
+      *error = "unknown field \"" + member.first + "\" for op \"" + op + "\"";
+      return std::nullopt;
+    }
+  }
+
+  if (request.op == Op::kSubmit) {
+    std::string device;
+    if (!get_string(*root, "device", &device, error)) return std::nullopt;
+    if (!device.empty()) {
+      const std::optional<sim::DeviceModel> model = device_by_name(device);
+      if (!model.has_value()) {
+        *error = "unknown device \"" + device + "\" (use D1..D7 or a full label)";
+        return std::nullopt;
+      }
+      request.spec.device = *model;
+    }
+    if (!get_string(*root, "fuzzer", &request.spec.fuzzer, error)) return std::nullopt;
+    if (!valid_fuzzer_name(request.spec.fuzzer)) {
+      *error = "unknown fuzzer \"" + request.spec.fuzzer + "\" (psm | cov | vfuzz)";
+      return std::nullopt;
+    }
+    if (!get_u64(*root, "seed", &request.spec.seed, error)) return std::nullopt;
+    if (!get_u64(*root, "trials", &request.spec.trials, error)) return std::nullopt;
+    if (request.spec.trials == 0 || request.spec.trials > 4096) {
+      *error = "field \"trials\" must be in [1, 4096]";
+      return std::nullopt;
+    }
+    if (!get_u64(*root, "duration_ms", &request.spec.duration_ms, error)) return std::nullopt;
+    if (!get_bool(*root, "telemetry", &request.spec.telemetry, error)) return std::nullopt;
+    if (!get_string(*root, "name", &request.spec.name, error)) return std::nullopt;
+    return request;
+  }
+
+  if (!get_string(*root, "job", &request.job_id, error)) return std::nullopt;
+  const bool needs_job = request.op == Op::kWatch || request.op == Op::kPause ||
+                         request.op == Op::kResume || request.op == Op::kCancel;
+  if (needs_job && request.job_id.empty()) {
+    *error = std::string("op \"") + op + "\" requires field \"job\"";
+    return std::nullopt;
+  }
+  if (request.op == Op::kResume) {
+    std::string mode = "replay";
+    if (!get_string(*root, "mode", &mode, error)) return std::nullopt;
+    if (mode == "replay") request.resume = ResumeMode::kReplay;
+    else if (mode == "checkpoint") request.resume = ResumeMode::kCheckpoint;
+    else {
+      *error = "unknown resume mode \"" + mode + "\" (replay | checkpoint)";
+      return std::nullopt;
+    }
+  }
+  return request;
+}
+
+std::string encode_submit(const JobSpec& spec) {
+  // Short device id ("D4"): round-trips through device_by_name.
+  const std::string label = sim::device_model_name(spec.device);
+  char numbers[96];
+  std::snprintf(numbers, sizeof(numbers),
+                "\"seed\":%llu,\"trials\":%llu,\"duration_ms\":%llu",
+                static_cast<unsigned long long>(spec.seed),
+                static_cast<unsigned long long>(spec.trials),
+                static_cast<unsigned long long>(spec.duration_ms));
+  std::string out = "{\"op\":\"submit\",\"device\":";
+  out += json_quote(label.substr(0, 2));
+  out += ",\"fuzzer\":";
+  out += json_quote(spec.fuzzer);
+  out += ',';
+  out += numbers;
+  out += ",\"telemetry\":";
+  out += spec.telemetry ? "true" : "false";
+  if (!spec.name.empty()) {
+    out += ",\"name\":";
+    out += json_quote(spec.name);
+  }
+  out += '}';
+  return out;
+}
+
+std::string encode_job_op(Op op, const std::string& job_id) {
+  std::string out = "{\"op\":";
+  out += json_quote(op_name(op));
+  if (!job_id.empty()) {
+    out += ",\"job\":";
+    out += json_quote(job_id);
+  }
+  out += '}';
+  return out;
+}
+
+std::string encode_resume(const std::string& job_id, ResumeMode mode) {
+  std::string out = "{\"op\":\"resume\",\"job\":";
+  out += json_quote(job_id);
+  out += ",\"mode\":";
+  out += json_quote(resume_mode_name(mode));
+  out += '}';
+  return out;
+}
+
+std::string encode_simple(Op op) { return encode_job_op(op, ""); }
+
+std::string error_response(const std::string& reason) {
+  std::string out = "{\"ok\":false,\"error\":";
+  out += json_quote(reason);
+  out += '}';
+  return out;
+}
+
+std::string ok_response(const std::string& extra_fields) {
+  if (extra_fields.empty()) return "{\"ok\":true}";
+  std::string out = "{\"ok\":true,";
+  out += extra_fields;
+  out += '}';
+  return out;
+}
+
+}  // namespace zc::svc

@@ -1,0 +1,90 @@
+// The service line protocol: one JSON object per line, request/response
+// plus server-pushed events on watching connections. docs/SERVICE.md is
+// the normative reference; this header is its in-tree mirror.
+//
+// Validation philosophy: the wire is argv. Every field gets the same
+// strictness the CLI applies to command-line input — unknown operations
+// and unknown keys are errors (a typoed "trails" must not silently run a
+// default-sized job), numeric fields reject signs, fractions, exponents
+// and overflow, and enumerated fields reject anything outside their
+// domain. A request either parses into exactly the job the client meant,
+// or it is refused with a reason.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/vulnerability.h"
+
+namespace zc::svc {
+
+/// Every operation a client can request.
+enum class Op : std::uint8_t {
+  kSubmit = 0,  // enqueue a campaign job
+  kStatus,      // one job's status, or all jobs when no id given
+  kWatch,       // subscribe this connection to a job's event stream
+  kPause,       // checkpoint a running job and park it
+  kResume,      // continue a paused job (replay | checkpoint)
+  kCancel,      // stop a job and discard its pending work
+  kStats,       // daemon-level svc.*/executor.* metrics snapshot
+  kPing,        // liveness probe
+  kShutdown,    // ask the daemon to drain and exit
+};
+
+const char* op_name(Op op);
+
+/// How `resume` continues a paused job. Replay is the default because it
+/// is the only mode whose results are byte-identical to a never-paused
+/// run: unfinished shards re-run from scratch under virtual time (cheap,
+/// exact). Checkpoint mode restarts PSM shards from their pause snapshot
+/// — deterministic in itself, but a different (shorter) execution than an
+/// uninterrupted run, so its use is crash recovery, not transparent pause.
+enum class ResumeMode : std::uint8_t { kReplay = 0, kCheckpoint };
+
+const char* resume_mode_name(ResumeMode mode);
+
+/// One campaign job: the service-side analogue of `zc trials` argv.
+struct JobSpec {
+  sim::DeviceModel device = sim::DeviceModel::kD4_AeotecZw090;
+  std::string fuzzer = "psm";     // psm | cov | vfuzz
+  std::uint64_t seed = 0x5EED;
+  std::uint64_t trials = 1;
+  std::uint64_t duration_ms = 0;  // virtual ms per trial; 0 = engine default
+  bool telemetry = false;         // per-shard metrics + trace collection
+  std::string name;               // optional human label, echoed in events
+};
+
+/// One parsed request line.
+struct Request {
+  Op op = Op::kPing;
+  JobSpec spec;                   // submit only
+  std::string job_id;             // status/watch/pause/resume/cancel
+  ResumeMode resume = ResumeMode::kReplay;  // resume only
+};
+
+/// Parses and validates one request line. Returns nullopt with a reason in
+/// `error` on any violation: not JSON, not an object, missing/unknown op,
+/// unknown keys, wrong types, out-of-domain values, numeric overflow.
+std::optional<Request> parse_request(const std::string& line, std::string* error);
+
+/// Device lookup by short id ("D4") or full label ("D4 Aeotec ZW090-A").
+std::optional<sim::DeviceModel> device_by_name(const std::string& name);
+
+/// True iff `fuzzer` names a known family (psm | cov | vfuzz).
+bool valid_fuzzer_name(const std::string& fuzzer);
+
+// --- client-side encoders (fixed key order; the daemon's parser is the
+// --- consumer, tests byte-compare them) -------------------------------
+
+std::string encode_submit(const JobSpec& spec);
+std::string encode_job_op(Op op, const std::string& job_id);
+std::string encode_resume(const std::string& job_id, ResumeMode mode);
+std::string encode_simple(Op op);  // status (all) / stats / ping / shutdown
+
+// --- server-side response/event builders ------------------------------
+
+std::string error_response(const std::string& reason);
+std::string ok_response(const std::string& extra_fields);  // "" → {"ok":true}
+
+}  // namespace zc::svc

@@ -1,0 +1,272 @@
+#include "svc/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.h"
+#include "svc/json.h"
+#include "svc/protocol.h"
+
+namespace zc::svc {
+
+/// One accepted socket. The write mutex serializes response lines (the
+/// connection thread) against streamed events (manager hooks on executor
+/// workers); `open` flips once, after which event sinks unsubscribe
+/// themselves by returning false.
+struct Server::Connection {
+  int fd = -1;
+  std::mutex write_mutex;
+  std::atomic<bool> open{true};
+
+  bool write_line(const std::string& line) {
+    const std::lock_guard<std::mutex> lock(write_mutex);
+    if (!open.load(std::memory_order_relaxed)) return false;
+    std::string framed = line;
+    framed += '\n';
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        open.store(false, std::memory_order_relaxed);
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+};
+
+Server::Server(Config config) : config_(std::move(config)) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "invalid listen address \"" + config_.host + "\"";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) *error = std::string("bind: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    if (error != nullptr) *error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  accept_thread_ = std::thread([this] { accept_main(); });
+  return true;
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& connection : connections_) {
+      connection->open.store(false, std::memory_order_relaxed);
+      ::shutdown(connection->fd, SHUT_RDWR);
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& thread : connection_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (const auto& connection : connections_) {
+    if (connection->fd >= 0) ::close(connection->fd);
+  }
+  connections_.clear();
+}
+
+void Server::accept_main() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      if (errno == EINTR) continue;
+      return;  // listener gone
+    }
+    auto connection = std::make_shared<Connection>();
+    connection->fd = fd;
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      return;
+    }
+    connections_.push_back(connection);
+    if (config_.metrics != nullptr) config_.metrics->add(obs::MetricId::kSvcConnections);
+    connection_threads_.emplace_back(
+        [this, connection] { connection_main(connection); });
+  }
+}
+
+void Server::connection_main(std::shared_ptr<Connection> connection) {
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const ssize_t n = ::recv(connection->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t newline = buffer.find('\n', start);
+      if (newline == std::string::npos) break;
+      std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+
+      if (config_.metrics != nullptr) config_.metrics->add(obs::MetricId::kSvcRequests);
+      std::string error;
+      const std::optional<Request> request = parse_request(line, &error);
+      std::string response;
+      if (!request.has_value()) {
+        if (config_.metrics != nullptr) {
+          config_.metrics->add(obs::MetricId::kSvcProtocolErrors);
+        }
+        response = error_response(error);
+      } else {
+        response = dispatch(*request, connection);
+      }
+      // watch acks inside dispatch and returns "" — nothing more to send.
+      if (!response.empty() && !connection->write_line(response)) {
+        start = buffer.size();
+        break;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  connection->open.store(false, std::memory_order_relaxed);
+}
+
+std::string Server::dispatch(const Request& request,
+                             const std::shared_ptr<Connection>& connection) {
+  JobManager& jobs = *config_.jobs;
+  std::string error;
+  switch (request.op) {
+    case Op::kPing:
+      return ok_response("\"pong\":true");
+
+    case Op::kSubmit: {
+      const std::string id = jobs.submit(request.spec, &error);
+      if (id.empty()) return error_response(error);
+      return ok_response("\"job\":" + json_quote(id));
+    }
+
+    case Op::kStatus: {
+      auto encode = [](const JobStatus& status) {
+        std::string out = "{\"job\":";
+        out += json_quote(status.id);
+        out += ",\"state\":";
+        out += json_quote(job_state_name(status.state));
+        out += ",\"device\":";
+        out += json_quote(std::string(sim::device_model_name(status.spec.device)).substr(0, 2));
+        out += ",\"fuzzer\":";
+        out += json_quote(status.spec.fuzzer);
+        char buf[192];
+        std::snprintf(buf, sizeof(buf),
+                      ",\"seed\":%llu,\"shards\":%zu,\"shards_done\":%zu,"
+                      "\"packets\":%llu,\"findings\":%llu,\"bugs\":%zu,\"degraded\":%zu",
+                      static_cast<unsigned long long>(status.spec.seed), status.shards_total,
+                      status.shards_done, static_cast<unsigned long long>(status.packets),
+                      static_cast<unsigned long long>(status.findings), status.bugs,
+                      status.degraded);
+        out += buf;
+        if (!status.error.empty()) {
+          out += ",\"error\":";
+          out += json_quote(status.error);
+        }
+        out += '}';
+        return out;
+      };
+      if (!request.job_id.empty()) {
+        const std::optional<JobStatus> status = jobs.status(request.job_id);
+        if (!status.has_value()) {
+          return error_response("unknown job \"" + request.job_id + "\"");
+        }
+        return ok_response("\"status\":" + encode(*status));
+      }
+      std::string array = "\"jobs\":[";
+      bool first = true;
+      for (const JobStatus& status : jobs.list()) {
+        if (!first) array += ',';
+        first = false;
+        array += encode(status);
+      }
+      array += ']';
+      return ok_response(array);
+    }
+
+    case Op::kWatch: {
+      // The ack goes out before the subscription so the client always sees
+      // {"ok":true} first, then the replayed history, then live events.
+      if (!jobs.status(request.job_id).has_value()) {
+        return error_response("unknown job \"" + request.job_id + "\"");
+      }
+      connection->write_line(ok_response("\"watching\":" + json_quote(request.job_id)));
+      const std::weak_ptr<Connection> weak = connection;
+      jobs.subscribe(request.job_id, [weak](const std::string& event) {
+        const std::shared_ptr<Connection> strong = weak.lock();
+        if (strong == nullptr) return false;
+        return strong->write_line(event);
+      });
+      return "";  // ack already sent
+    }
+
+    case Op::kPause:
+      if (!jobs.pause(request.job_id, &error)) return error_response(error);
+      return ok_response("\"paused\":" + json_quote(request.job_id));
+
+    case Op::kResume:
+      if (!jobs.resume(request.job_id, request.resume, &error)) return error_response(error);
+      return ok_response("\"resumed\":" + json_quote(request.job_id));
+
+    case Op::kCancel:
+      if (!jobs.cancel(request.job_id, &error)) return error_response(error);
+      return ok_response("\"cancelled\":" + json_quote(request.job_id));
+
+    case Op::kStats:
+      return jobs.stats_json();
+
+    case Op::kShutdown:
+      if (config_.on_shutdown_request) config_.on_shutdown_request();
+      return ok_response("\"shutting_down\":true");
+  }
+  return error_response("unhandled op");
+}
+
+}  // namespace zc::svc

@@ -1,0 +1,75 @@
+// Server: the daemon's wire front-end — a dependency-free TCP listener
+// speaking the newline-delimited JSON protocol (svc/protocol.h) and
+// bridging it onto a JobManager.
+//
+// Connection model: one accept thread, one thread per connection. That is
+// the right shape for a control plane (a handful of operators and
+// scripts, not a web tier), and it keeps every connection's read loop
+// trivially blocking. Watch subscriptions fan events out from manager
+// hooks onto the connection's socket through a per-connection write mutex,
+// so a response and a concurrently streamed event never interleave bytes.
+//
+// Binding 127.0.0.1 with port 0 and reading the kernel-assigned port back
+// (port()) is the loopback-test path: no privileges, no fixed-port races.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "svc/jobs.h"
+
+namespace zc::svc {
+
+class Server {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  // 0 = kernel-assigned (read back via port())
+    JobManager* jobs = nullptr;           // required; not owned
+    obs::MetricsRegistry* metrics = nullptr;  // daemon registry; may be null
+    /// Invoked when a client sends {"op":"shutdown"} — the serve loop
+    /// decides what that means (normally: same path as SIGTERM).
+    std::function<void()> on_shutdown_request;
+  };
+
+  explicit Server(Config config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts accepting. False (with reason) on failure.
+  bool start(std::string* error);
+
+  /// The bound port (the kernel's pick when Config::port was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Stops accepting, closes every connection and joins all threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  struct Connection;
+
+  void accept_main();
+  void connection_main(std::shared_ptr<Connection> connection);
+  std::string dispatch(const Request& request, const std::shared_ptr<Connection>& connection);
+
+  Config config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace zc::svc

@@ -1,0 +1,470 @@
+// JobManager lifecycle + the service-mode determinism contract
+// (svc/jobs.h, docs/SERVICE.md): a (device, seed, fuzzer, trials) job run
+// through the daemon's control plane — queued behind other jobs,
+// multiplexed over the shared executor, even paused and resumed mid-run —
+// produces packets, bugs, merged metrics/trace and findings-journal bytes
+// identical to the one-shot `zc trials` path.
+//
+// Scheduling windows are made deterministic with the shard_gate test hook:
+// shards block at their attempt boundary until the test has observed the
+// state it needs (both jobs in flight, a pause issued), so no assertion
+// here depends on host timing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/parallel.h"
+#include "store/journal.h"
+#include "svc/jobs.h"
+
+namespace zc::svc {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr auto kWait = std::chrono::milliseconds(60000);
+
+JobSpec quick_spec(std::uint64_t seed, std::uint64_t trials,
+                   std::uint64_t duration_ms = 300000) {
+  JobSpec spec;
+  spec.device = sim::DeviceModel::kD4_AeotecZw090;
+  spec.fuzzer = "psm";
+  spec.seed = seed;
+  spec.trials = trials;
+  spec.duration_ms = duration_ms;
+  spec.telemetry = true;
+  return spec;
+}
+
+core::FuzzerFamily family_of(const std::string& fuzzer) {
+  if (fuzzer == "cov") return core::FuzzerFamily::kCov;
+  if (fuzzer == "vfuzz") return core::FuzzerFamily::kVfuzz;
+  return core::FuzzerFamily::kPsm;
+}
+
+/// The one-shot `zc trials` equivalent of a JobSpec — config derivation
+/// mirrors the daemon's build_shards exactly, so the two paths are
+/// byte-comparable.
+core::ParallelTrialReport one_shot(const JobSpec& spec,
+                                   store::FindingsJournal* journal = nullptr) {
+  sim::TestbedConfig testbed;
+  testbed.controller_model = spec.device;
+  testbed.seed = spec.seed;
+
+  core::CampaignConfig campaign;
+  campaign.seed = spec.seed;
+  campaign.loop_queue = false;
+  if (spec.duration_ms != 0) {
+    campaign.duration = static_cast<SimTime>(spec.duration_ms) * kMillisecond;
+  }
+
+  core::ParallelConfig parallel;
+  parallel.jobs = 2;
+  parallel.collect_telemetry = spec.telemetry;
+  parallel.fuzzer = family_of(spec.fuzzer);
+  parallel.journal = journal;
+  return core::run_trials_parallel(testbed, campaign, spec.trials, parallel);
+}
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + name; }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Everything the determinism contract promises, in one comparison:
+/// summary fields, merged aggregates, merged metrics JSON, merged trace.
+void expect_reports_equal(const core::ParallelTrialReport& service,
+                          const core::ParallelTrialReport& baseline) {
+  EXPECT_EQ(service.summary.trials, baseline.summary.trials);
+  EXPECT_EQ(service.summary.union_bug_ids, baseline.summary.union_bug_ids);
+  EXPECT_EQ(service.summary.per_trial_unique, baseline.summary.per_trial_unique);
+  EXPECT_EQ(service.summary.first_finding_at, baseline.summary.first_finding_at);
+  EXPECT_EQ(service.summary.total_packets, baseline.summary.total_packets);
+  EXPECT_EQ(service.inconclusive_tests, baseline.inconclusive_tests);
+  EXPECT_EQ(service.retried_injections, baseline.retried_injections);
+  EXPECT_EQ(service.recovery_episodes, baseline.recovery_episodes);
+  EXPECT_EQ(service.merged_metrics().to_json(), baseline.merged_metrics().to_json());
+  EXPECT_EQ(service.merged_trace_jsonl(), baseline.merged_trace_jsonl());
+}
+
+/// Opens a test gate on scope exit, so a failed ASSERT can never leave
+/// executor workers parked inside the gate (the manager destructor would
+/// then wait on their shards forever).
+struct GateRelease {
+  std::atomic<bool>& flag;
+  ~GateRelease() { flag.store(true); }
+};
+
+/// Polls a job's status until `predicate` holds (the status API has no
+/// waiter for sub-state conditions like shards_done).
+template <typename Predicate>
+bool poll_status(JobManager& manager, const std::string& id, Predicate predicate) {
+  const auto deadline = std::chrono::steady_clock::now() + kWait;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto status = manager.status(id);
+    if (status.has_value() && predicate(*status)) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return false;
+}
+
+TEST(JobManagerTest, SubmitRunsToDoneAndMatchesOneShot) {
+  const std::string journal_path = temp_path("svc_jobs_simple.zcj");
+  const std::string baseline_path = temp_path("svc_jobs_simple_base.zcj");
+  std::remove(journal_path.c_str());
+  std::remove(baseline_path.c_str());
+
+  const JobSpec spec = quick_spec(0xA11CE, 2);
+
+  store::FindingsJournal baseline_journal;
+  ASSERT_TRUE(baseline_journal.open(baseline_path));
+  const core::ParallelTrialReport baseline = one_shot(spec, &baseline_journal);
+  baseline_journal.close();
+
+  obs::MetricsRegistry metrics;
+  {
+    store::FindingsJournal journal;
+    ASSERT_TRUE(journal.open(journal_path));
+    JobManager::Config config;
+    config.executor_workers = 2;
+    config.journal = &journal;
+    config.metrics = &metrics;
+    JobManager manager(config);
+
+    std::string error;
+    const std::string id = manager.submit(spec, &error);
+    ASSERT_FALSE(id.empty()) << error;
+    ASSERT_TRUE(manager.wait(id, kWait));
+
+    const auto status = manager.status(id);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->state, JobState::kDone);
+    EXPECT_EQ(status->shards_done, 2u);
+    EXPECT_EQ(status->packets, baseline.summary.total_packets);
+    EXPECT_EQ(status->bugs, baseline.summary.union_bug_ids.size());
+
+    const auto report = manager.report(id);
+    ASSERT_TRUE(report.has_value());
+    expect_reports_equal(*report, baseline);
+
+    // Late subscription replays the full event history, ending terminal.
+    std::vector<std::string> events;
+    ASSERT_TRUE(manager.subscribe(id, [&events](const std::string& line) {
+      events.push_back(line);
+      return true;
+    }));
+    ASSERT_GE(events.size(), 3u);  // queued, running, shard x2, done
+    EXPECT_NE(events.front().find("\"state\":\"queued\""), std::string::npos);
+    EXPECT_NE(events.back().find("\"event\":\"done\""), std::string::npos);
+    journal.close();
+  }
+
+  EXPECT_EQ(read_file(journal_path), read_file(baseline_path));
+  EXPECT_EQ(metrics.value(obs::MetricId::kSvcJobsSubmitted), 1u);
+  EXPECT_EQ(metrics.value(obs::MetricId::kSvcJobsCompleted), 1u);
+  std::remove(journal_path.c_str());
+  std::remove(baseline_path.c_str());
+}
+
+// The acceptance test: the target job goes through a pause/replay-resume
+// cycle while a second job runs beside it on the shared executor, and its
+// results and journal bytes still match the one-shot path exactly.
+TEST(JobManagerTest, PauseResumeUnderMultiplexingIsByteIdentical) {
+  const std::string journal_path = temp_path("svc_jobs_mux.zcj");
+  const std::string baseline_path = temp_path("svc_jobs_mux_base.zcj");
+  std::remove(journal_path.c_str());
+  std::remove(baseline_path.c_str());
+
+  const JobSpec target_spec = quick_spec(0x7A66E7, 3);
+  const JobSpec decoy_spec = quick_spec(0xDEC0D, 4, 600000);
+
+  store::FindingsJournal baseline_journal;
+  ASSERT_TRUE(baseline_journal.open(baseline_path));
+  const core::ParallelTrialReport baseline = one_shot(target_spec, &baseline_journal);
+  baseline_journal.close();
+
+  std::atomic<std::size_t> in_flight{0};   // workers that reached the gate
+  std::atomic<bool> gate_open{false};      // set once the pause has landed
+  std::optional<core::ParallelTrialReport> service_report;
+  std::size_t peak = 0;
+  {
+    store::FindingsJournal journal;
+    ASSERT_TRUE(journal.open(journal_path));
+    JobManager::Config config;
+    config.max_parallel_jobs = 2;
+    config.executor_workers = 2;
+    // Let each job use both pool workers: default_jobs() is 1 on a 1-core
+    // host, which would cap every job at one concurrent shard and starve
+    // the two-shards-in-flight rendezvous below.
+    config.workers_per_job = 2;
+    config.journal = &journal;
+    config.shard_gate = [&in_flight, &gate_open](std::size_t shard_id, std::size_t,
+                                                 const core::CancellationToken&) {
+      // Phase 1: hold the first shards until two are physically on
+      // workers at once — the pool really is multiplexing, not
+      // serializing.
+      in_flight.fetch_add(1);
+      while (in_flight.load() < 2 && !gate_open.load()) {
+        std::this_thread::sleep_for(1ms);
+      }
+      // Phase 2: later shards wait for the test to issue the pause, so
+      // the pause window always lands between shard 0 and shard 1.
+      if (shard_id >= 1) {
+        while (!gate_open.load()) std::this_thread::sleep_for(1ms);
+      }
+    };
+    JobManager manager(config);
+    // Constructed after the manager, so a failed ASSERT opens the gate
+    // before the manager's destructor waits on the parked shards.
+    GateRelease release{gate_open};
+
+    std::string error;
+    const std::string target = manager.submit(target_spec, &error);
+    ASSERT_FALSE(target.empty()) << error;
+    const std::string decoy = manager.submit(decoy_spec, &error);
+    ASSERT_FALSE(decoy.empty()) << error;
+
+    ASSERT_TRUE(manager.wait_state(target, JobState::kRunning, kWait));
+    ASSERT_TRUE(manager.wait_state(decoy, JobState::kRunning, kWait));
+
+    // Let the target's shard 0 settle, then pause while shards 1-2 are
+    // still pending; cancel the decoy (a cancelled job never commits, so
+    // the shared journal ends up holding exactly the target's records).
+    ASSERT_TRUE(poll_status(manager, target,
+                            [](const JobStatus& s) { return s.shards_done >= 1; }));
+    ASSERT_TRUE(manager.pause(target, &error)) << error;
+    ASSERT_TRUE(manager.cancel(decoy, &error)) << error;
+    gate_open.store(true);
+
+    ASSERT_TRUE(manager.wait_state(target, JobState::kPaused, kWait));
+    ASSERT_TRUE(manager.wait_state(decoy, JobState::kCancelled, kWait));
+
+    const auto paused = manager.status(target);
+    ASSERT_TRUE(paused.has_value());
+    EXPECT_GE(paused->shards_done, 1u);
+    EXPECT_LT(paused->shards_done, 3u);  // the pause landed mid-job
+
+    ASSERT_TRUE(manager.resume(target, ResumeMode::kReplay, &error)) << error;
+    ASSERT_TRUE(manager.wait(target, kWait));
+    const auto status = manager.status(target);
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->state, JobState::kDone);
+
+    const auto report = manager.report(target);
+    ASSERT_TRUE(report.has_value());
+    service_report = *report;
+    peak = manager.peak_active_jobs();
+    journal.close();
+  }
+
+  EXPECT_GE(peak, 2u);  // both jobs held kRunning simultaneously
+  expect_reports_equal(*service_report, baseline);
+  EXPECT_EQ(read_file(journal_path), read_file(baseline_path));
+  std::remove(journal_path.c_str());
+  std::remove(baseline_path.c_str());
+}
+
+TEST(JobManagerTest, CheckpointModeResumeIsDeterministic) {
+  // Checkpoint-mode resume restarts interrupted shards from their pause
+  // snapshot — a shorter execution than an uninterrupted run, so it is
+  // deliberately NOT byte-comparable to the one-shot baseline
+  // (docs/SERVICE.md "Determinism contract"). What it promises is
+  // determinism of the recovery itself: the identical pause →
+  // checkpoint-resume sequence reproduces byte-identical reports and
+  // journal files every time.
+  const JobSpec spec = quick_spec(0xC4EC, 2);
+
+  auto run_once = [&spec](const char* journal_name)
+      -> std::pair<std::optional<core::ParallelTrialReport>, std::string> {
+    const std::string path = temp_path(journal_name);
+    std::remove(path.c_str());
+    store::FindingsJournal journal;
+    EXPECT_TRUE(journal.open(path));
+    std::atomic<bool> gate_open{false};
+    JobManager::Config config;
+    config.executor_workers = 2;
+    config.journal = &journal;
+    // Hold every shard at its start; the pause then lands before any
+    // shard settles, at a point fixed by the gate, not by host timing.
+    config.shard_gate = [&gate_open](std::size_t, std::size_t,
+                                     const core::CancellationToken&) {
+      while (!gate_open.load()) std::this_thread::sleep_for(1ms);
+    };
+    JobManager manager(config);
+    GateRelease release{gate_open};  // after the manager: opens before its dtor
+
+    std::string error;
+    const std::string id = manager.submit(spec, &error);
+    EXPECT_FALSE(id.empty()) << error;
+    EXPECT_TRUE(manager.wait_state(id, JobState::kRunning, kWait));
+    EXPECT_TRUE(manager.pause(id, &error)) << error;
+    gate_open.store(true);
+    EXPECT_TRUE(manager.wait_state(id, JobState::kPaused, kWait));
+
+    const auto paused = manager.status(id);
+    EXPECT_TRUE(paused.has_value());
+    if (paused.has_value()) {
+      EXPECT_EQ(paused->shards_done, 0u);  // nothing ran to its own end
+    }
+
+    EXPECT_TRUE(manager.resume(id, ResumeMode::kCheckpoint, &error)) << error;
+    EXPECT_TRUE(manager.wait(id, kWait));
+    auto report = manager.report(id);
+    EXPECT_TRUE(report.has_value());
+    manager.shutdown_and_checkpoint();
+    journal.close();
+    return {std::move(report), path};
+  };
+
+  auto [report_one, path_one] = run_once("svc_jobs_ckpt_r1.zcj");
+  auto [report_two, path_two] = run_once("svc_jobs_ckpt_r2.zcj");
+  ASSERT_TRUE(report_one.has_value());
+  ASSERT_TRUE(report_two.has_value());
+  expect_reports_equal(*report_one, *report_two);
+  EXPECT_EQ(read_file(path_one), read_file(path_two));
+  std::remove(path_one.c_str());
+  std::remove(path_two.c_str());
+}
+
+TEST(JobManagerTest, CancelRunningJobCommitsNothing) {
+  const std::string journal_path = temp_path("svc_jobs_cancel.zcj");
+  std::remove(journal_path.c_str());
+
+  std::atomic<bool> gate_open{false};
+  {
+    store::FindingsJournal journal;
+    ASSERT_TRUE(journal.open(journal_path));
+    JobManager::Config config;
+    config.executor_workers = 2;
+    config.journal = &journal;
+    config.shard_gate = [&gate_open](std::size_t, std::size_t,
+                                     const core::CancellationToken&) {
+      while (!gate_open.load()) std::this_thread::sleep_for(1ms);
+    };
+    JobManager manager(config);
+    GateRelease release{gate_open};  // after the manager: opens before its dtor
+
+    std::string error;
+    const std::string id = manager.submit(quick_spec(0xCA2CE1, 2), &error);
+    ASSERT_FALSE(id.empty()) << error;
+    ASSERT_TRUE(manager.wait_state(id, JobState::kRunning, kWait));
+    ASSERT_TRUE(manager.cancel(id, &error)) << error;
+    gate_open.store(true);
+    ASSERT_TRUE(manager.wait_state(id, JobState::kCancelled, kWait));
+
+    EXPECT_FALSE(manager.report(id).has_value());
+    // Terminal is terminal: no resume, no second cancel.
+    EXPECT_FALSE(manager.resume(id, ResumeMode::kReplay, &error));
+    EXPECT_FALSE(manager.cancel(id, &error));
+    EXPECT_NE(error.find("cancelled"), std::string::npos);
+    journal.close();
+  }
+
+  store::FindingsJournal reopened;
+  ASSERT_TRUE(reopened.open(journal_path));
+  EXPECT_EQ(reopened.records().size(), 0u);
+  reopened.close();
+  std::remove(journal_path.c_str());
+}
+
+TEST(JobManagerTest, QueuedJobsRespectMaxParallelAndCancelInQueue) {
+  std::atomic<bool> gate_open{false};
+  JobManager::Config config;
+  config.max_parallel_jobs = 1;
+  config.executor_workers = 2;
+  config.shard_gate = [&gate_open](std::size_t, std::size_t,
+                                   const core::CancellationToken&) {
+    while (!gate_open.load()) std::this_thread::sleep_for(1ms);
+  };
+  JobManager manager(config);
+  GateRelease release{gate_open};  // after the manager: opens before its dtor
+
+  std::string error;
+  const std::string first = manager.submit(quick_spec(0x0B1, 1), &error);
+  const std::string second = manager.submit(quick_spec(0x0B2, 1), &error);
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(second.empty());
+
+  ASSERT_TRUE(manager.wait_state(first, JobState::kRunning, kWait));
+  EXPECT_EQ(manager.status(second)->state, JobState::kQueued);
+
+  // A queued job cancels instantly — it never touches the executor.
+  ASSERT_TRUE(manager.cancel(second, &error)) << error;
+  EXPECT_EQ(manager.status(second)->state, JobState::kCancelled);
+
+  gate_open.store(true);
+  ASSERT_TRUE(manager.wait(first, kWait));
+  EXPECT_EQ(manager.status(first)->state, JobState::kDone);
+  EXPECT_EQ(manager.peak_active_jobs(), 1u);
+}
+
+TEST(JobManagerTest, ApiRejectsInvalidTransitionsAndSpecs) {
+  JobManager::Config config;
+  config.executor_workers = 2;
+  JobManager manager(config);
+
+  std::string error;
+  JobSpec bad = quick_spec(1, 1);
+  bad.fuzzer = "radamsa";
+  EXPECT_TRUE(manager.submit(bad, &error).empty());
+  EXPECT_NE(error.find("unknown fuzzer"), std::string::npos);
+
+  bad = quick_spec(1, 0);
+  EXPECT_TRUE(manager.submit(bad, &error).empty());
+
+  EXPECT_FALSE(manager.pause("job-404", &error));
+  EXPECT_NE(error.find("unknown job"), std::string::npos);
+  EXPECT_FALSE(manager.status("job-404").has_value());
+
+  const std::string id = manager.submit(quick_spec(0x90D, 1), &error);
+  ASSERT_FALSE(id.empty());
+  ASSERT_TRUE(manager.wait(id, kWait));
+  EXPECT_FALSE(manager.pause(id, &error));  // done, not running
+  EXPECT_FALSE(manager.resume(id, ResumeMode::kReplay, &error));
+}
+
+TEST(JobManagerTest, StatsExposeJobTableAndExecutorGauges) {
+  obs::MetricsRegistry metrics;
+  JobManager::Config config;
+  config.executor_workers = 2;
+  config.metrics = &metrics;
+  JobManager manager(config);
+
+  std::string error;
+  const std::string id = manager.submit(quick_spec(0x57A7, 2), &error);
+  ASSERT_FALSE(id.empty()) << error;
+  ASSERT_TRUE(manager.wait(id, kWait));
+
+  const std::string stats = manager.stats_json();
+  EXPECT_NE(stats.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(stats.find("\"done\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"workers\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"tasks_run\":"), std::string::npos);
+
+  // stats_json refreshes the executor.* gauges from the live pool; the
+  // shared pool has retired at least this job's two shard tasks.
+  EXPECT_GE(metrics.value(obs::MetricId::kExecutorWorkers), 2u);
+  EXPECT_GE(metrics.value(obs::MetricId::kExecutorTasksRun), 2u);
+  EXPECT_GE(metrics.value(obs::MetricId::kExecutorJobsCompleted), 1u);
+
+  // The daemon registry serializes with the svc.*/executor.* families in
+  // enum order, like every other registry (docs/observability.md).
+  const std::string json = metrics.to_json();
+  EXPECT_NE(json.find("\"svc.jobs_submitted\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"executor.workers\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zc::svc

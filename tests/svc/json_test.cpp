@@ -1,0 +1,105 @@
+// Strictness contract of the service JSON codec (svc/json.h): the parser
+// accepts exactly the RFC 8259 grammar, rejects everything a lenient
+// library would guess at (trailing garbage, duplicate keys, raw control
+// characters, lone surrogates, nesting bombs), and as_u64 applies the
+// CLI's parse_count rules to wire numbers — no signs, fractions,
+// exponents, leading zeros or 2^64 overflow sneaking in as "close enough".
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "svc/json.h"
+
+namespace zc::svc {
+namespace {
+
+TEST(JsonParseTest, ObjectRoundTripPreservesOrderAndTypes) {
+  const auto value = parse_json(
+      R"({"op":"submit","trials":3,"telemetry":true,"name":"a\nb","none":null,"list":[1,"x"]})");
+  ASSERT_TRUE(value.has_value());
+  ASSERT_EQ(value->type, JsonValue::Type::kObject);
+  ASSERT_EQ(value->members.size(), 6u);
+  EXPECT_EQ(value->members[0].first, "op");
+  EXPECT_EQ(value->members[1].first, "trials");
+
+  EXPECT_EQ(value->find("op")->string_value, "submit");
+  EXPECT_EQ(value->find("trials")->number, "3");
+  EXPECT_TRUE(value->find("telemetry")->bool_value);
+  EXPECT_EQ(value->find("name")->string_value, "a\nb");
+  EXPECT_EQ(value->find("none")->type, JsonValue::Type::kNull);
+  ASSERT_EQ(value->find("list")->elements.size(), 2u);
+  EXPECT_EQ(value->find("list")->elements[1].string_value, "x");
+  EXPECT_EQ(value->find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, NumberLexemesAreKeptVerbatim) {
+  const auto value = parse_json(R"({"a":0,"b":-2.5e3,"c":18446744073709551615})");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->find("a")->number, "0");
+  EXPECT_EQ(value->find("b")->number, "-2.5e3");
+  EXPECT_EQ(value->find("c")->number, "18446744073709551615");
+}
+
+TEST(JsonParseTest, EscapesDecode) {
+  const auto value = parse_json(R"({"s":"q\"b\\s\/\b\f\n\r\tAé"})");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->find("s")->string_value, "q\"b\\s/\b\f\n\r\tA\xC3\xA9");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parse_json("", &error).has_value());
+  EXPECT_FALSE(parse_json("{", &error).has_value());
+  EXPECT_FALSE(parse_json("nope", &error).has_value());
+  EXPECT_FALSE(parse_json("{\"a\":1} extra", &error).has_value());
+  EXPECT_NE(error.find("trailing garbage"), std::string::npos);
+  EXPECT_FALSE(parse_json("{\"a\":1}{\"b\":2}", &error).has_value());
+  EXPECT_FALSE(parse_json(R"({"a":1,"a":2})", &error).has_value());
+  EXPECT_NE(error.find("duplicate key"), std::string::npos);
+  EXPECT_FALSE(parse_json("{\"a\":\"\x01\"}", &error).has_value());
+  EXPECT_FALSE(parse_json(R"({"a":"\ud800"})", &error).has_value());
+  EXPECT_FALSE(parse_json(R"({"a":tru})", &error).has_value());
+  EXPECT_FALSE(parse_json(R"({"a":01})", &error).has_value());
+  EXPECT_FALSE(parse_json(R"({"a":1.})", &error).has_value());
+  EXPECT_FALSE(parse_json(R"({"a":+1})", &error).has_value());
+}
+
+TEST(JsonParseTest, RejectsNestingBombs) {
+  std::string bomb;
+  for (int i = 0; i < 64; ++i) bomb += '[';
+  for (int i = 0; i < 64; ++i) bomb += ']';
+  std::string error;
+  EXPECT_FALSE(parse_json(bomb, &error).has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+  // A depth well inside the cap parses fine.
+  EXPECT_TRUE(parse_json("[[[[[[[[1]]]]]]]]").has_value());
+}
+
+TEST(JsonU64Test, AcceptsBareNaturals) {
+  std::uint64_t out = 0;
+  ASSERT_TRUE(as_u64(*parse_json(R"({"n":0})")->find("n"), &out));
+  EXPECT_EQ(out, 0u);
+  ASSERT_TRUE(as_u64(*parse_json(R"({"n":18446744073709551615})")->find("n"), &out));
+  EXPECT_EQ(out, 18446744073709551615ull);
+}
+
+TEST(JsonU64Test, RejectsEverythingParseCountWould) {
+  std::uint64_t out = 0;
+  // Sloppy coercions a lenient parser would wave through.
+  EXPECT_FALSE(as_u64(*parse_json(R"({"n":-1})")->find("n"), &out));
+  EXPECT_FALSE(as_u64(*parse_json(R"({"n":1.0})")->find("n"), &out));
+  EXPECT_FALSE(as_u64(*parse_json(R"({"n":1e3})")->find("n"), &out));
+  EXPECT_FALSE(as_u64(*parse_json(R"({"n":18446744073709551616})")->find("n"), &out));
+  EXPECT_FALSE(as_u64(*parse_json(R"({"n":"7"})")->find("n"), &out));  // wrong type
+  EXPECT_FALSE(as_u64(*parse_json(R"({"n":true})")->find("n"), &out));
+}
+
+TEST(JsonWriteTest, QuoteEscapesRoundTrip) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  const auto back = parse_json("{" + json_quote("k") + ":" + json_quote(nasty) + "}");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->find("k")->string_value, nasty);
+}
+
+}  // namespace
+}  // namespace zc::svc

@@ -1,0 +1,134 @@
+// The line protocol's validation contract (svc/protocol.h): the wire is
+// argv, so every request either parses into exactly the job the client
+// meant or is refused with a reason. Encoders and parser are exercised as
+// a pair — what `zc submit` sends is what the daemon accepts, field for
+// field.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "svc/protocol.h"
+
+namespace zc::svc {
+namespace {
+
+std::optional<Request> parse(const std::string& line, std::string* error = nullptr) {
+  std::string scratch;
+  return parse_request(line, error != nullptr ? error : &scratch);
+}
+
+TEST(ProtocolParseTest, SubmitEncoderRoundTrips) {
+  JobSpec spec;
+  spec.device = sim::DeviceModel::kD2_SilabsUzb7;
+  spec.fuzzer = "cov";
+  spec.seed = 0xDEADBEEF;
+  spec.trials = 7;
+  spec.duration_ms = 120000;
+  spec.telemetry = true;
+  spec.name = "nightly \"smoke\"";
+
+  const auto request = parse(encode_submit(spec));
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->op, Op::kSubmit);
+  EXPECT_EQ(request->spec.device, spec.device);
+  EXPECT_EQ(request->spec.fuzzer, spec.fuzzer);
+  EXPECT_EQ(request->spec.seed, spec.seed);
+  EXPECT_EQ(request->spec.trials, spec.trials);
+  EXPECT_EQ(request->spec.duration_ms, spec.duration_ms);
+  EXPECT_EQ(request->spec.telemetry, spec.telemetry);
+  EXPECT_EQ(request->spec.name, spec.name);
+}
+
+TEST(ProtocolParseTest, SubmitDefaultsMatchJobSpecDefaults) {
+  const auto request = parse(R"({"op":"submit"})");
+  ASSERT_TRUE(request.has_value());
+  const JobSpec defaults;
+  EXPECT_EQ(request->spec.device, defaults.device);
+  EXPECT_EQ(request->spec.fuzzer, defaults.fuzzer);
+  EXPECT_EQ(request->spec.seed, defaults.seed);
+  EXPECT_EQ(request->spec.trials, defaults.trials);
+}
+
+TEST(ProtocolParseTest, DeviceAcceptsShortIdAndFullLabel) {
+  const auto by_id = parse(R"({"op":"submit","device":"D4"})");
+  ASSERT_TRUE(by_id.has_value());
+  EXPECT_EQ(by_id->spec.device, sim::DeviceModel::kD4_AeotecZw090);
+
+  const std::string label = sim::device_model_name(sim::DeviceModel::kD4_AeotecZw090);
+  const auto by_label = parse(R"({"op":"submit","device":")" + label + "\"}");
+  ASSERT_TRUE(by_label.has_value());
+  EXPECT_EQ(by_label->spec.device, sim::DeviceModel::kD4_AeotecZw090);
+}
+
+TEST(ProtocolParseTest, JobOpsAndResumeRoundTrip) {
+  auto request = parse(encode_job_op(Op::kPause, "job-12"));
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->op, Op::kPause);
+  EXPECT_EQ(request->job_id, "job-12");
+
+  request = parse(encode_resume("job-3", ResumeMode::kCheckpoint));
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->op, Op::kResume);
+  EXPECT_EQ(request->resume, ResumeMode::kCheckpoint);
+
+  request = parse(encode_resume("job-3", ResumeMode::kReplay));
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->resume, ResumeMode::kReplay);
+
+  // status with no job = list everything; watch without a job is an error.
+  EXPECT_TRUE(parse(encode_simple(Op::kStatus)).has_value());
+  EXPECT_TRUE(parse(encode_simple(Op::kPing)).has_value());
+  EXPECT_TRUE(parse(encode_simple(Op::kShutdown)).has_value());
+  EXPECT_FALSE(parse(R"({"op":"watch"})").has_value());
+  EXPECT_FALSE(parse(R"({"op":"cancel","job":""})").has_value());
+}
+
+TEST(ProtocolParseTest, RejectsUnknownOpsAndKeys) {
+  std::string error;
+  EXPECT_FALSE(parse("not json at all", &error).has_value());
+  EXPECT_NE(error.find("invalid JSON"), std::string::npos);
+  EXPECT_FALSE(parse("[1,2]", &error).has_value());
+  EXPECT_FALSE(parse(R"({"op":"trails"})", &error).has_value());
+  EXPECT_NE(error.find("unknown op"), std::string::npos);
+  EXPECT_FALSE(parse(R"({"op":"submit","trails":2})", &error).has_value());
+  EXPECT_NE(error.find("unknown field \"trails\""), std::string::npos);
+  // Keys from another op's whitelist don't leak across.
+  EXPECT_FALSE(parse(R"({"op":"ping","job":"job-1"})", &error).has_value());
+  EXPECT_FALSE(parse(R"({"op":"pause","job":"job-1","mode":"replay"})", &error).has_value());
+}
+
+TEST(ProtocolParseTest, RejectsOutOfDomainValues) {
+  std::string error;
+  EXPECT_FALSE(parse(R"({"op":"submit","device":"D9"})", &error).has_value());
+  EXPECT_FALSE(parse(R"({"op":"submit","fuzzer":"radamsa"})", &error).has_value());
+  EXPECT_NE(error.find("unknown fuzzer"), std::string::npos);
+  EXPECT_FALSE(parse(R"({"op":"submit","trials":0})", &error).has_value());
+  EXPECT_FALSE(parse(R"({"op":"submit","trials":4097})", &error).has_value());
+  EXPECT_NE(error.find("[1, 4096]"), std::string::npos);
+  EXPECT_FALSE(parse(R"({"op":"resume","job":"j","mode":"rewind"})", &error).has_value());
+  EXPECT_NE(error.find("unknown resume mode"), std::string::npos);
+}
+
+TEST(ProtocolParseTest, NumericFieldsUseStrictExtraction) {
+  // The parse_count contract on the wire: no sloppy numeric coercion.
+  EXPECT_FALSE(parse(R"({"op":"submit","seed":-1})").has_value());
+  EXPECT_FALSE(parse(R"({"op":"submit","seed":1.5})").has_value());
+  EXPECT_FALSE(parse(R"({"op":"submit","seed":1e3})").has_value());
+  EXPECT_FALSE(parse(R"({"op":"submit","seed":"7"})").has_value());
+  EXPECT_FALSE(parse(R"({"op":"submit","trials":07})").has_value());
+  EXPECT_FALSE(parse(R"({"op":"submit","seed":18446744073709551616})").has_value());
+  EXPECT_FALSE(parse(R"({"op":"submit","telemetry":1})").has_value());
+
+  const auto max_seed = parse(R"({"op":"submit","seed":18446744073709551615})");
+  ASSERT_TRUE(max_seed.has_value());
+  EXPECT_EQ(max_seed->spec.seed, 18446744073709551615ull);
+}
+
+TEST(ProtocolResponseTest, ResponseBuildersAreFixedForm) {
+  EXPECT_EQ(ok_response(""), "{\"ok\":true}");
+  EXPECT_EQ(ok_response("\"job\":\"job-1\""), "{\"ok\":true,\"job\":\"job-1\"}");
+  EXPECT_EQ(error_response("bad \"thing\""), "{\"ok\":false,\"error\":\"bad \\\"thing\\\"\"}");
+}
+
+}  // namespace
+}  // namespace zc::svc

@@ -1,0 +1,261 @@
+// Cooperative shutdown of the campaign service (docs/SERVICE.md
+// "Shutdown"): SIGTERM with N jobs running means every running job is
+// stopped at its next packet boundary and checkpointed, staged findings
+// are committed and the journal flushed (and stays torn-tail recoverable
+// like any journal), and resubmitting the recovered jobs into a fresh
+// daemon reproduces byte-identical merged reports — at any worker count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "store/journal.h"
+#include "svc/jobs.h"
+
+namespace zc::svc {
+namespace {
+
+constexpr auto kWait = std::chrono::milliseconds(60000);
+
+volatile std::sig_atomic_t g_sigterm_seen = 0;
+void record_sigterm(int) { g_sigterm_seen = 1; }
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + name; }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+JobSpec long_spec(std::uint64_t seed) {
+  JobSpec spec;
+  spec.device = sim::DeviceModel::kD4_AeotecZw090;
+  spec.fuzzer = "psm";
+  spec.seed = seed;
+  spec.trials = 3;
+  spec.duration_ms = 300000;
+  return spec;
+}
+
+template <typename Predicate>
+bool poll_status(JobManager& manager, const std::string& id, Predicate predicate) {
+  const auto deadline = std::chrono::steady_clock::now() + kWait;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto status = manager.status(id);
+    if (status.has_value() && predicate(*status)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+void expect_summaries_equal(const core::ParallelTrialReport& a,
+                            const core::ParallelTrialReport& b) {
+  EXPECT_EQ(a.summary.trials, b.summary.trials);
+  EXPECT_EQ(a.summary.union_bug_ids, b.summary.union_bug_ids);
+  EXPECT_EQ(a.summary.per_trial_unique, b.summary.per_trial_unique);
+  EXPECT_EQ(a.summary.first_finding_at, b.summary.first_finding_at);
+  EXPECT_EQ(a.summary.total_packets, b.summary.total_packets);
+  EXPECT_EQ(a.merged_metrics().to_json(), b.merged_metrics().to_json());
+  EXPECT_EQ(a.merged_trace_jsonl(), b.merged_trace_jsonl());
+}
+
+TEST(SvcShutdownTest, SigtermDrainsCheckpointsAndRecoversReproducibly) {
+  // The CLI contract first: SIGTERM reaches a cooperative handler (the
+  // serve loop polls it and then runs exactly the drain below).
+  g_sigterm_seen = 0;
+  auto previous = std::signal(SIGTERM, record_sigterm);
+  ASSERT_NE(previous, SIG_ERR);
+  std::raise(SIGTERM);
+  EXPECT_EQ(g_sigterm_seen, 1);
+  std::signal(SIGTERM, previous);
+
+  const std::string journal_path = temp_path("svc_shutdown.zcj");
+  const std::string checkpoint_dir = ::testing::TempDir();
+  std::remove(journal_path.c_str());
+
+  const JobSpec spec_a = long_spec(0x5D01);
+  const JobSpec spec_b = long_spec(0x5D02);
+
+  // --- phase 1: a daemon with two running jobs gets the drain call ----
+  std::vector<RecoveredJob> recovered;
+  {
+    store::FindingsJournal journal;
+    ASSERT_TRUE(journal.open(journal_path));
+    std::atomic<bool> gate_open{false};
+    JobManager::Config config;
+    config.max_parallel_jobs = 2;
+    config.executor_workers = 2;
+    config.journal = &journal;
+    config.checkpoint_dir = checkpoint_dir;
+    // Let each job's shard 0 run to its end (real partial progress:
+    // staged findings to commit) but park the later shards on the
+    // workers, so both jobs are still genuinely mid-run when the drain
+    // lands — campaigns are fast enough under virtual time that an
+    // ungated test would race them to completion.
+    config.shard_gate = [&gate_open](std::size_t shard_id, std::size_t,
+                                     const core::CancellationToken&) {
+      if (shard_id >= 1) {
+        while (!gate_open.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    };
+    JobManager manager(config);
+    struct GateRelease {  // opens the gate before the manager's dtor waits
+      std::atomic<bool>& flag;
+      ~GateRelease() { flag.store(true); }
+    } release{gate_open};
+
+    std::string error;
+    const std::string job_a = manager.submit(spec_a, &error);
+    const std::string job_b = manager.submit(spec_b, &error);
+    ASSERT_FALSE(job_a.empty());
+    ASSERT_FALSE(job_b.empty());
+    ASSERT_TRUE(manager.wait_state(job_a, JobState::kRunning, kWait));
+    ASSERT_TRUE(manager.wait_state(job_b, JobState::kRunning, kWait));
+    ASSERT_TRUE(poll_status(manager, job_a,
+                            [](const JobStatus& s) { return s.shards_done >= 1; }));
+    ASSERT_TRUE(poll_status(manager, job_b,
+                            [](const JobStatus& s) { return s.shards_done >= 1; }));
+
+    // Drain from a second thread; open the gate only once the drain has
+    // begun (shutting_down() flips after every abort flag is tripped), so
+    // the parked shards wake into the abort, checkpoint, and settle.
+    std::thread drain([&manager, &recovered] {
+      recovered = manager.shutdown_and_checkpoint();
+    });
+    while (!manager.shutting_down()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    gate_open.store(true);
+    drain.join();
+    ASSERT_EQ(recovered.size(), 2u);
+    EXPECT_EQ(recovered[0].id, job_a);
+    EXPECT_EQ(recovered[1].id, job_b);
+
+    // Post-shutdown the manager refuses new work.
+    EXPECT_TRUE(manager.submit(spec_a, &error).empty());
+    EXPECT_NE(error.find("shutting down"), std::string::npos);
+    journal.close();
+  }
+
+  // Every checkpoint returned was also written to disk for out-of-process
+  // recovery (the serve loop parks them in --checkpoint-dir).
+  for (const RecoveredJob& job : recovered) {
+    for (const auto& [shard_id, checkpoint] : job.checkpoints) {
+      const std::string path =
+          checkpoint_dir + "/" + job.id + ".shard" + std::to_string(shard_id);
+      const auto loaded = core::read_checkpoint_file(path);
+      ASSERT_TRUE(loaded.has_value()) << path;
+      EXPECT_EQ(loaded->test_packets, checkpoint.test_packets);
+      EXPECT_EQ(loaded->elapsed, checkpoint.elapsed);
+      std::remove(path.c_str());
+    }
+  }
+
+  // --- phase 2: the flushed journal survives a torn tail --------------
+  const std::string journal_bytes = read_file(journal_path);
+  ASSERT_FALSE(journal_bytes.empty());
+  std::size_t baseline_records = 0;
+  {
+    store::FindingsJournal reopened;
+    ASSERT_TRUE(reopened.open(journal_path));
+    baseline_records = reopened.records().size();
+    EXPECT_GE(baseline_records, 1u);  // partial progress was committed
+    reopened.close();
+  }
+  const std::string torn_path = temp_path("svc_shutdown_torn.zcj");
+  write_file(torn_path, journal_bytes + std::string("\x42\x42\x42", 3));
+  {
+    store::FindingsJournal torn;
+    ASSERT_TRUE(torn.open(torn_path));
+    EXPECT_EQ(torn.records().size(), baseline_records);
+    EXPECT_GT(torn.recovery().bytes_truncated, 0u);
+    torn.close();
+  }
+  std::remove(torn_path.c_str());
+
+  // --- phase 3: resubmission reproduces byte-identical results --------
+  // Two fresh daemons, different per-job worker counts, each resuming the
+  // recovered jobs from their checkpoints on a copy of the shared journal.
+  auto rerun = [&](const char* journal_name, std::size_t workers_per_job) {
+    const std::string path = temp_path(journal_name);
+    write_file(path, journal_bytes);  // the daemon restarts on its old file
+    store::FindingsJournal journal;
+    EXPECT_TRUE(journal.open(path));
+    JobManager::Config config;
+    config.max_parallel_jobs = 1;  // sequential: journal order is job order
+    config.executor_workers = 2;
+    config.workers_per_job = workers_per_job;
+    config.journal = &journal;
+    JobManager manager(config);
+
+    std::vector<core::ParallelTrialReport> reports;
+    std::string error;
+    for (const RecoveredJob& job : recovered) {
+      const std::string id = manager.submit_recovered(job, &error);
+      EXPECT_FALSE(id.empty()) << error;
+      EXPECT_TRUE(manager.wait(id, kWait));
+      const auto status = manager.status(id);
+      EXPECT_TRUE(status.has_value());
+      EXPECT_EQ(status->state, JobState::kDone);
+      const auto report = manager.report(id);
+      EXPECT_TRUE(report.has_value());
+      reports.push_back(*report);
+    }
+    manager.shutdown_and_checkpoint();
+    journal.close();
+    return std::make_pair(std::move(reports), path);
+  };
+
+  auto [reports_one, path_one] = rerun("svc_shutdown_r1.zcj", 1);
+  auto [reports_two, path_two] = rerun("svc_shutdown_r2.zcj", 2);
+  ASSERT_EQ(reports_one.size(), 2u);
+  ASSERT_EQ(reports_two.size(), 2u);
+  expect_summaries_equal(reports_one[0], reports_two[0]);
+  expect_summaries_equal(reports_one[1], reports_two[1]);
+  // Same recovered state + same journal prefix => the two daemons' journal
+  // files are byte-identical, worker count notwithstanding.
+  EXPECT_EQ(read_file(path_one), read_file(path_two));
+
+  // --- phase 4: findings form a superset with no duplicates -----------
+  store::FindingsJournal merged;
+  ASSERT_TRUE(merged.open(path_one));
+  EXPECT_GE(merged.records().size(), baseline_records);
+  std::set<store::FindingRecord::Key> keys;
+  std::set<store::FindingRecord::Key> shutdown_keys;
+  for (const auto& record : merged.records()) {
+    EXPECT_TRUE(keys.insert(record.key()).second) << "duplicate dedup key in journal";
+  }
+  {
+    store::FindingsJournal before;
+    ASSERT_TRUE(before.open(journal_path));
+    for (const auto& record : before.records()) shutdown_keys.insert(record.key());
+    before.close();
+  }
+  for (const auto& key : shutdown_keys) {
+    EXPECT_TRUE(keys.count(key) > 0) << "shutdown-committed finding lost on recovery";
+  }
+  merged.close();
+
+  std::remove(journal_path.c_str());
+  std::remove(path_one.c_str());
+  std::remove(path_two.c_str());
+}
+
+}  // namespace
+}  // namespace zc::svc
